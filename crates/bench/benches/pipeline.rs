@@ -1,0 +1,61 @@
+//! Benchmarks of the Xar-Trek compiler pipeline (steps A–G) and its
+//! pieces, plus the golden workload kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xar_desim::ClusterConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    let bundle = xar_workloads::profiles::facedet_bundle(320, 240);
+    g.bench_function("build-facedet320", |b| {
+        b.iter(|| xar_core::build_app(std::hint::black_box(&bundle), 2, &cfg).unwrap())
+    });
+    g.bench_function("build-all-five", |b| {
+        b.iter(|| xar_core::pipeline::build_all(&cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_threshold_estimation(c: &mut Criterion) {
+    let cfg = ClusterConfig::default();
+    let jobs: Vec<_> = xar_workloads::all_profiles().iter().map(|p| p.job()).collect();
+    c.bench_function("threshold-estimation-5apps", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|j| xar_core::estimate_thresholds(std::hint::black_box(j), &cfg))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_workload_goldens(c: &mut Criterion) {
+    let mut g = c.benchmark_group("golden");
+    g.sample_size(10);
+    let img = xar_workloads::facedet::generate_image(320, 240, &[(40, 40), (200, 100)], 1);
+    g.bench_function("facedet-320x240", |b| {
+        b.iter(|| xar_workloads::facedet::count_windows(std::hint::black_box(&img)))
+    });
+    let train = xar_workloads::digitrec::generate(2_000, 8, 1);
+    let tests = xar_workloads::digitrec::generate(100, 8, 2);
+    g.bench_function("digitrec-2000x100", |b| {
+        b.iter(|| xar_workloads::digitrec::knn_classify(&train, &tests.digits))
+    });
+    let a = xar_workloads::cg::generate_spd(1_000, 6, 3);
+    let rhs = xar_workloads::cg::generate_rhs(1_000, 4);
+    g.bench_function("cg-1000x15", |b| {
+        b.iter(|| xar_workloads::cg::cg_solve(&a, &rhs, 15))
+    });
+    let graph = xar_workloads::bfs::generate(5_000, 4, 5);
+    g.bench_function("bfs-5000", |b| {
+        b.iter(|| xar_workloads::bfs::bfs_depth_sum(std::hint::black_box(&graph)))
+    });
+    g.bench_function("mg-16x2", |b| {
+        b.iter(|| xar_workloads::mg::mg_run(16, 8, 2, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_threshold_estimation, bench_workload_goldens);
+criterion_main!(benches);

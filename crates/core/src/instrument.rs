@@ -1,0 +1,259 @@
+//! Step B — instrumentation.
+//!
+//! "For each application function selected for implementation in
+//! hardware, the instrumentation step inserts calls for the scheduler
+//! client [...] placed at the beginning and at the end of the
+//! application's main function. In addition, at the main function's
+//! start, the tool inserts a call to a function that configures the
+//! FPGA [...]. The instrumentation step also replaces the original call
+//! of the selected functions with calls to different targets (x86, ARM,
+//! and FPGA) according to a flag set by the scheduler client." (§3.1)
+//!
+//! The dispatch shim generated here is the paper's Figure 2 in IR form:
+//!
+//! ```text
+//! __xar_dispatch_<f>(args...):
+//!     flag = ReadFlag(app_id)
+//!     MigPoint()                  // flag==1 → Popcorn migration to ARM
+//!     if flag == 2:
+//!         spill args to __xar_args
+//!         FpgaInvoke(app_id, &__xar_args)
+//!         result from return value (i64) or __xar_args[7] (f64)
+//!     else:
+//!         result = f(args...)
+//!     MigPoint()                  // flag==0 → migrate back to x86
+//!     return result
+//! ```
+
+use xar_popcorn::ir::{BinOp, Cond, FuncId, Inst, MemSize, Module, Ty};
+use xar_popcorn::rt::RtFunc;
+
+/// Name of the argument-spill global the dispatch shim writes before an
+/// FPGA invocation (8 × i64; slot 7 doubles as the f64 result channel).
+pub const ARGS_GLOBAL: &str = "__xar_args";
+
+/// Errors from instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// The module lacks a `main`.
+    NoMain,
+    /// The named selected function is missing.
+    NoSelected(String),
+    /// The selected function has more parameters than the spill area.
+    TooManyArgs(String),
+}
+
+impl std::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstrumentError::NoMain => f.write_str("module has no main function"),
+            InstrumentError::NoSelected(s) => write!(f, "selected function `{s}` not found"),
+            InstrumentError::TooManyArgs(s) => write!(f, "selected function `{s}` has too many args"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+/// Instruments `module` in place for one selected function:
+///
+/// 1. builds the `__xar_dispatch_<f>` shim;
+/// 2. rewrites every call to the selected function *from `main`* to go
+///    through the shim;
+/// 3. prepends `SchedClientStart(app_id)` + `FpgaConfigure(app_id)` to
+///    `main` and inserts `SchedClientEnd(app_id)` before each return.
+///
+/// Returns the dispatch function's id.
+///
+/// # Errors
+///
+/// See [`InstrumentError`].
+pub fn instrument(
+    module: &mut Module,
+    selected: &str,
+    app_id: i64,
+) -> Result<FuncId, InstrumentError> {
+    let main_id = module.func_id("main").ok_or(InstrumentError::NoMain)?;
+    let sel_id = module
+        .func_id(selected)
+        .ok_or_else(|| InstrumentError::NoSelected(selected.to_string()))?;
+    let sel = module.func(sel_id).clone();
+    if sel.params.len() > 8 {
+        return Err(InstrumentError::TooManyArgs(selected.to_string()));
+    }
+    let args_global = match module.global_id(ARGS_GLOBAL) {
+        Some(g) => g,
+        None => module.global(ARGS_GLOBAL, 64, 16),
+    };
+
+    // The dispatch shim.
+    let dispatch_id = {
+        let mut f = module.function(
+            format!("__xar_dispatch_{selected}"),
+            &sel.params,
+            sel.ret,
+        );
+        let app = f.const_i(app_id);
+        let flag = f.call_rt(RtFunc::ReadFlag, &[app]).unwrap();
+        f.call_rt(RtFunc::MigPoint, &[]);
+        let fpga_bb = f.new_block();
+        let sw_bb = f.new_block();
+        let join = f.new_block();
+        // Result channel locals (assigned on both paths).
+        let ret_i = f.new_local(Ty::I64);
+        let ret_f = f.new_local(Ty::F64);
+        let is_fpga = f.icmp_i(Cond::Eq, flag, 2);
+        f.cond_br(is_fpga, fpga_bb, sw_bb);
+
+        // FPGA path: spill args, invoke, fetch result.
+        f.switch_to(fpga_bb);
+        let spill = f.global_addr(args_global);
+        for (i, ty) in sel.params.clone().iter().enumerate() {
+            let slot = f.bin_i(BinOp::Add, spill, (i * 8) as i64);
+            let p = f.param(i);
+            match ty {
+                Ty::I64 => f.store(p, slot, MemSize::B8),
+                Ty::F64 => f.store(p, slot, MemSize::B8),
+            }
+        }
+        let status = f.call_rt(RtFunc::FpgaInvoke, &[app, spill]).unwrap();
+        match sel.ret {
+            Some(Ty::I64) => f.assign(ret_i, status),
+            Some(Ty::F64) => {
+                let slot7 = f.bin_i(BinOp::Add, spill, 56);
+                let v = f.loadf(slot7);
+                f.assign(ret_f, v);
+            }
+            None => {}
+        }
+        f.br(join);
+
+        // Software path: plain call (Popcorn's migration point already
+        // crossed above decides which ISA executes it).
+        f.switch_to(sw_bb);
+        let params: Vec<_> = (0..sel.params.len()).map(|i| f.param(i)).collect();
+        let r = f.call(sel_id, &params);
+        match (sel.ret, r) {
+            (Some(Ty::I64), Some(r)) => f.assign(ret_i, r),
+            (Some(Ty::F64), Some(r)) => f.assign(ret_f, r),
+            _ => {}
+        }
+        f.br(join);
+
+        f.switch_to(join);
+        f.call_rt(RtFunc::MigPoint, &[]);
+        match sel.ret {
+            Some(Ty::I64) => f.ret(Some(ret_i)),
+            Some(Ty::F64) => f.ret(Some(ret_f)),
+            None => f.ret(None),
+        }
+        f.finish()
+    };
+
+    // Rewrite main's calls to the selected function.
+    let main = &mut module.funcs[main_id.0 as usize];
+    for b in &mut main.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Call { callee, .. } = inst {
+                if *callee == sel_id {
+                    *callee = dispatch_id;
+                }
+            }
+        }
+    }
+
+    // Scheduler-client hooks in main. New locals for the constant.
+    let app_local = xar_popcorn::ir::LocalId(main.locals.len() as u32);
+    main.locals.push(Ty::I64);
+    let prologue = vec![
+        Inst::ConstI { dst: app_local, v: app_id },
+        Inst::CallRt { func: RtFunc::SchedClientStart, args: vec![app_local], dst: None },
+        Inst::CallRt { func: RtFunc::FpgaConfigure, args: vec![app_local], dst: None },
+    ];
+    main.blocks[0].insts.splice(0..0, prologue);
+    for b in &mut main.blocks {
+        if matches!(b.term, Some(xar_popcorn::ir::Terminator::Ret(_))) {
+            b.insts.push(Inst::CallRt {
+                func: RtFunc::SchedClientEnd,
+                args: vec![app_local],
+                dst: None,
+            });
+        }
+    }
+    Ok(dispatch_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_popcorn::compile;
+    use xar_popcorn::ir::Module;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let mut sel = m.function("work", &[Ty::I64], Some(Ty::I64));
+        let x = sel.param(0);
+        let y = sel.bin_i(BinOp::Mul, x, 3);
+        sel.ret(Some(y));
+        let sel_id = sel.finish();
+        let mut main = m.function("main", &[Ty::I64], Some(Ty::I64));
+        let p = main.param(0);
+        let r = main.call(sel_id, &[p]).unwrap();
+        main.ret(Some(r));
+        main.finish();
+        m
+    }
+
+    #[test]
+    fn instrumented_module_verifies_and_compiles() {
+        let mut m = sample_module();
+        instrument(&mut m, "work", 7).unwrap();
+        let bin = compile(&m).expect("instrumented module compiles");
+        assert!(bin.func_addr("__xar_dispatch_work").is_some());
+        assert!(bin.global_addr(ARGS_GLOBAL).is_some());
+        // The instrumented main has a migration point in its call graph.
+        assert!(bin.meta.call_sites.iter().any(|c| c.is_migration_point));
+    }
+
+    #[test]
+    fn flag_zero_runs_software_path() {
+        let mut m = sample_module();
+        instrument(&mut m, "work", 7).unwrap();
+        let bin = compile(&m).unwrap();
+        let mut e = xar_popcorn::Executor::new(&bin, xar_isa::Isa::Xar86);
+        // NullHandler answers 0 to ReadFlag → software path on x86.
+        assert_eq!(e.run("main", &[14]).unwrap(), 42);
+        assert_eq!(e.stats().migpoints, 2);
+    }
+
+    #[test]
+    fn missing_main_or_selected_errors() {
+        let mut m = Module::new("empty");
+        let mut f = m.function("not_main", &[], None);
+        f.ret(None);
+        f.finish();
+        assert_eq!(instrument(&mut m, "x", 0), Err(InstrumentError::NoMain));
+        let mut m2 = sample_module();
+        assert!(matches!(
+            instrument(&mut m2, "ghost", 0),
+            Err(InstrumentError::NoSelected(_))
+        ));
+    }
+
+    #[test]
+    fn main_rewritten_to_dispatch() {
+        let mut m = sample_module();
+        let d = instrument(&mut m, "work", 7).unwrap();
+        let main = m.func(m.func_id("main").unwrap());
+        let called: Vec<_> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::Call { callee, .. } => Some(*callee),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(called, vec![d], "main must call only the dispatch shim");
+    }
+}

@@ -1,0 +1,39 @@
+//! # xar-core — the Xar-Trek compiler and run-time framework
+//!
+//! This crate is the paper's contribution proper, assembled on top of
+//! the substrates:
+//!
+//! * [`profile`] — step **A**: the profiling report (a text file naming
+//!   the platform, applications, and selected functions);
+//! * [`instrument`] — step **B**: IR instrumentation (scheduler-client
+//!   calls at `main` start/end, early FPGA configuration, and the
+//!   flag-dispatched selected-function shim of Figure 2);
+//! * step **C** — multi-ISA binary generation, via [`xar_popcorn`];
+//! * steps **D–F** — XO generation, XCLBIN partitioning and generation,
+//!   via [`xar_hls`], orchestrated by [`pipeline`];
+//! * [`thresholds`] — step **G**: threshold estimation (Table 2) and
+//!   the threshold-table text format;
+//! * [`policy`] — the run-time scheduler: Algorithm 1 (dynamic
+//!   threshold update) and Algorithm 2 (the heuristic placement
+//!   policy);
+//! * [`server`] — the userspace scheduler as a real client/server over
+//!   localhost TCP sockets (paper §3.2), plus an in-simulator backend
+//!   through [`xar_desim::Policy`];
+//! * [`handler`] — the runtime-library handler connecting functional
+//!   multi-ISA execution to the FPGA device model and the golden
+//!   kernels;
+//! * [`experiments`] — drivers that regenerate every table and figure
+//!   of the paper's evaluation.
+
+pub mod experiments;
+pub mod handler;
+pub mod instrument;
+pub mod pipeline;
+pub mod policy;
+pub mod profile;
+pub mod server;
+pub mod thresholds;
+
+pub use pipeline::{build_app, CompiledApp, PipelineError};
+pub use policy::XarTrekPolicy;
+pub use thresholds::{estimate_thresholds, ThresholdEntry, ThresholdTable};

@@ -1,0 +1,244 @@
+//! The Xar-Trek compiler pipeline, steps A–G (paper Figure 1).
+//!
+//! | step | what | implemented by |
+//! |---|---|---|
+//! | A | profiling report | [`crate::profile`] |
+//! | B | instrumentation | [`crate::instrument`] |
+//! | C | multi-ISA binary generation | [`xar_popcorn::compile`] |
+//! | D | Xilinx-object generation | [`xar_hls::compile_kernel`] |
+//! | E | XCLBIN partitioning | [`xar_hls::partition_ffd`] |
+//! | F | XCLBIN generation (download) | [`xar_hls::Xclbin`] |
+//! | G | threshold estimation | [`crate::thresholds`] |
+
+use crate::instrument::{instrument, InstrumentError};
+use crate::profile::{AppEntry, ProfilingReport};
+use crate::thresholds::{estimate_thresholds, ThresholdEntry};
+use std::fmt;
+use xar_desim::{ClusterConfig, JobSpec};
+use xar_hls::{partition_ffd, HlsError, PartitionError, Platform, Xclbin, XoFile};
+use xar_popcorn::verify::VerifyError;
+use xar_popcorn::MultiIsaBinary;
+use xar_workloads::AppBundle;
+
+/// Errors from any pipeline step.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Step B failed.
+    Instrument(InstrumentError),
+    /// Step C failed.
+    Compile(VerifyError),
+    /// Step D failed.
+    Hls(HlsError),
+    /// Steps E–F failed.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Instrument(e) => write!(f, "instrumentation: {e}"),
+            PipelineError::Compile(e) => write!(f, "multi-isa compilation: {e}"),
+            PipelineError::Hls(e) => write!(f, "xilinx object generation: {e}"),
+            PipelineError::Partition(e) => write!(f, "xclbin partitioning: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<InstrumentError> for PipelineError {
+    fn from(e: InstrumentError) -> Self {
+        PipelineError::Instrument(e)
+    }
+}
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+impl From<HlsError> for PipelineError {
+    fn from(e: HlsError) -> Self {
+        PipelineError::Hls(e)
+    }
+}
+impl From<PartitionError> for PipelineError {
+    fn from(e: PartitionError) -> Self {
+        PipelineError::Partition(e)
+    }
+}
+
+/// One application, fully compiled through steps A–G.
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    /// Benchmark name.
+    pub name: String,
+    /// Application id baked into the instrumentation.
+    pub app_id: i64,
+    /// Step A output.
+    pub profiling: ProfilingReport,
+    /// Step B+C output: the instrumented multi-ISA binary.
+    pub binary: MultiIsaBinary,
+    /// Step D output.
+    pub xo: XoFile,
+    /// Steps E–F output (this app's kernels alone).
+    pub xclbins: Vec<Xclbin>,
+    /// Step G output.
+    pub threshold: ThresholdEntry,
+    /// The simulator job derived from the calibrated profile.
+    pub job: JobSpec,
+}
+
+/// Runs the full pipeline on one application bundle.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn build_app(
+    bundle: &AppBundle,
+    app_id: i64,
+    cfg: &ClusterConfig,
+) -> Result<CompiledApp, PipelineError> {
+    let platform = Platform::alveo_u50();
+    // Step A.
+    let profiling = ProfilingReport {
+        platform: platform.name.clone(),
+        apps: vec![AppEntry { app: bundle.name.clone(), selected: vec![bundle.selected.clone()] }],
+    };
+    // Step B.
+    let mut module = bundle.module.clone();
+    instrument(&mut module, &bundle.selected, app_id)?;
+    // Step C.
+    let binary = xar_popcorn::compile(&module)?;
+    // Step D.
+    let xo = xar_hls::compile_kernel(&bundle.kernel)?;
+    // Steps E–F.
+    let xclbins = partition_ffd(std::slice::from_ref(&xo), &platform, &bundle.name)?;
+    // Step G.
+    let job = bundle.profile.job();
+    let threshold = estimate_thresholds(&job, cfg);
+    Ok(CompiledApp {
+        name: bundle.name.clone(),
+        app_id,
+        profiling,
+        binary,
+        xo,
+        xclbins,
+        threshold,
+        job,
+    })
+}
+
+/// Compiles all five paper benchmarks and partitions *all* their
+/// kernels together (the multi-application deployment of §4: one or
+/// more shared XCLBINs).
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn build_all(cfg: &ClusterConfig) -> Result<(Vec<CompiledApp>, Vec<Xclbin>), PipelineError> {
+    let bundles = [
+        xar_workloads::profiles::cg_bundle(),
+        xar_workloads::profiles::facedet_bundle(320, 240),
+        xar_workloads::profiles::facedet_bundle(640, 480),
+        xar_workloads::profiles::digitrec_bundle(500),
+        xar_workloads::profiles::digitrec_bundle(2000),
+    ];
+    let mut apps = Vec::new();
+    for (i, b) in bundles.iter().enumerate() {
+        apps.push(build_app(b, i as i64 + 1, cfg)?);
+    }
+    let xos: Vec<XoFile> = apps.iter().map(|a| a.xo.clone()).collect();
+    let shared = partition_ffd(&xos, &Platform::alveo_u50(), "xar_trek")?;
+    Ok((apps, shared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_for_all_benchmarks() {
+        let cfg = ClusterConfig::default();
+        let (apps, shared) = build_all(&cfg).expect("pipeline");
+        assert_eq!(apps.len(), 5);
+        // Every app's kernel landed in a shared XCLBIN.
+        for a in &apps {
+            assert!(
+                shared.iter().any(|x| x.has_kernel(&a.xo.kernel.name)),
+                "{} missing from shared xclbins",
+                a.name
+            );
+            // The instrumented binary exposes the dispatch shim.
+            let shim = format!(
+                "__xar_dispatch_{}",
+                a.profiling.apps[0].selected[0]
+            );
+            assert!(a.binary.func_addr(&shim).is_some(), "{shim}");
+            // Threshold estimation produced a row.
+            assert_eq!(a.threshold.app, a.name);
+        }
+    }
+
+    #[test]
+    fn pipeline_emits_paper_kernel_names() {
+        let cfg = ClusterConfig::default();
+        let (apps, _) = build_all(&cfg).unwrap();
+        let kernels: Vec<&str> = apps.iter().map(|a| a.xo.kernel.name.as_str()).collect();
+        assert_eq!(
+            kernels,
+            ["KNL_HW_CG_A", "KNL_HW_FD320", "KNL_HW_FD640", "KNL_HW_DR500", "KNL_HW_DR200"]
+        );
+    }
+
+    #[test]
+    fn functional_run_of_compiled_app() {
+        // The Digit500 compiled app runs end-to-end on the VM with data
+        // staged on the heap, flag 0 (software path).
+        let cfg = ClusterConfig::default();
+        let bundle = xar_workloads::profiles::digitrec_bundle(500);
+        let app = build_app(&bundle, 4, &cfg).unwrap();
+        let mut exec = xar_popcorn::Executor::new(&app.binary, xar_isa::Isa::Xar86);
+
+        // Stage a tiny dataset.
+        let train = xar_workloads::digitrec::generate(60, 4, 1);
+        let tests = xar_workloads::digitrec::generate(10, 4, 2);
+        let train_ptr = exec.host_alloc(60 * 32);
+        let labels_ptr = exec.host_alloc(60 * 8);
+        let tests_ptr = exec.host_alloc(10 * 32);
+        let out_ptr = exec.host_alloc(10 * 8);
+        {
+            let mem = exec.memory_mut();
+            for (i, d) in train.digits.iter().enumerate() {
+                for (w, word) in d.iter().enumerate() {
+                    mem.write_u64(train_ptr + (i * 32 + w * 8) as u64, *word);
+                }
+                mem.write_u64(labels_ptr + (i * 8) as u64, train.labels[i] as u64);
+            }
+            for (i, d) in tests.digits.iter().enumerate() {
+                for (w, word) in d.iter().enumerate() {
+                    mem.write_u64(tests_ptr + (i * 32 + w * 8) as u64, *word);
+                }
+            }
+        }
+        let ret = exec
+            .run(
+                "main",
+                &[
+                    train_ptr as i64,
+                    labels_ptr as i64,
+                    60,
+                    tests_ptr as i64,
+                    10,
+                    out_ptr as i64,
+                ],
+            )
+            .unwrap();
+        assert_eq!(ret, 10);
+        // Predictions match the golden implementation exactly.
+        let golden = xar_workloads::digitrec::knn_classify(&train, &tests.digits);
+        for (i, g) in golden.iter().enumerate() {
+            let got = exec.memory().read_u64(out_ptr + (i * 8) as u64);
+            assert_eq!(got, *g as u64, "test {i}");
+        }
+    }
+}

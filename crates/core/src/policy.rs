@@ -1,0 +1,297 @@
+//! The Xar-Trek run-time scheduler: Algorithm 1 + Algorithm 2.
+//!
+//! * **Algorithm 2** (the scheduler server's heuristic policy) decides
+//!   per selected-function call among x86, ARM, and FPGA based on the
+//!   x86 CPU load, the application's thresholds, and hardware-kernel
+//!   residency — reconfiguring the FPGA in the background when the
+//!   kernel is absent but demand exists.
+//! * **Algorithm 1** (the scheduler client's dynamic threshold update)
+//!   refines the statically estimated thresholds from observed
+//!   execution times after every call.
+
+use crate::thresholds::{ScenarioTimes, ThresholdTable};
+use std::collections::HashMap;
+use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
+
+/// The paper's heuristic policy with dynamic threshold refinement.
+#[derive(Debug, Clone)]
+pub struct XarTrekPolicy {
+    /// The (mutable) threshold table.
+    pub table: ThresholdTable,
+    /// Recorded per-app scenario times (x86exec/ARMexec/FPGAexec in
+    /// Algorithm 1). The x86 entry is updated by observation (line 10).
+    ref_times: HashMap<String, ScenarioTimes>,
+    /// Configure the FPGA at application launch (paper §3.1; ablation
+    /// knob for the §4.2 "faster than always-FPGA" effect).
+    pub early_config: bool,
+    /// Run Algorithm 1 after each call (ablation knob).
+    pub dynamic_update: bool,
+    /// Step used by Algorithm 1's "increase threshold" branches.
+    pub thr_step: u32,
+}
+
+impl XarTrekPolicy {
+    /// A policy over an estimated threshold table and the isolated
+    /// scenario times recorded at estimation time.
+    pub fn new(table: ThresholdTable, ref_times: HashMap<String, ScenarioTimes>) -> Self {
+        XarTrekPolicy {
+            table,
+            ref_times,
+            early_config: true,
+            dynamic_update: true,
+            thr_step: 1,
+        }
+    }
+
+    /// Builds the policy from job specs by running the step-G estimator
+    /// on each.
+    pub fn from_specs(specs: &[xar_desim::JobSpec], cfg: &xar_desim::ClusterConfig) -> Self {
+        let mut table = ThresholdTable::new();
+        let mut ref_times = HashMap::new();
+        for s in specs {
+            if !s.has_selected_function() {
+                continue;
+            }
+            table.insert(crate::thresholds::estimate_thresholds(s, cfg));
+            ref_times.insert(s.name.clone(), crate::thresholds::scenario_times(s, cfg));
+        }
+        XarTrekPolicy::new(table, ref_times)
+    }
+
+    /// Algorithm 2, as a pure decision function.
+    pub fn algorithm2(
+        load: u32,
+        fpga_thr: u32,
+        arm_thr: u32,
+        hw_kernel_present: bool,
+    ) -> Decision {
+        if !hw_kernel_present {
+            if load <= arm_thr && load > fpga_thr {
+                // Lines 9–13: stay on x86, reconfigure meanwhile.
+                return Decision { target: Target::X86, reconfigure: true };
+            }
+            if load > arm_thr && load > fpga_thr {
+                // Lines 14–18: migrate to ARM, reconfigure meanwhile.
+                return Decision { target: Target::Arm, reconfigure: true };
+            }
+        }
+        if load <= arm_thr && load <= fpga_thr {
+            // Lines 19–21.
+            return Decision { target: Target::X86, reconfigure: false };
+        }
+        if load > arm_thr && load <= fpga_thr {
+            // Lines 22–24.
+            return Decision { target: Target::Arm, reconfigure: false };
+        }
+        if load > fpga_thr && hw_kernel_present {
+            // Lines 25–31: the smaller threshold implies the smaller
+            // execution time for this function.
+            if fpga_thr < arm_thr {
+                return Decision { target: Target::Fpga, reconfigure: false };
+            }
+            return Decision { target: Target::Arm, reconfigure: false };
+        }
+        // Unreachable given the cases above; stay local.
+        Decision { target: Target::X86, reconfigure: false }
+    }
+
+    /// Algorithm 1: the scheduler client's threshold update after a
+    /// call returns.
+    pub fn algorithm1(&mut self, report: &CompletionReport<'_>) {
+        let Some(entry) = self.table.get_mut(report.app) else {
+            return;
+        };
+        let Some(times) = self.ref_times.get_mut(report.app) else {
+            return;
+        };
+        let load = report.x86_load as u32;
+        match report.target {
+            Target::X86 => {
+                if report.func_ms > times.fpga_ms && load < entry.fpga_thr {
+                    // Lines 4–5.
+                    entry.fpga_thr = load;
+                } else if report.func_ms > times.arm_ms && load < entry.arm_thr {
+                    // Lines 7–8.
+                    entry.arm_thr = load;
+                } else {
+                    // Line 10: record the fresh x86 execution time.
+                    times.x86_ms = report.func_ms;
+                }
+            }
+            Target::Arm => {
+                // Lines 14–17.
+                if report.func_ms > times.x86_ms {
+                    entry.arm_thr += self.thr_step;
+                }
+            }
+            Target::Fpga => {
+                // Lines 19–23.
+                if report.func_ms > times.x86_ms {
+                    entry.fpga_thr += self.thr_step;
+                }
+            }
+        }
+    }
+}
+
+impl Policy for XarTrekPolicy {
+    fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
+        self.early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
+    }
+
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
+        let Some(entry) = self.table.get(ctx.app) else {
+            return Decision::to(Target::X86);
+        };
+        Self::algorithm2(
+            ctx.x86_load as u32,
+            entry.fpga_thr,
+            entry.arm_thr,
+            ctx.kernel_resident,
+        )
+    }
+
+    fn on_complete(&mut self, report: &CompletionReport<'_>) {
+        if self.dynamic_update {
+            self.algorithm1(report);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "xar-trek"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_desim::ClusterConfig;
+    use xar_workloads::all_profiles;
+
+    fn policy() -> XarTrekPolicy {
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        XarTrekPolicy::from_specs(&specs, &ClusterConfig::default())
+    }
+
+    #[test]
+    fn algorithm2_decision_table() {
+        // Thresholds: fpga 10, arm 20 (FPGA preferred at high load).
+        let d = XarTrekPolicy::algorithm2;
+        // Low load, kernel present: stay.
+        assert_eq!(d(5, 10, 20, true).target, Target::X86);
+        // Low load, kernel absent, below both: stay, no reconfig.
+        assert_eq!(d(5, 10, 20, false), Decision { target: Target::X86, reconfigure: false });
+        // Above FPGA thr, below ARM thr, no kernel: x86 + reconfigure.
+        assert_eq!(d(15, 10, 20, false), Decision { target: Target::X86, reconfigure: true });
+        // Above both, no kernel: ARM + reconfigure.
+        assert_eq!(d(25, 10, 20, false), Decision { target: Target::Arm, reconfigure: true });
+        // Above FPGA thr, kernel present, FPGA cheaper: FPGA.
+        assert_eq!(d(15, 10, 20, true).target, Target::Fpga);
+        // ARM cheaper than FPGA (arm_thr < fpga_thr): ARM wins at high
+        // load with the kernel present (CG-A's situation).
+        assert_eq!(d(40, 30, 24, true).target, Target::Arm);
+        // Between thresholds with arm_thr < fpga_thr: load > arm only →
+        // ARM without reconfiguration.
+        assert_eq!(d(27, 30, 24, true), Decision { target: Target::Arm, reconfigure: false });
+        assert_eq!(d(27, 30, 24, false), Decision { target: Target::Arm, reconfigure: false });
+    }
+
+    #[test]
+    fn zero_threshold_apps_go_to_fpga_immediately() {
+        let mut p = policy();
+        let ctx = DecideCtx {
+            app: "Digit2000",
+            kernel: "KNL_HW_DR200",
+            x86_load: 1,
+            arm_load: 0,
+            kernel_resident: true,
+            device_ready: true,
+            now_ns: 0.0,
+        };
+        assert_eq!(p.decide(&ctx).target, Target::Fpga);
+    }
+
+    #[test]
+    fn cg_never_picks_fpga() {
+        let mut p = policy();
+        for load in [1, 10, 30, 60, 120] {
+            let ctx = DecideCtx {
+                app: "CG-A",
+                kernel: "KNL_HW_CG_A",
+                x86_load: load,
+                arm_load: 0,
+                kernel_resident: true,
+                device_ready: true,
+                now_ns: 0.0,
+            };
+            assert_ne!(p.decide(&ctx).target, Target::Fpga, "load {load}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_lowers_fpga_threshold_on_slow_x86_run() {
+        let mut p = policy();
+        let before = p.table.get("FaceDet320").unwrap().fpga_thr;
+        assert!(before > 0);
+        // An x86 run slower than the recorded FPGA time at a load below
+        // the threshold pulls the threshold down (lines 4–5).
+        p.algorithm1(&CompletionReport {
+            app: "FaceDet320",
+            target: Target::X86,
+            func_ms: 10_000.0,
+            x86_load: (before - 1) as usize,
+        });
+        assert_eq!(p.table.get("FaceDet320").unwrap().fpga_thr, before - 1);
+    }
+
+    #[test]
+    fn algorithm1_raises_threshold_on_slow_offload() {
+        let mut p = policy();
+        let before = p.table.get("Digit2000").unwrap().fpga_thr;
+        // An FPGA run slower than the recorded x86 time raises the
+        // threshold (lines 19–23).
+        p.algorithm1(&CompletionReport {
+            app: "Digit2000",
+            target: Target::Fpga,
+            func_ms: 100_000.0,
+            x86_load: 50,
+        });
+        assert_eq!(p.table.get("Digit2000").unwrap().fpga_thr, before + 1);
+        // And a slow ARM run raises the ARM threshold (lines 14–17).
+        let arm_before = p.table.get("CG-A").unwrap().arm_thr;
+        p.algorithm1(&CompletionReport {
+            app: "CG-A",
+            target: Target::Arm,
+            func_ms: 100_000.0,
+            x86_load: 50,
+        });
+        assert_eq!(p.table.get("CG-A").unwrap().arm_thr, arm_before + 1);
+    }
+
+    #[test]
+    fn algorithm1_records_fresh_x86_time_otherwise() {
+        let mut p = policy();
+        p.algorithm1(&CompletionReport {
+            app: "FaceDet320",
+            target: Target::X86,
+            func_ms: 1.0, // fast: no threshold movement
+            x86_load: 2,
+        });
+        assert!((p.ref_times["FaceDet320"].x86_ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_apps_default_to_x86() {
+        let mut p = policy();
+        let ctx = DecideCtx {
+            app: "mystery",
+            kernel: "",
+            x86_load: 100,
+            arm_load: 0,
+            kernel_resident: false,
+            device_ready: true,
+            now_ns: 0.0,
+        };
+        assert_eq!(p.decide(&ctx).target, Target::X86);
+    }
+}

@@ -1,0 +1,190 @@
+//! Step A — profiling.
+//!
+//! "The first step, Profiling, is a manual step performed by an
+//! application designer to define the function(s) that can be executed
+//! on any of the three target architectures. [...] This manual step's
+//! outcome is a text file which describes: 1) the hardware platform;
+//! 2) the applications; and 3) the selected functions of each
+//! application." (§3.1)
+//!
+//! [`profile_module`] additionally provides the tool support the paper
+//! delegates to gprof/valgrind: it runs the application's IR
+//! functionally on the Xar86 VM and attributes retired instructions to
+//! functions, so a designer can see which function dominates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One application's entry in the profiling report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppEntry {
+    /// Application name.
+    pub app: String,
+    /// Functions selected for hardware implementation.
+    pub selected: Vec<String>,
+}
+
+/// The step-A text file: platform + applications + selected functions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfilingReport {
+    /// Hardware platform name (e.g. `xilinx_u50_gen3x16`).
+    pub platform: String,
+    /// Applications, in declaration order.
+    pub apps: Vec<AppEntry>,
+}
+
+impl ProfilingReport {
+    /// Serializes to the text format:
+    ///
+    /// ```text
+    /// platform xilinx_u50_gen3x16
+    /// app FaceDet320 facedet_count
+    /// app CG-A cg_solve
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut s = format!("platform {}\n", self.platform);
+        for a in &self.apps {
+            s.push_str(&format!("app {} {}\n", a.app, a.selected.join(" ")));
+        }
+        s
+    }
+
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending line number.
+    pub fn from_text(text: &str) -> Result<ProfilingReport, ProfileParseError> {
+        let mut report = ProfilingReport::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = || ProfileParseError { line: lineno + 1 };
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("platform") => {
+                    report.platform = parts.next().ok_or_else(bad)?.to_string();
+                    if parts.next().is_some() {
+                        return Err(bad());
+                    }
+                }
+                Some("app") => {
+                    let app = parts.next().ok_or_else(bad)?.to_string();
+                    let selected: Vec<String> = parts.map(str::to_string).collect();
+                    if selected.is_empty() {
+                        return Err(bad());
+                    }
+                    report.apps.push(AppEntry { app, selected });
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// A malformed profiling-report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed profiling report at line {}", self.line)
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+/// Per-function share of retired instructions from one functional run —
+/// the gprof-style evidence behind a designer's selection.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionProfile {
+    /// Function name → retired instructions attributed to it.
+    pub instret: BTreeMap<String, u64>,
+}
+
+impl FunctionProfile {
+    /// The hottest function, if any instructions were attributed.
+    pub fn hottest(&self) -> Option<(&str, u64)> {
+        self.instret
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// A function's fraction of total attributed instructions.
+    pub fn share(&self, func: &str) -> f64 {
+        let total: u64 = self.instret.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.instret.get(func).copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// Profiles functional runs in a compiled binary: runs each of the
+/// given `(function, args)` pairs on the Xar86 VM and attributes the
+/// retired instructions to it. Comparing a selected function's count
+/// against the whole application's gives the gprof-style "this function
+/// dominates" evidence behind step A's selection.
+///
+/// # Errors
+///
+/// Propagates executor errors.
+pub fn profile_module(
+    bin: &xar_popcorn::MultiIsaBinary,
+    runs: &[(&str, Vec<i64>)],
+) -> Result<FunctionProfile, xar_popcorn::ExecError> {
+    let isa = xar_isa::Isa::Xar86;
+    let mut prof = FunctionProfile::default();
+    for (func, args) in runs {
+        let mut e = xar_popcorn::Executor::new(bin, isa);
+        e.run(func, args)?;
+        *prof.instret.entry(func.to_string()).or_insert(0) += e.stats().instret[isa];
+    }
+    Ok(prof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip() {
+        let r = ProfilingReport {
+            platform: "xilinx_u50_gen3x16".into(),
+            apps: vec![
+                AppEntry { app: "FaceDet320".into(), selected: vec!["facedet_count".into()] },
+                AppEntry {
+                    app: "CG-A".into(),
+                    selected: vec!["cg_solve".into(), "cg_matvec".into()],
+                },
+            ],
+        };
+        let text = r.to_text();
+        assert_eq!(ProfilingReport::from_text(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ProfilingReport::from_text("nonsense line\n").is_err());
+        assert!(ProfilingReport::from_text("app OnlyName\n").is_err());
+        assert!(ProfilingReport::from_text("platform a extra\n").is_err());
+        assert!(ProfilingReport::from_text("# comment only\n").is_ok());
+    }
+
+    #[test]
+    fn function_profile_shares() {
+        let mut p = FunctionProfile::default();
+        p.instret.insert("hot".into(), 900);
+        p.instret.insert("cold".into(), 100);
+        assert_eq!(p.hottest().unwrap().0, "hot");
+        assert!((p.share("hot") - 0.9).abs() < 1e-9);
+        assert_eq!(p.share("missing"), 0.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! The userspace scheduler as a real client/server (paper §3.2).
+//!
+//! "The scheduler is implemented using a client/server model. An
+//! instance of the scheduler client is integrated with each application
+//! binary [...]. The scheduler server, which encapsulates the
+//! scheduling policy, runs on the x86 host. The clients and the server
+//! communicate with each other to decide when and where to migrate
+//! applications' functions."
+//!
+//! The wire protocol is line-oriented text over TCP:
+//!
+//! ```text
+//! C→S: DECIDE <app> <kernel> <x86_load> <resident:0|1>
+//! S→C: TARGET <x86|arm|fpga> <reconfigure:0|1>
+//! C→S: REPORT <app> <x86|arm|fpga> <func_ms> <x86_load>
+//! S→C: OK
+//! C→S: TABLE
+//! S→C: <n> lines of the threshold table, then END
+//! ```
+
+use crate::policy::XarTrekPolicy;
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
+
+fn target_str(t: Target) -> &'static str {
+    match t {
+        Target::X86 => "x86",
+        Target::Arm => "arm",
+        Target::Fpga => "fpga",
+    }
+}
+
+fn parse_target(s: &str) -> Option<Target> {
+    match s {
+        "x86" => Some(Target::X86),
+        "arm" => Some(Target::Arm),
+        "fpga" => Some(Target::Fpga),
+        _ => None,
+    }
+}
+
+/// A running scheduler server. Dropping it shuts the server down.
+pub struct SchedulerServer {
+    addr: SocketAddr,
+    policy: Arc<Mutex<XarTrekPolicy>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SchedulerServer {
+    /// Spawns the server on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(policy: XarTrekPolicy) -> std::io::Result<SchedulerServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let policy = Arc::new(Mutex::new(policy));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (p2, s2) = (policy.clone(), stop.clone());
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if s2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let p3 = p2.clone();
+                // One thread per client, like one scheduler-client
+                // instance per application binary.
+                std::thread::spawn(move || serve_client(stream, p3));
+            }
+        });
+        Ok(SchedulerServer { addr, policy, stop, handle: Some(handle) })
+    }
+
+    /// The server's socket address (for clients).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the (dynamically updated) threshold table.
+    pub fn table(&self) -> crate::thresholds::ThresholdTable {
+        self.policy.lock().table.clone()
+    }
+
+    /// Requests shutdown and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SchedulerServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let reply = match parts.as_slice() {
+            ["DECIDE", app, kernel, load, resident] => {
+                let (Ok(load), Ok(resident)) =
+                    (load.parse::<usize>(), resident.parse::<u8>())
+                else {
+                    let _ = writer.write_all(b"ERR\n");
+                    continue;
+                };
+                let ctx = DecideCtx {
+                    app,
+                    kernel,
+                    x86_load: load,
+                    arm_load: 0,
+                    kernel_resident: resident != 0,
+                    device_ready: true,
+                    now_ns: 0.0,
+                };
+                let d = policy.lock().decide(&ctx);
+                format!("TARGET {} {}\n", target_str(d.target), u8::from(d.reconfigure))
+            }
+            ["REPORT", app, target, ms, load] => {
+                let (Some(target), Ok(ms), Ok(load)) =
+                    (parse_target(target), ms.parse::<f64>(), load.parse::<usize>())
+                else {
+                    let _ = writer.write_all(b"ERR\n");
+                    continue;
+                };
+                policy.lock().on_complete(&CompletionReport {
+                    app,
+                    target,
+                    func_ms: ms,
+                    x86_load: load,
+                });
+                "OK\n".to_string()
+            }
+            ["TABLE"] => {
+                let t = policy.lock().table.clone();
+                let mut s = String::new();
+                for e in t.iter() {
+                    s.push_str(&format!("{} {} {} {}\n", e.app, e.kernel, e.fpga_thr, e.arm_thr));
+                }
+                s.push_str("END\n");
+                s
+            }
+            ["QUIT"] => return,
+            _ => "ERR\n".to_string(),
+        };
+        if writer.write_all(reply.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A scheduler client, one per application process.
+#[derive(Debug)]
+pub struct SchedulerClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl SchedulerClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<SchedulerClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SchedulerClient { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    fn roundtrip(&mut self, req: &str) -> std::io::Result<String> {
+        self.writer.write_all(req.as_bytes())?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line)
+    }
+
+    /// Asks the server where the next call should run (the client-side
+    /// of Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/protocol errors.
+    pub fn decide(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: usize,
+        kernel_resident: bool,
+    ) -> std::io::Result<Decision> {
+        let reply = self.roundtrip(&format!(
+            "DECIDE {app} {kernel} {x86_load} {}\n",
+            u8::from(kernel_resident)
+        ))?;
+        let parts: Vec<&str> = reply.split_whitespace().collect();
+        match parts.as_slice() {
+            ["TARGET", t, r] => {
+                let target = parse_target(t)
+                    .ok_or_else(|| std::io::Error::other("bad target in reply"))?;
+                Ok(Decision { target, reconfigure: *r == "1" })
+            }
+            _ => Err(std::io::Error::other(format!("bad reply: {reply:?}"))),
+        }
+    }
+
+    /// Reports an observed execution (the client-side of Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/protocol errors.
+    pub fn report(
+        &mut self,
+        app: &str,
+        target: Target,
+        func_ms: f64,
+        x86_load: usize,
+    ) -> std::io::Result<()> {
+        let reply = self.roundtrip(&format!(
+            "REPORT {app} {} {func_ms} {x86_load}\n",
+            target_str(target)
+        ))?;
+        if reply.trim() == "OK" {
+            Ok(())
+        } else {
+            Err(std::io::Error::other(format!("bad reply: {reply:?}")))
+        }
+    }
+
+    /// Fetches the server's current threshold table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/protocol errors.
+    pub fn fetch_table(&mut self) -> std::io::Result<crate::thresholds::ThresholdTable> {
+        self.writer.write_all(b"TABLE\n")?;
+        let mut table = crate::thresholds::ThresholdTable::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::other("connection closed mid-table"));
+            }
+            let line = line.trim();
+            if line == "END" {
+                return Ok(table);
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if let [app, kernel, f, a] = parts.as_slice() {
+                let (Ok(f), Ok(a)) = (f.parse(), a.parse()) else {
+                    return Err(std::io::Error::other("bad table line"));
+                };
+                table.insert(crate::thresholds::ThresholdEntry {
+                    app: app.to_string(),
+                    kernel: kernel.to_string(),
+                    fpga_thr: f,
+                    arm_thr: a,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_desim::ClusterConfig;
+    use xar_workloads::all_profiles;
+
+    fn spawn_server() -> SchedulerServer {
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        SchedulerServer::spawn(policy).unwrap()
+    }
+
+    #[test]
+    fn decide_and_report_over_tcp() {
+        let server = spawn_server();
+        let mut client = SchedulerClient::connect(server.addr()).unwrap();
+        // Low load: stay on x86.
+        let d = client.decide("Digit2000", "KNL_HW_DR200", 1, false).unwrap();
+        // Digit2000's FPGA threshold is 0 → load 1 > 0 and kernel absent
+        // with load below ARM threshold → x86 + reconfigure.
+        assert_eq!(d.target, Target::X86);
+        assert!(d.reconfigure);
+        // Kernel present now: offload.
+        let d = client.decide("Digit2000", "KNL_HW_DR200", 1, true).unwrap();
+        assert_eq!(d.target, Target::Fpga);
+        client.report("Digit2000", Target::Fpga, 1300.0, 1).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_update_shared_table() {
+        let server = spawn_server();
+        let addr = server.addr();
+        let before = server.table().get("Digit2000").unwrap().fpga_thr;
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = SchedulerClient::connect(addr).unwrap();
+                for _ in 0..5 {
+                    c.decide("Digit2000", "KNL_HW_DR200", 10, true).unwrap();
+                    // Slow FPGA reports raise the FPGA threshold
+                    // (Algorithm 1 lines 19–23).
+                    c.report("Digit2000", Target::Fpga, 1e9, 10).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let after = server.table().get("Digit2000").unwrap().fpga_thr;
+        assert_eq!(after, before + 20, "4 clients × 5 slow reports");
+        server.shutdown();
+    }
+
+    #[test]
+    fn table_fetch_roundtrip() {
+        let server = spawn_server();
+        let mut client = SchedulerClient::connect(server.addr()).unwrap();
+        let t = client.fetch_table().unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t, server.table());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_err_not_crash() {
+        let server = spawn_server();
+        let mut c = SchedulerClient::connect(server.addr()).unwrap();
+        c.writer.write_all(b"BOGUS request\n").unwrap();
+        let mut line = String::new();
+        c.reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ERR");
+        // The connection still works afterwards.
+        let d = c.decide("CG-A", "KNL_HW_CG_A", 1, true).unwrap();
+        assert_eq!(d.target, Target::X86);
+        server.shutdown();
+    }
+}

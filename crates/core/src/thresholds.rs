@@ -1,0 +1,274 @@
+//! Step G — threshold estimation, and the threshold-table format.
+//!
+//! "The estimation tool executes each application on the x86 CPU while
+//! increasing the CPU load, until the application's execution time
+//! exceeds the previously recorded execution times for the two
+//! migration scenarios [...] The tool records these CPU loads as
+//! 'threshold values' to trigger execution migration to ARM and FPGA,
+//! respectively." (§3.1)
+//!
+//! The tool outputs a table with, per application: 1) the application
+//! name, 2) the hardware kernel, 3) the FPGA threshold, 4) the ARM
+//! threshold — exactly the columns of the paper's Table 2.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xar_desim::{ClusterConfig, JobSpec};
+
+/// One row of the threshold table (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdEntry {
+    /// Application name.
+    pub app: String,
+    /// Hardware kernel name.
+    pub kernel: String,
+    /// x86 CPU load (process count) above which FPGA migration wins.
+    pub fpga_thr: u32,
+    /// x86 CPU load above which ARM migration wins.
+    pub arm_thr: u32,
+}
+
+/// The threshold table shared by the scheduler server and clients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThresholdTable {
+    entries: BTreeMap<String, ThresholdEntry>,
+}
+
+impl ThresholdTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&mut self, e: ThresholdEntry) {
+        self.entries.insert(e.app.clone(), e);
+    }
+
+    /// Looks up an application's entry.
+    pub fn get(&self, app: &str) -> Option<&ThresholdEntry> {
+        self.entries.get(app)
+    }
+
+    /// Mutable lookup (Algorithm 1 updates thresholds in place).
+    pub fn get_mut(&mut self, app: &str) -> Option<&mut ThresholdEntry> {
+        self.entries.get_mut(app)
+    }
+
+    /// Iterates entries in application order.
+    pub fn iter(&self) -> impl Iterator<Item = &ThresholdEntry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to the on-disk text format:
+    ///
+    /// ```text
+    /// # app kernel fpga_thr arm_thr
+    /// CG-A KNL_HW_CG_A 30 24
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("# app kernel fpga_thr arm_thr\n");
+        for e in self.entries.values() {
+            s.push_str(&format!("{} {} {} {}\n", e.app, e.kernel, e.fpga_thr, e.arm_thr));
+        }
+        s
+    }
+
+    /// Parses the text format produced by [`ThresholdTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed line.
+    pub fn from_text(text: &str) -> Result<ThresholdTable, ParseError> {
+        let mut table = ThresholdTable::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let bad = || ParseError { line: lineno + 1 };
+            let app = parts.next().ok_or_else(bad)?.to_string();
+            let kernel = parts.next().ok_or_else(bad)?.to_string();
+            let fpga_thr = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let arm_thr = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            table.insert(ThresholdEntry { app, kernel, fpga_thr, arm_thr });
+        }
+        Ok(table)
+    }
+}
+
+/// A malformed threshold-table line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed threshold table at line {}", self.line)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The two migration-scenario measurements the estimator compares
+/// against (paper: "the total execution time of each application, in
+/// isolation, is measured in two migration scenarios").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioTimes {
+    /// Vanilla x86 time, ms.
+    pub x86_ms: f64,
+    /// x86-to-FPGA time, ms (kernel already resident — XCLBINs are
+    /// downloaded at step F, before estimation).
+    pub fpga_ms: f64,
+    /// x86-to-ARM time, ms.
+    pub arm_ms: f64,
+}
+
+/// Computes the isolated scenario times for a job under a cluster
+/// configuration, using the same cost composition as the simulator.
+pub fn scenario_times(spec: &JobSpec, cfg: &ClusterConfig) -> ScenarioTimes {
+    let pcie = xar_hls::PcieLink::gen3x16();
+    let rtt = cfg.sched_rtt_ms;
+    let x86_ms = spec.pre_ms + spec.post_ms + spec.func_x86_ms + rtt;
+    let fpga_ms = spec.pre_ms
+        + spec.post_ms
+        + rtt
+        + (pcie.transfer_ns(spec.in_bytes) + pcie.transfer_ns(spec.out_bytes)) / 1e6
+        + spec.fpga_setup_ms
+        + spec.fpga_kernel_ms;
+    let arm_ms = spec.pre_ms
+        + spec.post_ms
+        + rtt
+        + cfg.state_xform_ms
+        + (cfg.eth_ns(spec.state_bytes.max(4096)) + cfg.eth_ns(spec.out_bytes.max(4096))) / 1e6
+        + spec.func_arm_ms;
+    ScenarioTimes { x86_ms, fpga_ms, arm_ms }
+}
+
+/// Estimates an application's thresholds: increases the x86 CPU load
+/// until the x86 execution time exceeds each migration scenario's time.
+/// Under processor sharing, time at load `L` (processes, including the
+/// application itself) is `x86_ms * max(1, L / cores)`.
+pub fn estimate_thresholds(spec: &JobSpec, cfg: &ClusterConfig) -> ThresholdEntry {
+    let t = scenario_times(spec, cfg);
+    let cores = cfg.x86_cores as f64;
+    let time_at = |l: u32| t.x86_ms * (l as f64 / cores).max(1.0);
+    let find = |target: f64| -> u32 {
+        if time_at(1) > target {
+            return 0;
+        }
+        let mut l = 1u32;
+        while time_at(l) <= target && l < 100_000 {
+            l += 1;
+        }
+        l.saturating_sub(1)
+    };
+    ThresholdEntry {
+        app: spec.name.clone(),
+        kernel: spec.kernel.clone(),
+        fpga_thr: find(t.fpga_ms),
+        arm_thr: find(t.arm_ms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_workloads::all_profiles;
+
+    #[test]
+    fn table2_shape_reproduced() {
+        // Paper Table 2: (app, fpga_thr, arm_thr).
+        let paper = [
+            ("CG-A", 31u32, 25u32),
+            ("FaceDet320", 16, 31),
+            ("FaceDet640", 0, 23),
+            ("Digit500", 0, 18),
+            ("Digit2000", 0, 17),
+        ];
+        let cfg = ClusterConfig::default();
+        for (p, (name, fpga, arm)) in all_profiles().iter().zip(paper) {
+            let e = estimate_thresholds(&p.job(), &cfg);
+            assert_eq!(e.app, name);
+            // Zero-threshold rows must be exactly zero (FPGA faster at
+            // any load).
+            if fpga == 0 {
+                assert_eq!(e.fpga_thr, 0, "{name}");
+            } else {
+                // Non-zero thresholds within a reasonable band of the
+                // paper's measured values (shape, not absolutes).
+                assert!(
+                    e.fpga_thr >= fpga / 2 && e.fpga_thr <= fpga * 2,
+                    "{name}: fpga_thr {} vs paper {fpga}",
+                    e.fpga_thr
+                );
+            }
+            assert!(
+                e.arm_thr >= arm / 2 && e.arm_thr <= arm * 2,
+                "{name}: arm_thr {} vs paper {arm}",
+                e.arm_thr
+            );
+        }
+        // Relative ordering: CG-A is the only app whose ARM threshold is
+        // below its FPGA threshold (ARM beats FPGA only for CG).
+        let cg = estimate_thresholds(&all_profiles()[0].job(), &cfg);
+        assert!(cg.arm_thr < cg.fpga_thr);
+        let fd = estimate_thresholds(&all_profiles()[1].job(), &cfg);
+        assert!(fd.arm_thr > fd.fpga_thr);
+    }
+
+    #[test]
+    fn text_format_roundtrip() {
+        let cfg = ClusterConfig::default();
+        let mut table = ThresholdTable::new();
+        for p in all_profiles() {
+            table.insert(estimate_thresholds(&p.job(), &cfg));
+        }
+        let text = table.to_text();
+        let back = ThresholdTable::from_text(&text).unwrap();
+        assert_eq!(back, table);
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ThresholdTable::from_text("a b c\n").is_err());
+        assert!(ThresholdTable::from_text("a b 1 notanum\n").is_err());
+        assert!(ThresholdTable::from_text("a b 1 2 extra\n").is_err());
+        // Comments and blanks are fine.
+        let t = ThresholdTable::from_text("# hi\n\nx k 1 2\n").unwrap();
+        assert_eq!(t.get("x").unwrap().fpga_thr, 1);
+    }
+
+    #[test]
+    fn bfs_never_profitable_on_fpga() {
+        // §4.4: "Xar-Trek's threshold estimation algorithm will likely
+        // not find a reasonable CPU load that would justify migrating
+        // to the FPGA."
+        let cfg = ClusterConfig::default();
+        for nodes in [1_000, 3_000, 5_000] {
+            let e = estimate_thresholds(&xar_workloads::bfs_profile(nodes).job(), &cfg);
+            assert!(
+                e.fpga_thr > 60,
+                "BFS {nodes}: threshold {} should exceed any plausible load",
+                e.fpga_thr
+            );
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! The cluster simulator: x86 host + ARM server + FPGA card + policy.
+//!
+//! Reproduces the paper's run-time behaviour end to end: applications
+//! launch on the x86 host, an instrumentation hook may pre-configure the
+//! FPGA, and before every selected-function call the policy (scheduler
+//! server) picks a target. x86/ARM execution contends under processor
+//! sharing; ARM migration pays state transformation plus an Ethernet
+//! round trip; FPGA execution pays PCIe transfers and queues on the
+//! device; reconfigurations overlap CPU execution (Algorithm 2).
+
+use crate::machine::{JobId, PsMachine};
+use crate::policy::{CompletionReport, DecideCtx, Decision, Policy, Target};
+use crate::workload::{Arrival, JobSpec};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use xar_hls::{FpgaDevice, Xclbin};
+
+/// Cluster configuration (defaults to the paper's testbed).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// x86 host cores (Xeon Bronze 3104: 6).
+    pub x86_cores: u32,
+    /// ARM server cores (ThunderX: 96).
+    pub arm_cores: u32,
+    /// Ethernet bandwidth in bytes/ns (1 Gbps = 0.125).
+    pub eth_bytes_per_ns: f64,
+    /// Ethernet per-message latency in ns.
+    pub eth_latency_ns: f64,
+    /// Cross-ISA state transformation cost per migration, ms.
+    pub state_xform_ms: f64,
+    /// Scheduler client↔server round trip, ms (localhost sockets).
+    pub sched_rtt_ms: f64,
+    /// Serialize migration transfers on the shared Ethernet link
+    /// (true models the paper's shared 1 Gbps channel; false gives each
+    /// transfer a private link — an ablation knob).
+    pub serialize_ethernet: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            x86_cores: 6,
+            arm_cores: 96,
+            eth_bytes_per_ns: 0.125,
+            eth_latency_ns: 50_000.0,
+            state_xform_ms: 0.4,
+            sched_rtt_ms: 0.2,
+            serialize_ethernet: true,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Ethernet transfer time for `bytes`, ns.
+    pub fn eth_ns(&self, bytes: u64) -> f64 {
+        self.eth_latency_ns + bytes as f64 / self.eth_bytes_per_ns
+    }
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Arrival time, ns.
+    pub arrival_ns: f64,
+    /// Completion time, ns.
+    pub end_ns: f64,
+    /// Selected-function calls completed (throughput metric).
+    pub calls_completed: u32,
+    /// Calls executed on x86.
+    pub x86_calls: u32,
+    /// Calls executed on ARM.
+    pub arm_calls: u32,
+    /// Calls executed on the FPGA.
+    pub fpga_calls: u32,
+}
+
+impl JobRecord {
+    /// Wall-clock execution time, ms.
+    pub fn elapsed_ms(&self) -> f64 {
+        (self.end_ns - self.arrival_ns) / 1e6
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completed (non-background) jobs, in completion order.
+    pub records: Vec<JobRecord>,
+    /// FPGA device statistics.
+    pub fpga_stats: xar_hls::device::DeviceStats,
+    /// Simulation end time, ns.
+    pub end_ns: f64,
+}
+
+impl SimResult {
+    /// Mean execution time of completed jobs, ms.
+    pub fn mean_exec_ms(&self) -> f64 {
+        crate::stats::mean(self.records.iter().map(|r| r.elapsed_ms()))
+    }
+
+    /// Total calls completed across jobs (throughput numerator).
+    pub fn total_calls(&self) -> u64 {
+        self.records.iter().map(|r| r.calls_completed as u64).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MKind {
+    X86,
+    Arm,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    ArmOutDone,
+    ArmBackDone,
+    FpgaDone,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival(usize),
+    MachineDone { m: MKind, gen: u64 },
+    Timer { job: JobId, kind: TimerKind },
+}
+
+struct EvEntry {
+    t: f64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for EvEntry {
+    fn eq(&self, o: &Self) -> bool {
+        self.t == o.t && self.seq == o.seq
+    }
+}
+impl Eq for EvEntry {}
+impl PartialOrd for EvEntry {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for EvEntry {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Reverse for min-heap.
+        o.t.partial_cmp(&self.t)
+            .unwrap()
+            .then_with(|| o.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    PreX86,
+    PerCallPre,
+    FuncX86,
+    ArmRun,
+    PostX86,
+}
+
+struct Job {
+    spec: JobSpec,
+    arrival_ns: f64,
+    phase: Phase,
+    calls_done: u32,
+    call_start_ns: f64,
+    x86_calls: u32,
+    arm_calls: u32,
+    fpga_calls: u32,
+    fpga_called: bool,
+    deadline_ns: Option<f64>,
+    background: bool,
+}
+
+/// The simulator. Owns the machines, the FPGA, and the policy.
+pub struct ClusterSim<P: Policy> {
+    cfg: ClusterConfig,
+    policy: P,
+    fpga: FpgaDevice,
+    xclbin_for_kernel: HashMap<String, Xclbin>,
+    x86: PsMachine,
+    arm: PsMachine,
+    heap: BinaryHeap<EvEntry>,
+    seq: u64,
+    jobs: HashMap<JobId, Job>,
+    next_job: u64,
+    now: f64,
+    /// The shared Ethernet link is busy until this time (migration
+    /// state transfers serialize on the 1 Gbps link, §3.1: "since this
+    /// channel is shared among all the running processes").
+    eth_busy_until: f64,
+    real_remaining: usize,
+    records: Vec<JobRecord>,
+}
+
+impl<P: Policy> ClusterSim<P> {
+    /// Creates a simulator with the paper's FPGA (Alveo U50) and the
+    /// given policy.
+    pub fn new(cfg: ClusterConfig, policy: P) -> Self {
+        Self::with_fpga(cfg, policy, FpgaDevice::alveo_u50())
+    }
+
+    /// Creates a simulator with a custom FPGA device.
+    pub fn with_fpga(cfg: ClusterConfig, policy: P, fpga: FpgaDevice) -> Self {
+        let x86 = PsMachine::new("x86", cfg.x86_cores);
+        let arm = PsMachine::new("arm", cfg.arm_cores);
+        ClusterSim {
+            cfg,
+            policy,
+            fpga,
+            xclbin_for_kernel: HashMap::new(),
+            x86,
+            arm,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            jobs: HashMap::new(),
+            next_job: 0,
+            now: 0.0,
+            eth_busy_until: 0.0,
+            real_remaining: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Registers an XCLBIN; all kernels it contains become loadable.
+    pub fn register_xclbin(&mut self, xclbin: Xclbin) {
+        for k in &xclbin.kernels {
+            self.xclbin_for_kernel.insert(k.clone(), xclbin.clone());
+        }
+    }
+
+    /// Registers an XCLBIN and loads it before time zero, modelling the
+    /// step-F download that precedes the experiments ("The XCLBIN(s)
+    /// are then downloaded to the FPGA platform", §3.1).
+    pub fn preload_xclbin(&mut self, xclbin: Xclbin) {
+        self.register_xclbin(xclbin.clone());
+        self.fpga.preload(xclbin);
+    }
+
+    /// The policy (e.g. to read its learned thresholds after a run).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    fn push(&mut self, t: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(EvEntry { t, seq: self.seq, ev });
+    }
+
+    fn schedule_machine(&mut self, m: MKind) {
+        let mach = match m {
+            MKind::X86 => &self.x86,
+            MKind::Arm => &self.arm,
+        };
+        if let Some((_, t)) = mach.next_completion() {
+            let gen = mach.generation();
+            self.push(t.max(self.now), Ev::MachineDone { m, gen });
+        }
+    }
+
+    fn machine_add(&mut self, m: MKind, id: JobId, work_ms: f64) {
+        let now = self.now;
+        match m {
+            MKind::X86 => self.x86.add(id, work_ms, now),
+            MKind::Arm => self.arm.add(id, work_ms, now),
+        }
+        self.schedule_machine(m);
+    }
+
+    fn ctx<'a>(&self, spec: &'a JobSpec, include_self: bool) -> DecideCtx<'a> {
+        DecideCtx {
+            app: &spec.name,
+            kernel: &spec.kernel,
+            x86_load: self.x86.load() + usize::from(include_self),
+            arm_load: self.arm.load(),
+            kernel_resident: !spec.kernel.is_empty() && self.fpga.kernel_resident(&spec.kernel),
+            device_ready: self.now >= self.fpga.busy_until_ns() - 1e-9,
+            now_ns: self.now,
+        }
+    }
+
+    /// Queues a transfer of `bytes` on the shared Ethernet link, ready
+    /// to start at `ready_ns`; returns the completion time.
+    fn eth_transfer(&mut self, bytes: u64, ready_ns: f64) -> f64 {
+        if !self.cfg.serialize_ethernet {
+            return ready_ns + self.cfg.eth_ns(bytes);
+        }
+        let start = ready_ns.max(self.eth_busy_until);
+        let end = start + self.cfg.eth_ns(bytes);
+        self.eth_busy_until = end;
+        end
+    }
+
+    fn maybe_reconfigure(&mut self, kernel: &str) {
+        if kernel.is_empty() {
+            return;
+        }
+        if self.fpga.kernel_resident(kernel) {
+            return;
+        }
+        if let Some(x) = self.xclbin_for_kernel.get(kernel) {
+            self.fpga.reconfigure(x.clone(), self.now);
+        }
+    }
+
+    /// Runs the simulation until every non-background arrival has
+    /// completed (or the heap drains). Returns all records.
+    pub fn run(&mut self, arrivals: Vec<Arrival>) -> SimResult {
+        let specs: Vec<Arrival> = arrivals;
+        self.real_remaining = specs
+            .iter()
+            .filter(|a| a.spec.has_selected_function() || !is_background(&a.spec))
+            .count();
+        for (i, a) in specs.iter().enumerate() {
+            self.push(a.at_ns, Ev::Arrival(i));
+        }
+        while let Some(EvEntry { t, ev, .. }) = self.heap.pop() {
+            self.now = self.now.max(t);
+            match ev {
+                Ev::Arrival(i) => self.on_arrival(&specs[i]),
+                Ev::MachineDone { m, gen } => self.on_machine_done(m, gen),
+                Ev::Timer { job, kind } => self.on_timer(job, kind),
+            }
+            if self.real_remaining == 0 {
+                break;
+            }
+        }
+        SimResult {
+            records: std::mem::take(&mut self.records),
+            fpga_stats: self.fpga.stats(),
+            end_ns: self.now,
+        }
+    }
+
+    fn on_arrival(&mut self, a: &Arrival) {
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        let background = is_background(&a.spec);
+        let job = Job {
+            spec: a.spec.clone(),
+            arrival_ns: self.now,
+            phase: Phase::PreX86,
+            calls_done: 0,
+            call_start_ns: 0.0,
+            x86_calls: 0,
+            arm_calls: 0,
+            fpga_calls: 0,
+            fpga_called: false,
+            deadline_ns: a.spec.deadline_ms.map(|d| self.now + d * 1e6),
+            background,
+        };
+        // Instrumentation hook at main() start: early FPGA configuration.
+        if job.spec.has_selected_function() {
+            let ctx = self.ctx(&a.spec, true);
+            if self.policy.on_launch(&ctx) {
+                let kernel = a.spec.kernel.clone();
+                self.maybe_reconfigure(&kernel);
+            }
+        }
+        let pre = job.spec.pre_ms;
+        self.jobs.insert(id, job);
+        self.machine_add(MKind::X86, id, pre);
+    }
+
+    fn on_machine_done(&mut self, m: MKind, gen: u64) {
+        let mach = match m {
+            MKind::X86 => &mut self.x86,
+            MKind::Arm => &mut self.arm,
+        };
+        if mach.generation() != gen {
+            return; // stale event
+        }
+        mach.advance(self.now);
+        // Collect finished jobs (remaining ≈ 0).
+        let finished: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(id, j)| {
+                on_machine(j.phase, m)
+                    && mach_of(&self.x86, &self.arm, m).remaining(**id).is_some_and(|w| w <= 1e-9)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if finished.is_empty() {
+            // Numerical slack: reschedule.
+            self.schedule_machine(m);
+            return;
+        }
+        for id in finished {
+            match m {
+                MKind::X86 => self.x86.remove(id, self.now),
+                MKind::Arm => self.arm.remove(id, self.now),
+            };
+            self.job_phase_done(id, m);
+        }
+        self.schedule_machine(m);
+    }
+
+    fn job_phase_done(&mut self, id: JobId, m: MKind) {
+        let phase = self.jobs[&id].phase;
+        match (phase, m) {
+            (Phase::PreX86, MKind::X86) => {
+                if self.jobs[&id].spec.has_selected_function() {
+                    self.start_call(id);
+                } else {
+                    self.finish(id);
+                }
+            }
+            (Phase::PerCallPre, MKind::X86) => self.do_decision(id),
+            (Phase::FuncX86, MKind::X86) => self.call_returned(id, Target::X86),
+            (Phase::ArmRun, MKind::Arm) => {
+                // Transfer results back over the shared Ethernet link.
+                let done = self.eth_transfer(self.jobs[&id].spec.out_bytes.max(4096), self.now);
+                self.push(done, Ev::Timer { job: id, kind: TimerKind::ArmBackDone });
+            }
+            (Phase::PostX86, MKind::X86) => self.finish(id),
+            other => unreachable!("phase/machine mismatch: {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, id: JobId, kind: TimerKind) {
+        match kind {
+            TimerKind::ArmOutDone => {
+                let work = self.jobs[&id].spec.func_arm_ms;
+                self.jobs.get_mut(&id).unwrap().phase = Phase::ArmRun;
+                self.machine_add(MKind::Arm, id, work);
+            }
+            TimerKind::ArmBackDone => self.call_returned(id, Target::Arm),
+            TimerKind::FpgaDone => self.call_returned(id, Target::Fpga),
+        }
+    }
+
+    fn start_call(&mut self, id: JobId) {
+        // Deadline check before issuing another call.
+        let j = &self.jobs[&id];
+        if let Some(d) = j.deadline_ns {
+            if self.now >= d {
+                self.enter_post(id);
+                return;
+            }
+        }
+        let per_call = j.spec.per_call_pre_ms;
+        if per_call > 0.0 {
+            self.jobs.get_mut(&id).unwrap().phase = Phase::PerCallPre;
+            self.machine_add(MKind::X86, id, per_call);
+        } else {
+            self.do_decision(id);
+        }
+    }
+
+    fn do_decision(&mut self, id: JobId) {
+        let spec = self.jobs[&id].spec.clone();
+        let ctx = self.ctx(&spec, true);
+        let decision: Decision = self.policy.decide(&ctx);
+        if decision.reconfigure {
+            self.maybe_reconfigure(&spec.kernel);
+        }
+        let rtt_ns = self.cfg.sched_rtt_ms * 1e6;
+        self.jobs.get_mut(&id).unwrap().call_start_ns = self.now;
+        match decision.target {
+            Target::X86 => {
+                self.jobs.get_mut(&id).unwrap().phase = Phase::FuncX86;
+                let work = spec.func_x86_ms + self.cfg.sched_rtt_ms;
+                self.machine_add(MKind::X86, id, work);
+            }
+            Target::Arm => {
+                // State transformation, then the (shared) Ethernet out.
+                let ready = self.now + rtt_ns + self.cfg.state_xform_ms * 1e6;
+                let done = self.eth_transfer(spec.state_bytes.max(4096), ready);
+                self.push(done, Ev::Timer { job: id, kind: TimerKind::ArmOutDone });
+            }
+            Target::Fpga => {
+                let first = !self.jobs[&id].fpga_called;
+                self.jobs.get_mut(&id).unwrap().fpga_called = true;
+                let compute_ms =
+                    spec.fpga_kernel_ms + if first { spec.fpga_setup_ms } else { 0.0 };
+                let run = self.fpga.invoke(
+                    &spec.kernel,
+                    self.now + rtt_ns,
+                    spec.in_bytes,
+                    spec.out_bytes,
+                    compute_ms * 1e6,
+                );
+                match run {
+                    Some(r) => {
+                        self.push(r.end_ns, Ev::Timer { job: id, kind: TimerKind::FpgaDone });
+                    }
+                    None => {
+                        // Kernel not resident: policy bug or race with
+                        // reconfiguration — fall back to x86 like the
+                        // real client would.
+                        self.jobs.get_mut(&id).unwrap().phase = Phase::FuncX86;
+                        let work = spec.func_x86_ms + self.cfg.sched_rtt_ms;
+                        self.machine_add(MKind::X86, id, work);
+                    }
+                }
+            }
+        }
+    }
+
+    fn call_returned(&mut self, id: JobId, target: Target) {
+        let func_ms = (self.now - self.jobs[&id].call_start_ns) / 1e6;
+        {
+            let j = self.jobs.get_mut(&id).unwrap();
+            j.calls_done += 1;
+            match target {
+                Target::X86 => j.x86_calls += 1,
+                Target::Arm => j.arm_calls += 1,
+                Target::Fpga => j.fpga_calls += 1,
+            }
+        }
+        // Scheduler-client report (Algorithm 1 input).
+        let spec_name = self.jobs[&id].spec.name.clone();
+        let report = CompletionReport {
+            app: &spec_name,
+            target,
+            func_ms,
+            x86_load: self.x86.load() + 1,
+        };
+        self.policy.on_complete(&report);
+
+        let j = &self.jobs[&id];
+        let more = j.calls_done < j.spec.calls
+            && j.deadline_ns.is_none_or(|d| self.now < d);
+        if more {
+            self.start_call(id);
+        } else {
+            self.enter_post(id);
+        }
+    }
+
+    fn enter_post(&mut self, id: JobId) {
+        let post = self.jobs[&id].spec.post_ms;
+        self.jobs.get_mut(&id).unwrap().phase = Phase::PostX86;
+        self.machine_add(MKind::X86, id, post);
+    }
+
+    fn finish(&mut self, id: JobId) {
+        let j = self.jobs.remove(&id).unwrap();
+        if !j.background {
+            self.real_remaining = self.real_remaining.saturating_sub(1);
+            self.records.push(JobRecord {
+                name: j.spec.name,
+                arrival_ns: j.arrival_ns,
+                end_ns: self.now,
+                calls_completed: j.calls_done,
+                x86_calls: j.x86_calls,
+                arm_calls: j.arm_calls,
+                fpga_calls: j.fpga_calls,
+            });
+        }
+    }
+}
+
+fn is_background(spec: &JobSpec) -> bool {
+    spec.background
+}
+
+fn on_machine(phase: Phase, m: MKind) -> bool {
+    matches!(
+        (phase, m),
+        (Phase::PreX86, MKind::X86)
+            | (Phase::PerCallPre, MKind::X86)
+            | (Phase::FuncX86, MKind::X86)
+            | (Phase::PostX86, MKind::X86)
+            | (Phase::ArmRun, MKind::Arm)
+    )
+}
+
+fn mach_of<'a>(x86: &'a PsMachine, arm: &'a PsMachine, m: MKind) -> &'a PsMachine {
+    match m {
+        MKind::X86 => x86,
+        MKind::Arm => arm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlwaysArm, AlwaysFpga, AlwaysX86};
+    use crate::workload::batch_arrivals;
+    use xar_hls::kernel::{compile_kernel, KOp, Kernel, KernelArg, LoopNest, TripCount};
+    use xar_hls::partition_ffd;
+    use xar_hls::Platform;
+
+    fn test_spec() -> JobSpec {
+        JobSpec {
+            name: "T".into(),
+            kernel: "KNL_T".into(),
+            pre_ms: 10.0,
+            post_ms: 5.0,
+            per_call_pre_ms: 0.0,
+            func_x86_ms: 100.0,
+            func_arm_ms: 300.0,
+            fpga_kernel_ms: 40.0,
+            fpga_setup_ms: 0.0,
+            in_bytes: 1 << 20,
+            out_bytes: 1 << 10,
+            state_bytes: 1 << 20,
+            calls: 1,
+            deadline_ms: None,
+            background: false,
+        }
+    }
+
+    fn test_xclbin() -> Xclbin {
+        let k = Kernel {
+            name: "KNL_T".into(),
+            args: vec![KernelArg::Scalar { name: "n".into() }],
+            body: LoopNest::leaf(TripCount::Arg(0), vec![(KOp::MulF, 1)]),
+            local_buffer_bytes: 0,
+        };
+        let xo = compile_kernel(&k).unwrap();
+        partition_ffd(&[xo], &Platform::alveo_u50(), "t").unwrap().remove(0)
+    }
+
+    #[test]
+    fn single_job_on_x86_takes_nominal_time() {
+        let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysX86);
+        let res = sim.run(batch_arrivals(&[test_spec()]));
+        assert_eq!(res.records.len(), 1);
+        let t = res.records[0].elapsed_ms();
+        // 10 + 100 + 5 + rtt ≈ 115.2
+        assert!((t - 115.2).abs() < 1.0, "got {t}");
+        assert_eq!(res.records[0].x86_calls, 1);
+    }
+
+    #[test]
+    fn contention_slows_x86_jobs() {
+        let cfg = ClusterConfig::default(); // 6 cores
+        let specs: Vec<JobSpec> = (0..12).map(|_| test_spec()).collect();
+        let mut sim = ClusterSim::new(cfg, AlwaysX86);
+        let res = sim.run(batch_arrivals(&specs));
+        // 12 jobs on 6 cores → ~2x slowdown.
+        let t = res.mean_exec_ms();
+        assert!(t > 200.0, "expected ~230ms, got {t}");
+    }
+
+    #[test]
+    fn fpga_policy_uses_device_and_counts_calls() {
+        let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysFpga);
+        sim.register_xclbin(test_xclbin());
+        let res = sim.run(batch_arrivals(&[test_spec()]));
+        assert_eq!(res.records[0].fpga_calls, 1);
+        assert_eq!(res.fpga_stats.invocations, 1);
+        assert_eq!(res.fpga_stats.reconfigurations, 1);
+        // Includes reconfiguration wait (configured at launch, ~180ms),
+        // since the single call arrives right after pre_ms = 10ms.
+        let t = res.records[0].elapsed_ms();
+        assert!(t > 100.0, "reconfig not hidden for immediate call: {t}");
+    }
+
+    #[test]
+    fn arm_policy_pays_transfer_but_offloads() {
+        let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysArm);
+        let res = sim.run(batch_arrivals(&[test_spec()]));
+        assert_eq!(res.records[0].arm_calls, 1);
+        let t = res.records[0].elapsed_ms();
+        // 10 + (0.2 rtt + 0.4 xform + ~8.4 eth) + 300 + eth back + 5
+        assert!(t > 315.0 && t < 340.0, "got {t}");
+    }
+
+    #[test]
+    fn background_jobs_generate_persistent_load() {
+        let mut arrivals = batch_arrivals(&[test_spec()]);
+        for i in 0..18 {
+            arrivals.push(Arrival {
+                at_ns: 0.0,
+                spec: JobSpec::background(format!("bg{i}"), 1e7),
+            });
+        }
+        let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysX86);
+        let res = sim.run(arrivals);
+        assert_eq!(res.records.len(), 1, "background jobs excluded");
+        // 19 runnable on 6 cores → rate ≈ 6/19; 115ms work → ~364ms.
+        let t = res.records[0].elapsed_ms();
+        assert!(t > 300.0, "load must slow the app: {t}");
+    }
+
+    #[test]
+    fn throughput_mode_respects_deadline() {
+        let mut spec = test_spec();
+        spec.calls = 1000;
+        spec.per_call_pre_ms = 1.0;
+        spec.deadline_ms = Some(1_000.0); // 1s budget
+        let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysX86);
+        let res = sim.run(batch_arrivals(&[spec]));
+        let calls = res.records[0].calls_completed;
+        // ~(1000 - 10) / 101.2 ≈ 9 calls.
+        assert!((8..=11).contains(&calls), "got {calls}");
+    }
+}

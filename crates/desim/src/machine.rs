@@ -1,0 +1,189 @@
+//! Processor-sharing machine model.
+//!
+//! A compute-bound process set on a `C`-core time-sharing OS is well
+//! approximated by processor sharing: with `N` runnable jobs, each runs
+//! at rate `min(1, C/N)` of a dedicated core. This reproduces the load
+//! behaviour the paper builds on — execution time is flat while
+//! `#processes ≤ #cores` and degrades linearly beyond (Table 3's
+//! low/medium/high classes).
+
+use std::collections::HashMap;
+
+/// Identifies a job in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// A processor-sharing multi-core machine.
+///
+/// Work is measured in *milliseconds of dedicated-core time*; wall-clock
+/// progress depends on instantaneous load.
+#[derive(Debug, Clone)]
+pub struct PsMachine {
+    /// Human-readable name ("x86", "arm").
+    pub name: &'static str,
+    cores: f64,
+    jobs: HashMap<JobId, f64>,
+    last_ns: f64,
+    generation: u64,
+}
+
+impl PsMachine {
+    /// A machine with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(name: &'static str, cores: u32) -> PsMachine {
+        assert!(cores > 0);
+        PsMachine {
+            name,
+            cores: cores as f64,
+            jobs: HashMap::new(),
+            last_ns: 0.0,
+            generation: 0,
+        }
+    }
+
+    /// Number of runnable jobs (the paper's CPU-load metric).
+    pub fn load(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Core count.
+    pub fn cores(&self) -> u32 {
+        self.cores as u32
+    }
+
+    /// Current per-job progress rate (fraction of a dedicated core).
+    pub fn rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            (self.cores / self.jobs.len() as f64).min(1.0)
+        }
+    }
+
+    /// Monotone counter bumped on every membership change; used to
+    /// invalidate stale completion events.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances all jobs' remaining work to `now_ns`.
+    pub fn advance(&mut self, now_ns: f64) {
+        if now_ns <= self.last_ns {
+            return;
+        }
+        let progressed_ms = (now_ns - self.last_ns) / 1e6 * self.rate();
+        if progressed_ms > 0.0 {
+            for w in self.jobs.values_mut() {
+                *w = (*w - progressed_ms).max(0.0);
+            }
+        }
+        self.last_ns = now_ns;
+    }
+
+    /// Adds `work_ms` of dedicated-core work for `id` at `now_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is already present.
+    pub fn add(&mut self, id: JobId, work_ms: f64, now_ns: f64) {
+        self.advance(now_ns);
+        let prev = self.jobs.insert(id, work_ms.max(0.0));
+        assert!(prev.is_none(), "job {id:?} already on {}", self.name);
+        self.generation += 1;
+    }
+
+    /// Removes `id` (e.g. on completion or blocking), returning its
+    /// remaining work.
+    pub fn remove(&mut self, id: JobId, now_ns: f64) -> Option<f64> {
+        self.advance(now_ns);
+        let w = self.jobs.remove(&id);
+        if w.is_some() {
+            self.generation += 1;
+        }
+        w
+    }
+
+    /// Remaining dedicated-core work of `id`, if present.
+    pub fn remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).copied()
+    }
+
+    /// The next job to finish and its absolute completion time, given
+    /// the current membership, or `None` if idle.
+    pub fn next_completion(&self) -> Option<(JobId, f64)> {
+        let rate = self.rate();
+        if rate == 0.0 {
+            return None;
+        }
+        self.jobs
+            .iter()
+            .map(|(&id, &w)| (id, self.last_ns + w / rate * 1e6))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_jobs_run_at_full_rate() {
+        let mut m = PsMachine::new("x86", 6);
+        m.add(JobId(1), 100.0, 0.0);
+        m.add(JobId(2), 50.0, 0.0);
+        assert_eq!(m.rate(), 1.0);
+        let (id, t) = m.next_completion().unwrap();
+        assert_eq!(id, JobId(2));
+        assert!((t - 50e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn overload_slows_everyone() {
+        let mut m = PsMachine::new("x86", 2);
+        for i in 0..4 {
+            m.add(JobId(i), 100.0, 0.0);
+        }
+        assert_eq!(m.rate(), 0.5);
+        let (_, t) = m.next_completion().unwrap();
+        assert!((t - 200e6).abs() < 1.0, "100ms at rate 0.5 = 200ms wall");
+    }
+
+    #[test]
+    fn advance_accumulates_progress() {
+        let mut m = PsMachine::new("x86", 1);
+        m.add(JobId(1), 100.0, 0.0);
+        m.add(JobId(2), 100.0, 0.0); // rate 0.5
+        m.advance(100e6); // 100ms wall → 50ms progress each
+        assert!((m.remaining(JobId(1)).unwrap() - 50.0).abs() < 1e-6);
+        // Remove one: rate back to 1.0.
+        m.remove(JobId(2), 100e6);
+        let (_, t) = m.next_completion().unwrap();
+        assert!((t - 150e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_change() {
+        let mut m = PsMachine::new("x86", 1);
+        let g0 = m.generation();
+        m.add(JobId(1), 1.0, 0.0);
+        assert!(m.generation() > g0);
+        let g1 = m.generation();
+        m.advance(0.5e6);
+        assert_eq!(m.generation(), g1, "advance alone must not invalidate");
+        m.remove(JobId(1), 0.5e6);
+        assert!(m.generation() > g1);
+    }
+
+    #[test]
+    fn removal_returns_remaining_work() {
+        let mut m = PsMachine::new("x86", 1);
+        m.add(JobId(7), 80.0, 0.0);
+        let w = m.remove(JobId(7), 30e6).unwrap();
+        assert!((w - 50.0).abs() < 1e-6);
+        assert_eq!(m.remove(JobId(7), 30e6), None);
+        assert_eq!(m.load(), 0);
+    }
+}

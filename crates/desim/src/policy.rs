@@ -1,0 +1,194 @@
+//! The scheduling-policy interface and the paper's baselines.
+//!
+//! Xar-Trek's scheduler server decides, before every selected-function
+//! call, where the function executes (paper Figure 2: flag 0 = x86,
+//! 1 = ARM, 2 = FPGA). The full heuristic policy (Algorithm 2) and the
+//! dynamic threshold update (Algorithm 1) live in `xar-core`; this
+//! module defines the interface the simulator drives and the three
+//! no-migration baselines the evaluation compares against
+//! ("Vanilla Linux/x86", "Vanilla Linux/FPGA", "Vanilla Linux/ARM").
+
+/// Where a selected function executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Stay on the x86 host (flag 0).
+    X86,
+    /// Software migration to the ARM server (flag 1).
+    Arm,
+    /// Hardware migration to the FPGA (flag 2).
+    Fpga,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Target::X86 => "x86",
+            Target::Arm => "arm",
+            Target::Fpga => "fpga",
+        })
+    }
+}
+
+/// Everything the scheduler server can observe when a client asks for a
+/// placement decision.
+#[derive(Debug, Clone)]
+pub struct DecideCtx<'a> {
+    /// Application (benchmark) name.
+    pub app: &'a str,
+    /// Hardware kernel name for the app's selected function (empty if
+    /// the app has no hardware implementation).
+    pub kernel: &'a str,
+    /// Number of runnable processes on the x86 host (Table 3's metric).
+    pub x86_load: usize,
+    /// Number of runnable processes on the ARM server.
+    pub arm_load: usize,
+    /// Whether the kernel is in the currently loaded XCLBIN.
+    pub kernel_resident: bool,
+    /// Whether the device is past any reconfiguration in flight.
+    pub device_ready: bool,
+    /// Simulation time.
+    pub now_ns: f64,
+}
+
+/// A placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Where this call executes.
+    pub target: Target,
+    /// Whether to start reconfiguring the FPGA with this app's XCLBIN
+    /// (Algorithm 2 lines 11 and 16 reconfigure while the call runs on
+    /// a CPU).
+    pub reconfigure: bool,
+}
+
+impl Decision {
+    /// A plain decision without reconfiguration.
+    pub fn to(target: Target) -> Decision {
+        Decision { target, reconfigure: false }
+    }
+}
+
+/// What the scheduler client reports after a call returns (the input to
+/// Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct CompletionReport<'a> {
+    /// Application name.
+    pub app: &'a str,
+    /// Where the call ran.
+    pub target: Target,
+    /// Host-observed function time in milliseconds (includes transfer
+    /// overheads — the paper measures "in locus").
+    pub func_ms: f64,
+    /// x86 load observed at return.
+    pub x86_load: usize,
+}
+
+/// A scheduling policy (the scheduler server).
+pub trait Policy {
+    /// Called when an application launches; may request an early FPGA
+    /// configuration (the instrumentation inserts this call at the start
+    /// of `main`, paper §3.1).
+    fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
+        let _ = ctx;
+        false
+    }
+
+    /// Decides where the next selected-function call executes.
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision;
+
+    /// Observes a completed call (scheduler-client report).
+    fn on_complete(&mut self, report: &CompletionReport<'_>) {
+        let _ = report;
+    }
+
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Baseline: everything on x86 ("Vanilla Linux/x86").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysX86;
+
+impl Policy for AlwaysX86 {
+    fn decide(&mut self, _ctx: &DecideCtx<'_>) -> Decision {
+        Decision::to(Target::X86)
+    }
+
+    fn name(&self) -> &str {
+        "vanilla-x86"
+    }
+}
+
+/// Baseline: the traditional acceleration model — the selected function
+/// always runs on the FPGA ("Vanilla Linux/FPGA"). Configures at the
+/// first call rather than at launch; hiding configuration behind
+/// application startup is Xar-Trek's improvement (§4.2).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysFpga;
+
+impl Policy for AlwaysFpga {
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
+        if ctx.kernel.is_empty() {
+            // No hardware implementation exists; x86 is the only option.
+            Decision::to(Target::X86)
+        } else if ctx.kernel_resident {
+            Decision::to(Target::Fpga)
+        } else {
+            Decision { target: Target::Fpga, reconfigure: true }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vanilla-fpga"
+    }
+}
+
+/// Baseline: the selected function always runs on the ARM server
+/// ("Vanilla Linux/ARM").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AlwaysArm;
+
+impl Policy for AlwaysArm {
+    fn decide(&mut self, _ctx: &DecideCtx<'_>) -> Decision {
+        Decision::to(Target::Arm)
+    }
+
+    fn name(&self) -> &str {
+        "vanilla-arm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(kernel: &'a str, resident: bool) -> DecideCtx<'a> {
+        DecideCtx {
+            app: "t",
+            kernel,
+            x86_load: 1,
+            arm_load: 0,
+            kernel_resident: resident,
+            device_ready: true,
+            now_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn baselines_are_constant() {
+        assert_eq!(AlwaysX86.decide(&ctx("k", true)).target, Target::X86);
+        assert_eq!(AlwaysArm.decide(&ctx("k", true)).target, Target::Arm);
+        let mut f = AlwaysFpga;
+        assert_eq!(f.decide(&ctx("k", true)).target, Target::Fpga);
+        assert!(f.decide(&ctx("k", false)).reconfigure);
+        // Apps with no kernel fall back to x86 under always-FPGA.
+        assert_eq!(f.decide(&ctx("", false)).target, Target::X86);
+    }
+
+    #[test]
+    fn always_fpga_configures_at_first_call_not_launch() {
+        let mut f = AlwaysFpga;
+        assert!(!f.on_launch(&ctx("k", false)), "traditional model");
+        assert!(f.decide(&ctx("k", false)).reconfigure);
+    }
+}

@@ -1,0 +1,145 @@
+//! Job specifications and arrival patterns.
+//!
+//! A [`JobSpec`] captures the simulator-facing description of one
+//! benchmark application: its x86-resident phases, the selected
+//! function's cost on each target, data/state sizes, and how many times
+//! the function is called per run. The `xar-workloads` crate produces
+//! these from its calibrated cost profiles.
+
+/// Simulator-facing description of one application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (e.g. `"FaceDet320"`).
+    pub name: String,
+    /// Hardware kernel name (e.g. `"KNL_HW_FD320"`); empty if the app
+    /// has no hardware implementation (e.g. the MG-B load generator).
+    pub kernel: String,
+    /// x86 work before the first selected-function call, ms.
+    pub pre_ms: f64,
+    /// x86 work after the last call, ms.
+    pub post_ms: f64,
+    /// x86 work between consecutive calls (e.g. reading the next image
+    /// in the multi-image face detector), ms.
+    pub per_call_pre_ms: f64,
+    /// Selected-function cost on a dedicated x86 core, ms.
+    pub func_x86_ms: f64,
+    /// Selected-function cost on a dedicated ARM core, ms.
+    pub func_arm_ms: f64,
+    /// Hardware-kernel compute time on the FPGA fabric per call, ms.
+    pub fpga_kernel_ms: f64,
+    /// One-time kernel setup on the first FPGA call of a run (buffer
+    /// allocation, command-queue creation — the initialization the
+    /// paper hides by configuring at `main` start), ms.
+    pub fpga_setup_ms: f64,
+    /// Bytes moved host→device per FPGA call.
+    pub in_bytes: u64,
+    /// Bytes moved device→host per FPGA call.
+    pub out_bytes: u64,
+    /// Thread state + working set shipped per software (ARM) migration,
+    /// bytes.
+    pub state_bytes: u64,
+    /// Number of selected-function calls per run (≥ 1; the throughput
+    /// experiments use 1000).
+    pub calls: u32,
+    /// Optional wall-clock deadline after which the app stops issuing
+    /// calls (the throughput experiments run for 60 s), ms.
+    pub deadline_ms: Option<f64>,
+    /// Whether this job is a load generator: excluded from the result
+    /// records and from simulation-termination accounting.
+    pub background: bool,
+}
+
+impl JobSpec {
+    /// A pure-CPU background job (the paper's NPB MG-B load generator):
+    /// `work_ms` of x86 work, no selected function.
+    pub fn background(name: impl Into<String>, work_ms: f64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            kernel: String::new(),
+            pre_ms: work_ms,
+            post_ms: 0.0,
+            per_call_pre_ms: 0.0,
+            func_x86_ms: 0.0,
+            func_arm_ms: 0.0,
+            fpga_kernel_ms: 0.0,
+            fpga_setup_ms: 0.0,
+            in_bytes: 0,
+            out_bytes: 0,
+            state_bytes: 0,
+            calls: 0,
+            deadline_ms: None,
+            background: true,
+        }
+    }
+
+    /// Whether this job ever consults the scheduler.
+    pub fn has_selected_function(&self) -> bool {
+        self.calls > 0
+    }
+
+    /// Single-run vanilla-x86 time on an idle machine, ms (used by the
+    /// threshold estimator as the no-migration reference).
+    pub fn vanilla_x86_ms(&self) -> f64 {
+        self.pre_ms
+            + self.post_ms
+            + self.calls as f64 * (self.per_call_pre_ms + self.func_x86_ms)
+    }
+}
+
+/// One job arrival.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Arrival time in nanoseconds.
+    pub at_ns: f64,
+    /// What arrives.
+    pub spec: JobSpec,
+}
+
+/// Builds a wave pattern: `waves` batches of `batch` copies of each spec
+/// in `specs` (cycled), one batch every `interval_s` seconds — the
+/// paper's periodic workload (§4.3: thirty sets of 20 applications with
+/// an interval of 30 seconds per set).
+pub fn wave_arrivals(specs: &[JobSpec], waves: usize, batch: usize, interval_s: f64) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    for w in 0..waves {
+        let t = crate::s_to_ns(interval_s) * w as f64;
+        for _ in 0..batch {
+            out.push(Arrival { at_ns: t, spec: specs[k % specs.len()].clone() });
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Builds a simultaneous batch at t=0 (the fixed-workload experiments).
+pub fn batch_arrivals(specs: &[JobSpec]) -> Vec<Arrival> {
+    specs
+        .iter()
+        .map(|s| Arrival { at_ns: 0.0, spec: s.clone() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_jobs_have_no_function() {
+        let b = JobSpec::background("MG-B", 4000.0);
+        assert!(!b.has_selected_function());
+        assert_eq!(b.vanilla_x86_ms(), 4000.0);
+    }
+
+    #[test]
+    fn wave_pattern_shape() {
+        let specs = vec![JobSpec::background("a", 1.0), JobSpec::background("b", 1.0)];
+        let arr = wave_arrivals(&specs, 3, 4, 30.0);
+        assert_eq!(arr.len(), 12);
+        assert_eq!(arr[0].at_ns, 0.0);
+        assert_eq!(arr[4].at_ns, 30e9);
+        assert_eq!(arr[11].at_ns, 60e9);
+        // Specs alternate.
+        assert_ne!(arr[0].spec.name, arr[1].spec.name);
+    }
+}

@@ -1,0 +1,450 @@
+//! Kernel IR and the HLS scheduler (the Vitis stand-in, paper step D).
+//!
+//! A [`Kernel`] describes a hardware candidate function as a nest of
+//! counted loops whose bodies are per-iteration operation mixes. The
+//! [`compile_kernel`] "HLS run" derives what Vitis would report:
+//!
+//! * a pipeline **initiation interval** (II) per innermost loop, bounded
+//!   by memory-port pressure and loop-carried dependences;
+//! * a **latency model** — cycles as a function of the kernel's scalar
+//!   arguments (trip counts may reference runtime arguments);
+//! * a **resource estimate** per operation unit, plus BRAM for local
+//!   buffering of buffer arguments.
+//!
+//! The model follows standard HLS cost modelling (see e.g. the Rosetta
+//! paper) rather than bit-accurate synthesis — the run-time scheduler
+//! only ever observes latency, transfer, and fit.
+
+use crate::Resources;
+use std::fmt;
+
+/// Direction of a kernel argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgDir {
+    /// Host → device.
+    In,
+    /// Device → host.
+    Out,
+    /// Both directions.
+    InOut,
+}
+
+/// A kernel interface argument.
+#[derive(Debug, Clone)]
+pub enum KernelArg {
+    /// A scalar passed by value (usable as a trip count).
+    Scalar {
+        /// Name for reports.
+        name: String,
+    },
+    /// A DRAM buffer moved over PCIe.
+    Buffer {
+        /// Name for reports.
+        name: String,
+        /// Direction.
+        dir: ArgDir,
+        /// Element size in bytes.
+        elem_bytes: u64,
+    },
+}
+
+impl KernelArg {
+    /// The argument's name.
+    pub fn name(&self) -> &str {
+        match self {
+            KernelArg::Scalar { name } | KernelArg::Buffer { name, .. } => name,
+        }
+    }
+}
+
+/// Operation classes with distinct hardware costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KOp {
+    /// Integer add/sub/logic.
+    AluI,
+    /// Integer multiply.
+    MulI,
+    /// Integer divide/modulo.
+    DivI,
+    /// FP add/sub.
+    AddF,
+    /// FP multiply.
+    MulF,
+    /// FP divide.
+    DivF,
+    /// Comparison / select.
+    Cmp,
+    /// On-chip memory read (BRAM port).
+    LoadMem,
+    /// On-chip memory write (BRAM port).
+    StoreMem,
+    /// Bit-level ops (popcount etc.) — cheap in fabric.
+    Bit,
+}
+
+impl KOp {
+    /// Combinational latency of one unit, in kernel-clock cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            KOp::AluI | KOp::Bit => 1,
+            KOp::Cmp => 1,
+            KOp::MulI => 3,
+            KOp::DivI => 16,
+            KOp::AddF => 4,
+            KOp::MulF => 4,
+            KOp::DivF => 14,
+            KOp::LoadMem | KOp::StoreMem => 2,
+        }
+    }
+
+    /// Resources of one fully-pipelined unit.
+    pub fn unit_resources(self) -> Resources {
+        match self {
+            KOp::AluI => Resources { lut: 64, ff: 64, dsp: 0, bram: 0, uram: 0 },
+            KOp::Bit => Resources { lut: 40, ff: 32, dsp: 0, bram: 0, uram: 0 },
+            KOp::Cmp => Resources { lut: 32, ff: 16, dsp: 0, bram: 0, uram: 0 },
+            KOp::MulI => Resources { lut: 96, ff: 128, dsp: 4, bram: 0, uram: 0 },
+            KOp::DivI => Resources { lut: 1_600, ff: 1_800, dsp: 0, bram: 0, uram: 0 },
+            KOp::AddF => Resources { lut: 400, ff: 600, dsp: 2, bram: 0, uram: 0 },
+            KOp::MulF => Resources { lut: 300, ff: 500, dsp: 3, bram: 0, uram: 0 },
+            KOp::DivF => Resources { lut: 3_000, ff: 3_600, dsp: 0, bram: 0, uram: 0 },
+            KOp::LoadMem | KOp::StoreMem => {
+                Resources { lut: 24, ff: 24, dsp: 0, bram: 0, uram: 0 }
+            }
+        }
+    }
+}
+
+/// A loop trip count: constant or taken from a scalar argument at
+/// invocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripCount {
+    /// Known at synthesis time.
+    Const(u64),
+    /// The value of the `i`-th kernel argument (must be a scalar).
+    Arg(usize),
+}
+
+impl TripCount {
+    fn eval(self, args: &[u64]) -> u64 {
+        match self {
+            TripCount::Const(c) => c,
+            TripCount::Arg(i) => args.get(i).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A counted loop with a per-iteration op mix and optional inner loops.
+///
+/// If `inner` is empty the loop is an innermost candidate for
+/// pipelining; otherwise its per-iteration cost is the sequential sum of
+/// its own ops plus the inner loops.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    /// Trip count.
+    pub trip: TripCount,
+    /// Per-iteration operations: `(op, count)`.
+    pub ops: Vec<(KOp, u64)>,
+    /// Nested loops executed each iteration.
+    pub inner: Vec<LoopNest>,
+    /// Whether HLS should pipeline this loop (innermost only).
+    pub pipelined: bool,
+}
+
+impl LoopNest {
+    /// An innermost pipelined loop.
+    pub fn leaf(trip: TripCount, ops: Vec<(KOp, u64)>) -> LoopNest {
+        LoopNest { trip, ops, inner: Vec::new(), pipelined: true }
+    }
+
+    /// An outer loop wrapping inner nests.
+    pub fn outer(trip: TripCount, inner: Vec<LoopNest>) -> LoopNest {
+        LoopNest { trip, ops: Vec::new(), inner, pipelined: false }
+    }
+}
+
+/// A hardware-candidate function.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (becomes the XO/XCLBIN kernel name, e.g.
+    /// `KNL_HW_FD320`).
+    pub name: String,
+    /// Interface arguments.
+    pub args: Vec<KernelArg>,
+    /// The computation.
+    pub body: LoopNest,
+    /// On-chip buffer bytes (local arrays; determines BRAM).
+    pub local_buffer_bytes: u64,
+}
+
+/// Errors from kernel compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HlsError {
+    /// A trip count referenced a non-scalar or out-of-range argument.
+    BadTripCount(String),
+    /// The kernel body contains no operations.
+    EmptyKernel(String),
+    /// A loop has zero operations and no inner loops.
+    EmptyLoop(String),
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::BadTripCount(k) => write!(f, "kernel {k}: invalid trip-count argument"),
+            HlsError::EmptyKernel(k) => write!(f, "kernel {k}: empty body"),
+            HlsError::EmptyLoop(k) => write!(f, "kernel {k}: loop with no ops or inner loops"),
+        }
+    }
+}
+
+impl std::error::Error for HlsError {}
+
+/// Memory ports available to an innermost pipeline (dual-port BRAM).
+const MEM_PORTS: u64 = 2;
+
+/// The synthesis result for one kernel.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Fabric resources of the compute unit.
+    pub resources: Resources,
+    /// Pipeline depth of the innermost loops (max), in cycles.
+    pub depth: u64,
+    /// Worst innermost initiation interval.
+    pub ii: u64,
+}
+
+/// A compiled kernel: the Xilinx Object (paper step D output).
+#[derive(Debug, Clone)]
+pub struct XoFile {
+    /// The kernel source description.
+    pub kernel: Kernel,
+    /// Synthesis results.
+    pub schedule: Schedule,
+    /// Modeled Vitis compile time in seconds (minutes-scale; motivates
+    /// the paper's precompiled-kernel design, cf. TornadoVM §6).
+    pub compile_time_s: f64,
+}
+
+impl XoFile {
+    /// Kernel latency in cycles for an invocation with the given scalar
+    /// argument values (`args[i]` is meaningful where the kernel's
+    /// `TripCount::Arg(i)` reference them; buffer args are ignored).
+    pub fn latency_cycles(&self, args: &[u64]) -> u64 {
+        loop_latency(&self.kernel.body, args)
+    }
+
+    /// Kernel latency in nanoseconds on `platform`.
+    pub fn latency_ns(&self, args: &[u64], kernel_clock_ghz: f64) -> f64 {
+        self.latency_cycles(args) as f64 / kernel_clock_ghz
+    }
+
+    /// Estimated contribution of this kernel to an XCLBIN's bitstream
+    /// size, in bytes (proportional to fabric usage).
+    pub fn bitstream_bytes(&self) -> u64 {
+        // ~96 configuration bits per LUT-equivalent cell.
+        let cells = self.schedule.resources.lut
+            + self.schedule.resources.ff / 2
+            + self.schedule.resources.dsp * 64
+            + self.schedule.resources.bram * 1024;
+        cells * 12
+    }
+}
+
+fn loop_latency(l: &LoopNest, args: &[u64]) -> u64 {
+    let trip = l.trip.eval(args);
+    if trip == 0 {
+        return 0;
+    }
+    if l.inner.is_empty() {
+        // Innermost: pipelined => depth + II*(trip-1); else trip * body.
+        // Depth models the dependence chain: one unit of each op class.
+        let depth: u64 = l.ops.iter().map(|(op, _)| op.latency()).sum::<u64>().max(1);
+        let mem_ops: u64 = l
+            .ops
+            .iter()
+            .filter(|(op, _)| matches!(op, KOp::LoadMem | KOp::StoreMem))
+            .map(|(_, n)| n)
+            .sum();
+        let ii = mem_ops.div_ceil(MEM_PORTS).max(1);
+        if l.pipelined {
+            depth + ii * (trip - 1)
+        } else {
+            let body: u64 = l.ops.iter().map(|(op, n)| op.latency() * n).sum();
+            trip * body.max(1)
+        }
+    } else {
+        let own: u64 = l.ops.iter().map(|(op, n)| op.latency() * n).sum();
+        let inner: u64 = l.inner.iter().map(|i| loop_latency(i, args)).sum();
+        trip * (own + inner + 2) // +2: loop entry/exit overhead
+    }
+}
+
+fn loop_resources(l: &LoopNest) -> Resources {
+    let mut r = Resources::ZERO;
+    for (op, n) in &l.ops {
+        let units = if l.pipelined && l.inner.is_empty() {
+            // Pipelined loops replicate units per parallel op.
+            *n
+        } else {
+            1
+        };
+        for _ in 0..units {
+            r += op.unit_resources();
+        }
+    }
+    for i in &l.inner {
+        r += loop_resources(i);
+    }
+    // Loop control.
+    r += Resources { lut: 150, ff: 200, dsp: 0, bram: 0, uram: 0 };
+    r
+}
+
+fn validate_trips(k: &Kernel, l: &LoopNest) -> Result<(), HlsError> {
+    if let TripCount::Arg(i) = l.trip {
+        match k.args.get(i) {
+            Some(KernelArg::Scalar { .. }) => {}
+            _ => return Err(HlsError::BadTripCount(k.name.clone())),
+        }
+    }
+    if l.ops.is_empty() && l.inner.is_empty() {
+        return Err(HlsError::EmptyLoop(k.name.clone()));
+    }
+    for i in &l.inner {
+        validate_trips(k, i)?;
+    }
+    Ok(())
+}
+
+/// Runs "HLS" on a kernel, producing its [`XoFile`].
+///
+/// # Errors
+///
+/// See [`HlsError`].
+pub fn compile_kernel(kernel: &Kernel) -> Result<XoFile, HlsError> {
+    if kernel.body.ops.is_empty() && kernel.body.inner.is_empty() {
+        return Err(HlsError::EmptyKernel(kernel.name.clone()));
+    }
+    validate_trips(kernel, &kernel.body)?;
+
+    let mut resources = loop_resources(&kernel.body);
+    // AXI/control interface per kernel.
+    resources += Resources { lut: 6_000, ff: 9_000, dsp: 0, bram: 8, uram: 0 };
+    // Local buffering: 36 Kb BRAMs.
+    resources.bram += (kernel.local_buffer_bytes * 8).div_ceil(36 * 1024);
+
+    // Depth/II summary over innermost loops.
+    fn innermost(l: &LoopNest, acc: &mut Vec<(u64, u64)>) {
+        if l.inner.is_empty() {
+            let depth: u64 = l.ops.iter().map(|(op, _)| op.latency()).sum::<u64>().max(1);
+            let mem: u64 = l
+                .ops
+                .iter()
+                .filter(|(op, _)| matches!(op, KOp::LoadMem | KOp::StoreMem))
+                .map(|(_, n)| n)
+                .sum();
+            acc.push((depth, mem.div_ceil(MEM_PORTS).max(1)));
+        } else {
+            for i in &l.inner {
+                innermost(i, acc);
+            }
+        }
+    }
+    let mut leaves = Vec::new();
+    innermost(&kernel.body, &mut leaves);
+    let depth = leaves.iter().map(|(d, _)| *d).max().unwrap_or(1);
+    let ii = leaves.iter().map(|(_, i)| *i).max().unwrap_or(1);
+
+    // Vitis compile times are minutes-scale and grow with design size.
+    let compile_time_s = 120.0 + resources.lut as f64 / 500.0;
+
+    Ok(XoFile {
+        kernel: kernel.clone(),
+        schedule: Schedule { resources, depth, ii },
+        compile_time_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac_kernel(name: &str, trip: TripCount) -> Kernel {
+        Kernel {
+            name: name.to_string(),
+            args: vec![
+                KernelArg::Scalar { name: "n".into() },
+                KernelArg::Buffer { name: "in".into(), dir: ArgDir::In, elem_bytes: 8 },
+                KernelArg::Buffer { name: "out".into(), dir: ArgDir::Out, elem_bytes: 8 },
+            ],
+            body: LoopNest::leaf(
+                trip,
+                vec![(KOp::LoadMem, 2), (KOp::MulF, 1), (KOp::AddF, 1), (KOp::StoreMem, 1)],
+            ),
+            local_buffer_bytes: 16 * 1024,
+        }
+    }
+
+    #[test]
+    fn pipelined_latency_scales_with_trip() {
+        let xo = compile_kernel(&mac_kernel("k", TripCount::Arg(0))).unwrap();
+        let l1 = xo.latency_cycles(&[1_000]);
+        let l2 = xo.latency_cycles(&[2_000]);
+        // II-dominated: doubling the trip roughly doubles latency.
+        assert!(l2 > l1 && l2 < l1 * 3);
+        // II = ceil(3 mem ops / 2 ports) = 2.
+        assert_eq!(xo.schedule.ii, 2);
+    }
+
+    #[test]
+    fn zero_trip_costs_nothing() {
+        let xo = compile_kernel(&mac_kernel("k", TripCount::Arg(0))).unwrap();
+        assert_eq!(xo.latency_cycles(&[0]), 0);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let k = Kernel {
+            name: "nest".into(),
+            args: vec![KernelArg::Scalar { name: "n".into() }],
+            body: LoopNest::outer(
+                TripCount::Const(10),
+                vec![LoopNest::leaf(TripCount::Arg(0), vec![(KOp::AluI, 1)])],
+            ),
+            local_buffer_bytes: 0,
+        };
+        let xo = compile_kernel(&k).unwrap();
+        let l = xo.latency_cycles(&[100]);
+        assert!(l >= 10 * 100, "outer trip multiplies inner latency: {l}");
+    }
+
+    #[test]
+    fn resources_include_interface_and_bram() {
+        let xo = compile_kernel(&mac_kernel("k", TripCount::Const(64))).unwrap();
+        let r = xo.schedule.resources;
+        assert!(r.lut > 6_000, "interface floor");
+        assert!(r.bram >= 8 + 4, "interface + 16KiB buffer");
+        assert!(xo.bitstream_bytes() > 0);
+        assert!(xo.compile_time_s > 60.0, "Vitis compiles are minutes-scale");
+    }
+
+    #[test]
+    fn invalid_trip_arg_rejected() {
+        // Trip references a buffer argument.
+        let mut k = mac_kernel("bad", TripCount::Arg(1));
+        k.name = "bad".into();
+        assert!(matches!(compile_kernel(&k), Err(HlsError::BadTripCount(_))));
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        let k = Kernel {
+            name: "empty".into(),
+            args: vec![],
+            body: LoopNest { trip: TripCount::Const(1), ops: vec![], inner: vec![], pipelined: false },
+            local_buffer_bytes: 0,
+        };
+        assert!(matches!(compile_kernel(&k), Err(HlsError::EmptyKernel(_))));
+    }
+}

@@ -1,0 +1,204 @@
+//! # xar-hls — a Vitis-style HLS toolchain and FPGA device model
+//!
+//! Xar-Trek's compiler framework maps selected application functions to
+//! hardware through the Xilinx Vitis toolchain (steps D–F of the paper's
+//! Figure 1): functions become Xilinx Objects (XO), XOs are partitioned
+//! into XCLBIN configuration files subject to the platform's resources,
+//! and XCLBINs are downloaded to the FPGA. At run-time the Xilinx
+//! Runtime (XRT) configures the card, moves data over PCIe, and launches
+//! kernels.
+//!
+//! This crate reproduces that toolchain at the modelling level the
+//! scheduler actually observes:
+//!
+//! * [`kernel`] — a loop-nest kernel IR with per-iteration operation
+//!   mixes, and an HLS scheduler that derives pipeline depth, initiation
+//!   interval, latency as a function of the kernel's scalar arguments,
+//!   and resource usage (LUT/FF/DSP/BRAM/URAM);
+//! * [`XoFile`] — compiled kernel objects;
+//! * [`partition`] — XCLBIN partitioning: first-fit-decreasing packing
+//!   of kernels into configuration files bounded by the platform's
+//!   dynamic region, plus manual assignment (paper step E supports
+//!   both);
+//! * [`device`] — an FPGA device with reconfiguration latency, a PCIe
+//!   link model, and serial compute-unit execution, exposing exactly the
+//!   costs Xar-Trek's threshold estimator measures "in locus".
+//!
+//! The resource numbers default to a Xilinx Alveo U50
+//! ([`Platform::alveo_u50`]), the card used in the paper.
+
+pub mod device;
+pub mod kernel;
+pub mod partition;
+
+pub use device::{FpgaDevice, KernelRun, PcieLink};
+pub use kernel::{compile_kernel, HlsError, Kernel, KernelArg, Schedule, XoFile};
+pub use partition::{partition_ffd, PartitionError, Xclbin};
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// FPGA fabric resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP slices.
+    pub dsp: u64,
+    /// Block RAMs (36 Kb).
+    pub bram: u64,
+    /// UltraRAMs.
+    pub uram: u64,
+}
+
+impl Resources {
+    /// A zero resource vector.
+    pub const ZERO: Resources = Resources { lut: 0, ff: 0, dsp: 0, bram: 0, uram: 0 };
+
+    /// True if `self` fits within `budget` component-wise.
+    pub fn fits_in(&self, budget: &Resources) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.dsp <= budget.dsp
+            && self.bram <= budget.bram
+            && self.uram <= budget.uram
+    }
+
+    /// Fraction of `budget` consumed, as the max over components.
+    pub fn utilization(&self, budget: &Resources) -> f64 {
+        let frac = |a: u64, b: u64| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        frac(self.lut, budget.lut)
+            .max(frac(self.ff, budget.ff))
+            .max(frac(self.dsp, budget.dsp))
+            .max(frac(self.bram, budget.bram))
+            .max(frac(self.uram, budget.uram))
+    }
+
+    /// Component-wise scaling (for overhead factors).
+    pub fn scale(&self, f: f64) -> Resources {
+        Resources {
+            lut: (self.lut as f64 * f) as u64,
+            ff: (self.ff as f64 * f) as u64,
+            dsp: (self.dsp as f64 * f) as u64,
+            bram: (self.bram as f64 * f) as u64,
+            uram: (self.uram as f64 * f) as u64,
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            dsp: self.dsp + o.dsp,
+            bram: self.bram + o.bram,
+            uram: self.uram + o.uram,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, o: Resources) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lut={} ff={} dsp={} bram={} uram={}",
+            self.lut, self.ff, self.dsp, self.bram, self.uram
+        )
+    }
+}
+
+/// A hardware platform: the static shell plus the dynamic region
+/// available to user kernels (paper step E: "the hardware platform
+/// contains all the static hardware modules inside the FPGA").
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Platform name.
+    pub name: String,
+    /// Total fabric resources of the device.
+    pub total: Resources,
+    /// Resources consumed by the static shell (host interface,
+    /// reconfiguration control, memory controllers).
+    pub shell: Resources,
+    /// Kernel clock in GHz.
+    pub kernel_clock_ghz: f64,
+    /// Base size in bytes of an (empty) XCLBIN for this platform.
+    pub xclbin_base_bytes: u64,
+}
+
+impl Platform {
+    /// The Xilinx Alveo U50 used in the paper's testbed.
+    pub fn alveo_u50() -> Platform {
+        Platform {
+            name: "xilinx_u50_gen3x16".to_string(),
+            total: Resources {
+                lut: 872_000,
+                ff: 1_743_000,
+                dsp: 5_952,
+                bram: 1_344,
+                uram: 640,
+            },
+            shell: Resources {
+                lut: 170_000,
+                ff: 340_000,
+                dsp: 100,
+                bram: 250,
+                uram: 0,
+            },
+            kernel_clock_ghz: 0.3,
+            xclbin_base_bytes: 12 << 20,
+        }
+    }
+
+    /// Resources available to user kernels.
+    pub fn dynamic_region(&self) -> Resources {
+        Resources {
+            lut: self.total.lut - self.shell.lut,
+            ff: self.total.ff - self.shell.ff,
+            dsp: self.total.dsp - self.shell.dsp,
+            bram: self.total.bram - self.shell.bram,
+            uram: self.total.uram - self.shell.uram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_arithmetic() {
+        let a = Resources { lut: 10, ff: 20, dsp: 1, bram: 2, uram: 0 };
+        let b = Resources { lut: 5, ff: 5, dsp: 0, bram: 0, uram: 3 };
+        let c = a + b;
+        assert_eq!(c.lut, 15);
+        assert_eq!(c.uram, 3);
+        assert!(a.fits_in(&c));
+        assert!(!c.fits_in(&a));
+        assert!((a.utilization(&c) - 1.0).abs() < 1e-9); // dsp 1/1 dominates
+    }
+
+    #[test]
+    fn u50_dynamic_region_positive() {
+        let p = Platform::alveo_u50();
+        let d = p.dynamic_region();
+        assert!(d.lut > 0 && d.ff > 0 && d.dsp > 0 && d.bram > 0);
+        assert!(d.fits_in(&p.total));
+    }
+
+    #[test]
+    fn scale_rounds_down() {
+        let a = Resources { lut: 10, ff: 10, dsp: 10, bram: 10, uram: 10 };
+        let s = a.scale(1.25);
+        assert_eq!(s.lut, 12);
+    }
+}

@@ -1,0 +1,260 @@
+//! XCLBIN partitioning (paper step E) and XCLBIN artifacts (step F).
+//!
+//! "The XCLBIN Partitioning step gathers information about the FPGA
+//! resource utilization from the XO files and the area available in the
+//! hardware platform to estimate how many functions can be grouped in
+//! one configuration file. [...] In the event that more than one XCLBIN
+//! is needed to host all the selected functions, the tool automatically
+//! assigns them to multiple XCLBIN files. This automatic partitioning
+//! can also be manually performed." — §3.1.
+//!
+//! The automatic partitioner is first-fit-decreasing over the dominant
+//! resource; [`partition_manual`] validates a user-provided assignment.
+
+use crate::kernel::XoFile;
+use crate::{Platform, Resources};
+use std::fmt;
+
+/// A hardware configuration file: the platform shell plus a set of
+/// kernels that are simultaneously resident.
+#[derive(Debug, Clone)]
+pub struct Xclbin {
+    /// Artifact name (e.g. `app_0.xclbin`).
+    pub name: String,
+    /// Names of the kernels contained.
+    pub kernels: Vec<String>,
+    /// Fabric resources used by the contained kernels.
+    pub used: Resources,
+    /// Bitstream size in bytes (platform base + per-kernel regions).
+    pub size_bytes: u64,
+}
+
+impl Xclbin {
+    /// Whether this configuration contains `kernel`.
+    pub fn has_kernel(&self, kernel: &str) -> bool {
+        self.kernels.iter().any(|k| k == kernel)
+    }
+}
+
+/// Partitioning errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// One kernel alone exceeds the platform's dynamic region.
+    KernelTooLarge(String),
+    /// A manual assignment exceeds the dynamic region.
+    GroupTooLarge(usize),
+    /// A manual assignment references an unknown kernel index.
+    UnknownKernel(usize),
+    /// A manual assignment places a kernel in two groups.
+    DuplicateKernel(usize),
+    /// A manual assignment omits a kernel.
+    MissingKernel(usize),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::KernelTooLarge(k) => {
+                write!(f, "kernel {k} exceeds the platform dynamic region")
+            }
+            PartitionError::GroupTooLarge(g) => write!(f, "manual group {g} exceeds the region"),
+            PartitionError::UnknownKernel(i) => write!(f, "manual assignment: unknown kernel {i}"),
+            PartitionError::DuplicateKernel(i) => {
+                write!(f, "manual assignment: kernel {i} in multiple groups")
+            }
+            PartitionError::MissingKernel(i) => {
+                write!(f, "manual assignment: kernel {i} unassigned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+fn build_xclbin(name: String, members: &[&XoFile], platform: &Platform) -> Xclbin {
+    let mut used = Resources::ZERO;
+    let mut size = platform.xclbin_base_bytes;
+    let mut kernels = Vec::new();
+    for xo in members {
+        used += xo.schedule.resources;
+        size += xo.bitstream_bytes();
+        kernels.push(xo.kernel.name.clone());
+    }
+    Xclbin { name, kernels, used, size_bytes: size }
+}
+
+/// Automatic first-fit-decreasing partitioning of `xos` into as few
+/// XCLBINs as fit the platform's dynamic region.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::KernelTooLarge`] if any single kernel does
+/// not fit on the device at all.
+pub fn partition_ffd(
+    xos: &[XoFile],
+    platform: &Platform,
+    name_prefix: &str,
+) -> Result<Vec<Xclbin>, PartitionError> {
+    let region = platform.dynamic_region();
+    for xo in xos {
+        if !xo.schedule.resources.fits_in(&region) {
+            return Err(PartitionError::KernelTooLarge(xo.kernel.name.clone()));
+        }
+    }
+    // Decreasing by dominant-resource utilization.
+    let mut order: Vec<usize> = (0..xos.len()).collect();
+    order.sort_by(|&a, &b| {
+        xos[b]
+            .schedule
+            .resources
+            .utilization(&region)
+            .partial_cmp(&xos[a].schedule.resources.utilization(&region))
+            .unwrap()
+    });
+    let mut bins: Vec<(Resources, Vec<usize>)> = Vec::new();
+    for i in order {
+        let r = xos[i].schedule.resources;
+        let mut placed = false;
+        for (used, members) in bins.iter_mut() {
+            if (*used + r).fits_in(&region) {
+                *used += r;
+                members.push(i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            bins.push((r, vec![i]));
+        }
+    }
+    Ok(bins
+        .iter()
+        .enumerate()
+        .map(|(bi, (_, members))| {
+            let refs: Vec<&XoFile> = members.iter().map(|&i| &xos[i]).collect();
+            build_xclbin(format!("{name_prefix}_{bi}.xclbin"), &refs, platform)
+        })
+        .collect())
+}
+
+/// Manual partitioning: `groups[g]` lists the indices of `xos` assembled
+/// into the `g`-th XCLBIN ("allowing the designer to iteratively define
+/// the higher priority functions that will be assembled in the same
+/// XCLBIN file", §3.1).
+///
+/// # Errors
+///
+/// See [`PartitionError`]; every kernel must appear exactly once and
+/// every group must fit the dynamic region.
+pub fn partition_manual(
+    xos: &[XoFile],
+    platform: &Platform,
+    groups: &[Vec<usize>],
+    name_prefix: &str,
+) -> Result<Vec<Xclbin>, PartitionError> {
+    let region = platform.dynamic_region();
+    let mut seen = vec![false; xos.len()];
+    for g in groups {
+        for &i in g {
+            if i >= xos.len() {
+                return Err(PartitionError::UnknownKernel(i));
+            }
+            if seen[i] {
+                return Err(PartitionError::DuplicateKernel(i));
+            }
+            seen[i] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(PartitionError::MissingKernel(missing));
+    }
+    let mut out = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let mut used = Resources::ZERO;
+        for &i in g {
+            used += xos[i].schedule.resources;
+        }
+        if !used.fits_in(&region) {
+            return Err(PartitionError::GroupTooLarge(gi));
+        }
+        let refs: Vec<&XoFile> = g.iter().map(|&i| &xos[i]).collect();
+        out.push(build_xclbin(format!("{name_prefix}_{gi}.xclbin"), &refs, platform));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{compile_kernel, KOp, Kernel, KernelArg, LoopNest, TripCount};
+
+    fn xo(name: &str, muls: u64) -> XoFile {
+        let k = Kernel {
+            name: name.to_string(),
+            args: vec![KernelArg::Scalar { name: "n".into() }],
+            body: LoopNest::leaf(TripCount::Arg(0), vec![(KOp::MulF, muls), (KOp::AddF, 1)]),
+            local_buffer_bytes: 4096,
+        };
+        compile_kernel(&k).unwrap()
+    }
+
+    #[test]
+    fn small_kernels_share_one_xclbin() {
+        let xos = vec![xo("a", 1), xo("b", 1), xo("c", 1)];
+        let bins = partition_ffd(&xos, &Platform::alveo_u50(), "app").unwrap();
+        assert_eq!(bins.len(), 1);
+        for k in ["a", "b", "c"] {
+            assert!(bins[0].has_kernel(k));
+        }
+        assert!(bins[0].size_bytes > Platform::alveo_u50().xclbin_base_bytes);
+    }
+
+    #[test]
+    fn oversized_kernel_splits_bins() {
+        // Large kernels (many replicated FP units) force multiple bins.
+        let xos: Vec<XoFile> = (0..6).map(|i| xo(&format!("k{i}"), 400)).collect();
+        let p = Platform::alveo_u50();
+        let bins = partition_ffd(&xos, &p, "app").unwrap();
+        assert!(bins.len() > 1, "expected split, got {} bins", bins.len());
+        // Every bin fits.
+        let region = p.dynamic_region();
+        for b in &bins {
+            assert!(b.used.fits_in(&region));
+        }
+        // Every kernel placed exactly once.
+        let mut all: Vec<&String> = bins.iter().flat_map(|b| &b.kernels).collect();
+        all.sort();
+        assert_eq!(all.len(), 6);
+        all.dedup();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn kernel_too_large_for_device_errors() {
+        let huge = xo("huge", 5_000);
+        assert!(matches!(
+            partition_ffd(&[huge], &Platform::alveo_u50(), "app"),
+            Err(PartitionError::KernelTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn manual_partitioning_validates() {
+        let xos = vec![xo("a", 1), xo("b", 1)];
+        let p = Platform::alveo_u50();
+        let ok = partition_manual(&xos, &p, &[vec![0], vec![1]], "m").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(matches!(
+            partition_manual(&xos, &p, &[vec![0, 0], vec![1]], "m"),
+            Err(PartitionError::DuplicateKernel(0))
+        ));
+        assert!(matches!(
+            partition_manual(&xos, &p, &[vec![0]], "m"),
+            Err(PartitionError::MissingKernel(1))
+        ));
+        assert!(matches!(
+            partition_manual(&xos, &p, &[vec![0, 2]], "m"),
+            Err(PartitionError::UnknownKernel(2))
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Calling conventions for the two ISAs.
+//!
+//! Stack and frame conventions shared by both ISAs:
+//!
+//! * the stack grows downwards and `sp` is kept 16-byte aligned at call
+//!   boundaries;
+//! * `fp` points at the saved-frame-pointer slot of the current frame, so
+//!   `[fp]` holds the caller's `fp` and frame-local slots live at negative
+//!   offsets from `fp`.
+//!
+//! The conventions differ in everything else:
+//!
+//! | | Xar86 | Arm64e |
+//! |---|---|---|
+//! | integer args | `r0..r5` | `r0..r7` |
+//! | FP args | `f0..f3` | `f0..f7` |
+//! | return | `r0` / `f0` | `r0` / `f0` |
+//! | callee-saved GP | `r6..r11` | `r19..r28` |
+//! | callee-saved FP | `f4..f7` | `f8..f15` |
+//! | return address | pushed on the stack by `call` | link register |
+//! | `push`/`pop` | yes | no |
+
+use crate::{FReg, Isa, Reg};
+
+/// A calling convention description.
+///
+/// All register lists are in allocation-preference order.
+#[derive(Debug)]
+pub struct CallConv {
+    /// Registers used to pass the first integer/pointer arguments.
+    pub arg_regs: &'static [Reg],
+    /// Registers used to pass the first FP arguments.
+    pub farg_regs: &'static [FReg],
+    /// Integer/pointer return value register.
+    pub ret_reg: Reg,
+    /// FP return value register.
+    pub fret_reg: FReg,
+    /// Callee-saved GP registers available to the register allocator.
+    pub callee_saved: &'static [Reg],
+    /// Callee-saved FP registers available to the register allocator.
+    pub callee_saved_f: &'static [FReg],
+    /// Caller-saved GP scratch registers (used within one lowering).
+    pub scratch: &'static [Reg],
+    /// Caller-saved FP scratch registers.
+    pub scratch_f: &'static [FReg],
+    /// Whether `call` stores the return address in a link register
+    /// (`true`) or pushes it on the stack (`false`).
+    pub uses_link_register: bool,
+    /// Whether the ISA has `push`/`pop` instructions.
+    pub has_push_pop: bool,
+    /// Required stack alignment at call boundaries, in bytes.
+    pub stack_align: u64,
+}
+
+const XAR86_ARGS: [Reg; 6] = [Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5)];
+const XAR86_FARGS: [FReg; 4] = [FReg(0), FReg(1), FReg(2), FReg(3)];
+const XAR86_CALLEE: [Reg; 6] = [Reg(6), Reg(7), Reg(8), Reg(9), Reg(10), Reg(11)];
+const XAR86_CALLEE_F: [FReg; 4] = [FReg(4), FReg(5), FReg(6), FReg(7)];
+const XAR86_SCRATCH: [Reg; 4] = [Reg(12), Reg(13), Reg(14), Reg(15)];
+const XAR86_SCRATCH_F: [FReg; 4] = [FReg(0), FReg(1), FReg(2), FReg(3)];
+
+static XAR86_CONV: CallConv = CallConv {
+    arg_regs: &XAR86_ARGS,
+    farg_regs: &XAR86_FARGS,
+    ret_reg: Reg(0),
+    fret_reg: FReg(0),
+    callee_saved: &XAR86_CALLEE,
+    callee_saved_f: &XAR86_CALLEE_F,
+    scratch: &XAR86_SCRATCH,
+    scratch_f: &XAR86_SCRATCH_F,
+    uses_link_register: false,
+    has_push_pop: true,
+    stack_align: 16,
+};
+
+const ARM64E_ARGS: [Reg; 8] = [
+    Reg(0),
+    Reg(1),
+    Reg(2),
+    Reg(3),
+    Reg(4),
+    Reg(5),
+    Reg(6),
+    Reg(7),
+];
+const ARM64E_FARGS: [FReg; 8] = [
+    FReg(0),
+    FReg(1),
+    FReg(2),
+    FReg(3),
+    FReg(4),
+    FReg(5),
+    FReg(6),
+    FReg(7),
+];
+const ARM64E_CALLEE: [Reg; 10] = [
+    Reg(19),
+    Reg(20),
+    Reg(21),
+    Reg(22),
+    Reg(23),
+    Reg(24),
+    Reg(25),
+    Reg(26),
+    Reg(27),
+    Reg(28),
+];
+const ARM64E_CALLEE_F: [FReg; 8] = [
+    FReg(8),
+    FReg(9),
+    FReg(10),
+    FReg(11),
+    FReg(12),
+    FReg(13),
+    FReg(14),
+    FReg(15),
+];
+const ARM64E_SCRATCH: [Reg; 4] = [Reg(9), Reg(10), Reg(11), Reg(12)];
+const ARM64E_SCRATCH_F: [FReg; 4] = [FReg(16), FReg(17), FReg(18), FReg(19)];
+
+static ARM64E_CONV: CallConv = CallConv {
+    arg_regs: &ARM64E_ARGS,
+    farg_regs: &ARM64E_FARGS,
+    ret_reg: Reg(0),
+    fret_reg: FReg(0),
+    callee_saved: &ARM64E_CALLEE,
+    callee_saved_f: &ARM64E_CALLEE_F,
+    scratch: &ARM64E_SCRATCH,
+    scratch_f: &ARM64E_SCRATCH_F,
+    uses_link_register: true,
+    has_push_pop: false,
+    stack_align: 16,
+};
+
+/// Returns the calling convention for `isa`.
+pub fn call_conv(isa: Isa) -> &'static CallConv {
+    match isa {
+        Isa::Xar86 => &XAR86_CONV,
+        Isa::Arm64e => &ARM64E_CONV,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_conv(isa: Isa) {
+        let cc = call_conv(isa);
+        // No overlap between callee-saved and scratch.
+        let callee: HashSet<_> = cc.callee_saved.iter().collect();
+        for r in cc.scratch {
+            assert!(!callee.contains(r), "{isa}: {r} both callee-saved and scratch");
+        }
+        // All registers valid for the ISA.
+        for r in cc
+            .arg_regs
+            .iter()
+            .chain(cc.callee_saved)
+            .chain(cc.scratch)
+            .chain(std::iter::once(&cc.ret_reg))
+        {
+            assert!(r.0 < isa.gp_reg_count(), "{isa}: {r} out of range");
+        }
+        for r in cc
+            .farg_regs
+            .iter()
+            .chain(cc.callee_saved_f)
+            .chain(cc.scratch_f)
+            .chain(std::iter::once(&cc.fret_reg))
+        {
+            assert!(r.0 < isa.fp_reg_count(), "{isa}: {r} out of range");
+        }
+        assert_eq!(cc.stack_align, 16);
+    }
+
+    #[test]
+    fn conventions_are_internally_consistent() {
+        check_conv(Isa::Xar86);
+        check_conv(Isa::Arm64e);
+    }
+
+    #[test]
+    fn conventions_differ_in_the_right_ways() {
+        let x = call_conv(Isa::Xar86);
+        let a = call_conv(Isa::Arm64e);
+        assert!(a.arg_regs.len() > x.arg_regs.len());
+        assert!(a.callee_saved.len() > x.callee_saved.len());
+        assert!(a.uses_link_register && !x.uses_link_register);
+        assert!(x.has_push_pop && !a.has_push_pop);
+        // Callee-saved register *numbers* differ entirely: a value live
+        // across a migration necessarily changes location.
+        let xs: HashSet<u8> = x.callee_saved.iter().map(|r| r.0).collect();
+        assert!(a.callee_saved.iter().all(|r| !xs.contains(&r.0)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-ISA instruction cycle costs.
+//!
+//! These are coarse microarchitectural models: the Xar86 core models a
+//! wide out-of-order server core (Xeon-class), the Arm64e core models the
+//! narrower in-order ThunderX core of the paper's testbed, which is why
+//! identical programs run slower on it despite a higher clock.
+
+use crate::instr::{AluOp, FAluOp, MInstr};
+use crate::Isa;
+
+/// Returns the cycle cost of executing `instr` once on `isa`.
+///
+/// Costs are per dynamic instruction and deliberately simple: they exist
+/// so that (a) the *same* program has a different, plausible run time on
+/// each ISA and (b) micro-benchmarks of the functional path have a stable
+/// time basis.
+pub fn cycles(isa: Isa, instr: &MInstr) -> u64 {
+    match isa {
+        Isa::Xar86 => cycles_xar86(instr),
+        Isa::Arm64e => cycles_arm64e(instr),
+    }
+}
+
+fn alu_cost_x(op: AluOp) -> u64 {
+    match op {
+        AluOp::Mul => 3,
+        AluOp::Div | AluOp::Rem => 24,
+        _ => 1,
+    }
+}
+
+fn alu_cost_a(op: AluOp) -> u64 {
+    match op {
+        AluOp::Mul => 5,
+        AluOp::Div | AluOp::Rem => 40,
+        _ => 2,
+    }
+}
+
+fn falu_cost_x(op: FAluOp) -> u64 {
+    match op {
+        FAluOp::FDiv => 14,
+        FAluOp::FMul => 4,
+        _ => 3,
+    }
+}
+
+fn falu_cost_a(op: FAluOp) -> u64 {
+    match op {
+        FAluOp::FDiv => 30,
+        FAluOp::FMul => 6,
+        _ => 5,
+    }
+}
+
+fn cycles_xar86(instr: &MInstr) -> u64 {
+    match *instr {
+        MInstr::MovImm { .. } | MInstr::MovReg { .. } | MInstr::FMovReg { .. } => 1,
+        MInstr::FMovImm { .. } => 1,
+        MInstr::Alu { op, .. } | MInstr::AluImm { op, .. } => alu_cost_x(op),
+        MInstr::FAlu { op, .. } => falu_cost_x(op),
+        MInstr::Cvt { .. } => 4,
+        MInstr::Load { .. } | MInstr::FLoad { .. } | MInstr::LoadSp { .. } | MInstr::FLoadSp { .. } => 4,
+        MInstr::Store { .. }
+        | MInstr::FStore { .. }
+        | MInstr::StoreSp { .. }
+        | MInstr::FStoreSp { .. } => 3,
+        MInstr::MovFromFp { .. } | MInstr::MovFromSp { .. } | MInstr::AddSp { .. } => 1,
+        MInstr::Enter { .. } | MInstr::Leave => 3,
+        MInstr::Cmp { .. } | MInstr::CmpImm { .. } | MInstr::FCmp { .. } => 1,
+        MInstr::Jmp { .. } => 1,
+        MInstr::JCond { .. } => 2,
+        MInstr::Call { .. } | MInstr::CallReg { .. } | MInstr::Ret => 3,
+        MInstr::Push { .. } | MInstr::Pop { .. } => 2,
+        MInstr::Nop => 1,
+        MInstr::Hlt => 1,
+    }
+}
+
+fn cycles_arm64e(instr: &MInstr) -> u64 {
+    match *instr {
+        MInstr::MovImm { .. } | MInstr::MovReg { .. } | MInstr::FMovReg { .. } => 1,
+        MInstr::FMovImm { .. } => 2,
+        MInstr::Alu { op, .. } | MInstr::AluImm { op, .. } => alu_cost_a(op),
+        MInstr::FAlu { op, .. } => falu_cost_a(op),
+        MInstr::Cvt { .. } => 6,
+        MInstr::Load { .. } | MInstr::FLoad { .. } | MInstr::LoadSp { .. } | MInstr::FLoadSp { .. } => 6,
+        MInstr::Store { .. }
+        | MInstr::FStore { .. }
+        | MInstr::StoreSp { .. }
+        | MInstr::FStoreSp { .. } => 4,
+        MInstr::MovFromFp { .. } | MInstr::MovFromSp { .. } | MInstr::AddSp { .. } => 1,
+        MInstr::Enter { .. } | MInstr::Leave => 4,
+        MInstr::Cmp { .. } | MInstr::CmpImm { .. } | MInstr::FCmp { .. } => 1,
+        MInstr::Jmp { .. } => 1,
+        MInstr::JCond { .. } => 3,
+        MInstr::Call { .. } | MInstr::CallReg { .. } | MInstr::Ret => 4,
+        MInstr::Push { .. } | MInstr::Pop { .. } => 3,
+        MInstr::Nop => 1,
+        MInstr::Hlt => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn arm_core_is_slower_per_instruction_on_compute() {
+        let mul = MInstr::Alu { op: AluOp::Mul, dst: Reg(0), lhs: Reg(0), rhs: Reg(1) };
+        let ld = MInstr::Load {
+            dst: Reg(0),
+            base: Reg(1),
+            off: 0,
+            size: crate::MemSize::B8,
+        };
+        assert!(cycles(Isa::Arm64e, &mul) > cycles(Isa::Xar86, &mul));
+        assert!(cycles(Isa::Arm64e, &ld) > cycles(Isa::Xar86, &ld));
+    }
+
+    #[test]
+    fn all_costs_positive() {
+        let samples = [
+            MInstr::Nop,
+            MInstr::Hlt,
+            MInstr::Ret,
+            MInstr::Enter { frame: 0 },
+            MInstr::Leave,
+        ];
+        for isa in Isa::ALL {
+            for s in &samples {
+                assert!(cycles(isa, s) >= 1);
+            }
+        }
+    }
+}

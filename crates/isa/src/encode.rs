@@ -1,0 +1,770 @@
+//! Per-ISA binary encodings.
+//!
+//! * **Xar86** uses a variable-length byte encoding (1–10 bytes per
+//!   instruction), two-operand ALU forms, and 32-bit PC-relative branch
+//!   displacements.
+//! * **Arm64e** uses a fixed 12-byte encoding
+//!   (`[opcode][a][b][c][imm64]`), three-operand ALU forms, and 64-bit
+//!   PC-relative displacements.
+//!
+//! Branch and call targets are absolute virtual addresses in [`MInstr`];
+//! encoders convert them to PC-relative displacements measured from the
+//! *start* of the instruction, so encoding requires the instruction
+//! address.
+
+use crate::instr::{AluOp, Cond, CvtDir, FAluOp, MInstr, MemSize};
+use crate::{FReg, Isa, Reg};
+use std::fmt;
+
+/// Fixed instruction width of the Arm64e encoding, in bytes.
+pub const ARM64E_INSTR_BYTES: usize = 12;
+
+/// Errors produced when an instruction cannot be encoded for an ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Xar86 ALU forms require `dst == lhs`.
+    TwoOperandViolation(String),
+    /// The instruction does not exist on the target ISA (e.g. `push` on
+    /// Arm64e).
+    Unsupported(String),
+    /// A register index exceeds the ISA's register file.
+    RegOutOfRange(String),
+    /// A branch displacement does not fit the encoding.
+    BranchOutOfRange { at: u64, target: u64 },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TwoOperandViolation(s) => {
+                write!(f, "two-operand form requires dst == lhs: {s}")
+            }
+            EncodeError::Unsupported(s) => write!(f, "instruction unsupported on this isa: {s}"),
+            EncodeError::RegOutOfRange(s) => write!(f, "register out of range: {s}"),
+            EncodeError::BranchOutOfRange { at, target } => {
+                write!(f, "branch from {at:#x} to {target:#x} out of encodable range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors produced when decoding bytes fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Not enough bytes for the instruction.
+    Truncated,
+    /// An operand field held an invalid value.
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Truncated => f.write_str("instruction bytes truncated"),
+            DecodeError::BadField(which) => write!(f, "invalid instruction field: {which}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space (shared numbering between ISAs; layouts differ).
+const OP_MOV_IMM: u8 = 0x01;
+const OP_MOV_REG: u8 = 0x02;
+const OP_ALU: u8 = 0x10; // 0x10..=0x19
+const OP_ALU_IMM: u8 = 0x20; // 0x20..=0x29
+const OP_FALU: u8 = 0x30; // 0x30..=0x33
+const OP_FMOV_IMM: u8 = 0x34;
+const OP_FMOV_REG: u8 = 0x35;
+const OP_CVT_I2F: u8 = 0x36;
+const OP_CVT_F2I: u8 = 0x37;
+const OP_LOAD: u8 = 0x40; // 0x40..=0x43
+const OP_STORE: u8 = 0x44; // 0x44..=0x47
+const OP_FLOAD: u8 = 0x48;
+const OP_FSTORE: u8 = 0x49;
+const OP_LOAD_SP: u8 = 0x4A;
+const OP_STORE_SP: u8 = 0x4B;
+const OP_FLOAD_SP: u8 = 0x4C;
+const OP_FSTORE_SP: u8 = 0x4D;
+const OP_MOV_FROM_FP: u8 = 0x4E;
+const OP_MOV_FROM_SP: u8 = 0x4F;
+const OP_CMP: u8 = 0x50;
+const OP_CMP_IMM: u8 = 0x51;
+const OP_FCMP: u8 = 0x52;
+const OP_ADD_SP: u8 = 0x53;
+const OP_ENTER: u8 = 0x54;
+const OP_LEAVE: u8 = 0x55;
+const OP_JMP: u8 = 0x60;
+const OP_JCOND: u8 = 0x61;
+const OP_CALL: u8 = 0x62;
+const OP_CALL_REG: u8 = 0x63;
+const OP_RET: u8 = 0x64;
+const OP_PUSH: u8 = 0x70;
+const OP_POP: u8 = 0x71;
+const OP_NOP: u8 = 0x90;
+const OP_HLT: u8 = 0x91;
+
+fn check_reg(isa: Isa, r: Reg) -> Result<u8, EncodeError> {
+    if r.0 < isa.gp_reg_count() {
+        Ok(r.0)
+    } else {
+        Err(EncodeError::RegOutOfRange(format!("{r} on {isa}")))
+    }
+}
+
+fn check_freg(isa: Isa, r: FReg) -> Result<u8, EncodeError> {
+    if r.0 < isa.fp_reg_count() {
+        Ok(r.0)
+    } else {
+        Err(EncodeError::RegOutOfRange(format!("{r} on {isa}")))
+    }
+}
+
+/// Returns the encoded size in bytes of `instr` on `isa`.
+///
+/// Sizing never fails for structurally valid instructions; validity is
+/// checked by [`encode`].
+pub fn encoded_size(isa: Isa, instr: &MInstr) -> usize {
+    match isa {
+        Isa::Arm64e => ARM64E_INSTR_BYTES,
+        Isa::Xar86 => match instr {
+            MInstr::MovImm { .. } | MInstr::FMovImm { .. } => 10,
+            MInstr::MovReg { .. }
+            | MInstr::Alu { .. }
+            | MInstr::FAlu { .. }
+            | MInstr::FMovReg { .. }
+            | MInstr::Cvt { .. }
+            | MInstr::Cmp { .. }
+            | MInstr::FCmp { .. } => 3,
+            MInstr::AluImm { .. } | MInstr::CmpImm { .. } | MInstr::JCond { .. } => 6,
+            MInstr::Load { .. } | MInstr::Store { .. } | MInstr::FLoad { .. } | MInstr::FStore { .. } => 7,
+            MInstr::LoadSp { .. }
+            | MInstr::StoreSp { .. }
+            | MInstr::FLoadSp { .. }
+            | MInstr::FStoreSp { .. } => 6,
+            MInstr::MovFromFp { .. } | MInstr::MovFromSp { .. } => 2,
+            MInstr::AddSp { .. } | MInstr::Enter { .. } => 5,
+            MInstr::Jmp { .. } | MInstr::Call { .. } => 5,
+            MInstr::CallReg { .. } | MInstr::Push { .. } | MInstr::Pop { .. } => 2,
+            MInstr::Ret | MInstr::Leave | MInstr::Nop | MInstr::Hlt => 1,
+        },
+    }
+}
+
+/// Encodes `instr` located at address `at` into a fresh buffer.
+///
+/// # Errors
+///
+/// See [`EncodeError`].
+pub fn encode(isa: Isa, at: u64, instr: &MInstr) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(ARM64E_INSTR_BYTES);
+    encode_into(isa, at, instr, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes `instr` located at address `at`, appending to `out`.
+///
+/// # Errors
+///
+/// See [`EncodeError`].
+pub fn encode_into(
+    isa: Isa,
+    at: u64,
+    instr: &MInstr,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    match isa {
+        Isa::Xar86 => encode_xar86(at, instr, out),
+        Isa::Arm64e => encode_arm64e(at, instr, out),
+    }
+}
+
+fn rel32(at: u64, target: u64) -> Result<i32, EncodeError> {
+    let rel = target.wrapping_sub(at) as i64;
+    i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { at, target })
+}
+
+fn encode_xar86(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    let isa = Isa::Xar86;
+    match *instr {
+        MInstr::MovImm { dst, imm } => {
+            out.push(OP_MOV_IMM);
+            out.push(check_reg(isa, dst)?);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::MovReg { dst, src } => {
+            out.extend_from_slice(&[OP_MOV_REG, check_reg(isa, dst)?, check_reg(isa, src)?]);
+        }
+        MInstr::Alu { op, dst, lhs, rhs } => {
+            if dst != lhs {
+                return Err(EncodeError::TwoOperandViolation(instr.to_string()));
+            }
+            out.extend_from_slice(&[OP_ALU + op.index(), check_reg(isa, dst)?, check_reg(isa, rhs)?]);
+        }
+        MInstr::AluImm { op, dst, lhs, imm } => {
+            if dst != lhs {
+                return Err(EncodeError::TwoOperandViolation(instr.to_string()));
+            }
+            out.push(OP_ALU_IMM + op.index());
+            out.push(check_reg(isa, dst)?);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::FAlu { op, dst, lhs, rhs } => {
+            if dst != lhs {
+                return Err(EncodeError::TwoOperandViolation(instr.to_string()));
+            }
+            out.extend_from_slice(&[
+                OP_FALU + op.index(),
+                check_freg(isa, dst)?,
+                check_freg(isa, rhs)?,
+            ]);
+        }
+        MInstr::FMovImm { dst, imm } => {
+            out.push(OP_FMOV_IMM);
+            out.push(check_freg(isa, dst)?);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::FMovReg { dst, src } => {
+            out.extend_from_slice(&[OP_FMOV_REG, check_freg(isa, dst)?, check_freg(isa, src)?]);
+        }
+        MInstr::Cvt { dir, gp, fp } => {
+            let op = match dir {
+                CvtDir::I2F => OP_CVT_I2F,
+                CvtDir::F2I => OP_CVT_F2I,
+            };
+            out.extend_from_slice(&[op, check_reg(isa, gp)?, check_freg(isa, fp)?]);
+        }
+        MInstr::Load { dst, base, off, size } => {
+            out.push(OP_LOAD + size.index());
+            out.push(check_reg(isa, dst)?);
+            out.push(check_reg(isa, base)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::Store { src, base, off, size } => {
+            out.push(OP_STORE + size.index());
+            out.push(check_reg(isa, src)?);
+            out.push(check_reg(isa, base)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::FLoad { dst, base, off } => {
+            out.push(OP_FLOAD);
+            out.push(check_freg(isa, dst)?);
+            out.push(check_reg(isa, base)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::FStore { src, base, off } => {
+            out.push(OP_FSTORE);
+            out.push(check_freg(isa, src)?);
+            out.push(check_reg(isa, base)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::LoadSp { dst, off } => {
+            out.push(OP_LOAD_SP);
+            out.push(check_reg(isa, dst)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::StoreSp { src, off } => {
+            out.push(OP_STORE_SP);
+            out.push(check_reg(isa, src)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::FLoadSp { dst, off } => {
+            out.push(OP_FLOAD_SP);
+            out.push(check_freg(isa, dst)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::FStoreSp { src, off } => {
+            out.push(OP_FSTORE_SP);
+            out.push(check_freg(isa, src)?);
+            out.extend_from_slice(&off.to_le_bytes());
+        }
+        MInstr::MovFromFp { dst } => {
+            out.extend_from_slice(&[OP_MOV_FROM_FP, check_reg(isa, dst)?]);
+        }
+        MInstr::MovFromSp { dst } => {
+            out.extend_from_slice(&[OP_MOV_FROM_SP, check_reg(isa, dst)?]);
+        }
+        MInstr::AddSp { imm } => {
+            out.push(OP_ADD_SP);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::Enter { frame } => {
+            out.push(OP_ENTER);
+            out.extend_from_slice(&frame.to_le_bytes());
+        }
+        MInstr::Leave => out.push(OP_LEAVE),
+        MInstr::Cmp { lhs, rhs } => {
+            out.extend_from_slice(&[OP_CMP, check_reg(isa, lhs)?, check_reg(isa, rhs)?]);
+        }
+        MInstr::CmpImm { lhs, imm } => {
+            out.push(OP_CMP_IMM);
+            out.push(check_reg(isa, lhs)?);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        MInstr::FCmp { lhs, rhs } => {
+            out.extend_from_slice(&[OP_FCMP, check_freg(isa, lhs)?, check_freg(isa, rhs)?]);
+        }
+        MInstr::Jmp { target } => {
+            out.push(OP_JMP);
+            out.extend_from_slice(&rel32(at, target)?.to_le_bytes());
+        }
+        MInstr::JCond { cond, target } => {
+            out.push(OP_JCOND);
+            out.push(cond.index());
+            out.extend_from_slice(&rel32(at, target)?.to_le_bytes());
+        }
+        MInstr::Call { target } => {
+            out.push(OP_CALL);
+            out.extend_from_slice(&rel32(at, target)?.to_le_bytes());
+        }
+        MInstr::CallReg { target } => {
+            out.extend_from_slice(&[OP_CALL_REG, check_reg(isa, target)?]);
+        }
+        MInstr::Ret => out.push(OP_RET),
+        MInstr::Push { src } => out.extend_from_slice(&[OP_PUSH, check_reg(isa, src)?]),
+        MInstr::Pop { dst } => out.extend_from_slice(&[OP_POP, check_reg(isa, dst)?]),
+        MInstr::Nop => out.push(OP_NOP),
+        MInstr::Hlt => out.push(OP_HLT),
+    }
+    Ok(())
+}
+
+fn encode_arm64e(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    let isa = Isa::Arm64e;
+    // Fixed layout: [op][a][b][c][imm64 LE].
+    let (op, a, b, c, imm): (u8, u8, u8, u8, i64) = match *instr {
+        MInstr::MovImm { dst, imm } => (OP_MOV_IMM, check_reg(isa, dst)?, 0, 0, imm),
+        MInstr::MovReg { dst, src } => {
+            (OP_MOV_REG, check_reg(isa, dst)?, check_reg(isa, src)?, 0, 0)
+        }
+        MInstr::Alu { op, dst, lhs, rhs } => (
+            OP_ALU + op.index(),
+            check_reg(isa, dst)?,
+            check_reg(isa, lhs)?,
+            check_reg(isa, rhs)?,
+            0,
+        ),
+        MInstr::AluImm { op, dst, lhs, imm } => (
+            OP_ALU_IMM + op.index(),
+            check_reg(isa, dst)?,
+            check_reg(isa, lhs)?,
+            0,
+            imm as i64,
+        ),
+        MInstr::FAlu { op, dst, lhs, rhs } => (
+            OP_FALU + op.index(),
+            check_freg(isa, dst)?,
+            check_freg(isa, lhs)?,
+            check_freg(isa, rhs)?,
+            0,
+        ),
+        MInstr::FMovImm { dst, imm } => (
+            OP_FMOV_IMM,
+            check_freg(isa, dst)?,
+            0,
+            0,
+            imm.to_bits() as i64,
+        ),
+        MInstr::FMovReg { dst, src } => (
+            OP_FMOV_REG,
+            check_freg(isa, dst)?,
+            check_freg(isa, src)?,
+            0,
+            0,
+        ),
+        MInstr::Cvt { dir, gp, fp } => {
+            let op = match dir {
+                CvtDir::I2F => OP_CVT_I2F,
+                CvtDir::F2I => OP_CVT_F2I,
+            };
+            (op, check_reg(isa, gp)?, check_freg(isa, fp)?, 0, 0)
+        }
+        MInstr::Load { dst, base, off, size } => (
+            OP_LOAD + size.index(),
+            check_reg(isa, dst)?,
+            check_reg(isa, base)?,
+            0,
+            off as i64,
+        ),
+        MInstr::Store { src, base, off, size } => (
+            OP_STORE + size.index(),
+            check_reg(isa, src)?,
+            check_reg(isa, base)?,
+            0,
+            off as i64,
+        ),
+        MInstr::FLoad { dst, base, off } => (
+            OP_FLOAD,
+            check_freg(isa, dst)?,
+            check_reg(isa, base)?,
+            0,
+            off as i64,
+        ),
+        MInstr::FStore { src, base, off } => (
+            OP_FSTORE,
+            check_freg(isa, src)?,
+            check_reg(isa, base)?,
+            0,
+            off as i64,
+        ),
+        MInstr::LoadSp { dst, off } => (OP_LOAD_SP, check_reg(isa, dst)?, 0, 0, off as i64),
+        MInstr::StoreSp { src, off } => (OP_STORE_SP, check_reg(isa, src)?, 0, 0, off as i64),
+        MInstr::FLoadSp { dst, off } => (OP_FLOAD_SP, check_freg(isa, dst)?, 0, 0, off as i64),
+        MInstr::FStoreSp { src, off } => (OP_FSTORE_SP, check_freg(isa, src)?, 0, 0, off as i64),
+        MInstr::MovFromFp { dst } => (OP_MOV_FROM_FP, check_reg(isa, dst)?, 0, 0, 0),
+        MInstr::MovFromSp { dst } => (OP_MOV_FROM_SP, check_reg(isa, dst)?, 0, 0, 0),
+        MInstr::AddSp { imm } => (OP_ADD_SP, 0, 0, 0, imm as i64),
+        MInstr::Enter { frame } => (OP_ENTER, 0, 0, 0, frame as i64),
+        MInstr::Leave => (OP_LEAVE, 0, 0, 0, 0),
+        MInstr::Cmp { lhs, rhs } => (OP_CMP, check_reg(isa, lhs)?, check_reg(isa, rhs)?, 0, 0),
+        MInstr::CmpImm { lhs, imm } => (OP_CMP_IMM, check_reg(isa, lhs)?, 0, 0, imm as i64),
+        MInstr::FCmp { lhs, rhs } => (OP_FCMP, check_freg(isa, lhs)?, check_freg(isa, rhs)?, 0, 0),
+        MInstr::Jmp { target } => (OP_JMP, 0, 0, 0, target.wrapping_sub(at) as i64),
+        MInstr::JCond { cond, target } => (
+            OP_JCOND,
+            cond.index(),
+            0,
+            0,
+            target.wrapping_sub(at) as i64,
+        ),
+        MInstr::Call { target } => (OP_CALL, 0, 0, 0, target.wrapping_sub(at) as i64),
+        MInstr::CallReg { target } => (OP_CALL_REG, check_reg(isa, target)?, 0, 0, 0),
+        MInstr::Ret => (OP_RET, 0, 0, 0, 0),
+        MInstr::Push { .. } | MInstr::Pop { .. } => {
+            return Err(EncodeError::Unsupported(format!("{instr} on arm64e")))
+        }
+        MInstr::Nop => (OP_NOP, 0, 0, 0, 0),
+        MInstr::Hlt => (OP_HLT, 0, 0, 0, 0),
+    };
+    out.extend_from_slice(&[op, a, b, c]);
+    out.extend_from_slice(&imm.to_le_bytes());
+    Ok(())
+}
+
+/// Decodes the instruction at address `at` from `bytes` (which must start
+/// at `at`). Returns the instruction and its encoded length.
+///
+/// # Errors
+///
+/// See [`DecodeError`].
+pub fn decode(isa: Isa, at: u64, bytes: &[u8]) -> Result<(MInstr, usize), DecodeError> {
+    match isa {
+        Isa::Xar86 => decode_xar86(at, bytes),
+        Isa::Arm64e => decode_arm64e(at, bytes),
+    }
+}
+
+fn take<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], DecodeError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(DecodeError::Truncated)
+}
+
+fn decode_xar86(at: u64, b: &[u8]) -> Result<(MInstr, usize), DecodeError> {
+    let op = *b.first().ok_or(DecodeError::Truncated)?;
+    let r = |i: usize| -> Result<Reg, DecodeError> {
+        let v = *b.get(i).ok_or(DecodeError::Truncated)?;
+        if v < Isa::Xar86.gp_reg_count() {
+            Ok(Reg(v))
+        } else {
+            Err(DecodeError::BadField("gp reg"))
+        }
+    };
+    let f = |i: usize| -> Result<FReg, DecodeError> {
+        let v = *b.get(i).ok_or(DecodeError::Truncated)?;
+        if v < Isa::Xar86.fp_reg_count() {
+            Ok(FReg(v))
+        } else {
+            Err(DecodeError::BadField("fp reg"))
+        }
+    };
+    let i32_at = |i: usize| -> Result<i32, DecodeError> { Ok(i32::from_le_bytes(take(b, i)?)) };
+    let abs = |i: usize| -> Result<u64, DecodeError> {
+        Ok(at.wrapping_add(i32::from_le_bytes(take(b, i)?) as i64 as u64))
+    };
+    let ins = match op {
+        OP_MOV_IMM => (
+            MInstr::MovImm { dst: r(1)?, imm: i64::from_le_bytes(take(b, 2)?) },
+            10,
+        ),
+        OP_MOV_REG => (MInstr::MovReg { dst: r(1)?, src: r(2)? }, 3),
+        _ if (OP_ALU..OP_ALU + 10).contains(&op) => {
+            let o = AluOp::from_index(op - OP_ALU).ok_or(DecodeError::BadField("alu op"))?;
+            let dst = r(1)?;
+            (MInstr::Alu { op: o, dst, lhs: dst, rhs: r(2)? }, 3)
+        }
+        _ if (OP_ALU_IMM..OP_ALU_IMM + 10).contains(&op) => {
+            let o = AluOp::from_index(op - OP_ALU_IMM).ok_or(DecodeError::BadField("alu op"))?;
+            let dst = r(1)?;
+            (MInstr::AluImm { op: o, dst, lhs: dst, imm: i32_at(2)? }, 6)
+        }
+        _ if (OP_FALU..OP_FALU + 4).contains(&op) => {
+            let o = FAluOp::from_index(op - OP_FALU).ok_or(DecodeError::BadField("falu op"))?;
+            let dst = f(1)?;
+            (MInstr::FAlu { op: o, dst, lhs: dst, rhs: f(2)? }, 3)
+        }
+        OP_FMOV_IMM => (
+            MInstr::FMovImm { dst: f(1)?, imm: f64::from_le_bytes(take(b, 2)?) },
+            10,
+        ),
+        OP_FMOV_REG => (MInstr::FMovReg { dst: f(1)?, src: f(2)? }, 3),
+        OP_CVT_I2F => (MInstr::Cvt { dir: CvtDir::I2F, gp: r(1)?, fp: f(2)? }, 3),
+        OP_CVT_F2I => (MInstr::Cvt { dir: CvtDir::F2I, gp: r(1)?, fp: f(2)? }, 3),
+        _ if (OP_LOAD..OP_LOAD + 4).contains(&op) => {
+            let size = MemSize::from_index(op - OP_LOAD).ok_or(DecodeError::BadField("size"))?;
+            (MInstr::Load { dst: r(1)?, base: r(2)?, off: i32_at(3)?, size }, 7)
+        }
+        _ if (OP_STORE..OP_STORE + 4).contains(&op) => {
+            let size = MemSize::from_index(op - OP_STORE).ok_or(DecodeError::BadField("size"))?;
+            (MInstr::Store { src: r(1)?, base: r(2)?, off: i32_at(3)?, size }, 7)
+        }
+        OP_FLOAD => (MInstr::FLoad { dst: f(1)?, base: r(2)?, off: i32_at(3)? }, 7),
+        OP_FSTORE => (MInstr::FStore { src: f(1)?, base: r(2)?, off: i32_at(3)? }, 7),
+        OP_LOAD_SP => (MInstr::LoadSp { dst: r(1)?, off: i32_at(2)? }, 6),
+        OP_STORE_SP => (MInstr::StoreSp { src: r(1)?, off: i32_at(2)? }, 6),
+        OP_FLOAD_SP => (MInstr::FLoadSp { dst: f(1)?, off: i32_at(2)? }, 6),
+        OP_FSTORE_SP => (MInstr::FStoreSp { src: f(1)?, off: i32_at(2)? }, 6),
+        OP_MOV_FROM_FP => (MInstr::MovFromFp { dst: r(1)? }, 2),
+        OP_MOV_FROM_SP => (MInstr::MovFromSp { dst: r(1)? }, 2),
+        OP_ADD_SP => (MInstr::AddSp { imm: i32_at(1)? }, 5),
+        OP_ENTER => (MInstr::Enter { frame: i32_at(1)? }, 5),
+        OP_LEAVE => (MInstr::Leave, 1),
+        OP_CMP => (MInstr::Cmp { lhs: r(1)?, rhs: r(2)? }, 3),
+        OP_CMP_IMM => (MInstr::CmpImm { lhs: r(1)?, imm: i32_at(2)? }, 6),
+        OP_FCMP => (MInstr::FCmp { lhs: f(1)?, rhs: f(2)? }, 3),
+        OP_JMP => (MInstr::Jmp { target: abs(1)? }, 5),
+        OP_JCOND => {
+            let cond = Cond::from_index(*b.get(1).ok_or(DecodeError::Truncated)?)
+                .ok_or(DecodeError::BadField("cond"))?;
+            (MInstr::JCond { cond, target: abs(2)? }, 6)
+        }
+        OP_CALL => (MInstr::Call { target: abs(1)? }, 5),
+        OP_CALL_REG => (MInstr::CallReg { target: r(1)? }, 2),
+        OP_RET => (MInstr::Ret, 1),
+        OP_PUSH => (MInstr::Push { src: r(1)? }, 2),
+        OP_POP => (MInstr::Pop { dst: r(1)? }, 2),
+        OP_NOP => (MInstr::Nop, 1),
+        OP_HLT => (MInstr::Hlt, 1),
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok(ins)
+}
+
+fn decode_arm64e(at: u64, b: &[u8]) -> Result<(MInstr, usize), DecodeError> {
+    if b.len() < ARM64E_INSTR_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let (op, a, bb, c) = (b[0], b[1], b[2], b[3]);
+    let imm = i64::from_le_bytes(take(b, 4)?);
+    let isa = Isa::Arm64e;
+    let r = |v: u8| -> Result<Reg, DecodeError> {
+        if v < isa.gp_reg_count() {
+            Ok(Reg(v))
+        } else {
+            Err(DecodeError::BadField("gp reg"))
+        }
+    };
+    let f = |v: u8| -> Result<FReg, DecodeError> {
+        if v < isa.fp_reg_count() {
+            Ok(FReg(v))
+        } else {
+            Err(DecodeError::BadField("fp reg"))
+        }
+    };
+    let off = || -> Result<i32, DecodeError> {
+        i32::try_from(imm).map_err(|_| DecodeError::BadField("offset"))
+    };
+    let abs = at.wrapping_add(imm as u64);
+    let ins = match op {
+        OP_MOV_IMM => MInstr::MovImm { dst: r(a)?, imm },
+        OP_MOV_REG => MInstr::MovReg { dst: r(a)?, src: r(bb)? },
+        _ if (OP_ALU..OP_ALU + 10).contains(&op) => MInstr::Alu {
+            op: AluOp::from_index(op - OP_ALU).ok_or(DecodeError::BadField("alu op"))?,
+            dst: r(a)?,
+            lhs: r(bb)?,
+            rhs: r(c)?,
+        },
+        _ if (OP_ALU_IMM..OP_ALU_IMM + 10).contains(&op) => MInstr::AluImm {
+            op: AluOp::from_index(op - OP_ALU_IMM).ok_or(DecodeError::BadField("alu op"))?,
+            dst: r(a)?,
+            lhs: r(bb)?,
+            imm: off()?,
+        },
+        _ if (OP_FALU..OP_FALU + 4).contains(&op) => MInstr::FAlu {
+            op: FAluOp::from_index(op - OP_FALU).ok_or(DecodeError::BadField("falu op"))?,
+            dst: f(a)?,
+            lhs: f(bb)?,
+            rhs: f(c)?,
+        },
+        OP_FMOV_IMM => MInstr::FMovImm { dst: f(a)?, imm: f64::from_bits(imm as u64) },
+        OP_FMOV_REG => MInstr::FMovReg { dst: f(a)?, src: f(bb)? },
+        OP_CVT_I2F => MInstr::Cvt { dir: CvtDir::I2F, gp: r(a)?, fp: f(bb)? },
+        OP_CVT_F2I => MInstr::Cvt { dir: CvtDir::F2I, gp: r(a)?, fp: f(bb)? },
+        _ if (OP_LOAD..OP_LOAD + 4).contains(&op) => MInstr::Load {
+            dst: r(a)?,
+            base: r(bb)?,
+            off: off()?,
+            size: MemSize::from_index(op - OP_LOAD).ok_or(DecodeError::BadField("size"))?,
+        },
+        _ if (OP_STORE..OP_STORE + 4).contains(&op) => MInstr::Store {
+            src: r(a)?,
+            base: r(bb)?,
+            off: off()?,
+            size: MemSize::from_index(op - OP_STORE).ok_or(DecodeError::BadField("size"))?,
+        },
+        OP_FLOAD => MInstr::FLoad { dst: f(a)?, base: r(bb)?, off: off()? },
+        OP_FSTORE => MInstr::FStore { src: f(a)?, base: r(bb)?, off: off()? },
+        OP_LOAD_SP => MInstr::LoadSp { dst: r(a)?, off: off()? },
+        OP_STORE_SP => MInstr::StoreSp { src: r(a)?, off: off()? },
+        OP_FLOAD_SP => MInstr::FLoadSp { dst: f(a)?, off: off()? },
+        OP_FSTORE_SP => MInstr::FStoreSp { src: f(a)?, off: off()? },
+        OP_MOV_FROM_FP => MInstr::MovFromFp { dst: r(a)? },
+        OP_MOV_FROM_SP => MInstr::MovFromSp { dst: r(a)? },
+        OP_ADD_SP => MInstr::AddSp { imm: off()? },
+        OP_ENTER => MInstr::Enter { frame: off()? },
+        OP_LEAVE => MInstr::Leave,
+        OP_CMP => MInstr::Cmp { lhs: r(a)?, rhs: r(bb)? },
+        OP_CMP_IMM => MInstr::CmpImm { lhs: r(a)?, imm: off()? },
+        OP_FCMP => MInstr::FCmp { lhs: f(a)?, rhs: f(bb)? },
+        OP_JMP => MInstr::Jmp { target: abs },
+        OP_JCOND => MInstr::JCond {
+            cond: Cond::from_index(a).ok_or(DecodeError::BadField("cond"))?,
+            target: abs,
+        },
+        OP_CALL => MInstr::Call { target: abs },
+        OP_CALL_REG => MInstr::CallReg { target: r(a)? },
+        OP_RET => MInstr::Ret,
+        OP_NOP => MInstr::Nop,
+        OP_HLT => MInstr::Hlt,
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((ins, ARM64E_INSTR_BYTES))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<MInstr> {
+        vec![
+            MInstr::MovImm { dst: Reg(3), imm: -123456789012345 },
+            MInstr::MovReg { dst: Reg(1), src: Reg(2) },
+            MInstr::Alu { op: AluOp::Add, dst: Reg(4), lhs: Reg(4), rhs: Reg(5) },
+            MInstr::AluImm { op: AluOp::Mul, dst: Reg(6), lhs: Reg(6), imm: -7 },
+            MInstr::FAlu { op: FAluOp::FMul, dst: FReg(2), lhs: FReg(2), rhs: FReg(3) },
+            MInstr::FMovImm { dst: FReg(1), imm: 3.5 },
+            MInstr::FMovReg { dst: FReg(0), src: FReg(1) },
+            MInstr::Cvt { dir: CvtDir::I2F, gp: Reg(2), fp: FReg(3) },
+            MInstr::Cvt { dir: CvtDir::F2I, gp: Reg(2), fp: FReg(3) },
+            MInstr::Load { dst: Reg(1), base: Reg(2), off: -16, size: MemSize::B4 },
+            MInstr::Store { src: Reg(1), base: Reg(2), off: 24, size: MemSize::B1 },
+            MInstr::FLoad { dst: FReg(1), base: Reg(2), off: 8 },
+            MInstr::FStore { src: FReg(1), base: Reg(2), off: -8 },
+            MInstr::LoadSp { dst: Reg(5), off: 16 },
+            MInstr::StoreSp { src: Reg(5), off: 16 },
+            MInstr::FLoadSp { dst: FReg(3), off: 32 },
+            MInstr::FStoreSp { src: FReg(3), off: 32 },
+            MInstr::MovFromFp { dst: Reg(7) },
+            MInstr::MovFromSp { dst: Reg(7) },
+            MInstr::AddSp { imm: -64 },
+            MInstr::Enter { frame: 48 },
+            MInstr::Leave,
+            MInstr::Cmp { lhs: Reg(0), rhs: Reg(1) },
+            MInstr::CmpImm { lhs: Reg(0), imm: 100 },
+            MInstr::FCmp { lhs: FReg(0), rhs: FReg(1) },
+            MInstr::Jmp { target: 0x40_1000 },
+            MInstr::JCond { cond: Cond::Le, target: 0x40_0010 },
+            MInstr::Call { target: 0x40_2000 },
+            MInstr::CallReg { target: Reg(3) },
+            MInstr::Ret,
+            MInstr::Nop,
+            MInstr::Hlt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_both_isas() {
+        for isa in Isa::ALL {
+            let at = 0x40_0100u64;
+            for ins in sample_instrs() {
+                let bytes = encode(isa, at, &ins).unwrap_or_else(|e| panic!("{isa} {ins}: {e}"));
+                assert_eq!(bytes.len(), encoded_size(isa, &ins), "{isa} {ins}");
+                let (back, len) = decode(isa, at, &bytes).unwrap();
+                assert_eq!(len, bytes.len(), "{isa} {ins}");
+                assert_eq!(back, ins, "{isa}");
+            }
+        }
+    }
+
+    #[test]
+    fn xar86_push_pop_roundtrip() {
+        let ins = MInstr::Push { src: Reg(6) };
+        let bytes = encode(Isa::Xar86, 0, &ins).unwrap();
+        assert_eq!(decode(Isa::Xar86, 0, &bytes).unwrap().0, ins);
+    }
+
+    #[test]
+    fn arm64e_rejects_push_pop() {
+        for ins in [MInstr::Push { src: Reg(0) }, MInstr::Pop { dst: Reg(0) }] {
+            assert!(matches!(
+                encode(Isa::Arm64e, 0, &ins),
+                Err(EncodeError::Unsupported(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn xar86_rejects_three_operand_alu() {
+        let ins = MInstr::Alu { op: AluOp::Add, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) };
+        assert!(matches!(
+            encode(Isa::Xar86, 0, &ins),
+            Err(EncodeError::TwoOperandViolation(_))
+        ));
+        // But Arm64e accepts it.
+        assert!(encode(Isa::Arm64e, 0, &ins).is_ok());
+    }
+
+    #[test]
+    fn register_range_enforced_per_isa() {
+        let ins = MInstr::MovReg { dst: Reg(20), src: Reg(0) };
+        assert!(matches!(
+            encode(Isa::Xar86, 0, &ins),
+            Err(EncodeError::RegOutOfRange(_))
+        ));
+        assert!(encode(Isa::Arm64e, 0, &ins).is_ok());
+    }
+
+    #[test]
+    fn code_sizes_differ_between_isas() {
+        let prog = sample_instrs()
+            .into_iter()
+            .filter(|i| !matches!(i, MInstr::Push { .. } | MInstr::Pop { .. }))
+            .collect::<Vec<_>>();
+        let x: usize = prog.iter().map(|i| encoded_size(Isa::Xar86, i)).sum();
+        let a: usize = prog.iter().map(|i| encoded_size(Isa::Arm64e, i)).sum();
+        assert_ne!(x, a);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(Isa::Xar86, 0, &[0xFF, 0, 0, 0]).is_err());
+        assert!(decode(Isa::Arm64e, 0, &[0u8; 3]).is_err());
+        assert!(decode(Isa::Xar86, 0, &[]).is_err());
+    }
+
+    #[test]
+    fn branch_relative_encoding_is_position_dependent() {
+        let ins = MInstr::Jmp { target: 0x40_0000 };
+        let b1 = encode(Isa::Xar86, 0x40_0000, &ins).unwrap();
+        let b2 = encode(Isa::Xar86, 0x40_0100, &ins).unwrap();
+        assert_ne!(b1, b2);
+        // Decoding from the right address recovers the absolute target.
+        assert_eq!(decode(Isa::Xar86, 0x40_0100, &b2).unwrap().0, ins);
+    }
+}

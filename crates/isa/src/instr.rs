@@ -1,0 +1,453 @@
+//! Machine instruction definitions shared (at the semantic level) by both
+//! ISAs.
+//!
+//! The *semantics* of an instruction are ISA-independent; what differs per
+//! ISA is which forms are encodable (e.g. [`MInstr::Alu`] must have
+//! `dst == lhs` on Xar86, `push`/`pop` exist only on Xar86), the binary
+//! encoding, and the cycle cost.
+
+use crate::{FReg, Reg};
+use std::fmt;
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (faults on divide-by-zero or `i64::MIN / -1`).
+    Div,
+    /// Signed remainder (faults like [`AluOp::Div`]).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 6 bits).
+    Shr,
+}
+
+impl AluOp {
+    /// All ALU operations in encoding order.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+    ];
+
+    /// Stable encoding index of this operation.
+    pub fn index(self) -> u8 {
+        Self::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Inverse of [`AluOp::index`].
+    pub fn from_index(i: u8) -> Option<AluOp> {
+        Self::ALL.get(i as usize).copied()
+    }
+
+    /// Evaluates the operation. Returns `None` on division faults.
+    pub fn eval(self, lhs: i64, rhs: i64) -> Option<i64> {
+        Some(match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::Div => lhs.checked_div(rhs)?,
+            AluOp::Rem => lhs.checked_rem(rhs)?,
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        })
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Floating-point ALU operations (all on `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FAluOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division (IEEE semantics: produces inf/NaN, never faults).
+    FDiv,
+}
+
+impl FAluOp {
+    /// All FP operations in encoding order.
+    pub const ALL: [FAluOp; 4] = [FAluOp::FAdd, FAluOp::FSub, FAluOp::FMul, FAluOp::FDiv];
+
+    /// Stable encoding index.
+    pub fn index(self) -> u8 {
+        Self::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Inverse of [`FAluOp::index`].
+    pub fn from_index(i: u8) -> Option<FAluOp> {
+        Self::ALL.get(i as usize).copied()
+    }
+
+    /// Evaluates the operation with IEEE-754 semantics.
+    pub fn eval(self, lhs: f64, rhs: f64) -> f64 {
+        match self {
+            FAluOp::FAdd => lhs + rhs,
+            FAluOp::FSub => lhs - rhs,
+            FAluOp::FMul => lhs * rhs,
+            FAluOp::FDiv => lhs / rhs,
+        }
+    }
+}
+
+impl fmt::Display for FAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FAluOp::FAdd => "fadd",
+            FAluOp::FSub => "fsub",
+            FAluOp::FMul => "fmul",
+            FAluOp::FDiv => "fdiv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch conditions evaluated against the VM flags set by the most recent
+/// compare instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+
+    /// Stable encoding index.
+    pub fn index(self) -> u8 {
+        Self::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    /// Inverse of [`Cond::index`].
+    pub fn from_index(i: u8) -> Option<Cond> {
+        Self::ALL.get(i as usize).copied()
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// Evaluates the condition over an integer comparison ordering
+    /// (`lhs cmp rhs`).
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Cond::Eq => ord == Equal,
+            Cond::Ne => ord != Equal,
+            Cond::Lt => ord == Less,
+            Cond::Le => ord != Greater,
+            Cond::Gt => ord == Greater,
+            Cond::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory access width for integer loads and stores.
+///
+/// Loads of widths below 8 bytes zero-extend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// One byte.
+    B1,
+    /// Two bytes (little-endian).
+    B2,
+    /// Four bytes (little-endian).
+    B4,
+    /// Eight bytes (little-endian).
+    B8,
+}
+
+impl MemSize {
+    /// All widths in encoding order.
+    pub const ALL: [MemSize; 4] = [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8];
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+
+    /// Stable encoding index.
+    pub fn index(self) -> u8 {
+        Self::ALL.iter().position(|&m| m == self).unwrap() as u8
+    }
+
+    /// Inverse of [`MemSize::index`].
+    pub fn from_index(i: u8) -> Option<MemSize> {
+        Self::ALL.get(i as usize).copied()
+    }
+}
+
+/// Direction of an int/float conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvtDir {
+    /// Signed integer to double.
+    I2F,
+    /// Double to signed integer (truncating; saturates at the i64 range).
+    F2I,
+}
+
+/// A machine instruction.
+///
+/// Branch/call targets are *absolute* virtual addresses at this level; the
+/// per-ISA encoders convert to PC-relative immediates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MInstr {
+    /// `dst = imm` (full 64-bit immediate).
+    MovImm { dst: Reg, imm: i64 },
+    /// `dst = src`.
+    MovReg { dst: Reg, src: Reg },
+    /// `dst = lhs op rhs`. Xar86 requires `dst == lhs` (two-operand form).
+    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Reg },
+    /// `dst = lhs op imm`. Xar86 requires `dst == lhs`.
+    AluImm { op: AluOp, dst: Reg, lhs: Reg, imm: i32 },
+    /// `dst = lhs op rhs` on FP registers. Xar86 requires `dst == lhs`.
+    FAlu { op: FAluOp, dst: FReg, lhs: FReg, rhs: FReg },
+    /// `dst = imm` (f64 immediate).
+    FMovImm { dst: FReg, imm: f64 },
+    /// `dst = src` on FP registers.
+    FMovReg { dst: FReg, src: FReg },
+    /// Int/float conversion; `gp` and `fp` are the integer and FP sides.
+    Cvt { dir: CvtDir, gp: Reg, fp: FReg },
+    /// `dst = zero_extend(mem[base + off])`.
+    Load { dst: Reg, base: Reg, off: i32, size: MemSize },
+    /// `mem[base + off] = truncate(src)`.
+    Store { src: Reg, base: Reg, off: i32, size: MemSize },
+    /// `dst = f64(mem[base + off])` (8 bytes).
+    FLoad { dst: FReg, base: Reg, off: i32 },
+    /// `mem[base + off] = src` (8 bytes).
+    FStore { src: FReg, base: Reg, off: i32 },
+    /// Integer load with the stack pointer as base: `dst = mem[sp + off]`.
+    LoadSp { dst: Reg, off: i32 },
+    /// Integer store with the stack pointer as base.
+    StoreSp { src: Reg, off: i32 },
+    /// FP load with the stack pointer as base.
+    FLoadSp { dst: FReg, off: i32 },
+    /// FP store with the stack pointer as base.
+    FStoreSp { src: FReg, off: i32 },
+    /// `dst = fp` — materialize the frame pointer.
+    MovFromFp { dst: Reg },
+    /// `dst = sp` — materialize the stack pointer.
+    MovFromSp { dst: Reg },
+    /// `sp = sp + imm` (frame allocation / deallocation).
+    AddSp { imm: i32 },
+    /// Prologue helper: `push fp; fp = sp` on Xar86,
+    /// `store fp/lr; fp = sp` on Arm64e. See the VM for exact layouts.
+    Enter { frame: i32 },
+    /// Epilogue helper, inverse of [`MInstr::Enter`].
+    Leave,
+    /// Set flags from `lhs cmp rhs`.
+    Cmp { lhs: Reg, rhs: Reg },
+    /// Set flags from `lhs cmp imm`.
+    CmpImm { lhs: Reg, imm: i32 },
+    /// Set flags from FP compare (unordered compares as not-equal).
+    FCmp { lhs: FReg, rhs: FReg },
+    /// Unconditional branch to absolute `target`.
+    Jmp { target: u64 },
+    /// Conditional branch to absolute `target`.
+    JCond { cond: Cond, target: u64 },
+    /// Direct call to absolute `target`. Targets inside the runtime-call
+    /// window trap to the executor instead of transferring control.
+    Call { target: u64 },
+    /// Indirect call through a register.
+    CallReg { target: Reg },
+    /// Return (stack-popped on Xar86, via link register on Arm64e).
+    Ret,
+    /// Push a GP register (Xar86 only).
+    Push { src: Reg },
+    /// Pop into a GP register (Xar86 only).
+    Pop { dst: Reg },
+    /// No operation (also used as alignment padding).
+    Nop,
+    /// Halt the VM.
+    Hlt,
+}
+
+impl fmt::Display for MInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MInstr::MovImm { dst, imm } => write!(f, "mov {dst}, #{imm}"),
+            MInstr::MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            MInstr::Alu { op, dst, lhs, rhs } => write!(f, "{op} {dst}, {lhs}, {rhs}"),
+            MInstr::AluImm { op, dst, lhs, imm } => write!(f, "{op} {dst}, {lhs}, #{imm}"),
+            MInstr::FAlu { op, dst, lhs, rhs } => write!(f, "{op} {dst}, {lhs}, {rhs}"),
+            MInstr::FMovImm { dst, imm } => write!(f, "fmov {dst}, #{imm}"),
+            MInstr::FMovReg { dst, src } => write!(f, "fmov {dst}, {src}"),
+            MInstr::Cvt { dir: CvtDir::I2F, gp, fp } => write!(f, "i2f {fp}, {gp}"),
+            MInstr::Cvt { dir: CvtDir::F2I, gp, fp } => write!(f, "f2i {gp}, {fp}"),
+            MInstr::Load { dst, base, off, size } => {
+                write!(f, "ld{} {dst}, [{base}{off:+}]", size.bytes())
+            }
+            MInstr::Store { src, base, off, size } => {
+                write!(f, "st{} {src}, [{base}{off:+}]", size.bytes())
+            }
+            MInstr::FLoad { dst, base, off } => write!(f, "fld {dst}, [{base}{off:+}]"),
+            MInstr::FStore { src, base, off } => write!(f, "fst {src}, [{base}{off:+}]"),
+            MInstr::LoadSp { dst, off } => write!(f, "ld8 {dst}, [sp{off:+}]"),
+            MInstr::StoreSp { src, off } => write!(f, "st8 {src}, [sp{off:+}]"),
+            MInstr::FLoadSp { dst, off } => write!(f, "fld {dst}, [sp{off:+}]"),
+            MInstr::FStoreSp { src, off } => write!(f, "fst {src}, [sp{off:+}]"),
+            MInstr::MovFromFp { dst } => write!(f, "mov {dst}, fp"),
+            MInstr::MovFromSp { dst } => write!(f, "mov {dst}, sp"),
+            MInstr::AddSp { imm } => write!(f, "add sp, sp, #{imm}"),
+            MInstr::Enter { frame } => write!(f, "enter #{frame}"),
+            MInstr::Leave => write!(f, "leave"),
+            MInstr::Cmp { lhs, rhs } => write!(f, "cmp {lhs}, {rhs}"),
+            MInstr::CmpImm { lhs, imm } => write!(f, "cmp {lhs}, #{imm}"),
+            MInstr::FCmp { lhs, rhs } => write!(f, "fcmp {lhs}, {rhs}"),
+            MInstr::Jmp { target } => write!(f, "b {target:#x}"),
+            MInstr::JCond { cond, target } => write!(f, "b.{cond} {target:#x}"),
+            MInstr::Call { target } => write!(f, "call {target:#x}"),
+            MInstr::CallReg { target } => write!(f, "call {target}"),
+            MInstr::Ret => f.write_str("ret"),
+            MInstr::Push { src } => write!(f, "push {src}"),
+            MInstr::Pop { dst } => write!(f, "pop {dst}"),
+            MInstr::Nop => f.write_str("nop"),
+            MInstr::Hlt => f.write_str("hlt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn alu_roundtrip_indices() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_index(op.index()), Some(op));
+        }
+        assert_eq!(AluOp::from_index(200), None);
+    }
+
+    #[test]
+    fn falu_roundtrip_indices() {
+        for op in FAluOp::ALL {
+            assert_eq!(FAluOp::from_index(op.index()), Some(op));
+        }
+    }
+
+    #[test]
+    fn cond_roundtrip_and_negation() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_index(c.index()), Some(c));
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(c.eval(ord), !c.negate().eval(ord));
+            }
+        }
+    }
+
+    #[test]
+    fn alu_eval_semantics() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), Some(i64::MIN)); // wrapping
+        assert_eq!(AluOp::Div.eval(7, 2), Some(3));
+        assert_eq!(AluOp::Div.eval(7, 0), None);
+        assert_eq!(AluOp::Rem.eval(i64::MIN, -1), None);
+        assert_eq!(AluOp::Shl.eval(1, 65), Some(2)); // masked shift
+        assert_eq!(AluOp::Shr.eval(-8, 1), Some(-4)); // arithmetic
+    }
+
+    #[test]
+    fn memsize_bytes() {
+        assert_eq!(
+            MemSize::ALL.map(|m| m.bytes()),
+            [1, 2, 4, 8]
+        );
+        for m in MemSize::ALL {
+            assert_eq!(MemSize::from_index(m.index()), Some(m));
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let samples = [
+            MInstr::MovImm { dst: Reg(0), imm: 1 },
+            MInstr::Ret,
+            MInstr::Enter { frame: 32 },
+            MInstr::JCond { cond: Cond::Lt, target: 0x400000 },
+        ];
+        for s in samples {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

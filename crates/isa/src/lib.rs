@@ -1,0 +1,204 @@
+//! # xar-isa — two synthetic heterogeneous ISAs
+//!
+//! This crate provides the instruction-set substrate for the Xar-Trek
+//! reproduction: two deliberately *different* register machines standing in
+//! for the paper's x86-64 and ARM64 servers.
+//!
+//! * [`Isa::Xar86`] — 16 general-purpose registers, 8 floating-point
+//!   registers, two-operand ALU forms (`dst = dst op rhs`), variable-length
+//!   byte encoding (1–10 bytes), hardware `push`/`pop`, return address on
+//!   the stack.
+//! * [`Isa::Arm64e`] — 29 allocatable general-purpose registers, 32
+//!   floating-point registers, three-operand ALU forms, fixed 12-byte
+//!   encoding, no `push`/`pop` (explicit `sp` arithmetic), return address in
+//!   a link register.
+//!
+//! The differences are exactly the ones that make run-time cross-ISA
+//! execution migration hard: different register files, calling conventions,
+//! frame layouts, code sizes, and instruction costs. The
+//! `xar-popcorn` crate builds a multi-ISA compiler and a run-time stack
+//! transformer on top of this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use xar_isa::{Isa, MInstr, Reg, Vm, Memory, Trap, AluOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Hand-assemble `r0 = 2 + 40` followed by `hlt` for each ISA and run it.
+//! for isa in [Isa::Xar86, Isa::Arm64e] {
+//!     let prog = [
+//!         MInstr::MovImm { dst: Reg(0), imm: 2 },
+//!         MInstr::AluImm { op: AluOp::Add, dst: Reg(0), lhs: Reg(0), imm: 40 },
+//!         MInstr::Hlt,
+//!     ];
+//!     let base = 0x40_0000;
+//!     let image = xar_isa::assemble(isa, base, &prog)?;
+//!     let mut mem = Memory::new();
+//!     mem.load_image(base, &image);
+//!     let mut vm = Vm::new(isa);
+//!     vm.pc = base;
+//!     vm.sp = 0x7000_0000;
+//!     let trap = vm.run(&mut mem, 1_000)?;
+//!     assert_eq!(trap, Trap::Hlt);
+//!     assert_eq!(vm.regs[0], 42);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod conv;
+pub mod cost;
+pub mod encode;
+pub mod instr;
+pub mod mem;
+pub mod vm;
+
+pub use conv::CallConv;
+pub use encode::{decode, encode, encoded_size, DecodeError, EncodeError};
+pub use instr::{AluOp, Cond, CvtDir, FAluOp, MInstr, MemSize};
+pub use mem::{Memory, PAGE_SIZE};
+pub use vm::{Flags, Trap, Vm, VmFault};
+
+use std::fmt;
+
+/// Base virtual address of the reserved runtime-call window.
+///
+/// A `call` whose target falls inside
+/// `[RUNTIME_CALL_BASE, RUNTIME_CALL_END)` does not transfer control;
+/// instead the VM returns [`Trap::RuntimeCall`] so the embedding executor
+/// (the Popcorn-style run-time library) can service it and resume.
+pub const RUNTIME_CALL_BASE: u64 = 0x1000;
+/// Exclusive end of the runtime-call window. See [`RUNTIME_CALL_BASE`].
+pub const RUNTIME_CALL_END: u64 = 0x2000;
+
+/// An instruction-set architecture understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Isa {
+    /// The x86-64 stand-in: variable-length encoding, 16 GP registers,
+    /// two-operand ALU, stack-based return addresses.
+    Xar86,
+    /// The ARM64 stand-in: fixed 12-byte encoding, 31 GP registers,
+    /// three-operand ALU, link-register return addresses.
+    Arm64e,
+}
+
+impl Isa {
+    /// All ISAs, in the order used for multi-ISA binary layout.
+    pub const ALL: [Isa; 2] = [Isa::Xar86, Isa::Arm64e];
+
+    /// Number of addressable general-purpose registers.
+    pub fn gp_reg_count(self) -> u8 {
+        match self {
+            Isa::Xar86 => 16,
+            Isa::Arm64e => 31,
+        }
+    }
+
+    /// Number of addressable floating-point registers.
+    pub fn fp_reg_count(self) -> u8 {
+        match self {
+            Isa::Xar86 => 8,
+            Isa::Arm64e => 32,
+        }
+    }
+
+    /// Core clock in GHz, used to convert VM cycles to wall-clock time.
+    ///
+    /// Matches the paper's testbed: a 1.7 GHz Xeon Bronze 3104 and a
+    /// 2.0 GHz Cavium ThunderX.
+    pub fn clock_ghz(self) -> f64 {
+        match self {
+            Isa::Xar86 => 1.7,
+            Isa::Arm64e => 2.0,
+        }
+    }
+
+    /// The calling convention for this ISA.
+    pub fn call_conv(self) -> &'static CallConv {
+        conv::call_conv(self)
+    }
+
+    /// A short lowercase name (`"xar86"` / `"arm64e"`), stable across
+    /// versions; used in file formats and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Xar86 => "xar86",
+            Isa::Arm64e => "arm64e",
+        }
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A general-purpose register index.
+///
+/// The valid range depends on the ISA (see [`Isa::gp_reg_count`]); encoders
+/// and the VM validate indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Assembles a sequence of instructions for `isa`, with the first
+/// instruction placed at virtual address `base`.
+///
+/// Branch targets inside [`MInstr`] are absolute virtual addresses; the
+/// encoder converts them to the ISA's PC-relative form, so `base` must be
+/// the address the image will be loaded at.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if any instruction is not encodable on `isa`
+/// (for example a three-operand ALU on [`Isa::Xar86`] or `push` on
+/// [`Isa::Arm64e`]).
+pub fn assemble(isa: Isa, base: u64, instrs: &[MInstr]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::new();
+    for ins in instrs {
+        let at = base + out.len() as u64;
+        encode::encode_into(isa, at, ins, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_properties_differ() {
+        assert_ne!(Isa::Xar86.gp_reg_count(), Isa::Arm64e.gp_reg_count());
+        assert_ne!(Isa::Xar86.clock_ghz(), Isa::Arm64e.clock_ghz());
+        assert_ne!(Isa::Xar86.name(), Isa::Arm64e.name());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(FReg(1).to_string(), "f1");
+        assert_eq!(Isa::Xar86.to_string(), "xar86");
+    }
+
+    #[test]
+    fn runtime_window_is_below_text() {
+        assert!(RUNTIME_CALL_END < 0x40_0000);
+    }
+}

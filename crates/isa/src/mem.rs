@@ -1,0 +1,209 @@
+//! Sparse, paged byte-addressable memory.
+//!
+//! Both ISAs are little-endian and share this memory model, which mirrors
+//! the Popcorn Linux design point that *data* has a common layout across
+//! ISAs — only ISA-specific state (stack frames, registers) needs run-time
+//! transformation.
+
+use std::collections::HashMap;
+
+/// Page size in bytes. Matches the 4 KiB pages of the paper's Popcorn
+/// Linux kernel and is the granularity of the DSM model in `xar-popcorn`.
+pub const PAGE_SIZE: u64 = 4096;
+
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+
+/// A sparse 64-bit address space backed by 4 KiB pages.
+///
+/// Reads of unmapped addresses return zeroes (pages are zero-filled on
+/// first touch); writes allocate pages on demand. Unaligned and
+/// page-crossing accesses are supported.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Page>,
+    /// Count of pages allocated over the lifetime of this memory.
+    pages_touched: u64,
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pages that have been written to.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total pages allocated over the memory's lifetime.
+    pub fn pages_touched(&self) -> u64 {
+        self.pages_touched
+    }
+
+    /// Returns the page numbers of all resident pages, unordered.
+    pub fn resident_page_numbers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pages.keys().copied()
+    }
+
+    fn page_mut(&mut self, pno: u64) -> &mut Page {
+        self.pages.entry(pno).or_insert_with(|| {
+            self.pages_touched += 1;
+            Box::new([0u8; PAGE_SIZE as usize])
+        })
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        self.page_mut(addr / PAGE_SIZE)[(addr % PAGE_SIZE) as usize] = val;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let pno = a / PAGE_SIZE;
+            let po = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - po).min(buf.len() - done);
+            match self.pages.get(&pno) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p[po..po + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let a = addr + done as u64;
+            let pno = a / PAGE_SIZE;
+            let po = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - po).min(data.len() - done);
+            self.page_mut(pno)[po..po + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Reads a little-endian unsigned value of `size` bytes, zero-extended.
+    pub fn read_uint(&self, addr: u64, size: u64) -> u64 {
+        debug_assert!(size <= 8);
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..size as usize]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `size` bytes of `val`, little-endian.
+    pub fn write_uint(&mut self, addr: u64, val: u64, size: u64) {
+        debug_assert!(size <= 8);
+        self.write_bytes(addr, &val.to_le_bytes()[..size as usize]);
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_uint(addr, val, 8)
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn write_i64(&mut self, addr: u64, val: i64) {
+        self.write_u64(addr, val as u64)
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, addr: u64, val: f64) {
+        self.write_u64(addr, val.to_bits())
+    }
+
+    /// Copies `image` into memory starting at `base` (e.g. a linked text
+    /// or data segment).
+    pub fn load_image(&mut self, base: u64, image: &[u8]) {
+        self.write_bytes(base, image);
+    }
+
+    /// Copies `len` bytes out of memory starting at `addr`.
+    pub fn dump(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_bytes(addr, &mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.read_u8(u64::MAX - 9), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_various_widths() {
+        let mut m = Memory::new();
+        m.write_u8(10, 0xAB);
+        assert_eq!(m.read_u8(10), 0xAB);
+        m.write_uint(100, 0xDEAD, 2);
+        assert_eq!(m.read_uint(100, 2), 0xDEAD);
+        m.write_u64(200, u64::MAX - 3);
+        assert_eq!(m.read_u64(200), u64::MAX - 3);
+        m.write_i64(300, -42);
+        assert_eq!(m.read_i64(300), -42);
+        m.write_f64(400, -1.5e300);
+        assert_eq!(m.read_f64(400), -1.5e300);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 3;
+        m.write_u64(addr, 0x0102030405060708);
+        assert_eq!(m.read_u64(addr), 0x0102030405060708);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn image_load_and_dump() {
+        let mut m = Memory::new();
+        let img: Vec<u8> = (0..=255).collect();
+        m.load_image(0x40_0000, &img);
+        assert_eq!(m.dump(0x40_0000, 256), img);
+        // Partial dump past the image reads zeroes.
+        assert_eq!(m.dump(0x40_00FF, 2), vec![255, 0]);
+    }
+
+    #[test]
+    fn truncating_small_writes() {
+        let mut m = Memory::new();
+        m.write_u64(0, u64::MAX);
+        m.write_uint(0, 0, 1);
+        assert_eq!(m.read_u64(0), u64::MAX << 8);
+    }
+}

@@ -1,0 +1,576 @@
+//! Cycle-counting virtual machines for the two ISAs.
+//!
+//! A [`Vm`] fetch-decodes instructions from a [`Memory`] image produced by
+//! the `xar-popcorn` linker (or by [`crate::assemble`]), executes them with
+//! the ISA's semantics, and accumulates a cycle count from
+//! [`crate::cost::cycles`].
+//!
+//! Control returns to the embedding executor via [`Trap`]s:
+//!
+//! * [`Trap::Hlt`] — the program executed `hlt`;
+//! * [`Trap::RuntimeCall`] — a `call` targeted the reserved runtime window
+//!   (`[RUNTIME_CALL_BASE, RUNTIME_CALL_END)`), standing in for Popcorn's
+//!   run-time library entry points (scheduler hooks, migration points,
+//!   FPGA configuration/invocation, heap allocation, I/O);
+//! * [`Trap::OutOfFuel`] — the instruction budget given to [`Vm::run`] was
+//!   exhausted (the VM can simply be resumed).
+//!
+//! # Frame-record convention (both ISAs)
+//!
+//! `enter`/`leave` maintain an identical *frame record* on both ISAs —
+//! `[fp]` holds the caller's `fp` and `[fp + 8]` holds the return address —
+//! even though the mechanism differs (Xar86's `call` pushes the return
+//! address; Arm64e's `enter` spills the link register). This mirrors real
+//! x86-64/AArch64 frame chains and is what the cross-ISA stack transformer
+//! walks.
+
+use crate::cost;
+use crate::encode::{decode, DecodeError};
+use crate::instr::{CvtDir, MInstr};
+use crate::mem::Memory;
+use crate::{Isa, RUNTIME_CALL_BASE, RUNTIME_CALL_END};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Comparison flags, set by `cmp`/`fcmp` and consumed by `b.cond`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Flags {
+    /// No compare executed yet.
+    #[default]
+    None,
+    /// Result of an integer compare.
+    Int(Ordering),
+    /// Result of an FP compare; `None` means unordered (NaN involved).
+    Float(Option<Ordering>),
+}
+
+impl Flags {
+    /// Evaluates a branch condition against the flags.
+    ///
+    /// Unordered FP compares make every condition except `ne` false, and
+    /// `ne` true (IEEE-754 style). With no compare executed, all
+    /// conditions are false.
+    pub fn eval(self, cond: crate::Cond) -> bool {
+        match self {
+            Flags::None => false,
+            Flags::Int(ord) => cond.eval(ord),
+            Flags::Float(Some(ord)) => cond.eval(ord),
+            Flags::Float(None) => cond == crate::Cond::Ne,
+        }
+    }
+}
+
+/// Why the VM stopped without faulting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// A `hlt` instruction executed.
+    Hlt,
+    /// A call into the reserved runtime window.
+    ///
+    /// The VM has already advanced `pc` past the call; the executor
+    /// services the call (reading arguments from the argument registers of
+    /// [`Isa::call_conv`]) and resumes with [`Vm::run`].
+    RuntimeCall {
+        /// The address called, identifying the runtime service.
+        addr: u64,
+        /// The address execution resumes at (already in `pc`).
+        ret_to: u64,
+    },
+    /// The instruction budget was exhausted; resume by calling
+    /// [`Vm::run`] again.
+    OutOfFuel,
+}
+
+/// An execution fault (the guest program is broken).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmFault {
+    /// Instruction bytes at `pc` failed to decode.
+    Decode {
+        /// Faulting program counter.
+        pc: u64,
+        /// Underlying decode error.
+        err: DecodeError,
+    },
+    /// Integer division fault (divide by zero or `i64::MIN / -1`).
+    DivFault {
+        /// Faulting program counter.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for VmFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmFault::Decode { pc, err } => write!(f, "decode fault at {pc:#x}: {err}"),
+            VmFault::DivFault { pc } => write!(f, "integer division fault at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+/// A virtual CPU for one ISA.
+///
+/// Register state is public: the Popcorn-style run-time reads and writes
+/// it directly when servicing runtime calls and when transforming state
+/// across ISAs.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    /// Which ISA this VM executes.
+    pub isa: Isa,
+    /// General-purpose registers (only the first [`Isa::gp_reg_count`]
+    /// are addressable).
+    pub regs: [i64; 32],
+    /// Floating-point registers.
+    pub fregs: [f64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Stack pointer (dedicated register on both ISAs).
+    pub sp: u64,
+    /// Frame pointer.
+    pub fp: u64,
+    /// Link register (used by Arm64e; ignored by Xar86).
+    pub lr: u64,
+    /// Comparison flags.
+    pub flags: Flags,
+    /// Accumulated cycle count.
+    pub cycles: u64,
+    /// Retired instruction count.
+    pub instret: u64,
+    decode_cache: HashMap<u64, (MInstr, u32)>,
+}
+
+impl Vm {
+    /// Creates a VM with zeroed state for `isa`.
+    pub fn new(isa: Isa) -> Self {
+        Vm {
+            isa,
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            pc: 0,
+            sp: 0,
+            fp: 0,
+            lr: 0,
+            flags: Flags::None,
+            cycles: 0,
+            instret: 0,
+            decode_cache: HashMap::new(),
+        }
+    }
+
+    /// Elapsed virtual time in nanoseconds, from cycles and the ISA clock.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycles as f64 / self.isa.clock_ghz()
+    }
+
+    /// Clears the decode cache (required if code memory is rewritten).
+    pub fn invalidate_code(&mut self) {
+        self.decode_cache.clear();
+    }
+
+    fn fetch(&mut self, mem: &Memory) -> Result<(MInstr, u32), VmFault> {
+        if let Some(hit) = self.decode_cache.get(&self.pc) {
+            return Ok(*hit);
+        }
+        let mut buf = [0u8; 16];
+        mem.read_bytes(self.pc, &mut buf);
+        let (ins, len) = decode(self.isa, self.pc, &buf)
+            .map_err(|err| VmFault::Decode { pc: self.pc, err })?;
+        let entry = (ins, len as u32);
+        self.decode_cache.insert(self.pc, entry);
+        Ok(entry)
+    }
+
+    /// Runs until a trap or fault, executing at most `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmFault`] if the guest decodes or divides invalidly; the
+    /// VM state is left at the faulting instruction.
+    pub fn run(&mut self, mem: &mut Memory, mut fuel: u64) -> Result<Trap, VmFault> {
+        while fuel > 0 {
+            fuel -= 1;
+            let (ins, len) = self.fetch(mem)?;
+            let pc = self.pc;
+            let next = pc + len as u64;
+            self.cycles += cost::cycles(self.isa, &ins);
+            self.instret += 1;
+            self.pc = next;
+            match ins {
+                MInstr::MovImm { dst, imm } => self.regs[dst.0 as usize] = imm,
+                MInstr::MovReg { dst, src } => {
+                    self.regs[dst.0 as usize] = self.regs[src.0 as usize]
+                }
+                MInstr::Alu { op, dst, lhs, rhs } => {
+                    let l = self.regs[lhs.0 as usize];
+                    let r = self.regs[rhs.0 as usize];
+                    self.regs[dst.0 as usize] =
+                        op.eval(l, r).ok_or(VmFault::DivFault { pc })?;
+                }
+                MInstr::AluImm { op, dst, lhs, imm } => {
+                    let l = self.regs[lhs.0 as usize];
+                    self.regs[dst.0 as usize] =
+                        op.eval(l, imm as i64).ok_or(VmFault::DivFault { pc })?;
+                }
+                MInstr::FAlu { op, dst, lhs, rhs } => {
+                    let l = self.fregs[lhs.0 as usize];
+                    let r = self.fregs[rhs.0 as usize];
+                    self.fregs[dst.0 as usize] = op.eval(l, r);
+                }
+                MInstr::FMovImm { dst, imm } => self.fregs[dst.0 as usize] = imm,
+                MInstr::FMovReg { dst, src } => {
+                    self.fregs[dst.0 as usize] = self.fregs[src.0 as usize]
+                }
+                MInstr::Cvt { dir: CvtDir::I2F, gp, fp } => {
+                    self.fregs[fp.0 as usize] = self.regs[gp.0 as usize] as f64
+                }
+                MInstr::Cvt { dir: CvtDir::F2I, gp, fp } => {
+                    self.regs[gp.0 as usize] = self.fregs[fp.0 as usize] as i64
+                }
+                MInstr::Load { dst, base, off, size } => {
+                    let addr = (self.regs[base.0 as usize] as u64).wrapping_add(off as i64 as u64);
+                    self.regs[dst.0 as usize] = mem.read_uint(addr, size.bytes()) as i64;
+                }
+                MInstr::Store { src, base, off, size } => {
+                    let addr = (self.regs[base.0 as usize] as u64).wrapping_add(off as i64 as u64);
+                    mem.write_uint(addr, self.regs[src.0 as usize] as u64, size.bytes());
+                }
+                MInstr::FLoad { dst, base, off } => {
+                    let addr = (self.regs[base.0 as usize] as u64).wrapping_add(off as i64 as u64);
+                    self.fregs[dst.0 as usize] = mem.read_f64(addr);
+                }
+                MInstr::FStore { src, base, off } => {
+                    let addr = (self.regs[base.0 as usize] as u64).wrapping_add(off as i64 as u64);
+                    mem.write_f64(addr, self.fregs[src.0 as usize]);
+                }
+                MInstr::LoadSp { dst, off } => {
+                    self.regs[dst.0 as usize] =
+                        mem.read_i64(self.sp.wrapping_add(off as i64 as u64));
+                }
+                MInstr::StoreSp { src, off } => {
+                    mem.write_i64(self.sp.wrapping_add(off as i64 as u64), self.regs[src.0 as usize]);
+                }
+                MInstr::FLoadSp { dst, off } => {
+                    self.fregs[dst.0 as usize] =
+                        mem.read_f64(self.sp.wrapping_add(off as i64 as u64));
+                }
+                MInstr::FStoreSp { src, off } => {
+                    mem.write_f64(self.sp.wrapping_add(off as i64 as u64), self.fregs[src.0 as usize]);
+                }
+                MInstr::MovFromFp { dst } => self.regs[dst.0 as usize] = self.fp as i64,
+                MInstr::MovFromSp { dst } => self.regs[dst.0 as usize] = self.sp as i64,
+                MInstr::AddSp { imm } => self.sp = self.sp.wrapping_add(imm as i64 as u64),
+                MInstr::Enter { frame } => match self.isa {
+                    Isa::Xar86 => {
+                        // Return address was pushed by `call`; push caller fp.
+                        self.sp = self.sp.wrapping_sub(8);
+                        mem.write_u64(self.sp, self.fp);
+                        self.fp = self.sp;
+                        self.sp = self.sp.wrapping_sub(frame as i64 as u64);
+                    }
+                    Isa::Arm64e => {
+                        // Spill the frame record (fp, lr) like AArch64's stp.
+                        self.sp = self.sp.wrapping_sub(16);
+                        mem.write_u64(self.sp, self.fp);
+                        mem.write_u64(self.sp + 8, self.lr);
+                        self.fp = self.sp;
+                        self.sp = self.sp.wrapping_sub(frame as i64 as u64);
+                    }
+                },
+                MInstr::Leave => match self.isa {
+                    Isa::Xar86 => {
+                        self.sp = self.fp;
+                        self.fp = mem.read_u64(self.sp);
+                        self.sp = self.sp.wrapping_add(8);
+                        // Return address now at [sp]; `ret` pops it.
+                    }
+                    Isa::Arm64e => {
+                        self.sp = self.fp;
+                        self.fp = mem.read_u64(self.sp);
+                        self.lr = mem.read_u64(self.sp + 8);
+                        self.sp = self.sp.wrapping_add(16);
+                    }
+                },
+                MInstr::Cmp { lhs, rhs } => {
+                    self.flags =
+                        Flags::Int(self.regs[lhs.0 as usize].cmp(&self.regs[rhs.0 as usize]));
+                }
+                MInstr::CmpImm { lhs, imm } => {
+                    self.flags = Flags::Int(self.regs[lhs.0 as usize].cmp(&(imm as i64)));
+                }
+                MInstr::FCmp { lhs, rhs } => {
+                    self.flags = Flags::Float(
+                        self.fregs[lhs.0 as usize].partial_cmp(&self.fregs[rhs.0 as usize]),
+                    );
+                }
+                MInstr::Jmp { target } => self.pc = target,
+                MInstr::JCond { cond, target } => {
+                    if self.flags.eval(cond) {
+                        self.pc = target;
+                    }
+                }
+                MInstr::Call { target } => {
+                    if (RUNTIME_CALL_BASE..RUNTIME_CALL_END).contains(&target) {
+                        return Ok(Trap::RuntimeCall { addr: target, ret_to: next });
+                    }
+                    self.do_call(mem, target, next);
+                }
+                MInstr::CallReg { target } => {
+                    let target = self.regs[target.0 as usize] as u64;
+                    if (RUNTIME_CALL_BASE..RUNTIME_CALL_END).contains(&target) {
+                        return Ok(Trap::RuntimeCall { addr: target, ret_to: next });
+                    }
+                    self.do_call(mem, target, next);
+                }
+                MInstr::Ret => match self.isa {
+                    Isa::Xar86 => {
+                        self.pc = mem.read_u64(self.sp);
+                        self.sp = self.sp.wrapping_add(8);
+                    }
+                    Isa::Arm64e => self.pc = self.lr,
+                },
+                MInstr::Push { src } => {
+                    self.sp = self.sp.wrapping_sub(8);
+                    mem.write_i64(self.sp, self.regs[src.0 as usize]);
+                }
+                MInstr::Pop { dst } => {
+                    self.regs[dst.0 as usize] = mem.read_i64(self.sp);
+                    self.sp = self.sp.wrapping_add(8);
+                }
+                MInstr::Nop => {}
+                MInstr::Hlt => return Ok(Trap::Hlt),
+            }
+        }
+        Ok(Trap::OutOfFuel)
+    }
+
+    fn do_call(&mut self, mem: &mut Memory, target: u64, ret_to: u64) {
+        match self.isa {
+            Isa::Xar86 => {
+                self.sp = self.sp.wrapping_sub(8);
+                mem.write_u64(self.sp, ret_to);
+            }
+            Isa::Arm64e => self.lr = ret_to,
+        }
+        self.pc = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Cond, MemSize};
+    use crate::{assemble, Reg};
+
+    const TEXT: u64 = 0x40_0000;
+    const STACK: u64 = 0x7000_0000;
+
+    fn run_prog(isa: Isa, prog: &[MInstr]) -> (Vm, Memory) {
+        let image = assemble(isa, TEXT, prog).expect("assemble");
+        let mut mem = Memory::new();
+        mem.load_image(TEXT, &image);
+        let mut vm = Vm::new(isa);
+        vm.pc = TEXT;
+        vm.sp = STACK;
+        let trap = vm.run(&mut mem, 100_000).expect("run");
+        assert_eq!(trap, Trap::Hlt);
+        (vm, mem)
+    }
+
+    #[test]
+    fn arithmetic_loop_same_result_both_isas() {
+        // sum = 0; for i in 1..=100 { sum += i*i }  => 338350
+        // Built per-ISA to respect operand-form constraints.
+        for isa in Isa::ALL {
+            let (sum, i, tmp) = (Reg(6), Reg(7), Reg(12));
+            let mut prog = vec![
+                MInstr::MovImm { dst: sum, imm: 0 },
+                MInstr::MovImm { dst: i, imm: 1 },
+            ];
+            let loop_start = TEXT
+                + prog
+                    .iter()
+                    .map(|p| crate::encode::encoded_size(isa, p) as u64)
+                    .sum::<u64>();
+            let body = match isa {
+                Isa::Xar86 => vec![
+                    MInstr::MovReg { dst: tmp, src: i },
+                    MInstr::Alu { op: AluOp::Mul, dst: tmp, lhs: tmp, rhs: i },
+                    MInstr::Alu { op: AluOp::Add, dst: sum, lhs: sum, rhs: tmp },
+                    MInstr::AluImm { op: AluOp::Add, dst: i, lhs: i, imm: 1 },
+                    MInstr::CmpImm { lhs: i, imm: 100 },
+                    MInstr::JCond { cond: Cond::Le, target: loop_start },
+                    MInstr::MovReg { dst: Reg(0), src: sum },
+                    MInstr::Hlt,
+                ],
+                Isa::Arm64e => vec![
+                    MInstr::Alu { op: AluOp::Mul, dst: tmp, lhs: i, rhs: i },
+                    MInstr::Alu { op: AluOp::Add, dst: sum, lhs: sum, rhs: tmp },
+                    MInstr::AluImm { op: AluOp::Add, dst: i, lhs: i, imm: 1 },
+                    MInstr::CmpImm { lhs: i, imm: 100 },
+                    MInstr::JCond { cond: Cond::Le, target: loop_start },
+                    MInstr::MovReg { dst: Reg(0), src: sum },
+                    MInstr::Hlt,
+                ],
+            };
+            prog.extend(body);
+            let (vm, _) = run_prog(isa, &prog);
+            assert_eq!(vm.regs[0], 338350, "{isa}");
+            assert!(vm.cycles > 0 && vm.instret > 0);
+        }
+    }
+
+    #[test]
+    fn call_ret_and_frame_record_layout() {
+        // main: call f; hlt        f: enter 16; leave; ret
+        for isa in Isa::ALL {
+            // Lay out: [call][hlt][f...]
+            let call_size = crate::encode::encoded_size(isa, &MInstr::Call { target: 0 }) as u64;
+            let hlt_size = crate::encode::encoded_size(isa, &MInstr::Hlt) as u64;
+            let f_addr = TEXT + call_size + hlt_size;
+            let prog = vec![
+                MInstr::Call { target: f_addr },
+                MInstr::Hlt,
+                MInstr::Enter { frame: 16 },
+                MInstr::Leave,
+                MInstr::Ret,
+            ];
+            let (vm, _) = run_prog(isa, &prog);
+            // Stack fully popped.
+            assert_eq!(vm.sp, STACK, "{isa}");
+        }
+    }
+
+    #[test]
+    fn frame_record_identical_across_isas() {
+        // Stop inside the callee (via runtime call trap) and inspect
+        // [fp] = caller fp, [fp+8] = return address.
+        for isa in Isa::ALL {
+            let call_size = crate::encode::encoded_size(isa, &MInstr::Call { target: 0 }) as u64;
+            let hlt_size = crate::encode::encoded_size(isa, &MInstr::Hlt) as u64;
+            let f_addr = TEXT + call_size + hlt_size;
+            let prog = vec![
+                MInstr::Call { target: f_addr },
+                MInstr::Hlt,
+                MInstr::Enter { frame: 32 },
+                MInstr::Call { target: RUNTIME_CALL_BASE }, // trap point
+                MInstr::Leave,
+                MInstr::Ret,
+            ];
+            let image = assemble(isa, TEXT, &prog).unwrap();
+            let mut mem = Memory::new();
+            mem.load_image(TEXT, &image);
+            let mut vm = Vm::new(isa);
+            vm.pc = TEXT;
+            vm.sp = STACK;
+            vm.fp = 0xAAAA_0000; // sentinel caller fp
+            let trap = vm.run(&mut mem, 1000).unwrap();
+            match trap {
+                Trap::RuntimeCall { addr, .. } => assert_eq!(addr, RUNTIME_CALL_BASE),
+                other => panic!("{isa}: expected runtime call, got {other:?}"),
+            }
+            assert_eq!(mem.read_u64(vm.fp), 0xAAAA_0000, "{isa}: [fp] caller fp");
+            let ret = mem.read_u64(vm.fp + 8);
+            assert_eq!(ret, TEXT + call_size, "{isa}: [fp+8] return address");
+            // Frame slots live below fp.
+            assert_eq!(vm.sp, vm.fp - 32, "{isa}: frame allocation");
+        }
+    }
+
+    #[test]
+    fn memory_ops_and_sizes() {
+        for isa in Isa::ALL {
+            let base = Reg(1);
+            let prog = vec![
+                MInstr::MovImm { dst: base, imm: 0x5000_0000 },
+                MInstr::MovImm { dst: Reg(2), imm: -1 },
+                MInstr::Store { src: Reg(2), base, off: 0, size: MemSize::B4 },
+                MInstr::Load { dst: Reg(0), base, off: 0, size: MemSize::B8 },
+                MInstr::Hlt,
+            ];
+            let (vm, _) = run_prog(isa, &prog);
+            // 4-byte store of -1 zero-extends on 8-byte load.
+            assert_eq!(vm.regs[0], 0xFFFF_FFFF, "{isa}");
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_resumes() {
+        let prog = vec![
+            MInstr::MovImm { dst: Reg(0), imm: 7 },
+            MInstr::AluImm { op: AluOp::Add, dst: Reg(0), lhs: Reg(0), imm: 1 },
+            MInstr::Hlt,
+        ];
+        let image = assemble(Isa::Xar86, TEXT, &prog).unwrap();
+        let mut mem = Memory::new();
+        mem.load_image(TEXT, &image);
+        let mut vm = Vm::new(Isa::Xar86);
+        vm.pc = TEXT;
+        vm.sp = STACK;
+        assert_eq!(vm.run(&mut mem, 1).unwrap(), Trap::OutOfFuel);
+        assert_eq!(vm.run(&mut mem, 100).unwrap(), Trap::Hlt);
+        assert_eq!(vm.regs[0], 8);
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        let prog = vec![
+            MInstr::MovImm { dst: Reg(0), imm: 1 },
+            MInstr::MovImm { dst: Reg(1), imm: 0 },
+            MInstr::Alu { op: AluOp::Div, dst: Reg(0), lhs: Reg(0), rhs: Reg(1) },
+            MInstr::Hlt,
+        ];
+        let image = assemble(Isa::Xar86, TEXT, &prog).unwrap();
+        let mut mem = Memory::new();
+        mem.load_image(TEXT, &image);
+        let mut vm = Vm::new(Isa::Xar86);
+        vm.pc = TEXT;
+        vm.sp = STACK;
+        match vm.run(&mut mem, 100) {
+            Err(VmFault::DivFault { .. }) => {}
+            other => panic!("expected div fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fcmp_nan_behaves_ieee() {
+        let prog = vec![
+            MInstr::FMovImm { dst: crate::FReg(0), imm: f64::NAN },
+            MInstr::FMovImm { dst: crate::FReg(1), imm: 1.0 },
+            MInstr::FCmp { lhs: crate::FReg(0), rhs: crate::FReg(1) },
+            MInstr::MovImm { dst: Reg(0), imm: 0 },
+            // ne must be taken for NaN.
+            MInstr::JCond { cond: Cond::Ne, target: 0 }, // patched below
+            MInstr::Hlt,
+            MInstr::MovImm { dst: Reg(0), imm: 1 },
+            MInstr::Hlt,
+        ];
+        // Compute address of the second MovImm.
+        let sizes: Vec<u64> = prog
+            .iter()
+            .map(|p| crate::encode::encoded_size(Isa::Xar86, p) as u64)
+            .collect();
+        let target = TEXT + sizes[..6].iter().sum::<u64>();
+        let mut prog = prog;
+        prog[4] = MInstr::JCond { cond: Cond::Ne, target };
+        let (vm, _) = run_prog(Isa::Xar86, &prog);
+        assert_eq!(vm.regs[0], 1);
+    }
+
+    #[test]
+    fn same_program_costs_differ_across_isas() {
+        let mk = |_isa: Isa| {
+            vec![
+                MInstr::MovImm { dst: Reg(0), imm: 5 },
+                MInstr::MovImm { dst: Reg(1), imm: 3 },
+                MInstr::Alu { op: AluOp::Mul, dst: Reg(0), lhs: Reg(0), rhs: Reg(1) },
+                MInstr::Hlt,
+            ]
+        };
+        let (vx, _) = run_prog(Isa::Xar86, &mk(Isa::Xar86));
+        let (va, _) = run_prog(Isa::Arm64e, &mk(Isa::Arm64e));
+        assert_eq!(vx.regs[0], va.regs[0]);
+        assert_ne!(vx.cycles, va.cycles);
+    }
+}

@@ -1,0 +1,482 @@
+//! Per-ISA code generation.
+//!
+//! Lowering strategy: every IR local is homed to a stack slot in the
+//! function's [`FrameLayout`]; each IR instruction loads its operands
+//! into caller-saved scratch registers, computes, and stores the result
+//! back. ALU lowering honours each ISA's operand form (two-operand on
+//! Xar86, three-operand on Arm64e). Calls marshal arguments from slots
+//! into the ISA's argument registers.
+//!
+//! Lowering happens in two phases:
+//!
+//! 1. [`lower_function`] — IR → a symbolic instruction stream
+//!    ([`AsmItem`]s) with labels and unresolved call targets. Encoded
+//!    sizes are value-independent, so layout can be computed from this.
+//! 2. [`emit_function`] — resolve labels/symbols to addresses and encode
+//!    bytes, recording the per-ISA return address of every call site.
+
+use crate::ir::{Function, FuncId, GlobalId, Inst, LocalId, Module, Terminator, Ty};
+use crate::liveness::Liveness;
+use crate::metadata::FrameLayout;
+use crate::rt::RtFunc;
+use std::collections::HashMap;
+use xar_isa::{encode, encoded_size, Cond, FReg, Isa, MInstr, Reg};
+
+/// A branch label inside one function's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Label {
+    /// A basic-block entry.
+    Block(u32),
+    /// A lowering-local label (e.g. compare materialization).
+    Local(u32),
+}
+
+/// One element of the symbolic instruction stream.
+#[derive(Debug, Clone)]
+pub(crate) enum AsmItem {
+    /// A fully-formed machine instruction.
+    Ins(MInstr),
+    /// A label definition (zero bytes).
+    Label(Label),
+    /// A branch to a label (conditional if `cond` is set).
+    Branch { cond: Option<Cond>, to: Label },
+    /// A direct call to a module function; `site` is the call-site id.
+    CallFunc { func: FuncId, site: u32 },
+    /// A call to a runtime entry point; `site` is the call-site id.
+    CallRt { rt: RtFunc, site: u32 },
+    /// Materialize a global's address into a register.
+    MovGlobal { dst: Reg, global: GlobalId },
+}
+
+impl AsmItem {
+    fn size(&self, isa: Isa) -> u64 {
+        match self {
+            AsmItem::Ins(i) => encoded_size(isa, i) as u64,
+            AsmItem::Label(_) => 0,
+            AsmItem::Branch { cond: None, .. } => {
+                encoded_size(isa, &MInstr::Jmp { target: 0 }) as u64
+            }
+            AsmItem::Branch { cond: Some(_), .. } => {
+                encoded_size(isa, &MInstr::JCond { cond: Cond::Eq, target: 0 }) as u64
+            }
+            AsmItem::CallFunc { .. } | AsmItem::CallRt { .. } => {
+                encoded_size(isa, &MInstr::Call { target: 0 }) as u64
+            }
+            AsmItem::MovGlobal { .. } => {
+                encoded_size(isa, &MInstr::MovImm { dst: Reg(0), imm: 0 }) as u64
+            }
+        }
+    }
+}
+
+/// Static description of one call site, shared across ISAs.
+#[derive(Debug, Clone)]
+pub(crate) struct SiteDesc {
+    pub func: FuncId,
+    pub live: Vec<LocalId>,
+    pub is_migpoint: bool,
+}
+
+/// Assigns dense call-site ids in deterministic IR order and computes
+/// each site's live set. The same ids arise for every ISA because
+/// lowering emits exactly one call item per IR call, in IR order.
+pub(crate) fn assign_sites(
+    module: &Module,
+) -> (Vec<SiteDesc>, HashMap<(u32, u32, u32), u32>) {
+    let mut sites = Vec::new();
+    let mut map = HashMap::new();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let lv = Liveness::compute(f);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if inst.is_call() {
+                    let id = sites.len() as u32;
+                    let mut live: Vec<LocalId> =
+                        lv.live_after(f, bi, ii).into_iter().collect();
+                    live.sort();
+                    let is_migpoint = matches!(
+                        inst,
+                        Inst::CallRt { func: RtFunc::MigPoint, .. }
+                    );
+                    sites.push(SiteDesc { func: FuncId(fi as u32), live, is_migpoint });
+                    map.insert((fi as u32, bi as u32, ii as u32), id);
+                }
+            }
+        }
+    }
+    (sites, map)
+}
+
+/// A lowered (but not yet emitted) function.
+#[derive(Debug)]
+pub(crate) struct LoweredFunc {
+    pub items: Vec<AsmItem>,
+    pub layout: FrameLayout,
+    pub size: u64,
+}
+
+struct Lowerer<'a> {
+    isa: Isa,
+    func: &'a Function,
+    fid: FuncId,
+    layout: FrameLayout,
+    items: Vec<AsmItem>,
+    next_local_label: u32,
+    site_map: &'a HashMap<(u32, u32, u32), u32>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn scratch(&self, i: usize) -> Reg {
+        self.isa.call_conv().scratch[i]
+    }
+
+    fn fscratch(&self, i: usize) -> FReg {
+        self.isa.call_conv().scratch_f[i]
+    }
+
+    fn emit(&mut self, ins: MInstr) {
+        self.items.push(AsmItem::Ins(ins));
+    }
+
+    fn fresh_label(&mut self) -> Label {
+        let l = Label::Local(self.next_local_label);
+        self.next_local_label += 1;
+        l
+    }
+
+    fn load_local_gp(&mut self, l: LocalId, dst: Reg) {
+        debug_assert_eq!(self.func.local_ty(l), Ty::I64);
+        let off = self.layout.slot_off_from_sp(l);
+        self.emit(MInstr::LoadSp { dst, off });
+    }
+
+    fn store_local_gp(&mut self, src: Reg, l: LocalId) {
+        debug_assert_eq!(self.func.local_ty(l), Ty::I64);
+        let off = self.layout.slot_off_from_sp(l);
+        self.emit(MInstr::StoreSp { src, off });
+    }
+
+    fn load_local_fp(&mut self, l: LocalId, dst: FReg) {
+        debug_assert_eq!(self.func.local_ty(l), Ty::F64);
+        let off = self.layout.slot_off_from_sp(l);
+        self.emit(MInstr::FLoadSp { dst, off });
+    }
+
+    fn store_local_fp(&mut self, src: FReg, l: LocalId) {
+        debug_assert_eq!(self.func.local_ty(l), Ty::F64);
+        let off = self.layout.slot_off_from_sp(l);
+        self.emit(MInstr::FStoreSp { src, off });
+    }
+
+    /// Materializes 0/1 from the current flags into `dst` using two
+    /// local labels.
+    fn materialize_cond(&mut self, pred: Cond, dst: Reg) {
+        let set = self.fresh_label();
+        let done = self.fresh_label();
+        self.items.push(AsmItem::Branch { cond: Some(pred), to: set });
+        self.emit(MInstr::MovImm { dst, imm: 0 });
+        self.items.push(AsmItem::Branch { cond: None, to: done });
+        self.items.push(AsmItem::Label(set));
+        self.emit(MInstr::MovImm { dst, imm: 1 });
+        self.items.push(AsmItem::Label(done));
+    }
+
+    fn prologue(&mut self) {
+        self.emit(MInstr::Enter { frame: self.layout.frame_size });
+        let cc = self.isa.call_conv();
+        let (mut gi, mut fi) = (0usize, 0usize);
+        for (i, ty) in self.func.params.iter().enumerate() {
+            let l = LocalId(i as u32);
+            match ty {
+                Ty::I64 => {
+                    self.store_local_gp(cc.arg_regs[gi], l);
+                    gi += 1;
+                }
+                Ty::F64 => {
+                    self.store_local_fp(cc.farg_regs[fi], l);
+                    fi += 1;
+                }
+            }
+        }
+    }
+
+    fn lower_call_args(&mut self, args: &[LocalId]) {
+        let cc = self.isa.call_conv();
+        let (mut gi, mut fi) = (0usize, 0usize);
+        for &a in args {
+            match self.func.local_ty(a) {
+                Ty::I64 => {
+                    self.load_local_gp(a, cc.arg_regs[gi]);
+                    gi += 1;
+                }
+                Ty::F64 => {
+                    self.load_local_fp(a, cc.farg_regs[fi]);
+                    fi += 1;
+                }
+            }
+        }
+    }
+
+    fn lower_inst(&mut self, module: &Module, bi: u32, ii: u32, inst: &Inst) {
+        let (s0, s1, s2) = (self.scratch(0), self.scratch(1), self.scratch(2));
+        let (f0, f1, f2) = (self.fscratch(0), self.fscratch(1), self.fscratch(2));
+        match inst {
+            Inst::ConstI { dst, v } => {
+                self.emit(MInstr::MovImm { dst: s0, imm: *v });
+                self.store_local_gp(s0, *dst);
+            }
+            Inst::ConstF { dst, v } => {
+                self.emit(MInstr::FMovImm { dst: f0, imm: *v });
+                self.store_local_fp(f0, *dst);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                self.load_local_gp(*lhs, s0);
+                self.load_local_gp(*rhs, s1);
+                let out = match self.isa {
+                    // Two-operand form: result clobbers lhs scratch.
+                    Isa::Xar86 => {
+                        self.emit(MInstr::Alu { op: op.to_alu(), dst: s0, lhs: s0, rhs: s1 });
+                        s0
+                    }
+                    // Three-operand form.
+                    Isa::Arm64e => {
+                        self.emit(MInstr::Alu { op: op.to_alu(), dst: s2, lhs: s0, rhs: s1 });
+                        s2
+                    }
+                };
+                self.store_local_gp(out, *dst);
+            }
+            Inst::FBin { op, dst, lhs, rhs } => {
+                self.load_local_fp(*lhs, f0);
+                self.load_local_fp(*rhs, f1);
+                let out = match self.isa {
+                    Isa::Xar86 => {
+                        self.emit(MInstr::FAlu { op: op.to_falu(), dst: f0, lhs: f0, rhs: f1 });
+                        f0
+                    }
+                    Isa::Arm64e => {
+                        self.emit(MInstr::FAlu { op: op.to_falu(), dst: f2, lhs: f0, rhs: f1 });
+                        f2
+                    }
+                };
+                self.store_local_fp(out, *dst);
+            }
+            Inst::Icmp { pred, dst, lhs, rhs } => {
+                self.load_local_gp(*lhs, s0);
+                self.load_local_gp(*rhs, s1);
+                self.emit(MInstr::Cmp { lhs: s0, rhs: s1 });
+                self.materialize_cond(*pred, s2);
+                self.store_local_gp(s2, *dst);
+            }
+            Inst::Fcmp { pred, dst, lhs, rhs } => {
+                self.load_local_fp(*lhs, f0);
+                self.load_local_fp(*rhs, f1);
+                self.emit(MInstr::FCmp { lhs: f0, rhs: f1 });
+                self.materialize_cond(*pred, s2);
+                self.store_local_gp(s2, *dst);
+            }
+            Inst::I2F { dst, src } => {
+                self.load_local_gp(*src, s0);
+                self.emit(MInstr::Cvt { dir: xar_isa::CvtDir::I2F, gp: s0, fp: f0 });
+                self.store_local_fp(f0, *dst);
+            }
+            Inst::F2I { dst, src } => {
+                self.load_local_fp(*src, f0);
+                self.emit(MInstr::Cvt { dir: xar_isa::CvtDir::F2I, gp: s0, fp: f0 });
+                self.store_local_gp(s0, *dst);
+            }
+            Inst::Load { dst, addr, size } => {
+                self.load_local_gp(*addr, s0);
+                if self.func.local_ty(*dst) == Ty::F64 {
+                    self.emit(MInstr::FLoad { dst: f0, base: s0, off: 0 });
+                    self.store_local_fp(f0, *dst);
+                } else {
+                    self.emit(MInstr::Load { dst: s1, base: s0, off: 0, size: *size });
+                    self.store_local_gp(s1, *dst);
+                }
+            }
+            Inst::Store { val, addr, size } => {
+                self.load_local_gp(*addr, s0);
+                if self.func.local_ty(*val) == Ty::F64 {
+                    self.load_local_fp(*val, f0);
+                    self.emit(MInstr::FStore { src: f0, base: s0, off: 0 });
+                } else {
+                    self.load_local_gp(*val, s1);
+                    self.emit(MInstr::Store { src: s1, base: s0, off: 0, size: *size });
+                }
+            }
+            Inst::GlobalAddr { dst, global } => {
+                self.items.push(AsmItem::MovGlobal { dst: s0, global: *global });
+                self.store_local_gp(s0, *dst);
+            }
+            Inst::Copy { dst, src } => match self.func.local_ty(*src) {
+                Ty::I64 => {
+                    self.load_local_gp(*src, s0);
+                    self.store_local_gp(s0, *dst);
+                }
+                Ty::F64 => {
+                    self.load_local_fp(*src, f0);
+                    self.store_local_fp(f0, *dst);
+                }
+            },
+            Inst::Call { callee, args, dst } => {
+                self.lower_call_args(args);
+                let site = self.site_map[&(self.fid.0, bi, ii)];
+                self.items.push(AsmItem::CallFunc { func: *callee, site });
+                if let Some(d) = dst {
+                    let cc = self.isa.call_conv();
+                    match module.funcs[callee.0 as usize].ret {
+                        Some(Ty::I64) => self.store_local_gp(cc.ret_reg, *d),
+                        Some(Ty::F64) => self.store_local_fp(cc.fret_reg, *d),
+                        None => unreachable!("verified"),
+                    }
+                }
+            }
+            Inst::CallRt { func: rt, args, dst } => {
+                self.lower_call_args(args);
+                let site = self.site_map[&(self.fid.0, bi, ii)];
+                self.items.push(AsmItem::CallRt { rt: *rt, site });
+                if let Some(d) = dst {
+                    let cc = self.isa.call_conv();
+                    self.store_local_gp(cc.ret_reg, *d);
+                }
+            }
+        }
+    }
+
+    fn lower_terminator(&mut self, term: &Terminator) {
+        let s0 = self.scratch(0);
+        match term {
+            Terminator::Br(b) => {
+                self.items.push(AsmItem::Branch { cond: None, to: Label::Block(b.0) });
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                self.load_local_gp(*cond, s0);
+                self.emit(MInstr::CmpImm { lhs: s0, imm: 0 });
+                self.items.push(AsmItem::Branch {
+                    cond: Some(Cond::Ne),
+                    to: Label::Block(then_bb.0),
+                });
+                self.items.push(AsmItem::Branch { cond: None, to: Label::Block(else_bb.0) });
+            }
+            Terminator::Ret(v) => {
+                let cc = self.isa.call_conv();
+                if let Some(v) = v {
+                    match self.func.local_ty(*v) {
+                        Ty::I64 => self.load_local_gp(*v, cc.ret_reg),
+                        Ty::F64 => self.load_local_fp(*v, cc.fret_reg),
+                    }
+                }
+                self.emit(MInstr::Leave);
+                self.emit(MInstr::Ret);
+            }
+        }
+    }
+}
+
+/// Lowers one function for `isa`, producing the symbolic stream and its
+/// encoded size.
+pub(crate) fn lower_function(
+    module: &Module,
+    fid: FuncId,
+    isa: Isa,
+    site_map: &HashMap<(u32, u32, u32), u32>,
+) -> LoweredFunc {
+    let func = &module.funcs[fid.0 as usize];
+    let layout = FrameLayout::assign(isa, &func.locals);
+    let mut lw = Lowerer {
+        isa,
+        func,
+        fid,
+        layout,
+        items: Vec::new(),
+        next_local_label: 0,
+        site_map,
+    };
+    lw.prologue();
+    for (bi, b) in func.blocks.iter().enumerate() {
+        lw.items.push(AsmItem::Label(Label::Block(bi as u32)));
+        for (ii, inst) in b.insts.iter().enumerate() {
+            lw.lower_inst(module, bi as u32, ii as u32, inst);
+        }
+        let term = b.term.as_ref().expect("verified: sealed blocks");
+        lw.lower_terminator(term);
+    }
+    let size = lw.items.iter().map(|i| i.size(isa)).sum();
+    LoweredFunc { items: lw.items, layout: lw.layout, size }
+}
+
+/// Symbol addresses used during emission.
+pub(crate) struct Symbols {
+    /// Start address per function (same across ISAs).
+    pub func_addr: Vec<u64>,
+    /// Address per global (shared data segment).
+    pub global_addr: Vec<u64>,
+}
+
+/// Emits a lowered function at `start`, appending `(site, ret_addr)`
+/// pairs for every call. Returns the end address.
+pub(crate) fn emit_function(
+    lowered: &LoweredFunc,
+    isa: Isa,
+    start: u64,
+    syms: &Symbols,
+    image: &mut Vec<u8>,
+    image_base: u64,
+    site_rets: &mut Vec<(u32, u64)>,
+) -> u64 {
+    // Pass 1: label addresses.
+    let mut label_addr: HashMap<Label, u64> = HashMap::new();
+    let mut at = start;
+    for item in &lowered.items {
+        if let AsmItem::Label(l) = item {
+            label_addr.insert(*l, at);
+        }
+        at += item.size(isa);
+    }
+    let end = at;
+
+    // Pass 2: encode.
+    let mut at = start;
+    let off0 = (start - image_base) as usize;
+    let mut bytes = Vec::with_capacity((end - start) as usize);
+    for item in &lowered.items {
+        let size = item.size(isa);
+        let ins = match item {
+            AsmItem::Ins(i) => Some(*i),
+            AsmItem::Label(_) => None,
+            AsmItem::Branch { cond, to } => {
+                let target = label_addr[to];
+                Some(match cond {
+                    None => MInstr::Jmp { target },
+                    Some(c) => MInstr::JCond { cond: *c, target },
+                })
+            }
+            AsmItem::CallFunc { func, site } => {
+                site_rets.push((*site, at + size));
+                Some(MInstr::Call { target: syms.func_addr[func.0 as usize] })
+            }
+            AsmItem::CallRt { rt, site } => {
+                site_rets.push((*site, at + size));
+                Some(MInstr::Call { target: rt.addr() })
+            }
+            AsmItem::MovGlobal { dst, global } => Some(MInstr::MovImm {
+                dst: *dst,
+                imm: syms.global_addr[global.0 as usize] as i64,
+            }),
+        };
+        if let Some(ins) = ins {
+            let enc = encode(isa, at, &ins)
+                .unwrap_or_else(|e| panic!("emit {ins} on {isa}: {e}"));
+            debug_assert_eq!(enc.len() as u64, size);
+            bytes.extend_from_slice(&enc);
+        }
+        at += size;
+    }
+    let off_end = off0 + bytes.len();
+    if image.len() < off_end {
+        image.resize(off_end, 0);
+    }
+    image[off0..off_end].copy_from_slice(&bytes);
+    end
+}

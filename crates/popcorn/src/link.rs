@@ -1,0 +1,295 @@
+//! The aligned multi-ISA linker.
+//!
+//! Popcorn's key binary-level property: every symbol (function, global)
+//! is placed at the *same virtual address* in each per-ISA binary, so
+//! that function pointers and data pointers mean the same thing on every
+//! ISA ("aligns all symbols at the same virtual address across all ISAs,
+//! for uniform meaning of addresses", paper §2).
+//!
+//! Function bodies have different encoded sizes per ISA, so each
+//! function is allotted the *maximum* of its per-ISA sizes (padded), and
+//! its start address is common. Data is laid out once and shared.
+
+use crate::codegen::{self, Symbols};
+use crate::ir::{FuncId, Module, Ty};
+use crate::metadata::{BinaryMeta, CallSiteMeta, FuncMeta, PerIsa};
+use crate::verify::{verify, VerifyError};
+use crate::{DATA_BASE, FUNC_ALIGN, TEXT_BASE};
+use std::collections::HashMap;
+use xar_isa::{Isa, MInstr};
+
+/// A compiled multi-ISA program: one text image per ISA at identical
+/// symbol addresses, a shared data image, and the state-transformation
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct MultiIsaBinary {
+    /// Source module name.
+    pub module_name: String,
+    /// Per-ISA text image, loaded at [`TEXT_BASE`].
+    pub text: PerIsa<Vec<u8>>,
+    /// Shared data image, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// State-transformation metadata.
+    pub meta: BinaryMeta,
+    /// Function name → id.
+    pub func_ids: HashMap<String, FuncId>,
+    /// Global name → address.
+    pub global_addrs: HashMap<String, u64>,
+    /// Return type of every function (for the executor).
+    pub func_ret: Vec<Option<Ty>>,
+    /// Parameter types of every function.
+    pub func_params: Vec<Vec<Ty>>,
+}
+
+impl MultiIsaBinary {
+    /// Entry address of a function by name.
+    pub fn func_addr(&self, name: &str) -> Option<u64> {
+        let id = self.func_ids.get(name)?;
+        Some(self.meta.funcs[id.0 as usize].start)
+    }
+
+    /// Address of a global by name.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.global_addrs.get(name).copied()
+    }
+
+    /// Total size in bytes of the multi-ISA artifact: both text images
+    /// plus the shared data (paper §4.5 compares these).
+    pub fn total_size(&self) -> usize {
+        self.text[Isa::Xar86].len() + self.text[Isa::Arm64e].len() + self.data.len()
+    }
+
+    /// Size in bytes of a single-ISA artifact (that ISA's text plus
+    /// data), the paper's single-ISA baseline.
+    pub fn single_isa_size(&self, isa: Isa) -> usize {
+        self.text[isa].len() + self.data.len()
+    }
+
+    /// An estimate of the metadata footprint (call-site and frame
+    /// tables), included in multi-ISA binaries on disk.
+    pub fn metadata_size(&self) -> usize {
+        // Per call site: id + 2 ret addrs + live list; per function:
+        // layout tables. Sizes mirror what a packed on-disk format holds.
+        let sites: usize = self
+            .meta
+            .call_sites
+            .iter()
+            .map(|s| 4 + 16 + 2 + 4 * s.live.len())
+            .sum();
+        let funcs: usize = self
+            .meta
+            .funcs
+            .iter()
+            .map(|f| 16 + 8 * f.local_tys.len())
+            .sum();
+        sites + funcs
+    }
+}
+
+/// Compiles (verifies, lowers, lays out, links) a module into a
+/// [`MultiIsaBinary`].
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if the module is malformed.
+pub fn compile(module: &Module) -> Result<MultiIsaBinary, VerifyError> {
+    verify(module)?;
+    let (site_descs, site_map) = codegen::assign_sites(module);
+
+    // Lower every function for every ISA.
+    let lowered: PerIsa<Vec<codegen::LoweredFunc>> = PerIsa::build(|isa| {
+        (0..module.funcs.len())
+            .map(|fi| codegen::lower_function(module, FuncId(fi as u32), isa, &site_map))
+            .collect()
+    });
+
+    // Aligned layout: each function gets max(size over ISAs), padded.
+    let mut func_addr = Vec::with_capacity(module.funcs.len());
+    let mut at = TEXT_BASE;
+    for fi in 0..module.funcs.len() {
+        let sz = Isa::ALL
+            .iter()
+            .map(|&isa| lowered[isa][fi].size)
+            .max()
+            .unwrap();
+        func_addr.push(at);
+        at += (sz + FUNC_ALIGN - 1) & !(FUNC_ALIGN - 1);
+    }
+    // Exit stub: a hlt at an aligned address shared by both ISAs.
+    let exit_stub = at;
+
+    // Data layout (shared across ISAs).
+    let mut global_addr = Vec::with_capacity(module.globals.len());
+    let mut data_at = DATA_BASE;
+    for g in &module.globals {
+        data_at = (data_at + g.align - 1) & !(g.align - 1);
+        global_addr.push(data_at);
+        data_at += g.size;
+    }
+    let mut data = vec![0u8; (data_at - DATA_BASE) as usize];
+    for (g, &addr) in module.globals.iter().zip(&global_addr) {
+        let off = (addr - DATA_BASE) as usize;
+        data[off..off + g.init.len()].copy_from_slice(&g.init);
+    }
+
+    let syms = Symbols { func_addr: func_addr.clone(), global_addr: global_addr.clone() };
+
+    // Emit per ISA, recording call-site return addresses.
+    let mut text: PerIsa<Vec<u8>> = PerIsa::build(|_| Vec::new());
+    let mut site_rets: PerIsa<Vec<(u32, u64)>> = PerIsa::build(|_| Vec::new());
+    let mut code_end: Vec<PerIsa<u64>> = vec![PerIsa([0, 0]); module.funcs.len()];
+    for isa in Isa::ALL {
+        for fi in 0..module.funcs.len() {
+            let end = codegen::emit_function(
+                &lowered[isa][fi],
+                isa,
+                func_addr[fi],
+                &syms,
+                &mut text[isa],
+                TEXT_BASE,
+                &mut site_rets[isa],
+            );
+            code_end[fi][isa] = end;
+        }
+        // Exit stub.
+        let enc = xar_isa::encode(isa, exit_stub, &MInstr::Hlt).expect("hlt encodes");
+        let off = (exit_stub - TEXT_BASE) as usize;
+        let img = &mut text[isa];
+        if img.len() < off + enc.len() {
+            img.resize(off + enc.len(), 0);
+        }
+        img[off..off + enc.len()].copy_from_slice(&enc);
+    }
+
+    // Assemble call-site metadata.
+    let ret_map: PerIsa<HashMap<u32, u64>> = PerIsa::build(|isa| {
+        site_rets[isa].iter().copied().collect()
+    });
+    let call_sites: Vec<CallSiteMeta> = site_descs
+        .iter()
+        .enumerate()
+        .map(|(id, d)| CallSiteMeta {
+            id: id as u32,
+            func: d.func,
+            ret_addr: PerIsa::build(|isa| ret_map[isa][&(id as u32)]),
+            live: d.live.clone(),
+            is_migration_point: d.is_migpoint,
+        })
+        .collect();
+
+    // Per-function metadata.
+    let funcs_meta: Vec<FuncMeta> = module
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| FuncMeta {
+            id: FuncId(fi as u32),
+            name: f.name.clone(),
+            start: func_addr[fi],
+            code_end: code_end[fi],
+            layout: PerIsa::build(|isa| lowered[isa][fi].layout.clone()),
+            local_tys: f.locals.clone(),
+        })
+        .collect();
+
+    let func_ids = module
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| (f.name.clone(), FuncId(fi as u32)))
+        .collect();
+    let global_addrs = module
+        .globals
+        .iter()
+        .zip(&global_addr)
+        .map(|(g, &a)| (g.name.clone(), a))
+        .collect();
+
+    Ok(MultiIsaBinary {
+        module_name: module.name.clone(),
+        text,
+        data,
+        meta: BinaryMeta::new(funcs_meta, call_sites, exit_stub),
+        func_ids,
+        global_addrs,
+        func_ret: module.funcs.iter().map(|f| f.ret).collect(),
+        func_params: module.funcs.iter().map(|f| f.params.clone()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Module, Ty};
+    use crate::rt::RtFunc;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("link-test");
+        m.global_init("table", 32, 16, vec![0xAA; 4]);
+        let mut callee = m.function("callee", &[Ty::I64], Some(Ty::I64));
+        let x = callee.param(0);
+        let y = callee.bin_i(BinOp::Mul, x, 2);
+        callee.ret(Some(y));
+        let callee_id = callee.finish();
+        let mut main = m.function("main", &[Ty::I64], Some(Ty::I64));
+        main.call_rt(RtFunc::MigPoint, &[]);
+        let p = main.param(0);
+        let r = main.call(callee_id, &[p]).unwrap();
+        main.ret(Some(r));
+        main.finish();
+        m
+    }
+
+    #[test]
+    fn symbols_aligned_across_isas() {
+        let bin = compile(&sample_module()).unwrap();
+        // Function starts identical by construction; verify they are
+        // aligned and within both images.
+        for f in &bin.meta.funcs {
+            assert_eq!(f.start % FUNC_ALIGN, 0);
+            for isa in Isa::ALL {
+                assert!(f.code_end[isa] > f.start);
+                assert!(f.code_end[isa] <= TEXT_BASE + bin.text[isa].len() as u64);
+            }
+        }
+        assert!(bin.func_addr("main").unwrap() > bin.func_addr("callee").unwrap());
+        assert_eq!(bin.global_addr("table").unwrap() % 16, 0);
+    }
+
+    #[test]
+    fn per_isa_code_sizes_differ_but_starts_match() {
+        let bin = compile(&sample_module()).unwrap();
+        let f = &bin.meta.funcs[0];
+        assert_ne!(f.code_end[Isa::Xar86], f.code_end[Isa::Arm64e]);
+    }
+
+    #[test]
+    fn call_sites_have_distinct_per_isa_ret_addrs_within_same_function() {
+        let bin = compile(&sample_module()).unwrap();
+        assert_eq!(bin.meta.call_sites.len(), 2);
+        for cs in &bin.meta.call_sites {
+            // Both return addresses fall inside the owning function.
+            let f = bin.meta.func(cs.func);
+            for isa in Isa::ALL {
+                assert!(cs.ret_addr[isa] > f.start && cs.ret_addr[isa] <= f.code_end[isa]);
+            }
+        }
+        let mig = bin.meta.call_sites.iter().find(|c| c.is_migration_point);
+        assert!(mig.is_some());
+    }
+
+    #[test]
+    fn data_initializers_applied() {
+        let bin = compile(&sample_module()).unwrap();
+        let off = (bin.global_addr("table").unwrap() - DATA_BASE) as usize;
+        assert_eq!(&bin.data[off..off + 4], &[0xAA; 4]);
+    }
+
+    #[test]
+    fn multi_isa_size_exceeds_single_isa() {
+        let bin = compile(&sample_module()).unwrap();
+        assert!(bin.total_size() > bin.single_isa_size(Isa::Xar86));
+        assert!(bin.total_size() > bin.single_isa_size(Isa::Arm64e));
+        assert!(bin.metadata_size() > 0);
+    }
+}

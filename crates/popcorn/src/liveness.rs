@@ -1,0 +1,176 @@
+//! Backward liveness dataflow analysis.
+//!
+//! Popcorn's compiler runs a liveness pass to generate the metadata that
+//! the run-time state transformer consumes: at every migration point it
+//! must know *which* values are live so it can relocate exactly those
+//! (paper §2, "metadata necessary for transforming the program state at
+//! run-time (e.g., live variables at call sites)").
+//!
+//! The analysis is a standard iterative backward dataflow over basic
+//! blocks, refined to instruction granularity at call sites.
+
+use crate::ir::{Function, LocalId};
+use std::collections::HashSet;
+
+/// Per-function liveness results.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b]` — locals live on entry to block `b`.
+    pub live_in: Vec<HashSet<LocalId>>,
+    /// `live_out[b]` — locals live on exit from block `b`.
+    pub live_out: Vec<HashSet<LocalId>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `f`.
+    pub fn compute(f: &Function) -> Liveness {
+        let n = f.blocks.len();
+        let mut live_in: Vec<HashSet<LocalId>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<LocalId>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let block = &f.blocks[b];
+                let mut out: HashSet<LocalId> = HashSet::new();
+                if let Some(term) = &block.term {
+                    for s in term.successors() {
+                        out.extend(live_in[s.0 as usize].iter().copied());
+                    }
+                }
+                // in = (out - defs) ∪ uses, processed backwards.
+                let mut live = out.clone();
+                if let Some(term) = &block.term {
+                    live.extend(term.uses());
+                }
+                for inst in block.insts.iter().rev() {
+                    if let Some(d) = inst.def() {
+                        live.remove(&d);
+                    }
+                    live.extend(inst.uses());
+                }
+                if live != live_in[b] {
+                    live_in[b] = live;
+                    changed = true;
+                }
+                if out != live_out[b] {
+                    live_out[b] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Returns the set of locals live *across* the instruction at
+    /// `(block, idx)` — i.e. live immediately after it executes. This is
+    /// the set the state transformer must relocate when the instruction
+    /// is a call-site migration point.
+    pub fn live_after(&self, f: &Function, block: usize, idx: usize) -> HashSet<LocalId> {
+        let blk = &f.blocks[block];
+        let mut live = self.live_out[block].clone();
+        if let Some(term) = &blk.term {
+            live.extend(term.uses());
+        }
+        for inst in blk.insts[idx + 1..].iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            live.extend(inst.uses());
+        }
+        // The call's own result is defined by the call, so it is *not*
+        // live-in to the resume point from the caller's perspective — it
+        // materializes in the return register. Exclude it.
+        if let Some(d) = blk.insts[idx].def() {
+            live.remove(&d);
+        }
+        live
+    }
+}
+
+/// Convenience: the live set after every call instruction of `f`,
+/// in `(block, inst_index, live_set)` form, ordered by position.
+pub fn call_site_live_sets(f: &Function) -> Vec<(usize, usize, HashSet<LocalId>)> {
+    let lv = Liveness::compute(f);
+    let mut out = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if inst.is_call() {
+                out.push((bi, ii, lv.live_after(f, bi, ii)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Cond, Module, Ty};
+    use crate::rt::RtFunc;
+
+    #[test]
+    fn loop_carried_variable_is_live() {
+        let mut m = Module::new("t");
+        let mut f = m.function("g", &[Ty::I64], Some(Ty::I64));
+        let n = f.param(0);
+        let acc = f.new_local(Ty::I64);
+        let zero = f.const_i(0);
+        f.assign(acc, zero);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.br(header);
+        f.switch_to(header);
+        let c = f.icmp_i(Cond::Gt, n, 0);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let acc2 = f.bin(BinOp::Add, acc, n);
+        f.assign(acc, acc2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(acc));
+        let id = f.finish();
+        let func = m.func(id);
+        let lv = Liveness::compute(func);
+        // acc is live into the loop header.
+        assert!(lv.live_in[1].contains(&acc));
+        // n is live in the body.
+        assert!(lv.live_in[2].contains(&n));
+    }
+
+    #[test]
+    fn dead_values_are_not_live_across_calls() {
+        let mut m = Module::new("t");
+        let mut callee = m.function("c", &[], None);
+        callee.ret(None);
+        let callee_id = callee.finish();
+        let mut f = m.function("g", &[Ty::I64], Some(Ty::I64));
+        let p = f.param(0);
+        let dead = f.const_i(99); // never used again
+        let _ = dead;
+        f.call(callee_id, &[]);
+        let r = f.bin_i(BinOp::Add, p, 1);
+        f.ret(Some(r));
+        let id = f.finish();
+        let func = m.func(id);
+        let sites = call_site_live_sets(func);
+        assert_eq!(sites.len(), 1);
+        let (_, _, live) = &sites[0];
+        assert!(live.contains(&p), "param live across call");
+        assert!(!live.contains(&dead), "dead const must not be live");
+    }
+
+    #[test]
+    fn call_result_not_live_before_resume() {
+        let mut m = Module::new("t");
+        let mut f = m.function("g", &[], Some(Ty::I64));
+        let r = f.call_rt(RtFunc::Clock, &[]).unwrap();
+        f.ret(Some(r));
+        let id = f.finish();
+        let func = m.func(id);
+        let sites = call_site_live_sets(func);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].2.contains(&r));
+    }
+}

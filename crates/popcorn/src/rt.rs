@@ -1,0 +1,101 @@
+//! Runtime-library entry points.
+//!
+//! Popcorn Linux's compiler inserts call-backs into a run-time library at
+//! migration points; Xar-Trek's instrumentation step additionally inserts
+//! scheduler-client hooks and FPGA configuration/invocation calls
+//! (paper §3.1–3.2). In our multi-ISA binaries those call-backs are
+//! `call` instructions targeting the reserved runtime window of the VM
+//! (see [`xar_isa::RUNTIME_CALL_BASE`]); the [`crate::runtime::Executor`]
+//! services them.
+
+use xar_isa::RUNTIME_CALL_BASE;
+
+/// A runtime-library function callable from IR via
+/// [`crate::ir::Inst::CallRt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtFunc {
+    /// Popcorn migration point. Argument: the static call-site id the
+    /// instrumentation assigned (used by state transformation). The
+    /// executor may migrate the thread here.
+    MigPoint,
+    /// Xar-Trek scheduler-client hook, invoked at the start of `main`
+    /// (paper §3.1). Argument: application id.
+    SchedClientStart,
+    /// Xar-Trek scheduler-client hook, invoked at the end of `main`.
+    /// Reports the observed execution time for Algorithm 1.
+    SchedClientEnd,
+    /// Pre-configure the FPGA with this application's kernels, inserted
+    /// at the start of `main` so reconfiguration latency is hidden.
+    /// Argument: application id.
+    FpgaConfigure,
+    /// Invoke a hardware kernel. Arguments: kernel id, input pointer,
+    /// input length, output pointer, output length. Returns a status.
+    FpgaInvoke,
+    /// Query the migration flag for a selected function. Argument:
+    /// function id. Returns the target (0 = x86, 1 = ARM, 2 = FPGA),
+    /// matching the paper's Figure 2.
+    ReadFlag,
+    /// Bump-allocate heap memory. Argument: size. Returns a pointer.
+    Malloc,
+    /// Debug print of an i64 (collected by the executor, not stdout).
+    Print,
+    /// Read the current virtual clock in nanoseconds.
+    Clock,
+}
+
+impl RtFunc {
+    /// All runtime functions.
+    pub const ALL: [RtFunc; 9] = [
+        RtFunc::MigPoint,
+        RtFunc::SchedClientStart,
+        RtFunc::SchedClientEnd,
+        RtFunc::FpgaConfigure,
+        RtFunc::FpgaInvoke,
+        RtFunc::ReadFlag,
+        RtFunc::Malloc,
+        RtFunc::Print,
+        RtFunc::Clock,
+    ];
+
+    /// The fixed virtual address of this entry point (identical on all
+    /// ISAs — the runtime window is part of the aligned address space).
+    pub fn addr(self) -> u64 {
+        RUNTIME_CALL_BASE
+            + 8 * Self::ALL.iter().position(|&f| f == self).unwrap() as u64
+    }
+
+    /// Inverse of [`RtFunc::addr`].
+    pub fn from_addr(addr: u64) -> Option<RtFunc> {
+        if addr < RUNTIME_CALL_BASE || !(addr - RUNTIME_CALL_BASE).is_multiple_of(8) {
+            return None;
+        }
+        Self::ALL
+            .get(((addr - RUNTIME_CALL_BASE) / 8) as usize)
+            .copied()
+    }
+
+    /// Whether the function produces an i64 return value.
+    pub fn returns_value(self) -> bool {
+        matches!(
+            self,
+            RtFunc::ReadFlag | RtFunc::Malloc | RtFunc::Clock | RtFunc::FpgaInvoke
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xar_isa::RUNTIME_CALL_END;
+
+    #[test]
+    fn addresses_roundtrip_and_fit_window() {
+        for f in RtFunc::ALL {
+            let a = f.addr();
+            assert!((RUNTIME_CALL_BASE..RUNTIME_CALL_END).contains(&a));
+            assert_eq!(RtFunc::from_addr(a), Some(f));
+        }
+        assert_eq!(RtFunc::from_addr(RUNTIME_CALL_BASE + 3), None);
+        assert_eq!(RtFunc::from_addr(0), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Run-time cross-ISA state transformation.
+//!
+//! At a migration point the thread's ISA-specific dynamic state — its
+//! stack frames and registers — is rewritten from the source ISA's
+//! layout into the destination ISA's layout, using the compiler-emitted
+//! [`BinaryMeta`]. Data in globals and on the heap needs no
+//! transformation because the aligned layout gives it a common format
+//! (paper §2: "the run-time library transforms the program's dynamic
+//! state that is ISA-specific (e.g., stack, registers) from the source
+//! ISA format to the destination ISA format, leveraging the metadata").
+//!
+//! The algorithm:
+//!
+//! 1. **Walk** the source stack via the frame-pointer chain, identifying
+//!    each activation's function from the return-address → call-site
+//!    table.
+//! 2. **Collect** every (live) local's value from its source-ISA slot.
+//! 3. **Rebuild** the stack top-down in the destination ISA's layout,
+//!    emulating exactly what `call` + `enter` would have produced there,
+//!    mapping every return address through the call-site table.
+//! 4. **Produce** destination register state: `pc` is the destination
+//!    return address of the migration-point call site; `sp`/`fp` point at
+//!    the rebuilt innermost frame; the return-value registers carry over.
+
+use crate::metadata::{BinaryMeta, CallSiteMeta};
+use crate::STACK_TOP;
+use std::fmt;
+use xar_isa::{Isa, Memory, Vm};
+
+/// One activation record discovered by the stack walk, innermost first.
+#[derive(Debug, Clone)]
+pub struct WalkedFrame {
+    /// The function this frame belongs to.
+    pub func: crate::ir::FuncId,
+    /// The frame pointer of this activation (source ISA).
+    pub fp: u64,
+    /// The call site at which this activation is suspended: for the
+    /// innermost frame, the migration point; for outer frames, the call
+    /// that created the next-inner frame.
+    pub site: u32,
+}
+
+/// Errors during state transformation (all indicate metadata/stack
+/// corruption — they cannot arise from well-formed compiled programs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XformError {
+    /// A return address did not resolve to any call site.
+    UnknownReturnAddress(u64),
+    /// The frame chain did not terminate at the exit stub within a sane
+    /// depth.
+    RunawayStack,
+}
+
+impl fmt::Display for XformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XformError::UnknownReturnAddress(a) => {
+                write!(f, "return address {a:#x} not in call-site table")
+            }
+            XformError::RunawayStack => f.write_str("frame chain did not terminate"),
+        }
+    }
+}
+
+impl std::error::Error for XformError {}
+
+const MAX_FRAMES: usize = 1 << 16;
+
+/// Walks the source stack starting from a thread suspended at migration
+/// point `site`, returning activations innermost-first.
+///
+/// # Errors
+///
+/// See [`XformError`].
+pub fn walk_stack(
+    meta: &BinaryMeta,
+    src_isa: Isa,
+    src_vm: &Vm,
+    mem: &Memory,
+    site: &CallSiteMeta,
+) -> Result<Vec<WalkedFrame>, XformError> {
+    let mut frames = Vec::new();
+    let mut fp = src_vm.fp;
+    let mut cur_site = site.id;
+    let mut cur_func = site.func;
+    loop {
+        if frames.len() >= MAX_FRAMES {
+            return Err(XformError::RunawayStack);
+        }
+        frames.push(WalkedFrame { func: cur_func, fp, site: cur_site });
+        let ret = mem.read_u64(fp + 8);
+        if ret == meta.exit_stub {
+            return Ok(frames);
+        }
+        let caller_site = meta
+            .site_by_ret_addr(src_isa, ret)
+            .ok_or(XformError::UnknownReturnAddress(ret))?;
+        cur_site = caller_site.id;
+        cur_func = caller_site.func;
+        fp = mem.read_u64(fp);
+    }
+}
+
+/// Options for [`transform`].
+#[derive(Debug, Clone, Copy)]
+pub struct XformOptions {
+    /// Copy *all* locals rather than only those the liveness metadata
+    /// marks live. The results must be identical (dead slots are never
+    /// read); the property tests assert exactly that.
+    pub copy_all_slots: bool,
+    /// Top of the destination stack (defaults to [`STACK_TOP`]).
+    pub stack_top: u64,
+}
+
+impl Default for XformOptions {
+    fn default() -> Self {
+        XformOptions { copy_all_slots: false, stack_top: STACK_TOP }
+    }
+}
+
+/// Statistics from one transformation, used for migration cost
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct XformStats {
+    /// Frames rewritten.
+    pub frames: usize,
+    /// Local slots copied.
+    pub slots_copied: usize,
+    /// Bytes of stack written in the destination format.
+    pub bytes_written: usize,
+}
+
+/// Transforms a thread suspended at migration point `site` on `src_vm`
+/// into an equivalent [`Vm`] for `dst_isa`, rebuilding the stack in
+/// `mem`.
+///
+/// On return the destination VM is ready to resume: its `pc` is the
+/// destination-ISA return address of `site`.
+///
+/// # Errors
+///
+/// See [`XformError`].
+pub fn transform(
+    meta: &BinaryMeta,
+    src_isa: Isa,
+    src_vm: &Vm,
+    dst_isa: Isa,
+    mem: &mut Memory,
+    site: &CallSiteMeta,
+    opts: XformOptions,
+) -> Result<(Vm, XformStats), XformError> {
+    let frames = walk_stack(meta, src_isa, src_vm, mem, site)?;
+    let mut stats = XformStats { frames: frames.len(), ..Default::default() };
+
+    // Collect (frame index, local, value-bits) triples from source slots.
+    let mut values: Vec<Vec<(u32, u64)>> = Vec::with_capacity(frames.len());
+    for fr in &frames {
+        let fmeta = meta.func(fr.func);
+        let layout = &fmeta.layout[src_isa];
+        let site_meta = &meta.call_sites[fr.site as usize];
+        let mut vals = Vec::new();
+        if opts.copy_all_slots {
+            for l in 0..fmeta.local_tys.len() as u32 {
+                let v = mem.read_u64(layout.slot_addr(fr.fp, crate::ir::LocalId(l)));
+                vals.push((l, v));
+            }
+        } else {
+            // Parameters of the *innermost* frame are always preserved in
+            // addition to the live set: the resume point may still read
+            // them (they are ordinary locals, live-approximated).
+            for &l in &site_meta.live {
+                let v = mem.read_u64(layout.slot_addr(fr.fp, l));
+                vals.push((l.0, v));
+            }
+        }
+        stats.slots_copied += vals.len();
+        values.push(vals);
+    }
+
+    // Rebuild destination stack, outermost first.
+    let mut dst = Vm::new(dst_isa);
+    let mut sp = opts.stack_top;
+    let mut prev_fp = 0u64;
+    let mut innermost_fp = 0u64;
+    for (i, fr) in frames.iter().enumerate().rev() {
+        let fmeta = meta.func(fr.func);
+        let layout = &fmeta.layout[dst_isa];
+        // Return address stored in this frame's record: where this
+        // activation's *caller* resumes — i.e. the call site of the
+        // next-outer frame, or the exit stub for the outermost.
+        let ret = if i + 1 < frames.len() {
+            let outer_site = frames[i + 1].site;
+            meta.call_sites[outer_site as usize].ret_addr[dst_isa]
+        } else {
+            meta.exit_stub
+        };
+        // Emulate `call` + `enter` on the destination ISA.
+        match dst_isa {
+            Isa::Xar86 => {
+                sp -= 8;
+                mem.write_u64(sp, ret); // pushed by call
+                sp -= 8;
+                mem.write_u64(sp, prev_fp); // pushed by enter
+                stats.bytes_written += 16;
+            }
+            Isa::Arm64e => {
+                sp -= 16;
+                mem.write_u64(sp, prev_fp); // frame record (fp, lr)
+                mem.write_u64(sp + 8, ret);
+                stats.bytes_written += 16;
+            }
+        }
+        let fp = sp;
+        sp -= layout.frame_size as u64;
+        for &(l, v) in &values[i] {
+            mem.write_u64(layout.slot_addr(fp, crate::ir::LocalId(l)), v);
+            stats.bytes_written += 8;
+        }
+        prev_fp = fp;
+        innermost_fp = fp;
+    }
+
+    // Destination register state.
+    dst.pc = site.ret_addr[dst_isa];
+    dst.fp = innermost_fp;
+    dst.sp = innermost_fp - meta.func(site.func).layout[dst_isa].frame_size as u64;
+    dst.lr = site.ret_addr[dst_isa];
+    // The interrupted call's return-value channel carries over.
+    let src_cc = src_isa.call_conv();
+    let dst_cc = dst_isa.call_conv();
+    dst.regs[dst_cc.ret_reg.0 as usize] = src_vm.regs[src_cc.ret_reg.0 as usize];
+    dst.fregs[dst_cc.fret_reg.0 as usize] = src_vm.fregs[src_cc.fret_reg.0 as usize];
+    Ok((dst, stats))
+}
+
+/// Estimated byte footprint of the thread state shipped over the wire
+/// during a software migration (registers + rebuilt stack), used by the
+/// DES cost model.
+pub fn migration_payload_bytes(stats: &XformStats) -> usize {
+    // Register file + frame records + slots.
+    32 * 8 + 32 * 8 + stats.bytes_written
+}

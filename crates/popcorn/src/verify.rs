@@ -1,0 +1,288 @@
+//! IR verifier.
+//!
+//! Checks the structural and typing invariants that the backends rely on.
+//! Run before compilation; [`crate::compile`] runs it automatically.
+
+use crate::ir::{Function, Inst, Module, Terminator, Ty};
+use std::fmt;
+
+/// A verification failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name (empty for module-level errors).
+    pub func: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.func.is_empty() {
+            write!(f, "verify: {}", self.msg)
+        } else {
+            write!(f, "verify[{}]: {}", self.func, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The calling-convention limits a function must satisfy to be
+/// compilable on *both* ISAs (the stricter of the two conventions).
+pub const MAX_INT_ARGS: usize = 6;
+/// Maximum FP arguments (see [`MAX_INT_ARGS`]).
+pub const MAX_FP_ARGS: usize = 4;
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify(module: &Module) -> Result<(), VerifyError> {
+    for f in &module.funcs {
+        verify_func(module, f)?;
+    }
+    Ok(())
+}
+
+fn err(func: &Function, msg: impl Into<String>) -> VerifyError {
+    VerifyError { func: func.name.clone(), msg: msg.into() }
+}
+
+fn verify_func(module: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(f, "function has no blocks"));
+    }
+    let int_args = f.params.iter().filter(|t| **t == Ty::I64).count();
+    let fp_args = f.params.iter().filter(|t| **t == Ty::F64).count();
+    if int_args > MAX_INT_ARGS {
+        return Err(err(f, format!("more than {MAX_INT_ARGS} integer parameters")));
+    }
+    if fp_args > MAX_FP_ARGS {
+        return Err(err(f, format!("more than {MAX_FP_ARGS} FP parameters")));
+    }
+    if f.locals.len() < f.params.len() {
+        return Err(err(f, "locals do not cover parameters"));
+    }
+    for (i, p) in f.params.iter().enumerate() {
+        if f.locals[i] != *p {
+            return Err(err(f, format!("local {i} type differs from parameter")));
+        }
+    }
+    let nlocals = f.locals.len() as u32;
+    let nblocks = f.blocks.len() as u32;
+    let check_local = |l: crate::ir::LocalId, what: &str| -> Result<(), VerifyError> {
+        if l.0 >= nlocals {
+            Err(err(f, format!("{what}: local {l} out of range")))
+        } else {
+            Ok(())
+        }
+    };
+    let ty = |l: crate::ir::LocalId| f.locals[l.0 as usize];
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            if let Some(d) = inst.def() {
+                check_local(d, "def")?;
+            }
+            for u in inst.uses() {
+                check_local(u, "use")?;
+            }
+            match inst {
+                Inst::ConstI { dst, .. } if ty(*dst) != Ty::I64 => {
+                    return Err(err(f, "const_i into non-i64"));
+                }
+                Inst::ConstF { dst, .. } if ty(*dst) != Ty::F64 => {
+                    return Err(err(f, "const_f into non-f64"));
+                }
+                Inst::Bin { dst, lhs, rhs, .. }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) => {
+                        return Err(err(f, "integer bin-op with non-i64 operand"));
+                    }
+                Inst::FBin { dst, lhs, rhs, .. }
+                    if (ty(*dst) != Ty::F64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) => {
+                        return Err(err(f, "fp bin-op with non-f64 operand"));
+                    }
+                Inst::Icmp { dst, lhs, rhs, .. }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) => {
+                        return Err(err(f, "icmp with non-i64 operand"));
+                    }
+                Inst::Fcmp { dst, lhs, rhs, .. }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) => {
+                        return Err(err(f, "fcmp typing"));
+                    }
+                Inst::I2F { dst, src }
+                    if (ty(*dst) != Ty::F64 || ty(*src) != Ty::I64) => {
+                        return Err(err(f, "i2f typing"));
+                    }
+                Inst::F2I { dst, src }
+                    if (ty(*dst) != Ty::I64 || ty(*src) != Ty::F64) => {
+                        return Err(err(f, "f2i typing"));
+                    }
+                Inst::Load { dst, addr, size } => {
+                    if ty(*addr) != Ty::I64 {
+                        return Err(err(f, "load address must be i64"));
+                    }
+                    if ty(*dst) == Ty::F64 && size.bytes() != 8 {
+                        return Err(err(f, "fp load must be 8 bytes"));
+                    }
+                }
+                Inst::Store { val, addr, size } => {
+                    if ty(*addr) != Ty::I64 {
+                        return Err(err(f, "store address must be i64"));
+                    }
+                    if ty(*val) == Ty::F64 && size.bytes() != 8 {
+                        return Err(err(f, "fp store must be 8 bytes"));
+                    }
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    if ty(*dst) != Ty::I64 {
+                        return Err(err(f, "global-addr into non-i64"));
+                    }
+                    if global.0 as usize >= module.globals.len() {
+                        return Err(err(f, "global out of range"));
+                    }
+                }
+                Inst::Copy { dst, src }
+                    if ty(*dst) != ty(*src) => {
+                        return Err(err(f, "copy between different types"));
+                    }
+                Inst::Call { callee, args, dst } => {
+                    let Some(callee_f) = module.funcs.get(callee.0 as usize) else {
+                        return Err(err(f, "call to unknown function"));
+                    };
+                    if callee_f.params.len() != args.len() {
+                        return Err(err(
+                            f,
+                            format!("call to {} with wrong arity", callee_f.name),
+                        ));
+                    }
+                    for (a, p) in args.iter().zip(&callee_f.params) {
+                        if ty(*a) != *p {
+                            return Err(err(f, format!("call to {}: arg type", callee_f.name)));
+                        }
+                    }
+                    match (dst, callee_f.ret) {
+                        (Some(d), Some(r)) if ty(*d) != r => {
+                            return Err(err(f, "call result type mismatch"));
+                        }
+                        (Some(_), None) => {
+                            return Err(err(f, "call captures void result"));
+                        }
+                        _ => {}
+                    }
+                }
+                Inst::CallRt { func: rtf, args, dst } => {
+                    for a in args {
+                        if ty(*a) != Ty::I64 {
+                            return Err(err(f, "runtime-call args must be i64"));
+                        }
+                    }
+                    if args.len() > MAX_INT_ARGS {
+                        return Err(err(f, "too many runtime-call args"));
+                    }
+                    if dst.is_some() && !rtf.returns_value() {
+                        return Err(err(f, "runtime call captures void result"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match &b.term {
+            None => return Err(err(f, format!("block bb{bi} lacks a terminator"))),
+            Some(Terminator::Br(t)) => {
+                if t.0 >= nblocks {
+                    return Err(err(f, "branch target out of range"));
+                }
+            }
+            Some(Terminator::CondBr { cond, then_bb, else_bb }) => {
+                check_local(*cond, "cond")?;
+                if ty(*cond) != Ty::I64 {
+                    return Err(err(f, "branch condition must be i64"));
+                }
+                if then_bb.0 >= nblocks || else_bb.0 >= nblocks {
+                    return Err(err(f, "branch target out of range"));
+                }
+            }
+            Some(Terminator::Ret(v)) => match (v, f.ret) {
+                (Some(v), Some(r)) => {
+                    check_local(*v, "ret")?;
+                    if ty(*v) != r {
+                        return Err(err(f, "return type mismatch"));
+                    }
+                }
+                (Some(_), None) => return Err(err(f, "returning value from void function")),
+                (None, Some(_)) => return Err(err(f, "missing return value")),
+                (None, None) => {}
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Module, Ty};
+
+    #[test]
+    fn accepts_valid_module() {
+        let mut m = Module::new("t");
+        let mut f = m.function("ok", &[Ty::I64, Ty::F64], Some(Ty::I64));
+        let a = f.param(0);
+        let b = f.param(1);
+        let bf = f.f2i(b);
+        let s = f.bin(BinOp::Add, a, bf);
+        f.ret(Some(s));
+        f.finish();
+        assert!(verify(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        let mut m = Module::new("t");
+        let mut fb = m.function("bad", &[Ty::F64], Some(Ty::F64));
+        let p = fb.param(0);
+        fb.ret(Some(p));
+        let id = fb.finish();
+        // Corrupt: integer add over F64 locals.
+        let func = &mut m.funcs[id.0 as usize];
+        func.blocks[0].insts.push(crate::ir::Inst::Bin {
+            op: BinOp::Add,
+            dst: crate::ir::LocalId(0),
+            lhs: crate::ir::LocalId(0),
+            rhs: crate::ir::LocalId(0),
+        });
+        let e = verify(&m).unwrap_err();
+        assert!(e.msg.contains("non-i64"), "{e}");
+    }
+
+    #[test]
+    fn rejects_too_many_params() {
+        let mut m = Module::new("t");
+        let params = vec![Ty::I64; 7];
+        let mut f = m.function("many", &params, None);
+        f.ret(None);
+        f.finish();
+        let e = verify(&m).unwrap_err();
+        assert!(e.msg.contains("integer parameters"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut m = Module::new("t");
+        let mut callee = m.function("callee", &[Ty::I64], None);
+        callee.ret(None);
+        let callee_id = callee.finish();
+        let mut caller = m.function("caller", &[], None);
+        caller.ret(None);
+        let caller_id = caller.finish();
+        m.funcs[caller_id.0 as usize].blocks[0].insts.push(crate::ir::Inst::Call {
+            callee: callee_id,
+            args: vec![],
+            dst: None,
+        });
+        let e = verify(&m).unwrap_err();
+        assert!(e.msg.contains("arity"), "{e}");
+    }
+}

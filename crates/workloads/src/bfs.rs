@@ -1,0 +1,255 @@
+//! Breadth-first search — the paper's pointer-chasing microbenchmark
+//! (§4.4, Table 4).
+//!
+//! BFS exemplifies the workload class that *loses* on PCIe-attached
+//! FPGAs ("applications with pointer-chasing behaviors such as graph
+//! applications"): x86 beats the FPGA by orders of magnitude at every
+//! graph size, so Xar-Trek's threshold estimator never finds a load
+//! that justifies migration.
+
+use xar_hls::kernel::{ArgDir, KOp, Kernel, KernelArg, LoopNest, TripCount};
+use xar_popcorn::ir::{BinOp, Cond, FuncId, MemSize, Module, Ty};
+
+/// A CSR directed graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Node count.
+    pub n: usize,
+    /// Row pointers (`n + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Edge targets.
+    pub adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Edge count.
+    pub fn edges(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Generates a random graph with `n` nodes and about `deg` out-edges
+/// per node, plus a ring so it is connected. Deterministic in `seed`.
+pub fn generate(n: usize, deg: usize, seed: u64) -> Graph {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut adj = Vec::new();
+    row_ptr.push(0u32);
+    for i in 0..n {
+        adj.push(((i + 1) % n) as u32); // ring edge for connectivity
+        for _ in 0..deg {
+            adj.push((rng() as usize % n) as u32);
+        }
+        row_ptr.push(adj.len() as u32);
+    }
+    Graph { n, row_ptr, adj }
+}
+
+/// The selected function: BFS from node 0; returns the sum of all node
+/// depths (a compact verification value identical across
+/// implementations).
+pub fn bfs_depth_sum(g: &Graph) -> u64 {
+    let mut depth = vec![u64::MAX; g.n];
+    let mut queue = Vec::with_capacity(g.n);
+    depth[0] = 0;
+    queue.push(0u32);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let d = depth[u];
+        for k in g.row_ptr[u] as usize..g.row_ptr[u + 1] as usize {
+            let v = g.adj[k] as usize;
+            if depth[v] == u64::MAX {
+                depth[v] = d + 1;
+                queue.push(v as u32);
+            }
+        }
+    }
+    depth.iter().filter(|&&d| d != u64::MAX).sum()
+}
+
+/// Guest-memory layout for the IR version: `row_ptr` and `adj` as i64
+/// arrays; a scratch block of `2 * n * 8` bytes holds `depth` and the
+/// queue.
+///
+/// Builds `bfs_depth_sum(row_ptr, adj, scratch, n) -> sum`.
+pub fn build_ir(m: &mut Module) -> FuncId {
+    let mut f = m.function("bfs_depth_sum", &[Ty::I64; 4], Some(Ty::I64));
+    let rp = f.param(0);
+    let adj = f.param(1);
+    let scratch = f.param(2);
+    let n = f.param(3);
+    let nb = f.bin_i(BinOp::Mul, n, 8);
+    let depth = scratch;
+    let queue = f.bin(BinOp::Add, scratch, nb);
+
+    let i = f.new_local(Ty::I64);
+    let head = f.new_local(Ty::I64);
+    let tail = f.new_local(Ty::I64);
+    let k = f.new_local(Ty::I64);
+    let kend = f.new_local(Ty::I64);
+    let sum = f.new_local(Ty::I64);
+
+    // init depths to -1.
+    let zi = f.const_i(0);
+    f.assign(i, zi);
+    let init_hdr = f.new_block();
+    let init_body = f.new_block();
+    let init_done = f.new_block();
+    f.br(init_hdr);
+    f.switch_to(init_hdr);
+    let c = f.icmp(Cond::Lt, i, n);
+    f.cond_br(c, init_body, init_done);
+    f.switch_to(init_body);
+    let off = f.bin_i(BinOp::Mul, i, 8);
+    let d_i = f.bin(BinOp::Add, depth, off);
+    let neg1 = f.const_i(-1);
+    f.store(neg1, d_i, MemSize::B8);
+    let i2 = f.bin_i(BinOp::Add, i, 1);
+    f.assign(i, i2);
+    f.br(init_hdr);
+
+    // depth[0] = 0; queue[0] = 0; head = 0; tail = 1.
+    f.switch_to(init_done);
+    f.store(zi, depth, MemSize::B8);
+    f.store(zi, queue, MemSize::B8);
+    f.assign(head, zi);
+    let one = f.const_i(1);
+    f.assign(tail, one);
+    f.assign(sum, zi);
+
+    let loop_hdr = f.new_block();
+    let loop_body = f.new_block();
+    let edge_hdr = f.new_block();
+    let edge_body = f.new_block();
+    let visit = f.new_block();
+    let edge_next = f.new_block();
+    let exit = f.new_block();
+    f.br(loop_hdr);
+
+    f.switch_to(loop_hdr);
+    let qc = f.icmp(Cond::Lt, head, tail);
+    f.cond_br(qc, loop_body, exit);
+
+    // u = queue[head]; head += 1; d = depth[u]; sum += d.
+    f.switch_to(loop_body);
+    let ho = f.bin_i(BinOp::Mul, head, 8);
+    let q_h = f.bin(BinOp::Add, queue, ho);
+    let u = f.load(q_h, MemSize::B8);
+    let h2 = f.bin_i(BinOp::Add, head, 1);
+    f.assign(head, h2);
+    let uo = f.bin_i(BinOp::Mul, u, 8);
+    let d_u = f.bin(BinOp::Add, depth, uo);
+    let d = f.load(d_u, MemSize::B8);
+    let sum2 = f.bin(BinOp::Add, sum, d);
+    f.assign(sum, sum2);
+    let rp_u = f.bin(BinOp::Add, rp, uo);
+    let ks = f.load(rp_u, MemSize::B8);
+    f.assign(k, ks);
+    let rp_u1 = f.bin_i(BinOp::Add, rp_u, 8);
+    let ke = f.load(rp_u1, MemSize::B8);
+    f.assign(kend, ke);
+    f.br(edge_hdr);
+
+    f.switch_to(edge_hdr);
+    let ec = f.icmp(Cond::Lt, k, kend);
+    f.cond_br(ec, edge_body, loop_hdr);
+
+    // v = adj[k]; if depth[v] < 0 { depth[v] = d+1; queue[tail++] = v }
+    f.switch_to(edge_body);
+    let ko = f.bin_i(BinOp::Mul, k, 8);
+    let adj_k = f.bin(BinOp::Add, adj, ko);
+    let v = f.load(adj_k, MemSize::B8);
+    let vo = f.bin_i(BinOp::Mul, v, 8);
+    let d_v = f.bin(BinOp::Add, depth, vo);
+    let dv = f.load(d_v, MemSize::B8);
+    let unseen = f.icmp_i(Cond::Lt, dv, 0);
+    f.cond_br(unseen, visit, edge_next);
+
+    f.switch_to(visit);
+    let d1 = f.bin_i(BinOp::Add, d, 1);
+    f.store(d1, d_v, MemSize::B8);
+    let to = f.bin_i(BinOp::Mul, tail, 8);
+    let q_t = f.bin(BinOp::Add, queue, to);
+    f.store(v, q_t, MemSize::B8);
+    let t2 = f.bin_i(BinOp::Add, tail, 1);
+    f.assign(tail, t2);
+    f.br(edge_next);
+
+    f.switch_to(edge_next);
+    let k2 = f.bin_i(BinOp::Add, k, 1);
+    f.assign(k, k2);
+    f.br(edge_hdr);
+
+    f.switch_to(exit);
+    f.ret(Some(sum));
+    f.finish()
+}
+
+/// The HLS BFS kernel: almost pure gather — every edge is a dependent
+/// DRAM access, so II is awful and latency explodes (Table 4's shape).
+pub fn kernel(name: &str, n: u64, edges: u64) -> Kernel {
+    Kernel {
+        name: name.to_string(),
+        args: vec![
+            KernelArg::Buffer { name: "graph".into(), dir: ArgDir::In, elem_bytes: 8 },
+            KernelArg::Buffer { name: "depth".into(), dir: ArgDir::Out, elem_bytes: 8 },
+        ],
+        body: LoopNest::outer(
+            TripCount::Const(n),
+            vec![LoopNest::leaf(
+                TripCount::Const(edges.div_ceil(n.max(1))),
+                // Dependent loads dominate; no FP at all.
+                vec![(KOp::LoadMem, 6), (KOp::Cmp, 2), (KOp::StoreMem, 2)],
+            )],
+        ),
+        local_buffer_bytes: 8 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_graph_depths() {
+        // Pure ring of 5: depths 0,1,2,3,4 → sum 10.
+        let g = Graph {
+            n: 5,
+            row_ptr: vec![0, 1, 2, 3, 4, 5],
+            adj: vec![1, 2, 3, 4, 0],
+        };
+        assert_eq!(bfs_depth_sum(&g), 10);
+    }
+
+    #[test]
+    fn generated_graph_fully_reachable() {
+        let g = generate(1000, 4, 3);
+        // Connectivity through the ring: all 1000 nodes reachable, so
+        // the sum is positive and bounded by n * n.
+        let s = bfs_depth_sum(&g);
+        assert!(s > 0 && s < (1000 * 1000) as u64);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            bfs_depth_sum(&generate(500, 3, 1)),
+            bfs_depth_sum(&generate(500, 3, 1))
+        );
+    }
+
+    #[test]
+    fn denser_graphs_have_smaller_depth_sums() {
+        let sparse = bfs_depth_sum(&generate(2000, 1, 5));
+        let dense = bfs_depth_sum(&generate(2000, 8, 5));
+        assert!(dense < sparse);
+    }
+}

@@ -1,0 +1,463 @@
+//! NPB CG (conjugate gradient, class-A-shaped).
+//!
+//! A sparse symmetric positive-definite system solved by a fixed number
+//! of CG iterations, NPB-style. The sparse matrix-vector product's
+//! irregular, pointer-chasing access pattern is why CG is the paper's
+//! representative *non*-profitable FPGA workload (Table 1: 2182 ms on
+//! x86 vs 10597 ms via the FPGA).
+//!
+//! The golden implementation and the IR version perform floating-point
+//! operations in the *same order*, so the residual matches bit-for-bit
+//! across native Rust, the Xar86 VM, and the Arm64e VM.
+
+use xar_hls::kernel::{ArgDir, KOp, Kernel, KernelArg, LoopNest, TripCount};
+use xar_popcorn::ir::{BinOp, Cond, FBinOp, FuncId, MemSize, Module, Ty};
+
+/// A CSR sparse symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row pointers (`n + 1` entries).
+    pub row_ptr: Vec<u32>,
+    /// Column indices.
+    pub col: Vec<u32>,
+    /// Values.
+    pub val: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+}
+
+/// Generates a random sparse SPD matrix with about `nz_per_row`
+/// off-diagonal entries per row, deterministic in `seed`.
+pub fn generate_spd(n: usize, nz_per_row: usize, seed: u64) -> SparseMatrix {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    // Collect symmetric off-diagonal entries per row.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..nz_per_row {
+            let j = (rng() as usize) % n;
+            if j == i {
+                continue;
+            }
+            let v = (rng() % 1000) as f64 / 1000.0 * 0.5 + 0.01;
+            rows[i].push((j, v));
+            rows[j].push((i, v));
+        }
+    }
+    // Diagonal dominance → SPD.
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    row_ptr.push(0u32);
+    for (i, row) in rows.iter_mut().enumerate() {
+        row.sort_by_key(|(j, _)| *j);
+        row.dedup_by_key(|(j, _)| *j);
+        let off_sum: f64 = row.iter().map(|(_, v)| v.abs()).sum();
+        // Entries before the diagonal.
+        for &(j, v) in row.iter().filter(|(j, _)| *j < i) {
+            col.push(j as u32);
+            val.push(v);
+        }
+        col.push(i as u32);
+        val.push(off_sum + 1.0);
+        for &(j, v) in row.iter().filter(|(j, _)| *j > i) {
+            col.push(j as u32);
+            val.push(v);
+        }
+        row_ptr.push(col.len() as u32);
+    }
+    SparseMatrix { n, row_ptr, col, val }
+}
+
+/// Generates the right-hand side used by the benchmark.
+pub fn generate_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+            (r % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+/// The selected function: `iters` CG iterations from `x = 0`. Returns
+/// the final squared residual `rᵀr` (no square root — the IR has none,
+/// and the paper's kernel reports the same).
+pub fn cg_solve(a: &SparseMatrix, b: &[f64], iters: usize) -> f64 {
+    let n = a.n;
+    let mut x = vec![0.0f64; n];
+    let mut r = b.to_vec();
+    let mut p = b.to_vec();
+    let mut ap = vec![0.0f64; n];
+    let mut rs_old = dot(&r, &r);
+    for _ in 0..iters {
+        matvec(a, &p, &mut ap);
+        let pap = dot(&p, &ap);
+        let alpha = rs_old / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    rs_old
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+fn matvec(a: &SparseMatrix, p: &[f64], ap: &mut [f64]) {
+    for i in 0..a.n {
+        let mut s = 0.0;
+        for k in a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize {
+            s += a.val[k] * p[a.col[k] as usize];
+        }
+        ap[i] = s;
+    }
+}
+
+/// Guest-memory layout for the IR version: `row_ptr` as i64 entries,
+/// `col` as i64 entries, `val`/vectors as f64. The vector block holds
+/// `b, x, r, p, ap` contiguously (`5 * n * 8` bytes).
+///
+/// Builds `cg_solve(row_ptr, col, val, vecs, n, iters) -> f64 residual`.
+pub fn build_ir(m: &mut Module) -> FuncId {
+    // dot(a, b, n) -> f64
+    let dot_id = {
+        let mut f = m.function("cg_dot", &[Ty::I64, Ty::I64, Ty::I64], Some(Ty::F64));
+        let a = f.param(0);
+        let b = f.param(1);
+        let n = f.param(2);
+        let s = f.new_local(Ty::F64);
+        let i = f.new_local(Ty::I64);
+        let zf = f.const_f(0.0);
+        f.assign(s, zf);
+        let zi = f.const_i(0);
+        f.assign(i, zi);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.br(header);
+        f.switch_to(header);
+        let c = f.icmp(Cond::Lt, i, n);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let off = f.bin_i(BinOp::Mul, i, 8);
+        let ap_ = f.bin(BinOp::Add, a, off);
+        let bp_ = f.bin(BinOp::Add, b, off);
+        let av = f.loadf(ap_);
+        let bv = f.loadf(bp_);
+        let prod = f.fbin(FBinOp::Mul, av, bv);
+        let s2 = f.fbin(FBinOp::Add, s, prod);
+        f.assign(s, s2);
+        let i2 = f.bin_i(BinOp::Add, i, 1);
+        f.assign(i, i2);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(s));
+        f.finish()
+    };
+
+    // matvec(row_ptr, col, val, p, ap, n)
+    let mv_id = {
+        let mut f = m.function("cg_matvec", &[Ty::I64; 6], Some(Ty::I64));
+        let rp = f.param(0);
+        let col = f.param(1);
+        let val = f.param(2);
+        let p = f.param(3);
+        let ap = f.param(4);
+        let n = f.param(5);
+        let i = f.new_local(Ty::I64);
+        let k = f.new_local(Ty::I64);
+        let kend = f.new_local(Ty::I64);
+        let s = f.new_local(Ty::F64);
+        let zi = f.const_i(0);
+        f.assign(i, zi);
+        let row_hdr = f.new_block();
+        let row_body = f.new_block();
+        let k_hdr = f.new_block();
+        let k_body = f.new_block();
+        let row_end = f.new_block();
+        let exit = f.new_block();
+        f.br(row_hdr);
+        f.switch_to(row_hdr);
+        let c = f.icmp(Cond::Lt, i, n);
+        f.cond_br(c, row_body, exit);
+        f.switch_to(row_body);
+        let zf = f.const_f(0.0);
+        f.assign(s, zf);
+        let io = f.bin_i(BinOp::Mul, i, 8);
+        let rp_i = f.bin(BinOp::Add, rp, io);
+        let kstart = f.load(rp_i, MemSize::B8);
+        f.assign(k, kstart);
+        let rp_i1 = f.bin_i(BinOp::Add, rp_i, 8);
+        let ke = f.load(rp_i1, MemSize::B8);
+        f.assign(kend, ke);
+        f.br(k_hdr);
+        f.switch_to(k_hdr);
+        let kc = f.icmp(Cond::Lt, k, kend);
+        f.cond_br(kc, k_body, row_end);
+        f.switch_to(k_body);
+        let ko = f.bin_i(BinOp::Mul, k, 8);
+        let col_k = f.bin(BinOp::Add, col, ko);
+        let j = f.load(col_k, MemSize::B8);
+        let val_k = f.bin(BinOp::Add, val, ko);
+        let v = f.loadf(val_k);
+        let jo = f.bin_i(BinOp::Mul, j, 8);
+        let p_j = f.bin(BinOp::Add, p, jo);
+        let pv = f.loadf(p_j);
+        let prod = f.fbin(FBinOp::Mul, v, pv);
+        let s2 = f.fbin(FBinOp::Add, s, prod);
+        f.assign(s, s2);
+        let k2 = f.bin_i(BinOp::Add, k, 1);
+        f.assign(k, k2);
+        f.br(k_hdr);
+        f.switch_to(row_end);
+        let ap_i = f.bin(BinOp::Add, ap, io);
+        f.store(s, ap_i, MemSize::B8);
+        let i2 = f.bin_i(BinOp::Add, i, 1);
+        f.assign(i, i2);
+        f.br(row_hdr);
+        f.switch_to(exit);
+        let z = f.const_i(0);
+        f.ret(Some(z));
+        f.finish()
+    };
+
+    // cg_solve(row_ptr, col, val, vecs, n, iters) -> f64
+    let mut f = m.function("cg_solve", &[Ty::I64; 6], Some(Ty::F64));
+    let rp = f.param(0);
+    let col = f.param(1);
+    let val = f.param(2);
+    let vecs = f.param(3);
+    let n = f.param(4);
+    let iters = f.param(5);
+    let nb = f.bin_i(BinOp::Mul, n, 8);
+    let b = vecs;
+    let x = f.bin(BinOp::Add, vecs, nb);
+    let r = f.bin(BinOp::Add, x, nb);
+    let p = f.bin(BinOp::Add, r, nb);
+    let ap = f.bin(BinOp::Add, p, nb);
+
+    let i = f.new_local(Ty::I64);
+    let it = f.new_local(Ty::I64);
+    let rs_old = f.new_local(Ty::F64);
+    let rs_new = f.new_local(Ty::F64);
+    let alpha = f.new_local(Ty::F64);
+    let beta = f.new_local(Ty::F64);
+
+    // init loop: x=0, r=b, p=b
+    let zi = f.const_i(0);
+    f.assign(i, zi);
+    let init_hdr = f.new_block();
+    let init_body = f.new_block();
+    let init_done = f.new_block();
+    f.br(init_hdr);
+    f.switch_to(init_hdr);
+    let c = f.icmp(Cond::Lt, i, n);
+    f.cond_br(c, init_body, init_done);
+    f.switch_to(init_body);
+    let off = f.bin_i(BinOp::Mul, i, 8);
+    let b_i = f.bin(BinOp::Add, b, off);
+    let bv = f.loadf(b_i);
+    let zf = f.const_f(0.0);
+    let x_i = f.bin(BinOp::Add, x, off);
+    f.store(zf, x_i, MemSize::B8);
+    let r_i = f.bin(BinOp::Add, r, off);
+    f.store(bv, r_i, MemSize::B8);
+    let p_i = f.bin(BinOp::Add, p, off);
+    f.store(bv, p_i, MemSize::B8);
+    let i2 = f.bin_i(BinOp::Add, i, 1);
+    f.assign(i, i2);
+    f.br(init_hdr);
+
+    f.switch_to(init_done);
+    let rs0 = f.call(dot_id, &[r, r, n]).unwrap();
+    f.assign(rs_old, rs0);
+    f.assign(it, zi);
+    let it_hdr = f.new_block();
+    let it_body = f.new_block();
+    let upd_hdr = f.new_block();
+    let upd_body = f.new_block();
+    let upd_done = f.new_block();
+    let p_hdr = f.new_block();
+    let p_body = f.new_block();
+    let p_done = f.new_block();
+    let exit = f.new_block();
+    f.br(it_hdr);
+
+    f.switch_to(it_hdr);
+    let itc = f.icmp(Cond::Lt, it, iters);
+    f.cond_br(itc, it_body, exit);
+
+    f.switch_to(it_body);
+    f.call(mv_id, &[rp, col, val, p, ap, n]);
+    let pap = f.call(dot_id, &[p, ap, n]).unwrap();
+    let al = f.fbin(FBinOp::Div, rs_old, pap);
+    f.assign(alpha, al);
+    f.assign(i, zi);
+    f.br(upd_hdr);
+
+    f.switch_to(upd_hdr);
+    let uc = f.icmp(Cond::Lt, i, n);
+    f.cond_br(uc, upd_body, upd_done);
+    f.switch_to(upd_body);
+    let off2 = f.bin_i(BinOp::Mul, i, 8);
+    let x_i2 = f.bin(BinOp::Add, x, off2);
+    let p_i2 = f.bin(BinOp::Add, p, off2);
+    let r_i2 = f.bin(BinOp::Add, r, off2);
+    let ap_i2 = f.bin(BinOp::Add, ap, off2);
+    let xv = f.loadf(x_i2);
+    let pv = f.loadf(p_i2);
+    let apv = f.loadf(ap_i2);
+    let rv = f.loadf(r_i2);
+    let a_p = f.fbin(FBinOp::Mul, alpha, pv);
+    let x_new = f.fbin(FBinOp::Add, xv, a_p);
+    f.store(x_new, x_i2, MemSize::B8);
+    let a_ap = f.fbin(FBinOp::Mul, alpha, apv);
+    let r_new = f.fbin(FBinOp::Sub, rv, a_ap);
+    f.store(r_new, r_i2, MemSize::B8);
+    let i3 = f.bin_i(BinOp::Add, i, 1);
+    f.assign(i, i3);
+    f.br(upd_hdr);
+
+    f.switch_to(upd_done);
+    let rsn = f.call(dot_id, &[r, r, n]).unwrap();
+    f.assign(rs_new, rsn);
+    let be = f.fbin(FBinOp::Div, rs_new, rs_old);
+    f.assign(beta, be);
+    f.assign(i, zi);
+    f.br(p_hdr);
+
+    f.switch_to(p_hdr);
+    let pc = f.icmp(Cond::Lt, i, n);
+    f.cond_br(pc, p_body, p_done);
+    f.switch_to(p_body);
+    let off3 = f.bin_i(BinOp::Mul, i, 8);
+    let r_i3 = f.bin(BinOp::Add, r, off3);
+    let p_i3 = f.bin(BinOp::Add, p, off3);
+    let rv3 = f.loadf(r_i3);
+    let pv3 = f.loadf(p_i3);
+    let bp = f.fbin(FBinOp::Mul, beta, pv3);
+    let p_new = f.fbin(FBinOp::Add, rv3, bp);
+    f.store(p_new, p_i3, MemSize::B8);
+    let i4 = f.bin_i(BinOp::Add, i, 1);
+    f.assign(i, i4);
+    f.br(p_hdr);
+
+    f.switch_to(p_done);
+    f.assign(rs_old, rs_new);
+    let it2 = f.bin_i(BinOp::Add, it, 1);
+    f.assign(it, it2);
+    f.br(it_hdr);
+
+    f.switch_to(exit);
+    f.ret(Some(rs_old));
+    f.finish()
+}
+
+/// The HLS kernel (`KNL_HW_CG_A`): CG's irregular gather makes a poor
+/// pipeline — memory-port-bound II, matching the paper's observation
+/// that pointer-chasing workloads lose on PCIe-attached FPGAs.
+pub fn kernel(name: &str, n: u64, nnz: u64, iters: u64) -> Kernel {
+    Kernel {
+        name: name.to_string(),
+        args: vec![
+            KernelArg::Buffer { name: "matrix".into(), dir: ArgDir::In, elem_bytes: 16 },
+            KernelArg::Buffer { name: "rhs".into(), dir: ArgDir::In, elem_bytes: 8 },
+            KernelArg::Buffer { name: "x".into(), dir: ArgDir::Out, elem_bytes: 8 },
+        ],
+        body: LoopNest::outer(
+            TripCount::Const(iters),
+            vec![
+                // Sparse matvec: gather-dominated.
+                LoopNest::leaf(
+                    TripCount::Const(nnz),
+                    vec![(KOp::LoadMem, 3), (KOp::MulF, 1), (KOp::AddF, 1)],
+                ),
+                // Vector updates and dots.
+                LoopNest::leaf(
+                    TripCount::Const(n),
+                    vec![(KOp::LoadMem, 4), (KOp::MulF, 3), (KOp::AddF, 3), (KOp::StoreMem, 3)],
+                ),
+            ],
+        ),
+        local_buffer_bytes: 256 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_decreases_monotonically_enough() {
+        let a = generate_spd(200, 4, 7);
+        let b = generate_rhs(200, 8);
+        let r5 = cg_solve(&a, &b, 5);
+        let r20 = cg_solve(&a, &b, 20);
+        assert!(r20 < r5, "CG must converge: {r5} vs {r20}");
+        assert!(r20 >= 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal_dominance() {
+        let a = generate_spd(50, 3, 3);
+        // Symmetry check via dense reconstruction.
+        let mut dense = vec![vec![0.0f64; 50]; 50];
+        for i in 0..50 {
+            for k in a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize {
+                dense[i][a.col[k] as usize] = a.val[k];
+            }
+        }
+        for i in 0..50 {
+            for j in 0..50 {
+                assert!((dense[i][j] - dense[j][i]).abs() < 1e-12);
+            }
+            let off: f64 = (0..50).filter(|&j| j != i).map(|j| dense[i][j].abs()).sum();
+            assert!(dense[i][i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn solution_solves_system() {
+        // With enough iterations the residual is tiny.
+        let a = generate_spd(100, 3, 11);
+        let b = generate_rhs(100, 12);
+        let res = cg_solve(&a, &b, 60);
+        assert!(res < 1e-12, "residual {res}");
+    }
+
+    #[test]
+    fn kernel_latency_dominated_by_gather() {
+        let xo = xar_hls::compile_kernel(&kernel("KNL_HW_CG_A", 14_000, 2_000_000, 15)).unwrap();
+        // Memory-bound: II ≥ 2 on the gather loop.
+        assert!(xo.schedule.ii >= 2);
+        assert!(xo.latency_cycles(&[]) > 10_000_000);
+    }
+}

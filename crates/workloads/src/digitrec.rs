@@ -1,0 +1,435 @@
+//! Digit recognition (Rosetta's `digit-recognition`).
+//!
+//! k-nearest-neighbours (k = 3) over 196-bit digit images (14×14
+//! bitmaps, four u64 words each), Hamming distance, majority vote —
+//! exactly Rosetta's formulation. The training set is synthetic:
+//! hand-drawn 14×14 glyphs for the ten classes perturbed by seeded
+//! random bit flips.
+//!
+//! The selected function is [`knn_classify`]; [`build_ir`] provides the
+//! multi-ISA IR version and [`kernel`] the HLS kernel.
+
+use xar_hls::kernel::{ArgDir, KOp, Kernel, KernelArg, LoopNest, TripCount};
+use xar_popcorn::ir::{BinOp, Cond, FuncId, MemSize, Module, Ty};
+
+/// Words per digit (196 bits in 4 × u64).
+pub const WORDS: usize = 4;
+/// Number of classes.
+pub const CLASSES: usize = 10;
+/// Neighbours considered.
+pub const K: usize = 3;
+
+/// A 196-bit digit image.
+pub type Digit = [u64; WORDS];
+
+/// Hand-drawn 14×14 glyph rows for digits 0–9 (each row is 14 bits).
+const GLYPHS: [[u16; 14]; 10] = [
+    // 0
+    [0x0F80, 0x1FC0, 0x3860, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3860, 0x1FC0, 0x0F80, 0x0000],
+    // 1
+    [0x0300, 0x0700, 0x0F00, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0FC0, 0x0FC0, 0x0000],
+    // 2
+    [0x0F80, 0x1FC0, 0x30E0, 0x0060, 0x00C0, 0x0180, 0x0300, 0x0600, 0x0C00, 0x1800, 0x3FE0, 0x3FE0, 0x0000, 0x0000],
+    // 3
+    [0x1F80, 0x3FC0, 0x00E0, 0x0060, 0x07C0, 0x07C0, 0x0060, 0x0060, 0x00E0, 0x3FC0, 0x1F80, 0x0000, 0x0000, 0x0000],
+    // 4
+    [0x0180, 0x0380, 0x0780, 0x0D80, 0x1980, 0x3180, 0x3FE0, 0x3FE0, 0x0180, 0x0180, 0x0180, 0x0180, 0x0000, 0x0000],
+    // 5
+    [0x3FC0, 0x3FC0, 0x3000, 0x3000, 0x3F80, 0x3FC0, 0x00E0, 0x0060, 0x0060, 0x30E0, 0x3FC0, 0x1F80, 0x0000, 0x0000],
+    // 6
+    [0x07C0, 0x0FC0, 0x1800, 0x3000, 0x3F80, 0x3FC0, 0x30E0, 0x3060, 0x3060, 0x3060, 0x1FC0, 0x0F80, 0x0000, 0x0000],
+    // 7
+    [0x3FE0, 0x3FE0, 0x0060, 0x00C0, 0x0180, 0x0180, 0x0300, 0x0300, 0x0600, 0x0600, 0x0C00, 0x0C00, 0x0000, 0x0000],
+    // 8
+    [0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x1FC0, 0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x30E0, 0x1FC0, 0x0F80, 0x0000, 0x0000],
+    // 9
+    [0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x3060, 0x38E0, 0x1FE0, 0x0F60, 0x0060, 0x00C0, 0x1F80, 0x1F00, 0x0000, 0x0000],
+];
+
+/// The glyph of `class` as a bit-packed digit.
+pub fn glyph(class: usize) -> Digit {
+    let mut d = [0u64; WORDS];
+    for (row, bits) in GLYPHS[class].iter().enumerate() {
+        for col in 0..14 {
+            if bits & (1 << (13 - col)) != 0 {
+                let bit = row * 14 + col;
+                d[bit / 64] |= 1 << (bit % 64);
+            }
+        }
+    }
+    d
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Digit bitmaps.
+    pub digits: Vec<Digit>,
+    /// Class labels (0–9).
+    pub labels: Vec<u8>,
+}
+
+/// Generates a dataset of `n` digits: class glyphs with `flips` random
+/// bit flips each, deterministic in `seed`.
+pub fn generate(n: usize, flips: usize, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut digits = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let mut d = glyph(class);
+        for _ in 0..flips {
+            let bit = (rng() % 196) as usize;
+            d[bit / 64] ^= 1 << (bit % 64);
+        }
+        digits.push(d);
+        labels.push(class as u8);
+    }
+    Dataset { digits, labels }
+}
+
+/// Hamming distance between two digits.
+pub fn hamming(a: &Digit, b: &Digit) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Classifies one test digit by 3-NN majority vote.
+///
+/// Deterministic tie-breaking, mirrored exactly by the IR version:
+/// neighbours are ranked by `(distance, training-index)`; the vote is
+/// won by the label with the most neighbours, ties resolved in favour
+/// of the *nearest* neighbour's label.
+pub fn classify_one(train: &Dataset, test: &Digit) -> u8 {
+    // Track the K best (distance, index) pairs.
+    let mut best = [(u32::MAX, usize::MAX); K];
+    for (i, t) in train.digits.iter().enumerate() {
+        let d = hamming(t, test);
+        // Insertion sort into the top-K, strict ordering by (d, i).
+        let mut cand = (d, i);
+        for slot in best.iter_mut() {
+            if cand < *slot {
+                std::mem::swap(&mut cand, slot);
+            }
+        }
+    }
+    // Majority vote with nearest-first tie-break.
+    let labels: Vec<u8> = best
+        .iter()
+        .filter(|(d, _)| *d != u32::MAX)
+        .map(|(_, i)| train.labels[*i])
+        .collect();
+    let mut winner = labels[0];
+    let mut winner_votes = 0;
+    for &l in &labels {
+        let votes = labels.iter().filter(|&&x| x == l).count();
+        if votes > winner_votes {
+            winner = l;
+            winner_votes = votes;
+        }
+    }
+    winner
+}
+
+/// The selected function: classifies every test digit. Returns
+/// predicted labels.
+pub fn knn_classify(train: &Dataset, tests: &[Digit]) -> Vec<u8> {
+    tests.iter().map(|t| classify_one(train, t)).collect()
+}
+
+/// Classification accuracy of predictions against ground truth.
+pub fn accuracy(predicted: &[u8], truth: &[u8]) -> f64 {
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let ok = predicted.iter().zip(truth).filter(|(a, b)| a == b).count();
+    ok as f64 / predicted.len() as f64
+}
+
+/// Guest-memory layout for the IR version: training digits (4×u64
+/// each), training labels (u64 each), test digits, output labels.
+///
+/// Builds `knn_classify(train_ptr, labels_ptr, ntrain, test_ptr, ntest,
+/// out_ptr) -> ntest` — six i64 parameters (the Xar86 limit).
+pub fn build_ir(m: &mut Module) -> FuncId {
+    // popcount(x): classic clear-lowest-set-bit loop.
+    let pop_id = {
+        let mut f = m.function("knn_popcount", &[Ty::I64], Some(Ty::I64));
+        let x = f.param(0);
+        let n = f.new_local(Ty::I64);
+        let v = f.new_local(Ty::I64);
+        let zero = f.const_i(0);
+        f.assign(n, zero);
+        f.assign(v, x);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.br(header);
+        f.switch_to(header);
+        let c = f.icmp_i(Cond::Ne, v, 0);
+        f.cond_br(c, body, exit);
+        f.switch_to(body);
+        let v1 = f.bin_i(BinOp::Sub, v, 1);
+        let v2 = f.bin(BinOp::And, v, v1);
+        f.assign(v, v2);
+        let n1 = f.bin_i(BinOp::Add, n, 1);
+        f.assign(n, n1);
+        f.br(header);
+        f.switch_to(exit);
+        f.ret(Some(n));
+        f.finish()
+    };
+
+    // hamming(a_ptr, b_ptr) over WORDS words.
+    let ham_id = {
+        let mut f = m.function("knn_hamming", &[Ty::I64, Ty::I64], Some(Ty::I64));
+        let a = f.param(0);
+        let b = f.param(1);
+        let mut acc = f.const_i(0);
+        for wi in 0..WORDS as i64 {
+            let ao = f.bin_i(BinOp::Add, a, wi * 8);
+            let bo = f.bin_i(BinOp::Add, b, wi * 8);
+            let av = f.load(ao, MemSize::B8);
+            let bv = f.load(bo, MemSize::B8);
+            let x = f.bin(BinOp::Xor, av, bv);
+            let p = f.call(pop_id, &[x]).unwrap();
+            acc = f.bin(BinOp::Add, acc, p);
+        }
+        f.ret(Some(acc));
+        f.finish()
+    };
+
+    // classify_one(train, labels, ntrain, test_ptr) -> label
+    let cls_id = {
+        let mut f = m.function(
+            "knn_classify_one",
+            &[Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+        );
+        let train = f.param(0);
+        let labels = f.param(1);
+        let ntrain = f.param(2);
+        let test = f.param(3);
+        // Top-3 (distance, index) pairs, kept sorted ascending.
+        let d0 = f.new_local(Ty::I64);
+        let d1 = f.new_local(Ty::I64);
+        let d2 = f.new_local(Ty::I64);
+        let i0 = f.new_local(Ty::I64);
+        let i1 = f.new_local(Ty::I64);
+        let i2 = f.new_local(Ty::I64);
+        let i = f.new_local(Ty::I64);
+        let big = f.const_i(i64::MAX);
+        f.assign(d0, big);
+        f.assign(d1, big);
+        f.assign(d2, big);
+        f.assign(i0, big);
+        f.assign(i1, big);
+        f.assign(i2, big);
+        let zero = f.const_i(0);
+        f.assign(i, zero);
+
+        let header = f.new_block();
+        let body = f.new_block();
+        let slot0 = f.new_block();
+        let try1 = f.new_block();
+        let slot1 = f.new_block();
+        let try2 = f.new_block();
+        let slot2 = f.new_block();
+        let next = f.new_block();
+        let vote = f.new_block();
+        f.br(header);
+
+        f.switch_to(header);
+        let c = f.icmp(Cond::Lt, i, ntrain);
+        f.cond_br(c, body, vote);
+
+        // d = hamming(train + i*32, test); encode candidate as
+        // key = d * 2^32 + i so lexicographic (d, i) order is a single
+        // integer comparison (distances ≤ 196, indices < 2^31).
+        f.switch_to(body);
+        let off = f.bin_i(BinOp::Mul, i, (WORDS * 8) as i64);
+        let tptr = f.bin(BinOp::Add, train, off);
+        let d = f.call(ham_id, &[tptr, test]).unwrap();
+        let dk = f.bin_i(BinOp::Shl, d, 32);
+        let key = f.bin(BinOp::Or, dk, i);
+        let better0 = f.icmp(Cond::Lt, key, d0);
+        f.cond_br(better0, slot0, try1);
+
+        // Shift 0→1→2, insert at 0.
+        f.switch_to(slot0);
+        f.assign(d2, d1);
+        f.assign(i2, i1);
+        f.assign(d1, d0);
+        f.assign(i1, i0);
+        f.assign(d0, key);
+        f.assign(i0, i);
+        f.br(next);
+
+        f.switch_to(try1);
+        let better1 = f.icmp(Cond::Lt, key, d1);
+        f.cond_br(better1, slot1, try2);
+
+        f.switch_to(slot1);
+        f.assign(d2, d1);
+        f.assign(i2, i1);
+        f.assign(d1, key);
+        f.assign(i1, i);
+        f.br(next);
+
+        f.switch_to(try2);
+        let better2 = f.icmp(Cond::Lt, key, d2);
+        f.cond_br(better2, slot2, next);
+
+        f.switch_to(slot2);
+        f.assign(d2, key);
+        f.assign(i2, i);
+        f.br(next);
+
+        f.switch_to(next);
+        let i_next = f.bin_i(BinOp::Add, i, 1);
+        f.assign(i, i_next);
+        f.br(header);
+
+        // Majority vote over the three labels (nearest-first
+        // tie-break = label0 wins 1-1-1 splits).
+        f.switch_to(vote);
+        let lbl = |f: &mut xar_popcorn::ir::FunctionBuilder<'_>, idx: xar_popcorn::ir::LocalId| {
+            let o = f.bin_i(BinOp::Mul, idx, 8);
+            let a = f.bin(BinOp::Add, labels, o);
+            f.load(a, MemSize::B8)
+        };
+        let l0 = lbl(&mut f, i0);
+        let l1 = lbl(&mut f, i1);
+        let l2 = lbl(&mut f, i2);
+        // if l1 == l2 and l1 != l0 → l1 wins; else l0 wins (covers 2-1
+        // for l0, 3-0, 1-1-1, and 2-1 for l1/l2).
+        let e12 = f.icmp(Cond::Eq, l1, l2);
+        let ne01 = f.icmp(Cond::Ne, l0, l1);
+        let both = f.bin(BinOp::And, e12, ne01);
+        let ret_l1 = f.new_block();
+        let ret_l0 = f.new_block();
+        f.cond_br(both, ret_l1, ret_l0);
+        f.switch_to(ret_l1);
+        f.ret(Some(l1));
+        f.switch_to(ret_l0);
+        f.ret(Some(l0));
+        f.finish()
+    };
+
+    // knn_classify: loop over tests.
+    let mut f = m.function(
+        "knn_classify",
+        &[Ty::I64, Ty::I64, Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+    );
+    let train = f.param(0);
+    let labels = f.param(1);
+    let ntrain = f.param(2);
+    let tests = f.param(3);
+    let ntest = f.param(4);
+    let out = f.param(5);
+    let t = f.new_local(Ty::I64);
+    let zero = f.const_i(0);
+    f.assign(t, zero);
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.br(header);
+    f.switch_to(header);
+    let c = f.icmp(Cond::Lt, t, ntest);
+    f.cond_br(c, body, exit);
+    f.switch_to(body);
+    let toff = f.bin_i(BinOp::Mul, t, (WORDS * 8) as i64);
+    let tptr = f.bin(BinOp::Add, tests, toff);
+    let label = f.call(cls_id, &[train, labels, ntrain, tptr]).unwrap();
+    let ooff = f.bin_i(BinOp::Mul, t, 8);
+    let optr = f.bin(BinOp::Add, out, ooff);
+    f.store(label, optr, MemSize::B8);
+    let t1 = f.bin_i(BinOp::Add, t, 1);
+    f.assign(t, t1);
+    f.br(header);
+    f.switch_to(exit);
+    f.ret(Some(ntest));
+    f.finish()
+}
+
+/// The HLS kernel for `ntrain` training digits and `ntests` tests.
+/// Kernel names match the paper's Table 2 (`KNL_HW_DR500`,
+/// `KNL_HW_DR200`).
+pub fn kernel(name: &str, ntrain: u64, ntests: u64) -> Kernel {
+    Kernel {
+        name: name.to_string(),
+        args: vec![
+            KernelArg::Buffer { name: "train".into(), dir: ArgDir::In, elem_bytes: 32 },
+            KernelArg::Buffer { name: "tests".into(), dir: ArgDir::In, elem_bytes: 32 },
+            KernelArg::Buffer { name: "out".into(), dir: ArgDir::Out, elem_bytes: 8 },
+        ],
+        body: LoopNest::outer(
+            TripCount::Const(ntests),
+            vec![LoopNest::leaf(
+                TripCount::Const(ntrain),
+                vec![
+                    (KOp::LoadMem, 4),
+                    (KOp::Bit, 8), // xor + popcount tree
+                    (KOp::Cmp, 3), // top-3 maintenance
+                ],
+            )],
+        ),
+        local_buffer_bytes: ntrain * 32 + 4096,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for a in 0..CLASSES {
+            for b in (a + 1)..CLASSES {
+                assert!(
+                    hamming(&glyph(a), &glyph(b)) > 10,
+                    "glyphs {a} and {b} too similar"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_accurate_on_light_noise() {
+        let train = generate(500, 8, 1);
+        let test = generate(100, 8, 2);
+        let pred = knn_classify(&train, &test.digits);
+        let acc = accuracy(&pred, &test.labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn zero_noise_is_perfect() {
+        let train = generate(100, 0, 1);
+        let test = generate(50, 0, 9);
+        let pred = knn_classify(&train, &test.digits);
+        assert_eq!(accuracy(&pred, &test.labels), 1.0);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        let z = [0u64; WORDS];
+        let mut one = z;
+        one[0] = 0b1011;
+        assert_eq!(hamming(&z, &z), 0);
+        assert_eq!(hamming(&z, &one), 3);
+    }
+
+    #[test]
+    fn kernel_scales_with_tests() {
+        let k500 = xar_hls::compile_kernel(&kernel("KNL_HW_DR500", 18000, 500)).unwrap();
+        let k2000 = xar_hls::compile_kernel(&kernel("KNL_HW_DR200", 18000, 2000)).unwrap();
+        assert!(k2000.latency_cycles(&[]) > 3 * k500.latency_cycles(&[]));
+    }
+}

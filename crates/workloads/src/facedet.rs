@@ -1,0 +1,471 @@
+//! Face detection (Rosetta's `face-detection`, simplified).
+//!
+//! A Viola–Jones-style detector: integral image plus a three-stage
+//! cascade of Haar-like mean-intensity features over a sliding 24×24
+//! window. The cascade is hand-designed for the synthetic face pattern
+//! the generator embeds (bright oval, dark eye band) — the point is the
+//! *computation shape* (integral-image rectangle sums, cascade early
+//! exit), which is what Rosetta's kernel accelerates.
+//!
+//! The selected function (the paper's hardware kernel) is the window
+//! scan [`count_windows`], also available as IR via [`build_ir`] and as
+//! an HLS kernel via [`kernel`].
+
+use xar_hls::kernel::{ArgDir, KOp, Kernel, KernelArg, LoopNest, TripCount};
+use xar_popcorn::ir::{BinOp, Cond, FuncId, MemSize, Module, Ty};
+
+/// Window side in pixels.
+pub const WINDOW: usize = 24;
+/// Scan stride in pixels.
+pub const STRIDE: usize = 4;
+
+/// A grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// A black image.
+    pub fn new(w: usize, h: usize) -> GrayImage {
+        GrayImage { w, h, pixels: vec![0; w * h] }
+    }
+
+    /// Pixel accessor.
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.w + x]
+    }
+
+    /// Encodes as binary PGM (P5), the format the paper's modified
+    /// multi-image benchmark reads (WIDER images converted to PGM).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.w, self.h).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Decodes a binary PGM (P5) image.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_pgm(data: &[u8]) -> Option<GrayImage> {
+        let mut pos = 0usize;
+        let mut token = |data: &[u8]| -> Option<(usize, usize)> {
+            let mut p = pos;
+            while p < data.len() && data[p].is_ascii_whitespace() {
+                p += 1;
+            }
+            let start = p;
+            while p < data.len() && !data[p].is_ascii_whitespace() {
+                p += 1;
+            }
+            if start == p {
+                None
+            } else {
+                pos = p;
+                Some((start, p))
+            }
+        };
+        let (s, e) = token(data)?;
+        if &data[s..e] != b"P5" {
+            return None;
+        }
+        let (s, e) = token(data)?;
+        let w: usize = std::str::from_utf8(&data[s..e]).ok()?.parse().ok()?;
+        let (s, e) = token(data)?;
+        let h: usize = std::str::from_utf8(&data[s..e]).ok()?.parse().ok()?;
+        let (s, e) = token(data)?;
+        let maxv: usize = std::str::from_utf8(&data[s..e]).ok()?.parse().ok()?;
+        if maxv != 255 {
+            return None;
+        }
+        let body = pos + 1;
+        let pixels = data.get(body..body + w * h)?.to_vec();
+        Some(GrayImage { w, h, pixels })
+    }
+}
+
+/// Computes the integral image: entry `(y, x)` (row-major, width
+/// `w + 1`) is the sum of pixels in `[0,x) × [0,y)`.
+pub fn integral_image(img: &GrayImage) -> Vec<u64> {
+    let (w, h) = (img.w, img.h);
+    let iw = w + 1;
+    let mut ii = vec![0u64; iw * (h + 1)];
+    for y in 0..h {
+        let mut row = 0u64;
+        for x in 0..w {
+            row += img.at(x, y) as u64;
+            ii[(y + 1) * iw + (x + 1)] = ii[y * iw + (x + 1)] + row;
+        }
+    }
+    ii
+}
+
+/// Sum of pixels in the rectangle `[x0,x1) × [y0,y1)`.
+pub fn rect_sum(ii: &[u64], iw: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+    ii[y1 * iw + x1] + ii[y0 * iw + x0] - ii[y0 * iw + x1] - ii[y1 * iw + x0]
+}
+
+/// Cascade thresholds shared by the golden, IR, and HLS versions.
+pub mod cascade {
+    /// Stage 1: window pixel sum must exceed `110 * 576` (mean ≥ 110).
+    pub const STAGE1_MIN_SUM: i64 = 110 * (super::WINDOW as i64 * super::WINDOW as i64);
+    /// Stage 2: `4*center(12×12) - window` must exceed this margin.
+    pub const STAGE2_CENTER_MARGIN: i64 = 1200;
+    /// Stage 3: cheek band minus eye band (both 16×4) must exceed this.
+    pub const STAGE3_EYE_MARGIN: i64 = 1500;
+}
+
+fn window_passes(ii: &[u64], iw: usize, x: usize, y: usize) -> bool {
+    use cascade::*;
+    // Stage 1: bright window.
+    let win = rect_sum(ii, iw, x, y, x + WINDOW, y + WINDOW) as i64;
+    if win <= STAGE1_MIN_SUM {
+        return false;
+    }
+    // Stage 2: 12×12 center brighter than the window average
+    // (24²/12² = 4, so compare 4*center against the window sum).
+    let center = rect_sum(ii, iw, x + 6, y + 6, x + 18, y + 18) as i64;
+    if 4 * center - win <= STAGE2_CENTER_MARGIN {
+        return false;
+    }
+    // Stage 3: eye band (rows 6..10) darker than cheek band (rows
+    // 12..16), both columns 4..20.
+    let eye = rect_sum(ii, iw, x + 4, y + 6, x + 20, y + 10) as i64;
+    let cheek = rect_sum(ii, iw, x + 4, y + 12, x + 20, y + 16) as i64;
+    cheek - eye > STAGE3_EYE_MARGIN
+}
+
+/// The selected function: counts windows passing the cascade (the
+/// computation the FPGA kernel implements).
+pub fn count_windows(img: &GrayImage) -> u64 {
+    if img.w < WINDOW || img.h < WINDOW {
+        return 0;
+    }
+    let ii = integral_image(img);
+    count_windows_on_integral(&ii, img.w, img.h)
+}
+
+/// Window scan over a precomputed integral image (the exact computation
+/// the IR version performs).
+pub fn count_windows_on_integral(ii: &[u64], w: usize, h: usize) -> u64 {
+    let iw = w + 1;
+    let mut count = 0;
+    let mut y = 0;
+    while y + WINDOW <= h {
+        let mut x = 0;
+        while x + WINDOW <= w {
+            if window_passes(ii, iw, x, y) {
+                count += 1;
+            }
+            x += STRIDE;
+        }
+        y += STRIDE;
+    }
+    count
+}
+
+/// A detected face (top-left of its window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Top-left x.
+    pub x: usize,
+    /// Top-left y.
+    pub y: usize,
+}
+
+/// Full detector: cascade scan plus greedy non-maximum suppression at
+/// window granularity.
+pub fn detect_faces(img: &GrayImage) -> Vec<Detection> {
+    if img.w < WINDOW || img.h < WINDOW {
+        return Vec::new();
+    }
+    let ii = integral_image(img);
+    let iw = img.w + 1;
+    let mut kept: Vec<Detection> = Vec::new();
+    let mut y = 0;
+    while y + WINDOW <= img.h {
+        let mut x = 0;
+        while x + WINDOW <= img.w {
+            if window_passes(&ii, iw, x, y) {
+                let overlaps = kept.iter().any(|k| {
+                    (x as i64 - k.x as i64).abs() < WINDOW as i64
+                        && (y as i64 - k.y as i64).abs() < WINDOW as i64
+                });
+                if !overlaps {
+                    kept.push(Detection { x, y });
+                }
+            }
+            x += STRIDE;
+        }
+        y += STRIDE;
+    }
+    kept
+}
+
+/// Synthetic image generator: dark noisy background with bright-oval /
+/// dark-eye-band face patterns at the given positions. Deterministic in
+/// `seed`.
+pub fn generate_image(w: usize, h: usize, faces: &[(usize, usize)], seed: u64) -> GrayImage {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut img = GrayImage::new(w, h);
+    for p in img.pixels.iter_mut() {
+        *p = 70 + (rng() % 21) as u8;
+    }
+    for &(fx, fy) in faces {
+        if fx + WINDOW > w || fy + WINDOW > h {
+            continue;
+        }
+        for dy in 0..WINDOW {
+            for dx in 0..WINDOW {
+                let cx = dx as f64 - 11.5;
+                let cy = dy as f64 - 11.5;
+                if (cx / 11.0).powi(2) + (cy / 11.5).powi(2) <= 1.0 {
+                    img.pixels[(fy + dy) * w + fx + dx] = 185 + (rng() % 11) as u8;
+                }
+            }
+        }
+        for dy in 6..10 {
+            for dx in 4..20 {
+                img.pixels[(fy + dy) * w + fx + dx] = 40 + (rng() % 11) as u8;
+            }
+        }
+    }
+    img
+}
+
+/// Builds the IR selected function
+/// `facedet_count(ii_ptr, w, h) -> count` plus its `rect_sum` helper,
+/// operating on a pre-computed integral image staged in guest memory.
+/// Returns the selected function's id.
+pub fn build_ir(m: &mut Module) -> FuncId {
+    // rect_sum(ii, iw, x0, y0, x1, y1) — 6 i64 args.
+    let rs_id = {
+        let mut f = m.function(
+            "facedet_rect_sum",
+            &[Ty::I64; 6],
+            Some(Ty::I64),
+        );
+        let (ii, iw) = (f.param(0), f.param(1));
+        let (x0, y0, x1, y1) = (f.param(2), f.param(3), f.param(4), f.param(5));
+        let load_at = |f: &mut xar_popcorn::ir::FunctionBuilder<'_>,
+                       xv: xar_popcorn::ir::LocalId,
+                       yv: xar_popcorn::ir::LocalId| {
+            let row = f.bin(BinOp::Mul, yv, iw);
+            let idx = f.bin(BinOp::Add, row, xv);
+            let off = f.bin_i(BinOp::Mul, idx, 8);
+            let addr = f.bin(BinOp::Add, ii, off);
+            f.load(addr, MemSize::B8)
+        };
+        let a = load_at(&mut f, x1, y1);
+        let b = load_at(&mut f, x0, y0);
+        let c = load_at(&mut f, x1, y0);
+        let d = load_at(&mut f, x0, y1);
+        let ab = f.bin(BinOp::Add, a, b);
+        let cd = f.bin(BinOp::Add, c, d);
+        let r = f.bin(BinOp::Sub, ab, cd);
+        f.ret(Some(r));
+        f.finish()
+    };
+
+    let mut f = m.function("facedet_count", &[Ty::I64, Ty::I64, Ty::I64], Some(Ty::I64));
+    let ii = f.param(0);
+    let w = f.param(1);
+    let h = f.param(2);
+    let iw = f.bin_i(BinOp::Add, w, 1);
+    let count = f.new_local(Ty::I64);
+    let y = f.new_local(Ty::I64);
+    let x = f.new_local(Ty::I64);
+    let zero = f.const_i(0);
+    f.assign(count, zero);
+    f.assign(y, zero);
+
+    let y_header = f.new_block();
+    let y_body = f.new_block();
+    let y_incr = f.new_block();
+    let x_header = f.new_block();
+    let x_body = f.new_block();
+    let x_incr = f.new_block();
+    let stage2 = f.new_block();
+    let stage3 = f.new_block();
+    let hit = f.new_block();
+    let done = f.new_block();
+
+    f.br(y_header);
+
+    f.switch_to(y_header);
+    let y_end = f.bin_i(BinOp::Add, y, WINDOW as i64);
+    let yc = f.icmp(Cond::Le, y_end, h);
+    f.cond_br(yc, y_body, done);
+
+    f.switch_to(y_body);
+    f.assign(x, zero);
+    f.br(x_header);
+
+    f.switch_to(x_header);
+    let x_end = f.bin_i(BinOp::Add, x, WINDOW as i64);
+    let xc = f.icmp(Cond::Le, x_end, w);
+    f.cond_br(xc, x_body, y_incr);
+
+    // Stage 1.
+    f.switch_to(x_body);
+    let x24 = f.bin_i(BinOp::Add, x, WINDOW as i64);
+    let y24 = f.bin_i(BinOp::Add, y, WINDOW as i64);
+    let win = f.call(rs_id, &[ii, iw, x, y, x24, y24]).unwrap();
+    let s1 = f.icmp_i(Cond::Gt, win, cascade::STAGE1_MIN_SUM);
+    f.cond_br(s1, stage2, x_incr);
+
+    // Stage 2.
+    f.switch_to(stage2);
+    let x6 = f.bin_i(BinOp::Add, x, 6);
+    let y6 = f.bin_i(BinOp::Add, y, 6);
+    let x18 = f.bin_i(BinOp::Add, x, 18);
+    let y18 = f.bin_i(BinOp::Add, y, 18);
+    let center = f.call(rs_id, &[ii, iw, x6, y6, x18, y18]).unwrap();
+    let c4 = f.bin_i(BinOp::Mul, center, 4);
+    let margin = f.bin(BinOp::Sub, c4, win);
+    let s2 = f.icmp_i(Cond::Gt, margin, cascade::STAGE2_CENTER_MARGIN);
+    f.cond_br(s2, stage3, x_incr);
+
+    // Stage 3.
+    f.switch_to(stage3);
+    let x4 = f.bin_i(BinOp::Add, x, 4);
+    let x20 = f.bin_i(BinOp::Add, x, 20);
+    let y6b = f.bin_i(BinOp::Add, y, 6);
+    let y10 = f.bin_i(BinOp::Add, y, 10);
+    let y12 = f.bin_i(BinOp::Add, y, 12);
+    let y16 = f.bin_i(BinOp::Add, y, 16);
+    let eye = f.call(rs_id, &[ii, iw, x4, y6b, x20, y10]).unwrap();
+    let cheek = f.call(rs_id, &[ii, iw, x4, y12, x20, y16]).unwrap();
+    let diff = f.bin(BinOp::Sub, cheek, eye);
+    let s3 = f.icmp_i(Cond::Gt, diff, cascade::STAGE3_EYE_MARGIN);
+    f.cond_br(s3, hit, x_incr);
+
+    f.switch_to(hit);
+    let c1 = f.bin_i(BinOp::Add, count, 1);
+    f.assign(count, c1);
+    f.br(x_incr);
+
+    f.switch_to(x_incr);
+    let xs = f.bin_i(BinOp::Add, x, STRIDE as i64);
+    f.assign(x, xs);
+    f.br(x_header);
+
+    f.switch_to(y_incr);
+    let ys = f.bin_i(BinOp::Add, y, STRIDE as i64);
+    f.assign(y, ys);
+    f.br(y_header);
+
+    f.switch_to(done);
+    f.ret(Some(count));
+    f.finish()
+}
+
+/// The HLS kernel description for an image of `w`×`h` (steps D–F input).
+/// Kernel names match the paper's Table 2 (`KNL_HW_FD320`,
+/// `KNL_HW_FD640`).
+pub fn kernel(name: &str, w: usize, h: usize) -> Kernel {
+    let windows_x = (w - WINDOW) / STRIDE + 1;
+    let windows_y = (h - WINDOW) / STRIDE + 1;
+    Kernel {
+        name: name.to_string(),
+        args: vec![
+            KernelArg::Buffer { name: "image".into(), dir: ArgDir::In, elem_bytes: 1 },
+            KernelArg::Buffer { name: "result".into(), dir: ArgDir::Out, elem_bytes: 8 },
+        ],
+        body: LoopNest::outer(
+            TripCount::Const(windows_y as u64),
+            vec![LoopNest::leaf(
+                TripCount::Const(windows_x as u64),
+                vec![
+                    (KOp::LoadMem, 16), // 4 rect sums × 4 corners
+                    (KOp::AluI, 14),
+                    (KOp::Cmp, 3),
+                ],
+            )],
+        ),
+        // Image + integral image buffered on chip (the paper notes the
+        // FPGA version wins because it uses internal memories).
+        local_buffer_bytes: (w * h + (w + 1) * (h + 1) * 8) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = generate_image(64, 48, &[(10, 10)], 7);
+        let pgm = img.to_pgm();
+        let back = GrayImage::from_pgm(&pgm).unwrap();
+        assert_eq!(back, img);
+        assert!(GrayImage::from_pgm(b"P6\n1 1\n255\nx").is_none());
+    }
+
+    #[test]
+    fn integral_image_matches_naive() {
+        let img = generate_image(40, 32, &[(5, 5)], 3);
+        let ii = integral_image(&img);
+        let iw = img.w + 1;
+        // Spot-check random rectangles against a naive sum.
+        for (x0, y0, x1, y1) in [(0, 0, 40, 32), (3, 4, 17, 20), (10, 1, 11, 2)] {
+            let naive: u64 = (y0..y1)
+                .flat_map(|y| (x0..x1).map(move |x| (x, y)))
+                .map(|(x, y)| img.at(x, y) as u64)
+                .sum();
+            assert_eq!(rect_sum(&ii, iw, x0, y0, x1, y1), naive);
+        }
+    }
+
+    #[test]
+    fn detects_embedded_faces_and_not_noise() {
+        let faces = [(20, 20), (100, 60), (200, 150)];
+        let img = generate_image(320, 240, &faces, 42);
+        let dets = detect_faces(&img);
+        assert_eq!(dets.len(), faces.len(), "dets: {dets:?}");
+        for (fx, fy) in faces {
+            assert!(
+                dets.iter()
+                    .any(|d| d.x.abs_diff(fx) <= 8 && d.y.abs_diff(fy) <= 8),
+                "face at ({fx},{fy}) not found in {dets:?}"
+            );
+        }
+        // A faceless image yields nothing.
+        let empty = generate_image(320, 240, &[], 43);
+        assert_eq!(detect_faces(&empty).len(), 0);
+        assert_eq!(count_windows(&empty), 0);
+    }
+
+    #[test]
+    fn count_windows_positive_with_faces() {
+        let img = generate_image(128, 96, &[(30, 30)], 9);
+        assert!(count_windows(&img) > 0);
+    }
+
+    #[test]
+    fn tiny_image_is_safe() {
+        let img = GrayImage::new(10, 10);
+        assert_eq!(count_windows(&img), 0);
+        assert!(detect_faces(&img).is_empty());
+    }
+
+    #[test]
+    fn kernel_latency_scales_with_image_size() {
+        let k320 = kernel("KNL_HW_FD320", 320, 240);
+        let k640 = kernel("KNL_HW_FD640", 640, 480);
+        let xo320 = xar_hls::compile_kernel(&k320).unwrap();
+        let xo640 = xar_hls::compile_kernel(&k640).unwrap();
+        assert!(xo640.latency_cycles(&[]) > 3 * xo320.latency_cycles(&[]));
+    }
+}

@@ -1,0 +1,50 @@
+//! # xar-workloads — the paper's benchmark applications
+//!
+//! The Xar-Trek evaluation (paper §4) uses Rosetta face detection
+//! (320×240 and 640×480), Rosetta digit recognition (500 and 2000
+//! tests), NPB CG class A, NPB MG class B as the load generator, and a
+//! BFS microbenchmark for the profitability study. Each benchmark here
+//! has up to four faces:
+//!
+//! 1. a **golden** native-Rust implementation (the reference
+//!    semantics);
+//! 2. an **IR** implementation of the selected function, compiled by
+//!    `xar-popcorn` into multi-ISA binaries and checked bit-for-bit
+//!    against the golden version on both ISA VMs;
+//! 3. an **HLS kernel** description consumed by `xar-hls` (resources,
+//!    XCLBIN partitioning, latency model);
+//! 4. a **cost profile** calibrated against the paper's own Table 1 /
+//!    Table 4 "in locus" measurements, which parameterizes the
+//!    discrete-event experiments.
+//!
+//! The synthetic data generators replace inputs we do not have (the
+//! WIDER face dataset, MNIST digits, NPB class data): they are seeded,
+//! deterministic, and exercise the same code paths.
+
+pub mod bfs;
+pub mod cg;
+pub mod digitrec;
+pub mod facedet;
+pub mod mg;
+pub mod profiles;
+
+pub use profiles::{all_profiles, bfs_profile, mg_b_background, CostProfile};
+
+use xar_popcorn::ir::Module;
+
+/// Everything the Xar-Trek compiler pipeline needs for one application:
+/// its IR (with a `main` that calls the selected function), the name of
+/// the selected function, its HLS kernel, and its cost profile.
+#[derive(Debug, Clone)]
+pub struct AppBundle {
+    /// Benchmark name (matches the profile).
+    pub name: String,
+    /// IR module containing `main` and the selected function.
+    pub module: Module,
+    /// Name of the selected function (profiling step A's output).
+    pub selected: String,
+    /// Hardware-candidate kernel for steps D–F.
+    pub kernel: xar_hls::Kernel,
+    /// Calibrated cost profile.
+    pub profile: CostProfile,
+}

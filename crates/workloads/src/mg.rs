@@ -1,0 +1,167 @@
+//! NPB MG (multigrid, class-B-shaped) — the paper's load generator.
+//!
+//! The evaluation uses "the NPB MG-B application 𝑛 times" purely to
+//! generate x86 CPU load (§4.1); MG itself is never migrated. The
+//! golden implementation is a real 3-D V-cycle so the repository's
+//! functional story is complete; the DES represents MG runs through
+//! [`crate::profiles::mg_b_background`].
+
+/// A cubic grid of side `n` (values at `n³` points).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Side length.
+    pub n: usize,
+    /// Row-major values.
+    pub v: Vec<f64>,
+}
+
+impl Grid {
+    /// A zero grid.
+    pub fn zeros(n: usize) -> Grid {
+        Grid { n, v: vec![0.0; n * n * n] }
+    }
+
+    fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.v[(z * self.n + y) * self.n + x]
+    }
+
+    fn set(&mut self, x: usize, y: usize, z: usize, val: f64) {
+        self.v[(z * self.n + y) * self.n + x] = val;
+    }
+}
+
+/// Generates the NPB-style right-hand side: +1/−1 charges at seeded
+/// pseudo-random points.
+pub fn generate_rhs(n: usize, charges: usize, seed: u64) -> Grid {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut g = Grid::zeros(n);
+    for c in 0..charges {
+        let x = 1 + (rng() as usize) % (n - 2);
+        let y = 1 + (rng() as usize) % (n - 2);
+        let z = 1 + (rng() as usize) % (n - 2);
+        g.set(x, y, z, if c % 2 == 0 { 1.0 } else { -1.0 });
+    }
+    g
+}
+
+/// One weighted-Jacobi smoothing sweep for the 7-point Poisson stencil.
+fn smooth(u: &mut Grid, rhs: &Grid) {
+    let n = u.n;
+    let prev = u.clone();
+    for z in 1..n - 1 {
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let nb = prev.at(x - 1, y, z)
+                    + prev.at(x + 1, y, z)
+                    + prev.at(x, y - 1, z)
+                    + prev.at(x, y + 1, z)
+                    + prev.at(x, y, z - 1)
+                    + prev.at(x, y, z + 1);
+                u.set(x, y, z, (nb - rhs.at(x, y, z)) / 6.0);
+            }
+        }
+    }
+}
+
+fn residual(u: &Grid, rhs: &Grid) -> Grid {
+    let n = u.n;
+    let mut r = Grid::zeros(n);
+    for z in 1..n - 1 {
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let lap = u.at(x - 1, y, z)
+                    + u.at(x + 1, y, z)
+                    + u.at(x, y - 1, z)
+                    + u.at(x, y + 1, z)
+                    + u.at(x, y, z - 1)
+                    + u.at(x, y, z + 1)
+                    - 6.0 * u.at(x, y, z);
+                r.set(x, y, z, rhs.at(x, y, z) - lap);
+            }
+        }
+    }
+    r
+}
+
+fn restrict_grid(fine: &Grid) -> Grid {
+    let nc = fine.n / 2;
+    let mut coarse = Grid::zeros(nc);
+    for z in 1..nc - 1 {
+        for y in 1..nc - 1 {
+            for x in 1..nc - 1 {
+                coarse.set(x, y, z, fine.at(2 * x, 2 * y, 2 * z));
+            }
+        }
+    }
+    coarse
+}
+
+fn prolong_add(coarse: &Grid, fine: &mut Grid) {
+    let nc = coarse.n;
+    for z in 0..nc {
+        for y in 0..nc {
+            for x in 0..nc {
+                let v = coarse.at(x, y, z);
+                let (fx, fy, fz) = (2 * x, 2 * y, 2 * z);
+                if fx < fine.n && fy < fine.n && fz < fine.n {
+                    let cur = fine.at(fx, fy, fz);
+                    fine.set(fx, fy, fz, cur + v);
+                }
+            }
+        }
+    }
+}
+
+fn vcycle(u: &mut Grid, rhs: &Grid, min_n: usize) {
+    smooth(u, rhs);
+    if u.n / 2 >= min_n {
+        let r = residual(u, rhs);
+        let rc = restrict_grid(&r);
+        let mut ec = Grid::zeros(rc.n);
+        vcycle(&mut ec, &rc, min_n);
+        prolong_add(&ec, u);
+    }
+    smooth(u, rhs);
+}
+
+/// Runs `cycles` V-cycles on an `n³` grid and returns the final
+/// residual L2 norm (the benchmark's verification value).
+pub fn mg_run(n: usize, charges: usize, cycles: usize, seed: u64) -> f64 {
+    let rhs = generate_rhs(n, charges, seed);
+    let mut u = Grid::zeros(n);
+    for _ in 0..cycles {
+        vcycle(&mut u, &rhs, 4);
+    }
+    let r = residual(&u, &rhs);
+    r.v.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcycles_reduce_residual() {
+        let r1 = mg_run(16, 8, 1, 5);
+        let r4 = mg_run(16, 8, 4, 5);
+        assert!(r4 < r1, "multigrid must converge: {r1} -> {r4}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(mg_run(16, 8, 2, 9), mg_run(16, 8, 2, 9));
+        assert_ne!(mg_run(16, 8, 2, 9), mg_run(16, 8, 2, 10));
+    }
+
+    #[test]
+    fn restriction_halves_grid() {
+        let g = Grid::zeros(16);
+        assert_eq!(restrict_grid(&g).n, 8);
+    }
+}

@@ -1,0 +1,425 @@
+//! Calibrated cost profiles and simulator job builders.
+//!
+//! The paper's threshold estimator measures each application "in locus"
+//! — total execution time with migration included, on the real testbed
+//! (§3.1, Table 1). Those published measurements are the calibration
+//! inputs here: each profile's components are chosen so that an
+//! *isolated* run in the DES reproduces Table 1 within ~1%. Everything
+//! else (contention, queueing, reconfiguration, threshold estimation,
+//! scheduling) is computed, not calibrated.
+//!
+//! Decomposition per benchmark (ms):
+//!
+//! | benchmark | vanilla x86 | Xar x86/FPGA | Xar x86/ARM |
+//! |---|---|---|---|
+//! | CG-A       | 2182 | 10597 | 8406 |
+//! | FaceDet320 |  175 |   332 |  642 |
+//! | FaceDet640 |  885 |   832 | 2991 |
+//! | Digit500   |  883 |   470 | 2281 |
+//! | Digit2000  | 3521 |  1229 | 8963 |
+
+use crate::AppBundle;
+use xar_desim::JobSpec;
+
+/// A calibrated cost profile for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostProfile {
+    /// Benchmark name (Table 1 row).
+    pub name: &'static str,
+    /// Hardware kernel name (Table 2's "HW Kernel" column).
+    pub kernel_name: &'static str,
+    /// x86 work before the selected-function call, ms.
+    pub pre_ms: f64,
+    /// x86 work after the call, ms.
+    pub post_ms: f64,
+    /// Selected function on a dedicated x86 core, ms.
+    pub func_x86_ms: f64,
+    /// Selected function on a dedicated ARM core, ms.
+    pub func_arm_ms: f64,
+    /// FPGA fabric compute time per call, ms.
+    pub fpga_kernel_ms: f64,
+    /// One-time kernel setup on the first FPGA call (buffer allocation,
+    /// command queue), ms. Table 1's single-call measurements include
+    /// it; the multi-image throughput runs amortize it.
+    pub fpga_setup_ms: f64,
+    /// Host→device bytes per FPGA call.
+    pub in_bytes: u64,
+    /// Device→host bytes per FPGA call.
+    pub out_bytes: u64,
+    /// Migration payload for software (ARM) migration, bytes.
+    pub state_bytes: u64,
+}
+
+impl CostProfile {
+    /// The single-call [`JobSpec`] used by the fixed-workload
+    /// experiments (Figures 3–5, 7).
+    pub fn job(&self) -> JobSpec {
+        JobSpec {
+            name: self.name.to_string(),
+            kernel: self.kernel_name.to_string(),
+            pre_ms: self.pre_ms,
+            post_ms: self.post_ms,
+            per_call_pre_ms: 0.0,
+            func_x86_ms: self.func_x86_ms,
+            func_arm_ms: self.func_arm_ms,
+            fpga_kernel_ms: self.fpga_kernel_ms,
+            fpga_setup_ms: self.fpga_setup_ms,
+            in_bytes: self.in_bytes,
+            out_bytes: self.out_bytes,
+            state_bytes: self.state_bytes,
+            calls: 1,
+            deadline_ms: None,
+            background: false,
+        }
+    }
+
+    /// A multi-call throughput job (the modified face-detection
+    /// benchmark of §4.2: `images` files read from disk, a wall-clock
+    /// deadline, one kernel call per image).
+    pub fn throughput_job(&self, images: u32, deadline_ms: f64, read_ms: f64) -> JobSpec {
+        let mut j = self.job();
+        j.calls = images;
+        j.per_call_pre_ms = read_ms;
+        j.deadline_ms = Some(deadline_ms);
+        j
+    }
+
+    /// Expected vanilla-x86 execution time on an idle machine, ms.
+    pub fn vanilla_x86_ms(&self) -> f64 {
+        self.pre_ms + self.func_x86_ms + self.post_ms
+    }
+}
+
+/// CG class A (Table 1 row 1; the non-profitable FPGA workload).
+pub fn cg_a() -> CostProfile {
+    CostProfile {
+        name: "CG-A",
+        kernel_name: "KNL_HW_CG_A",
+        pre_ms: 40.0,
+        post_ms: 20.0,
+        func_x86_ms: 2121.6,
+        func_arm_ms: 8092.6,
+        fpga_kernel_ms: 10295.9,
+        fpga_setup_ms: 240.0,
+        in_bytes: 28 << 20,
+        out_bytes: 112 << 10,
+        state_bytes: 30 << 20,
+    }
+}
+
+/// Face detection 320×240 (Table 1 row 2).
+pub fn facedet320() -> CostProfile {
+    CostProfile {
+        name: "FaceDet320",
+        kernel_name: "KNL_HW_FD320",
+        pre_ms: 12.0,
+        post_ms: 8.0,
+        func_x86_ms: 154.8,
+        func_arm_ms: 616.4,
+        fpga_kernel_ms: 71.7,
+        fpga_setup_ms: 240.0,
+        in_bytes: 320 * 240,
+        out_bytes: 4 << 10,
+        state_bytes: 512 << 10,
+    }
+}
+
+/// Face detection 640×480 (Table 1 row 3; first FPGA win).
+pub fn facedet640() -> CostProfile {
+    CostProfile {
+        name: "FaceDet640",
+        kernel_name: "KNL_HW_FD640",
+        pre_ms: 15.0,
+        post_ms: 10.0,
+        func_x86_ms: 859.8,
+        func_arm_ms: 2952.7,
+        fpga_kernel_ms: 566.7,
+        fpga_setup_ms: 240.0,
+        in_bytes: 640 * 480,
+        out_bytes: 8 << 10,
+        state_bytes: 3 << 20 >> 1, // 1.5 MiB
+    }
+}
+
+/// Digit recognition, 500 tests (Table 1 row 4).
+pub fn digit500() -> CostProfile {
+    CostProfile {
+        name: "Digit500",
+        kernel_name: "KNL_HW_DR500",
+        pre_ms: 8.0,
+        post_ms: 5.0,
+        func_x86_ms: 869.8,
+        func_arm_ms: 2258.5,
+        fpga_kernel_ms: 216.7,
+        fpga_setup_ms: 240.0,
+        in_bytes: 592 << 10,
+        out_bytes: 4 << 10,
+        state_bytes: 1 << 20,
+    }
+}
+
+/// Digit recognition, 2000 tests (Table 1 row 5; the paper's
+/// representative compute-intensive workload in §4.4). The kernel name
+/// `KNL_HW_DR200` follows the paper's Table 2 verbatim.
+pub fn digit2000() -> CostProfile {
+    CostProfile {
+        name: "Digit2000",
+        kernel_name: "KNL_HW_DR200",
+        pre_ms: 8.0,
+        post_ms: 5.0,
+        func_x86_ms: 3507.8,
+        func_arm_ms: 8940.0,
+        fpga_kernel_ms: 975.6,
+        fpga_setup_ms: 240.0,
+        in_bytes: 640 << 10,
+        out_bytes: 16 << 10,
+        state_bytes: 1 << 20,
+    }
+}
+
+/// All five Table 1 profiles, in table order.
+pub fn all_profiles() -> [CostProfile; 5] {
+    [cg_a(), facedet320(), facedet640(), digit500(), digit2000()]
+}
+
+/// The NPB MG-B load-generator job (§4.1): a pure-x86 process that
+/// stays runnable for the duration of the experiment.
+pub fn mg_b_background() -> JobSpec {
+    JobSpec::background("MG-B", 1e7)
+}
+
+/// BFS profile for Table 4's graph sizes. `x86_ms`/`fpga_total_ms` are
+/// the paper's measurements; the FPGA kernel time backs out the PCIe
+/// transfer of `nodes * (1 + deg) * 8` bytes of CSR data.
+pub fn bfs_profile(nodes: u64) -> CostProfile {
+    // (nodes, x86 ms, FPGA total ms) from Table 4.
+    const TABLE4: [(u64, f64, f64); 5] = [
+        (1_000, 3.36, 726.50),
+        (2_000, 115.74, 2_282.54),
+        (3_000, 256.94, 4_981.05),
+        (4_000, 458.04, 8_760.80),
+        (5_000, 721.48, 13_524.76),
+    ];
+    let (x86, fpga_total) = TABLE4
+        .iter()
+        .find(|(n, _, _)| *n == nodes)
+        .map(|(_, x, f)| (*x, *f))
+        .unwrap_or_else(|| {
+            // Interpolate quadratically beyond the table.
+            let k = nodes as f64 / 5_000.0;
+            (721.48 * k * k, 13_524.76 * k * k)
+        });
+    let in_bytes = nodes * 5 * 8;
+    let pcie_ms = 0.01 + in_bytes as f64 / 32.0e6;
+    CostProfile {
+        name: "BFS",
+        kernel_name: "KNL_HW_BFS",
+        pre_ms: 1.0,
+        post_ms: 0.5,
+        func_x86_ms: (x86 - 1.7).max(0.1),
+        func_arm_ms: (x86 - 1.7).max(0.1) * 2.5,
+        fpga_kernel_ms: (fpga_total - 1.5 - pcie_ms - 240.0).max(1.0),
+        fpga_setup_ms: 240.0,
+        in_bytes,
+        out_bytes: nodes * 8,
+        state_bytes: in_bytes,
+    }
+}
+
+/// Builds the [`AppBundle`] for digit recognition: IR `main` staging
+/// pointers through parameters, the selected `knn_classify` function,
+/// the HLS kernel, and the profile.
+pub fn digitrec_bundle(tests: usize) -> AppBundle {
+    let mut module = xar_popcorn::ir::Module::new(if tests >= 2000 {
+        "digit2000"
+    } else {
+        "digit500"
+    });
+    let knn = crate::digitrec::build_ir(&mut module);
+    // main(train, labels, ntrain, tests, ntest, out) -> predictions base
+    let mut f = module.function("main", &[xar_popcorn::ir::Ty::I64; 6], Some(xar_popcorn::ir::Ty::I64));
+    let args: Vec<_> = (0..6).map(|i| f.param(i)).collect();
+    let r = f.call(knn, &args).unwrap();
+    f.ret(Some(r));
+    f.finish();
+    let profile = if tests >= 2000 { digit2000() } else { digit500() };
+    AppBundle {
+        name: profile.name.to_string(),
+        module,
+        selected: "knn_classify".to_string(),
+        kernel: crate::digitrec::kernel(profile.kernel_name, 18_000, tests as u64),
+        profile,
+    }
+}
+
+/// Builds the [`AppBundle`] for face detection at `w`×`h`.
+pub fn facedet_bundle(w: usize, h: usize) -> AppBundle {
+    let mut module = xar_popcorn::ir::Module::new(if w >= 640 { "facedet640" } else { "facedet320" });
+    let fd = crate::facedet::build_ir(&mut module);
+    let mut f = module.function(
+        "main",
+        &[xar_popcorn::ir::Ty::I64; 3],
+        Some(xar_popcorn::ir::Ty::I64),
+    );
+    let args: Vec<_> = (0..3).map(|i| f.param(i)).collect();
+    let r = f.call(fd, &args).unwrap();
+    f.ret(Some(r));
+    f.finish();
+    let profile = if w >= 640 { facedet640() } else { facedet320() };
+    AppBundle {
+        name: profile.name.to_string(),
+        module,
+        selected: "facedet_count".to_string(),
+        kernel: crate::facedet::kernel(profile.kernel_name, w, h),
+        profile,
+    }
+}
+
+/// Builds the [`AppBundle`] for CG.
+pub fn cg_bundle() -> AppBundle {
+    let mut module = xar_popcorn::ir::Module::new("cg_a");
+    let cg = crate::cg::build_ir(&mut module);
+    let mut f = module.function(
+        "main",
+        &[xar_popcorn::ir::Ty::I64; 6],
+        Some(xar_popcorn::ir::Ty::F64),
+    );
+    let args: Vec<_> = (0..6).map(|i| f.param(i)).collect();
+    let r = f.call(cg, &args).unwrap();
+    f.ret(Some(r));
+    f.finish();
+    let profile = cg_a();
+    AppBundle {
+        name: profile.name.to_string(),
+        module,
+        selected: "cg_solve".to_string(),
+        kernel: crate::cg::kernel(profile.kernel_name, 14_000, 2_000_000, 15),
+        profile,
+    }
+}
+
+/// Builds the [`AppBundle`] for BFS.
+pub fn bfs_bundle(nodes: u64) -> AppBundle {
+    let mut module = xar_popcorn::ir::Module::new("bfs");
+    let b = crate::bfs::build_ir(&mut module);
+    let mut f = module.function(
+        "main",
+        &[xar_popcorn::ir::Ty::I64; 4],
+        Some(xar_popcorn::ir::Ty::I64),
+    );
+    let args: Vec<_> = (0..4).map(|i| f.param(i)).collect();
+    let r = f.call(b, &args).unwrap();
+    f.ret(Some(r));
+    f.finish();
+    let profile = bfs_profile(nodes);
+    AppBundle {
+        name: profile.name.to_string(),
+        module,
+        selected: "bfs_depth_sum".to_string(),
+        kernel: crate::bfs::kernel(profile.kernel_name, nodes, nodes * 5),
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Analytic single-run times must match Table 1 to within ~1.5%.
+    #[test]
+    fn profiles_reproduce_table1_shape() {
+        let table1 = [
+            ("CG-A", 2182.0, 10597.0, 8406.0),
+            ("FaceDet320", 175.0, 332.0, 642.0),
+            ("FaceDet640", 885.0, 832.0, 2991.0),
+            ("Digit500", 883.0, 470.0, 2281.0),
+            ("Digit2000", 3521.0, 1229.0, 8963.0),
+        ];
+        for (p, (name, x86, fpga, arm)) in all_profiles().iter().zip(table1) {
+            assert_eq!(p.name, name);
+            let vanilla = p.vanilla_x86_ms();
+            assert!(
+                (vanilla - x86).abs() / x86 < 0.015,
+                "{name} vanilla {vanilla} vs {x86}"
+            );
+            // FPGA path: pre + pcie + kernel + pcie + post.
+            let pcie = |b: u64| 0.01 + b as f64 / 32.0e6;
+            let t_fpga = p.pre_ms
+                + p.post_ms
+                + pcie(p.in_bytes)
+                + p.fpga_setup_ms
+                + p.fpga_kernel_ms
+                + pcie(p.out_bytes);
+            assert!(
+                (t_fpga - fpga).abs() / fpga < 0.015,
+                "{name} fpga {t_fpga} vs {fpga}"
+            );
+            // ARM path: pre + xform + eth out + func + eth back + post.
+            let eth = |b: u64| 0.05 + b as f64 / 0.125e6;
+            let t_arm = p.pre_ms
+                + p.post_ms
+                + 0.4
+                + eth(p.state_bytes)
+                + p.func_arm_ms
+                + eth(p.out_bytes.max(4096));
+            assert!(
+                (t_arm - arm).abs() / arm < 0.015,
+                "{name} arm {t_arm} vs {arm}"
+            );
+        }
+    }
+
+    #[test]
+    fn winners_match_the_paper() {
+        for p in all_profiles() {
+            let fpga_total = p.fpga_setup_ms
+                + p.fpga_kernel_ms
+                + 0.02
+                + (p.in_bytes + p.out_bytes) as f64 / 32.0e6;
+            match p.name {
+                // FPGA loses for CG-A and FaceDet320, wins for the rest.
+                "CG-A" | "FaceDet320" => assert!(fpga_total > p.func_x86_ms, "{}", p.name),
+                _ => assert!(fpga_total < p.func_x86_ms, "{}", p.name),
+            }
+            // ARM always loses in isolation (Figure 3's observation).
+            assert!(p.func_arm_ms > p.func_x86_ms, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn bfs_table4_never_favors_fpga() {
+        for nodes in [1_000u64, 2_000, 3_000, 4_000, 5_000] {
+            let p = bfs_profile(nodes);
+            assert!(
+                p.fpga_kernel_ms > 10.0 * p.func_x86_ms,
+                "x86 wins by orders of magnitude at {nodes}"
+            );
+        }
+        // Interpolation beyond the table stays monotone.
+        assert!(bfs_profile(10_000).func_x86_ms > bfs_profile(5_000).func_x86_ms);
+    }
+
+    #[test]
+    fn throughput_job_shape() {
+        let j = facedet320().throughput_job(1000, 60_000.0, 1.0);
+        assert_eq!(j.calls, 1000);
+        assert_eq!(j.deadline_ms, Some(60_000.0));
+        assert_eq!(j.per_call_pre_ms, 1.0);
+    }
+
+    #[test]
+    fn bundles_compile() {
+        for bundle in [
+            digitrec_bundle(500),
+            facedet_bundle(320, 240),
+            cg_bundle(),
+            bfs_bundle(1000),
+        ] {
+            let bin = xar_popcorn::compile(&bundle.module)
+                .unwrap_or_else(|e| panic!("{}: {e}", bundle.name));
+            assert!(bin.func_addr("main").is_some());
+            assert!(bin.func_addr(&bundle.selected).is_some());
+            xar_hls::compile_kernel(&bundle.kernel).unwrap();
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! A datacenter-scale scenario: 20 mixed applications arrive on a
+//! loaded x86 server (the paper's Figure 5 regime), under each of the
+//! four policies. Prints per-policy mean execution times and where the
+//! calls ran.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_sim
+//! ```
+
+use xar_trek::core::XarTrekPolicy;
+use xar_trek::desim::workload::batch_arrivals;
+use xar_trek::desim::{
+    AlwaysArm, AlwaysFpga, AlwaysX86, Arrival, ClusterConfig, ClusterSim, JobSpec, Policy,
+};
+use xar_trek::workloads::all_profiles;
+
+fn arrivals() -> Vec<Arrival> {
+    // 20 applications (4 of each benchmark) + 100 MG-B load generators.
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for p in all_profiles() {
+        for _ in 0..4 {
+            specs.push(p.job());
+        }
+    }
+    let mut arr = batch_arrivals(&specs);
+    for i in 0..100 {
+        arr.push(Arrival {
+            at_ns: 0.0,
+            spec: JobSpec::background(format!("MG-B-{i}"), 1e7),
+        });
+    }
+    arr
+}
+
+fn run(policy: impl Policy, label: &str, shared: &[xar_trek::hls::Xclbin]) {
+    let mut sim = ClusterSim::new(ClusterConfig::default(), policy);
+    for x in shared {
+        sim.preload_xclbin(x.clone());
+    }
+    let res = sim.run(arrivals());
+    let (mut x86, mut arm, mut fpga) = (0u32, 0u32, 0u32);
+    for r in &res.records {
+        x86 += r.x86_calls;
+        arm += r.arm_calls;
+        fpga += r.fpga_calls;
+    }
+    println!(
+        "{label:>14}: mean {:>9.0} ms | calls x86 {x86:>3} arm {arm:>3} fpga {fpga:>3} | reconfigs {}",
+        res.mean_exec_ms(),
+        res.fpga_stats.reconfigurations
+    );
+}
+
+fn main() {
+    let cfg = ClusterConfig::default();
+    println!("== 20 apps + 100 background processes on 6 x86 cores ==");
+    println!("   (96-core ARM server and Alveo U50 reachable via Xar-Trek)\n");
+    let (_, shared) = xar_trek::core::pipeline::build_all(&cfg).expect("pipeline");
+    let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+    run(AlwaysX86, "vanilla-x86", &shared);
+    run(AlwaysFpga, "vanilla-fpga", &shared);
+    run(AlwaysArm, "vanilla-arm", &shared);
+    let xar = XarTrekPolicy::from_specs(&specs, &cfg);
+    run(xar, "xar-trek", &shared);
+    println!("\nLower is better. Xar-Trek routes each call to the target its");
+    println!("thresholds predict is fastest under the observed CPU load.");
+}

@@ -1,0 +1,99 @@
+//! The full Xar-Trek pipeline on the face-detection benchmark: steps
+//! A–G, then a functional run in which the scheduler flag routes the
+//! selected function to software (both ISAs) and to the FPGA — all
+//! producing identical results.
+//!
+//! ```sh
+//! cargo run --example facedet_pipeline
+//! ```
+
+use xar_trek::core::handler::{KernelInfo, XarRtHandler};
+use xar_trek::core::pipeline::build_app;
+use xar_trek::desim::ClusterConfig;
+use xar_trek::isa::Isa;
+use xar_trek::popcorn::Executor;
+use xar_trek::workloads::facedet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ClusterConfig::default();
+    let bundle = xar_trek::workloads::profiles::facedet_bundle(320, 240);
+    println!("== compiler pipeline (steps A–G) for {} ==", bundle.name);
+    let app = build_app(&bundle, 2, &cfg)?;
+    println!("A  profiling report:\n{}", app.profiling.to_text());
+    println!(
+        "B+C multi-ISA binary: {} bytes ({} call sites, {} migration points)",
+        app.binary.total_size(),
+        app.binary.meta.call_sites.len(),
+        app.binary
+            .meta
+            .call_sites
+            .iter()
+            .filter(|c| c.is_migration_point)
+            .count()
+    );
+    println!(
+        "D  XO {}: {} | depth {} II {}",
+        app.xo.kernel.name, app.xo.schedule.resources, app.xo.schedule.depth, app.xo.schedule.ii
+    );
+    println!(
+        "E+F XCLBIN {}: {:.1} MiB",
+        app.xclbins[0].name,
+        app.xclbins[0].size_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "G  thresholds: FPGA_THR={} ARM_THR={}\n",
+        app.threshold.fpga_thr, app.threshold.arm_thr
+    );
+
+    // Generate an image with three faces; build the integral image.
+    let faces = [(30, 30), (150, 80), (250, 180)];
+    let img = facedet::generate_image(320, 240, &faces, 42);
+    println!("generated 320x240 PGM image, {} bytes, {} faces", img.to_pgm().len(), faces.len());
+    let golden = facedet::count_windows(&img);
+    println!("golden window count: {golden}");
+    let detections = facedet::detect_faces(&img);
+    println!("golden detections (after NMS): {detections:?}");
+
+    // Run the instrumented binary on each target.
+    let ii = facedet::integral_image(&img);
+    for (label, isa, flag) in [
+        ("x86 software", Isa::Xar86, 0i64),
+        ("ARM software (migrated)", Isa::Xar86, 1),
+        ("FPGA hardware", Isa::Xar86, 2),
+    ] {
+        let mut handler = XarRtHandler::new();
+        let img2 = img.clone();
+        handler.register_kernel(
+            2,
+            app.xclbins[0].clone(),
+            KernelInfo {
+                kernel: app.xo.kernel.name.clone(),
+                in_bytes: (img.w * img.h) as u64,
+                out_bytes: 8,
+                compute_ms: bundle.profile.fpga_kernel_ms,
+            },
+            Box::new(move |_mem, _spill| {
+                // The hardware kernel computes the same cascade.
+                facedet::count_windows(&img2) as i64
+            }),
+        );
+        handler.set_flag(2, flag);
+        let mut exec = Executor::with_handler(&app.binary, isa, handler);
+        // Stage the integral image on the guest heap.
+        let iw = img.w + 1;
+        let ii_ptr = exec.host_alloc((ii.len() * 8) as u64);
+        for (k, v) in ii.iter().enumerate() {
+            exec.memory_mut().write_u64(ii_ptr + (k * 8) as u64, *v);
+        }
+        let ret = exec.run("main", &[ii_ptr as i64, img.w as i64, img.h as i64])?;
+        let _ = iw;
+        println!(
+            "{label:>24}: count = {ret}  (ISA at exit: {}, migrations: {})",
+            exec.current_isa(),
+            exec.stats().migrations.len()
+        );
+        assert_eq!(ret as u64, golden, "{label} must match golden");
+    }
+    println!("\nall three targets agree with the golden implementation");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Quickstart: compile a function for two ISAs, run it on both VMs, and
+//! migrate it mid-execution with run-time stack transformation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xar_trek::isa::Isa;
+use xar_trek::popcorn::ir::{BinOp, Cond, Module, Ty};
+use xar_trek::popcorn::rt::RtFunc;
+use xar_trek::popcorn::{compile, Executor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small module: main(n) sums helper(i) = i*i + 1 over i < n, with
+    // a Popcorn migration point each iteration.
+    let mut m = Module::new("quickstart");
+    let mut h = m.function("helper", &[Ty::I64], Some(Ty::I64));
+    let x = h.param(0);
+    let xx = h.bin(BinOp::Mul, x, x);
+    let r = h.bin_i(BinOp::Add, xx, 1);
+    h.ret(Some(r));
+    let h_id = h.finish();
+
+    let mut f = m.function("main", &[Ty::I64], Some(Ty::I64));
+    let n = f.param(0);
+    let acc = f.new_local(Ty::I64);
+    let i = f.new_local(Ty::I64);
+    let zero = f.const_i(0);
+    f.assign(acc, zero);
+    f.assign(i, zero);
+    let header = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.br(header);
+    f.switch_to(header);
+    let c = f.icmp(Cond::Lt, i, n);
+    f.cond_br(c, body, exit);
+    f.switch_to(body);
+    f.call_rt(RtFunc::MigPoint, &[]);
+    let hv = f.call(h_id, &[i]).unwrap();
+    let acc2 = f.bin(BinOp::Add, acc, hv);
+    f.assign(acc, acc2);
+    let i2 = f.bin_i(BinOp::Add, i, 1);
+    f.assign(i, i2);
+    f.br(header);
+    f.switch_to(exit);
+    f.ret(Some(acc));
+    f.finish();
+
+    // One compilation, two ISA images at *identical* symbol addresses.
+    let bin = compile(&m)?;
+    println!("multi-ISA binary: {} bytes total", bin.total_size());
+    for isa in Isa::ALL {
+        println!(
+            "  {isa:>7}: text {} bytes, main at {:#x}",
+            bin.text[isa].len(),
+            bin.func_addr("main").unwrap()
+        );
+    }
+
+    // Run natively on each ISA.
+    for isa in Isa::ALL {
+        let mut exec = Executor::new(&bin, isa);
+        let ret = exec.run("main", &[10])?;
+        println!(
+            "{isa:>7}: main(10) = {ret}  ({} instructions, {:.1} µs virtual)",
+            exec.stats().instret[isa],
+            exec.stats().elapsed_ns / 1e3,
+        );
+    }
+
+    // Migrate at the 5th migration point: the stack is rewritten from
+    // Xar86's frame layout into Arm64e's and execution resumes there.
+    let mut exec = Executor::new(&bin, Isa::Xar86);
+    exec.migrate_at_migpoint(5, Isa::Arm64e);
+    let ret = exec.run("main", &[10])?;
+    let mig = &exec.stats().migrations[0];
+    println!(
+        "\nmigrated at migration point {}: {} -> {}",
+        mig.at_migpoint, mig.from, mig.to
+    );
+    println!(
+        "  transformed {} frames, copied {} live slots, wrote {} stack bytes",
+        mig.stats.frames, mig.stats.slots_copied, mig.stats.bytes_written
+    );
+    println!(
+        "  result after migration: {ret} (expected {})",
+        (0..10).map(|i| i * i + 1).sum::<i64>()
+    );
+    assert_eq!(ret, (0..10).map(|i| i * i + 1).sum::<i64>());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Threshold estimation (step G) and dynamic refinement (Algorithm 1),
+//! plus the real TCP scheduler server/client from §3.2.
+//!
+//! ```sh
+//! cargo run --example threshold_tuning
+//! ```
+
+use xar_trek::core::server::{SchedulerClient, SchedulerServer};
+use xar_trek::core::{estimate_thresholds, XarTrekPolicy};
+use xar_trek::desim::{ClusterConfig, Target};
+use xar_trek::workloads::all_profiles;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ClusterConfig::default();
+
+    // Step G: the estimation tool's output table (paper Table 2).
+    println!("== step G: threshold estimation ==");
+    let mut table = xar_trek::core::ThresholdTable::new();
+    for p in all_profiles() {
+        table.insert(estimate_thresholds(&p.job(), &cfg));
+    }
+    print!("{}", table.to_text());
+
+    // Spawn the scheduler server (a real TCP server on localhost) with
+    // the estimated table.
+    let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+    let policy = XarTrekPolicy::from_specs(&specs, &cfg);
+    let server = SchedulerServer::spawn(policy)?;
+    println!("\nscheduler server listening on {}", server.addr());
+
+    // A scheduler client (one per application) asks for placements at
+    // increasing loads — watch the decision flip at the thresholds.
+    let mut client = SchedulerClient::connect(server.addr())?;
+    println!("\n== Algorithm 2 decisions for FaceDet320 (kernel resident) ==");
+    for load in [1usize, 8, 12, 16, 24, 40] {
+        let d = client.decide("FaceDet320", "KNL_HW_FD320", load, true)?;
+        println!("  load {load:>3} -> {}", d.target);
+    }
+
+    // Algorithm 1: slow FPGA observations raise the FPGA threshold.
+    println!("\n== Algorithm 1: reporting slow FPGA runs for Digit2000 ==");
+    let before = client.fetch_table()?.get("Digit2000").unwrap().fpga_thr;
+    for _ in 0..5 {
+        client.report("Digit2000", Target::Fpga, 1e6, 10)?;
+    }
+    let after = client.fetch_table()?.get("Digit2000").unwrap().fpga_thr;
+    println!("  FPGA_THR: {before} -> {after} (5 slow reports, +1 each)");
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+    Ok(())
+}

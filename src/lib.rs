@@ -1,0 +1,26 @@
+//! # xar-trek — run-time execution migration among (simulated) FPGAs and heterogeneous-ISA CPUs
+//!
+//! Umbrella crate for the reproduction of *"Xar-Trek: Run-time Execution
+//! Migration among FPGAs and Heterogeneous-ISA CPUs"* (Middleware '21).
+//! It re-exports the workspace crates:
+//!
+//! * [`isa`] — two synthetic heterogeneous ISAs with cycle-counting VMs;
+//! * [`popcorn`] — the Popcorn-Linux-style multi-ISA compiler and
+//!   run-time (aligned linking, cross-ISA stack transformation, DSM);
+//! * [`hls`] — the Vitis-style HLS toolchain and FPGA device model;
+//! * [`desim`] — the discrete-event datacenter simulator;
+//! * [`workloads`] — the paper's five benchmarks (golden Rust, IR, HLS
+//!   kernels, calibrated profiles);
+//! * [`core`] — Xar-Trek proper: compiler steps A–G, Algorithms 1–2,
+//!   the TCP scheduler server/client, and the experiment drivers.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and the
+//! paper-to-module map, and `EXPERIMENTS.md` for paper-vs-measured
+//! results. Runnable walkthroughs live in `examples/`.
+
+pub use xar_core as core;
+pub use xar_desim as desim;
+pub use xar_hls as hls;
+pub use xar_isa as isa;
+pub use xar_popcorn as popcorn;
+pub use xar_workloads as workloads;

@@ -1,0 +1,186 @@
+//! Cross-ISA functional equivalence: every workload's IR version,
+//! compiled into multi-ISA binaries and executed on *both* ISA VMs,
+//! must agree exactly with the native golden implementation.
+
+use xar_trek::isa::Isa;
+use xar_trek::popcorn::{compile, Executor};
+use xar_trek::workloads::{bfs, cg, digitrec, facedet};
+
+fn executor(bin: &xar_trek::popcorn::MultiIsaBinary, isa: Isa) -> Executor<'_> {
+    let mut e = Executor::new(bin, isa);
+    e.max_instructions = 2_000_000_000;
+    e
+}
+
+#[test]
+fn digitrec_ir_matches_golden_on_both_isas() {
+    let mut m = xar_trek::popcorn::ir::Module::new("t");
+    digitrec::build_ir(&mut m);
+    let bin = compile(&m).unwrap();
+    let train = digitrec::generate(120, 6, 11);
+    let tests = digitrec::generate(25, 6, 12);
+    let golden = digitrec::knn_classify(&train, &tests.digits);
+    for isa in Isa::ALL {
+        let mut e = executor(&bin, isa);
+        let train_ptr = e.host_alloc(120 * 32);
+        let labels_ptr = e.host_alloc(120 * 8);
+        let tests_ptr = e.host_alloc(25 * 32);
+        let out_ptr = e.host_alloc(25 * 8);
+        {
+            let mem = e.memory_mut();
+            for (i, d) in train.digits.iter().enumerate() {
+                for (w, word) in d.iter().enumerate() {
+                    mem.write_u64(train_ptr + (i * 32 + w * 8) as u64, *word);
+                }
+                mem.write_u64(labels_ptr + (i * 8) as u64, train.labels[i] as u64);
+            }
+            for (i, d) in tests.digits.iter().enumerate() {
+                for (w, word) in d.iter().enumerate() {
+                    mem.write_u64(tests_ptr + (i * 32 + w * 8) as u64, *word);
+                }
+            }
+        }
+        let n = e
+            .run(
+                "knn_classify",
+                &[train_ptr as i64, labels_ptr as i64, 120, tests_ptr as i64, 25, out_ptr as i64],
+            )
+            .unwrap();
+        assert_eq!(n, 25, "{isa}");
+        for (i, g) in golden.iter().enumerate() {
+            assert_eq!(
+                e.memory().read_u64(out_ptr + (i * 8) as u64),
+                *g as u64,
+                "{isa}: prediction {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_ir_matches_golden_on_both_isas() {
+    let mut m = xar_trek::popcorn::ir::Module::new("t");
+    bfs::build_ir(&mut m);
+    let bin = compile(&m).unwrap();
+    let g = bfs::generate(300, 3, 5);
+    let golden = bfs::bfs_depth_sum(&g);
+    for isa in Isa::ALL {
+        let mut e = executor(&bin, isa);
+        let n = g.n as u64;
+        let rp = e.host_alloc((n + 1) * 8);
+        let adj = e.host_alloc(g.adj.len() as u64 * 8);
+        let scratch = e.host_alloc(2 * n * 8);
+        {
+            let mem = e.memory_mut();
+            for (i, v) in g.row_ptr.iter().enumerate() {
+                mem.write_u64(rp + (i * 8) as u64, *v as u64);
+            }
+            for (i, v) in g.adj.iter().enumerate() {
+                mem.write_u64(adj + (i * 8) as u64, *v as u64);
+            }
+        }
+        let sum = e
+            .run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64])
+            .unwrap();
+        assert_eq!(sum as u64, golden, "{isa}");
+    }
+}
+
+#[test]
+fn cg_ir_matches_golden_bit_for_bit_on_both_isas() {
+    let mut m = xar_trek::popcorn::ir::Module::new("t");
+    cg::build_ir(&mut m);
+    let bin = compile(&m).unwrap();
+    let a = cg::generate_spd(60, 3, 7);
+    let b = cg::generate_rhs(60, 8);
+    let iters = 8usize;
+    let golden = cg::cg_solve(&a, &b, iters);
+    for isa in Isa::ALL {
+        let mut e = executor(&bin, isa);
+        let n = a.n as u64;
+        let rp = e.host_alloc((n + 1) * 8);
+        let col = e.host_alloc(a.col.len() as u64 * 8);
+        let val = e.host_alloc(a.val.len() as u64 * 8);
+        let vecs = e.host_alloc(5 * n * 8);
+        {
+            let mem = e.memory_mut();
+            for (i, v) in a.row_ptr.iter().enumerate() {
+                mem.write_u64(rp + (i * 8) as u64, *v as u64);
+            }
+            for (i, v) in a.col.iter().enumerate() {
+                mem.write_u64(col + (i * 8) as u64, *v as u64);
+            }
+            for (i, v) in a.val.iter().enumerate() {
+                mem.write_f64(val + (i * 8) as u64, *v);
+            }
+            for (i, v) in b.iter().enumerate() {
+                mem.write_f64(vecs + (i * 8) as u64, *v);
+            }
+        }
+        e.run(
+            "cg_solve",
+            &[rp as i64, col as i64, val as i64, vecs as i64, n as i64, iters as i64],
+        )
+        .unwrap();
+        let residual = e.fret();
+        assert_eq!(
+            residual.to_bits(),
+            golden.to_bits(),
+            "{isa}: {residual:e} vs {golden:e} — FP op order must match exactly"
+        );
+    }
+}
+
+#[test]
+fn facedet_ir_matches_golden_on_both_isas() {
+    let mut m = xar_trek::popcorn::ir::Module::new("t");
+    facedet::build_ir(&mut m);
+    let bin = compile(&m).unwrap();
+    let img = facedet::generate_image(96, 72, &[(10, 10), (60, 40)], 21);
+    let golden = facedet::count_windows(&img);
+    assert!(golden > 0, "generator must embed detectable faces");
+    let ii = facedet::integral_image(&img);
+    for isa in Isa::ALL {
+        let mut e = executor(&bin, isa);
+        let ii_ptr = e.host_alloc((ii.len() * 8) as u64);
+        for (k, v) in ii.iter().enumerate() {
+            e.memory_mut().write_u64(ii_ptr + (k * 8) as u64, *v);
+        }
+        let count = e
+            .run("facedet_count", &[ii_ptr as i64, img.w as i64, img.h as i64])
+            .unwrap();
+        assert_eq!(count as u64, golden, "{isa}");
+    }
+}
+
+#[test]
+fn per_isa_cycle_counts_differ_for_same_program() {
+    // Same program, same result, different cost — the heterogeneity the
+    // scheduler exploits.
+    let mut m = xar_trek::popcorn::ir::Module::new("t");
+    bfs::build_ir(&mut m);
+    let bin = compile(&m).unwrap();
+    let g = bfs::generate(150, 3, 9);
+    let mut cycles = Vec::new();
+    for isa in Isa::ALL {
+        let mut e = executor(&bin, isa);
+        let n = g.n as u64;
+        let rp = e.host_alloc((n + 1) * 8);
+        let adj = e.host_alloc(g.adj.len() as u64 * 8);
+        let scratch = e.host_alloc(2 * n * 8);
+        {
+            let mem = e.memory_mut();
+            for (i, v) in g.row_ptr.iter().enumerate() {
+                mem.write_u64(rp + (i * 8) as u64, *v as u64);
+            }
+            for (i, v) in g.adj.iter().enumerate() {
+                mem.write_u64(adj + (i * 8) as u64, *v as u64);
+            }
+        }
+        e.run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64])
+            .unwrap();
+        cycles.push(e.stats().cycles[isa]);
+    }
+    assert_ne!(cycles[0], cycles[1]);
+    assert!(cycles[1] > cycles[0], "the ARM stand-in core is weaker per instruction");
+}

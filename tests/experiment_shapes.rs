@@ -1,0 +1,101 @@
+//! Shape checks on the regenerated evaluation: the qualitative claims
+//! of the paper's §4 must hold in the reproduction (who wins, roughly
+//! by how much, where the crossovers are). Absolute-number parity for
+//! Table 1 is asserted in `xar-core`'s unit tests.
+
+use xar_trek::core::experiments as exp;
+
+fn val(e: &exp::Experiment, series: &str, x: &str) -> f64 {
+    e.series
+        .iter()
+        .find(|s| s.label == series)
+        .and_then(|s| s.points.iter().find(|(px, _)| px == x))
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("{}: missing {series}@{x}", e.id))
+}
+
+#[test]
+fn fig3_low_load_xar_trek_close_to_best_and_arm_always_worst() {
+    let e = exp::fig3(3);
+    for x in ["1", "2", "3", "4", "5"] {
+        let vx = val(&e, "vanilla-x86", x);
+        let xt = val(&e, "xar-trek", x);
+        let arm = val(&e, "vanilla-arm", x);
+        // §4.1: at low load Xar-Trek mostly does not migrate — it tracks
+        // vanilla x86 closely (within 25%); ARM-offload is always slower
+        // than both.
+        assert!(xt <= vx * 1.25, "set {x}: xar {xt} vs x86 {vx}");
+        assert!(arm > vx, "set {x}: arm must lose at low load");
+        assert!(arm > xt, "set {x}: arm must lose to xar-trek");
+    }
+}
+
+#[test]
+fn fig4_medium_load_xar_trek_wins() {
+    let e = exp::fig4(3);
+    for x in ["5", "10", "15", "20", "25"] {
+        let vx = val(&e, "vanilla-x86", x);
+        let xt = val(&e, "xar-trek", x);
+        assert!(xt < vx, "medium load, set {x}: {xt} !< {vx}");
+    }
+}
+
+#[test]
+fn fig7_periodic_workload_ordering() {
+    let e = exp::fig7();
+    let vx = val(&e, "vanilla-x86", "mean");
+    let vf = val(&e, "vanilla-fpga", "mean");
+    let xt = val(&e, "xar-trek", "mean");
+    // §4.3: Xar-Trek outperforms both baselines under the wave pattern.
+    assert!(xt < vx, "xar {xt} vs x86 {vx}");
+    assert!(xt < vf, "xar {xt} vs fpga {vf}");
+}
+
+#[test]
+fn fig8_periodic_throughput_ordering() {
+    let e = exp::fig8();
+    let vx = val(&e, "vanilla-x86", "mean");
+    let xt = val(&e, "xar-trek", "mean");
+    // §4.3: Xar-Trek beats vanilla x86 substantially (paper: 175%).
+    assert!(xt > vx * 1.5, "xar {xt} vs x86 {vx}");
+}
+
+#[test]
+fn table4_fpga_loses_by_orders_of_magnitude_on_bfs() {
+    let e = exp::table4();
+    for nodes in ["1000", "2000", "3000", "4000", "5000"] {
+        let x86 = val(&e, "x86", nodes);
+        let fpga = val(&e, "FPGA", nodes);
+        assert!(fpga > 4.0 * x86, "{nodes}: fpga {fpga} vs x86 {x86}");
+    }
+}
+
+#[test]
+fn ablation_shared_ethernet_slows_mass_migration() {
+    let e = exp::ablation_ethernet(1);
+    let shared = val(&e, "shared-link", "mean ms");
+    let private = val(&e, "private-links", "mean ms");
+    // 12 concurrent 30 MiB state transfers on one 1 Gbps link must be
+    // slower than on hypothetical private links.
+    assert!(shared > private, "shared {shared} vs private {private}");
+}
+
+#[test]
+fn ablation_partitioning_one_per_kernel_reconfigures_more() {
+    let e = exp::ablation_partitioning(2);
+    let shared = val(&e, "ffd-shared", "reconfigs");
+    let solo = val(&e, "one-per-kernel", "reconfigs");
+    assert!(
+        solo >= shared,
+        "one-per-kernel must reconfigure at least as often: {solo} vs {shared}"
+    );
+}
+
+#[test]
+fn ablation_early_config_helps_throughput() {
+    let e = exp::ablation_early_config();
+    let early = val(&e, "early-config", "images/s");
+    let lazy = val(&e, "config-on-first-call", "images/s");
+    // §4.2 attributes beating always-FPGA to configuring at app start.
+    assert!(early >= lazy, "early {early} vs lazy {lazy}");
+}

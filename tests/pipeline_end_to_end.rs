@@ -1,0 +1,251 @@
+//! End-to-end pipeline and run-time integration: compile a benchmark
+//! through steps A–G, execute the instrumented binary with the full
+//! runtime handler on all three targets, and drive the scheduler over
+//! real TCP sockets feeding a discrete-event experiment.
+
+use xar_trek::core::handler::{KernelInfo, XarRtHandler};
+use xar_trek::core::server::{SchedulerClient, SchedulerServer};
+use xar_trek::core::XarTrekPolicy;
+use xar_trek::desim::{ClusterConfig, Target};
+use xar_trek::isa::Isa;
+use xar_trek::popcorn::Executor;
+use xar_trek::workloads::digitrec;
+
+fn stage_digitrec(
+    e: &mut Executor<'_, XarRtHandler>,
+    train: &digitrec::Dataset,
+    tests: &[digitrec::Digit],
+) -> (u64, u64, u64, u64) {
+    let train_ptr = e.host_alloc(train.digits.len() as u64 * 32);
+    let labels_ptr = e.host_alloc(train.digits.len() as u64 * 8);
+    let tests_ptr = e.host_alloc(tests.len() as u64 * 32);
+    let out_ptr = e.host_alloc(tests.len() as u64 * 8);
+    let mem = e.memory_mut();
+    for (i, d) in train.digits.iter().enumerate() {
+        for (w, word) in d.iter().enumerate() {
+            mem.write_u64(train_ptr + (i * 32 + w * 8) as u64, *word);
+        }
+        mem.write_u64(labels_ptr + (i * 8) as u64, train.labels[i] as u64);
+    }
+    for (i, d) in tests.iter().enumerate() {
+        for (w, word) in d.iter().enumerate() {
+            mem.write_u64(tests_ptr + (i * 32 + w * 8) as u64, *word);
+        }
+    }
+    (train_ptr, labels_ptr, tests_ptr, out_ptr)
+}
+
+#[test]
+fn compiled_digitrec_runs_on_all_three_targets_identically() {
+    let cfg = ClusterConfig::default();
+    let bundle = xar_trek::workloads::profiles::digitrec_bundle(500);
+    let app = xar_trek::core::build_app(&bundle, 4, &cfg).unwrap();
+    let train = digitrec::generate(80, 5, 31);
+    let tests = digitrec::generate(12, 5, 32);
+    let golden = digitrec::knn_classify(&train, &tests.digits);
+
+    for flag in [0i64, 1, 2] {
+        let mut handler = XarRtHandler::new();
+        let train2 = train.clone();
+        handler.register_kernel(
+            4,
+            app.xclbins[0].clone(),
+            KernelInfo {
+                kernel: app.xo.kernel.name.clone(),
+                in_bytes: bundle.profile.in_bytes,
+                out_bytes: bundle.profile.out_bytes,
+                compute_ms: bundle.profile.fpga_kernel_ms,
+            },
+            Box::new(move |mem, spill| {
+                // The "hardware" kernel: read the spilled argument
+                // pointers, compute with the golden implementation, and
+                // write predictions to guest memory.
+                let train_ptr = mem.read_u64(spill);
+                let _labels_ptr = mem.read_u64(spill + 8);
+                let ntrain = mem.read_u64(spill + 16) as usize;
+                let tests_ptr = mem.read_u64(spill + 24);
+                let ntest = mem.read_u64(spill + 32) as usize;
+                let out_ptr = mem.read_u64(spill + 40);
+                // Rebuild inputs from guest memory to prove the data
+                // actually round-trips through the address space.
+                let mut tests = Vec::with_capacity(ntest);
+                for i in 0..ntest {
+                    let mut d = [0u64; 4];
+                    for (w, word) in d.iter_mut().enumerate() {
+                        *word = mem.read_u64(tests_ptr + (i * 32 + w * 8) as u64);
+                    }
+                    tests.push(d);
+                }
+                assert_eq!(mem.read_u64(train_ptr), train2.digits[0][0]);
+                let preds = digitrec::knn_classify(&train2, &tests);
+                for (i, p) in preds.iter().enumerate() {
+                    mem.write_u64(out_ptr + (i * 8) as u64, *p as u64);
+                }
+                let _ = ntrain;
+                ntest as i64
+            }),
+        );
+        handler.set_flag(4, flag);
+        let mut e = Executor::with_handler(&app.binary, Isa::Xar86, handler);
+        e.max_instructions = 2_000_000_000;
+        let (train_ptr, labels_ptr, tests_ptr, out_ptr) =
+            stage_digitrec(&mut e, &train, &tests.digits);
+        let ret = e
+            .run(
+                "main",
+                &[
+                    train_ptr as i64,
+                    labels_ptr as i64,
+                    train.digits.len() as i64,
+                    tests_ptr as i64,
+                    tests.digits.len() as i64,
+                    out_ptr as i64,
+                ],
+            )
+            .unwrap();
+        assert_eq!(ret, tests.digits.len() as i64, "flag {flag}");
+        for (i, g) in golden.iter().enumerate() {
+            assert_eq!(
+                e.memory().read_u64(out_ptr + (i * 8) as u64),
+                *g as u64,
+                "flag {flag}, prediction {i}"
+            );
+        }
+        match flag {
+            1 => assert_eq!(e.current_isa(), Isa::Arm64e, "flag 1 migrates"),
+            _ => assert_eq!(e.current_isa(), Isa::Xar86),
+        }
+    }
+}
+
+#[test]
+fn tcp_scheduler_drives_des_experiment() {
+    // The scheduler policy runs behind real sockets; a proxy policy
+    // inside the simulator forwards every decision over TCP — the full
+    // client/server split of §3.2 under a simulated workload.
+    struct TcpProxy {
+        client: SchedulerClient,
+    }
+    impl xar_trek::desim::Policy for TcpProxy {
+        fn on_launch(&mut self, ctx: &xar_trek::desim::DecideCtx<'_>) -> bool {
+            !ctx.kernel.is_empty() && !ctx.kernel_resident
+        }
+        fn decide(&mut self, ctx: &xar_trek::desim::DecideCtx<'_>) -> xar_trek::desim::Decision {
+            self.client
+                .decide(ctx.app, ctx.kernel, ctx.x86_load, ctx.kernel_resident)
+                .expect("tcp decide")
+        }
+        fn on_complete(&mut self, r: &xar_trek::desim::CompletionReport<'_>) {
+            self.client
+                .report(r.app, r.target, r.func_ms, r.x86_load)
+                .expect("tcp report");
+        }
+        fn name(&self) -> &str {
+            "tcp-proxy"
+        }
+    }
+
+    let cfg = ClusterConfig::default();
+    let specs: Vec<_> = xar_trek::workloads::all_profiles().iter().map(|p| p.job()).collect();
+    let server = SchedulerServer::spawn(XarTrekPolicy::from_specs(&specs, &cfg)).unwrap();
+    let proxy = TcpProxy { client: SchedulerClient::connect(server.addr()).unwrap() };
+
+    let (_, shared) = xar_trek::core::pipeline::build_all(&cfg).unwrap();
+    let mut sim = xar_trek::desim::ClusterSim::new(cfg, proxy);
+    for x in &shared {
+        sim.preload_xclbin(x.clone());
+    }
+    // High load: the TCP-backed policy must offload.
+    let mut arrivals = xar_trek::desim::workload::batch_arrivals(&specs);
+    for i in 0..115 {
+        arrivals.push(xar_trek::desim::Arrival {
+            at_ns: 0.0,
+            spec: xar_trek::desim::JobSpec::background(format!("bg{i}"), 1e7),
+        });
+    }
+    let res = sim.run(arrivals);
+    assert_eq!(res.records.len(), 5);
+    let offloaded: u32 = res.records.iter().map(|r| r.arm_calls + r.fpga_calls).sum();
+    assert!(offloaded >= 4, "high load must trigger offloads, got {offloaded}");
+    // Algorithm 1 ran server-side: thresholds may have moved, and the
+    // table is still well-formed.
+    let table = server.table();
+    assert_eq!(table.len(), 5);
+    server.shutdown();
+}
+
+#[test]
+fn threshold_table_file_roundtrip() {
+    let cfg = ClusterConfig::default();
+    let specs: Vec<_> = xar_trek::workloads::all_profiles().iter().map(|p| p.job()).collect();
+    let mut table = xar_trek::core::ThresholdTable::new();
+    for s in &specs {
+        table.insert(xar_trek::core::estimate_thresholds(s, &cfg));
+    }
+    let path = std::env::temp_dir().join(format!("xar_thresholds_{}.txt", std::process::id()));
+    std::fs::write(&path, table.to_text()).unwrap();
+    let back =
+        xar_trek::core::ThresholdTable::from_text(&std::fs::read_to_string(&path).unwrap())
+            .unwrap();
+    assert_eq!(back, table);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn figure2_flag_semantics_end_to_end() {
+    // The scheduler flag drives the executor exactly as in Figure 2:
+    // flag 0 stays, flag 1 software-migrates, flag 2 hardware-invokes.
+    let cfg = ClusterConfig::default();
+    let bundle = xar_trek::workloads::profiles::facedet_bundle(320, 240);
+    let app = xar_trek::core::build_app(&bundle, 2, &cfg).unwrap();
+    let img = digit_free_image();
+    let golden = xar_trek::workloads::facedet::count_windows(&img);
+    let ii = xar_trek::workloads::facedet::integral_image(&img);
+
+    for (flag, expect_isa, expect_fpga) in
+        [(0i64, Isa::Xar86, false), (1, Isa::Arm64e, false), (2, Isa::Xar86, true)]
+    {
+        let mut handler = XarRtHandler::new();
+        let img2 = img.clone();
+        handler.register_kernel(
+            2,
+            app.xclbins[0].clone(),
+            KernelInfo {
+                kernel: app.xo.kernel.name.clone(),
+                in_bytes: 76_800,
+                out_bytes: 8,
+                compute_ms: 71.7,
+            },
+            Box::new(move |_mem, _spill| {
+                xar_trek::workloads::facedet::count_windows(&img2) as i64
+            }),
+        );
+        handler.set_flag(2, flag);
+        let mut e = Executor::with_handler(&app.binary, Isa::Xar86, handler);
+        e.max_instructions = 2_000_000_000;
+        let ii_ptr = e.host_alloc((ii.len() * 8) as u64);
+        for (k, v) in ii.iter().enumerate() {
+            e.memory_mut().write_u64(ii_ptr + (k * 8) as u64, *v);
+        }
+        let ret = e.run("main", &[ii_ptr as i64, img.w as i64, img.h as i64]).unwrap();
+        assert_eq!(ret as u64, golden, "flag {flag}");
+        assert_eq!(e.current_isa(), expect_isa, "flag {flag}");
+        let invoked = e
+            .handler()
+            .events
+            .iter()
+            .any(|ev| matches!(ev, xar_trek::core::handler::RtEvent::Invoked { .. }));
+        assert_eq!(invoked, expect_fpga, "flag {flag}");
+    }
+}
+
+fn digit_free_image() -> xar_trek::workloads::facedet::GrayImage {
+    xar_trek::workloads::facedet::generate_image(96, 72, &[(20, 20)], 77)
+}
+
+#[test]
+fn target_display_names_are_stable() {
+    assert_eq!(Target::X86.to_string(), "x86");
+    assert_eq!(Target::Arm.to_string(), "arm");
+    assert_eq!(Target::Fpga.to_string(), "fpga");
+}
