@@ -127,12 +127,8 @@ fn bench_hls(c: &mut Criterion) {
     });
     let xos: Vec<_> = (0..12)
         .map(|i| {
-            xar_hls::compile_kernel(&xar_workloads::digitrec::kernel(
-                &format!("K{i}"),
-                18_000,
-                500,
-            ))
-            .unwrap()
+            xar_hls::compile_kernel(&xar_workloads::digitrec::kernel(&format!("K{i}"), 18_000, 500))
+                .unwrap()
         })
         .collect();
     g.bench_function("partition-ffd-12", |b| {
@@ -148,12 +144,5 @@ fn bench_hls(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_stack_transform,
-    bench_compile,
-    bench_vm,
-    bench_dsm,
-    bench_hls
-);
+criterion_group!(benches, bench_stack_transform, bench_compile, bench_vm, bench_dsm, bench_hls);
 criterion_main!(benches);

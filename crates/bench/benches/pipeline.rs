@@ -12,9 +12,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("build-facedet320", |b| {
         b.iter(|| xar_core::build_app(std::hint::black_box(&bundle), 2, &cfg).unwrap())
     });
-    g.bench_function("build-all-five", |b| {
-        b.iter(|| xar_core::pipeline::build_all(&cfg).unwrap())
-    });
+    g.bench_function("build-all-five", |b| b.iter(|| xar_core::pipeline::build_all(&cfg).unwrap()));
     g.finish();
 }
 
@@ -44,16 +42,12 @@ fn bench_workload_goldens(c: &mut Criterion) {
     });
     let a = xar_workloads::cg::generate_spd(1_000, 6, 3);
     let rhs = xar_workloads::cg::generate_rhs(1_000, 4);
-    g.bench_function("cg-1000x15", |b| {
-        b.iter(|| xar_workloads::cg::cg_solve(&a, &rhs, 15))
-    });
+    g.bench_function("cg-1000x15", |b| b.iter(|| xar_workloads::cg::cg_solve(&a, &rhs, 15)));
     let graph = xar_workloads::bfs::generate(5_000, 4, 5);
     g.bench_function("bfs-5000", |b| {
         b.iter(|| xar_workloads::bfs::bfs_depth_sum(std::hint::black_box(&graph)))
     });
-    g.bench_function("mg-16x2", |b| {
-        b.iter(|| xar_workloads::mg::mg_run(16, 8, 2, 7))
-    });
+    g.bench_function("mg-16x2", |b| b.iter(|| xar_workloads::mg::mg_run(16, 8, 2, 7)));
     g.finish();
 }
 

@@ -24,12 +24,8 @@ fn bench_decision(c: &mut Criterion) {
         now_ns: 0.0,
     };
     c.bench_function("algorithm2-decide", |b| b.iter(|| p.decide(std::hint::black_box(&ctx))));
-    let report = CompletionReport {
-        app: "Digit2000",
-        target: Target::Fpga,
-        func_ms: 1300.0,
-        x86_load: 42,
-    };
+    let report =
+        CompletionReport { app: "Digit2000", target: Target::Fpga, func_ms: 1300.0, x86_load: 42 };
     c.bench_function("algorithm1-update", |b| {
         b.iter(|| p.on_complete(std::hint::black_box(&report)))
     });

@@ -1,0 +1,7 @@
+//! `xar-bench` — benchmark and experiment-driver package.
+//!
+//! The interesting code lives in `benches/` (criterion benchmarks of
+//! the substrates, the scheduler, and the v1/v2 wire protocols) and in
+//! `src/bin/xar_experiments.rs` (the paper's tables and figures). This
+//! library target exists so the package has a build target for
+//! dependents and doc builds.

@@ -161,14 +161,16 @@ pub fn table4() -> Experiment {
         x86.points.push((nodes.to_string(), tx));
         fpga.points.push((nodes.to_string(), tf));
     }
-    Experiment { id: "Table 4".into(), metric: "BFS execution time (ms)".into(), series: vec![x86, fpga] }
+    Experiment {
+        id: "Table 4".into(),
+        metric: "BFS execution time (ms)".into(),
+        series: vec![x86, fpga],
+    }
 }
 
 fn random_apps(n: usize, rng: &mut StdRng) -> Vec<JobSpec> {
     let profiles = all_profiles();
-    (0..n)
-        .map(|_| profiles[rng.gen_range(0..profiles.len())].job())
-        .collect()
+    (0..n).map(|_| profiles[rng.gen_range(0..profiles.len())].job()).collect()
 }
 
 fn with_background(mut apps: Vec<JobSpec>, total_procs: usize) -> Vec<Arrival> {
@@ -181,7 +183,12 @@ fn with_background(mut apps: Vec<JobSpec>, total_procs: usize) -> Vec<Arrival> {
 
 /// Shared driver for Figures 3–5: randomized application sets at a
 /// fixed background load, averaged over `runs` seeds.
-pub fn fixed_load(id: &str, set_sizes: &[usize], total_procs: Option<usize>, runs: u64) -> Experiment {
+pub fn fixed_load(
+    id: &str,
+    set_sizes: &[usize],
+    total_procs: Option<usize>,
+    runs: u64,
+) -> Experiment {
     let xclbins = shared_xclbins();
     let cfg = ClusterConfig::default();
     let labels: [&str; 4] = ["vanilla-x86", "vanilla-fpga", "vanilla-arm", "xar-trek"];
@@ -235,18 +242,15 @@ pub fn fig6() -> Experiment {
         let job = xar_workloads::profiles::facedet320().throughput_job(1000, 60_000.0, 1.0);
         let arrivals = with_background(vec![job], n_bg + 1);
         let tp = |r: xar_desim::cluster::SimResult| r.total_calls() as f64 / 60.0;
-        series[0].points.push((
-            n_bg.to_string(),
-            tp(run_sim(AlwaysX86, arrivals.clone(), &xclbins, false)),
-        ));
-        series[1].points.push((
-            n_bg.to_string(),
-            tp(run_sim(AlwaysFpga, arrivals.clone(), &xclbins, false)),
-        ));
-        series[2].points.push((
-            n_bg.to_string(),
-            tp(run_sim(xar_policy(&cfg), arrivals, &xclbins, false)),
-        ));
+        series[0]
+            .points
+            .push((n_bg.to_string(), tp(run_sim(AlwaysX86, arrivals.clone(), &xclbins, false))));
+        series[1]
+            .points
+            .push((n_bg.to_string(), tp(run_sim(AlwaysFpga, arrivals.clone(), &xclbins, false))));
+        series[2]
+            .points
+            .push((n_bg.to_string(), tp(run_sim(xar_policy(&cfg), arrivals, &xclbins, false))));
     }
     Experiment { id: "Figure 6".into(), metric: "throughput (images/s)".into(), series }
 }
@@ -273,18 +277,9 @@ pub fn fig7() -> Experiment {
     }
     let mut series = Vec::new();
     for (label, mean) in [
-        (
-            "vanilla-x86",
-            run_sim(AlwaysX86, arrivals.clone(), &xclbins, true).mean_exec_ms(),
-        ),
-        (
-            "vanilla-fpga",
-            run_sim(AlwaysFpga, arrivals.clone(), &xclbins, true).mean_exec_ms(),
-        ),
-        (
-            "xar-trek",
-            run_sim(xar_policy(&cfg), arrivals.clone(), &xclbins, true).mean_exec_ms(),
-        ),
+        ("vanilla-x86", run_sim(AlwaysX86, arrivals.clone(), &xclbins, true).mean_exec_ms()),
+        ("vanilla-fpga", run_sim(AlwaysFpga, arrivals.clone(), &xclbins, true).mean_exec_ms()),
+        ("xar-trek", run_sim(xar_policy(&cfg), arrivals.clone(), &xclbins, true).mean_exec_ms()),
     ] {
         series.push(Series { label: label.into(), points: vec![("mean".into(), mean)] });
     }
@@ -362,10 +357,9 @@ pub fn fig9() -> Experiment {
             pct.clone(),
             run_sim(AlwaysX86, arrivals.clone(), &xclbins, true).mean_exec_ms(),
         ));
-        series[1].points.push((
-            pct,
-            run_sim(xar_policy(&cfg), arrivals, &xclbins, true).mean_exec_ms(),
-        ));
+        series[1]
+            .points
+            .push((pct, run_sim(xar_policy(&cfg), arrivals, &xclbins, true).mean_exec_ms()));
     }
     Experiment {
         id: "Figure 9".into(),
@@ -477,11 +471,7 @@ pub fn ablation_partitioning(runs: u64) -> Experiment {
             ],
         });
     }
-    Experiment {
-        id: "Ablation C".into(),
-        metric: "XCLBIN partitioning strategy".into(),
-        series,
-    }
+    Experiment { id: "Ablation C".into(), metric: "XCLBIN partitioning strategy".into(), series }
 }
 
 /// Ablation: shared-Ethernet serialization on/off under an
@@ -543,14 +533,8 @@ mod tests {
         ];
         for (name, x86, fpga, arm) in paper {
             assert!((val(&e, "vanilla-x86", name) - x86).abs() / x86 < 0.05, "{name} x86");
-            assert!(
-                (val(&e, "xar-trek x86/FPGA", name) - fpga).abs() / fpga < 0.05,
-                "{name} fpga"
-            );
-            assert!(
-                (val(&e, "xar-trek x86/ARM", name) - arm).abs() / arm < 0.05,
-                "{name} arm"
-            );
+            assert!((val(&e, "xar-trek x86/FPGA", name) - fpga).abs() / fpga < 0.05, "{name} fpga");
+            assert!((val(&e, "xar-trek x86/ARM", name) - arm).abs() / arm < 0.05, "{name} arm");
         }
     }
 
@@ -560,10 +544,7 @@ mod tests {
         for x in ["5", "10", "15", "20", "25"] {
             let vx = val(&e, "vanilla-x86", x);
             let xt = val(&e, "xar-trek", x);
-            assert!(
-                xt < vx,
-                "high load, set {x}: xar-trek {xt} must beat vanilla {vx}"
-            );
+            assert!(xt < vx, "high load, set {x}: xar-trek {xt} must beat vanilla {vx}");
         }
     }
 
@@ -595,10 +576,7 @@ mod tests {
         // unlike the paper's last point Xar-Trek does not fall *below*
         // vanilla; see EXPERIMENTS.md.)
         let gain100 = val(&e, "vanilla-x86", "100%") / val(&e, "xar-trek", "100%");
-        assert!(
-            gain100 < gain0,
-            "gain must shrink: 0% → {gain0}, 100% → {gain100}"
-        );
+        assert!(gain100 < gain0, "gain must shrink: 0% → {gain0}, 100% → {gain100}");
     }
 
     #[test]

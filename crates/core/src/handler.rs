@@ -91,13 +91,7 @@ impl XarRtHandler {
 
     /// Registers an application's XCLBIN (loaded on `FpgaConfigure`)
     /// and its functional kernel.
-    pub fn register_kernel(
-        &mut self,
-        app: i64,
-        xclbin: Xclbin,
-        info: KernelInfo,
-        func: KernelFn,
-    ) {
+    pub fn register_kernel(&mut self, app: i64, xclbin: Xclbin, info: KernelInfo, func: KernelFn) {
         self.xclbins.insert(app, xclbin);
         self.kernels.insert(app, (info, func));
     }
@@ -179,9 +173,7 @@ mod tests {
     fn fd_xclbin() -> Xclbin {
         let k = xar_workloads::facedet::kernel("KNL_T", 64, 48);
         let xo = xar_hls::compile_kernel(&k).unwrap();
-        xar_hls::partition_ffd(&[xo], &xar_hls::Platform::alveo_u50(), "t")
-            .unwrap()
-            .remove(0)
+        xar_hls::partition_ffd(&[xo], &xar_hls::Platform::alveo_u50(), "t").unwrap().remove(0)
     }
 
     fn handler_with_kernel() -> XarRtHandler {
@@ -189,12 +181,7 @@ mod tests {
         h.register_kernel(
             1,
             fd_xclbin(),
-            KernelInfo {
-                kernel: "KNL_T".into(),
-                in_bytes: 1024,
-                out_bytes: 8,
-                compute_ms: 1.0,
-            },
+            KernelInfo { kernel: "KNL_T".into(), in_bytes: 1024, out_bytes: 8, compute_ms: 1.0 },
             Box::new(|mem, spill| {
                 // Functional kernel: triple the first spilled argument.
                 let x = mem.read_i64(spill);
@@ -208,7 +195,8 @@ mod tests {
     fn flag_zero_software_flag_two_hardware_same_result() {
         let bin = instrumented_binary();
         // Software path.
-        let mut e = xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
+        let mut e =
+            xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
         assert_eq!(e.run("main", &[14]).unwrap(), 42);
         // Hardware path.
         let mut h = handler_with_kernel();
@@ -234,7 +222,8 @@ mod tests {
         assert_eq!(e.current_isa(), xar_isa::Isa::Arm64e);
         // Now flip the flag to 0 mid-run is not possible from outside;
         // instead verify a fresh run with flag 0 stays on x86.
-        let mut e2 = xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
+        let mut e2 =
+            xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
         e2.run("main", &[14]).unwrap();
         assert!(e2.stats().migrations.is_empty());
     }
@@ -242,7 +231,8 @@ mod tests {
     #[test]
     fn client_lifecycle_events_recorded() {
         let bin = instrumented_binary();
-        let mut e = xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
+        let mut e =
+            xar_popcorn::Executor::with_handler(&bin, xar_isa::Isa::Xar86, handler_with_kernel());
         e.run("main", &[1]).unwrap();
         let ev = &e.handler().events;
         assert!(matches!(ev.first(), Some(RtEvent::ClientStart(1, _))));

@@ -48,7 +48,9 @@ impl std::fmt::Display for InstrumentError {
         match self {
             InstrumentError::NoMain => f.write_str("module has no main function"),
             InstrumentError::NoSelected(s) => write!(f, "selected function `{s}` not found"),
-            InstrumentError::TooManyArgs(s) => write!(f, "selected function `{s}` has too many args"),
+            InstrumentError::TooManyArgs(s) => {
+                write!(f, "selected function `{s}` has too many args")
+            }
         }
     }
 }
@@ -88,11 +90,7 @@ pub fn instrument(
 
     // The dispatch shim.
     let dispatch_id = {
-        let mut f = module.function(
-            format!("__xar_dispatch_{selected}"),
-            &sel.params,
-            sel.ret,
-        );
+        let mut f = module.function(format!("__xar_dispatch_{selected}"), &sel.params, sel.ret);
         let app = f.const_i(app_id);
         let flag = f.call_rt(RtFunc::ReadFlag, &[app]).unwrap();
         f.call_rt(RtFunc::MigPoint, &[]);
@@ -234,10 +232,7 @@ mod tests {
         f.finish();
         assert_eq!(instrument(&mut m, "x", 0), Err(InstrumentError::NoMain));
         let mut m2 = sample_module();
-        assert!(matches!(
-            instrument(&mut m2, "ghost", 0),
-            Err(InstrumentError::NoSelected(_))
-        ));
+        assert!(matches!(instrument(&mut m2, "ghost", 0), Err(InstrumentError::NoSelected(_))));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //!   policy);
 //! * [`server`] — the userspace scheduler as a real client/server over
 //!   localhost TCP sockets (paper §3.2), plus an in-simulator backend
-//!   through [`xar_desim::Policy`];
+//!   through [`xar_desim::Policy`]; the production-scale daemon
+//!   (sharded policy engine, binary wire protocol v2, worker-pool
+//!   connection layer) is delegated to and re-exported from
+//!   [`xar_sched`];
 //! * [`handler`] — the runtime-library handler connecting functional
 //!   multi-ISA execution to the FPGA device model and the golden
 //!   kernels;

@@ -169,10 +169,7 @@ mod tests {
                 a.name
             );
             // The instrumented binary exposes the dispatch shim.
-            let shim = format!(
-                "__xar_dispatch_{}",
-                a.profiling.apps[0].selected[0]
-            );
+            let shim = format!("__xar_dispatch_{}", a.profiling.apps[0].selected[0]);
             assert!(a.binary.func_addr(&shim).is_some(), "{shim}");
             // Threshold estimation produced a row.
             assert_eq!(a.threshold.app, a.name);
@@ -223,14 +220,7 @@ mod tests {
         let ret = exec
             .run(
                 "main",
-                &[
-                    train_ptr as i64,
-                    labels_ptr as i64,
-                    60,
-                    tests_ptr as i64,
-                    10,
-                    out_ptr as i64,
-                ],
+                &[train_ptr as i64, labels_ptr as i64, 60, tests_ptr as i64, 10, out_ptr as i64],
             )
             .unwrap();
         assert_eq!(ret, 10);

@@ -34,13 +34,7 @@ impl XarTrekPolicy {
     /// A policy over an estimated threshold table and the isolated
     /// scenario times recorded at estimation time.
     pub fn new(table: ThresholdTable, ref_times: HashMap<String, ScenarioTimes>) -> Self {
-        XarTrekPolicy {
-            table,
-            ref_times,
-            early_config: true,
-            dynamic_update: true,
-            thr_step: 1,
-        }
+        XarTrekPolicy { table, ref_times, early_config: true, dynamic_update: true, thr_step: 1 }
     }
 
     /// Builds the policy from job specs by running the step-G estimator
@@ -59,12 +53,7 @@ impl XarTrekPolicy {
     }
 
     /// Algorithm 2, as a pure decision function.
-    pub fn algorithm2(
-        load: u32,
-        fpga_thr: u32,
-        arm_thr: u32,
-        hw_kernel_present: bool,
-    ) -> Decision {
+    pub fn algorithm2(load: u32, fpga_thr: u32, arm_thr: u32, hw_kernel_present: bool) -> Decision {
         if !hw_kernel_present {
             if load <= arm_thr && load > fpga_thr {
                 // Lines 9–13: stay on x86, reconfigure meanwhile.
@@ -93,6 +82,31 @@ impl XarTrekPolicy {
         }
         // Unreachable given the cases above; stay local.
         Decision { target: Target::X86, reconfigure: false }
+    }
+
+    /// Splits the policy into `n` per-app-group shard policies for
+    /// [`xar_sched::ShardedEngine`]: each shard receives exactly the
+    /// table rows and reference times of the apps that
+    /// [`xar_sched::shard_of`] routes to it, plus this policy's flags.
+    pub fn split_shards(&self, n: usize) -> Vec<XarTrekPolicy> {
+        let mut shards: Vec<XarTrekPolicy> = (0..n.max(1))
+            .map(|_| {
+                let mut p = XarTrekPolicy::new(ThresholdTable::new(), HashMap::new());
+                p.early_config = self.early_config;
+                p.dynamic_update = self.dynamic_update;
+                p.thr_step = self.thr_step;
+                p
+            })
+            .collect();
+        let count = shards.len();
+        for e in self.table.iter() {
+            let shard = &mut shards[xar_sched::shard_of(&e.app, count)];
+            shard.table.insert(e.clone());
+            if let Some(times) = self.ref_times.get(&e.app) {
+                shard.ref_times.insert(e.app.clone(), *times);
+            }
+        }
+        shards
     }
 
     /// Algorithm 1: the scheduler client's threshold update after a
@@ -134,6 +148,56 @@ impl XarTrekPolicy {
     }
 }
 
+/// The immutable decision state `xar-sched` publishes per shard: the
+/// threshold table plus the policy flags Algorithm 2 needs.
+#[derive(Debug, Clone)]
+pub struct PolicySnapshot {
+    /// Threshold table at publication time.
+    pub table: ThresholdTable,
+    /// Whether launches early-configure the FPGA (paper §3.1).
+    pub early_config: bool,
+}
+
+impl xar_sched::PolicyCore for XarTrekPolicy {
+    type Snap = PolicySnapshot;
+
+    fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot { table: self.table.clone(), early_config: self.early_config }
+    }
+
+    fn decide(snap: &PolicySnapshot, ctx: &DecideCtx<'_>) -> Decision {
+        match snap.table.get(ctx.app) {
+            Some(entry) => Self::algorithm2(
+                ctx.x86_load as u32,
+                entry.fpga_thr,
+                entry.arm_thr,
+                ctx.kernel_resident,
+            ),
+            None => Decision::to(Target::X86),
+        }
+    }
+
+    fn early_config(snap: &PolicySnapshot, ctx: &DecideCtx<'_>) -> bool {
+        snap.early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
+    }
+
+    fn apply(&mut self, report: &CompletionReport<'_>) {
+        Policy::on_complete(self, report);
+    }
+
+    fn entries(&self) -> Vec<xar_sched::TableEntry> {
+        self.table
+            .iter()
+            .map(|e| xar_sched::TableEntry {
+                app: e.app.clone(),
+                kernel: e.kernel.clone(),
+                fpga_thr: e.fpga_thr,
+                arm_thr: e.arm_thr,
+            })
+            .collect()
+    }
+}
+
 impl Policy for XarTrekPolicy {
     fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
         self.early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
@@ -143,12 +207,7 @@ impl Policy for XarTrekPolicy {
         let Some(entry) = self.table.get(ctx.app) else {
             return Decision::to(Target::X86);
         };
-        Self::algorithm2(
-            ctx.x86_load as u32,
-            entry.fpga_thr,
-            entry.arm_thr,
-            ctx.kernel_resident,
-        )
+        Self::algorithm2(ctx.x86_load as u32, entry.fpga_thr, entry.arm_thr, ctx.kernel_resident)
     }
 
     fn on_complete(&mut self, report: &CompletionReport<'_>) {
@@ -278,6 +337,62 @@ mod tests {
             x86_load: 2,
         });
         assert!((p.ref_times["FaceDet320"].x86_ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_shards_partitions_table_and_ref_times() {
+        let p = policy();
+        let shards = p.split_shards(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.table.len()).sum();
+        assert_eq!(total, p.table.len(), "every row in exactly one shard");
+        for (i, shard) in shards.iter().enumerate() {
+            for e in shard.table.iter() {
+                assert_eq!(xar_sched::shard_of(&e.app, 4), i, "{} routed to {i}", e.app);
+                assert!(shard.ref_times.contains_key(&e.app));
+            }
+            assert_eq!(shard.early_config, p.early_config);
+            assert_eq!(shard.thr_step, p.thr_step);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_policy() {
+        use xar_desim::Target;
+        // Drive the same decide/report trace through (a) the plain
+        // policy under a mutex-style sequential loop and (b) the
+        // sharded engine with batch=1; tables must converge
+        // identically and every decision must match.
+        let mut seq = policy();
+        let engine = xar_sched::ShardedEngine::from_shards(policy().split_shards(4), 1);
+        let apps = ["Digit2000", "CG-A", "FaceDet320", "Digit500", "FaceDet640"];
+        for round in 0..50usize {
+            let app = apps[round % apps.len()];
+            let load = (round * 7) % 130;
+            let ctx = DecideCtx {
+                app,
+                kernel: "k",
+                x86_load: load,
+                arm_load: 0,
+                kernel_resident: round % 3 != 0,
+                device_ready: true,
+                now_ns: 0.0,
+            };
+            assert_eq!(engine.decide(&ctx), seq.decide(&ctx), "round {round}");
+            let report = CompletionReport {
+                app,
+                target: if round % 2 == 0 { Target::Fpga } else { Target::X86 },
+                func_ms: (round as f64) * 100.0,
+                x86_load: load,
+            };
+            seq.on_complete(&report);
+            engine.report(xar_sched::ReportOwned::from(&report));
+        }
+        let seq_rows: Vec<_> =
+            seq.table.iter().map(|e| (e.app.clone(), e.fpga_thr, e.arm_thr)).collect();
+        let eng_rows: Vec<_> =
+            engine.table().into_iter().map(|e| (e.app, e.fpga_thr, e.arm_thr)).collect();
+        assert_eq!(seq_rows, eng_rows);
     }
 
     #[test]

@@ -111,10 +111,7 @@ pub struct FunctionProfile {
 impl FunctionProfile {
     /// The hottest function, if any instructions were attributed.
     pub fn hottest(&self) -> Option<(&str, u64)> {
-        self.instret
-            .iter()
-            .max_by_key(|(_, &n)| n)
-            .map(|(k, &v)| (k.as_str(), v))
+        self.instret.iter().max_by_key(|(_, &n)| n).map(|(k, &v)| (k.as_str(), v))
     }
 
     /// A function's fraction of total attributed instructions.

@@ -17,6 +17,13 @@
 //! C→S: TABLE
 //! S→C: <n> lines of the threshold table, then END
 //! ```
+//!
+//! This module keeps the paper-faithful v1 server (thread-per-client,
+//! one policy mutex) and delegates the production path to
+//! [`xar_sched`]: [`spawn_sharded`] serves the same policy as a
+//! sharded, worker-pooled daemon speaking the binary v2 protocol
+//! (with v1 text fallback on the same port). The `xar_sched` client,
+//! server, and engine types are re-exported here.
 
 use crate::policy::XarTrekPolicy;
 use parking_lot::Mutex;
@@ -26,22 +33,37 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
+use xar_sched::wire::{self, parse_target, target_str};
 
-fn target_str(t: Target) -> &'static str {
-    match t {
-        Target::X86 => "x86",
-        Target::Arm => "arm",
-        Target::Fpga => "fpga",
-    }
+pub use xar_sched::{
+    EngineConfig, MetricsSnapshot, ServerConfig, ShardedEngine, ShardedPolicy, TableEntry, V2Client,
+};
+
+/// The production scheduler daemon serving a sharded [`XarTrekPolicy`].
+pub type ShardedSchedulerServer = xar_sched::Server<XarTrekPolicy>;
+
+/// Builds the sharded engine for a policy (per-app-group shards, see
+/// [`XarTrekPolicy::split_shards`]).
+pub fn sharded_engine(
+    policy: &XarTrekPolicy,
+    config: EngineConfig,
+) -> ShardedEngine<XarTrekPolicy> {
+    ShardedEngine::from_shards(policy.split_shards(config.shards), config.batch)
 }
 
-fn parse_target(s: &str) -> Option<Target> {
-    match s {
-        "x86" => Some(Target::X86),
-        "arm" => Some(Target::Arm),
-        "fpga" => Some(Target::Fpga),
-        _ => None,
-    }
+/// Spawns the production daemon: the [`xar_sched`] worker-pool server
+/// over a sharded copy of `policy`, speaking protocol v2 with v1 text
+/// fallback.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn spawn_sharded(
+    policy: &XarTrekPolicy,
+    engine_config: EngineConfig,
+    server_config: ServerConfig,
+) -> std::io::Result<ShardedSchedulerServer> {
+    xar_sched::Server::spawn(sharded_engine(policy, engine_config), server_config)
 }
 
 /// A running scheduler server. Dropping it shuts the server down.
@@ -60,20 +82,30 @@ impl SchedulerServer {
     /// Propagates socket errors.
     pub fn spawn(policy: XarTrekPolicy) -> std::io::Result<SchedulerServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        // Nonblocking accept: the loop observes the stop flag within
+        // one poll interval even if no client ever connects again
+        // (a blocking accept would park `Drop` until the next
+        // connection arrived).
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let policy = Arc::new(Mutex::new(policy));
         let stop = Arc::new(AtomicBool::new(false));
         let (p2, s2) = (policy.clone(), stop.clone());
         let handle = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if s2.load(Ordering::SeqCst) {
-                    break;
+            while !s2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let p3 = p2.clone();
+                        // One thread per client, like one scheduler-client
+                        // instance per application binary.
+                        std::thread::spawn(move || serve_client(stream, p3));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_micros(500));
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_micros(500)),
                 }
-                let Ok(stream) = conn else { continue };
-                let p3 = p2.clone();
-                // One thread per client, like one scheduler-client
-                // instance per application binary.
-                std::thread::spawn(move || serve_client(stream, p3));
             }
         });
         Ok(SchedulerServer { addr, policy, stop, handle: Some(handle) })
@@ -96,8 +128,6 @@ impl SchedulerServer {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the accept loop.
-        let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -125,53 +155,45 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
             Ok(0) | Err(_) => return,
             Ok(_) => {}
         }
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let reply = match parts.as_slice() {
-            ["DECIDE", app, kernel, load, resident] => {
-                let (Ok(load), Ok(resident)) =
-                    (load.parse::<usize>(), resident.parse::<u8>())
-                else {
-                    let _ = writer.write_all(b"ERR\n");
-                    continue;
-                };
+        // Shared v1 grammar: the daemon's fallback in `xar-sched` uses
+        // the same parser, so the two servers cannot drift.
+        let reply = match wire::parse_v1_line(line.trim_end_matches(['\r', '\n'])) {
+            Some(wire::V1Request::Decide { app, kernel, x86_load, kernel_resident }) => {
                 let ctx = DecideCtx {
                     app,
                     kernel,
-                    x86_load: load,
+                    x86_load: x86_load as usize,
                     arm_load: 0,
-                    kernel_resident: resident != 0,
+                    kernel_resident,
                     device_ready: true,
                     now_ns: 0.0,
                 };
                 let d = policy.lock().decide(&ctx);
-                format!("TARGET {} {}\n", target_str(d.target), u8::from(d.reconfigure))
+                wire::v1_decide_reply(&d)
             }
-            ["REPORT", app, target, ms, load] => {
-                let (Some(target), Ok(ms), Ok(load)) =
-                    (parse_target(target), ms.parse::<f64>(), load.parse::<usize>())
-                else {
-                    let _ = writer.write_all(b"ERR\n");
-                    continue;
-                };
+            Some(wire::V1Request::Report { app, target, func_ms, x86_load }) => {
                 policy.lock().on_complete(&CompletionReport {
                     app,
                     target,
-                    func_ms: ms,
-                    x86_load: load,
+                    func_ms,
+                    // Saturate exactly like the daemon's v1 fallback so
+                    // absurd loads cannot make the two servers diverge
+                    // (algorithm1 truncates to u32 internally).
+                    x86_load: x86_load.min(u32::MAX as u64) as usize,
                 });
                 "OK\n".to_string()
             }
-            ["TABLE"] => {
+            Some(wire::V1Request::Table) => {
                 let t = policy.lock().table.clone();
                 let mut s = String::new();
                 for e in t.iter() {
-                    s.push_str(&format!("{} {} {} {}\n", e.app, e.kernel, e.fpga_thr, e.arm_thr));
+                    s.push_str(&wire::v1_table_row(&e.app, &e.kernel, e.fpga_thr, e.arm_thr));
                 }
                 s.push_str("END\n");
                 s
             }
-            ["QUIT"] => return,
-            _ => "ERR\n".to_string(),
+            Some(wire::V1Request::Quit) => return,
+            None => "ERR\n".to_string(),
         };
         if writer.write_all(reply.as_bytes()).is_err() {
             return;
@@ -225,8 +247,8 @@ impl SchedulerClient {
         let parts: Vec<&str> = reply.split_whitespace().collect();
         match parts.as_slice() {
             ["TARGET", t, r] => {
-                let target = parse_target(t)
-                    .ok_or_else(|| std::io::Error::other("bad target in reply"))?;
+                let target =
+                    parse_target(t).ok_or_else(|| std::io::Error::other("bad target in reply"))?;
                 Ok(Decision { target, reconfigure: *r == "1" })
             }
             _ => Err(std::io::Error::other(format!("bad reply: {reply:?}"))),
@@ -245,10 +267,8 @@ impl SchedulerClient {
         func_ms: f64,
         x86_load: usize,
     ) -> std::io::Result<()> {
-        let reply = self.roundtrip(&format!(
-            "REPORT {app} {} {func_ms} {x86_load}\n",
-            target_str(target)
-        ))?;
+        let reply =
+            self.roundtrip(&format!("REPORT {app} {} {func_ms} {x86_load}\n", target_str(target)))?;
         if reply.trim() == "OK" {
             Ok(())
         } else {
@@ -351,6 +371,132 @@ mod tests {
         assert_eq!(t.len(), 5);
         assert_eq!(t, server.table());
         server.shutdown();
+    }
+
+    #[test]
+    fn drop_terminates_promptly_without_a_final_connection() {
+        let started = std::time::Instant::now();
+        let server = spawn_server();
+        drop(server);
+        // The old accept loop blocked until the *next* connection; the
+        // nonblocking loop must exit within a few poll intervals.
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn sharded_daemon_v2_matches_v1_decisions() {
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        let v1 = SchedulerServer::spawn(policy.clone()).unwrap();
+        let v2 = spawn_sharded(&policy, EngineConfig::default(), ServerConfig::default()).unwrap();
+        let mut c1 = SchedulerClient::connect(v1.addr()).unwrap();
+        let mut c2 = V2Client::connect(v2.addr()).unwrap();
+        for load in [0u32, 1, 5, 20, 40, 80, 120] {
+            for resident in [false, true] {
+                for app in ["Digit2000", "CG-A", "FaceDet320", "nope"] {
+                    let d1 = c1.decide(app, "k", load as usize, resident).unwrap();
+                    let d2 = c2.decide(app, "k", load, resident).unwrap();
+                    assert_eq!(d1, d2, "{app} load={load} resident={resident}");
+                }
+            }
+        }
+        assert_eq!(c2.ping(99).unwrap(), 99);
+        v2.shutdown();
+        v1.shutdown();
+    }
+
+    #[test]
+    fn sharded_daemon_serves_v1_text_clients() {
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        let daemon =
+            spawn_sharded(&policy, EngineConfig::default(), ServerConfig::default()).unwrap();
+        // The *old* text client, pointed at the new daemon.
+        let mut c = SchedulerClient::connect(daemon.addr()).unwrap();
+        let d = c.decide("Digit2000", "KNL_HW_DR200", 1, true).unwrap();
+        assert_eq!(d.target, Target::Fpga);
+        c.report("Digit2000", Target::Fpga, 1e9, 10).unwrap();
+        let table = c.fetch_table().unwrap();
+        assert_eq!(table.len(), 5);
+        assert_eq!(
+            table.get("Digit2000").unwrap().fpga_thr,
+            policy.table.get("Digit2000").unwrap().fpga_thr + 1,
+            "slow FPGA report raised the threshold through the text path"
+        );
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn sharded_daemon_answers_short_malformed_v1_lines() {
+        use std::io::{BufRead, BufReader, Write};
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        let daemon =
+            spawn_sharded(&policy, EngineConfig::default(), ServerConfig::default()).unwrap();
+        // Shorter than the 4-byte v2 magic: must still classify as v1
+        // and answer ERR rather than waiting for more bytes forever.
+        let mut s = TcpStream::connect(daemon.addr()).unwrap();
+        s.write_all(b"X\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(s.try_clone().unwrap()).read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ERR");
+        // And the connection keeps working as v1 afterwards.
+        s.write_all(b"DECIDE Digit2000 k 1 1\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(s).read_line(&mut line).unwrap();
+        assert!(line.starts_with("TARGET "), "{line:?}");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn sharded_daemon_caps_newline_free_v1_floods() {
+        use std::io::{Read, Write};
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        let daemon =
+            spawn_sharded(&policy, EngineConfig::default(), ServerConfig::default()).unwrap();
+        let mut s = TcpStream::connect(daemon.addr()).unwrap();
+        // Stream well past MAX_V1_LINE without ever sending a newline;
+        // the daemon must answer ERR and hang up instead of buffering
+        // forever.
+        let chunk = [b'A'; 16 * 1024];
+        s.set_write_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        for _ in 0..6 {
+            if s.write_all(&chunk).is_err() {
+                break; // server already hung up mid-flood
+            }
+        }
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break, // server closed — the cap fired
+                Ok(n) => reply.extend_from_slice(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+        assert_eq!(String::from_utf8_lossy(&reply).trim(), "ERR");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn sharded_daemon_metrics_count_traffic() {
+        let specs: Vec<_> = all_profiles().iter().map(|p| p.job()).collect();
+        let policy = XarTrekPolicy::from_specs(&specs, &ClusterConfig::default());
+        let daemon =
+            spawn_sharded(&policy, EngineConfig::default(), ServerConfig::default()).unwrap();
+        let mut c = V2Client::connect(daemon.addr()).unwrap();
+        for _ in 0..10 {
+            c.decide("Digit2000", "KNL_HW_DR200", 1, true).unwrap();
+        }
+        c.report("Digit2000", Target::Fpga, 1300.0, 1).unwrap();
+        let m = daemon.engine().metrics_total();
+        assert_eq!(m.decides, 10);
+        assert_eq!(m.to_fpga, 10, "Digit2000 at load 1 offloads");
+        assert_eq!(m.reports, 1);
+        assert!(m.p99_ns > 0);
+        daemon.shutdown();
     }
 
     #[test]

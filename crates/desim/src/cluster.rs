@@ -112,6 +112,9 @@ enum MKind {
     Arm,
 }
 
+// The shared "Done" suffix is the point: each variant names which
+// completion the timer signals.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy)]
 enum TimerKind {
     ArmOutDone,
@@ -146,9 +149,7 @@ impl PartialOrd for EvEntry {
 impl Ord for EvEntry {
     fn cmp(&self, o: &Self) -> Ordering {
         // Reverse for min-heap.
-        o.t.partial_cmp(&self.t)
-            .unwrap()
-            .then_with(|| o.seq.cmp(&self.seq))
+        o.t.partial_cmp(&self.t).unwrap().then_with(|| o.seq.cmp(&self.seq))
     }
 }
 
@@ -375,7 +376,7 @@ impl<P: Policy> ClusterSim<P> {
         }
         mach.advance(self.now);
         // Collect finished jobs (remaining ≈ 0).
-        let finished: Vec<JobId> = self
+        let mut finished: Vec<JobId> = self
             .jobs
             .iter()
             .filter(|(id, j)| {
@@ -384,6 +385,10 @@ impl<P: Policy> ClusterSim<P> {
             })
             .map(|(id, _)| *id)
             .collect();
+        // `jobs` is a hash map: without a sort, simultaneous
+        // completions would be processed in hash-iteration order,
+        // making otherwise-identical simulations diverge run to run.
+        finished.sort_unstable();
         if finished.is_empty() {
             // Numerical slack: reschedule.
             self.schedule_machine(m);
@@ -475,8 +480,7 @@ impl<P: Policy> ClusterSim<P> {
             Target::Fpga => {
                 let first = !self.jobs[&id].fpga_called;
                 self.jobs.get_mut(&id).unwrap().fpga_called = true;
-                let compute_ms =
-                    spec.fpga_kernel_ms + if first { spec.fpga_setup_ms } else { 0.0 };
+                let compute_ms = spec.fpga_kernel_ms + if first { spec.fpga_setup_ms } else { 0.0 };
                 let run = self.fpga.invoke(
                     &spec.kernel,
                     self.now + rtt_ns,
@@ -514,17 +518,12 @@ impl<P: Policy> ClusterSim<P> {
         }
         // Scheduler-client report (Algorithm 1 input).
         let spec_name = self.jobs[&id].spec.name.clone();
-        let report = CompletionReport {
-            app: &spec_name,
-            target,
-            func_ms,
-            x86_load: self.x86.load() + 1,
-        };
+        let report =
+            CompletionReport { app: &spec_name, target, func_ms, x86_load: self.x86.load() + 1 };
         self.policy.on_complete(&report);
 
         let j = &self.jobs[&id];
-        let more = j.calls_done < j.spec.calls
-            && j.deadline_ns.is_none_or(|d| self.now < d);
+        let more = j.calls_done < j.spec.calls && j.deadline_ns.is_none_or(|d| self.now < d);
         if more {
             self.start_call(id);
         } else {
@@ -667,10 +666,7 @@ mod tests {
     fn background_jobs_generate_persistent_load() {
         let mut arrivals = batch_arrivals(&[test_spec()]);
         for i in 0..18 {
-            arrivals.push(Arrival {
-                at_ns: 0.0,
-                spec: JobSpec::background(format!("bg{i}"), 1e7),
-            });
+            arrivals.push(Arrival { at_ns: 0.0, spec: JobSpec::background(format!("bg{i}"), 1e7) });
         }
         let mut sim = ClusterSim::new(ClusterConfig::default(), AlwaysX86);
         let res = sim.run(arrivals);

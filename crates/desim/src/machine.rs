@@ -7,7 +7,7 @@
 //! `#processes ≤ #cores` and degrades linearly beyond (Table 3's
 //! low/medium/high classes).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a job in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,7 +22,7 @@ pub struct PsMachine {
     /// Human-readable name ("x86", "arm").
     pub name: &'static str,
     cores: f64,
-    jobs: HashMap<JobId, f64>,
+    jobs: BTreeMap<JobId, f64>,
     last_ns: f64,
     generation: u64,
 }
@@ -35,13 +35,7 @@ impl PsMachine {
     /// Panics if `cores == 0`.
     pub fn new(name: &'static str, cores: u32) -> PsMachine {
         assert!(cores > 0);
-        PsMachine {
-            name,
-            cores: cores as f64,
-            jobs: HashMap::new(),
-            last_ns: 0.0,
-            generation: 0,
-        }
+        PsMachine { name, cores: cores as f64, jobs: BTreeMap::new(), last_ns: 0.0, generation: 0 }
     }
 
     /// Number of runnable jobs (the paper's CPU-load metric).

@@ -1,0 +1,103 @@
+//! Sharing one policy across many drivers.
+//!
+//! The simulator owns its [`Policy`] by value, which models one
+//! scheduler server per simulation. Scaling experiments want the
+//! opposite: many concurrent simulations (or many per-app driver
+//! threads) hitting *one* scheduler state, exactly like many scheduler
+//! clients hitting one daemon. [`SharedPolicy`] is the minimal bridge:
+//! a clonable handle whose clones all delegate to the same underlying
+//! policy behind a mutex. (`xar-sched`'s `ShardedPolicy` builds on the
+//! same idea with sharding and a lock-free read path.)
+
+use crate::policy::{CompletionReport, DecideCtx, Decision, Policy};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A clonable handle to a shared policy instance.
+#[derive(Debug, Default)]
+pub struct SharedPolicy<P: Policy> {
+    inner: Arc<Mutex<P>>,
+}
+
+impl<P: Policy> Clone for SharedPolicy<P> {
+    fn clone(&self) -> Self {
+        SharedPolicy { inner: self.inner.clone() }
+    }
+}
+
+impl<P: Policy> SharedPolicy<P> {
+    /// Wraps `policy` for sharing.
+    pub fn new(policy: P) -> Self {
+        SharedPolicy { inner: Arc::new(Mutex::new(policy)) }
+    }
+
+    /// Runs `f` with the underlying policy locked (e.g. to snapshot a
+    /// threshold table mid-experiment).
+    pub fn with<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<P: Policy> Policy for SharedPolicy<P> {
+    fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
+        self.with(|p| p.on_launch(ctx))
+    }
+
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
+        self.with(|p| p.decide(ctx))
+    }
+
+    fn on_complete(&mut self, report: &CompletionReport<'_>) {
+        self.with(|p| p.on_complete(report));
+    }
+
+    fn name(&self) -> &str {
+        "shared"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Target;
+
+    /// Counts decides; flips to ARM after 3.
+    #[derive(Debug, Default)]
+    struct Counting {
+        decides: u32,
+    }
+
+    impl Policy for Counting {
+        fn decide(&mut self, _ctx: &DecideCtx<'_>) -> Decision {
+            self.decides += 1;
+            Decision::to(if self.decides > 3 { Target::Arm } else { Target::X86 })
+        }
+
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    fn ctx() -> DecideCtx<'static> {
+        DecideCtx {
+            app: "a",
+            kernel: "",
+            x86_load: 0,
+            arm_load: 0,
+            kernel_resident: false,
+            device_ready: true,
+            now_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let mut a = SharedPolicy::new(Counting::default());
+        let mut b = a.clone();
+        assert_eq!(a.decide(&ctx()).target, Target::X86);
+        assert_eq!(b.decide(&ctx()).target, Target::X86);
+        assert_eq!(a.decide(&ctx()).target, Target::X86);
+        // The fourth decide — issued through the *other* handle.
+        assert_eq!(b.decide(&ctx()).target, Target::Arm);
+        assert_eq!(a.with(|p| p.decides), 4);
+    }
+}

@@ -80,9 +80,7 @@ impl JobSpec {
     /// Single-run vanilla-x86 time on an idle machine, ms (used by the
     /// threshold estimator as the no-migration reference).
     pub fn vanilla_x86_ms(&self) -> f64 {
-        self.pre_ms
-            + self.post_ms
-            + self.calls as f64 * (self.per_call_pre_ms + self.func_x86_ms)
+        self.pre_ms + self.post_ms + self.calls as f64 * (self.per_call_pre_ms + self.func_x86_ms)
     }
 }
 
@@ -99,7 +97,12 @@ pub struct Arrival {
 /// in `specs` (cycled), one batch every `interval_s` seconds — the
 /// paper's periodic workload (§4.3: thirty sets of 20 applications with
 /// an interval of 30 seconds per set).
-pub fn wave_arrivals(specs: &[JobSpec], waves: usize, batch: usize, interval_s: f64) -> Vec<Arrival> {
+pub fn wave_arrivals(
+    specs: &[JobSpec],
+    waves: usize,
+    batch: usize,
+    interval_s: f64,
+) -> Vec<Arrival> {
     let mut out = Vec::new();
     let mut k = 0usize;
     for w in 0..waves {
@@ -114,10 +117,7 @@ pub fn wave_arrivals(specs: &[JobSpec], waves: usize, batch: usize, interval_s: 
 
 /// Builds a simultaneous batch at t=0 (the fixed-workload experiments).
 pub fn batch_arrivals(specs: &[JobSpec]) -> Vec<Arrival> {
-    specs
-        .iter()
-        .map(|s| Arrival { at_ns: 0.0, spec: s.clone() })
-        .collect()
+    specs.iter().map(|s| Arrival { at_ns: 0.0, spec: s.clone() }).collect()
 }
 
 #[cfg(test)]

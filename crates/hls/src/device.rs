@@ -228,9 +228,7 @@ mod tests {
             local_buffer_bytes: 0,
         };
         let xo = compile_kernel(&k).unwrap();
-        partition_ffd(&[xo], &Platform::alveo_u50(), "t")
-            .unwrap()
-            .remove(0)
+        partition_ffd(&[xo], &Platform::alveo_u50(), "t").unwrap().remove(0)
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl KOp {
             KOp::AddF => Resources { lut: 400, ff: 600, dsp: 2, bram: 0, uram: 0 },
             KOp::MulF => Resources { lut: 300, ff: 500, dsp: 3, bram: 0, uram: 0 },
             KOp::DivF => Resources { lut: 3_000, ff: 3_600, dsp: 0, bram: 0, uram: 0 },
-            KOp::LoadMem | KOp::StoreMem => {
-                Resources { lut: 24, ff: 24, dsp: 0, bram: 0, uram: 0 }
-            }
+            KOp::LoadMem | KOp::StoreMem => Resources { lut: 24, ff: 24, dsp: 0, bram: 0, uram: 0 },
         }
     }
 }
@@ -442,7 +440,12 @@ mod tests {
         let k = Kernel {
             name: "empty".into(),
             args: vec![],
-            body: LoopNest { trip: TripCount::Const(1), ops: vec![], inner: vec![], pipelined: false },
+            body: LoopNest {
+                trip: TripCount::Const(1),
+                ops: vec![],
+                inner: vec![],
+                pipelined: false,
+            },
             local_buffer_bytes: 0,
         };
         assert!(matches!(compile_kernel(&k), Err(HlsError::EmptyKernel(_))));

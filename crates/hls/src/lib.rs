@@ -140,20 +140,8 @@ impl Platform {
     pub fn alveo_u50() -> Platform {
         Platform {
             name: "xilinx_u50_gen3x16".to_string(),
-            total: Resources {
-                lut: 872_000,
-                ff: 1_743_000,
-                dsp: 5_952,
-                bram: 1_344,
-                uram: 640,
-            },
-            shell: Resources {
-                lut: 170_000,
-                ff: 340_000,
-                dsp: 100,
-                bram: 250,
-                uram: 0,
-            },
+            total: Resources { lut: 872_000, ff: 1_743_000, dsp: 5_952, bram: 1_344, uram: 640 },
+            shell: Resources { lut: 170_000, ff: 340_000, dsp: 100, bram: 250, uram: 0 },
             kernel_clock_ghz: 0.3,
             xclbin_base_bytes: 12 << 20,
         }

@@ -73,48 +73,13 @@ static XAR86_CONV: CallConv = CallConv {
     stack_align: 16,
 };
 
-const ARM64E_ARGS: [Reg; 8] = [
-    Reg(0),
-    Reg(1),
-    Reg(2),
-    Reg(3),
-    Reg(4),
-    Reg(5),
-    Reg(6),
-    Reg(7),
-];
-const ARM64E_FARGS: [FReg; 8] = [
-    FReg(0),
-    FReg(1),
-    FReg(2),
-    FReg(3),
-    FReg(4),
-    FReg(5),
-    FReg(6),
-    FReg(7),
-];
-const ARM64E_CALLEE: [Reg; 10] = [
-    Reg(19),
-    Reg(20),
-    Reg(21),
-    Reg(22),
-    Reg(23),
-    Reg(24),
-    Reg(25),
-    Reg(26),
-    Reg(27),
-    Reg(28),
-];
-const ARM64E_CALLEE_F: [FReg; 8] = [
-    FReg(8),
-    FReg(9),
-    FReg(10),
-    FReg(11),
-    FReg(12),
-    FReg(13),
-    FReg(14),
-    FReg(15),
-];
+const ARM64E_ARGS: [Reg; 8] = [Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5), Reg(6), Reg(7)];
+const ARM64E_FARGS: [FReg; 8] =
+    [FReg(0), FReg(1), FReg(2), FReg(3), FReg(4), FReg(5), FReg(6), FReg(7)];
+const ARM64E_CALLEE: [Reg; 10] =
+    [Reg(19), Reg(20), Reg(21), Reg(22), Reg(23), Reg(24), Reg(25), Reg(26), Reg(27), Reg(28)];
+const ARM64E_CALLEE_F: [FReg; 8] =
+    [FReg(8), FReg(9), FReg(10), FReg(11), FReg(12), FReg(13), FReg(14), FReg(15)];
 const ARM64E_SCRATCH: [Reg; 4] = [Reg(9), Reg(10), Reg(11), Reg(12)];
 const ARM64E_SCRATCH_F: [FReg; 4] = [FReg(16), FReg(17), FReg(18), FReg(19)];
 

@@ -60,7 +60,10 @@ fn cycles_xar86(instr: &MInstr) -> u64 {
         MInstr::Alu { op, .. } | MInstr::AluImm { op, .. } => alu_cost_x(op),
         MInstr::FAlu { op, .. } => falu_cost_x(op),
         MInstr::Cvt { .. } => 4,
-        MInstr::Load { .. } | MInstr::FLoad { .. } | MInstr::LoadSp { .. } | MInstr::FLoadSp { .. } => 4,
+        MInstr::Load { .. }
+        | MInstr::FLoad { .. }
+        | MInstr::LoadSp { .. }
+        | MInstr::FLoadSp { .. } => 4,
         MInstr::Store { .. }
         | MInstr::FStore { .. }
         | MInstr::StoreSp { .. }
@@ -84,7 +87,10 @@ fn cycles_arm64e(instr: &MInstr) -> u64 {
         MInstr::Alu { op, .. } | MInstr::AluImm { op, .. } => alu_cost_a(op),
         MInstr::FAlu { op, .. } => falu_cost_a(op),
         MInstr::Cvt { .. } => 6,
-        MInstr::Load { .. } | MInstr::FLoad { .. } | MInstr::LoadSp { .. } | MInstr::FLoadSp { .. } => 6,
+        MInstr::Load { .. }
+        | MInstr::FLoad { .. }
+        | MInstr::LoadSp { .. }
+        | MInstr::FLoadSp { .. } => 6,
         MInstr::Store { .. }
         | MInstr::FStore { .. }
         | MInstr::StoreSp { .. }
@@ -109,25 +115,15 @@ mod tests {
     #[test]
     fn arm_core_is_slower_per_instruction_on_compute() {
         let mul = MInstr::Alu { op: AluOp::Mul, dst: Reg(0), lhs: Reg(0), rhs: Reg(1) };
-        let ld = MInstr::Load {
-            dst: Reg(0),
-            base: Reg(1),
-            off: 0,
-            size: crate::MemSize::B8,
-        };
+        let ld = MInstr::Load { dst: Reg(0), base: Reg(1), off: 0, size: crate::MemSize::B8 };
         assert!(cycles(Isa::Arm64e, &mul) > cycles(Isa::Xar86, &mul));
         assert!(cycles(Isa::Arm64e, &ld) > cycles(Isa::Xar86, &ld));
     }
 
     #[test]
     fn all_costs_positive() {
-        let samples = [
-            MInstr::Nop,
-            MInstr::Hlt,
-            MInstr::Ret,
-            MInstr::Enter { frame: 0 },
-            MInstr::Leave,
-        ];
+        let samples =
+            [MInstr::Nop, MInstr::Hlt, MInstr::Ret, MInstr::Enter { frame: 0 }, MInstr::Leave];
         for isa in Isa::ALL {
             for s in &samples {
                 assert!(cycles(isa, s) >= 1);

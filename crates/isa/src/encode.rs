@@ -142,7 +142,10 @@ pub fn encoded_size(isa: Isa, instr: &MInstr) -> usize {
             | MInstr::Cmp { .. }
             | MInstr::FCmp { .. } => 3,
             MInstr::AluImm { .. } | MInstr::CmpImm { .. } | MInstr::JCond { .. } => 6,
-            MInstr::Load { .. } | MInstr::Store { .. } | MInstr::FLoad { .. } | MInstr::FStore { .. } => 7,
+            MInstr::Load { .. }
+            | MInstr::Store { .. }
+            | MInstr::FLoad { .. }
+            | MInstr::FStore { .. } => 7,
             MInstr::LoadSp { .. }
             | MInstr::StoreSp { .. }
             | MInstr::FLoadSp { .. }
@@ -204,7 +207,11 @@ fn encode_xar86(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), Encode
             if dst != lhs {
                 return Err(EncodeError::TwoOperandViolation(instr.to_string()));
             }
-            out.extend_from_slice(&[OP_ALU + op.index(), check_reg(isa, dst)?, check_reg(isa, rhs)?]);
+            out.extend_from_slice(&[
+                OP_ALU + op.index(),
+                check_reg(isa, dst)?,
+                check_reg(isa, rhs)?,
+            ]);
         }
         MInstr::AluImm { op, dst, lhs, imm } => {
             if dst != lhs {
@@ -349,13 +356,9 @@ fn encode_arm64e(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), Encod
             check_reg(isa, rhs)?,
             0,
         ),
-        MInstr::AluImm { op, dst, lhs, imm } => (
-            OP_ALU_IMM + op.index(),
-            check_reg(isa, dst)?,
-            check_reg(isa, lhs)?,
-            0,
-            imm as i64,
-        ),
+        MInstr::AluImm { op, dst, lhs, imm } => {
+            (OP_ALU_IMM + op.index(), check_reg(isa, dst)?, check_reg(isa, lhs)?, 0, imm as i64)
+        }
         MInstr::FAlu { op, dst, lhs, rhs } => (
             OP_FALU + op.index(),
             check_freg(isa, dst)?,
@@ -363,20 +366,12 @@ fn encode_arm64e(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), Encod
             check_freg(isa, rhs)?,
             0,
         ),
-        MInstr::FMovImm { dst, imm } => (
-            OP_FMOV_IMM,
-            check_freg(isa, dst)?,
-            0,
-            0,
-            imm.to_bits() as i64,
-        ),
-        MInstr::FMovReg { dst, src } => (
-            OP_FMOV_REG,
-            check_freg(isa, dst)?,
-            check_freg(isa, src)?,
-            0,
-            0,
-        ),
+        MInstr::FMovImm { dst, imm } => {
+            (OP_FMOV_IMM, check_freg(isa, dst)?, 0, 0, imm.to_bits() as i64)
+        }
+        MInstr::FMovReg { dst, src } => {
+            (OP_FMOV_REG, check_freg(isa, dst)?, check_freg(isa, src)?, 0, 0)
+        }
         MInstr::Cvt { dir, gp, fp } => {
             let op = match dir {
                 CvtDir::I2F => OP_CVT_I2F,
@@ -384,34 +379,18 @@ fn encode_arm64e(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), Encod
             };
             (op, check_reg(isa, gp)?, check_freg(isa, fp)?, 0, 0)
         }
-        MInstr::Load { dst, base, off, size } => (
-            OP_LOAD + size.index(),
-            check_reg(isa, dst)?,
-            check_reg(isa, base)?,
-            0,
-            off as i64,
-        ),
-        MInstr::Store { src, base, off, size } => (
-            OP_STORE + size.index(),
-            check_reg(isa, src)?,
-            check_reg(isa, base)?,
-            0,
-            off as i64,
-        ),
-        MInstr::FLoad { dst, base, off } => (
-            OP_FLOAD,
-            check_freg(isa, dst)?,
-            check_reg(isa, base)?,
-            0,
-            off as i64,
-        ),
-        MInstr::FStore { src, base, off } => (
-            OP_FSTORE,
-            check_freg(isa, src)?,
-            check_reg(isa, base)?,
-            0,
-            off as i64,
-        ),
+        MInstr::Load { dst, base, off, size } => {
+            (OP_LOAD + size.index(), check_reg(isa, dst)?, check_reg(isa, base)?, 0, off as i64)
+        }
+        MInstr::Store { src, base, off, size } => {
+            (OP_STORE + size.index(), check_reg(isa, src)?, check_reg(isa, base)?, 0, off as i64)
+        }
+        MInstr::FLoad { dst, base, off } => {
+            (OP_FLOAD, check_freg(isa, dst)?, check_reg(isa, base)?, 0, off as i64)
+        }
+        MInstr::FStore { src, base, off } => {
+            (OP_FSTORE, check_freg(isa, src)?, check_reg(isa, base)?, 0, off as i64)
+        }
         MInstr::LoadSp { dst, off } => (OP_LOAD_SP, check_reg(isa, dst)?, 0, 0, off as i64),
         MInstr::StoreSp { src, off } => (OP_STORE_SP, check_reg(isa, src)?, 0, 0, off as i64),
         MInstr::FLoadSp { dst, off } => (OP_FLOAD_SP, check_freg(isa, dst)?, 0, 0, off as i64),
@@ -425,13 +404,9 @@ fn encode_arm64e(at: u64, instr: &MInstr, out: &mut Vec<u8>) -> Result<(), Encod
         MInstr::CmpImm { lhs, imm } => (OP_CMP_IMM, check_reg(isa, lhs)?, 0, 0, imm as i64),
         MInstr::FCmp { lhs, rhs } => (OP_FCMP, check_freg(isa, lhs)?, check_freg(isa, rhs)?, 0, 0),
         MInstr::Jmp { target } => (OP_JMP, 0, 0, 0, target.wrapping_sub(at) as i64),
-        MInstr::JCond { cond, target } => (
-            OP_JCOND,
-            cond.index(),
-            0,
-            0,
-            target.wrapping_sub(at) as i64,
-        ),
+        MInstr::JCond { cond, target } => {
+            (OP_JCOND, cond.index(), 0, 0, target.wrapping_sub(at) as i64)
+        }
         MInstr::Call { target } => (OP_CALL, 0, 0, 0, target.wrapping_sub(at) as i64),
         MInstr::CallReg { target } => (OP_CALL_REG, check_reg(isa, target)?, 0, 0, 0),
         MInstr::Ret => (OP_RET, 0, 0, 0, 0),
@@ -460,10 +435,7 @@ pub fn decode(isa: Isa, at: u64, bytes: &[u8]) -> Result<(MInstr, usize), Decode
 }
 
 fn take<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], DecodeError> {
-    bytes
-        .get(at..at + N)
-        .and_then(|s| <[u8; N]>::try_from(s).ok())
-        .ok_or(DecodeError::Truncated)
+    bytes.get(at..at + N).and_then(|s| <[u8; N]>::try_from(s).ok()).ok_or(DecodeError::Truncated)
 }
 
 fn decode_xar86(at: u64, b: &[u8]) -> Result<(MInstr, usize), DecodeError> {
@@ -489,10 +461,7 @@ fn decode_xar86(at: u64, b: &[u8]) -> Result<(MInstr, usize), DecodeError> {
         Ok(at.wrapping_add(i32::from_le_bytes(take(b, i)?) as i64 as u64))
     };
     let ins = match op {
-        OP_MOV_IMM => (
-            MInstr::MovImm { dst: r(1)?, imm: i64::from_le_bytes(take(b, 2)?) },
-            10,
-        ),
+        OP_MOV_IMM => (MInstr::MovImm { dst: r(1)?, imm: i64::from_le_bytes(take(b, 2)?) }, 10),
         OP_MOV_REG => (MInstr::MovReg { dst: r(1)?, src: r(2)? }, 3),
         _ if (OP_ALU..OP_ALU + 10).contains(&op) => {
             let o = AluOp::from_index(op - OP_ALU).ok_or(DecodeError::BadField("alu op"))?;
@@ -509,10 +478,7 @@ fn decode_xar86(at: u64, b: &[u8]) -> Result<(MInstr, usize), DecodeError> {
             let dst = f(1)?;
             (MInstr::FAlu { op: o, dst, lhs: dst, rhs: f(2)? }, 3)
         }
-        OP_FMOV_IMM => (
-            MInstr::FMovImm { dst: f(1)?, imm: f64::from_le_bytes(take(b, 2)?) },
-            10,
-        ),
+        OP_FMOV_IMM => (MInstr::FMovImm { dst: f(1)?, imm: f64::from_le_bytes(take(b, 2)?) }, 10),
         OP_FMOV_REG => (MInstr::FMovReg { dst: f(1)?, src: f(2)? }, 3),
         OP_CVT_I2F => (MInstr::Cvt { dir: CvtDir::I2F, gp: r(1)?, fp: f(2)? }, 3),
         OP_CVT_F2I => (MInstr::Cvt { dir: CvtDir::F2I, gp: r(1)?, fp: f(2)? }, 3),
@@ -712,20 +678,14 @@ mod tests {
     #[test]
     fn arm64e_rejects_push_pop() {
         for ins in [MInstr::Push { src: Reg(0) }, MInstr::Pop { dst: Reg(0) }] {
-            assert!(matches!(
-                encode(Isa::Arm64e, 0, &ins),
-                Err(EncodeError::Unsupported(_))
-            ));
+            assert!(matches!(encode(Isa::Arm64e, 0, &ins), Err(EncodeError::Unsupported(_))));
         }
     }
 
     #[test]
     fn xar86_rejects_three_operand_alu() {
         let ins = MInstr::Alu { op: AluOp::Add, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) };
-        assert!(matches!(
-            encode(Isa::Xar86, 0, &ins),
-            Err(EncodeError::TwoOperandViolation(_))
-        ));
+        assert!(matches!(encode(Isa::Xar86, 0, &ins), Err(EncodeError::TwoOperandViolation(_))));
         // But Arm64e accepts it.
         assert!(encode(Isa::Arm64e, 0, &ins).is_ok());
     }
@@ -733,10 +693,7 @@ mod tests {
     #[test]
     fn register_range_enforced_per_isa() {
         let ins = MInstr::MovReg { dst: Reg(20), src: Reg(0) };
-        assert!(matches!(
-            encode(Isa::Xar86, 0, &ins),
-            Err(EncodeError::RegOutOfRange(_))
-        ));
+        assert!(matches!(encode(Isa::Xar86, 0, &ins), Err(EncodeError::RegOutOfRange(_))));
         assert!(encode(Isa::Arm64e, 0, &ins).is_ok());
     }
 

@@ -429,10 +429,7 @@ mod tests {
 
     #[test]
     fn memsize_bytes() {
-        assert_eq!(
-            MemSize::ALL.map(|m| m.bytes()),
-            [1, 2, 4, 8]
-        );
+        assert_eq!(MemSize::ALL.map(|m| m.bytes()), [1, 2, 4, 8]);
         for m in MemSize::ALL {
             assert_eq!(MemSize::from_index(m.index()), Some(m));
         }

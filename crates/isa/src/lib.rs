@@ -199,6 +199,6 @@ mod tests {
 
     #[test]
     fn runtime_window_is_below_text() {
-        assert!(RUNTIME_CALL_END < 0x40_0000);
+        const { assert!(RUNTIME_CALL_END < 0x40_0000) }
     }
 }

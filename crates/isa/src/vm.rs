@@ -175,8 +175,8 @@ impl Vm {
         }
         let mut buf = [0u8; 16];
         mem.read_bytes(self.pc, &mut buf);
-        let (ins, len) = decode(self.isa, self.pc, &buf)
-            .map_err(|err| VmFault::Decode { pc: self.pc, err })?;
+        let (ins, len) =
+            decode(self.isa, self.pc, &buf).map_err(|err| VmFault::Decode { pc: self.pc, err })?;
         let entry = (ins, len as u32);
         self.decode_cache.insert(self.pc, entry);
         Ok(entry)
@@ -205,8 +205,7 @@ impl Vm {
                 MInstr::Alu { op, dst, lhs, rhs } => {
                     let l = self.regs[lhs.0 as usize];
                     let r = self.regs[rhs.0 as usize];
-                    self.regs[dst.0 as usize] =
-                        op.eval(l, r).ok_or(VmFault::DivFault { pc })?;
+                    self.regs[dst.0 as usize] = op.eval(l, r).ok_or(VmFault::DivFault { pc })?;
                 }
                 MInstr::AluImm { op, dst, lhs, imm } => {
                     let l = self.regs[lhs.0 as usize];
@@ -249,14 +248,20 @@ impl Vm {
                         mem.read_i64(self.sp.wrapping_add(off as i64 as u64));
                 }
                 MInstr::StoreSp { src, off } => {
-                    mem.write_i64(self.sp.wrapping_add(off as i64 as u64), self.regs[src.0 as usize]);
+                    mem.write_i64(
+                        self.sp.wrapping_add(off as i64 as u64),
+                        self.regs[src.0 as usize],
+                    );
                 }
                 MInstr::FLoadSp { dst, off } => {
                     self.fregs[dst.0 as usize] =
                         mem.read_f64(self.sp.wrapping_add(off as i64 as u64));
                 }
                 MInstr::FStoreSp { src, off } => {
-                    mem.write_f64(self.sp.wrapping_add(off as i64 as u64), self.fregs[src.0 as usize]);
+                    mem.write_f64(
+                        self.sp.wrapping_add(off as i64 as u64),
+                        self.fregs[src.0 as usize],
+                    );
                 }
                 MInstr::MovFromFp { dst } => self.regs[dst.0 as usize] = self.fp as i64,
                 MInstr::MovFromSp { dst } => self.regs[dst.0 as usize] = self.sp as i64,
@@ -384,15 +389,10 @@ mod tests {
         // Built per-ISA to respect operand-form constraints.
         for isa in Isa::ALL {
             let (sum, i, tmp) = (Reg(6), Reg(7), Reg(12));
-            let mut prog = vec![
-                MInstr::MovImm { dst: sum, imm: 0 },
-                MInstr::MovImm { dst: i, imm: 1 },
-            ];
-            let loop_start = TEXT
-                + prog
-                    .iter()
-                    .map(|p| crate::encode::encoded_size(isa, p) as u64)
-                    .sum::<u64>();
+            let mut prog =
+                vec![MInstr::MovImm { dst: sum, imm: 0 }, MInstr::MovImm { dst: i, imm: 1 }];
+            let loop_start =
+                TEXT + prog.iter().map(|p| crate::encode::encoded_size(isa, p) as u64).sum::<u64>();
             let body = match isa {
                 Isa::Xar86 => vec![
                     MInstr::MovReg { dst: tmp, src: i },
@@ -547,10 +547,8 @@ mod tests {
             MInstr::Hlt,
         ];
         // Compute address of the second MovImm.
-        let sizes: Vec<u64> = prog
-            .iter()
-            .map(|p| crate::encode::encoded_size(Isa::Xar86, p) as u64)
-            .collect();
+        let sizes: Vec<u64> =
+            prog.iter().map(|p| crate::encode::encoded_size(Isa::Xar86, p) as u64).collect();
         let target = TEXT + sizes[..6].iter().sum::<u64>();
         let mut prog = prog;
         prog[4] = MInstr::JCond { cond: Cond::Ne, target };

@@ -15,7 +15,7 @@
 //! 2. [`emit_function`] — resolve labels/symbols to addresses and encode
 //!    bytes, recording the per-ISA return address of every call site.
 
-use crate::ir::{Function, FuncId, GlobalId, Inst, LocalId, Module, Terminator, Ty};
+use crate::ir::{FuncId, Function, GlobalId, Inst, LocalId, Module, Terminator, Ty};
 use crate::liveness::Liveness;
 use crate::metadata::FrameLayout;
 use crate::rt::RtFunc;
@@ -80,9 +80,9 @@ pub(crate) struct SiteDesc {
 /// Assigns dense call-site ids in deterministic IR order and computes
 /// each site's live set. The same ids arise for every ISA because
 /// lowering emits exactly one call item per IR call, in IR order.
-pub(crate) fn assign_sites(
-    module: &Module,
-) -> (Vec<SiteDesc>, HashMap<(u32, u32, u32), u32>) {
+pub(crate) type SiteMap = HashMap<(u32, u32, u32), u32>;
+
+pub(crate) fn assign_sites(module: &Module) -> (Vec<SiteDesc>, SiteMap) {
     let mut sites = Vec::new();
     let mut map = HashMap::new();
     for (fi, f) in module.funcs.iter().enumerate() {
@@ -91,13 +91,9 @@ pub(crate) fn assign_sites(
             for (ii, inst) in b.insts.iter().enumerate() {
                 if inst.is_call() {
                     let id = sites.len() as u32;
-                    let mut live: Vec<LocalId> =
-                        lv.live_after(f, bi, ii).into_iter().collect();
+                    let mut live: Vec<LocalId> = lv.live_after(f, bi, ii).into_iter().collect();
                     live.sort();
-                    let is_migpoint = matches!(
-                        inst,
-                        Inst::CallRt { func: RtFunc::MigPoint, .. }
-                    );
+                    let is_migpoint = matches!(inst, Inst::CallRt { func: RtFunc::MigPoint, .. });
                     sites.push(SiteDesc { func: FuncId(fi as u32), live, is_migpoint });
                     map.insert((fi as u32, bi as u32, ii as u32), id);
                 }
@@ -353,10 +349,8 @@ impl<'a> Lowerer<'a> {
             Terminator::CondBr { cond, then_bb, else_bb } => {
                 self.load_local_gp(*cond, s0);
                 self.emit(MInstr::CmpImm { lhs: s0, imm: 0 });
-                self.items.push(AsmItem::Branch {
-                    cond: Some(Cond::Ne),
-                    to: Label::Block(then_bb.0),
-                });
+                self.items
+                    .push(AsmItem::Branch { cond: Some(Cond::Ne), to: Label::Block(then_bb.0) });
                 self.items.push(AsmItem::Branch { cond: None, to: Label::Block(else_bb.0) });
             }
             Terminator::Ret(v) => {
@@ -384,15 +378,8 @@ pub(crate) fn lower_function(
 ) -> LoweredFunc {
     let func = &module.funcs[fid.0 as usize];
     let layout = FrameLayout::assign(isa, &func.locals);
-    let mut lw = Lowerer {
-        isa,
-        func,
-        fid,
-        layout,
-        items: Vec::new(),
-        next_local_label: 0,
-        site_map,
-    };
+    let mut lw =
+        Lowerer { isa, func, fid, layout, items: Vec::new(), next_local_label: 0, site_map };
     lw.prologue();
     for (bi, b) in func.blocks.iter().enumerate() {
         lw.items.push(AsmItem::Label(Label::Block(bi as u32)));
@@ -460,14 +447,12 @@ pub(crate) fn emit_function(
                 site_rets.push((*site, at + size));
                 Some(MInstr::Call { target: rt.addr() })
             }
-            AsmItem::MovGlobal { dst, global } => Some(MInstr::MovImm {
-                dst: *dst,
-                imm: syms.global_addr[global.0 as usize] as i64,
-            }),
+            AsmItem::MovGlobal { dst, global } => {
+                Some(MInstr::MovImm { dst: *dst, imm: syms.global_addr[global.0 as usize] as i64 })
+            }
         };
         if let Some(ins) = ins {
-            let enc = encode(isa, at, &ins)
-                .unwrap_or_else(|e| panic!("emit {ins} on {isa}: {e}"));
+            let enc = encode(isa, at, &ins).unwrap_or_else(|e| panic!("emit {ins} on {isa}: {e}"));
             debug_assert_eq!(enc.len() as u64, size);
             bytes.extend_from_slice(&enc);
         }

@@ -160,10 +160,7 @@ impl Dsm {
 
     fn write(&mut self, node: NodeId, page: u64) -> AccessOutcome {
         *self.versions.entry(page).or_insert(0) += 1;
-        let state = self
-            .directory
-            .entry(page)
-            .or_insert_with(|| PageState::Shared(HashSet::new()));
+        let state = self.directory.entry(page).or_insert_with(|| PageState::Shared(HashSet::new()));
         match state {
             PageState::Modified(owner) => {
                 if *owner == node {
@@ -185,11 +182,7 @@ impl Dsm {
                 } else if had_copy {
                     AccessOutcome { hit: false, messages: 1 + invals, bytes: 0 }
                 } else {
-                    AccessOutcome {
-                        hit: false,
-                        messages: 2 + invals,
-                        bytes: self.page_size,
-                    }
+                    AccessOutcome { hit: false, messages: 2 + invals, bytes: self.page_size }
                 }
             }
         }
@@ -222,9 +215,9 @@ impl Dsm {
             Some(PageState::Modified(o)) => {
                 self.observed.get(&(*o, page)).copied().unwrap_or(0) == v
             }
-            Some(PageState::Shared(sharers)) => sharers
-                .iter()
-                .all(|n| self.observed.get(&(*n, page)).copied().unwrap_or(0) == v),
+            Some(PageState::Shared(sharers)) => {
+                sharers.iter().all(|n| self.observed.get(&(*n, page)).copied().unwrap_or(0) == v)
+            }
         }
     }
 

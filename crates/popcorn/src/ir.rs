@@ -442,10 +442,7 @@ impl Module {
         let name = name.into();
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         assert!(init.len() as u64 <= size, "initializer longer than global");
-        assert!(
-            !self.global_names.contains_key(&name),
-            "duplicate global {name}"
-        );
+        assert!(!self.global_names.contains_key(&name), "duplicate global {name}");
         let id = GlobalId(self.globals.len() as u32);
         self.global_names.insert(name.clone(), id);
         self.globals.push(Global { name, size, align, init });
@@ -465,10 +462,7 @@ impl Module {
         ret: Option<Ty>,
     ) -> FunctionBuilder<'_> {
         let name = name.into();
-        assert!(
-            !self.func_names.contains_key(&name),
-            "duplicate function {name}"
-        );
+        assert!(!self.func_names.contains_key(&name), "duplicate function {name}");
         FunctionBuilder::new(self, name, params.to_vec(), ret)
     }
 
@@ -477,10 +471,7 @@ impl Module {
     /// [`Module::function_with_id`].
     pub fn declare(&mut self, name: impl Into<String>, params: &[Ty], ret: Option<Ty>) -> FuncId {
         let name = name.into();
-        assert!(
-            !self.func_names.contains_key(&name),
-            "duplicate function {name}"
-        );
+        assert!(!self.func_names.contains_key(&name), "duplicate function {name}");
         let id = FuncId(self.funcs.len() as u32);
         self.func_names.insert(name.clone(), id);
         self.funcs.push(Function {
@@ -737,11 +728,7 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Emits a runtime-library call.
     pub fn call_rt(&mut self, func: RtFunc, args: &[LocalId]) -> Option<LocalId> {
-        let dst = if func.returns_value() {
-            Some(self.def(Ty::I64))
-        } else {
-            None
-        };
+        let dst = if func.returns_value() { Some(self.def(Ty::I64)) } else { None };
         self.push(Inst::CallRt { func, args: args.to_vec(), dst });
         dst
     }

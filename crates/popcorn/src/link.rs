@@ -70,18 +70,8 @@ impl MultiIsaBinary {
     pub fn metadata_size(&self) -> usize {
         // Per call site: id + 2 ret addrs + live list; per function:
         // layout tables. Sizes mirror what a packed on-disk format holds.
-        let sites: usize = self
-            .meta
-            .call_sites
-            .iter()
-            .map(|s| 4 + 16 + 2 + 4 * s.live.len())
-            .sum();
-        let funcs: usize = self
-            .meta
-            .funcs
-            .iter()
-            .map(|f| 16 + 8 * f.local_tys.len())
-            .sum();
+        let sites: usize = self.meta.call_sites.iter().map(|s| 4 + 16 + 2 + 4 * s.live.len()).sum();
+        let funcs: usize = self.meta.funcs.iter().map(|f| 16 + 8 * f.local_tys.len()).sum();
         sites + funcs
     }
 }
@@ -107,11 +97,7 @@ pub fn compile(module: &Module) -> Result<MultiIsaBinary, VerifyError> {
     let mut func_addr = Vec::with_capacity(module.funcs.len());
     let mut at = TEXT_BASE;
     for fi in 0..module.funcs.len() {
-        let sz = Isa::ALL
-            .iter()
-            .map(|&isa| lowered[isa][fi].size)
-            .max()
-            .unwrap();
+        let sz = Isa::ALL.iter().map(|&isa| lowered[isa][fi].size).max().unwrap();
         func_addr.push(at);
         at += (sz + FUNC_ALIGN - 1) & !(FUNC_ALIGN - 1);
     }
@@ -162,9 +148,8 @@ pub fn compile(module: &Module) -> Result<MultiIsaBinary, VerifyError> {
     }
 
     // Assemble call-site metadata.
-    let ret_map: PerIsa<HashMap<u32, u64>> = PerIsa::build(|isa| {
-        site_rets[isa].iter().copied().collect()
-    });
+    let ret_map: PerIsa<HashMap<u32, u64>> =
+        PerIsa::build(|isa| site_rets[isa].iter().copied().collect());
     let call_sites: Vec<CallSiteMeta> = site_descs
         .iter()
         .enumerate()
@@ -198,12 +183,8 @@ pub fn compile(module: &Module) -> Result<MultiIsaBinary, VerifyError> {
         .enumerate()
         .map(|(fi, f)| (f.name.clone(), FuncId(fi as u32)))
         .collect();
-    let global_addrs = module
-        .globals
-        .iter()
-        .zip(&global_addr)
-        .map(|(g, &a)| (g.name.clone(), a))
-        .collect();
+    let global_addrs =
+        module.globals.iter().zip(&global_addr).map(|(g, &a)| (g.name.clone(), a)).collect();
 
     Ok(MultiIsaBinary {
         module_name: module.name.clone(),

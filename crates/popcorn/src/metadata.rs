@@ -156,9 +156,7 @@ impl BinaryMeta {
 
     /// Finds the call site whose `isa` return address is `ret_addr`.
     pub fn site_by_ret_addr(&self, isa: Isa, ret_addr: u64) -> Option<&CallSiteMeta> {
-        self.ret_index[isa]
-            .get(&ret_addr)
-            .map(|&id| &self.call_sites[id as usize])
+        self.ret_index[isa].get(&ret_addr).map(|&id| &self.call_sites[id as usize])
     }
 
     /// Metadata for a function.
@@ -168,9 +166,7 @@ impl BinaryMeta {
 
     /// Finds the function whose code contains `addr` on `isa`.
     pub fn func_by_addr(&self, isa: Isa, addr: u64) -> Option<&FuncMeta> {
-        self.funcs
-            .iter()
-            .find(|f| addr >= f.start && addr < f.code_end[isa])
+        self.funcs.iter().find(|f| addr >= f.start && addr < f.code_end[isa])
     }
 }
 
@@ -223,10 +219,7 @@ mod tests {
         let sp = fp - l.frame_size as u64;
         for i in 0..locals.len() {
             let lid = LocalId(i as u32);
-            assert_eq!(
-                l.slot_addr(fp, lid),
-                sp + l.slot_off_from_sp(lid) as u64
-            );
+            assert_eq!(l.slot_addr(fp, lid), sp + l.slot_off_from_sp(lid) as u64);
         }
     }
 

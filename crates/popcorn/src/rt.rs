@@ -60,8 +60,7 @@ impl RtFunc {
     /// The fixed virtual address of this entry point (identical on all
     /// ISAs — the runtime window is part of the aligned address space).
     pub fn addr(self) -> u64 {
-        RUNTIME_CALL_BASE
-            + 8 * Self::ALL.iter().position(|&f| f == self).unwrap() as u64
+        RUNTIME_CALL_BASE + 8 * Self::ALL.iter().position(|&f| f == self).unwrap() as u64
     }
 
     /// Inverse of [`RtFunc::addr`].
@@ -69,17 +68,12 @@ impl RtFunc {
         if addr < RUNTIME_CALL_BASE || !(addr - RUNTIME_CALL_BASE).is_multiple_of(8) {
             return None;
         }
-        Self::ALL
-            .get(((addr - RUNTIME_CALL_BASE) / 8) as usize)
-            .copied()
+        Self::ALL.get(((addr - RUNTIME_CALL_BASE) / 8) as usize).copied()
     }
 
     /// Whether the function produces an i64 return value.
     pub fn returns_value(self) -> bool {
-        matches!(
-            self,
-            RtFunc::ReadFlag | RtFunc::Malloc | RtFunc::Clock | RtFunc::FpgaInvoke
-        )
+        matches!(self, RtFunc::ReadFlag | RtFunc::Malloc | RtFunc::Clock | RtFunc::FpgaInvoke)
     }
 }
 

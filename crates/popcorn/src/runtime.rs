@@ -223,11 +223,7 @@ impl<'b, H: RtHandler> Executor<'b, H> {
 
     fn load_text(&mut self, isa: Isa) {
         // Clear up to the longer image so stale bytes never execute.
-        let max_len = Isa::ALL
-            .iter()
-            .map(|&i| self.bin.text[i].len())
-            .max()
-            .unwrap_or(0);
+        let max_len = Isa::ALL.iter().map(|&i| self.bin.text[i].len()).max().unwrap_or(0);
         self.mem.write_bytes(TEXT_BASE, &vec![0u8; max_len]);
         self.mem.load_image(TEXT_BASE, &self.bin.text[isa]);
         self.vm.invalidate_code();
@@ -344,11 +340,7 @@ impl<'b, H: RtHandler> Executor<'b, H> {
             RtFunc::MigPoint => {
                 self.stats.migpoints += 1;
                 let n = self.stats.migpoints;
-                let planned = self
-                    .plans
-                    .iter()
-                    .find(|p| p.at_migpoint == n)
-                    .map(|p| p.target);
+                let planned = self.plans.iter().find(|p| p.at_migpoint == n).map(|p| p.target);
                 let target = planned.or(self.pending.take());
                 if let Some(target) = target {
                     if target != self.isa {
@@ -384,10 +376,7 @@ impl<'b, H: RtHandler> Executor<'b, H> {
             .site_by_ret_addr(self.isa, ret_to)
             .ok_or(stackxform::XformError::UnknownReturnAddress(ret_to))?
             .clone();
-        let opts = XformOptions {
-            copy_all_slots: self.copy_all_slots,
-            ..XformOptions::default()
-        };
+        let opts = XformOptions { copy_all_slots: self.copy_all_slots, ..XformOptions::default() };
         let (new_vm, xstats) = stackxform::transform(
             &self.bin.meta,
             self.isa,
@@ -531,10 +520,7 @@ mod tests {
     fn unknown_function_errors() {
         let bin = compile(&loop_module()).unwrap();
         let mut ex = Executor::new(&bin, Isa::Xar86);
-        assert!(matches!(
-            ex.run("nope", &[]),
-            Err(ExecError::UnknownFunction(_))
-        ));
+        assert!(matches!(ex.run("nope", &[]), Err(ExecError::UnknownFunction(_))));
     }
 
     #[test]

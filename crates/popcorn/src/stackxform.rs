@@ -92,9 +92,8 @@ pub fn walk_stack(
         if ret == meta.exit_stub {
             return Ok(frames);
         }
-        let caller_site = meta
-            .site_by_ret_addr(src_isa, ret)
-            .ok_or(XformError::UnknownReturnAddress(ret))?;
+        let caller_site =
+            meta.site_by_ret_addr(src_isa, ret).ok_or(XformError::UnknownReturnAddress(ret))?;
         cur_site = caller_site.id;
         cur_func = caller_site.func;
         fp = mem.read_u64(fp);

@@ -96,29 +96,31 @@ fn verify_func(module: &Module, f: &Function) -> Result<(), VerifyError> {
                     return Err(err(f, "const_f into non-f64"));
                 }
                 Inst::Bin { dst, lhs, rhs, .. }
-                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) => {
-                        return Err(err(f, "integer bin-op with non-i64 operand"));
-                    }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) =>
+                {
+                    return Err(err(f, "integer bin-op with non-i64 operand"));
+                }
                 Inst::FBin { dst, lhs, rhs, .. }
-                    if (ty(*dst) != Ty::F64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) => {
-                        return Err(err(f, "fp bin-op with non-f64 operand"));
-                    }
+                    if (ty(*dst) != Ty::F64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) =>
+                {
+                    return Err(err(f, "fp bin-op with non-f64 operand"));
+                }
                 Inst::Icmp { dst, lhs, rhs, .. }
-                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) => {
-                        return Err(err(f, "icmp with non-i64 operand"));
-                    }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::I64 || ty(*rhs) != Ty::I64) =>
+                {
+                    return Err(err(f, "icmp with non-i64 operand"));
+                }
                 Inst::Fcmp { dst, lhs, rhs, .. }
-                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) => {
-                        return Err(err(f, "fcmp typing"));
-                    }
-                Inst::I2F { dst, src }
-                    if (ty(*dst) != Ty::F64 || ty(*src) != Ty::I64) => {
-                        return Err(err(f, "i2f typing"));
-                    }
-                Inst::F2I { dst, src }
-                    if (ty(*dst) != Ty::I64 || ty(*src) != Ty::F64) => {
-                        return Err(err(f, "f2i typing"));
-                    }
+                    if (ty(*dst) != Ty::I64 || ty(*lhs) != Ty::F64 || ty(*rhs) != Ty::F64) =>
+                {
+                    return Err(err(f, "fcmp typing"));
+                }
+                Inst::I2F { dst, src } if (ty(*dst) != Ty::F64 || ty(*src) != Ty::I64) => {
+                    return Err(err(f, "i2f typing"));
+                }
+                Inst::F2I { dst, src } if (ty(*dst) != Ty::I64 || ty(*src) != Ty::F64) => {
+                    return Err(err(f, "f2i typing"));
+                }
                 Inst::Load { dst, addr, size } => {
                     if ty(*addr) != Ty::I64 {
                         return Err(err(f, "load address must be i64"));
@@ -143,19 +145,15 @@ fn verify_func(module: &Module, f: &Function) -> Result<(), VerifyError> {
                         return Err(err(f, "global out of range"));
                     }
                 }
-                Inst::Copy { dst, src }
-                    if ty(*dst) != ty(*src) => {
-                        return Err(err(f, "copy between different types"));
-                    }
+                Inst::Copy { dst, src } if ty(*dst) != ty(*src) => {
+                    return Err(err(f, "copy between different types"));
+                }
                 Inst::Call { callee, args, dst } => {
                     let Some(callee_f) = module.funcs.get(callee.0 as usize) else {
                         return Err(err(f, "call to unknown function"));
                     };
                     if callee_f.params.len() != args.len() {
-                        return Err(err(
-                            f,
-                            format!("call to {} with wrong arity", callee_f.name),
-                        ));
+                        return Err(err(f, format!("call to {} with wrong arity", callee_f.name)));
                     }
                     for (a, p) in args.iter().zip(&callee_f.params) {
                         if ty(*a) != *p {

@@ -1,0 +1,51 @@
+//! Simulator adapter: drive a [`ShardedEngine`] as a
+//! [`xar_desim::Policy`], so cluster simulations of 1000+ concurrent
+//! applications exercise exactly the code path the daemon serves —
+//! snapshot reads, batched report ingestion, per-shard metrics.
+
+use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
+use std::sync::Arc;
+use xar_desim::{CompletionReport, DecideCtx, Decision, Policy};
+
+/// A `Policy` that routes every simulator callback through a shared
+/// sharded engine. Clone handles freely — all of them hit the same
+/// engine, like many scheduler clients hitting one daemon.
+pub struct ShardedPolicy<P: PolicyCore> {
+    engine: Arc<ShardedEngine<P>>,
+}
+
+impl<P: PolicyCore> Clone for ShardedPolicy<P> {
+    fn clone(&self) -> Self {
+        ShardedPolicy { engine: self.engine.clone() }
+    }
+}
+
+impl<P: PolicyCore> ShardedPolicy<P> {
+    /// Wraps an engine.
+    pub fn new(engine: Arc<ShardedEngine<P>>) -> Self {
+        ShardedPolicy { engine }
+    }
+
+    /// The engine behind this adapter.
+    pub fn engine(&self) -> &Arc<ShardedEngine<P>> {
+        &self.engine
+    }
+}
+
+impl<P: PolicyCore> Policy for ShardedPolicy<P> {
+    fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
+        self.engine.early_config(ctx)
+    }
+
+    fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
+        self.engine.decide(ctx)
+    }
+
+    fn on_complete(&mut self, report: &CompletionReport<'_>) {
+        self.engine.report(ReportOwned::from(report));
+    }
+
+    fn name(&self) -> &str {
+        "xar-sched"
+    }
+}

@@ -1,0 +1,221 @@
+//! The v2 scheduler client: blocking, one request in flight at a time,
+//! exactly what the instrumentation shim linked into each application
+//! binary needs.
+
+use crate::engine::{ReportOwned, TableEntry};
+use crate::wire::{self, Request, Response, WireReport};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use xar_desim::{Decision, Target};
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::other(msg.into())
+}
+
+/// A scheduler client speaking protocol v2.
+#[derive(Debug)]
+pub struct V2Client {
+    stream: TcpStream,
+    send: Vec<u8>,
+    recv: Vec<u8>,
+}
+
+impl V2Client {
+    /// Connects and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a handshake mismatch (e.g. the peer is a v1
+    /// text server).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<V2Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&wire::handshake(wire::VERSION))?;
+        // A v1 text server would sit in read_line waiting for a
+        // newline our handshake never sends; bound the wait so a
+        // version mismatch is an error, not a mutual deadlock.
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        let mut hs = [0u8; wire::HANDSHAKE_LEN];
+        stream.read_exact(&mut hs).map_err(|e| {
+            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+                proto_err("no v2 handshake from server (legacy v1 text server?)")
+            } else {
+                e
+            }
+        })?;
+        stream.set_read_timeout(None)?;
+        let version = wire::parse_handshake(&hs)?;
+        if version != wire::VERSION {
+            return Err(proto_err(format!("server speaks v{version}, want v{}", wire::VERSION)));
+        }
+        Ok(V2Client { stream, send: Vec::with_capacity(256), recv: Vec::with_capacity(256) })
+    }
+
+    /// Sends `req` and reads exactly one response frame into the
+    /// receive buffer, returning the payload range. Both buffers are
+    /// reused across calls; a reply usually arrives in one `read`.
+    fn roundtrip(&mut self, req: &Request<'_>) -> std::io::Result<std::ops::Range<usize>> {
+        self.send.clear();
+        wire::encode_request(req, &mut self.send);
+        self.stream.write_all(&self.send)?;
+        self.recv.clear();
+        let mut scratch = [0u8; 4096];
+        loop {
+            if let Some((total, range)) =
+                wire::frame_in(&self.recv).map_err(std::io::Error::from)?
+            {
+                debug_assert_eq!(total, self.recv.len(), "one reply per request");
+                return Ok(range);
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-reply",
+                    ))
+                }
+                Ok(n) => self.recv.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Asks where the next selected-function call should run.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn decide(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        kernel_resident: bool,
+    ) -> std::io::Result<Decision> {
+        let range = self.roundtrip(&Request::Decide {
+            app,
+            kernel,
+            x86_load,
+            arm_load: 0,
+            kernel_resident,
+            device_ready: true,
+        })?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Decide { target, reconfigure } => Ok(Decision { target, reconfigure }),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Reports one observed execution.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn report(
+        &mut self,
+        app: &str,
+        target: Target,
+        func_ms: f64,
+        x86_load: u32,
+    ) -> std::io::Result<()> {
+        let range =
+            self.roundtrip(&Request::Report(WireReport { app, target, func_ms, x86_load }))?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Ack(1) => Ok(()),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Reports many observed executions, batched into as few frames as
+    /// the protocol's u16 count field and frame-size cap allow;
+    /// returns the total count the server accepted.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn report_batch(&mut self, reports: &[ReportOwned]) -> std::io::Result<u32> {
+        // Conservative per-frame byte budget so even pathological app
+        // names cannot push an encoded frame past MAX_FRAME.
+        const FRAME_BUDGET: usize = wire::MAX_FRAME / 2;
+        let encoded_len = |r: &ReportOwned| 2 + r.app.len() + 1 + 8 + 4;
+        let mut accepted = 0u32;
+        let mut chunk: Vec<WireReport<'_>> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        let mut it = reports.iter().peekable();
+        while it.peek().is_some() || !chunk.is_empty() {
+            while let Some(r) = it.peek() {
+                if chunk.len() >= wire::MAX_BATCH || chunk_bytes + encoded_len(r) > FRAME_BUDGET {
+                    break;
+                }
+                chunk_bytes += encoded_len(r);
+                chunk.push(WireReport {
+                    app: &r.app,
+                    target: r.target,
+                    func_ms: r.func_ms,
+                    x86_load: r.x86_load,
+                });
+                it.next();
+            }
+            if chunk.is_empty() {
+                // A single report larger than the budget: send it
+                // alone (still far below MAX_FRAME, since a report
+                // maxes out at one u16-length string plus 15 bytes).
+                if let Some(r) = it.next() {
+                    chunk.push(WireReport {
+                        app: &r.app,
+                        target: r.target,
+                        func_ms: r.func_ms,
+                        x86_load: r.x86_load,
+                    });
+                }
+            }
+            let range = self.roundtrip(&Request::BatchReport(std::mem::take(&mut chunk)))?;
+            chunk_bytes = 0;
+            match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+                Response::Ack(n) => accepted += n,
+                Response::Err(msg) => return Err(proto_err(msg)),
+                other => return Err(proto_err(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Fetches the server's threshold table.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn fetch_table(&mut self) -> std::io::Result<Vec<TableEntry>> {
+        let range = self.roundtrip(&Request::Table)?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Table(entries) => Ok(entries
+                .into_iter()
+                .map(|e| TableEntry {
+                    app: e.app.to_string(),
+                    kernel: e.kernel.to_string(),
+                    fpga_thr: e.fpga_thr,
+                    arm_thr: e.arm_thr,
+                })
+                .collect()),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Liveness probe; echoes `nonce`.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn ping(&mut self, nonce: u64) -> std::io::Result<u64> {
+        let range = self.roundtrip(&Request::Ping(nonce))?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Pong(echo) => Ok(echo),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+}

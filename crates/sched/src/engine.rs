@@ -1,0 +1,447 @@
+//! The sharded policy engine.
+//!
+//! State is partitioned into per-app-group shards (stable FNV-1a hash
+//! of the application name). Each shard owns one policy instance and
+//! publishes an immutable decision snapshot ([`ArcCell`]):
+//!
+//! * **decide** (hot path) — loads the shard snapshot and evaluates the
+//!   pure decision function against it. No policy lock is taken, so
+//!   threshold lookups never contend with Algorithm 1 updates.
+//! * **report** (warm path) — appends to the shard's pending queue;
+//!   once `batch` reports accumulate (or on an explicit flush) they are
+//!   applied in arrival order under the shard's state lock and a new
+//!   snapshot is published. With `batch = 1` the engine is
+//!   report-for-report identical to the v1 single-mutex server; larger
+//!   batches amortize the lock and the snapshot rebuild across many
+//!   clients.
+//!
+//! Because Algorithm 1 only ever touches the reporting application's
+//! table row, sharding by app preserves the single-policy semantics
+//! exactly: every report is applied to the same row state, in arrival
+//! order per shard.
+
+use crate::metrics::{MetricsSnapshot, ShardMetrics};
+use crate::snapshot::ArcCell;
+use crate::wire::WireReport;
+use parking_lot::Mutex;
+use std::time::Instant;
+use xar_desim::{CompletionReport, DecideCtx, Decision, Target};
+
+/// A threshold-table row as the engine and wire protocol see it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TableEntry {
+    /// Application name.
+    pub app: String,
+    /// Hardware kernel name.
+    pub kernel: String,
+    /// FPGA migration threshold.
+    pub fpga_thr: u32,
+    /// ARM migration threshold.
+    pub arm_thr: u32,
+}
+
+/// An owned completion report queued for batched ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportOwned {
+    /// Application name.
+    pub app: String,
+    /// Where the call ran.
+    pub target: Target,
+    /// Observed function time (ms).
+    pub func_ms: f64,
+    /// x86 load at completion.
+    pub x86_load: u32,
+}
+
+impl From<&CompletionReport<'_>> for ReportOwned {
+    fn from(r: &CompletionReport<'_>) -> Self {
+        ReportOwned {
+            app: r.app.to_string(),
+            target: r.target,
+            func_ms: r.func_ms,
+            x86_load: r.x86_load as u32,
+        }
+    }
+}
+
+impl From<&WireReport<'_>> for ReportOwned {
+    fn from(r: &WireReport<'_>) -> Self {
+        ReportOwned {
+            app: r.app.to_string(),
+            target: r.target,
+            func_ms: r.func_ms,
+            x86_load: r.x86_load,
+        }
+    }
+}
+
+/// The policy state a shard manages. `xar-core` implements this for
+/// `XarTrekPolicy`; the engine itself is policy-agnostic so it can be
+/// reused (and tested) with toy policies.
+pub trait PolicyCore: Send + 'static {
+    /// The immutable decision state published to the lock-free read
+    /// path (for Xar-Trek: the threshold table plus policy flags).
+    type Snap: Send + Sync + 'static;
+
+    /// Builds the current decision snapshot.
+    fn snapshot(&self) -> Self::Snap;
+
+    /// The pure placement decision against a snapshot (Algorithm 2).
+    fn decide(snap: &Self::Snap, ctx: &DecideCtx<'_>) -> Decision;
+
+    /// Whether an application launch should trigger an early FPGA
+    /// configuration (paper §3.1). Default: never.
+    fn early_config(snap: &Self::Snap, ctx: &DecideCtx<'_>) -> bool {
+        let _ = (snap, ctx);
+        false
+    }
+
+    /// Applies one completion report (Algorithm 1).
+    fn apply(&mut self, report: &CompletionReport<'_>);
+
+    /// The current threshold rows (for TABLE snapshots).
+    fn entries(&self) -> Vec<TableEntry>;
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of policy shards (app-name hash groups).
+    pub shards: usize,
+    /// Reports to accumulate per shard before applying them. `1`
+    /// reproduces the v1 server's report-for-report behavior.
+    pub batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { shards: 8, batch: 1 }
+    }
+}
+
+/// Stable shard index for an application name (FNV-1a).
+pub fn shard_of(app: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in app.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+struct Shard<P: PolicyCore> {
+    state: Mutex<P>,
+    snap: ArcCell<P::Snap>,
+    pending: Mutex<Vec<ReportOwned>>,
+    metrics: ShardMetrics,
+}
+
+/// The sharded scheduler state behind the daemon (and the simulator
+/// adapter).
+pub struct ShardedEngine<P: PolicyCore> {
+    shards: Vec<Shard<P>>,
+    batch: usize,
+}
+
+impl<P: PolicyCore> ShardedEngine<P> {
+    /// Builds an engine from pre-split shard states. `states[i]` must
+    /// hold exactly the rows whose app names map to shard `i` under
+    /// [`shard_of`] — [`ShardedEngine::decide`] routes by that hash.
+    pub fn from_shards(states: Vec<P>, batch: usize) -> Self {
+        assert!(!states.is_empty(), "at least one shard");
+        let shards = states
+            .into_iter()
+            .map(|p| Shard {
+                snap: ArcCell::new(p.snapshot()),
+                state: Mutex::new(p),
+                pending: Mutex::new(Vec::new()),
+                metrics: ShardMetrics::default(),
+            })
+            .collect();
+        ShardedEngine { shards, batch: batch.max(1) }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Configured report batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    fn shard(&self, app: &str) -> &Shard<P> {
+        &self.shards[shard_of(app, self.shards.len())]
+    }
+
+    /// Placement decision (lock-free read path + latency metric).
+    pub fn decide(&self, ctx: &DecideCtx<'_>) -> Decision {
+        let shard = self.shard(ctx.app);
+        let start = Instant::now();
+        let snap = shard.snap.load();
+        let d = P::decide(&snap, ctx);
+        shard.metrics.record_decide(d.target, d.reconfigure, start.elapsed().as_nanos() as u64);
+        d
+    }
+
+    /// Whether `ctx`'s application launch should early-configure the
+    /// FPGA (paper §3.1).
+    pub fn early_config(&self, ctx: &DecideCtx<'_>) -> bool {
+        P::early_config(&self.shard(ctx.app).snap.load(), ctx)
+    }
+
+    /// Queues one completion report, applying the shard's pending batch
+    /// if it reached the configured size.
+    pub fn report(&self, report: ReportOwned) {
+        let shard = self.shard(&report.app);
+        let ready = {
+            let mut pending = shard.pending.lock();
+            pending.push(report);
+            pending.len() >= self.batch
+        };
+        if ready {
+            Self::flush_shard(shard);
+        }
+    }
+
+    /// Queues many reports at once (BATCH_REPORT ingestion), preserving
+    /// arrival order per shard, and flushes every shard that reached
+    /// the batch size. Reports are grouped by shard first so each
+    /// shard's pending lock is taken once per call, not once per
+    /// report — the lock amortization this ingestion path exists for.
+    pub fn report_batch(&self, reports: impl IntoIterator<Item = ReportOwned>) -> usize {
+        let mut groups: Vec<Vec<ReportOwned>> = vec![Vec::new(); self.shards.len()];
+        let mut n = 0;
+        for r in reports {
+            groups[shard_of(&r.app, self.shards.len())].push(r);
+            n += 1;
+        }
+        for (shard, group) in self.shards.iter().zip(groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let ready = {
+                let mut pending = shard.pending.lock();
+                pending.extend(group);
+                pending.len() >= self.batch
+            };
+            if ready {
+                Self::flush_shard(shard);
+            }
+        }
+        n
+    }
+
+    fn flush_shard(shard: &Shard<P>) {
+        // Acquire the state lock BEFORE draining the queue: two
+        // concurrent flushes that drained first could then race for
+        // the state lock and apply their batches out of arrival
+        // order. With state held, drain-then-apply is atomic with
+        // respect to other flushes, and producers only ever wait for
+        // the O(1) queue swap, not for Algorithm 1. Lock order is
+        // state → pending everywhere.
+        let mut state = shard.state.lock();
+        let batch = {
+            let mut pending = shard.pending.lock();
+            std::mem::take(&mut *pending)
+        };
+        if batch.is_empty() {
+            return;
+        }
+        for r in &batch {
+            state.apply(&CompletionReport {
+                app: &r.app,
+                target: r.target,
+                func_ms: r.func_ms,
+                x86_load: r.x86_load as usize,
+            });
+        }
+        shard.snap.store(state.snapshot());
+        shard.metrics.record_batch(batch.len());
+    }
+
+    /// Applies every pending report on every shard.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            Self::flush_shard(shard);
+        }
+    }
+
+    /// The merged threshold table (after a full flush), sorted by app.
+    pub fn table(&self) -> Vec<TableEntry> {
+        self.flush();
+        let mut entries: Vec<TableEntry> =
+            self.shards.iter().flat_map(|s| s.state.lock().entries()).collect();
+        entries.sort();
+        entries
+    }
+
+    /// Per-shard metric snapshots.
+    pub fn metrics(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|s| s.metrics.snapshot()).collect()
+    }
+
+    /// Whole-engine metric totals.
+    pub fn metrics_total(&self) -> MetricsSnapshot {
+        self.metrics().into_iter().fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy policy: per-app call counters; decides FPGA once an app has
+    /// been reported `limit` times.
+    #[derive(Debug, Clone, Default)]
+    struct CountPolicy {
+        counts: std::collections::BTreeMap<String, u32>,
+        limit: u32,
+    }
+
+    impl PolicyCore for CountPolicy {
+        type Snap = std::collections::BTreeMap<String, u32>;
+
+        fn snapshot(&self) -> Self::Snap {
+            self.counts.clone()
+        }
+
+        fn decide(snap: &Self::Snap, ctx: &DecideCtx<'_>) -> Decision {
+            let seen = snap.get(ctx.app).copied().unwrap_or(0);
+            Decision::to(if seen >= 3 { Target::Fpga } else { Target::X86 })
+        }
+
+        fn apply(&mut self, report: &CompletionReport<'_>) {
+            *self.counts.entry(report.app.to_string()).or_default() += 1;
+            self.limit = self.limit.max(1);
+        }
+
+        fn entries(&self) -> Vec<TableEntry> {
+            self.counts
+                .iter()
+                .map(|(app, &n)| TableEntry {
+                    app: app.clone(),
+                    kernel: String::new(),
+                    fpga_thr: n,
+                    arm_thr: 0,
+                })
+                .collect()
+        }
+    }
+
+    fn ctx(app: &str) -> DecideCtx<'_> {
+        DecideCtx {
+            app,
+            kernel: "k",
+            x86_load: 1,
+            arm_load: 0,
+            kernel_resident: true,
+            device_ready: true,
+            now_ns: 0.0,
+        }
+    }
+
+    fn engine(shards: usize, batch: usize) -> ShardedEngine<CountPolicy> {
+        ShardedEngine::from_shards(vec![CountPolicy::default(); shards], batch)
+    }
+
+    fn report(app: &str) -> ReportOwned {
+        ReportOwned { app: app.into(), target: Target::X86, func_ms: 1.0, x86_load: 1 }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for app in ["CG-A", "Digit2000", "FaceDet320", "x"] {
+            let s = shard_of(app, 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of(app, 8), "stable");
+        }
+        assert_eq!(shard_of("anything", 1), 0);
+    }
+
+    #[test]
+    fn batch_one_applies_immediately() {
+        let e = engine(4, 1);
+        for _ in 0..3 {
+            e.report(report("app"));
+        }
+        // No explicit flush: snapshot already reflects all three.
+        assert_eq!(e.decide(&ctx("app")).target, Target::Fpga);
+        let m = e.metrics_total();
+        assert_eq!(m.reports, 3);
+        assert_eq!(m.batches, 3, "batch=1: one batch per report");
+    }
+
+    #[test]
+    fn larger_batches_defer_then_amortize() {
+        let e = engine(2, 64);
+        for _ in 0..3 {
+            e.report(report("app"));
+        }
+        // Deferred: the snapshot is stale until a flush.
+        assert_eq!(e.decide(&ctx("app")).target, Target::X86);
+        e.flush();
+        assert_eq!(e.decide(&ctx("app")).target, Target::Fpga);
+        let m = e.metrics_total();
+        assert_eq!(m.reports, 3);
+        assert_eq!(m.batches, 1, "one amortized application");
+    }
+
+    #[test]
+    fn report_batch_groups_by_shard_and_counts() {
+        let e = engine(4, 2);
+        let n = e.report_batch((0..10).map(|i| report(&format!("app{i}"))));
+        assert_eq!(n, 10);
+        e.flush();
+        assert_eq!(e.metrics_total().reports, 10);
+        assert_eq!(e.table().len(), 10);
+    }
+
+    #[test]
+    fn table_merges_sorted_across_shards() {
+        let e = engine(4, 1);
+        for app in ["zeta", "alpha", "mid"] {
+            e.report(report(app));
+        }
+        let t = e.table();
+        let apps: Vec<&str> = t.iter().map(|e| e.app.as_str()).collect();
+        assert_eq!(apps, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn decide_counts_and_latency_metrics_land_in_app_shard() {
+        let e = engine(4, 1);
+        for _ in 0..5 {
+            e.decide(&ctx("solo"));
+        }
+        let per_shard = e.metrics();
+        let idx = shard_of("solo", 4);
+        assert_eq!(per_shard[idx].decides, 5);
+        assert!(per_shard[idx].p50_ns > 0);
+        let other: u64 =
+            per_shard.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, m)| m.decides).sum();
+        assert_eq!(other, 0);
+    }
+
+    #[test]
+    fn concurrent_reports_all_land() {
+        let e = std::sync::Arc::new(engine(4, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let e = e.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        e.report(report(&format!("app{}", (t + i) % 5)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        e.flush();
+        let total: u32 = e.table().iter().map(|en| en.fpga_thr).sum();
+        assert_eq!(total, 800, "every report applied exactly once");
+    }
+}

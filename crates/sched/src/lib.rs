@@ -1,0 +1,46 @@
+//! # xar-sched — the production scheduler daemon
+//!
+//! The paper's userspace scheduler (§3.2) is a thread-per-client TCP
+//! server speaking a line-oriented text protocol behind one global
+//! policy mutex — faithful to the paper, and reproduced as such in
+//! `xar-core`'s `server` module. This crate is the same scheduler
+//! grown up for datacenter service:
+//!
+//! * [`wire`] — **binary wire protocol v2**: length-prefixed frames
+//!   (`Decide` / `Report` / `BatchReport` / `TableSnapshot` / `Ping`),
+//!   a zero-copy decoder, and a versioned handshake. Legacy v1 text
+//!   clients are detected from their first bytes and served on the
+//!   same port.
+//! * [`engine`] — the **sharded policy engine**: per-app-group shards,
+//!   each owning a policy instance, with an ArcSwap-style snapshot
+//!   ([`snapshot::ArcCell`]) giving decide a lock-free read path and
+//!   batched REPORT ingestion amortizing Algorithm 1 updates across
+//!   hundreds of clients.
+//! * [`server`] — the **connection layer**: one nonblocking acceptor
+//!   plus a fixed worker pool with per-connection buffers (instead of
+//!   thread-per-client), graceful shutdown, and per-shard
+//!   [`metrics`] (decides, migrations, batch amortization, p50/p99
+//!   decide latency).
+//! * [`client`] — the blocking v2 client for application binaries.
+//! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
+//!   simulations of 1000+ apps exercise the daemon's exact code path.
+//!
+//! The crate is policy-agnostic: anything implementing
+//! [`engine::PolicyCore`] can be sharded and served. `xar-core`
+//! implements it for `XarTrekPolicy` and re-exports the daemon as the
+//! production face of its scheduler.
+
+pub mod adapter;
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use adapter::ShardedPolicy;
+pub use client::V2Client;
+pub use engine::{shard_of, EngineConfig, PolicyCore, ReportOwned, ShardedEngine, TableEntry};
+pub use metrics::{MetricsSnapshot, ShardMetrics};
+pub use server::{Server, ServerConfig};
+pub use snapshot::ArcCell;

@@ -1,0 +1,199 @@
+//! Per-shard telemetry: decision counters, migration counters, and a
+//! log₂-bucketed decide-latency histogram giving p50/p99 without
+//! storing samples. All counters are relaxed atomics — the hot path
+//! adds a handful of uncontended `fetch_add`s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use xar_desim::Target;
+
+/// Number of log₂ latency buckets; bucket `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds, the last bucket is open-ended (≈ 9 minutes and up).
+const BUCKETS: usize = 40;
+
+/// Live counters for one policy shard.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    decides: AtomicU64,
+    reports: AtomicU64,
+    batches: AtomicU64,
+    to_arm: AtomicU64,
+    to_fpga: AtomicU64,
+    reconfigs: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        ShardMetrics {
+            decides: AtomicU64::new(0),
+            reports: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            to_arm: AtomicU64::new(0),
+            to_fpga: AtomicU64::new(0),
+            reconfigs: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Records one decide with its handling latency.
+    pub fn record_decide(&self, target: Target, reconfigure: bool, nanos: u64) {
+        self.decides.fetch_add(1, Ordering::Relaxed);
+        match target {
+            Target::X86 => {}
+            Target::Arm => {
+                self.to_arm.fetch_add(1, Ordering::Relaxed);
+            }
+            Target::Fpga => {
+                self.to_fpga.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if reconfigure {
+            self.reconfigs.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` ingested completion reports forming one batch.
+    pub fn record_batch(&self, n: usize) {
+        self.reports.fetch_add(n as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the counters for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        MetricsSnapshot {
+            decides: self.decides.load(Ordering::Relaxed),
+            reports: self.reports.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            to_arm: self.to_arm.load(Ordering::Relaxed),
+            to_fpga: self.to_fpga.load(Ordering::Relaxed),
+            reconfigs: self.reconfigs.load(Ordering::Relaxed),
+            p50_ns: percentile(&latency, 0.50),
+            p99_ns: percentile(&latency, 0.99),
+        }
+    }
+}
+
+/// Upper bound of the bucket containing quantile `q`.
+fn percentile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total as f64 * q).ceil() as u64;
+    let mut seen = 0;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << BUCKETS
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// DECIDE requests handled.
+    pub decides: u64,
+    /// Completion reports ingested.
+    pub reports: u64,
+    /// Report batches applied (reports / batches = amortization factor).
+    pub batches: u64,
+    /// Decisions that migrated to the ARM server.
+    pub to_arm: u64,
+    /// Decisions that migrated to the FPGA.
+    pub to_fpga: u64,
+    /// Decisions that started a background reconfiguration.
+    pub reconfigs: u64,
+    /// Median decide latency upper bound (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile decide latency upper bound (ns).
+    pub p99_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Element-wise sum (for whole-engine totals).
+    pub fn merge(self, other: MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            decides: self.decides + other.decides,
+            reports: self.reports + other.reports,
+            batches: self.batches + other.batches,
+            to_arm: self.to_arm + other.to_arm,
+            to_fpga: self.to_fpga + other.to_fpga,
+            reconfigs: self.reconfigs + other.reconfigs,
+            p50_ns: self.p50_ns.max(other.p50_ns),
+            p99_ns: self.p99_ns.max(other.p99_ns),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decides={} reports={} batches={} to_arm={} to_fpga={} reconfigs={} p50<{}ns p99<{}ns",
+            self.decides,
+            self.reports,
+            self.batches,
+            self.to_arm,
+            self.to_fpga,
+            self.reconfigs,
+            self.p50_ns,
+            self.p99_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_migrations() {
+        let m = ShardMetrics::default();
+        m.record_decide(Target::X86, false, 100);
+        m.record_decide(Target::Arm, true, 100);
+        m.record_decide(Target::Fpga, false, 100);
+        m.record_batch(5);
+        m.record_batch(3);
+        let s = m.snapshot();
+        assert_eq!(s.decides, 3);
+        assert_eq!(s.to_arm, 1);
+        assert_eq!(s.to_fpga, 1);
+        assert_eq!(s.reconfigs, 1);
+        assert_eq!(s.reports, 8);
+        assert_eq!(s.batches, 2);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let m = ShardMetrics::default();
+        for _ in 0..99 {
+            m.record_decide(Target::X86, false, 1_000); // ~2^10
+        }
+        m.record_decide(Target::X86, false, 1_000_000); // ~2^20
+        let s = m.snapshot();
+        assert!(s.p50_ns >= 1_000 && s.p50_ns <= 2_048, "{}", s.p50_ns);
+        assert!(s.p99_ns <= 2_048, "99/100 samples are ~1us: {}", s.p99_ns);
+        assert!(s.p50_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_percentiles() {
+        let a = MetricsSnapshot { decides: 2, p99_ns: 10, ..Default::default() };
+        let b = MetricsSnapshot { decides: 3, p99_ns: 20, ..Default::default() };
+        let m = a.merge(b);
+        assert_eq!(m.decides, 5);
+        assert_eq!(m.p99_ns, 20);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(ShardMetrics::default().snapshot().p50_ns, 0);
+    }
+}

@@ -1,0 +1,503 @@
+//! The scheduler daemon: a fixed worker-thread pool multiplexing
+//! nonblocking connections with per-connection buffers.
+//!
+//! One acceptor thread owns a nonblocking listener (so shutdown is
+//! observed within one poll interval — no connect-to-self tricks) and
+//! hands sockets to workers round-robin. Each worker level-polls its
+//! connections: drains readable bytes into the connection's input
+//! buffer, processes every complete frame (v2) or line (v1), and
+//! drains the output buffer, sleeping only when every connection is
+//! idle. This serves thousands of mostly-idle scheduler clients with a
+//! handful of threads, where the paper's thread-per-client model would
+//! need one thread each.
+//!
+//! The first bytes of a connection select the protocol: the v2
+//! handshake magic, or anything else for the legacy v1 text protocol
+//! (see [`crate::wire`] for both).
+
+use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
+use crate::wire::{self, Request, Response, WireEntry};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xar_desim::DecideCtx;
+
+/// Connection-layer tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads multiplexing the connections.
+    pub workers: usize,
+    /// Idle poll interval for workers and the acceptor.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, poll_interval: Duration::from_micros(500) }
+    }
+}
+
+impl ServerConfig {
+    /// A latency-tuned config: workers busy-yield instead of sleeping,
+    /// trading idle CPU for minimum decide round-trip time (benchmarks,
+    /// latency-critical deployments).
+    pub fn low_latency(workers: usize) -> ServerConfig {
+        ServerConfig { workers, poll_interval: Duration::ZERO }
+    }
+}
+
+/// Parks an idle loop: busy-yield when `poll` is zero, sleep otherwise.
+fn idle_wait(poll: Duration) {
+    if poll.is_zero() {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(poll);
+    }
+}
+
+enum Proto {
+    /// Not enough bytes seen to classify the peer yet.
+    Undetermined,
+    /// Binary protocol (handshake completed).
+    V2,
+    /// Legacy line-oriented text protocol.
+    V1,
+}
+
+/// How long a closed connection may linger to flush its final replies
+/// before being reaped regardless (peer not reading).
+const CLOSE_LINGER: Duration = Duration::from_secs(5);
+
+struct Conn {
+    stream: TcpStream,
+    proto: Proto,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// No further input will be processed; pending output still
+    /// flushes before the connection is reaped.
+    closed: bool,
+    /// When `closed` was set, bounding the flush linger.
+    closed_at: Option<std::time::Instant>,
+    /// The socket is unusable (write error); reap immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            proto: Proto::Undetermined,
+            inbuf: Vec::with_capacity(1024),
+            outbuf: Vec::with_capacity(1024),
+            outpos: 0,
+            closed: false,
+            closed_at: None,
+            dead: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.outpos >= self.outbuf.len()
+    }
+}
+
+/// A running scheduler daemon. Dropping it shuts everything down
+/// gracefully (pending report batches are flushed).
+pub struct Server<P: PolicyCore> {
+    addr: SocketAddr,
+    engine: Arc<ShardedEngine<P>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<P: PolicyCore> Server<P> {
+    /// Spawns the daemon on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(engine: ShardedEngine<P>, config: ServerConfig) -> std::io::Result<Server<P>> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        let mut handles = Vec::with_capacity(workers + 1);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            let (engine, stop) = (engine.clone(), stop.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("xar-sched-worker-{w}"))
+                    .spawn(move || worker_loop(rx, engine, stop, config.poll_interval))
+                    .expect("spawn worker"),
+            );
+        }
+        let stop2 = stop.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("xar-sched-acceptor".into())
+                .spawn(move || accept_loop(listener, senders, stop2, config.poll_interval))
+                .expect("spawn acceptor"),
+        );
+        Ok(Server { addr, engine, stop, handles })
+    }
+
+    /// The daemon's socket address (for clients).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the daemon (tables, metrics, flush).
+    pub fn engine(&self) -> &Arc<ShardedEngine<P>> {
+        &self.engine
+    }
+
+    /// Requests shutdown and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Telemetry left in per-shard queues survives shutdown.
+        self.engine.flush();
+    }
+}
+
+impl<P: PolicyCore> Drop for Server<P> {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    senders: Vec<Sender<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    poll: Duration,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Round-robin, skipping workers whose channel is gone
+                // (a panicked worker must not take the accept path
+                // down with it); give up only when every worker died.
+                let mut stream = Some(stream);
+                for attempt in 0..senders.len() {
+                    let idx = (next + attempt) % senders.len();
+                    match senders[idx].send(stream.take().expect("stream handed off once")) {
+                        Ok(()) => {
+                            next = idx + 1;
+                            break;
+                        }
+                        Err(std::sync::mpsc::SendError(s)) => stream = Some(s),
+                    }
+                }
+                if stream.is_some() {
+                    return; // no live workers remain
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => idle_wait(poll),
+            Err(_) => idle_wait(poll),
+        }
+    }
+}
+
+fn worker_loop<P: PolicyCore>(
+    rx: Receiver<TcpStream>,
+    engine: Arc<ShardedEngine<P>>,
+    stop: Arc<AtomicBool>,
+    poll: Duration,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    while !stop.load(Ordering::SeqCst) {
+        loop {
+            match rx.try_recv() {
+                Ok(stream) => conns.push(Conn::new(stream)),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        let mut progress = false;
+        for conn in &mut conns {
+            progress |= pump(conn, &engine, &mut scratch);
+        }
+        // A closed connection lingers until its final replies (e.g. an
+        // error diagnostic) have been written out.
+        conns.retain(|c| !(c.dead || (c.closed && c.flushed())));
+        if !progress {
+            idle_wait(poll);
+        }
+    }
+}
+
+/// Advances one connection: read, parse/handle, write. Returns whether
+/// any bytes moved.
+fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut [u8]) -> bool {
+    let mut progress = false;
+    // Backpressure: while replies are stuck in outbuf (peer not
+    // reading), stop ingesting requests — otherwise a client that
+    // pipelines without reading grows outbuf without bound. TCP flow
+    // control then pushes back on the client.
+    let ingest = conn.flushed();
+    // Drain readable bytes.
+    while ingest && !conn.closed {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                progress = true;
+                if n < scratch.len() {
+                    // Short read: the socket is drained; skip the
+                    // would-block probe syscall and go process.
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if ingest && !conn.dead {
+        if let Proto::Undetermined = conn.proto {
+            classify(conn);
+        }
+        match conn.proto {
+            Proto::V2 => process_v2(conn, engine),
+            Proto::V1 => process_v1(conn, engine),
+            Proto::Undetermined => {}
+        }
+    }
+    // Drain writable bytes.
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.outpos += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.outpos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+    }
+    // Bound how long a closed connection may wait for the peer to
+    // drain its final replies; past the linger it is reaped even
+    // unflushed, so unread-but-open sockets cannot pin buffers
+    // forever.
+    if conn.closed {
+        let since = *conn.closed_at.get_or_insert_with(std::time::Instant::now);
+        if !conn.flushed() && since.elapsed() > CLOSE_LINGER {
+            conn.dead = true;
+        }
+    }
+    progress
+}
+
+/// Decides v1 vs v2 from the first bytes and, for v2, completes the
+/// handshake.
+fn classify(conn: &mut Conn) {
+    if conn.inbuf.len() < 4 {
+        // Not enough bytes for the magic — but any byte differing from
+        // the magic prefix (or a newline, which the magic never
+        // contains) already proves this is a v1 text client. Without
+        // this, a short malformed line like "X\n" would hang forever
+        // instead of getting ERR.
+        let is_magic_prefix = conn.inbuf.iter().zip(wire::MAGIC).all(|(&b, m)| b == m);
+        if !is_magic_prefix {
+            conn.proto = Proto::V1;
+        }
+        return;
+    }
+    if conn.inbuf[..4] == wire::MAGIC {
+        if conn.inbuf.len() < wire::HANDSHAKE_LEN {
+            return;
+        }
+        let hs: [u8; wire::HANDSHAKE_LEN] = conn.inbuf[..wire::HANDSHAKE_LEN].try_into().unwrap();
+        conn.inbuf.drain(..wire::HANDSHAKE_LEN);
+        match wire::parse_handshake(&hs) {
+            Ok(peer_version) if peer_version >= wire::VERSION => {
+                conn.outbuf.extend_from_slice(&wire::handshake(wire::VERSION));
+                conn.proto = Proto::V2;
+            }
+            _ => {
+                // Future-proofing: a v2 server only speaks version 2;
+                // anything older announcing the magic is refused.
+                conn.outbuf.extend_from_slice(&wire::handshake(wire::VERSION));
+                wire::encode_response(
+                    &Response::Err("unsupported protocol version"),
+                    &mut conn.outbuf,
+                );
+                conn.closed = true;
+            }
+        }
+    } else {
+        conn.proto = Proto::V1;
+    }
+}
+
+fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>) {
+    // Track an offset and drain once: per-frame draining would memmove
+    // the remaining buffer for every frame of a pipelined burst.
+    let mut at = 0;
+    loop {
+        let (consumed, range) = match wire::frame_in(&conn.inbuf[at..]) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => {
+                wire::encode_response(&Response::Err("oversized frame"), &mut conn.outbuf);
+                conn.closed = true;
+                break;
+            }
+        };
+        match wire::decode_request(&conn.inbuf[at + range.start..at + range.end]) {
+            Ok(req) => handle_v2(&req, engine, &mut conn.outbuf),
+            Err(e) => {
+                wire::encode_response(&Response::Err(&e.to_string()), &mut conn.outbuf);
+            }
+        }
+        at += consumed;
+    }
+    conn.inbuf.drain(..at);
+}
+
+fn handle_v2<P: PolicyCore>(req: &Request<'_>, engine: &ShardedEngine<P>, out: &mut Vec<u8>) {
+    match req {
+        Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
+            let d = engine.decide(&DecideCtx {
+                app,
+                kernel,
+                x86_load: *x86_load as usize,
+                arm_load: *arm_load as usize,
+                kernel_resident: *kernel_resident,
+                device_ready: *device_ready,
+                now_ns: 0.0,
+            });
+            wire::encode_response(
+                &Response::Decide { target: d.target, reconfigure: d.reconfigure },
+                out,
+            );
+        }
+        Request::Report(r) => {
+            engine.report(ReportOwned::from(r));
+            wire::encode_response(&Response::Ack(1), out);
+        }
+        Request::BatchReport(rs) => {
+            let n = engine.report_batch(rs.iter().map(ReportOwned::from));
+            wire::encode_response(&Response::Ack(n as u32), out);
+        }
+        Request::Table => {
+            let entries = engine.table();
+            let wire_entries: Vec<WireEntry<'_>> = entries
+                .iter()
+                .map(|e| WireEntry {
+                    app: &e.app,
+                    kernel: &e.kernel,
+                    fpga_thr: e.fpga_thr,
+                    arm_thr: e.arm_thr,
+                })
+                .collect();
+            wire::encode_response(&Response::Table(wire_entries), out);
+        }
+        Request::Ping(nonce) => {
+            wire::encode_response(&Response::Pong(*nonce), out);
+        }
+    }
+}
+
+/// Handles buffered complete lines of the legacy v1 text protocol
+/// (`DECIDE`/`REPORT`/`TABLE`/`QUIT`, answered with
+/// `TARGET`/`OK`/table rows/`ERR`).
+fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>) {
+    // Offset-tracked like process_v2: one drain at the end, no
+    // per-line allocation or memmove. The grammar is parsed by
+    // `wire::parse_v1_line`, shared with `xar-core`'s v1 server.
+    let mut at = 0;
+    while let Some(nl) = conn.inbuf[at..].iter().position(|&b| b == b'\n') {
+        let line_bytes = &conn.inbuf[at..at + nl];
+        at += nl + 1;
+        let parsed = std::str::from_utf8(line_bytes).ok().and_then(wire::parse_v1_line);
+        let Some(req) = parsed else {
+            conn.outbuf.extend_from_slice(b"ERR\n");
+            continue;
+        };
+        match req {
+            wire::V1Request::Decide { app, kernel, x86_load, kernel_resident } => {
+                let d = engine.decide(&DecideCtx {
+                    app,
+                    kernel,
+                    x86_load: x86_load as usize,
+                    arm_load: 0,
+                    kernel_resident,
+                    device_ready: true,
+                    now_ns: 0.0,
+                });
+                conn.outbuf.extend_from_slice(wire::v1_decide_reply(&d).as_bytes());
+            }
+            wire::V1Request::Report { app, target, func_ms, x86_load } => {
+                engine.report(ReportOwned {
+                    app: app.to_string(),
+                    target,
+                    func_ms,
+                    x86_load: x86_load.min(u32::MAX as u64) as u32,
+                });
+                conn.outbuf.extend_from_slice(b"OK\n");
+            }
+            wire::V1Request::Table => {
+                let mut s = String::new();
+                for e in engine.table() {
+                    s.push_str(&wire::v1_table_row(&e.app, &e.kernel, e.fpga_thr, e.arm_thr));
+                }
+                s.push_str("END\n");
+                conn.outbuf.extend_from_slice(s.as_bytes());
+            }
+            wire::V1Request::Quit => {
+                conn.closed = true;
+                break;
+            }
+        }
+    }
+    conn.inbuf.drain(..at);
+    // A v1 peer streaming bytes with no newline must not grow the
+    // buffer without bound.
+    if conn.inbuf.len() > wire::MAX_V1_LINE {
+        conn.outbuf.extend_from_slice(b"ERR\n");
+        conn.closed = true;
+    }
+}

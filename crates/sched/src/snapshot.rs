@@ -1,0 +1,81 @@
+//! ArcSwap-style published snapshots.
+//!
+//! The decide path must never contend with Algorithm 1 updates, so each
+//! shard publishes an immutable snapshot of its decision state behind
+//! an [`ArcCell`]. Readers `load()` (an `Arc` clone under a reader
+//! lock — no writer can starve them, and the critical section is a
+//! refcount bump); the flush path `store()`s a freshly built snapshot.
+//!
+//! This is the std-only equivalent of `arc_swap::ArcSwap`: the external
+//! crate is unavailable offline, and a seqlock/hazard-pointer scheme
+//! is not worth the unsafe surface for a refcount-bump critical
+//! section.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cell holding an `Arc<T>` that can be atomically replaced while
+/// readers keep older snapshots alive.
+#[derive(Debug)]
+pub struct ArcCell<T> {
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> ArcCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: T) -> Self {
+        ArcCell { inner: RwLock::new(Arc::new(value)) }
+    }
+
+    /// The current snapshot. The returned `Arc` stays valid (and
+    /// immutable) regardless of subsequent [`ArcCell::store`]s.
+    pub fn load(&self) -> Arc<T> {
+        self.inner.read().clone()
+    }
+
+    /// Publishes a new snapshot.
+    pub fn store(&self, value: T) {
+        *self.inner.write() = Arc::new(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_survives_store() {
+        let cell = ArcCell::new(1);
+        let old = cell.load();
+        cell.store(2);
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_see_monotonic_values() {
+        let cell = Arc::new(ArcCell::new(0u64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (cell, stop) = (cell.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let v = *cell.load();
+                        assert!(v >= last, "snapshots move forward");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=1000 {
+            cell.store(v);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.load(), 1000);
+    }
+}

@@ -1,0 +1,790 @@
+//! Wire protocol v2: compact length-prefixed binary frames with a
+//! versioned handshake.
+//!
+//! # Handshake
+//!
+//! Immediately after connecting, a v2 client sends 8 bytes:
+//!
+//! ```text
+//! +---------+---------+----------------+
+//! | "XARS"  | version |  3 reserved 0  |
+//! +---------+---------+----------------+
+//!    4 B        1 B          3 B
+//! ```
+//!
+//! The server answers with the same layout carrying the version it will
+//! speak. A legacy v1 client sends no magic — its first bytes are ASCII
+//! (`DECIDE …`, `REPORT …`, `TABLE`), which the server detects and
+//! serves with the line-oriented text protocol instead. One daemon port
+//! serves both generations.
+//!
+//! # Framing
+//!
+//! After the handshake every message is one frame:
+//!
+//! ```text
+//! +-----------------+--------+-----------------+
+//! | payload_len u32 | opcode |     payload     |
+//! +-----------------+--------+-----------------+
+//!       4 B LE         1 B     payload_len-1 B
+//! ```
+//!
+//! (`payload_len` counts the opcode byte plus the payload.) Integers
+//! are little-endian; strings are `u16` length-prefixed UTF-8; floats
+//! are IEEE-754 bit patterns. The decoder is zero-copy: decoded
+//! requests/responses borrow their strings from the receive buffer.
+
+use xar_desim::Target;
+
+/// Protocol magic ("XARS").
+pub const MAGIC: [u8; 4] = *b"XARS";
+/// Current protocol version.
+pub const VERSION: u8 = 2;
+/// Handshake length in bytes (both directions).
+pub const HANDSHAKE_LEN: usize = 8;
+/// Upper bound on a frame payload; larger frames are a protocol error.
+/// Comfortably holds a full-width table or batch (u16 counts, so
+/// ≤ 65535 elements) at realistic name lengths; encoders assert
+/// against it, and `V2Client` additionally chunks batches by bytes so
+/// pathological name lengths cannot trip the assert from user input.
+pub const MAX_FRAME: usize = 16 << 20;
+/// Maximum elements in one `BatchReport` / table reply (u16 count).
+pub const MAX_BATCH: usize = u16::MAX as usize;
+
+/// The 8-byte handshake carrying `version`.
+pub fn handshake(version: u8) -> [u8; HANDSHAKE_LEN] {
+    let mut h = [0u8; HANDSHAKE_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4] = version;
+    h
+}
+
+/// Parses a peer handshake, returning the peer's version.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] if the magic does not match.
+pub fn parse_handshake(bytes: &[u8; HANDSHAKE_LEN]) -> Result<u8, WireError> {
+    if bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    Ok(bytes[4])
+}
+
+/// Request opcodes (client → server).
+pub mod op {
+    /// `Decide` — ask for a placement.
+    pub const DECIDE: u8 = 0x01;
+    /// `Report` — one completion report.
+    pub const REPORT: u8 = 0x02;
+    /// `BatchReport` — many completion reports in one frame.
+    pub const BATCH_REPORT: u8 = 0x03;
+    /// `TableSnapshot` — fetch the threshold table.
+    pub const TABLE: u8 = 0x04;
+    /// `Ping` — liveness/latency probe.
+    pub const PING: u8 = 0x05;
+    /// Reply to `DECIDE`.
+    pub const R_DECIDE: u8 = 0x81;
+    /// Acknowledgement carrying an accepted-item count.
+    pub const R_ACK: u8 = 0x82;
+    /// Reply to `TABLE`.
+    pub const R_TABLE: u8 = 0x84;
+    /// Reply to `PING`.
+    pub const R_PONG: u8 = 0x85;
+    /// Error reply carrying a message.
+    pub const R_ERR: u8 = 0xFF;
+}
+
+/// A wire-level completion report (Algorithm 1 input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireReport<'a> {
+    /// Application name.
+    pub app: &'a str,
+    /// Where the call ran.
+    pub target: Target,
+    /// Observed function time (ms).
+    pub func_ms: f64,
+    /// x86 load at completion.
+    pub x86_load: u32,
+}
+
+/// A wire-level threshold-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEntry<'a> {
+    /// Application name.
+    pub app: &'a str,
+    /// Hardware kernel name.
+    pub kernel: &'a str,
+    /// FPGA migration threshold.
+    pub fpga_thr: u32,
+    /// ARM migration threshold.
+    pub arm_thr: u32,
+}
+
+/// A decoded client request. Strings borrow from the receive buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<'a> {
+    /// Placement query for one selected-function call.
+    Decide {
+        /// Application name.
+        app: &'a str,
+        /// Hardware kernel name (may be empty).
+        kernel: &'a str,
+        /// x86 runnable-process count.
+        x86_load: u32,
+        /// ARM runnable-process count.
+        arm_load: u32,
+        /// Whether the kernel is resident in the loaded XCLBIN.
+        kernel_resident: bool,
+        /// Whether the device is past any in-flight reconfiguration.
+        device_ready: bool,
+    },
+    /// One completion report.
+    Report(WireReport<'a>),
+    /// Batched completion reports.
+    BatchReport(Vec<WireReport<'a>>),
+    /// Threshold-table snapshot request.
+    Table,
+    /// Liveness probe; the nonce is echoed back.
+    Ping(u64),
+}
+
+/// A decoded server response. Strings borrow from the receive buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response<'a> {
+    /// Placement decision.
+    Decide {
+        /// Chosen target.
+        target: Target,
+        /// Whether to start reconfiguring the FPGA in the background.
+        reconfigure: bool,
+    },
+    /// Acknowledgement with an accepted-item count.
+    Ack(u32),
+    /// Threshold-table snapshot.
+    Table(Vec<WireEntry<'a>>),
+    /// Ping echo.
+    Pong(u64),
+    /// Protocol or handler error.
+    Err(&'a str),
+}
+
+/// Wire-format violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Handshake magic mismatch.
+    BadMagic,
+    /// Frame shorter than its header claims.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown target byte.
+    BadTarget(u8),
+    /// String field is not UTF-8.
+    BadUtf8,
+    /// Frame exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// A decoded message did not consume its whole payload (element
+    /// count and payload length disagree).
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad handshake magic"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+            WireError::BadTarget(t) => write!(f, "unknown target {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            WireError::TrailingBytes(n) => write!(f, "{n} undecoded bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// `Target` ↔ wire byte.
+pub fn target_to_byte(t: Target) -> u8 {
+    match t {
+        Target::X86 => 0,
+        Target::Arm => 1,
+        Target::Fpga => 2,
+    }
+}
+
+/// Wire byte → `Target`.
+///
+/// # Errors
+///
+/// [`WireError::BadTarget`] on an unknown byte.
+pub fn target_from_byte(b: u8) -> Result<Target, WireError> {
+    match b {
+        0 => Ok(Target::X86),
+        1 => Ok(Target::Arm),
+        2 => Ok(Target::Fpga),
+        other => Err(WireError::BadTarget(other)),
+    }
+}
+
+/// `Target` as v1 protocol text.
+pub fn target_str(t: Target) -> &'static str {
+    match t {
+        Target::X86 => "x86",
+        Target::Arm => "arm",
+        Target::Fpga => "fpga",
+    }
+}
+
+/// v1 protocol text → `Target`.
+pub fn parse_target(s: &str) -> Option<Target> {
+    match s {
+        "x86" => Some(Target::X86),
+        "arm" => Some(Target::Arm),
+        "fpga" => Some(Target::Fpga),
+        _ => None,
+    }
+}
+
+/// Maximum accepted v1 text line length; a peer streaming bytes with
+/// no newline past this is a protocol error, not a buffering duty.
+pub const MAX_V1_LINE: usize = 64 * 1024;
+
+/// A parsed v1 text-protocol request line. The grammar lives here —
+/// and only here — so the paper-faithful server in `xar-core` and the
+/// daemon's v1 fallback cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V1Request<'a> {
+    /// `DECIDE <app> <kernel> <x86_load> <resident:0|1>`
+    Decide {
+        /// Application name.
+        app: &'a str,
+        /// Hardware kernel name.
+        kernel: &'a str,
+        /// x86 runnable-process count.
+        x86_load: u64,
+        /// Whether the kernel is resident.
+        kernel_resident: bool,
+    },
+    /// `REPORT <app> <x86|arm|fpga> <func_ms> <x86_load>`
+    Report {
+        /// Application name.
+        app: &'a str,
+        /// Where the call ran.
+        target: Target,
+        /// Observed function time (ms).
+        func_ms: f64,
+        /// x86 load at completion.
+        x86_load: u64,
+    },
+    /// `TABLE`
+    Table,
+    /// `QUIT`
+    Quit,
+}
+
+/// Parses one v1 request line (without the trailing newline); `None`
+/// is the protocol's `ERR` case.
+pub fn parse_v1_line(line: &str) -> Option<V1Request<'_>> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts.as_slice() {
+        ["DECIDE", app, kernel, load, resident] => {
+            let (load, resident) = (load.parse().ok()?, resident.parse::<u8>().ok()?);
+            Some(V1Request::Decide { app, kernel, x86_load: load, kernel_resident: resident != 0 })
+        }
+        ["REPORT", app, target, ms, load] => Some(V1Request::Report {
+            app,
+            target: parse_target(target)?,
+            func_ms: ms.parse().ok()?,
+            x86_load: load.parse().ok()?,
+        }),
+        ["TABLE"] => Some(V1Request::Table),
+        ["QUIT"] => Some(V1Request::Quit),
+        _ => None,
+    }
+}
+
+/// Formats the v1 reply to a DECIDE.
+pub fn v1_decide_reply(d: &xar_desim::Decision) -> String {
+    format!("TARGET {} {}\n", target_str(d.target), u8::from(d.reconfigure))
+}
+
+/// Formats one v1 TABLE row.
+pub fn v1_table_row(app: &str, kernel: &str, fpga_thr: u32, arm_thr: u32) -> String {
+    format!("{app} {kernel} {fpga_thr} {arm_thr}\n")
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct FrameWriter<'a> {
+    out: &'a mut Vec<u8>,
+    len_at: usize,
+}
+
+impl<'a> FrameWriter<'a> {
+    fn begin(out: &'a mut Vec<u8>, opcode: u8) -> Self {
+        let len_at = out.len();
+        out.extend_from_slice(&[0, 0, 0, 0, opcode]);
+        FrameWriter { out, len_at }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "wire string too long");
+        self.u16(s.len() as u16);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn report(&mut self, r: &WireReport<'_>) {
+        self.str(r.app);
+        self.u8(target_to_byte(r.target));
+        self.f64(r.func_ms);
+        self.u32(r.x86_load);
+    }
+
+    fn finish(self) {
+        let payload = self.out.len() - self.len_at - 4;
+        // Mirror the decoder's frame cap: emitting a frame the peer's
+        // frame_in would reject (or whose length wraps u32) is an
+        // encoder bug, not a recoverable condition.
+        assert!(payload <= MAX_FRAME, "encoded frame of {payload} bytes exceeds MAX_FRAME");
+        self.out[self.len_at..self.len_at + 4].copy_from_slice(&(payload as u32).to_le_bytes());
+    }
+}
+
+/// Appends one encoded request frame to `out`.
+pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
+    match req {
+        Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
+            let mut w = FrameWriter::begin(out, op::DECIDE);
+            w.str(app);
+            w.str(kernel);
+            w.u32(*x86_load);
+            w.u32(*arm_load);
+            w.u8(u8::from(*kernel_resident) | (u8::from(*device_ready) << 1));
+            w.finish();
+        }
+        Request::Report(r) => {
+            let mut w = FrameWriter::begin(out, op::REPORT);
+            w.report(r);
+            w.finish();
+        }
+        Request::BatchReport(rs) => {
+            assert!(rs.len() <= MAX_BATCH, "BatchReport of {} exceeds u16 count", rs.len());
+            let mut w = FrameWriter::begin(out, op::BATCH_REPORT);
+            w.u16(rs.len() as u16);
+            for r in rs {
+                w.report(r);
+            }
+            w.finish();
+        }
+        Request::Table => FrameWriter::begin(out, op::TABLE).finish(),
+        Request::Ping(nonce) => {
+            let mut w = FrameWriter::begin(out, op::PING);
+            w.u64(*nonce);
+            w.finish();
+        }
+    }
+}
+
+/// Appends one encoded response frame to `out`.
+pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
+    match resp {
+        Response::Decide { target, reconfigure } => {
+            let mut w = FrameWriter::begin(out, op::R_DECIDE);
+            w.u8(target_to_byte(*target));
+            w.u8(u8::from(*reconfigure));
+            w.finish();
+        }
+        Response::Ack(n) => {
+            let mut w = FrameWriter::begin(out, op::R_ACK);
+            w.u32(*n);
+            w.finish();
+        }
+        Response::Table(entries) => {
+            assert!(entries.len() <= MAX_BATCH, "table of {} exceeds u16 count", entries.len());
+            let mut w = FrameWriter::begin(out, op::R_TABLE);
+            w.u16(entries.len() as u16);
+            for e in entries {
+                w.str(e.app);
+                w.str(e.kernel);
+                w.u32(e.fpga_thr);
+                w.u32(e.arm_thr);
+            }
+            w.finish();
+        }
+        Response::Pong(nonce) => {
+            let mut w = FrameWriter::begin(out, op::R_PONG);
+            w.u64(*nonce);
+            w.finish();
+        }
+        Response::Err(msg) => {
+            let mut w = FrameWriter::begin(out, op::R_ERR);
+            w.str(msg);
+            w.finish();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Zero-copy cursor over a frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.u16()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn report(&mut self) -> Result<WireReport<'a>, WireError> {
+        Ok(WireReport {
+            app: self.str()?,
+            target: target_from_byte(self.u8()?)?,
+            func_ms: self.f64()?,
+            x86_load: self.u32()?,
+        })
+    }
+
+    /// Guards against element counts that disagree with the payload
+    /// length (e.g. a count field truncated by a buggy encoder).
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+/// Decodes one request frame payload (opcode byte + body).
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8()? {
+        op::DECIDE => {
+            let app = r.str()?;
+            let kernel = r.str()?;
+            let x86_load = r.u32()?;
+            let arm_load = r.u32()?;
+            let flags = r.u8()?;
+            Ok(Request::Decide {
+                app,
+                kernel,
+                x86_load,
+                arm_load,
+                kernel_resident: flags & 1 != 0,
+                device_ready: flags & 2 != 0,
+            })
+        }
+        op::REPORT => Ok(Request::Report(r.report()?)),
+        op::BATCH_REPORT => {
+            let n = r.u16()? as usize;
+            let mut rs = Vec::with_capacity(n);
+            for _ in 0..n {
+                rs.push(r.report()?);
+            }
+            Ok(Request::BatchReport(rs))
+        }
+        op::TABLE => Ok(Request::Table),
+        op::PING => Ok(Request::Ping(r.u64()?)),
+        other => Err(WireError::BadOpcode(other)),
+    }?;
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decodes one response frame payload (opcode byte + body).
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8()? {
+        op::R_DECIDE => {
+            Ok(Response::Decide { target: target_from_byte(r.u8()?)?, reconfigure: r.u8()? != 0 })
+        }
+        op::R_ACK => Ok(Response::Ack(r.u32()?)),
+        op::R_TABLE => {
+            let n = r.u16()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(WireEntry {
+                    app: r.str()?,
+                    kernel: r.str()?,
+                    fpga_thr: r.u32()?,
+                    arm_thr: r.u32()?,
+                });
+            }
+            Ok(Response::Table(entries))
+        }
+        op::R_PONG => Ok(Response::Pong(r.u64()?)),
+        op::R_ERR => Ok(Response::Err(r.str()?)),
+        other => Err(WireError::BadOpcode(other)),
+    }?;
+    r.finish()?;
+    Ok(resp)
+}
+
+/// If `buf` starts with a complete frame, returns `(frame_total_len,
+/// payload_range)`; `None` if more bytes are needed.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the header announces a payload above
+/// [`MAX_FRAME`].
+pub fn frame_in(buf: &[u8]) -> Result<Option<(usize, std::ops::Range<usize>)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let payload = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if payload > MAX_FRAME {
+        return Err(WireError::Oversized(payload));
+    }
+    if buf.len() < 4 + payload {
+        return Ok(None);
+    }
+    Ok(Some((4 + payload, 4..4 + payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request<'_>) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (total, range) = frame_in(&buf).unwrap().expect("complete frame");
+        assert_eq!(total, buf.len());
+        assert_eq!(decode_request(&buf[range]).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response<'_>) {
+        let mut buf = Vec::new();
+        encode_response(&resp, &mut buf);
+        let (total, range) = frame_in(&buf).unwrap().expect("complete frame");
+        assert_eq!(total, buf.len());
+        assert_eq!(decode_response(&buf[range]).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Decide {
+            app: "FaceDet320",
+            kernel: "KNL_HW_FD320",
+            x86_load: 42,
+            arm_load: 7,
+            kernel_resident: true,
+            device_ready: false,
+        });
+        roundtrip_req(Request::Report(WireReport {
+            app: "CG-A",
+            target: Target::Arm,
+            func_ms: 1234.5,
+            x86_load: 9,
+        }));
+        roundtrip_req(Request::BatchReport(vec![
+            WireReport { app: "a", target: Target::X86, func_ms: 1.0, x86_load: 1 },
+            WireReport { app: "b", target: Target::Fpga, func_ms: 2.0, x86_load: 2 },
+        ]));
+        roundtrip_req(Request::Table);
+        roundtrip_req(Request::Ping(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Decide { target: Target::Fpga, reconfigure: true });
+        roundtrip_resp(Response::Ack(17));
+        roundtrip_resp(Response::Table(vec![WireEntry {
+            app: "Digit2000",
+            kernel: "KNL_HW_DR200",
+            fpga_thr: 0,
+            arm_thr: 31,
+        }]));
+        roundtrip_resp(Response::Pong(7));
+        roundtrip_resp(Response::Err("nope"));
+    }
+
+    #[test]
+    fn handshake_roundtrips_and_rejects_bad_magic() {
+        let h = handshake(VERSION);
+        assert_eq!(parse_handshake(&h).unwrap(), VERSION);
+        let mut bad = h;
+        bad[0] = b'Y';
+        assert_eq!(parse_handshake(&bad), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping(1), &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(frame_in(&buf[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        assert!(frame_in(&buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_error() {
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(matches!(frame_in(&huge), Err(WireError::Oversized(_))));
+        assert_eq!(decode_request(&[0x42]), Err(WireError::BadOpcode(0x42)));
+        assert_eq!(decode_request(&[]), Err(WireError::Truncated));
+        // Report with a bad target byte.
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Report(WireReport {
+                app: "x",
+                target: Target::X86,
+                func_ms: 0.0,
+                x86_load: 0,
+            }),
+            &mut buf,
+        );
+        // app is "x": 4-byte len header, opcode, u16 strlen, 'x', then target.
+        let target_at = 4 + 1 + 2 + 1;
+        buf[target_at] = 9;
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        assert_eq!(decode_request(&buf[range]), Err(WireError::BadTarget(9)));
+    }
+
+    #[test]
+    fn v1_grammar_parses_and_rejects() {
+        use super::V1Request;
+        assert_eq!(
+            parse_v1_line("DECIDE app KNL 42 1"),
+            Some(V1Request::Decide {
+                app: "app",
+                kernel: "KNL",
+                x86_load: 42,
+                kernel_resident: true
+            })
+        );
+        assert_eq!(
+            parse_v1_line("REPORT app fpga 1300.5 7"),
+            Some(V1Request::Report {
+                app: "app",
+                target: Target::Fpga,
+                func_ms: 1300.5,
+                x86_load: 7
+            })
+        );
+        assert_eq!(parse_v1_line("TABLE"), Some(V1Request::Table));
+        assert_eq!(parse_v1_line("QUIT"), Some(V1Request::Quit));
+        // Loads beyond u32 parse (the engine saturates later) — the
+        // seed server accepted any usize, so the shared grammar must.
+        assert!(parse_v1_line("DECIDE a k 5000000000 0").is_some());
+        for bad in ["", "DECIDE a k x 1", "REPORT a moon 1.0 1", "BOGUS", "DECIDE a k 1"] {
+            assert_eq!(parse_v1_line(bad), None, "{bad:?}");
+        }
+        let d = xar_desim::Decision { target: Target::Arm, reconfigure: true };
+        assert_eq!(v1_decide_reply(&d), "TARGET arm 1\n");
+        assert_eq!(v1_table_row("a", "k", 3, 9), "a k 3 9\n");
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_a_decode_error() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping(5), &mut buf);
+        buf.extend_from_slice(&[0xAB, 0xCD]); // junk after the message
+        let payload = &buf[4..];
+        assert_eq!(decode_request(payload), Err(WireError::TrailingBytes(2)));
+        let mut buf = Vec::new();
+        encode_response(&Response::Ack(1), &mut buf);
+        buf.push(0);
+        assert_eq!(decode_response(&buf[4..]), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16 count")]
+    fn oversized_batch_count_panics_instead_of_truncating() {
+        let report = WireReport { app: "a", target: Target::X86, func_ms: 0.0, x86_load: 0 };
+        let rs = vec![report; MAX_BATCH + 1];
+        encode_request(&Request::BatchReport(rs), &mut Vec::new());
+    }
+
+    #[test]
+    fn decide_frame_is_far_smaller_than_v1_text() {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Decide {
+                app: "FaceDet320",
+                kernel: "KNL_HW_FD320",
+                x86_load: 42,
+                arm_load: 0,
+                kernel_resident: true,
+                device_ready: true,
+            },
+            &mut buf,
+        );
+        let text = "DECIDE FaceDet320 KNL_HW_FD320 42 1\n";
+        // Binary framing carries more fields in comparable bytes.
+        assert!(buf.len() <= text.len() + 8, "{} vs {}", buf.len(), text.len());
+    }
+}

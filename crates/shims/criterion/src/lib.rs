@@ -1,0 +1,238 @@
+//! Offline shim for the `criterion` crate: the macro/struct surface the
+//! workspace's benches use, backed by a plain wall-clock harness.
+//!
+//! Behavior:
+//!
+//! * each benchmark is calibrated to roughly [`TARGET_MS`] of wall
+//!   time, then timed and reported as mean ns/iter;
+//! * when invoked with `--test` (what `cargo test` passes to bench
+//!   targets) every benchmark runs exactly once, unmeasured, so benches
+//!   double as smoke tests;
+//! * a `--filter`-style positional argument restricts which benchmarks
+//!   run, matching criterion's substring semantics.
+
+use std::time::{Duration, Instant};
+
+/// Wall-time budget per benchmark in measuring mode.
+const TARGET_MS: u64 = 250;
+
+/// How a batched input is sized (accepted and ignored; the shim always
+/// re-runs the setup closure per batch like `PerIteration`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; drives the iteration loop.
+pub struct Bencher<'a> {
+    mode: Mode,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Test,
+    Measure,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::PerIteration);
+    }
+
+    /// Times `routine` with a fresh `setup()` value per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            Mode::Measure => {
+                // Calibrate: grow the iteration count until the routine
+                // occupies a measurable slice of the budget.
+                let mut iters: u64 = 1;
+                loop {
+                    let elapsed = run_batch(&mut setup, &mut routine, iters);
+                    if elapsed >= Duration::from_millis(TARGET_MS / 10) || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters *= 4;
+                }
+                let elapsed = run_batch(&mut setup, &mut routine, iters);
+                *self.result = Some(Sample { iters, total: elapsed });
+            }
+        }
+    }
+}
+
+fn run_batch<I, O>(
+    setup: &mut impl FnMut() -> I,
+    routine: &mut impl FnMut(I) -> O,
+    iters: u64,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        total += start.elapsed();
+    }
+    total
+}
+
+/// The benchmark registry/driver (API subset of `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                s if s.starts_with("--") => {} // --bench and friends
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut result = None;
+        f(&mut Bencher { mode: self.mode, result: &mut result });
+        match (self.mode, result) {
+            (Mode::Test, _) => println!("test {id} ... ok"),
+            (_, Some(Sample { iters, total })) => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{id:<44} {:>14} ns/iter  ({iters} iters)", format_ns(ns));
+            }
+            (_, None) => println!("{id:<44} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.c.bench_function(id, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine_in_test_mode() {
+        let mut hits = 0;
+        let mut result = None;
+        let mut b = Bencher { mode: Mode::Test, result: &mut result };
+        b.iter(|| hits += 1);
+        assert_eq!(hits, 1);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn bencher_measures_in_measure_mode() {
+        let mut result = None;
+        let mut b = Bencher { mode: Mode::Measure, result: &mut result };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        let sample = result.expect("measured");
+        assert!(sample.iters >= 1);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

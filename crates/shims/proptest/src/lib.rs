@@ -1,0 +1,509 @@
+//! Offline shim for the `proptest` crate covering the surface this
+//! workspace uses: the [`proptest!`] macro, range / `any` / `Just` /
+//! tuple / mapped / union strategies, `collection::{vec, btree_set}`,
+//! and simple `"[a-z]{1,8}"`-style regex string strategies.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test seed (derived from the test name), and there
+//! is **no shrinking** — a failing case reports its case index and the
+//! generated inputs' `Debug` form where available.
+
+use std::sync::Arc;
+
+/// The deterministic generator behind every strategy draw (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from a test-name hash and case index.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x6A09_E667_F3BC_C908 }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator (API subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A mapped strategy (the result of [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// A uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "empty prop_oneof");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Simple regex-subset string strategies: literals, `[a-z_0-9]`-style
+/// classes, and `{m}` / `{m,n}` repetition (enough for test patterns
+/// like `"[a-z]{1,8}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    set.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                None => {
+                    let m: usize = spec.parse().unwrap();
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// A `Vec` of `size.start..size.end` draws from `element`.
+    pub fn vec<S: Strategy + 'static>(
+        element: S,
+        size: std::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        BoxedStrategy(std::sync::Arc::new(move |rng: &mut TestRng| {
+            let span = (size.end - size.start) as u64;
+            let n = size.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+
+    /// A `BTreeSet` built from up to `size.end - 1` draws (duplicates
+    /// collapse, as in real proptest's post-dedup behavior).
+    pub fn btree_set<S: Strategy + 'static>(
+        element: S,
+        size: std::ops::Range<usize>,
+    ) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S::Value: Ord + 'static,
+    {
+        BoxedStrategy(std::sync::Arc::new(move |rng: &mut TestRng| {
+            let span = (size.end - size.start) as u64;
+            let n = size.start + rng.below(span.max(1)) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+}
+
+/// Per-run configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (carried by `prop_assert!` early returns).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Stable 64-bit FNV-1a hash of the test name, for per-test seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Fallible property assertion.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// The property-test declaration macro. Each test draws its arguments
+/// from the given strategies for `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::from_seed(
+                    base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err($crate::TestCaseError(msg)) = outcome {
+                    panic!(
+                        "property {} failed at case {case}/{}: {msg}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The usual `proptest::prelude` re-exports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_domain() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..1_000 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let _: bool = any::<bool>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn map_union_tuple_and_collections_compose() {
+        let mut rng = crate::TestRng::from_seed(2);
+        let s = prop_oneof![
+            (0u8..4).prop_map(|v| v as u32),
+            Just(99u32),
+            (10u32..20, any::<bool>()).prop_map(|(v, b)| if b { v } else { v + 100 }),
+        ];
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v < 4 || v == 99 || (10..20).contains(&v) || (110..120).contains(&v));
+            saw_just |= v == 99;
+        }
+        assert!(saw_just);
+        let vs = crate::collection::vec(0u64..5, 2..6).generate(&mut rng);
+        assert!((2..6).contains(&vs.len()));
+        let set = crate::collection::btree_set(0u64..5, 0..4).generate(&mut rng);
+        assert!(set.len() < 4);
+    }
+
+    #[test]
+    fn pattern_strings_match_shape() {
+        let mut rng = crate::TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[A-Z_]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_uppercase() || c == '_'));
+            let lit = "ab[0-9]{2}".generate(&mut rng);
+            assert!(lit.starts_with("ab") && lit.len() == 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: draws arrive, assertions work.
+        #[test]
+        fn macro_smoke(a in 0u32..10, (b, c) in (0u64..5, any::<bool>())) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b < 5, true);
+            let _ = c;
+        }
+    }
+}

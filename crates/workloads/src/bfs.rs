@@ -221,11 +221,7 @@ mod tests {
     #[test]
     fn ring_graph_depths() {
         // Pure ring of 5: depths 0,1,2,3,4 → sum 10.
-        let g = Graph {
-            n: 5,
-            row_ptr: vec![0, 1, 2, 3, 4, 5],
-            adj: vec![1, 2, 3, 4, 0],
-        };
+        let g = Graph { n: 5, row_ptr: vec![0, 1, 2, 3, 4, 5], adj: vec![1, 2, 3, 4, 0] };
         assert_eq!(bfs_depth_sum(&g), 10);
     }
 
@@ -240,10 +236,7 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        assert_eq!(
-            bfs_depth_sum(&generate(500, 3, 1)),
-            bfs_depth_sum(&generate(500, 3, 1))
-        );
+        assert_eq!(bfs_depth_sum(&generate(500, 3, 1)), bfs_depth_sum(&generate(500, 3, 1)));
     }
 
     #[test]

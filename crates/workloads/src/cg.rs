@@ -132,12 +132,12 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 fn matvec(a: &SparseMatrix, p: &[f64], ap: &mut [f64]) {
-    for i in 0..a.n {
+    for (i, out) in ap.iter_mut().enumerate().take(a.n) {
         let mut s = 0.0;
         for k in a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize {
             s += a.val[k] * p[a.col[k] as usize];
         }
-        ap[i] = s;
+        *out = s;
     }
 }
 
@@ -430,17 +430,17 @@ mod tests {
         let a = generate_spd(50, 3, 3);
         // Symmetry check via dense reconstruction.
         let mut dense = vec![vec![0.0f64; 50]; 50];
-        for i in 0..50 {
+        for (i, row) in dense.iter_mut().enumerate() {
             for k in a.row_ptr[i] as usize..a.row_ptr[i + 1] as usize {
-                dense[i][a.col[k] as usize] = a.val[k];
+                row[a.col[k] as usize] = a.val[k];
             }
         }
-        for i in 0..50 {
-            for j in 0..50 {
-                assert!((dense[i][j] - dense[j][i]).abs() < 1e-12);
+        for (i, row) in dense.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - dense[j][i]).abs() < 1e-12);
             }
-            let off: f64 = (0..50).filter(|&j| j != i).map(|j| dense[i][j].abs()).sum();
-            assert!(dense[i][i] > off, "row {i} not dominant");
+            let off: f64 = (0..50).filter(|&j| j != i).map(|j| row[j].abs()).sum();
+            assert!(row[i] > off, "row {i} not dominant");
         }
     }
 

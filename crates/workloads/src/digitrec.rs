@@ -25,25 +25,55 @@ pub type Digit = [u64; WORDS];
 /// Hand-drawn 14×14 glyph rows for digits 0–9 (each row is 14 bits).
 const GLYPHS: [[u16; 14]; 10] = [
     // 0
-    [0x0F80, 0x1FC0, 0x3860, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3860, 0x1FC0, 0x0F80, 0x0000],
+    [
+        0x0F80, 0x1FC0, 0x3860, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3030, 0x3860,
+        0x1FC0, 0x0F80, 0x0000,
+    ],
     // 1
-    [0x0300, 0x0700, 0x0F00, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0FC0, 0x0FC0, 0x0000],
+    [
+        0x0300, 0x0700, 0x0F00, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300, 0x0300,
+        0x0FC0, 0x0FC0, 0x0000,
+    ],
     // 2
-    [0x0F80, 0x1FC0, 0x30E0, 0x0060, 0x00C0, 0x0180, 0x0300, 0x0600, 0x0C00, 0x1800, 0x3FE0, 0x3FE0, 0x0000, 0x0000],
+    [
+        0x0F80, 0x1FC0, 0x30E0, 0x0060, 0x00C0, 0x0180, 0x0300, 0x0600, 0x0C00, 0x1800, 0x3FE0,
+        0x3FE0, 0x0000, 0x0000,
+    ],
     // 3
-    [0x1F80, 0x3FC0, 0x00E0, 0x0060, 0x07C0, 0x07C0, 0x0060, 0x0060, 0x00E0, 0x3FC0, 0x1F80, 0x0000, 0x0000, 0x0000],
+    [
+        0x1F80, 0x3FC0, 0x00E0, 0x0060, 0x07C0, 0x07C0, 0x0060, 0x0060, 0x00E0, 0x3FC0, 0x1F80,
+        0x0000, 0x0000, 0x0000,
+    ],
     // 4
-    [0x0180, 0x0380, 0x0780, 0x0D80, 0x1980, 0x3180, 0x3FE0, 0x3FE0, 0x0180, 0x0180, 0x0180, 0x0180, 0x0000, 0x0000],
+    [
+        0x0180, 0x0380, 0x0780, 0x0D80, 0x1980, 0x3180, 0x3FE0, 0x3FE0, 0x0180, 0x0180, 0x0180,
+        0x0180, 0x0000, 0x0000,
+    ],
     // 5
-    [0x3FC0, 0x3FC0, 0x3000, 0x3000, 0x3F80, 0x3FC0, 0x00E0, 0x0060, 0x0060, 0x30E0, 0x3FC0, 0x1F80, 0x0000, 0x0000],
+    [
+        0x3FC0, 0x3FC0, 0x3000, 0x3000, 0x3F80, 0x3FC0, 0x00E0, 0x0060, 0x0060, 0x30E0, 0x3FC0,
+        0x1F80, 0x0000, 0x0000,
+    ],
     // 6
-    [0x07C0, 0x0FC0, 0x1800, 0x3000, 0x3F80, 0x3FC0, 0x30E0, 0x3060, 0x3060, 0x3060, 0x1FC0, 0x0F80, 0x0000, 0x0000],
+    [
+        0x07C0, 0x0FC0, 0x1800, 0x3000, 0x3F80, 0x3FC0, 0x30E0, 0x3060, 0x3060, 0x3060, 0x1FC0,
+        0x0F80, 0x0000, 0x0000,
+    ],
     // 7
-    [0x3FE0, 0x3FE0, 0x0060, 0x00C0, 0x0180, 0x0180, 0x0300, 0x0300, 0x0600, 0x0600, 0x0C00, 0x0C00, 0x0000, 0x0000],
+    [
+        0x3FE0, 0x3FE0, 0x0060, 0x00C0, 0x0180, 0x0180, 0x0300, 0x0300, 0x0600, 0x0600, 0x0C00,
+        0x0C00, 0x0000, 0x0000,
+    ],
     // 8
-    [0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x1FC0, 0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x30E0, 0x1FC0, 0x0F80, 0x0000, 0x0000],
+    [
+        0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x1FC0, 0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x30E0, 0x1FC0,
+        0x0F80, 0x0000, 0x0000,
+    ],
     // 9
-    [0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x3060, 0x38E0, 0x1FE0, 0x0F60, 0x0060, 0x00C0, 0x1F80, 0x1F00, 0x0000, 0x0000],
+    [
+        0x0F80, 0x1FC0, 0x30E0, 0x3060, 0x3060, 0x38E0, 0x1FE0, 0x0F60, 0x0060, 0x00C0, 0x1F80,
+        0x1F00, 0x0000, 0x0000,
+    ],
 ];
 
 /// The glyph of `class` as a bit-packed digit.
@@ -119,11 +149,8 @@ pub fn classify_one(train: &Dataset, test: &Digit) -> u8 {
         }
     }
     // Majority vote with nearest-first tie-break.
-    let labels: Vec<u8> = best
-        .iter()
-        .filter(|(d, _)| *d != u32::MAX)
-        .map(|(_, i)| train.labels[*i])
-        .collect();
+    let labels: Vec<u8> =
+        best.iter().filter(|(d, _)| *d != u32::MAX).map(|(_, i)| train.labels[*i]).collect();
     let mut winner = labels[0];
     let mut winner_votes = 0;
     for &l in &labels {
@@ -206,11 +233,8 @@ pub fn build_ir(m: &mut Module) -> FuncId {
 
     // classify_one(train, labels, ntrain, test_ptr) -> label
     let cls_id = {
-        let mut f = m.function(
-            "knn_classify_one",
-            &[Ty::I64, Ty::I64, Ty::I64, Ty::I64],
-            Some(Ty::I64),
-        );
+        let mut f =
+            m.function("knn_classify_one", &[Ty::I64, Ty::I64, Ty::I64, Ty::I64], Some(Ty::I64));
         let train = f.param(0);
         let labels = f.param(1);
         let ntrain = f.param(2);
@@ -392,10 +416,7 @@ mod tests {
     fn glyphs_are_distinct() {
         for a in 0..CLASSES {
             for b in (a + 1)..CLASSES {
-                assert!(
-                    hamming(&glyph(a), &glyph(b)) > 10,
-                    "glyphs {a} and {b} too similar"
-                );
+                assert!(hamming(&glyph(a), &glyph(b)) > 10, "glyphs {a} and {b} too similar");
             }
         }
     }

@@ -251,11 +251,7 @@ pub fn generate_image(w: usize, h: usize, faces: &[(usize, usize)], seed: u64) -
 pub fn build_ir(m: &mut Module) -> FuncId {
     // rect_sum(ii, iw, x0, y0, x1, y1) — 6 i64 args.
     let rs_id = {
-        let mut f = m.function(
-            "facedet_rect_sum",
-            &[Ty::I64; 6],
-            Some(Ty::I64),
-        );
+        let mut f = m.function("facedet_rect_sum", &[Ty::I64; 6], Some(Ty::I64));
         let (ii, iw) = (f.param(0), f.param(1));
         let (x0, y0, x1, y1) = (f.param(2), f.param(3), f.param(4), f.param(5));
         let load_at = |f: &mut xar_popcorn::ir::FunctionBuilder<'_>,
@@ -436,8 +432,7 @@ mod tests {
         assert_eq!(dets.len(), faces.len(), "dets: {dets:?}");
         for (fx, fy) in faces {
             assert!(
-                dets.iter()
-                    .any(|d| d.x.abs_diff(fx) <= 8 && d.y.abs_diff(fy) <= 8),
+                dets.iter().any(|d| d.x.abs_diff(fx) <= 8 && d.y.abs_diff(fy) <= 8),
                 "face at ({fx},{fy}) not found in {dets:?}"
             );
         }

@@ -200,15 +200,14 @@ pub fn bfs_profile(nodes: u64) -> CostProfile {
         (4_000, 458.04, 8_760.80),
         (5_000, 721.48, 13_524.76),
     ];
-    let (x86, fpga_total) = TABLE4
-        .iter()
-        .find(|(n, _, _)| *n == nodes)
-        .map(|(_, x, f)| (*x, *f))
-        .unwrap_or_else(|| {
-            // Interpolate quadratically beyond the table.
-            let k = nodes as f64 / 5_000.0;
-            (721.48 * k * k, 13_524.76 * k * k)
-        });
+    let (x86, fpga_total) =
+        TABLE4.iter().find(|(n, _, _)| *n == nodes).map(|(_, x, f)| (*x, *f)).unwrap_or_else(
+            || {
+                // Interpolate quadratically beyond the table.
+                let k = nodes as f64 / 5_000.0;
+                (721.48 * k * k, 13_524.76 * k * k)
+            },
+        );
     let in_bytes = nodes * 5 * 8;
     let pcie_ms = 0.01 + in_bytes as f64 / 32.0e6;
     CostProfile {
@@ -230,14 +229,12 @@ pub fn bfs_profile(nodes: u64) -> CostProfile {
 /// pointers through parameters, the selected `knn_classify` function,
 /// the HLS kernel, and the profile.
 pub fn digitrec_bundle(tests: usize) -> AppBundle {
-    let mut module = xar_popcorn::ir::Module::new(if tests >= 2000 {
-        "digit2000"
-    } else {
-        "digit500"
-    });
+    let mut module =
+        xar_popcorn::ir::Module::new(if tests >= 2000 { "digit2000" } else { "digit500" });
     let knn = crate::digitrec::build_ir(&mut module);
     // main(train, labels, ntrain, tests, ntest, out) -> predictions base
-    let mut f = module.function("main", &[xar_popcorn::ir::Ty::I64; 6], Some(xar_popcorn::ir::Ty::I64));
+    let mut f =
+        module.function("main", &[xar_popcorn::ir::Ty::I64; 6], Some(xar_popcorn::ir::Ty::I64));
     let args: Vec<_> = (0..6).map(|i| f.param(i)).collect();
     let r = f.call(knn, &args).unwrap();
     f.ret(Some(r));
@@ -254,13 +251,11 @@ pub fn digitrec_bundle(tests: usize) -> AppBundle {
 
 /// Builds the [`AppBundle`] for face detection at `w`×`h`.
 pub fn facedet_bundle(w: usize, h: usize) -> AppBundle {
-    let mut module = xar_popcorn::ir::Module::new(if w >= 640 { "facedet640" } else { "facedet320" });
+    let mut module =
+        xar_popcorn::ir::Module::new(if w >= 640 { "facedet640" } else { "facedet320" });
     let fd = crate::facedet::build_ir(&mut module);
-    let mut f = module.function(
-        "main",
-        &[xar_popcorn::ir::Ty::I64; 3],
-        Some(xar_popcorn::ir::Ty::I64),
-    );
+    let mut f =
+        module.function("main", &[xar_popcorn::ir::Ty::I64; 3], Some(xar_popcorn::ir::Ty::I64));
     let args: Vec<_> = (0..3).map(|i| f.param(i)).collect();
     let r = f.call(fd, &args).unwrap();
     f.ret(Some(r));
@@ -279,11 +274,8 @@ pub fn facedet_bundle(w: usize, h: usize) -> AppBundle {
 pub fn cg_bundle() -> AppBundle {
     let mut module = xar_popcorn::ir::Module::new("cg_a");
     let cg = crate::cg::build_ir(&mut module);
-    let mut f = module.function(
-        "main",
-        &[xar_popcorn::ir::Ty::I64; 6],
-        Some(xar_popcorn::ir::Ty::F64),
-    );
+    let mut f =
+        module.function("main", &[xar_popcorn::ir::Ty::I64; 6], Some(xar_popcorn::ir::Ty::F64));
     let args: Vec<_> = (0..6).map(|i| f.param(i)).collect();
     let r = f.call(cg, &args).unwrap();
     f.ret(Some(r));
@@ -302,11 +294,8 @@ pub fn cg_bundle() -> AppBundle {
 pub fn bfs_bundle(nodes: u64) -> AppBundle {
     let mut module = xar_popcorn::ir::Module::new("bfs");
     let b = crate::bfs::build_ir(&mut module);
-    let mut f = module.function(
-        "main",
-        &[xar_popcorn::ir::Ty::I64; 4],
-        Some(xar_popcorn::ir::Ty::I64),
-    );
+    let mut f =
+        module.function("main", &[xar_popcorn::ir::Ty::I64; 4], Some(xar_popcorn::ir::Ty::I64));
     let args: Vec<_> = (0..4).map(|i| f.param(i)).collect();
     let r = f.call(b, &args).unwrap();
     f.ret(Some(r));
@@ -338,10 +327,7 @@ mod tests {
         for (p, (name, x86, fpga, arm)) in all_profiles().iter().zip(table1) {
             assert_eq!(p.name, name);
             let vanilla = p.vanilla_x86_ms();
-            assert!(
-                (vanilla - x86).abs() / x86 < 0.015,
-                "{name} vanilla {vanilla} vs {x86}"
-            );
+            assert!((vanilla - x86).abs() / x86 < 0.015, "{name} vanilla {vanilla} vs {x86}");
             // FPGA path: pre + pcie + kernel + pcie + post.
             let pcie = |b: u64| 0.01 + b as f64 / 32.0e6;
             let t_fpga = p.pre_ms
@@ -350,10 +336,7 @@ mod tests {
                 + p.fpga_setup_ms
                 + p.fpga_kernel_ms
                 + pcie(p.out_bytes);
-            assert!(
-                (t_fpga - fpga).abs() / fpga < 0.015,
-                "{name} fpga {t_fpga} vs {fpga}"
-            );
+            assert!((t_fpga - fpga).abs() / fpga < 0.015, "{name} fpga {t_fpga} vs {fpga}");
             // ARM path: pre + xform + eth out + func + eth back + post.
             let eth = |b: u64| 0.05 + b as f64 / 0.125e6;
             let t_arm = p.pre_ms
@@ -362,10 +345,7 @@ mod tests {
                 + eth(p.state_bytes)
                 + p.func_arm_ms
                 + eth(p.out_bytes.max(4096));
-            assert!(
-                (t_arm - arm).abs() / arm < 0.015,
-                "{name} arm {t_arm} vs {arm}"
-            );
+            assert!((t_arm - arm).abs() / arm < 0.015, "{name} arm {t_arm} vs {arm}");
         }
     }
 
@@ -409,12 +389,9 @@ mod tests {
 
     #[test]
     fn bundles_compile() {
-        for bundle in [
-            digitrec_bundle(500),
-            facedet_bundle(320, 240),
-            cg_bundle(),
-            bfs_bundle(1000),
-        ] {
+        for bundle in
+            [digitrec_bundle(500), facedet_bundle(320, 240), cg_bundle(), bfs_bundle(1000)]
+        {
             let bin = xar_popcorn::compile(&bundle.module)
                 .unwrap_or_else(|e| panic!("{}: {e}", bundle.name));
             assert!(bin.func_addr("main").is_some());

@@ -24,10 +24,7 @@ fn arrivals() -> Vec<Arrival> {
     }
     let mut arr = batch_arrivals(&specs);
     for i in 0..100 {
-        arr.push(Arrival {
-            at_ns: 0.0,
-            spec: JobSpec::background(format!("MG-B-{i}"), 1e7),
-        });
+        arr.push(Arrival { at_ns: 0.0, spec: JobSpec::background(format!("MG-B-{i}"), 1e7) });
     }
     arr
 }

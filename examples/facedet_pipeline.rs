@@ -24,12 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "B+C multi-ISA binary: {} bytes ({} call sites, {} migration points)",
         app.binary.total_size(),
         app.binary.meta.call_sites.len(),
-        app.binary
-            .meta
-            .call_sites
-            .iter()
-            .filter(|c| c.is_migration_point)
-            .count()
+        app.binary.meta.call_sites.iter().filter(|c| c.is_migration_point).count()
     );
     println!(
         "D  XO {}: {} | depth {} II {}",

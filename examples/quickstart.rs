@@ -75,10 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     exec.migrate_at_migpoint(5, Isa::Arm64e);
     let ret = exec.run("main", &[10])?;
     let mig = &exec.stats().migrations[0];
-    println!(
-        "\nmigrated at migration point {}: {} -> {}",
-        mig.at_migpoint, mig.from, mig.to
-    );
+    println!("\nmigrated at migration point {}: {} -> {}", mig.at_migpoint, mig.from, mig.to);
     println!(
         "  transformed {} frames, copied {} live slots, wrote {} stack bytes",
         mig.stats.frames, mig.stats.slots_copied, mig.stats.bytes_written

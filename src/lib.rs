@@ -12,7 +12,11 @@
 //! * [`workloads`] — the paper's five benchmarks (golden Rust, IR, HLS
 //!   kernels, calibrated profiles);
 //! * [`core`] — Xar-Trek proper: compiler steps A–G, Algorithms 1–2,
-//!   the TCP scheduler server/client, and the experiment drivers.
+//!   the TCP scheduler server/client, and the experiment drivers;
+//! * [`sched`] — the production scheduler daemon: binary wire protocol
+//!   v2 (with v1 text fallback), sharded policy engine with a
+//!   lock-free decide path, worker-pool connection layer, and batched
+//!   telemetry.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
 //! paper-to-module map, and `EXPERIMENTS.md` for paper-vs-measured
@@ -23,4 +27,5 @@ pub use xar_desim as desim;
 pub use xar_hls as hls;
 pub use xar_isa as isa;
 pub use xar_popcorn as popcorn;
+pub use xar_sched as sched;
 pub use xar_workloads as workloads;

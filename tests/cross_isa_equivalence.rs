@@ -79,9 +79,8 @@ fn bfs_ir_matches_golden_on_both_isas() {
                 mem.write_u64(adj + (i * 8) as u64, *v as u64);
             }
         }
-        let sum = e
-            .run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64])
-            .unwrap();
+        let sum =
+            e.run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64]).unwrap();
         assert_eq!(sum as u64, golden, "{isa}");
     }
 }
@@ -146,9 +145,7 @@ fn facedet_ir_matches_golden_on_both_isas() {
         for (k, v) in ii.iter().enumerate() {
             e.memory_mut().write_u64(ii_ptr + (k * 8) as u64, *v);
         }
-        let count = e
-            .run("facedet_count", &[ii_ptr as i64, img.w as i64, img.h as i64])
-            .unwrap();
+        let count = e.run("facedet_count", &[ii_ptr as i64, img.w as i64, img.h as i64]).unwrap();
         assert_eq!(count as u64, golden, "{isa}");
     }
 }
@@ -177,8 +174,7 @@ fn per_isa_cycle_counts_differ_for_same_program() {
                 mem.write_u64(adj + (i * 8) as u64, *v as u64);
             }
         }
-        e.run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64])
-            .unwrap();
+        e.run("bfs_depth_sum", &[rp as i64, adj as i64, scratch as i64, n as i64]).unwrap();
         cycles.push(e.stats().cycles[isa]);
     }
     assert_ne!(cycles[0], cycles[1]);

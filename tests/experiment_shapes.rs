@@ -16,7 +16,11 @@ fn val(e: &exp::Experiment, series: &str, x: &str) -> f64 {
 
 #[test]
 fn fig3_low_load_xar_trek_close_to_best_and_arm_always_worst() {
-    let e = exp::fig3(3);
+    // 8 seed-averaged runs: with the offline `rand` shim the sampled
+    // app sets differ from the real StdRng stream, and 3-run averages
+    // of 1–5-app sets are noisy enough (duplicate-heavy draws) to
+    // brush the 25% band.
+    let e = exp::fig3(8);
     for x in ["1", "2", "3", "4", "5"] {
         let vx = val(&e, "vanilla-x86", x);
         let xt = val(&e, "xar-trek", x);

@@ -136,9 +136,7 @@ fn tcp_scheduler_drives_des_experiment() {
                 .expect("tcp decide")
         }
         fn on_complete(&mut self, r: &xar_trek::desim::CompletionReport<'_>) {
-            self.client
-                .report(r.app, r.target, r.func_ms, r.x86_load)
-                .expect("tcp report");
+            self.client.report(r.app, r.target, r.func_ms, r.x86_load).expect("tcp report");
         }
         fn name(&self) -> &str {
             "tcp-proxy"
@@ -184,9 +182,8 @@ fn threshold_table_file_roundtrip() {
     }
     let path = std::env::temp_dir().join(format!("xar_thresholds_{}.txt", std::process::id()));
     std::fs::write(&path, table.to_text()).unwrap();
-    let back =
-        xar_trek::core::ThresholdTable::from_text(&std::fs::read_to_string(&path).unwrap())
-            .unwrap();
+    let back = xar_trek::core::ThresholdTable::from_text(&std::fs::read_to_string(&path).unwrap())
+        .unwrap();
     assert_eq!(back, table);
     std::fs::remove_file(&path).ok();
 }
@@ -216,9 +213,7 @@ fn figure2_flag_semantics_end_to_end() {
                 out_bytes: 8,
                 compute_ms: 71.7,
             },
-            Box::new(move |_mem, _spill| {
-                xar_trek::workloads::facedet::count_windows(&img2) as i64
-            }),
+            Box::new(move |_mem, _spill| xar_trek::workloads::facedet::count_windows(&img2) as i64),
         );
         handler.set_flag(2, flag);
         let mut e = Executor::with_handler(&app.binary, Isa::Xar86, handler);

@@ -1,0 +1,214 @@
+//! Concurrency tests of the `xar-sched` daemon: ≥ 32 simultaneous
+//! clients (a mix of v2 binary and legacy v1 text), decision
+//! consistency against the single-threaded reference policy, identical
+//! threshold-table convergence, and graceful shutdown under load.
+
+use std::sync::Arc;
+use xar_trek::core::server::{
+    spawn_sharded, EngineConfig, SchedulerClient, ServerConfig, V2Client,
+};
+use xar_trek::core::XarTrekPolicy;
+use xar_trek::desim::{ClusterConfig, CompletionReport, DecideCtx, Decision, Policy, Target};
+use xar_trek::sched::ReportOwned;
+
+const CLIENTS: usize = 32;
+const OPS_PER_CLIENT: usize = 20;
+const APPS: [&str; 5] = ["Digit2000", "Digit500", "FaceDet320", "FaceDet640", "CG-A"];
+
+fn policy() -> XarTrekPolicy {
+    let specs: Vec<_> = xar_trek::workloads::all_profiles().iter().map(|p| p.job()).collect();
+    XarTrekPolicy::from_specs(&specs, &ClusterConfig::default())
+}
+
+fn ctx<'a>(app: &'a str, load: usize, resident: bool) -> DecideCtx<'a> {
+    DecideCtx {
+        app,
+        kernel: "k",
+        x86_load: load,
+        arm_load: 0,
+        kernel_resident: resident,
+        device_ready: true,
+        now_ns: 0.0,
+    }
+}
+
+/// One client's slice of the workload: `decides` round trips (protocol
+/// chosen by client index parity), then `reports` slow-FPGA reports.
+fn run_client(
+    c: usize,
+    addr: std::net::SocketAddr,
+    decides: usize,
+    reports: usize,
+) -> Vec<(Decision, Decision)> {
+    let app = APPS[c % APPS.len()];
+    let mut out = Vec::with_capacity(decides);
+    if c.is_multiple_of(2) {
+        let mut cl = V2Client::connect(addr).unwrap();
+        for _ in 0..decides {
+            out.push((
+                cl.decide(app, "k", 2, true).unwrap(),
+                cl.decide(app, "k", 200, true).unwrap(),
+            ));
+        }
+        for _ in 0..reports {
+            // Slow FPGA runs: Algorithm 1 bumps fpga_thr by +1 each —
+            // commutative, so any interleaving converges identically.
+            cl.report(app, Target::Fpga, 1e9, 2).unwrap();
+        }
+    } else {
+        // Legacy v1 text client against the same port.
+        let mut cl = SchedulerClient::connect(addr).unwrap();
+        for _ in 0..decides {
+            out.push((
+                cl.decide(app, "k", 2, true).unwrap(),
+                cl.decide(app, "k", 200, true).unwrap(),
+            ));
+        }
+        for _ in 0..reports {
+            cl.report(app, Target::Fpga, 1e9, 2).unwrap();
+        }
+    }
+    out
+}
+
+fn spawn_fleet(
+    addr: std::net::SocketAddr,
+    decides: usize,
+    reports: usize,
+) -> Vec<(usize, Vec<(Decision, Decision)>)> {
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                (c, run_client(c, addr, decides, reports))
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// 32 concurrent clients decide against a quiescent table (identical
+/// decisions to the sequential policy), then storm it with 32×20
+/// commutative reports (identical table convergence to the sequential
+/// path), and post-convergence decisions agree again.
+#[test]
+fn thirty_two_concurrent_clients_match_single_threaded_path() {
+    let daemon = spawn_sharded(
+        &policy(),
+        EngineConfig { shards: 8, batch: 4 },
+        ServerConfig { workers: 4, poll_interval: std::time::Duration::from_micros(100) },
+    )
+    .unwrap();
+    let addr = daemon.addr();
+    let mut reference = policy();
+
+    // Phase 1 — decide-only storm: no state changes, so every client
+    // must see exactly the sequential policy's decisions.
+    let expected: Vec<(Decision, Decision)> = APPS
+        .iter()
+        .map(|app| (reference.decide(&ctx(app, 2, true)), reference.decide(&ctx(app, 200, true))))
+        .collect();
+    for (c, decisions) in spawn_fleet(addr, OPS_PER_CLIENT, 0) {
+        let want = expected[c % APPS.len()];
+        for got in decisions {
+            assert_eq!(got, want, "client {c} ({})", APPS[c % APPS.len()]);
+        }
+    }
+
+    // Phase 2 — report storm: 32 clients × 20 slow-FPGA reports.
+    let mut clients_per_app = [0usize; APPS.len()];
+    for c in 0..CLIENTS {
+        clients_per_app[c % APPS.len()] += 1;
+    }
+    spawn_fleet(addr, 0, OPS_PER_CLIENT);
+
+    // Sequential reference: the same reports, one after another.
+    for (app, &clients) in APPS.iter().zip(&clients_per_app) {
+        for _ in 0..clients * OPS_PER_CLIENT {
+            reference.on_complete(&CompletionReport {
+                app,
+                target: Target::Fpga,
+                func_ms: 1e9,
+                x86_load: 2,
+            });
+        }
+    }
+    let reference_rows: Vec<_> =
+        reference.table.iter().map(|e| (e.app.clone(), e.fpga_thr, e.arm_thr)).collect();
+    let daemon_rows: Vec<_> =
+        daemon.engine().table().into_iter().map(|e| (e.app, e.fpga_thr, e.arm_thr)).collect();
+    assert_eq!(daemon_rows, reference_rows, "identical convergence");
+
+    // Phase 3 — decisions on the converged table agree again.
+    let mut cl = V2Client::connect(addr).unwrap();
+    for app in APPS {
+        for load in [2usize, 50, 200] {
+            assert_eq!(
+                cl.decide(app, "k", load as u32, true).unwrap(),
+                reference.decide(&ctx(app, load, true)),
+                "{app} at load {load} after convergence"
+            );
+        }
+    }
+
+    let m = daemon.engine().metrics_total();
+    assert_eq!(m.decides, (CLIENTS * OPS_PER_CLIENT * 2 + APPS.len() * 3) as u64);
+    assert_eq!(m.reports, (CLIENTS * OPS_PER_CLIENT) as u64);
+    assert!(m.batches < m.reports, "batching amortized at least some applies");
+    daemon.shutdown();
+}
+
+/// A v2 batch-report frame must be equivalent to the same reports sent
+/// one by one.
+#[test]
+fn batch_report_equals_sequential_reports() {
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+    let mut cl = V2Client::connect(daemon.addr()).unwrap();
+    let reports: Vec<ReportOwned> = (0..100)
+        .map(|i| ReportOwned {
+            app: if i % 2 == 0 { "Digit2000" } else { "CG-A" }.into(),
+            target: if i % 2 == 0 { Target::Fpga } else { Target::Arm },
+            func_ms: 1e9,
+            x86_load: 3,
+        })
+        .collect();
+    assert_eq!(cl.report_batch(&reports).unwrap(), 100);
+
+    let mut reference = policy();
+    for r in &reports {
+        reference.on_complete(&CompletionReport {
+            app: &r.app,
+            target: r.target,
+            func_ms: r.func_ms,
+            x86_load: r.x86_load as usize,
+        });
+    }
+    let got = cl.fetch_table().unwrap();
+    let want: Vec<_> =
+        reference.table.iter().map(|e| (e.app.clone(), e.fpga_thr, e.arm_thr)).collect();
+    let got: Vec<_> = got.into_iter().map(|e| (e.app, e.fpga_thr, e.arm_thr)).collect();
+    assert_eq!(got, want);
+    daemon.shutdown();
+}
+
+/// Shutdown must complete promptly even with idle clients still
+/// connected (the v1 seed server's accept loop could hang instead).
+#[test]
+fn graceful_shutdown_with_connected_clients() {
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+    let addr = daemon.addr();
+    let _idle: Vec<V2Client> = (0..8).map(|_| V2Client::connect(addr).unwrap()).collect();
+    let started = std::time::Instant::now();
+    daemon.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "shutdown hung: {:?}",
+        started.elapsed()
+    );
+    // And the port is actually gone.
+    assert!(V2Client::connect(addr).is_err());
+}
