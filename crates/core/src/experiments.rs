@@ -70,6 +70,21 @@ fn xar_policy(cfg: &ClusterConfig) -> XarTrekPolicy {
     XarTrekPolicy::from_specs(&profile_specs(), cfg)
 }
 
+/// The default Xar-Trek policy for figure generation: the production
+/// sharded engine behind the daemon's [`xar_sched::ShardedPolicy`]
+/// adapter, so every regenerated table exercises the snapshot decide
+/// path and batched report ingestion the daemon serves. With `batch =
+/// 1` it is report-for-report identical to the plain policy, keeping
+/// the figures deterministic. (The ablations keep the plain policy:
+/// they flip its flags directly.)
+fn xar_sharded(cfg: &ClusterConfig) -> xar_sched::ShardedPolicy<XarTrekPolicy> {
+    let engine = crate::server::sharded_engine(
+        &xar_policy(cfg),
+        crate::server::EngineConfig { shards: 8, batch: 1 },
+    );
+    xar_sched::ShardedPolicy::new(std::sync::Arc::new(engine))
+}
+
 /// Runs one simulation with a fresh cluster: `preload` controls whether
 /// kernels are resident at t=0 (step-F download) or must be configured
 /// at run-time.
@@ -204,7 +219,7 @@ pub fn fixed_load(
             sums[0] += run_sim(AlwaysX86, arrivals.clone(), &xclbins, true).mean_exec_ms();
             sums[1] += run_sim(AlwaysFpga, arrivals.clone(), &xclbins, true).mean_exec_ms();
             sums[2] += run_sim(AlwaysArm, arrivals.clone(), &xclbins, true).mean_exec_ms();
-            sums[3] += run_sim(xar_policy(&cfg), arrivals, &xclbins, true).mean_exec_ms();
+            sums[3] += run_sim(xar_sharded(&cfg), arrivals, &xclbins, true).mean_exec_ms();
         }
         for (s, sum) in series.iter_mut().zip(sums) {
             s.points.push((size.to_string(), sum / runs as f64));
@@ -250,7 +265,7 @@ pub fn fig6() -> Experiment {
             .push((n_bg.to_string(), tp(run_sim(AlwaysFpga, arrivals.clone(), &xclbins, false))));
         series[2]
             .points
-            .push((n_bg.to_string(), tp(run_sim(xar_policy(&cfg), arrivals, &xclbins, false))));
+            .push((n_bg.to_string(), tp(run_sim(xar_sharded(&cfg), arrivals, &xclbins, false))));
     }
     Experiment { id: "Figure 6".into(), metric: "throughput (images/s)".into(), series }
 }
@@ -279,7 +294,7 @@ pub fn fig7() -> Experiment {
     for (label, mean) in [
         ("vanilla-x86", run_sim(AlwaysX86, arrivals.clone(), &xclbins, true).mean_exec_ms()),
         ("vanilla-fpga", run_sim(AlwaysFpga, arrivals.clone(), &xclbins, true).mean_exec_ms()),
-        ("xar-trek", run_sim(xar_policy(&cfg), arrivals.clone(), &xclbins, true).mean_exec_ms()),
+        ("xar-trek", run_sim(xar_sharded(&cfg), arrivals.clone(), &xclbins, true).mean_exec_ms()),
     ] {
         series.push(Series { label: label.into(), points: vec![("mean".into(), mean)] });
     }
@@ -326,7 +341,7 @@ pub fn fig8() -> Experiment {
     for (label, v) in [
         ("vanilla-x86", tp(run_sim(AlwaysX86, arrivals.clone(), &xclbins, true))),
         ("vanilla-fpga", tp(run_sim(AlwaysFpga, arrivals.clone(), &xclbins, true))),
-        ("xar-trek", tp(run_sim(xar_policy(&cfg), arrivals.clone(), &xclbins, true))),
+        ("xar-trek", tp(run_sim(xar_sharded(&cfg), arrivals.clone(), &xclbins, true))),
     ] {
         series.push(Series { label: label.into(), points: vec![("mean".into(), v)] });
     }
@@ -359,7 +374,7 @@ pub fn fig9() -> Experiment {
         ));
         series[1]
             .points
-            .push((pct, run_sim(xar_policy(&cfg), arrivals, &xclbins, true).mean_exec_ms()));
+            .push((pct, run_sim(xar_sharded(&cfg), arrivals, &xclbins, true).mean_exec_ms()));
     }
     Experiment {
         id: "Figure 9".into(),

@@ -84,6 +84,26 @@ impl XarTrekPolicy {
         Decision { target: Target::X86, reconfigure: false }
     }
 
+    /// Algorithm 2 against a threshold table: the one decision path
+    /// shared by the live [`Policy`] impl and the daemon's
+    /// [`xar_sched::PolicyCore`] snapshot impl, so the two cannot
+    /// drift.
+    fn decide_against(table: &ThresholdTable, ctx: &DecideCtx<'_>) -> Decision {
+        match table.get(ctx.app) {
+            Some(e) => {
+                Self::algorithm2(ctx.x86_load as u32, e.fpga_thr, e.arm_thr, ctx.kernel_resident)
+            }
+            None => Decision::to(Target::X86),
+        }
+    }
+
+    /// Whether a launch should trigger an early FPGA configuration
+    /// (paper §3.1) given the policy's flag — shared by both impls
+    /// like [`Self::decide_against`].
+    fn early_config_against(early_config: bool, ctx: &DecideCtx<'_>) -> bool {
+        early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
+    }
+
     /// Splits the policy into `n` per-app-group shard policies for
     /// [`xar_sched::ShardedEngine`]: each shard receives exactly the
     /// table rows and reference times of the apps that
@@ -166,19 +186,11 @@ impl xar_sched::PolicyCore for XarTrekPolicy {
     }
 
     fn decide(snap: &PolicySnapshot, ctx: &DecideCtx<'_>) -> Decision {
-        match snap.table.get(ctx.app) {
-            Some(entry) => Self::algorithm2(
-                ctx.x86_load as u32,
-                entry.fpga_thr,
-                entry.arm_thr,
-                ctx.kernel_resident,
-            ),
-            None => Decision::to(Target::X86),
-        }
+        Self::decide_against(&snap.table, ctx)
     }
 
     fn early_config(snap: &PolicySnapshot, ctx: &DecideCtx<'_>) -> bool {
-        snap.early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
+        Self::early_config_against(snap.early_config, ctx)
     }
 
     fn apply(&mut self, report: &CompletionReport<'_>) {
@@ -200,14 +212,11 @@ impl xar_sched::PolicyCore for XarTrekPolicy {
 
 impl Policy for XarTrekPolicy {
     fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
-        self.early_config && !ctx.kernel.is_empty() && !ctx.kernel_resident
+        Self::early_config_against(self.early_config, ctx)
     }
 
     fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
-        let Some(entry) = self.table.get(ctx.app) else {
-            return Decision::to(Target::X86);
-        };
-        Self::algorithm2(ctx.x86_load as u32, entry.fpga_thr, entry.arm_thr, ctx.kernel_resident)
+        Self::decide_against(&self.table, ctx)
     }
 
     fn on_complete(&mut self, report: &CompletionReport<'_>) {

@@ -1,0 +1,242 @@
+//! The readiness-notification backends: a shared [`Backend`] trait with
+//! an epoll implementation on Linux and a portable `poll(2)` fallback.
+//!
+//! Both backends are level-triggered: an event keeps firing while the
+//! condition holds, so a handler that cannot drain a socket completely
+//! is re-notified on the next poll instead of hanging. Interest is
+//! per-registration and re-armable via `reregister` — the reactor's
+//! callers flip between read and write interest as their buffers fill
+//! and drain.
+
+use crate::sys;
+use crate::{Event, Interest, Token};
+use std::io;
+
+/// A raw Unix file descriptor.
+pub type RawFd = sys::RawFd;
+
+/// Which readiness-notification implementation backs a reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// `epoll(7)` — Linux only; the default there.
+    #[cfg_attr(target_os = "linux", default)]
+    #[cfg(target_os = "linux")]
+    Epoll,
+    /// `poll(2)` — portable fallback, O(n) per wait.
+    #[cfg_attr(not(target_os = "linux"), default)]
+    Poll,
+}
+
+/// A readiness-notification backend. One instance belongs to one
+/// thread's event loop; cross-thread wakeups go through
+/// [`crate::Waker`], not the backend.
+pub trait Backend: Send {
+    /// Starts watching `fd` with `interest`, tagging events with
+    /// `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall error (e.g. `EEXIST`).
+    fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()>;
+
+    /// Replaces the interest set (and token) of an already-registered
+    /// `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall error (e.g. `ENOENT`).
+    fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()>;
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall error.
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+
+    /// Blocks until at least one registration is ready or `timeout_ms`
+    /// elapses (`-1` blocks indefinitely), appending events to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall error (`EINTR` is retried
+    /// internally).
+    fn poll(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()>;
+}
+
+/// Builds the backend for `kind`.
+///
+/// # Errors
+///
+/// Propagates backend-creation syscall errors.
+pub fn new_backend(kind: BackendKind) -> io::Result<Box<dyn Backend>> {
+    match kind {
+        #[cfg(target_os = "linux")]
+        BackendKind::Epoll => Ok(Box::new(EpollBackend::new()?)),
+        BackendKind::Poll => Ok(Box::new(PollBackend::new())),
+    }
+}
+
+// ----------------------------------------------------------------- epoll
+
+/// The epoll backend: one `epoll` instance, O(ready) per wait.
+#[cfg(target_os = "linux")]
+pub struct EpollBackend {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    /// Creates the epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<EpollBackend> {
+        Ok(EpollBackend {
+            epfd: sys::epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn bits(interest: Interest) -> u32 {
+        let mut ev = sys::EPOLLRDHUP;
+        if interest.is_readable() {
+            ev |= sys::EPOLLIN;
+        }
+        if interest.is_writable() {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Backend for EpollBackend {
+    fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_ADD, fd, Self::bits(interest), token.0 as u64)
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_MOD, fd, Self::bits(interest), token.0 as u64)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn poll(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let n = sys::epoll_wait_retry(self.epfd, &mut self.buf, timeout_ms)?;
+        for raw in &self.buf[..n] {
+            let bits = raw.events;
+            // Error/hangup conditions surface as both readable and
+            // writable so the handler attempts I/O and observes the
+            // failure (EOF or an error return) itself.
+            let fail = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            out.push(Event {
+                token: Token(raw.data as usize),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 || fail,
+                writable: bits & sys::EPOLLOUT != 0 || fail,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        sys::close_quiet(self.epfd);
+    }
+}
+
+// ----------------------------------------------------------------- poll
+
+/// The portable `poll(2)` backend: a flat registration list passed to
+/// the kernel on every wait — O(n), fine for the hundreds of
+/// connections one worker owns.
+#[derive(Default)]
+pub struct PollBackend {
+    fds: Vec<sys::PollFd>,
+    tokens: Vec<Token>,
+}
+
+impl PollBackend {
+    /// Creates an empty registration list.
+    pub fn new() -> PollBackend {
+        PollBackend::default()
+    }
+
+    fn bits(interest: Interest) -> i16 {
+        let mut ev = 0;
+        if interest.is_readable() {
+            ev |= sys::POLLIN;
+        }
+        if interest.is_writable() {
+            ev |= sys::POLLOUT;
+        }
+        ev
+    }
+
+    fn position(&self, fd: RawFd) -> Option<usize> {
+        self.fds.iter().position(|p| p.fd == fd)
+    }
+}
+
+impl Backend for PollBackend {
+    fn register(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        if self.position(fd).is_some() {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.fds.push(sys::PollFd { fd, events: Self::bits(interest), revents: 0 });
+        self.tokens.push(token);
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let i = self
+            .position(fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        self.fds[i].events = Self::bits(interest);
+        self.tokens[i] = token;
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let i = self
+            .position(fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        self.fds.swap_remove(i);
+        self.tokens.swap_remove(i);
+        Ok(())
+    }
+
+    fn poll(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        if self.fds.is_empty() {
+            // poll(2) with zero fds still sleeps for the timeout, but a
+            // reactor always holds its waker registration, so an empty
+            // list here means a bare backend; sleep to honor the call.
+            if timeout_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
+            }
+            return Ok(());
+        }
+        let n = sys::poll_retry(&mut self.fds, timeout_ms)?;
+        if n == 0 {
+            return Ok(());
+        }
+        for (p, token) in self.fds.iter().zip(&self.tokens) {
+            if p.revents == 0 {
+                continue;
+            }
+            let fail = p.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+            out.push(Event {
+                token: *token,
+                readable: p.revents & sys::POLLIN != 0 || fail,
+                writable: p.revents & sys::POLLOUT != 0 || fail,
+            });
+        }
+        Ok(())
+    }
+}

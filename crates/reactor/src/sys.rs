@@ -1,0 +1,183 @@
+//! Minimal `extern "C"` bindings to the handful of syscalls the
+//! reactor needs. Declared directly (no `libc` crate) to stay within
+//! the workspace's offline, dependency-free constraint; every wrapper
+//! converts `-1` returns into `std::io::Error::last_os_error()` and
+//! retries `EINTR` where that is the caller's only sane choice.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong, c_void};
+
+/// A raw Unix file descriptor (matches `std::os::unix::io::RawFd`).
+pub type RawFd = c_int;
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(not(target_os = "linux"))]
+pub const O_CLOEXEC: c_int = 0o2000000;
+#[cfg(not(target_os = "linux"))]
+pub const O_NONBLOCK: c_int = 0o4000;
+
+/// `struct pollfd` for the portable `poll(2)` backend.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The watched descriptor.
+    pub fd: RawFd,
+    /// Requested readiness bits.
+    pub events: i16,
+    /// Returned readiness bits.
+    pub revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    #[cfg(not(target_os = "linux"))]
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `poll(2)`, retrying `EINTR`; returns the number of ready entries.
+pub fn poll_retry(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    loop {
+        match cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) }) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A nonblocking close-on-exec pipe, returned as `(read, write)`.
+#[cfg(not(target_os = "linux"))]
+pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as c_int; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) })?;
+    Ok((fds[0], fds[1]))
+}
+
+/// Best-effort nonblocking read into `buf`; `Ok(0)` covers both EOF
+/// and would-block (the callers only ever drain wake signals).
+pub fn drain(fd: RawFd, buf: &mut [u8]) -> usize {
+    let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+    if n < 0 {
+        0
+    } else {
+        n as usize
+    }
+}
+
+/// Best-effort write of `buf`; errors (including a full pipe, which
+/// already guarantees a pending wake) are ignored.
+pub fn signal(fd: RawFd, buf: &[u8]) {
+    let _ = unsafe { write(fd, buf.as_ptr() as *const c_void, buf.len()) };
+}
+
+/// `close(fd)`, ignoring errors (used from `Drop` impls).
+pub fn close_quiet(fd: RawFd) {
+    let _ = unsafe { close(fd) };
+}
+
+// ------------------------------------------------------ Linux-only: epoll
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{cvt, RawFd};
+    use std::io;
+    use std::os::raw::{c_int, c_uint};
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// `struct epoll_event`. The kernel ABI packs this to 12 bytes on
+    /// x86/x86-64 (`__EPOLL_PACKED`); other architectures use natural
+    /// alignment.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        /// Readiness bit set (`EPOLLIN | …`).
+        pub events: u32,
+        /// User data — the reactor stores the registration token here.
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    }
+
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn epoll_create() -> io::Result<RawFd> {
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    /// One `epoll_ctl` operation; `event` is ignored by the kernel for
+    /// `EPOLL_CTL_DEL`.
+    pub fn epoll_control(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        events: u32,
+        data: u64,
+    ) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// `epoll_wait`, retrying `EINTR`; returns the number of events
+    /// filled.
+    pub fn epoll_wait_retry(
+        epfd: RawFd,
+        buf: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> io::Result<usize> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            match cvt(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// A nonblocking close-on-exec `eventfd`.
+    pub fn eventfd_nonblocking() -> io::Result<RawFd> {
+        cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+    }
+}

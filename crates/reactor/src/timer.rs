@@ -1,0 +1,207 @@
+//! A coarse hashed timer wheel for connection-level deadlines (idle
+//! timeouts, close-linger reaping). Coarse is the point: the daemon's
+//! timeouts are seconds-scale and tolerate one granule of slop, so the
+//! wheel never sorts — insertion hashes the deadline into a slot,
+//! expiry drains the slots the cursor has passed.
+
+use crate::Token;
+use std::time::{Duration, Instant};
+
+/// One pending deadline.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: Token,
+    /// Absolute tick at which the entry fires (entries further than one
+    /// wheel revolution away stay in their slot across laps).
+    tick: u64,
+}
+
+/// The wheel. At most one timer per token is kept: re-setting a token's
+/// timer replaces the previous deadline.
+#[derive(Debug)]
+pub struct TimerWheel {
+    start: Instant,
+    granularity: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Next tick the expiry sweep will examine.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets of `granularity` width each. One
+    /// revolution spans `slots × granularity`; longer deadlines are
+    /// kept and simply survive intermediate laps.
+    pub fn new(granularity: Duration, slots: usize) -> TimerWheel {
+        assert!(!granularity.is_zero(), "granularity must be nonzero");
+        TimerWheel {
+            start: Instant::now(),
+            granularity,
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Deadline tick: rounded up so a timer never fires before its
+    /// deadline.
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.start);
+        since.as_nanos().div_ceil(self.granularity.as_nanos()).min(u64::MAX as u128) as u64
+    }
+
+    /// Clock tick: rounded down, so `expire(now)` only fires entries
+    /// whose (rounded-up) deadline has fully elapsed — the two
+    /// roundings must not cancel, or timers fire up to a granule
+    /// early.
+    fn tick_floor(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.start);
+        (since.as_nanos() / self.granularity.as_nanos()).min(u64::MAX as u128) as u64
+    }
+
+    /// Arms (or re-arms) `token`'s timer to fire `after` from now.
+    pub fn set(&mut self, token: Token, after: Duration) {
+        self.cancel(token);
+        let tick = self.tick_of(Instant::now() + after).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, tick });
+        self.len += 1;
+    }
+
+    /// Disarms `token`'s timer, if any.
+    pub fn cancel(&mut self, token: Token) {
+        if self.len == 0 {
+            return; // common case: deregister of a timer-less token
+        }
+        for slot in &mut self.slots {
+            let before = slot.len();
+            slot.retain(|e| e.token != token);
+            self.len -= before - slot.len();
+        }
+    }
+
+    /// The next deadline as a wait budget from now (`None` when the
+    /// wheel is empty; zero when a timer is already due).
+    pub fn next_wait(&self) -> Option<Duration> {
+        let min_tick = self.slots.iter().flatten().map(|e| e.tick).min()?;
+        let nanos = (self.granularity.as_nanos() as u64).saturating_mul(min_tick);
+        let deadline = self.start + Duration::from_nanos(nanos);
+        Some(deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// Drains every timer due at `now` into `out`.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<Token>) {
+        if self.len == 0 {
+            self.cursor = self.tick_floor(now);
+            return;
+        }
+        let now_tick = self.tick_floor(now);
+        // Sweep each slot at most once per call, even if the cursor
+        // fell more than a revolution behind.
+        let sweeps = (now_tick - self.cursor + 1).min(self.slots.len() as u64);
+        for i in 0..sweeps {
+            let slot = ((self.cursor + i) % self.slots.len() as u64) as usize;
+            let entries = &mut self.slots[slot];
+            let mut j = 0;
+            while j < entries.len() {
+                if entries[j].tick <= now_tick {
+                    out.push(entries.swap_remove(j).token);
+                    self.len -= 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_after_their_deadline_not_before() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 16);
+        w.set(Token(1), Duration::from_millis(40));
+        let mut out = Vec::new();
+        w.expire(Instant::now(), &mut out);
+        assert!(out.is_empty(), "not due yet");
+        std::thread::sleep(Duration::from_millis(60));
+        w.expire(Instant::now(), &mut out);
+        assert_eq!(out, [Token(1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_and_rearm_replace_previous_deadline() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 16);
+        w.set(Token(7), Duration::from_millis(10));
+        w.set(Token(7), Duration::from_secs(60)); // re-arm far out
+        assert_eq!(w.len(), 1, "one timer per token");
+        std::thread::sleep(Duration::from_millis(30));
+        let mut out = Vec::new();
+        w.expire(Instant::now(), &mut out);
+        assert!(out.is_empty(), "old deadline was replaced");
+        w.cancel(Token(7));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn long_deadlines_survive_full_revolutions() {
+        // 8 slots × 5 ms = one 40 ms revolution; a 100 ms timer must
+        // survive two laps of the cursor.
+        let mut w = TimerWheel::new(Duration::from_millis(5), 8);
+        w.set(Token(3), Duration::from_millis(100));
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(20));
+            w.expire(Instant::now(), &mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out, [Token(3)]);
+    }
+
+    #[test]
+    fn coarse_rounding_never_fires_a_timer_early() {
+        // Deadline 75 ms on a 50 ms wheel rounds UP to the 100 ms
+        // tick; the clock must round DOWN, so at ~60 ms (tick 1) the
+        // timer is not yet due — the two roundings must not cancel.
+        let mut w = TimerWheel::new(Duration::from_millis(50), 8);
+        let armed = Instant::now();
+        w.set(Token(1), Duration::from_millis(75));
+        std::thread::sleep(Duration::from_millis(60));
+        let mut out = Vec::new();
+        if armed.elapsed() < Duration::from_millis(95) {
+            w.expire(Instant::now(), &mut out);
+            assert!(out.is_empty(), "fired {:?} early", out);
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        w.expire(Instant::now(), &mut out);
+        assert_eq!(out, [Token(1)]);
+    }
+
+    #[test]
+    fn next_wait_tracks_the_earliest_timer() {
+        let mut w = TimerWheel::new(Duration::from_millis(10), 16);
+        assert!(w.next_wait().is_none());
+        w.set(Token(1), Duration::from_secs(5));
+        w.set(Token(2), Duration::from_millis(50));
+        let wait = w.next_wait().unwrap();
+        assert!(wait <= Duration::from_millis(70), "{wait:?}");
+        w.cancel(Token(2));
+        assert!(w.next_wait().unwrap() > Duration::from_secs(1));
+    }
+}

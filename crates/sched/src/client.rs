@@ -140,7 +140,7 @@ impl V2Client {
         // Conservative per-frame byte budget so even pathological app
         // names cannot push an encoded frame past MAX_FRAME.
         const FRAME_BUDGET: usize = wire::MAX_FRAME / 2;
-        let encoded_len = |r: &ReportOwned| 2 + r.app.len() + 1 + 8 + 4;
+        let encoded_len = |r: &ReportOwned| wire::encoded_report_len(r.app.len());
         let mut accepted = 0u32;
         let mut chunk: Vec<WireReport<'_>> = Vec::new();
         let mut chunk_bytes = 0usize;

@@ -16,11 +16,14 @@
 //!   ([`snapshot::ArcCell`]) giving decide a lock-free read path and
 //!   batched REPORT ingestion amortizing Algorithm 1 updates across
 //!   hundreds of clients.
-//! * [`server`] — the **connection layer**: one nonblocking acceptor
-//!   plus a fixed worker pool with per-connection buffers (instead of
-//!   thread-per-client), graceful shutdown, and per-shard
-//!   [`metrics`] (decides, migrations, batch amortization, p50/p99
-//!   decide latency).
+//! * [`server`] — the **connection layer**: one readiness-driven
+//!   acceptor plus a fixed worker pool, each worker blocking on its own
+//!   [`xar_reactor::Reactor`] (epoll on Linux, portable `poll(2)`
+//!   fallback) with per-connection buffers, interest re-arm
+//!   backpressure, an outbuf high-water cap, close-linger reaping on a
+//!   coarse timer wheel, graceful shutdown, and per-shard [`metrics`]
+//!   (decides, migrations, batch amortization, p50/p99 decide
+//!   latency).
 //! * [`client`] — the blocking v2 client for application binaries.
 //! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
 //!   simulations of 1000+ apps exercise the daemon's exact code path.
@@ -44,3 +47,4 @@ pub use engine::{shard_of, EngineConfig, PolicyCore, ReportOwned, ShardedEngine,
 pub use metrics::{MetricsSnapshot, ShardMetrics};
 pub use server::{Server, ServerConfig};
 pub use snapshot::ArcCell;
+pub use xar_reactor::BackendKind;

@@ -1,15 +1,16 @@
 //! The scheduler daemon: a fixed worker-thread pool multiplexing
-//! nonblocking connections with per-connection buffers.
+//! nonblocking connections over [`xar_reactor`] readiness notification.
 //!
-//! One acceptor thread owns a nonblocking listener (so shutdown is
-//! observed within one poll interval — no connect-to-self tricks) and
-//! hands sockets to workers round-robin. Each worker level-polls its
-//! connections: drains readable bytes into the connection's input
-//! buffer, processes every complete frame (v2) or line (v1), and
-//! drains the output buffer, sleeping only when every connection is
-//! idle. This serves thousands of mostly-idle scheduler clients with a
-//! handful of threads, where the paper's thread-per-client model would
-//! need one thread each.
+//! One acceptor thread owns a nonblocking listener registered with its
+//! own reactor and hands sockets to workers round-robin (waking the
+//! chosen worker's reactor for the handoff). Each worker owns a
+//! [`Reactor`]: connections register read interest, re-arm to write
+//! interest while replies are backed up, and the worker blocks in the
+//! kernel until a socket is actually ready — no idle polling, no sleep
+//! quantum, no busy-yield. Close-linger reaping rides the reactor's
+//! coarse timer wheel. This serves thousands of mostly-idle scheduler
+//! clients with a handful of threads at zero idle CPU, where the
+//! paper's thread-per-client model would need one thread each.
 //!
 //! The first bytes of a connection select the protocol: the v2
 //! handshake magic, or anything else for the legacy v1 text protocol
@@ -19,43 +20,55 @@ use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
 use crate::wire::{self, Request, Response, WireEntry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use xar_desim::DecideCtx;
+use xar_reactor::{BackendKind, Event, Interest, Reactor, Token, Waker};
 
 /// Connection-layer tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Worker threads multiplexing the connections.
     pub workers: usize,
-    /// Idle poll interval for workers and the acceptor.
+    /// Legacy knob from the level-polling connection layer; the
+    /// readiness-driven workers never poll idle, so it is ignored.
+    /// Kept so existing configs keep compiling.
     pub poll_interval: Duration,
+    /// Readiness-notification backend (epoll on Linux by default; the
+    /// portable `poll(2)` fallback behind the same trait).
+    pub backend: BackendKind,
+    /// Per-connection pending-output high-water mark in bytes. Frame
+    /// processing pauses once a connection's unflushed replies exceed
+    /// this, so a pipelined burst of TABLE requests cannot amplify
+    /// memory before the backpressure gate re-engages; processing
+    /// resumes as the socket drains. Actual usage may overshoot by at
+    /// most one encoded response.
+    pub outbuf_high_water: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, poll_interval: Duration::from_micros(500) }
+        ServerConfig {
+            workers: 4,
+            poll_interval: Duration::from_micros(500),
+            backend: BackendKind::default(),
+            outbuf_high_water: 256 * 1024,
+        }
     }
 }
 
 impl ServerConfig {
-    /// A latency-tuned config: workers busy-yield instead of sleeping,
-    /// trading idle CPU for minimum decide round-trip time (benchmarks,
-    /// latency-critical deployments).
+    /// Historical latency-tuned config: workers used to busy-yield
+    /// instead of sleeping. The reactor made the trade-off obsolete —
+    /// the default config now blocks on readiness and matches the
+    /// busy-yield round-trip latency — so this is a no-op alias kept
+    /// for API compatibility.
     pub fn low_latency(workers: usize) -> ServerConfig {
-        ServerConfig { workers, poll_interval: Duration::ZERO }
-    }
-}
-
-/// Parks an idle loop: busy-yield when `poll` is zero, sleep otherwise.
-fn idle_wait(poll: Duration) {
-    if poll.is_zero() {
-        std::thread::yield_now();
-    } else {
-        std::thread::sleep(poll);
+        ServerConfig { workers, ..ServerConfig::default() }
     }
 }
 
@@ -72,17 +85,23 @@ enum Proto {
 /// before being reaped regardless (peer not reading).
 const CLOSE_LINGER: Duration = Duration::from_secs(5);
 
+/// Belt-and-braces cap on one kernel wait, so a lost wakeup can only
+/// delay (never hang) shutdown or a connection handoff.
+const MAX_WAIT: Duration = Duration::from_millis(250);
+
 struct Conn {
     stream: TcpStream,
     proto: Proto,
     inbuf: Vec<u8>,
     outbuf: Vec<u8>,
     outpos: usize,
+    /// The interest set currently armed with the reactor.
+    interest: Interest,
     /// No further input will be processed; pending output still
     /// flushes before the connection is reaped.
     closed: bool,
-    /// When `closed` was set, bounding the flush linger.
-    closed_at: Option<std::time::Instant>,
+    /// Whether the close-linger reap timer has been armed.
+    linger_armed: bool,
     /// The socket is unusable (write error); reap immediately.
     dead: bool,
 }
@@ -95,14 +114,54 @@ impl Conn {
             inbuf: Vec::with_capacity(1024),
             outbuf: Vec::with_capacity(1024),
             outpos: 0,
+            interest: Interest::READ,
             closed: false,
-            closed_at: None,
+            linger_armed: false,
             dead: false,
         }
     }
 
     fn flushed(&self) -> bool {
         self.outpos >= self.outbuf.len()
+    }
+
+    /// Bytes of replies not yet written to the socket.
+    fn out_pending(&self) -> usize {
+        self.outbuf.len() - self.outpos.min(self.outbuf.len())
+    }
+}
+
+/// Per-worker connection storage: slot index == reactor token.
+#[derive(Default)]
+struct Slab {
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.conns[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.conns.push(Some(conn));
+                self.conns.len() - 1
+            }
+        }
+    }
+
+    fn get_mut(&mut self, slot: usize) -> Option<&mut Conn> {
+        self.conns.get_mut(slot).and_then(|c| c.as_mut())
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<Conn> {
+        let conn = self.conns.get_mut(slot)?.take();
+        if conn.is_some() {
+            self.free.push(slot);
+        }
+        conn
     }
 }
 
@@ -112,6 +171,7 @@ pub struct Server<P: PolicyCore> {
     addr: SocketAddr,
     engine: Arc<ShardedEngine<P>>,
     stop: Arc<AtomicBool>,
+    wakers: Vec<Waker>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -120,7 +180,7 @@ impl<P: PolicyCore> Server<P> {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Propagates socket and reactor-creation errors.
     pub fn spawn(engine: ShardedEngine<P>, config: ServerConfig) -> std::io::Result<Server<P>> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         listener.set_nonblocking(true)?;
@@ -128,27 +188,40 @@ impl<P: PolicyCore> Server<P> {
         let engine = Arc::new(engine);
         let stop = Arc::new(AtomicBool::new(false));
         let workers = config.workers.max(1);
+        // Create every reactor before spawning any thread: a `?` after
+        // the first spawn would leak already-running workers with no
+        // handle left to stop them.
+        let mut reactors = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            reactors.push(Reactor::with_backend(config.backend)?);
+        }
+        let mut acceptor = Reactor::with_backend(config.backend)?;
+        acceptor.register(listener.as_raw_fd(), Token(0), Interest::READ)?;
         let mut handles = Vec::with_capacity(workers + 1);
-        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(workers);
-        for w in 0..workers {
+        let mut wakers = Vec::with_capacity(workers + 1);
+        let mut worker_ports: Vec<(Sender<TcpStream>, Waker)> = Vec::with_capacity(workers);
+        for (w, reactor) in reactors.into_iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::channel();
-            senders.push(tx);
+            worker_ports.push((tx, reactor.waker()));
+            wakers.push(reactor.waker());
             let (engine, stop) = (engine.clone(), stop.clone());
+            let high_water = config.outbuf_high_water;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("xar-sched-worker-{w}"))
-                    .spawn(move || worker_loop(rx, engine, stop, config.poll_interval))
+                    .spawn(move || worker_loop(rx, engine, stop, reactor, high_water))
                     .expect("spawn worker"),
             );
         }
+        wakers.push(acceptor.waker());
         let stop2 = stop.clone();
         handles.push(
             std::thread::Builder::new()
                 .name("xar-sched-acceptor".into())
-                .spawn(move || accept_loop(listener, senders, stop2, config.poll_interval))
+                .spawn(move || accept_loop(listener, worker_ports, stop2, acceptor))
                 .expect("spawn acceptor"),
         );
-        Ok(Server { addr, engine, stop, handles })
+        Ok(Server { addr, engine, stop, wakers, handles })
     }
 
     /// The daemon's socket address (for clients).
@@ -168,6 +241,9 @@ impl<P: PolicyCore> Server<P> {
 
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            w.wake();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -186,38 +262,61 @@ impl<P: PolicyCore> Drop for Server<P> {
 
 fn accept_loop(
     listener: TcpListener,
-    senders: Vec<Sender<TcpStream>>,
+    workers: Vec<(Sender<TcpStream>, Waker)>,
     stop: Arc<AtomicBool>,
-    poll: Duration,
+    mut reactor: Reactor,
 ) {
+    let (mut events, mut expired) = (Vec::new(), Vec::new());
     let mut next = 0usize;
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nodelay(true);
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
-                // Round-robin, skipping workers whose channel is gone
-                // (a panicked worker must not take the accept path
-                // down with it); give up only when every worker died.
-                let mut stream = Some(stream);
-                for attempt in 0..senders.len() {
-                    let idx = (next + attempt) % senders.len();
-                    match senders[idx].send(stream.take().expect("stream handed off once")) {
-                        Ok(()) => {
-                            next = idx + 1;
-                            break;
+        events.clear();
+        expired.clear();
+        if reactor.poll(&mut events, &mut expired, Some(MAX_WAIT)).is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Accept everything pending regardless of what woke us —
+        // readiness is level-triggered and spurious wakes are allowed.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Round-robin, skipping workers whose channel is
+                    // gone (a panicked worker must not take the accept
+                    // path down with it); give up only when every
+                    // worker died.
+                    let mut stream = Some(stream);
+                    for attempt in 0..workers.len() {
+                        let idx = (next + attempt) % workers.len();
+                        let (tx, waker) = &workers[idx];
+                        match tx.send(stream.take().expect("stream handed off once")) {
+                            Ok(()) => {
+                                waker.wake();
+                                next = idx + 1;
+                                break;
+                            }
+                            Err(std::sync::mpsc::SendError(s)) => stream = Some(s),
                         }
-                        Err(std::sync::mpsc::SendError(s)) => stream = Some(s),
+                    }
+                    if stream.is_some() {
+                        return; // no live workers remain
                     }
                 }
-                if stream.is_some() {
-                    return; // no live workers remain
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Persistent accept failures (e.g. fd exhaustion)
+                    // leave the listener readable, so the next poll
+                    // returns immediately; throttle to keep the
+                    // retry loop off a full core.
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => idle_wait(poll),
-            Err(_) => idle_wait(poll),
         }
     }
 }
@@ -226,85 +325,184 @@ fn worker_loop<P: PolicyCore>(
     rx: Receiver<TcpStream>,
     engine: Arc<ShardedEngine<P>>,
     stop: Arc<AtomicBool>,
-    poll: Duration,
+    mut reactor: Reactor,
+    high_water: usize,
 ) {
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut slab = Slab::default();
+    let (mut events, mut expired) = (Vec::<Event>::new(), Vec::<Token>::new());
     let mut scratch = [0u8; 16 * 1024];
     while !stop.load(Ordering::SeqCst) {
+        events.clear();
+        expired.clear();
+        if reactor.poll(&mut events, &mut expired, Some(MAX_WAIT)).is_err() {
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Adopt handed-off connections (the acceptor woke us).
         loop {
             match rx.try_recv() {
-                Ok(stream) => conns.push(Conn::new(stream)),
+                Ok(stream) => {
+                    let fd = stream.as_raw_fd();
+                    let slot = slab.insert(Conn::new(stream));
+                    if reactor.register(fd, Token(slot), Interest::READ).is_err() {
+                        slab.remove(slot);
+                        continue;
+                    }
+                    // Serve immediately: the client may have sent its
+                    // handshake before we registered.
+                    service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, slot);
+                }
                 Err(TryRecvError::Empty) => break,
+                // The acceptor (and its channel) is gone without a stop
+                // flag: the server is being torn down abnormally; exit
+                // rather than serve a half-dead daemon.
                 Err(TryRecvError::Disconnected) => return,
             }
         }
-        let mut progress = false;
-        for conn in &mut conns {
-            progress |= pump(conn, &engine, &mut scratch);
+        for ev in &events {
+            service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, ev.token.0);
         }
-        // A closed connection lingers until its final replies (e.g. an
-        // error diagnostic) have been written out.
-        conns.retain(|c| !(c.dead || (c.closed && c.flushed())));
-        if !progress {
-            idle_wait(poll);
+        // Close-linger expiries: the peer never drained our final
+        // replies; reap regardless so unread-but-open sockets cannot
+        // pin buffers forever.
+        for t in &expired {
+            if let Some(conn) = slab.get_mut(t.0) {
+                if conn.closed && !conn.flushed() {
+                    conn.dead = true;
+                }
+            }
+            service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, t.0);
         }
     }
 }
 
-/// Advances one connection: read, parse/handle, write. Returns whether
-/// any bytes moved.
-fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut [u8]) -> bool {
-    let mut progress = false;
-    // Backpressure: while replies are stuck in outbuf (peer not
-    // reading), stop ingesting requests — otherwise a client that
-    // pipelines without reading grows outbuf without bound. TCP flow
-    // control then pushes back on the client.
-    let ingest = conn.flushed();
-    // Drain readable bytes.
-    while ingest && !conn.closed {
+/// Pumps one connection, then reaps it or re-arms its reactor interest
+/// to match the new buffer state.
+fn service<P: PolicyCore>(
+    slab: &mut Slab,
+    reactor: &mut Reactor,
+    engine: &ShardedEngine<P>,
+    scratch: &mut [u8],
+    high_water: usize,
+    slot: usize,
+) {
+    let Some(conn) = slab.get_mut(slot) else {
+        return; // reaped earlier this iteration; stale event
+    };
+    pump(conn, engine, scratch, high_water);
+    if conn.dead || (conn.closed && conn.flushed() && !has_complete_input(conn)) {
+        let conn = slab.remove(slot).expect("slot occupied");
+        let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
+        return;
+    }
+    // Backpressure via interest re-arm: while replies are backed up we
+    // watch for writability only (no reads — TCP pushes back on the
+    // client); once flushed we watch for the next request.
+    let desired = if conn.flushed() { Interest::READ } else { Interest::WRITE };
+    if desired != conn.interest {
+        let fd = conn.stream.as_raw_fd();
+        if reactor.reregister(fd, Token(slot), desired).is_ok() {
+            conn.interest = desired;
+        } else {
+            let conn = slab.remove(slot).expect("slot occupied");
+            let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
+            return;
+        }
+    }
+    if conn.closed && !conn.flushed() && !conn.linger_armed {
+        conn.linger_armed = true;
+        reactor.set_timer(Token(slot), CLOSE_LINGER);
+    }
+}
+
+/// Advances one connection: read, parse/handle, write — looping while
+/// buffered complete input remains and the socket keeps absorbing the
+/// replies (the outbuf high-water cap pauses processing; this loop
+/// resumes it as the backlog drains).
+fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut [u8], cap: usize) {
+    loop {
+        // Ingest gate: while replies are stuck in outbuf (peer not
+        // reading), stop reading requests — otherwise a client that
+        // pipelines without reading grows outbuf without bound.
+        if !conn.dead && !conn.closed && conn.flushed() {
+            read_some(conn, scratch);
+        }
+        if !conn.dead && conn.out_pending() <= cap {
+            if let Proto::Undetermined = conn.proto {
+                classify(conn);
+            }
+            match conn.proto {
+                Proto::V2 => process_v2(conn, engine, cap),
+                Proto::V1 => process_v1(conn, engine, cap),
+                Proto::Undetermined => {}
+            }
+        }
+        write_some(conn);
+        // Loop while complete input is still buffered and the socket
+        // absorbed every reply — covers both cap-paused processing and
+        // a re-entry (e.g. on writability) that found the processing
+        // gate shut. Every such round consumes input (the close-path
+        // diagnostics clear theirs), so this terminates. When the
+        // socket is the bottleneck instead (!flushed), the next
+        // writable event re-enters pump. `closed` deliberately does
+        // not exit: a half-closed client still gets the replies to
+        // everything it pipelined before its FIN (the reap fires only
+        // once closed + flushed + no complete input remain).
+        if conn.dead || !conn.flushed() || !has_complete_input(conn) {
+            return;
+        }
+    }
+}
+
+/// Whether the input buffer holds something processing could consume
+/// right now: a complete v2 frame (or a frame error to surface), a
+/// complete v1 line (or an over-long one to reject). Partial input
+/// waits for more bytes instead.
+fn has_complete_input(conn: &Conn) -> bool {
+    match conn.proto {
+        Proto::V2 => !matches!(wire::frame_in(&conn.inbuf), Ok(None)),
+        Proto::V1 => conn.inbuf.contains(&b'\n') || conn.inbuf.len() > wire::MAX_V1_LINE,
+        Proto::Undetermined => false,
+    }
+}
+
+/// Drains readable bytes into the input buffer.
+fn read_some(conn: &mut Conn, scratch: &mut [u8]) {
+    loop {
         match conn.stream.read(scratch) {
             Ok(0) => {
                 conn.closed = true;
-                break;
+                return;
             }
             Ok(n) => {
                 conn.inbuf.extend_from_slice(&scratch[..n]);
-                progress = true;
                 if n < scratch.len() {
                     // Short read: the socket is drained; skip the
                     // would-block probe syscall and go process.
-                    break;
+                    return;
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => {
                 conn.dead = true;
-                break;
+                return;
             }
         }
     }
-    if ingest && !conn.dead {
-        if let Proto::Undetermined = conn.proto {
-            classify(conn);
-        }
-        match conn.proto {
-            Proto::V2 => process_v2(conn, engine),
-            Proto::V1 => process_v1(conn, engine),
-            Proto::Undetermined => {}
-        }
-    }
-    // Drain writable bytes.
+}
+
+/// Drains the output buffer into the socket.
+fn write_some(conn: &mut Conn) {
     while conn.outpos < conn.outbuf.len() {
         match conn.stream.write(&conn.outbuf[conn.outpos..]) {
             Ok(0) => {
                 conn.dead = true;
                 break;
             }
-            Ok(n) => {
-                conn.outpos += n;
-                progress = true;
-            }
+            Ok(n) => conn.outpos += n,
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => {
@@ -317,17 +515,6 @@ fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut
         conn.outbuf.clear();
         conn.outpos = 0;
     }
-    // Bound how long a closed connection may wait for the peer to
-    // drain its final replies; past the linger it is reaped even
-    // unflushed, so unread-but-open sockets cannot pin buffers
-    // forever.
-    if conn.closed {
-        let since = *conn.closed_at.get_or_insert_with(std::time::Instant::now);
-        if !conn.flushed() && since.elapsed() > CLOSE_LINGER {
-            conn.dead = true;
-        }
-    }
-    progress
 }
 
 /// Decides v1 vs v2 from the first bytes and, for v2, completes the
@@ -372,17 +559,26 @@ fn classify(conn: &mut Conn) {
     }
 }
 
-fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>) {
+/// Handles buffered complete v2 frames, pausing at the outbuf
+/// high-water cap ([`pump`]'s loop resumes once the backlog drains).
+fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: usize) {
     // Track an offset and drain once: per-frame draining would memmove
     // the remaining buffer for every frame of a pipelined burst.
     let mut at = 0;
     loop {
+        if conn.out_pending() > cap {
+            break;
+        }
         let (consumed, range) = match wire::frame_in(&conn.inbuf[at..]) {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(_) => {
                 wire::encode_response(&Response::Err("oversized frame"), &mut conn.outbuf);
                 conn.closed = true;
+                // Discard the poisoned input: re-scanning it on a later
+                // pump would emit the diagnostic again.
+                conn.inbuf.clear();
+                at = 0;
                 break;
             }
         };
@@ -443,13 +639,19 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, engine: &ShardedEngine<P>, out: &
 
 /// Handles buffered complete lines of the legacy v1 text protocol
 /// (`DECIDE`/`REPORT`/`TABLE`/`QUIT`, answered with
-/// `TARGET`/`OK`/table rows/`ERR`).
-fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>) {
+/// `TARGET`/`OK`/table rows/`ERR`), pausing at the outbuf high-water
+/// cap ([`pump`]'s loop resumes once the backlog drains).
+fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: usize) {
     // Offset-tracked like process_v2: one drain at the end, no
     // per-line allocation or memmove. The grammar is parsed by
     // `wire::parse_v1_line`, shared with `xar-core`'s v1 server.
     let mut at = 0;
+    let mut capped = false;
     while let Some(nl) = conn.inbuf[at..].iter().position(|&b| b == b'\n') {
+        if conn.out_pending() > cap {
+            capped = true;
+            break;
+        }
         let line_bytes = &conn.inbuf[at..at + nl];
         at += nl + 1;
         let parsed = std::str::from_utf8(line_bytes).ok().and_then(wire::parse_v1_line);
@@ -495,9 +697,13 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>) {
     }
     conn.inbuf.drain(..at);
     // A v1 peer streaming bytes with no newline must not grow the
-    // buffer without bound.
-    if conn.inbuf.len() > wire::MAX_V1_LINE {
+    // buffer without bound. (Skipped while capped: the backlog is then
+    // complete-but-unprocessed lines, not one runaway line.)
+    if !capped && conn.inbuf.len() > wire::MAX_V1_LINE {
         conn.outbuf.extend_from_slice(b"ERR\n");
         conn.closed = true;
+        // Discard the runaway line: re-scanning it on a later pump
+        // would emit the diagnostic again.
+        conn.inbuf.clear();
     }
 }

@@ -211,6 +211,16 @@ impl From<WireError> for std::io::Error {
     }
 }
 
+/// Encoded size in bytes of one report element inside a `Report` /
+/// `BatchReport` payload for an application name of `app_len` bytes:
+/// the u16 string length prefix, the name, the target byte, the f64
+/// time, and the u32 load. `V2Client::report_batch` budgets frames
+/// with this, and a unit test pins it to the real encoder so the
+/// layout and the budget cannot drift apart.
+pub const fn encoded_report_len(app_len: usize) -> usize {
+    2 + app_len + 1 + 8 + 4
+}
+
 /// `Target` ↔ wire byte.
 pub fn target_to_byte(t: Target) -> u8 {
     match t {
@@ -746,6 +756,27 @@ mod tests {
         let d = xar_desim::Decision { target: Target::Arm, reconfigure: true };
         assert_eq!(v1_decide_reply(&d), "TARGET arm 1\n");
         assert_eq!(v1_table_row("a", "k", 3, 9), "a k 3 9\n");
+    }
+
+    #[test]
+    fn encoded_report_len_matches_the_encoder_exactly() {
+        for app in ["", "a", "Digit2000", &"x".repeat(300)] {
+            let report = WireReport { app, target: Target::Fpga, func_ms: 1.5, x86_load: 7 };
+            // A batch of one: frame header (4) + opcode (1) + count (2)
+            // + the element itself.
+            let mut buf = Vec::new();
+            encode_request(&Request::BatchReport(vec![report]), &mut buf);
+            assert_eq!(
+                buf.len(),
+                4 + 1 + 2 + encoded_report_len(app.len()),
+                "app_len {}",
+                app.len()
+            );
+            // And a bare Report frame: header + opcode + element.
+            let mut buf = Vec::new();
+            encode_request(&Request::Report(report), &mut buf);
+            assert_eq!(buf.len(), 4 + 1 + encoded_report_len(app.len()), "app_len {}", app.len());
+        }
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!   the TCP scheduler server/client, and the experiment drivers;
 //! * [`sched`] — the production scheduler daemon: binary wire protocol
 //!   v2 (with v1 text fallback), sharded policy engine with a
-//!   lock-free decide path, worker-pool connection layer, and batched
-//!   telemetry.
+//!   lock-free decide path, reactor-backed worker-pool connection
+//!   layer, and batched telemetry;
+//! * [`reactor`] — the readiness-notification event loop under the
+//!   daemon: epoll on Linux with a portable `poll(2)` fallback,
+//!   cross-thread waker, coarse timer wheel.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and the
 //! paper-to-module map, and `EXPERIMENTS.md` for paper-vs-measured
@@ -27,5 +30,6 @@ pub use xar_desim as desim;
 pub use xar_hls as hls;
 pub use xar_isa as isa;
 pub use xar_popcorn as popcorn;
+pub use xar_reactor as reactor;
 pub use xar_sched as sched;
 pub use xar_workloads as workloads;

@@ -1,11 +1,13 @@
 //! Concurrency tests of the `xar-sched` daemon: ≥ 32 simultaneous
 //! clients (a mix of v2 binary and legacy v1 text), decision
 //! consistency against the single-threaded reference policy, identical
-//! threshold-table convergence, and graceful shutdown under load.
+//! threshold-table convergence, and graceful shutdown under load —
+//! exercised on both reactor backends (epoll and the portable `poll(2)`
+//! fallback).
 
 use std::sync::Arc;
 use xar_trek::core::server::{
-    spawn_sharded, EngineConfig, SchedulerClient, ServerConfig, V2Client,
+    spawn_sharded, BackendKind, EngineConfig, SchedulerClient, ServerConfig, V2Client,
 };
 use xar_trek::core::XarTrekPolicy;
 use xar_trek::desim::{ClusterConfig, CompletionReport, DecideCtx, Decision, Policy, Target};
@@ -95,10 +97,21 @@ fn spawn_fleet(
 /// path), and post-convergence decisions agree again.
 #[test]
 fn thirty_two_concurrent_clients_match_single_threaded_path() {
+    fleet_matches_single_threaded_path(BackendKind::default());
+}
+
+/// The identical fleet workload through the portable `poll(2)` backend:
+/// both reactor backends must pass the same suite.
+#[test]
+fn thirty_two_concurrent_clients_match_on_poll_backend() {
+    fleet_matches_single_threaded_path(BackendKind::Poll);
+}
+
+fn fleet_matches_single_threaded_path(backend: BackendKind) {
     let daemon = spawn_sharded(
         &policy(),
         EngineConfig { shards: 8, batch: 4 },
-        ServerConfig { workers: 4, poll_interval: std::time::Duration::from_micros(100) },
+        ServerConfig { workers: 4, backend, ..ServerConfig::default() },
     )
     .unwrap();
     let addr = daemon.addr();
@@ -195,20 +208,149 @@ fn batch_report_equals_sequential_reports() {
 }
 
 /// Shutdown must complete promptly even with idle clients still
-/// connected (the v1 seed server's accept loop could hang instead).
+/// connected (the v1 seed server's accept loop could hang instead) —
+/// on both reactor backends, where "promptly" now means a waker-driven
+/// exit from a blocked kernel wait, not a poll-interval expiry.
 #[test]
 fn graceful_shutdown_with_connected_clients() {
-    let daemon =
-        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
-    let addr = daemon.addr();
-    let _idle: Vec<V2Client> = (0..8).map(|_| V2Client::connect(addr).unwrap()).collect();
-    let started = std::time::Instant::now();
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig::default(),
+            ServerConfig { backend, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let addr = daemon.addr();
+        let _idle: Vec<V2Client> = (0..8).map(|_| V2Client::connect(addr).unwrap()).collect();
+        let started = std::time::Instant::now();
+        daemon.shutdown();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "{backend:?} shutdown hung: {:?}",
+            started.elapsed()
+        );
+        // And the port is actually gone.
+        assert!(V2Client::connect(addr).is_err(), "{backend:?}");
+    }
+}
+
+/// A client that pipelines a burst past the outbuf high-water cap and
+/// then half-closes (FIN) must still receive every reply: the reap may
+/// only fire once the connection is closed, flushed, AND drained of
+/// complete buffered requests.
+#[test]
+fn half_close_after_capped_burst_loses_no_replies() {
+    use std::io::{Read, Write};
+    let daemon = spawn_sharded(
+        &policy(),
+        EngineConfig::default(),
+        ServerConfig { outbuf_high_water: 64, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(&xar_trek::sched::wire::handshake(xar_trek::sched::wire::VERSION)).unwrap();
+    const BURST: usize = 64;
+    let mut reqs = Vec::new();
+    for _ in 0..BURST {
+        xar_trek::sched::wire::encode_request(&xar_trek::sched::wire::Request::Table, &mut reqs);
+    }
+    s.write_all(&reqs).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        match s.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) => panic!("read after half-close: {e}"),
+        }
+    }
+    buf.drain(..xar_trek::sched::wire::HANDSHAKE_LEN);
+    let mut tables = 0usize;
+    while let Some((total, range)) = xar_trek::sched::wire::frame_in(&buf).unwrap() {
+        assert!(matches!(
+            xar_trek::sched::wire::decode_response(&buf[range]).unwrap(),
+            xar_trek::sched::wire::Response::Table(_)
+        ));
+        buf.drain(..total);
+        tables += 1;
+    }
+    assert_eq!(tables, BURST, "replies dropped at half-close");
     daemon.shutdown();
-    assert!(
-        started.elapsed() < std::time::Duration::from_secs(2),
-        "shutdown hung: {:?}",
-        started.elapsed()
-    );
-    // And the port is actually gone.
-    assert!(V2Client::connect(addr).is_err());
+}
+
+/// `low_latency` is a no-op alias since the reactor rewrite: it must
+/// behave exactly like the default config (and still serve traffic).
+#[test]
+fn low_latency_alias_still_serves() {
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::low_latency(2)).unwrap();
+    let mut cl = V2Client::connect(daemon.addr()).unwrap();
+    assert_eq!(cl.ping(42).unwrap(), 42);
+    let reference_decision = {
+        let mut reference = policy();
+        reference.decide(&ctx("Digit2000", 2, true))
+    };
+    assert_eq!(cl.decide("Digit2000", "k", 2, true).unwrap(), reference_decision);
+    daemon.shutdown();
+}
+
+/// A pipelined burst of TABLE requests far above the outbuf high-water
+/// cap: every reply must still arrive, in order, while the cap paces
+/// processing against the socket drain (no reply may be dropped when
+/// processing pauses and resumes).
+#[test]
+fn outbuf_cap_preserves_every_reply_under_pipelined_table_burst() {
+    use std::io::{Read, Write};
+    let daemon = spawn_sharded(
+        &policy(),
+        EngineConfig::default(),
+        // Tiny cap: a single TABLE reply (5 rows) overshoots it, so
+        // the burst exercises pause/resume on every frame.
+        ServerConfig { outbuf_high_water: 64, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(&xar_trek::sched::wire::handshake(xar_trek::sched::wire::VERSION)).unwrap();
+    // Big enough that the replies (~200 B each) overflow the kernel
+    // send buffer: the pump must pause at the cap, park on write
+    // interest, and resume processing as this client drains — with
+    // unprocessed frames still buffered after the backlog flushes.
+    const BURST: usize = 16 * 1024;
+    let mut reqs = Vec::new();
+    for _ in 0..BURST {
+        xar_trek::sched::wire::encode_request(&xar_trek::sched::wire::Request::Table, &mut reqs);
+    }
+    s.write_all(&reqs).unwrap();
+    // Read the handshake echo, then exactly BURST table replies.
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let mut tables = 0usize;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut hs_done = false;
+    while tables < BURST {
+        let n = s.read(&mut scratch).unwrap();
+        assert!(n > 0, "server hung after {tables} replies");
+        buf.extend_from_slice(&scratch[..n]);
+        if !hs_done {
+            if buf.len() < xar_trek::sched::wire::HANDSHAKE_LEN {
+                continue;
+            }
+            buf.drain(..xar_trek::sched::wire::HANDSHAKE_LEN);
+            hs_done = true;
+        }
+        while let Some((total, range)) = xar_trek::sched::wire::frame_in(&buf).unwrap() {
+            match xar_trek::sched::wire::decode_response(&buf[range]).unwrap() {
+                xar_trek::sched::wire::Response::Table(entries) => {
+                    assert_eq!(entries.len(), 5, "reply {tables}");
+                }
+                other => panic!("reply {tables}: unexpected {other:?}"),
+            }
+            buf.drain(..total);
+            tables += 1;
+        }
+    }
+    assert_eq!(tables, BURST);
+    daemon.shutdown();
 }
