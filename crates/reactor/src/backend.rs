@@ -101,9 +101,16 @@ impl EpollBackend {
     }
 
     fn bits(interest: Interest) -> u32 {
-        let mut ev = sys::EPOLLRDHUP;
+        let mut ev = 0;
         if interest.is_readable() {
-            ev |= sys::EPOLLIN;
+            // RDHUP rides along with read interest so a peer half-close
+            // wakes the reader into its EOF path. It must NOT be armed
+            // under write-only interest: level-triggered RDHUP on a
+            // read-gated connection would fire on every wait while the
+            // handler can make no read progress — a busy spin pinning
+            // the worker core. (Full closes still surface through the
+            // unmaskable EPOLLHUP/EPOLLERR.)
+            ev = sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if interest.is_writable() {
             ev |= sys::EPOLLOUT;
@@ -213,15 +220,13 @@ impl Backend for PollBackend {
     }
 
     fn poll(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
-        if self.fds.is_empty() {
-            // poll(2) with zero fds still sleeps for the timeout, but a
-            // reactor always holds its waker registration, so an empty
-            // list here means a bare backend; sleep to honor the call.
-            if timeout_ms > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(timeout_ms as u64));
-            }
-            return Ok(());
-        }
+        // An empty list needs no special case: poll(2) with zero fds is
+        // a pure sleep — for the timeout, or indefinitely when it is
+        // `-1`, exactly the documented contract (nothing is registered,
+        // so nothing can ever become ready). The kernel never
+        // dereferences the array pointer when `nfds == 0`. Returning
+        // early here instead would turn a block-indefinitely request
+        // into a caller-side busy loop.
         let n = sys::poll_retry(&mut self.fds, timeout_ms)?;
         if n == 0 {
             return Ok(());

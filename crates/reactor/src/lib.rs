@@ -446,6 +446,43 @@ mod tests {
     }
 
     #[test]
+    fn half_close_is_masked_under_write_only_interest() {
+        for kind in backends() {
+            let mut r = Reactor::with_backend(kind).unwrap();
+            let (client, server) = pair();
+            r.register(server.as_raw_fd(), Token(6), Interest::WRITE).unwrap();
+            // Peer half-closes. Under write-only interest the pending
+            // FIN must NOT surface as readable — the epoll backend used
+            // to arm EPOLLRDHUP regardless of interest, which turned a
+            // write-blocked connection whose peer half-closed into a
+            // permanent readiness loop.
+            client.shutdown(std::net::Shutdown::Write).unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            let (ev, _, _) = poll_once(&mut r, Duration::from_millis(100));
+            assert!(ev.iter().all(|e| !e.readable), "{kind:?}: FIN leaked: {ev:?}");
+            // Re-armed to read interest, the same FIN surfaces.
+            r.reregister(server.as_raw_fd(), Token(6), Interest::READ).unwrap();
+            let (ev, _, _) = poll_once(&mut r, Duration::from_secs(2));
+            assert_eq!(ev.len(), 1, "{kind:?}");
+            assert!(ev[0].readable, "{kind:?}: {:?}", ev[0]);
+        }
+    }
+
+    #[test]
+    fn empty_poll_backend_sleeps_for_its_timeout() {
+        // A bare PollBackend with no registrations must honor the
+        // timeout instead of returning immediately (through the
+        // Reactor this is unreachable — the waker fd is always
+        // registered).
+        let mut b = backend::PollBackend::new();
+        let mut out = Vec::new();
+        let start = Instant::now();
+        b.poll(&mut out, 60).unwrap();
+        assert!(out.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(50), "{:?}", start.elapsed());
+    }
+
+    #[test]
     fn peer_close_surfaces_as_readable() {
         for kind in backends() {
             let mut r = Reactor::with_backend(kind).unwrap();

@@ -50,12 +50,40 @@ fn cvt(ret: c_int) -> io::Result<c_int> {
     }
 }
 
-/// `poll(2)`, retrying `EINTR`; returns the number of ready entries.
+/// For a finite wait interrupted by a signal: the remaining budget in
+/// milliseconds (rounded up), or `None` once the deadline has passed.
+/// Restarting with the *original* timeout instead would let a steady
+/// signal stream (e.g. a profiler's interval timer) postpone the
+/// wait's completion — and with it timer expiry — indefinitely.
+fn remaining_ms(deadline: std::time::Instant) -> Option<c_int> {
+    let left = deadline.saturating_duration_since(std::time::Instant::now());
+    if left.is_zero() {
+        return None;
+    }
+    Some(left.as_nanos().div_ceil(1_000_000).min(c_int::MAX as u128) as c_int)
+}
+
+fn deadline_for(timeout_ms: c_int) -> Option<std::time::Instant> {
+    (timeout_ms > 0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms as u64))
+}
+
+/// `poll(2)`, retrying `EINTR` with the remaining timeout; returns the
+/// number of ready entries.
 pub fn poll_retry(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
+    let deadline = deadline_for(timeout_ms);
+    let mut wait = timeout_ms;
     loop {
-        match cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) }) {
+        match cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, wait) }) {
             Ok(n) => return Ok(n as usize),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                if let Some(d) = deadline {
+                    match remaining_ms(d) {
+                        Some(ms) => wait = ms,
+                        None => return Ok(0),
+                    }
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -159,18 +187,27 @@ mod linux {
         cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
     }
 
-    /// `epoll_wait`, retrying `EINTR`; returns the number of events
-    /// filled.
+    /// `epoll_wait`, retrying `EINTR` with the remaining timeout;
+    /// returns the number of events filled.
     pub fn epoll_wait_retry(
         epfd: RawFd,
         buf: &mut [EpollEvent],
         timeout_ms: c_int,
     ) -> io::Result<usize> {
+        let deadline = super::deadline_for(timeout_ms);
+        let mut wait = timeout_ms;
         loop {
-            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, wait) };
             match cvt(n) {
                 Ok(n) => return Ok(n as usize),
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if let Some(d) = deadline {
+                        match super::remaining_ms(d) {
+                            Some(ms) => wait = ms,
+                            None => return Ok(0),
+                        }
+                    }
+                }
                 Err(e) => return Err(e),
             }
         }

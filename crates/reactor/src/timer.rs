@@ -5,6 +5,7 @@
 //! expiry drains the slots the cursor has passed.
 
 use crate::Token;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// One pending deadline.
@@ -23,9 +24,12 @@ pub struct TimerWheel {
     start: Instant,
     granularity: Duration,
     slots: Vec<Vec<Entry>>,
+    /// Deadline tick per armed token: `cancel` touches exactly the one
+    /// slot the token hashed into, and `next_wait` scans only pending
+    /// entries instead of every slot.
+    index: HashMap<Token, u64>,
     /// Next tick the expiry sweep will examine.
     cursor: u64,
-    len: usize,
 }
 
 impl TimerWheel {
@@ -38,19 +42,19 @@ impl TimerWheel {
             start: Instant::now(),
             granularity,
             slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            index: HashMap::new(),
             cursor: 0,
-            len: 0,
         }
     }
 
     /// Number of pending timers.
     pub fn len(&self) -> usize {
-        self.len
+        self.index.len()
     }
 
     /// Whether no timers are pending.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.index.is_empty()
     }
 
     /// Deadline tick: rounded up so a timer never fires before its
@@ -75,25 +79,22 @@ impl TimerWheel {
         let tick = self.tick_of(Instant::now() + after).max(self.cursor);
         let slot = (tick % self.slots.len() as u64) as usize;
         self.slots[slot].push(Entry { token, tick });
-        self.len += 1;
+        self.index.insert(token, tick);
     }
 
     /// Disarms `token`'s timer, if any.
     pub fn cancel(&mut self, token: Token) {
-        if self.len == 0 {
+        let Some(tick) = self.index.remove(&token) else {
             return; // common case: deregister of a timer-less token
-        }
-        for slot in &mut self.slots {
-            let before = slot.len();
-            slot.retain(|e| e.token != token);
-            self.len -= before - slot.len();
-        }
+        };
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].retain(|e| e.token != token);
     }
 
     /// The next deadline as a wait budget from now (`None` when the
     /// wheel is empty; zero when a timer is already due).
     pub fn next_wait(&self) -> Option<Duration> {
-        let min_tick = self.slots.iter().flatten().map(|e| e.tick).min()?;
+        let min_tick = self.index.values().copied().min()?;
         let nanos = (self.granularity.as_nanos() as u64).saturating_mul(min_tick);
         let deadline = self.start + Duration::from_nanos(nanos);
         Some(deadline.saturating_duration_since(Instant::now()))
@@ -101,7 +102,7 @@ impl TimerWheel {
 
     /// Drains every timer due at `now` into `out`.
     pub fn expire(&mut self, now: Instant, out: &mut Vec<Token>) {
-        if self.len == 0 {
+        if self.index.is_empty() {
             self.cursor = self.tick_floor(now);
             return;
         }
@@ -115,8 +116,9 @@ impl TimerWheel {
             let mut j = 0;
             while j < entries.len() {
                 if entries[j].tick <= now_tick {
-                    out.push(entries.swap_remove(j).token);
-                    self.len -= 1;
+                    let fired = entries.swap_remove(j);
+                    self.index.remove(&fired.token);
+                    out.push(fired.token);
                 } else {
                     j += 1;
                 }

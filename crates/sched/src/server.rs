@@ -7,8 +7,11 @@
 //! [`Reactor`]: connections register read interest, re-arm to write
 //! interest while replies are backed up, and the worker blocks in the
 //! kernel until a socket is actually ready — no idle polling, no sleep
-//! quantum, no busy-yield. Close-linger reaping rides the reactor's
-//! coarse timer wheel. This serves thousands of mostly-idle scheduler
+//! quantum, no busy-yield. Write-stalled connections ride the
+//! reactor's coarse timer wheel: one that stays backed up a whole
+//! linger window with zero drain progress is reaped — the only bound
+//! on a peer whose FIN arrived while the backpressure gate held reads
+//! off. This serves thousands of mostly-idle scheduler
 //! clients with a handful of threads at zero idle CPU, where the
 //! paper's thread-per-client model would need one thread each.
 //!
@@ -48,6 +51,16 @@ pub struct ServerConfig {
     /// resumes as the socket drains. Actual usage may overshoot by at
     /// most one encoded response.
     pub outbuf_high_water: usize,
+    /// Write-stall deadline. A connection whose replies are backed up
+    /// gets windows of this length to make drain progress and is
+    /// reaped after a window in which the peer drained nothing at
+    /// all; a draining peer keeps its connection however slow. Zero
+    /// progress over a whole window is the only observable sign of a
+    /// peer that half-closed without reading its replies — its FIN
+    /// cannot be seen while the backpressure gate holds reads off —
+    /// so without this deadline such a connection would pin its fd
+    /// and buffers forever.
+    pub close_linger: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +70,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_micros(500),
             backend: BackendKind::default(),
             outbuf_high_water: 256 * 1024,
+            close_linger: Duration::from_secs(5),
         }
     }
 }
@@ -81,10 +95,6 @@ enum Proto {
     V1,
 }
 
-/// How long a closed connection may linger to flush its final replies
-/// before being reaped regardless (peer not reading).
-const CLOSE_LINGER: Duration = Duration::from_secs(5);
-
 /// Belt-and-braces cap on one kernel wait, so a lost wakeup can only
 /// delay (never hang) shutdown or a connection handoff.
 const MAX_WAIT: Duration = Duration::from_millis(250);
@@ -100,8 +110,13 @@ struct Conn {
     /// No further input will be processed; pending output still
     /// flushes before the connection is reaped.
     closed: bool,
-    /// Whether the close-linger reap timer has been armed.
-    linger_armed: bool,
+    /// Total bytes ever accepted by the socket — the write-stall
+    /// timer's progress marker.
+    wrote: u64,
+    /// Whether the write-stall timer is armed, and the `wrote`
+    /// watermark it must beat at expiry.
+    stall_armed: bool,
+    stall_mark: u64,
     /// The socket is unusable (write error); reap immediately.
     dead: bool,
 }
@@ -116,7 +131,9 @@ impl Conn {
             outpos: 0,
             interest: Interest::READ,
             closed: false,
-            linger_armed: false,
+            wrote: 0,
+            stall_armed: false,
+            stall_mark: 0,
             dead: false,
         }
     }
@@ -205,11 +222,10 @@ impl<P: PolicyCore> Server<P> {
             worker_ports.push((tx, reactor.waker()));
             wakers.push(reactor.waker());
             let (engine, stop) = (engine.clone(), stop.clone());
-            let high_water = config.outbuf_high_water;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("xar-sched-worker-{w}"))
-                    .spawn(move || worker_loop(rx, engine, stop, reactor, high_water))
+                    .spawn(move || worker_loop(rx, engine, stop, reactor, config))
                     .expect("spawn worker"),
             );
         }
@@ -326,7 +342,7 @@ fn worker_loop<P: PolicyCore>(
     engine: Arc<ShardedEngine<P>>,
     stop: Arc<AtomicBool>,
     mut reactor: Reactor,
-    high_water: usize,
+    config: ServerConfig,
 ) {
     let mut slab = Slab::default();
     let (mut events, mut expired) = (Vec::<Event>::new(), Vec::<Token>::new());
@@ -352,7 +368,7 @@ fn worker_loop<P: PolicyCore>(
                     }
                     // Serve immediately: the client may have sent its
                     // handshake before we registered.
-                    service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, slot);
+                    service(&mut slab, &mut reactor, &engine, &mut scratch, config, slot);
                 }
                 Err(TryRecvError::Empty) => break,
                 // The acceptor (and its channel) is gone without a stop
@@ -362,18 +378,25 @@ fn worker_loop<P: PolicyCore>(
             }
         }
         for ev in &events {
-            service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, ev.token.0);
+            service(&mut slab, &mut reactor, &engine, &mut scratch, config, ev.token.0);
         }
-        // Close-linger expiries: the peer never drained our final
-        // replies; reap regardless so unread-but-open sockets cannot
-        // pin buffers forever.
+        // Write-stall expiries: a whole linger window elapsed with
+        // replies still backed up. Reap only when the peer drained
+        // nothing at all during the window — a FIN is unobservable
+        // while the backpressure gate holds reads off, so zero
+        // progress is the one signal that the peer is gone or wedged.
+        // Any progress (closed or not: the window may have been armed
+        // long before a FIN, so `closed` must not shortcut a draining
+        // peer to its death) earns a fresh window from service()'s
+        // re-arm.
         for t in &expired {
             if let Some(conn) = slab.get_mut(t.0) {
-                if conn.closed && !conn.flushed() {
+                conn.stall_armed = false;
+                if !conn.flushed() && conn.wrote == conn.stall_mark {
                     conn.dead = true;
                 }
             }
-            service(&mut slab, &mut reactor, &engine, &mut scratch, high_water, t.0);
+            service(&mut slab, &mut reactor, &engine, &mut scratch, config, t.0);
         }
     }
 }
@@ -385,16 +408,15 @@ fn service<P: PolicyCore>(
     reactor: &mut Reactor,
     engine: &ShardedEngine<P>,
     scratch: &mut [u8],
-    high_water: usize,
+    config: ServerConfig,
     slot: usize,
 ) {
     let Some(conn) = slab.get_mut(slot) else {
         return; // reaped earlier this iteration; stale event
     };
-    pump(conn, engine, scratch, high_water);
+    pump(conn, engine, scratch, config.outbuf_high_water);
     if conn.dead || (conn.closed && conn.flushed() && !has_complete_input(conn)) {
-        let conn = slab.remove(slot).expect("slot occupied");
-        let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
+        reap(slab, reactor, slot);
         return;
     }
     // Backpressure via interest re-arm: while replies are backed up we
@@ -406,15 +428,30 @@ fn service<P: PolicyCore>(
         if reactor.reregister(fd, Token(slot), desired).is_ok() {
             conn.interest = desired;
         } else {
-            let conn = slab.remove(slot).expect("slot occupied");
-            let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
+            reap(slab, reactor, slot);
             return;
         }
     }
-    if conn.closed && !conn.flushed() && !conn.linger_armed {
-        conn.linger_armed = true;
-        reactor.set_timer(Token(slot), CLOSE_LINGER);
+    // Write-stall window: while replies are backed up keep a deadline
+    // armed, recording the drain watermark it must beat (see the
+    // expiry handling in `worker_loop`); once flushed, disarm it.
+    if !conn.flushed() {
+        if !conn.stall_armed {
+            conn.stall_armed = true;
+            conn.stall_mark = conn.wrote;
+            reactor.set_timer(Token(slot), config.close_linger);
+        }
+    } else if conn.stall_armed {
+        conn.stall_armed = false;
+        reactor.cancel_timer(Token(slot));
     }
+}
+
+/// Tears one connection down: drops it from the slab and clears its
+/// reactor state (registration and any armed timer).
+fn reap(slab: &mut Slab, reactor: &mut Reactor, slot: usize) {
+    let conn = slab.remove(slot).expect("slot occupied");
+    let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
 }
 
 /// Advances one connection: read, parse/handle, write — looping while
@@ -502,7 +539,10 @@ fn write_some(conn: &mut Conn) {
                 conn.dead = true;
                 break;
             }
-            Ok(n) => conn.outpos += n,
+            Ok(n) => {
+                conn.outpos += n;
+                conn.wrote += n as u64;
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => {
@@ -691,6 +731,11 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
             }
             wire::V1Request::Quit => {
                 conn.closed = true;
+                // Discard anything pipelined after QUIT: the client
+                // ended the session, so later lines must not execute
+                // (the seed server dropped them too).
+                conn.inbuf.clear();
+                at = 0;
                 break;
             }
         }

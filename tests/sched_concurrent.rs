@@ -280,6 +280,150 @@ fn half_close_after_capped_burst_loses_no_replies() {
     daemon.shutdown();
 }
 
+/// Resizes a socket's kernel receive buffer (std exposes no SO_RCVBUF
+/// setter). The write-stall test needs it twice: shrunk to the floor
+/// so the reply stream overflows kernel buffering deterministically,
+/// then enlarged before draining so the reopened window is announced
+/// in one update instead of trickling behind the sender's
+/// exponentially backed-off zero-window probes.
+fn set_rcvbuf(s: &std::net::TcpStream, bytes: i32) {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    #[cfg(target_os = "linux")]
+    let (sol_socket, so_rcvbuf) = (1i32, 8i32);
+    #[cfg(not(target_os = "linux"))]
+    let (sol_socket, so_rcvbuf) = (0xffffi32, 0x1002i32);
+    let rc = unsafe {
+        setsockopt(
+            s.as_raw_fd(),
+            sol_socket,
+            so_rcvbuf,
+            (&raw const bytes).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+}
+
+/// A peer that half-closes while its replies are backed up is
+/// invisible to the read-gated pump (reads are off for backpressure,
+/// so the FIN is never seen) — the write-stall deadline must reap it
+/// anyway on both backends, instead of pinning the fd and buffers
+/// forever (and, on epoll, instead of busy-spinning a worker on an
+/// always-armed EPOLLRDHUP).
+#[test]
+fn write_stalled_half_closed_client_is_reaped() {
+    use std::io::{Read, Write};
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig::default(),
+            ServerConfig {
+                backend,
+                outbuf_high_water: 64,
+                close_linger: std::time::Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+        // Shrink our receive buffer to its floor so the reply stream
+        // overflows the kernel buffering deterministically (receive
+        // autotuning would otherwise swallow megabytes unread): the
+        // server must actually write-block for this test to mean
+        // anything.
+        set_rcvbuf(&s, 4096);
+        s.set_write_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        s.write_all(&xar_trek::sched::wire::handshake(xar_trek::sched::wire::VERSION)).unwrap();
+        // ~20× reply amplification, sized so the replies (~8 MB)
+        // overflow even a fully autotuned server send buffer
+        // (tcp_wmem caps at 4 MB) on top of our shrunken receive
+        // buffer: the server must ingest the whole burst but
+        // write-block mid-flush.
+        const BURST: usize = 64 * 1024;
+        let mut reqs = Vec::new();
+        for _ in 0..BURST {
+            xar_trek::sched::wire::encode_request(
+                &xar_trek::sched::wire::Request::Table,
+                &mut reqs,
+            );
+        }
+        s.write_all(&reqs).unwrap();
+        // Let the pump hit the write-block, then FIN without ever
+        // having read a byte, and sit through several stall windows
+        // still without draining.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1500));
+        // The reap closed the server's socket: what remains for us is
+        // the kernel-buffered prefix of the reply stream, then EOF (or
+        // a reset) — never the full burst.
+        // Reopen the window wide so the kernel-buffered remainder
+        // arrives promptly instead of behind persist-probe backoff.
+        set_rcvbuf(&s, 8 << 20);
+        s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            match s.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    break
+                }
+                Err(e) => panic!("{backend:?}: reply stream neither ended nor reset: {e}"),
+            }
+        }
+        buf.drain(..xar_trek::sched::wire::HANDSHAKE_LEN.min(buf.len()));
+        let (mut tables, mut at) = (0usize, 0usize);
+        while let Ok(Some((total, _))) = xar_trek::sched::wire::frame_in(&buf[at..]) {
+            at += total;
+            tables += 1;
+        }
+        assert!(tables < BURST, "{backend:?}: stalled half-closed peer was never reaped");
+        daemon.shutdown();
+    }
+}
+
+/// Lines a v1 client pipelines after QUIT must be discarded, not
+/// executed: the client ended the session, so a trailing REPORT must
+/// not mutate the table and a trailing TABLE must get no reply (the
+/// seed server dropped them too).
+#[test]
+fn v1_lines_pipelined_after_quit_are_discarded() {
+    use std::io::{Read, Write};
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+    let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(b"QUIT\nREPORT Digit2000 fpga 1000000000 2\nTABLE\n").unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5))).unwrap();
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 1024];
+    loop {
+        match s.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e) => panic!("read after QUIT: {e}"),
+        }
+    }
+    assert!(buf.is_empty(), "post-QUIT lines were answered: {:?}", String::from_utf8_lossy(&buf));
+    assert_eq!(daemon.engine().metrics_total().reports, 0, "post-QUIT REPORT was applied");
+    daemon.shutdown();
+}
+
 /// `low_latency` is a no-op alias since the reactor rewrite: it must
 /// behave exactly like the default config (and still serve traffic).
 #[test]
