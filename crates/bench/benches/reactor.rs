@@ -12,7 +12,11 @@
 //!   config charged a sleep-quantum wakeup per worker per 500 µs; the
 //!   old `low_latency` config burned `workers` full cores
 //!   (busy-yield). The reactor blocks in the kernel: the burn should
-//!   be ~0 regardless of worker count.
+//!   be ~0 regardless of worker count — measured twice, once with the
+//!   maintenance layer disabled and once fully armed (recurring
+//!   per-worker flush timers, a per-connection idle deadline for each
+//!   of the 32 clients, and an admission cap), to show the
+//!   timer-driven maintenance keeps the idle cost at ~0 too.
 //!
 //! Custom harness (`harness = false`): percentiles need raw samples,
 //! which the criterion shim's mean-only report cannot provide. With
@@ -49,7 +53,24 @@ fn main() {
         "default-vs-low-latency p99 ratio: {:.2} (≤ 1 means the default matches or beats it)",
         default_p99 as f64 / alias_p99 as f64
     );
-    idle_cpu(idle);
+    idle_cpu(
+        idle,
+        "no maintenance timers",
+        ServerConfig { flush_interval: Duration::ZERO, ..ServerConfig::default() },
+    );
+    // Fully armed maintenance: the recurring flush tick per worker,
+    // one idle deadline per connection (long enough that nothing is
+    // reaped mid-window), and the admission cap. Timers park in the
+    // kernel wait like everything else, so the burn must stay ~0.
+    idle_cpu(
+        idle,
+        "flush+idle+cap armed",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: 1024,
+            ..ServerConfig::default()
+        },
+    );
 }
 
 /// Measures `iters` decide round trips against a fresh daemon; prints
@@ -76,10 +97,10 @@ fn rtt(label: &str, config: ServerConfig, iters: usize) -> u64 {
 }
 
 /// Process CPU time burned while the daemon idles with 32 connected,
-/// silent clients — the cost of *waiting* for traffic.
-fn idle_cpu(window: Duration) {
-    let daemon =
-        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+/// silent clients — the cost of *waiting* for traffic under the given
+/// maintenance configuration.
+fn idle_cpu(window: Duration, label: &str, config: ServerConfig) {
+    let daemon = spawn_sharded(&policy(), EngineConfig::default(), config).unwrap();
     let idle: Vec<V2Client> = (0..32).map(|_| V2Client::connect(daemon.addr()).unwrap()).collect();
     // Let adoption and registration settle before sampling.
     std::thread::sleep(Duration::from_millis(50));
@@ -88,7 +109,7 @@ fn idle_cpu(window: Duration) {
     let burned = process_cpu().saturating_sub(before);
     let busy_yield_baseline = 4 * window; // old low_latency: workers × window, one core each
     println!(
-        "idle CPU over {:?} with {} silent clients: {:?} \
+        "idle CPU over {:?} with {} silent clients [{label}]: {:?} \
          (old busy-yield baseline ≈ {:?}; old default ≈ one wakeup per worker per 500 µs)",
         window,
         idle.len(),

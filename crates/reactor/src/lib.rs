@@ -234,6 +234,15 @@ impl Reactor {
         self.timers.set(token, after);
     }
 
+    /// Arms (or re-arms) `token` as a recurring timer expiring every
+    /// `period` (first one period from now) until cancelled or
+    /// replaced — the maintenance-tick primitive: the caller never
+    /// re-arms, and a poll that returns late gets one expiry, not a
+    /// catch-up burst.
+    pub fn set_recurring_timer(&mut self, token: Token, period: Duration) {
+        self.timers.set_recurring(token, period);
+    }
+
     /// Disarms `token`'s timer.
     pub fn cancel_timer(&mut self, token: Token) {
         self.timers.cancel(token);
@@ -429,6 +438,24 @@ mod tests {
             }
             assert_eq!(ex, [Token(3)], "{kind:?}");
             assert!(start.elapsed() >= Duration::from_millis(100), "{kind:?}: fired early");
+            assert_eq!(r.pending_timers(), 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn recurring_timer_drives_repeated_poll_expiries() {
+        for kind in backends() {
+            let mut r = Reactor::with_backend(kind).unwrap();
+            r.set_recurring_timer(Token(8), Duration::from_millis(60));
+            let mut fires = 0usize;
+            let start = Instant::now();
+            while fires < 2 && start.elapsed() < Duration::from_secs(5) {
+                let (_, ex, _) = poll_once(&mut r, Duration::from_millis(200));
+                fires += ex.len();
+            }
+            assert!(fires >= 2, "{kind:?}: recurring timer fired {fires}×");
+            assert_eq!(r.pending_timers(), 1, "{kind:?}: recurring timer must stay armed");
+            r.cancel_timer(Token(8));
             assert_eq!(r.pending_timers(), 0, "{kind:?}");
         }
     }

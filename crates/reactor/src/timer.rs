@@ -15,6 +15,9 @@ struct Entry {
     /// Absolute tick at which the entry fires (entries further than one
     /// wheel revolution away stay in their slot across laps).
     tick: u64,
+    /// Re-arm period in ticks; `0` means one-shot. A recurring entry is
+    /// re-inserted `period` ticks past the sweep that fired it.
+    period: u64,
 }
 
 /// The wheel. At most one timer per token is kept: re-setting a token's
@@ -75,10 +78,26 @@ impl TimerWheel {
 
     /// Arms (or re-arms) `token`'s timer to fire `after` from now.
     pub fn set(&mut self, token: Token, after: Duration) {
+        self.insert(token, after, 0);
+    }
+
+    /// Arms (or re-arms) `token` as a recurring timer firing every
+    /// `period`, first one period from now. Each expiry re-arms it
+    /// automatically until [`TimerWheel::cancel`] (or a replacing
+    /// `set`); a sweep that arrives several periods late fires it once
+    /// and re-arms past *now*, never a catch-up burst.
+    pub fn set_recurring(&mut self, token: Token, period: Duration) {
+        let ticks =
+            period.as_nanos().div_ceil(self.granularity.as_nanos()).clamp(1, u64::MAX as u128)
+                as u64;
+        self.insert(token, period, ticks);
+    }
+
+    fn insert(&mut self, token: Token, after: Duration, period: u64) {
         self.cancel(token);
         let tick = self.tick_of(Instant::now() + after).max(self.cursor);
         let slot = (tick % self.slots.len() as u64) as usize;
-        self.slots[slot].push(Entry { token, tick });
+        self.slots[slot].push(Entry { token, tick, period });
         self.index.insert(token, tick);
     }
 
@@ -107,9 +126,15 @@ impl TimerWheel {
             return;
         }
         let now_tick = self.tick_floor(now);
+        // Re-arm deadlines count from the CEILED clock tick: floored
+        // ticks would space consecutive firings up to one granule
+        // short of the period (the same two-roundings rule as
+        // `tick_of` vs `tick_floor` above).
+        let rearm_base = self.tick_of(now);
         // Sweep each slot at most once per call, even if the cursor
         // fell more than a revolution behind.
         let sweeps = (now_tick - self.cursor + 1).min(self.slots.len() as u64);
+        let mut rearm: Vec<Entry> = Vec::new();
         for i in 0..sweeps {
             let slot = ((self.cursor + i) % self.slots.len() as u64) as usize;
             let entries = &mut self.slots[slot];
@@ -119,12 +144,23 @@ impl TimerWheel {
                     let fired = entries.swap_remove(j);
                     self.index.remove(&fired.token);
                     out.push(fired.token);
+                    if fired.period > 0 {
+                        rearm.push(Entry { tick: rearm_base + fired.period, ..fired });
+                    }
                 } else {
                     j += 1;
                 }
             }
         }
         self.cursor = now_tick;
+        // Recurring entries go back in after the sweep (their new tick
+        // is strictly past `now_tick`, so they cannot re-fire in this
+        // call however the slots alias).
+        for e in rearm {
+            let slot = (e.tick % self.slots.len() as u64) as usize;
+            self.slots[slot].push(e);
+            self.index.insert(e.token, e.tick);
+        }
     }
 }
 
@@ -193,6 +229,57 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         w.expire(Instant::now(), &mut out);
         assert_eq!(out, [Token(1)]);
+    }
+
+    #[test]
+    fn recurring_timer_fires_every_period_until_cancelled() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 16);
+        w.set_recurring(Token(9), Duration::from_millis(20));
+        let mut fired = 0usize;
+        let start = Instant::now();
+        let mut out = Vec::new();
+        while start.elapsed() < Duration::from_millis(150) {
+            std::thread::sleep(Duration::from_millis(5));
+            out.clear();
+            w.expire(Instant::now(), &mut out);
+            assert!(out.len() <= 1, "burst: {out:?}");
+            fired += out.len();
+        }
+        assert!(fired >= 3, "20 ms period over 150 ms fired only {fired}×");
+        assert_eq!(w.len(), 1, "recurring timer stays armed after firing");
+        w.cancel(Token(9));
+        assert!(w.is_empty());
+        std::thread::sleep(Duration::from_millis(40));
+        out.clear();
+        w.expire(Instant::now(), &mut out);
+        assert!(out.is_empty(), "cancelled recurring timer fired");
+    }
+
+    #[test]
+    fn late_sweep_fires_a_recurring_timer_once_not_per_missed_period() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 8);
+        w.set_recurring(Token(1), Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(100)); // ~10 periods missed
+        let mut out = Vec::new();
+        w.expire(Instant::now(), &mut out);
+        assert_eq!(out, [Token(1)], "one firing per sweep");
+        out.clear();
+        w.expire(Instant::now(), &mut out);
+        assert!(out.is_empty(), "re-armed past now, not at the missed deadline");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn set_replaces_a_recurring_timer_with_a_one_shot() {
+        let mut w = TimerWheel::new(Duration::from_millis(5), 16);
+        w.set_recurring(Token(3), Duration::from_millis(10));
+        w.set(Token(3), Duration::from_millis(10));
+        assert_eq!(w.len(), 1, "one timer per token");
+        std::thread::sleep(Duration::from_millis(30));
+        let mut out = Vec::new();
+        w.expire(Instant::now(), &mut out);
+        assert_eq!(out, [Token(3)]);
+        assert!(w.is_empty(), "the replacement was one-shot");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! binary needs.
 
 use crate::engine::{ReportOwned, TableEntry};
-use crate::wire::{self, Request, Response, WireReport};
+use crate::wire::{self, DaemonStats, Request, Response, WireReport};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use xar_desim::{Decision, Target};
@@ -18,6 +18,11 @@ pub struct V2Client {
     stream: TcpStream,
     send: Vec<u8>,
     recv: Vec<u8>,
+    /// Bytes at the head of `recv` holding the previous roundtrip's
+    /// reply frame; dropped at the start of the next roundtrip. Any
+    /// tail beyond it (bytes that arrived coalesced with the reply)
+    /// is preserved, not discarded.
+    consumed: usize,
 }
 
 impl V2Client {
@@ -48,23 +53,31 @@ impl V2Client {
         if version != wire::VERSION {
             return Err(proto_err(format!("server speaks v{version}, want v{}", wire::VERSION)));
         }
-        Ok(V2Client { stream, send: Vec::with_capacity(256), recv: Vec::with_capacity(256) })
+        Ok(V2Client {
+            stream,
+            send: Vec::with_capacity(256),
+            recv: Vec::with_capacity(256),
+            consumed: 0,
+        })
     }
 
-    /// Sends `req` and reads exactly one response frame into the
-    /// receive buffer, returning the payload range. Both buffers are
-    /// reused across calls; a reply usually arrives in one `read`.
+    /// Sends `req` and reads one response frame into the receive
+    /// buffer, returning the payload range. Both buffers are reused
+    /// across calls; bytes that arrived coalesced beyond the previous
+    /// reply (a fast server's next frame, or its prefix) stay buffered
+    /// and are consumed here before touching the socket.
     fn roundtrip(&mut self, req: &Request<'_>) -> std::io::Result<std::ops::Range<usize>> {
         self.send.clear();
         wire::encode_request(req, &mut self.send);
         self.stream.write_all(&self.send)?;
-        self.recv.clear();
+        self.recv.drain(..self.consumed);
+        self.consumed = 0;
         let mut scratch = [0u8; 4096];
         loop {
             if let Some((total, range)) =
                 wire::frame_in(&self.recv).map_err(std::io::Error::from)?
             {
-                debug_assert_eq!(total, self.recv.len(), "one reply per request");
+                self.consumed = total;
                 return Ok(range);
             }
             match self.stream.read(&mut scratch) {
@@ -81,7 +94,11 @@ impl V2Client {
         }
     }
 
-    /// Asks where the next selected-function call should run.
+    /// Asks where the next selected-function call should run, with the
+    /// common-case context: no ARM load worth reporting and a device
+    /// past any reconfiguration. Use [`V2Client::decide_with`] when
+    /// either is not true — this convenience must not be the only
+    /// door, or the server decides on fabricated context.
     ///
     /// # Errors
     ///
@@ -93,13 +110,33 @@ impl V2Client {
         x86_load: u32,
         kernel_resident: bool,
     ) -> std::io::Result<Decision> {
+        self.decide_with(app, kernel, x86_load, 0, kernel_resident, true)
+    }
+
+    /// Full-context placement query carrying every `Decide` field the
+    /// wire protocol has: ARM load and device readiness included, so a
+    /// client can say "the FPGA is still reconfiguring" instead of
+    /// having `true` fabricated on its behalf.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn decide_with(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        arm_load: u32,
+        kernel_resident: bool,
+        device_ready: bool,
+    ) -> std::io::Result<Decision> {
         let range = self.roundtrip(&Request::Decide {
             app,
             kernel,
             x86_load,
-            arm_load: 0,
+            arm_load,
             kernel_resident,
-            device_ready: true,
+            device_ready,
         })?;
         match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
             Response::Decide { target, reconfigure } => Ok(Decision { target, reconfigure }),
@@ -217,5 +254,78 @@ impl V2Client {
             Response::Err(msg) => Err(proto_err(msg)),
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    /// Fetches daemon-wide statistics: engine metric totals plus
+    /// live/reaped/rejected connection counts.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn stats(&mut self) -> std::io::Result<DaemonStats> {
+        let range = self.roundtrip(&Request::Stats)?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Stats(s) => Ok(s),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Reads one complete v2 frame from a blocking stream.
+    fn read_frame(s: &mut TcpStream, buf: &mut Vec<u8>) -> Vec<u8> {
+        let mut scratch = [0u8; 1024];
+        loop {
+            if let Some((total, _)) = wire::frame_in(buf).unwrap() {
+                return buf.drain(..total).collect();
+            }
+            let n = s.read(&mut scratch).unwrap();
+            assert!(n > 0, "peer closed mid-frame");
+            buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    /// A reply that arrives coalesced with the next frame (here: the
+    /// whole next reply) must not be discarded — the old
+    /// `recv.clear()` silently dropped the tail in release builds and
+    /// panicked a debug_assert in debug builds.
+    #[test]
+    fn coalesced_reply_tail_is_preserved_across_roundtrips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut hs = [0u8; wire::HANDSHAKE_LEN];
+            s.read_exact(&mut hs).unwrap();
+            s.write_all(&wire::handshake(wire::VERSION)).unwrap();
+            let mut buf = Vec::new();
+            let first = read_frame(&mut s, &mut buf);
+            assert_eq!(
+                wire::decode_request(&first[4..]).unwrap(),
+                Request::Ping(1),
+                "scripted server expects ping(1) first"
+            );
+            // Answer ping(1) and ping(2) in ONE write: the client sees
+            // pong(2) arrive coalesced behind pong(1).
+            let mut out = Vec::new();
+            wire::encode_response(&Response::Pong(1), &mut out);
+            wire::encode_response(&Response::Pong(2), &mut out);
+            s.write_all(&out).unwrap();
+            // Absorb the second ping (it gets the pre-sent pong), then
+            // hold the socket open until the client is done with it.
+            let second = read_frame(&mut s, &mut buf);
+            assert_eq!(wire::decode_request(&second[4..]).unwrap(), Request::Ping(2));
+            let _ = s.read(&mut [0u8; 8]); // EOF when the client drops
+        });
+        let mut c = V2Client::connect(addr).unwrap();
+        assert_eq!(c.ping(1).unwrap(), 1);
+        assert_eq!(c.ping(2).unwrap(), 2, "coalesced tail was discarded");
+        drop(c);
+        server.join().unwrap();
     }
 }

@@ -24,6 +24,7 @@ use crate::metrics::{MetricsSnapshot, ShardMetrics};
 use crate::snapshot::ArcCell;
 use crate::wire::WireReport;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Target};
 
@@ -133,6 +134,14 @@ struct Shard<P: PolicyCore> {
     state: Mutex<P>,
     snap: ArcCell<P::Snap>,
     pending: Mutex<Vec<ReportOwned>>,
+    /// Whether `pending` may hold unapplied reports — the maintenance
+    /// flush's cheap gate, so periodically sweeping an idle engine
+    /// costs one relaxed load per shard instead of two lock
+    /// acquisitions. Set (under the `pending` lock) by every enqueue,
+    /// cleared by `flush_shard` *before* it drains, so "pending
+    /// nonempty ⇒ dirty" always holds; a spurious `true` on an empty
+    /// queue merely costs one no-op flush.
+    dirty: AtomicBool,
     metrics: ShardMetrics,
 }
 
@@ -155,6 +164,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
                 snap: ArcCell::new(p.snapshot()),
                 state: Mutex::new(p),
                 pending: Mutex::new(Vec::new()),
+                dirty: AtomicBool::new(false),
                 metrics: ShardMetrics::default(),
             })
             .collect();
@@ -198,6 +208,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
         let ready = {
             let mut pending = shard.pending.lock();
             pending.push(report);
+            shard.dirty.store(true, Ordering::Release);
             pending.len() >= self.batch
         };
         if ready {
@@ -224,6 +235,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             let ready = {
                 let mut pending = shard.pending.lock();
                 pending.extend(group);
+                shard.dirty.store(true, Ordering::Release);
                 pending.len() >= self.batch
             };
             if ready {
@@ -242,6 +254,10 @@ impl<P: PolicyCore> ShardedEngine<P> {
         // the O(1) queue swap, not for Algorithm 1. Lock order is
         // state → pending everywhere.
         let mut state = shard.state.lock();
+        // Clear the hint BEFORE draining: an enqueue racing past the
+        // drain re-sets it (its report stays pending), while one the
+        // drain caught leaves at worst a spurious `true`.
+        shard.dirty.store(false, Ordering::Release);
         let batch = {
             let mut pending = shard.pending.lock();
             std::mem::take(&mut *pending)
@@ -265,6 +281,17 @@ impl<P: PolicyCore> ShardedEngine<P> {
     pub fn flush(&self) {
         for shard in &self.shards {
             Self::flush_shard(shard);
+        }
+    }
+
+    /// Applies pending reports on the shards that have any — the
+    /// periodic-maintenance entry point: on an idle engine every shard
+    /// is clean and the sweep costs one atomic load each, no locks.
+    pub fn flush_dirty(&self) {
+        for shard in &self.shards {
+            if shard.dirty.load(Ordering::Acquire) {
+                Self::flush_shard(shard);
+            }
         }
     }
 
@@ -386,6 +413,34 @@ mod tests {
         let m = e.metrics_total();
         assert_eq!(m.reports, 3);
         assert_eq!(m.batches, 1, "one amortized application");
+    }
+
+    #[test]
+    fn flush_dirty_applies_stranded_below_batch_reports() {
+        let e = engine(4, 64);
+        for _ in 0..3 {
+            e.report(report("app"));
+        }
+        // Below the batch size: the snapshot is stale — the stranded
+        // state the maintenance flush exists to clear.
+        assert_eq!(e.decide(&ctx("app")).target, Target::X86, "stranded below batch");
+        e.flush_dirty();
+        assert_eq!(e.decide(&ctx("app")).target, Target::Fpga);
+        let m = e.metrics_total();
+        assert_eq!(m.reports, 3);
+        assert_eq!(m.batches, 1, "one maintenance batch");
+        // Everything is clean now: another sweep applies nothing.
+        e.flush_dirty();
+        assert_eq!(e.metrics_total().batches, 1, "clean shards were re-flushed");
+    }
+
+    #[test]
+    fn report_batch_marks_its_shards_dirty() {
+        let e = engine(4, 64);
+        e.report_batch((0..6).map(|i| report(&format!("app{i}"))));
+        assert_eq!(e.metrics_total().reports, 0, "below batch: deferred");
+        e.flush_dirty();
+        assert_eq!(e.metrics_total().reports, 6, "dirty sweep missed a shard");
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! grown up for datacenter service:
 //!
 //! * [`wire`] — **binary wire protocol v2**: length-prefixed frames
-//!   (`Decide` / `Report` / `BatchReport` / `TableSnapshot` / `Ping`),
-//!   a zero-copy decoder, and a versioned handshake. Legacy v1 text
-//!   clients are detected from their first bytes and served on the
-//!   same port.
+//!   (`Decide` / `Report` / `BatchReport` / `TableSnapshot` / `Ping` /
+//!   `Stats`), a zero-copy decoder, and a versioned handshake. Legacy
+//!   v1 text clients are detected from their first bytes and served on
+//!   the same port.
 //! * [`engine`] — the **sharded policy engine**: per-app-group shards,
 //!   each owning a policy instance, with an ArcSwap-style snapshot
 //!   ([`snapshot::ArcCell`]) giving decide a lock-free read path and
@@ -20,10 +20,15 @@
 //!   acceptor plus a fixed worker pool, each worker blocking on its own
 //!   [`xar_reactor::Reactor`] (epoll on Linux, portable `poll(2)`
 //!   fallback) with per-connection buffers, interest re-arm
-//!   backpressure, an outbuf high-water cap, close-linger reaping on a
-//!   coarse timer wheel, graceful shutdown, and per-shard [`metrics`]
-//!   (decides, migrations, batch amortization, p50/p99 decide
-//!   latency).
+//!   backpressure, an outbuf high-water cap, graceful shutdown, and
+//!   per-shard [`metrics`] (decides, migrations, batch amortization,
+//!   p50/p99 decide latency). A **timer-driven maintenance layer**
+//!   rides each reactor's wheel: a recurring per-worker flush applies
+//!   below-batch reports within `flush_interval`, per-connection idle
+//!   timeouts and write-stall deadlines reap dead peers, and
+//!   `max_connections` admission control parks the listener at the
+//!   cap instead of running into fd exhaustion — all observable via
+//!   the v2 `Stats` command.
 //! * [`client`] — the blocking v2 client for application binaries.
 //! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
 //!   simulations of 1000+ apps exercise the daemon's exact code path.
@@ -47,4 +52,5 @@ pub use engine::{shard_of, EngineConfig, PolicyCore, ReportOwned, ShardedEngine,
 pub use metrics::{MetricsSnapshot, ShardMetrics};
 pub use server::{Server, ServerConfig};
 pub use snapshot::ArcCell;
+pub use wire::DaemonStats;
 pub use xar_reactor::BackendKind;

@@ -78,7 +78,10 @@ impl ShardMetrics {
     }
 }
 
-/// Upper bound of the bucket containing quantile `q`.
+/// Upper bound of the bucket containing quantile `q`. The last bucket
+/// is open-ended — it has no real upper bound — so mass landing there
+/// reports the [`u64::MAX`] sentinel ("beyond the histogram's range")
+/// instead of pretending `2^BUCKETS` ns bounds it.
 fn percentile(buckets: &[u64], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
@@ -89,10 +92,10 @@ fn percentile(buckets: &[u64], q: f64) -> u64 {
     for (i, &count) in buckets.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            return 1u64 << (i + 1);
+            return if i + 1 >= buckets.len() { u64::MAX } else { 1u64 << (i + 1) };
         }
     }
-    1u64 << BUCKETS
+    u64::MAX
 }
 
 /// A point-in-time copy of one shard's counters.
@@ -110,9 +113,11 @@ pub struct MetricsSnapshot {
     pub to_fpga: u64,
     /// Decisions that started a background reconfiguration.
     pub reconfigs: u64,
-    /// Median decide latency upper bound (ns).
+    /// Median decide latency upper bound (ns); [`u64::MAX`] means the
+    /// quantile fell in the histogram's open-ended last bucket.
     pub p50_ns: u64,
-    /// 99th-percentile decide latency upper bound (ns).
+    /// 99th-percentile decide latency upper bound (ns); [`u64::MAX`]
+    /// means the quantile fell in the open-ended last bucket.
     pub p99_ns: u64,
 }
 
@@ -195,5 +200,34 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         assert_eq!(ShardMetrics::default().snapshot().p50_ns, 0);
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket_bound() {
+        let m = ShardMetrics::default();
+        m.record_decide(Target::X86, false, 1);
+        let s = m.snapshot();
+        assert_eq!(s.p50_ns, 2, "total = 1: both quantiles are the one sample's bucket");
+        assert_eq!(s.p99_ns, 2);
+    }
+
+    #[test]
+    fn open_ended_last_bucket_saturates_to_the_sentinel() {
+        // One sample beyond the histogram's range: the last bucket has
+        // no upper bound, so 2^40 ns would be a lie — the sentinel
+        // says "off the scale".
+        let m = ShardMetrics::default();
+        m.record_decide(Target::X86, false, u64::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.p50_ns, u64::MAX);
+        assert_eq!(s.p99_ns, u64::MAX);
+        // Mixed mass: the median is still bounded, the tail saturates.
+        for _ in 0..98 {
+            m.record_decide(Target::X86, false, 1_000);
+        }
+        m.record_decide(Target::X86, false, u64::MAX);
+        let s = m.snapshot();
+        assert!(s.p50_ns <= 2_048, "{}", s.p50_ns);
+        assert_eq!(s.p99_ns, u64::MAX, "2/100 samples off the scale");
     }
 }

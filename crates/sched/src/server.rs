@@ -7,24 +7,32 @@
 //! [`Reactor`]: connections register read interest, re-arm to write
 //! interest while replies are backed up, and the worker blocks in the
 //! kernel until a socket is actually ready — no idle polling, no sleep
-//! quantum, no busy-yield. Write-stalled connections ride the
-//! reactor's coarse timer wheel: one that stays backed up a whole
-//! linger window with zero drain progress is reaped — the only bound
-//! on a peer whose FIN arrived while the backpressure gate held reads
-//! off. This serves thousands of mostly-idle scheduler
-//! clients with a handful of threads at zero idle CPU, where the
-//! paper's thread-per-client model would need one thread each.
+//! quantum, no busy-yield. The reactor's coarse timer wheel carries
+//! the daemon's whole maintenance layer: a recurring per-worker
+//! **flush tick** applies reports stranded below the engine's batch
+//! size within one `flush_interval`; **write-stall deadlines** reap a
+//! connection that stays backed up a whole linger window with zero
+//! drain progress (the only bound on a peer whose FIN arrived while
+//! the backpressure gate held reads off); optional **idle timeouts**
+//! reap connections silent for a full window. At the
+//! `max_connections` admission cap the acceptor parks the listener's
+//! read interest — new peers wait in the kernel backlog instead of
+//! racing toward fd exhaustion — and a reap re-arms it. All of it is
+//! observable through the v2 `Stats` command. This serves thousands
+//! of mostly-idle scheduler clients with a handful of threads at zero
+//! idle CPU, where the paper's thread-per-client model would need one
+//! thread each.
 //!
 //! The first bytes of a connection select the protocol: the v2
 //! handshake magic, or anything else for the legacy v1 text protocol
 //! (see [`crate::wire`] for both).
 
 use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
-use crate::wire::{self, Request, Response, WireEntry};
+use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -61,6 +69,28 @@ pub struct ServerConfig {
     /// so without this deadline such a connection would pin its fd
     /// and buffers forever.
     pub close_linger: Duration,
+    /// Maintenance-flush period. Each worker keeps a recurring timer
+    /// of this period on its reactor and sweeps the engine's dirty
+    /// shards when it fires, so a report stranded below the batch
+    /// size (e.g. a quiescent app's last executions) is applied
+    /// within one interval instead of waiting for an unrelated
+    /// client to fill the batch. Zero disables the timer (with
+    /// `batch = 1` every report applies inline anyway).
+    pub flush_interval: Duration,
+    /// Per-connection idle timeout, off by default. A connection that
+    /// delivers no inbound bytes for a full window is reaped; any
+    /// inbound activity slides the deadline (rechecked per window, so
+    /// an idle peer lives at most two windows). Connections that are
+    /// draining replies or already half-closed are exempt — their
+    /// fate belongs to the write-stall deadline above.
+    pub idle_timeout: Option<Duration>,
+    /// Admission cap on concurrently open connections. At the cap the
+    /// acceptor drops the listener's read interest, so new peers wait
+    /// in the kernel accept backlog (TCP backpressure) instead of
+    /// consuming fds toward exhaustion and the accept-failure throttle
+    /// path; a reaped connection re-arms the listener. `usize::MAX`
+    /// (the default) means uncapped.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +101,9 @@ impl Default for ServerConfig {
             backend: BackendKind::default(),
             outbuf_high_water: 256 * 1024,
             close_linger: Duration::from_secs(5),
+            flush_interval: Duration::from_millis(100),
+            idle_timeout: None,
+            max_connections: usize::MAX,
         }
     }
 }
@@ -99,6 +132,66 @@ enum Proto {
 /// delay (never hang) shutdown or a connection handoff.
 const MAX_WAIT: Duration = Duration::from_millis(250);
 
+/// Timer token for a worker's recurring maintenance (dirty-shard
+/// flush) timer; far above any slab slot, distinct from the reactor's
+/// reserved `WAKE_TOKEN` (`usize::MAX`).
+const MAINT_TOKEN: Token = Token(usize::MAX - 1);
+
+/// High bit marking a timer token as a connection's *idle* deadline;
+/// the bare slot value is its write-stall deadline. Slab slots are fd
+/// counts, nowhere near this bit.
+const IDLE_TIMER_BIT: usize = 1 << (usize::BITS - 1);
+
+/// The idle-deadline timer token for a connection slot.
+fn idle_token(slot: usize) -> Token {
+    Token(slot | IDLE_TIMER_BIT)
+}
+
+/// Connection-lifecycle counters shared by the acceptor (admission
+/// control), the workers (reaping), and the v2 `Stats` command. All
+/// three are monotone, so `live` is a difference of counters rather
+/// than a counter that could underflow on a racy decrement.
+#[derive(Debug, Default)]
+struct ConnCounters {
+    accepted: AtomicU64,
+    reaped: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Currently open connections (accepted and not yet reaped or
+    /// dropped at admission).
+    fn live(&self) -> u64 {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        accepted.saturating_sub(
+            self.reaped.load(Ordering::Relaxed) + self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The per-worker slice of shared server state, threaded through the
+/// connection-servicing call chain.
+struct WorkerCtx<P: PolicyCore> {
+    engine: Arc<ShardedEngine<P>>,
+    counters: Arc<ConnCounters>,
+    /// Wakes the acceptor after a reap so a listener parked at the
+    /// connection cap resumes accepting.
+    acceptor: Waker,
+    config: ServerConfig,
+}
+
+impl<P: PolicyCore> WorkerCtx<P> {
+    /// Records one reaped connection and, when an admission cap is
+    /// configured, nudges the acceptor (the freed slot may be what it
+    /// is parked on).
+    fn note_reaped(&self) {
+        self.counters.reaped.fetch_add(1, Ordering::Relaxed);
+        if self.config.max_connections != usize::MAX {
+            self.acceptor.wake();
+        }
+    }
+}
+
 struct Conn {
     stream: TcpStream,
     proto: Proto,
@@ -117,6 +210,12 @@ struct Conn {
     /// watermark it must beat at expiry.
     stall_armed: bool,
     stall_mark: u64,
+    /// Total bytes ever read from the socket — the idle timer's
+    /// activity marker.
+    read_total: u64,
+    /// The `read_total` watermark the idle timer recorded when it was
+    /// (re-)armed; unchanged at expiry means a full silent window.
+    idle_mark: u64,
     /// The socket is unusable (write error); reap immediately.
     dead: bool,
 }
@@ -134,6 +233,8 @@ impl Conn {
             wrote: 0,
             stall_armed: false,
             stall_mark: 0,
+            read_total: 0,
+            idle_mark: 0,
             dead: false,
         }
     }
@@ -214,6 +315,7 @@ impl<P: PolicyCore> Server<P> {
         }
         let mut acceptor = Reactor::with_backend(config.backend)?;
         acceptor.register(listener.as_raw_fd(), Token(0), Interest::READ)?;
+        let counters = Arc::new(ConnCounters::default());
         let mut handles = Vec::with_capacity(workers + 1);
         let mut wakers = Vec::with_capacity(workers + 1);
         let mut worker_ports: Vec<(Sender<TcpStream>, Waker)> = Vec::with_capacity(workers);
@@ -221,20 +323,29 @@ impl<P: PolicyCore> Server<P> {
             let (tx, rx) = std::sync::mpsc::channel();
             worker_ports.push((tx, reactor.waker()));
             wakers.push(reactor.waker());
-            let (engine, stop) = (engine.clone(), stop.clone());
+            let ctx = WorkerCtx {
+                engine: engine.clone(),
+                counters: counters.clone(),
+                acceptor: acceptor.waker(),
+                config,
+            };
+            let stop = stop.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("xar-sched-worker-{w}"))
-                    .spawn(move || worker_loop(rx, engine, stop, reactor, config))
+                    .spawn(move || worker_loop(rx, ctx, stop, reactor))
                     .expect("spawn worker"),
             );
         }
         wakers.push(acceptor.waker());
         let stop2 = stop.clone();
+        let counters2 = counters.clone();
         handles.push(
             std::thread::Builder::new()
                 .name("xar-sched-acceptor".into())
-                .spawn(move || accept_loop(listener, worker_ports, stop2, acceptor))
+                .spawn(move || {
+                    accept_loop(listener, worker_ports, stop2, acceptor, counters2, config)
+                })
                 .expect("spawn acceptor"),
         );
         Ok(Server { addr, engine, stop, wakers, handles })
@@ -281,9 +392,15 @@ fn accept_loop(
     workers: Vec<(Sender<TcpStream>, Waker)>,
     stop: Arc<AtomicBool>,
     mut reactor: Reactor,
+    counters: Arc<ConnCounters>,
+    config: ServerConfig,
 ) {
     let (mut events, mut expired) = (Vec::new(), Vec::new());
     let mut next = 0usize;
+    // Admission control: `spawn` armed the listener's read interest;
+    // at the connection cap it is dropped so pending peers wait in the
+    // kernel backlog, and a worker's post-reap wake re-arms it.
+    let mut armed = true;
     while !stop.load(Ordering::SeqCst) {
         events.clear();
         expired.clear();
@@ -296,10 +413,28 @@ fn accept_loop(
         // Accept everything pending regardless of what woke us —
         // readiness is level-triggered and spurious wakes are allowed.
         loop {
+            // Cap check before every accept: hitting the cap mid-drain
+            // must park the listener immediately, or the still-readable
+            // fd would turn every poll into a busy loop.
+            if counters.live() >= config.max_connections as u64 {
+                if armed {
+                    let _ = reactor.deregister(listener.as_raw_fd(), Token(0));
+                    armed = false;
+                }
+                break;
+            }
+            if !armed {
+                if reactor.register(listener.as_raw_fd(), Token(0), Interest::READ).is_err() {
+                    return; // cannot watch the listener anymore
+                }
+                armed = true;
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
+                    counters.accepted.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.set_nodelay(true);
                     if stream.set_nonblocking(true).is_err() {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     // Round-robin, skipping workers whose channel is
@@ -320,6 +455,7 @@ fn accept_loop(
                         }
                     }
                     if stream.is_some() {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
                         return; // no live workers remain
                     }
                 }
@@ -339,14 +475,18 @@ fn accept_loop(
 
 fn worker_loop<P: PolicyCore>(
     rx: Receiver<TcpStream>,
-    engine: Arc<ShardedEngine<P>>,
+    ctx: WorkerCtx<P>,
     stop: Arc<AtomicBool>,
     mut reactor: Reactor,
-    config: ServerConfig,
 ) {
     let mut slab = Slab::default();
     let (mut events, mut expired) = (Vec::<Event>::new(), Vec::<Token>::new());
     let mut scratch = [0u8; 16 * 1024];
+    // The maintenance tick: a recurring timer, so an idle worker still
+    // applies stranded below-batch reports within one interval.
+    if !ctx.config.flush_interval.is_zero() {
+        reactor.set_recurring_timer(MAINT_TOKEN, ctx.config.flush_interval);
+    }
     while !stop.load(Ordering::SeqCst) {
         events.clear();
         expired.clear();
@@ -364,11 +504,15 @@ fn worker_loop<P: PolicyCore>(
                     let slot = slab.insert(Conn::new(stream));
                     if reactor.register(fd, Token(slot), Interest::READ).is_err() {
                         slab.remove(slot);
+                        ctx.note_reaped();
                         continue;
+                    }
+                    if let Some(idle) = ctx.config.idle_timeout {
+                        reactor.set_timer(idle_token(slot), idle);
                     }
                     // Serve immediately: the client may have sent its
                     // handshake before we registered.
-                    service(&mut slab, &mut reactor, &engine, &mut scratch, config, slot);
+                    service(&mut slab, &mut reactor, &ctx, &mut scratch, slot);
                 }
                 Err(TryRecvError::Empty) => break,
                 // The acceptor (and its channel) is gone without a stop
@@ -378,25 +522,48 @@ fn worker_loop<P: PolicyCore>(
             }
         }
         for ev in &events {
-            service(&mut slab, &mut reactor, &engine, &mut scratch, config, ev.token.0);
+            service(&mut slab, &mut reactor, &ctx, &mut scratch, ev.token.0);
         }
-        // Write-stall expiries: a whole linger window elapsed with
-        // replies still backed up. Reap only when the peer drained
-        // nothing at all during the window — a FIN is unobservable
-        // while the backpressure gate holds reads off, so zero
-        // progress is the one signal that the peer is gone or wedged.
-        // Any progress (closed or not: the window may have been armed
-        // long before a FIN, so `closed` must not shortcut a draining
-        // peer to its death) earns a fresh window from service()'s
-        // re-arm.
         for t in &expired {
+            // Maintenance tick: sweep the engine's dirty shards.
+            if *t == MAINT_TOKEN {
+                ctx.engine.flush_dirty();
+                continue;
+            }
+            // Idle deadline: a full window passed — reap only if the
+            // peer delivered nothing inbound over the whole of it and
+            // is not mid-drain (a slow reader's fate belongs to the
+            // write-stall deadline, a half-closed peer's to the reap
+            // conditions in `service`).
+            if t.0 & IDLE_TIMER_BIT != 0 {
+                let slot = t.0 & !IDLE_TIMER_BIT;
+                if let Some(conn) = slab.get_mut(slot) {
+                    let active = conn.read_total != conn.idle_mark;
+                    if !active && !conn.closed && conn.flushed() {
+                        reap(&mut slab, &mut reactor, &ctx, slot);
+                    } else if let Some(idle) = ctx.config.idle_timeout {
+                        conn.idle_mark = conn.read_total;
+                        reactor.set_timer(idle_token(slot), idle);
+                    }
+                }
+                continue;
+            }
+            // Write-stall expiry: a whole linger window elapsed with
+            // replies still backed up. Reap only when the peer drained
+            // nothing at all during the window — a FIN is unobservable
+            // while the backpressure gate holds reads off, so zero
+            // progress is the one signal that the peer is gone or
+            // wedged. Any progress (closed or not: the window may have
+            // been armed long before a FIN, so `closed` must not
+            // shortcut a draining peer to its death) earns a fresh
+            // window from service()'s re-arm.
             if let Some(conn) = slab.get_mut(t.0) {
                 conn.stall_armed = false;
                 if !conn.flushed() && conn.wrote == conn.stall_mark {
                     conn.dead = true;
                 }
             }
-            service(&mut slab, &mut reactor, &engine, &mut scratch, config, t.0);
+            service(&mut slab, &mut reactor, &ctx, &mut scratch, t.0);
         }
     }
 }
@@ -406,17 +573,16 @@ fn worker_loop<P: PolicyCore>(
 fn service<P: PolicyCore>(
     slab: &mut Slab,
     reactor: &mut Reactor,
-    engine: &ShardedEngine<P>,
+    ctx: &WorkerCtx<P>,
     scratch: &mut [u8],
-    config: ServerConfig,
     slot: usize,
 ) {
     let Some(conn) = slab.get_mut(slot) else {
         return; // reaped earlier this iteration; stale event
     };
-    pump(conn, engine, scratch, config.outbuf_high_water);
+    pump(conn, ctx, scratch);
     if conn.dead || (conn.closed && conn.flushed() && !has_complete_input(conn)) {
-        reap(slab, reactor, slot);
+        reap(slab, reactor, ctx, slot);
         return;
     }
     // Backpressure via interest re-arm: while replies are backed up we
@@ -428,7 +594,7 @@ fn service<P: PolicyCore>(
         if reactor.reregister(fd, Token(slot), desired).is_ok() {
             conn.interest = desired;
         } else {
-            reap(slab, reactor, slot);
+            reap(slab, reactor, ctx, slot);
             return;
         }
     }
@@ -439,7 +605,7 @@ fn service<P: PolicyCore>(
         if !conn.stall_armed {
             conn.stall_armed = true;
             conn.stall_mark = conn.wrote;
-            reactor.set_timer(Token(slot), config.close_linger);
+            reactor.set_timer(Token(slot), ctx.config.close_linger);
         }
     } else if conn.stall_armed {
         conn.stall_armed = false;
@@ -447,18 +613,23 @@ fn service<P: PolicyCore>(
     }
 }
 
-/// Tears one connection down: drops it from the slab and clears its
-/// reactor state (registration and any armed timer).
-fn reap(slab: &mut Slab, reactor: &mut Reactor, slot: usize) {
+/// Tears one connection down: drops it from the slab, clears its
+/// reactor state (registration and both timers), and counts the reap.
+fn reap<P: PolicyCore>(slab: &mut Slab, reactor: &mut Reactor, ctx: &WorkerCtx<P>, slot: usize) {
     let conn = slab.remove(slot).expect("slot occupied");
+    // Deregistering cancels the slot-token (write-stall) timer; the
+    // idle deadline lives under its own token.
     let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
+    reactor.cancel_timer(idle_token(slot));
+    ctx.note_reaped();
 }
 
 /// Advances one connection: read, parse/handle, write — looping while
 /// buffered complete input remains and the socket keeps absorbing the
 /// replies (the outbuf high-water cap pauses processing; this loop
 /// resumes it as the backlog drains).
-fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut [u8], cap: usize) {
+fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>, scratch: &mut [u8]) {
+    let cap = ctx.config.outbuf_high_water;
     loop {
         // Ingest gate: while replies are stuck in outbuf (peer not
         // reading), stop reading requests — otherwise a client that
@@ -471,8 +642,8 @@ fn pump<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, scratch: &mut
                 classify(conn);
             }
             match conn.proto {
-                Proto::V2 => process_v2(conn, engine, cap),
-                Proto::V1 => process_v1(conn, engine, cap),
+                Proto::V2 => process_v2(conn, ctx),
+                Proto::V1 => process_v1(conn, &ctx.engine, cap),
                 Proto::Undetermined => {}
             }
         }
@@ -515,6 +686,7 @@ fn read_some(conn: &mut Conn, scratch: &mut [u8]) {
             }
             Ok(n) => {
                 conn.inbuf.extend_from_slice(&scratch[..n]);
+                conn.read_total += n as u64;
                 if n < scratch.len() {
                     // Short read: the socket is drained; skip the
                     // would-block probe syscall and go process.
@@ -601,7 +773,8 @@ fn classify(conn: &mut Conn) {
 
 /// Handles buffered complete v2 frames, pausing at the outbuf
 /// high-water cap ([`pump`]'s loop resumes once the backlog drains).
-fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: usize) {
+fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>) {
+    let cap = ctx.config.outbuf_high_water;
     // Track an offset and drain once: per-frame draining would memmove
     // the remaining buffer for every frame of a pipelined burst.
     let mut at = 0;
@@ -623,7 +796,7 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
             }
         };
         match wire::decode_request(&conn.inbuf[at + range.start..at + range.end]) {
-            Ok(req) => handle_v2(&req, engine, &mut conn.outbuf),
+            Ok(req) => handle_v2(&req, ctx, &mut conn.outbuf),
             Err(e) => {
                 wire::encode_response(&Response::Err(&e.to_string()), &mut conn.outbuf);
             }
@@ -633,7 +806,8 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
     conn.inbuf.drain(..at);
 }
 
-fn handle_v2<P: PolicyCore>(req: &Request<'_>, engine: &ShardedEngine<P>, out: &mut Vec<u8>) {
+fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &WorkerCtx<P>, out: &mut Vec<u8>) {
+    let engine = &*ctx.engine;
     match req {
         Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
             let d = engine.decide(&DecideCtx {
@@ -673,6 +847,17 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, engine: &ShardedEngine<P>, out: &
         }
         Request::Ping(nonce) => {
             wire::encode_response(&Response::Pong(*nonce), out);
+        }
+        Request::Stats => {
+            wire::encode_response(
+                &Response::Stats(DaemonStats {
+                    metrics: engine.metrics_total(),
+                    live_conns: ctx.counters.live(),
+                    reaped_conns: ctx.counters.reaped.load(Ordering::Relaxed),
+                    rejected_conns: ctx.counters.rejected.load(Ordering::Relaxed),
+                }),
+                out,
+            );
         }
     }
 }

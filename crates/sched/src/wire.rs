@@ -83,6 +83,8 @@ pub mod op {
     pub const TABLE: u8 = 0x04;
     /// `Ping` — liveness/latency probe.
     pub const PING: u8 = 0x05;
+    /// `Stats` — fetch daemon-wide statistics.
+    pub const STATS: u8 = 0x06;
     /// Reply to `DECIDE`.
     pub const R_DECIDE: u8 = 0x81;
     /// Acknowledgement carrying an accepted-item count.
@@ -91,6 +93,8 @@ pub mod op {
     pub const R_TABLE: u8 = 0x84;
     /// Reply to `PING`.
     pub const R_PONG: u8 = 0x85;
+    /// Reply to `STATS`.
+    pub const R_STATS: u8 = 0x86;
     /// Error reply carrying a message.
     pub const R_ERR: u8 = 0xFF;
 }
@@ -121,6 +125,24 @@ pub struct WireEntry<'a> {
     pub arm_thr: u32,
 }
 
+/// Daemon-wide statistics carried by the v2 `Stats` reply: the merged
+/// engine metric totals plus the server's connection-lifecycle
+/// counters. Fixed-width on the wire (eleven `u64`s), so a monitoring
+/// poller's cost is one small frame each way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaemonStats {
+    /// Whole-engine metric totals (every shard merged).
+    pub metrics: crate::metrics::MetricsSnapshot,
+    /// Currently connected clients (both protocol generations).
+    pub live_conns: u64,
+    /// Connections reaped over the daemon's lifetime: peer close,
+    /// write-stall deadline, or idle timeout.
+    pub reaped_conns: u64,
+    /// Connections dropped at admission (no live worker to adopt
+    /// them, or a socket that could not be made nonblocking).
+    pub rejected_conns: u64,
+}
+
 /// A decoded client request. Strings borrow from the receive buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request<'a> {
@@ -147,6 +169,8 @@ pub enum Request<'a> {
     Table,
     /// Liveness probe; the nonce is echoed back.
     Ping(u64),
+    /// Daemon-wide statistics request.
+    Stats,
 }
 
 /// A decoded server response. Strings borrow from the receive buffer.
@@ -165,6 +189,8 @@ pub enum Response<'a> {
     Table(Vec<WireEntry<'a>>),
     /// Ping echo.
     Pong(u64),
+    /// Daemon-wide statistics.
+    Stats(DaemonStats),
     /// Protocol or handler error.
     Err(&'a str),
 }
@@ -420,6 +446,7 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
             w.u64(*nonce);
             w.finish();
         }
+        Request::Stats => FrameWriter::begin(out, op::STATS).finish(),
     }
 }
 
@@ -452,6 +479,21 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
         Response::Pong(nonce) => {
             let mut w = FrameWriter::begin(out, op::R_PONG);
             w.u64(*nonce);
+            w.finish();
+        }
+        Response::Stats(s) => {
+            let mut w = FrameWriter::begin(out, op::R_STATS);
+            w.u64(s.metrics.decides);
+            w.u64(s.metrics.reports);
+            w.u64(s.metrics.batches);
+            w.u64(s.metrics.to_arm);
+            w.u64(s.metrics.to_fpga);
+            w.u64(s.metrics.reconfigs);
+            w.u64(s.metrics.p50_ns);
+            w.u64(s.metrics.p99_ns);
+            w.u64(s.live_conns);
+            w.u64(s.reaped_conns);
+            w.u64(s.rejected_conns);
             w.finish();
         }
         Response::Err(msg) => {
@@ -563,6 +605,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
         }
         op::TABLE => Ok(Request::Table),
         op::PING => Ok(Request::Ping(r.u64()?)),
+        op::STATS => Ok(Request::Stats),
         other => Err(WireError::BadOpcode(other)),
     }?;
     r.finish()?;
@@ -595,6 +638,21 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
             Ok(Response::Table(entries))
         }
         op::R_PONG => Ok(Response::Pong(r.u64()?)),
+        op::R_STATS => Ok(Response::Stats(DaemonStats {
+            metrics: crate::metrics::MetricsSnapshot {
+                decides: r.u64()?,
+                reports: r.u64()?,
+                batches: r.u64()?,
+                to_arm: r.u64()?,
+                to_fpga: r.u64()?,
+                reconfigs: r.u64()?,
+                p50_ns: r.u64()?,
+                p99_ns: r.u64()?,
+            },
+            live_conns: r.u64()?,
+            reaped_conns: r.u64()?,
+            rejected_conns: r.u64()?,
+        })),
         op::R_ERR => Ok(Response::Err(r.str()?)),
         other => Err(WireError::BadOpcode(other)),
     }?;
@@ -665,6 +723,7 @@ mod tests {
         ]));
         roundtrip_req(Request::Table);
         roundtrip_req(Request::Ping(0xDEAD_BEEF));
+        roundtrip_req(Request::Stats);
     }
 
     #[test]
@@ -678,7 +737,32 @@ mod tests {
             arm_thr: 31,
         }]));
         roundtrip_resp(Response::Pong(7));
+        roundtrip_resp(Response::Stats(DaemonStats {
+            metrics: crate::metrics::MetricsSnapshot {
+                decides: 5,
+                reports: 4,
+                batches: 2,
+                to_arm: 1,
+                to_fpga: 2,
+                reconfigs: 1,
+                p50_ns: 512,
+                p99_ns: u64::MAX, // the open-ended-bucket sentinel survives the wire
+            },
+            live_conns: 3,
+            reaped_conns: 9,
+            rejected_conns: 1,
+        }));
         roundtrip_resp(Response::Err("nope"));
+    }
+
+    #[test]
+    fn stats_frames_are_fixed_width() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Stats, &mut buf);
+        assert_eq!(buf.len(), 4 + 1, "request: header + opcode only");
+        let mut buf = Vec::new();
+        encode_response(&Response::Stats(DaemonStats::default()), &mut buf);
+        assert_eq!(buf.len(), 4 + 1 + 11 * 8, "reply: eleven u64 counters");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use std::sync::Arc;
 use xar_trek::core::server::{
-    spawn_sharded, BackendKind, EngineConfig, SchedulerClient, ServerConfig, V2Client,
+    spawn_sharded, BackendKind, EngineConfig, SchedulerClient, ServerConfig, ShardedPolicy,
+    V2Client,
 };
 use xar_trek::core::XarTrekPolicy;
 use xar_trek::desim::{ClusterConfig, CompletionReport, DecideCtx, Decision, Policy, Target};
@@ -396,6 +397,275 @@ fn write_stalled_half_closed_client_is_reaped() {
         assert!(tables < BURST, "{backend:?}: stalled half-closed peer was never reaped");
         daemon.shutdown();
     }
+}
+
+/// The stranded-report regression: a single report below the batch
+/// size must become visible — applied to the table and the decision
+/// snapshot — within one `flush_interval`, with no manual `flush()`
+/// and no TABLE request (whose snapshot path flushes as a side
+/// effect). Before the maintenance timer, it sat in the shard queue
+/// forever and the daemon kept deciding on stale profiles. Exercised
+/// on both reactor backends and through the `ShardedPolicy` simulator
+/// adapter over the same daemon-maintained engine.
+#[test]
+fn below_batch_report_is_applied_within_one_flush_interval() {
+    let wait_for_reports =
+        |daemon: &xar_trek::core::server::ShardedSchedulerServer, want: u64, what: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            loop {
+                let m = daemon.engine().metrics_total();
+                if m.reports == want {
+                    assert!(m.batches >= 1, "{what}: applied without a batch?");
+                    return;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "{what}: report stranded below batch size ({} applied, want {want})",
+                    m.reports
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig { shards: 8, batch: 64 },
+            ServerConfig {
+                backend,
+                flush_interval: std::time::Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut cl = V2Client::connect(daemon.addr()).unwrap();
+        cl.report("Digit2000", Target::Fpga, 1e9, 2).unwrap();
+        wait_for_reports(&daemon, 1, &format!("{backend:?}"));
+        // And the published decision snapshot reflects it: the row's
+        // fpga_thr was bumped by Algorithm 1.
+        let mut reference = policy();
+        reference.on_complete(&CompletionReport {
+            app: "Digit2000",
+            target: Target::Fpga,
+            func_ms: 1e9,
+            x86_load: 2,
+        });
+        let row = reference.table.iter().find(|e| e.app == "Digit2000").unwrap();
+        let got = daemon.engine().table().into_iter().find(|e| e.app == "Digit2000").unwrap();
+        assert_eq!((got.fpga_thr, got.arm_thr), (row.fpga_thr, row.arm_thr), "{backend:?}");
+
+        // The simulator adapter rides the same maintenance timer: a
+        // report entering through `Policy::on_complete` is applied
+        // within one interval too.
+        let mut adapter = ShardedPolicy::new(daemon.engine().clone());
+        adapter.on_complete(&CompletionReport {
+            app: "CG-A",
+            target: Target::Fpga,
+            func_ms: 1e9,
+            x86_load: 2,
+        });
+        wait_for_reports(&daemon, 2, &format!("{backend:?} via ShardedPolicy"));
+        daemon.shutdown();
+    }
+}
+
+/// The v2 `Stats` command round-trips on both backends and carries
+/// live telemetry: engine metric totals plus connection-lifecycle
+/// counters that track a peer's reap.
+#[test]
+fn stats_round_trips_on_both_backends() {
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig::default(),
+            ServerConfig { backend, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut cl = V2Client::connect(daemon.addr()).unwrap();
+        for _ in 0..3 {
+            cl.decide("Digit2000", "k", 2, true).unwrap();
+        }
+        for _ in 0..2 {
+            cl.report("Digit2000", Target::Fpga, 1e9, 2).unwrap();
+        }
+        let s = cl.stats().unwrap();
+        assert_eq!(s.metrics.decides, 3, "{backend:?}");
+        assert_eq!(s.metrics.reports, 2, "{backend:?}");
+        assert_eq!(s.live_conns, 1, "{backend:?}");
+        assert_eq!(s.reaped_conns, 0, "{backend:?}");
+        assert_eq!(s.rejected_conns, 0, "{backend:?}");
+        assert!(s.metrics.p50_ns > 0, "{backend:?}: decide latency histogram empty");
+
+        // A dropped peer shows up as reaped; the counters are shared
+        // across workers, so any connection observes it.
+        let mut cl2 = V2Client::connect(daemon.addr()).unwrap();
+        drop(cl);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let s = cl2.stats().unwrap();
+            if s.reaped_conns == 1 {
+                assert_eq!(s.live_conns, 1, "{backend:?}");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "{backend:?}: reap never counted");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        daemon.shutdown();
+    }
+}
+
+/// Admission control: an at-cap daemon parks its listener (the third
+/// peer's handshake goes unanswered — it waits in the kernel backlog,
+/// consuming no daemon fd) and resumes accepting as soon as a reap
+/// frees a slot — on both backends.
+#[test]
+fn at_cap_daemon_stops_accepting_and_resumes_after_reap() {
+    use std::io::{Read, Write};
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig::default(),
+            ServerConfig { backend, max_connections: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let addr = daemon.addr();
+        let cl1 = V2Client::connect(addr).unwrap();
+        let mut cl2 = V2Client::connect(addr).unwrap();
+        // Third peer: the TCP handshake completes against the kernel
+        // backlog, but the daemon must not accept (and so never
+        // answers the v2 handshake) while at the cap.
+        let mut third = std::net::TcpStream::connect(addr).unwrap();
+        third.write_all(&xar_trek::sched::wire::handshake(xar_trek::sched::wire::VERSION)).unwrap();
+        third.set_read_timeout(Some(std::time::Duration::from_millis(600))).unwrap();
+        let mut hs = [0u8; xar_trek::sched::wire::HANDSHAKE_LEN];
+        match third.read(&mut hs) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            other => panic!("{backend:?}: daemon served a peer beyond the cap: {other:?}"),
+        }
+        // A reap frees a slot: the parked listener re-arms and the
+        // queued peer is admitted and served.
+        drop(cl1);
+        third.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        third
+            .read_exact(&mut hs)
+            .unwrap_or_else(|e| panic!("{backend:?}: listener never resumed after the reap: {e}"));
+        assert_eq!(
+            xar_trek::sched::wire::parse_handshake(&hs).unwrap(),
+            xar_trek::sched::wire::VERSION,
+            "{backend:?}"
+        );
+        // The still-admitted client kept working throughout.
+        assert_eq!(cl2.ping(7).unwrap(), 7, "{backend:?}");
+        daemon.shutdown();
+    }
+}
+
+/// Idle timeouts: a connection that goes silent for a full window is
+/// reaped (the immortal-idle-connection fix), while one with inbound
+/// traffic slides its deadline indefinitely — on both backends.
+#[test]
+fn idle_connection_is_reaped_while_an_active_one_slides() {
+    use std::io::{Read, Write};
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig::default(),
+            ServerConfig {
+                backend,
+                idle_timeout: Some(std::time::Duration::from_millis(300)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = daemon.addr();
+        let mut active = V2Client::connect(addr).unwrap();
+        // The idle peer: completes the handshake, then never sends
+        // another byte.
+        let mut idle = std::net::TcpStream::connect(addr).unwrap();
+        idle.write_all(&xar_trek::sched::wire::handshake(xar_trek::sched::wire::VERSION)).unwrap();
+        let mut hs = [0u8; xar_trek::sched::wire::HANDSHAKE_LEN];
+        idle.read_exact(&mut hs).unwrap();
+        let connected = std::time::Instant::now();
+        // Ping on the active connection every 100 ms (well under the
+        // window) while waiting for the idle peer's EOF.
+        idle.set_read_timeout(Some(std::time::Duration::from_millis(100))).unwrap();
+        let mut buf = [0u8; 64];
+        let reaped_after = loop {
+            assert_eq!(active.ping(1).unwrap(), 1, "{backend:?}: active client reaped");
+            match idle.read(&mut buf) {
+                Ok(0) => break connected.elapsed(),
+                Ok(_) => panic!("{backend:?}: unsolicited bytes on an idle connection"),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => panic!("{backend:?}: {e}"),
+            }
+            assert!(
+                connected.elapsed() < std::time::Duration::from_secs(10),
+                "{backend:?}: idle connection never reaped"
+            );
+        };
+        assert!(
+            reaped_after >= std::time::Duration::from_millis(300),
+            "{backend:?}: reaped after {reaped_after:?}, before a full idle window"
+        );
+        // The active client outlived several windows and still works.
+        while connected.elapsed() < std::time::Duration::from_millis(1200) {
+            assert_eq!(active.ping(2).unwrap(), 2, "{backend:?}");
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        daemon.shutdown();
+    }
+}
+
+/// `decide_with` carries the full decision context end-to-end: a
+/// policy that distinguishes "FPGA mid-reconfiguration" and ARM load
+/// sees exactly what the client sent, while the `decide` convenience
+/// keeps its documented ready-device default. (`V2Client::decide`
+/// used to fabricate `device_ready: true, arm_load: 0` with no way
+/// around it.)
+#[test]
+fn decide_with_carries_device_context_end_to_end() {
+    struct ReadyPolicy;
+    impl xar_trek::sched::PolicyCore for ReadyPolicy {
+        type Snap = ();
+        fn snapshot(&self) -> Self::Snap {}
+        fn decide(_snap: &Self::Snap, ctx: &DecideCtx<'_>) -> Decision {
+            if !ctx.device_ready {
+                return Decision::to(Target::X86);
+            }
+            if ctx.arm_load > ctx.x86_load {
+                Decision::to(Target::Arm)
+            } else {
+                Decision::to(Target::Fpga)
+            }
+        }
+        fn apply(&mut self, _report: &CompletionReport<'_>) {}
+        fn entries(&self) -> Vec<xar_trek::sched::TableEntry> {
+            Vec::new()
+        }
+    }
+    let daemon = xar_trek::sched::Server::spawn(
+        xar_trek::sched::ShardedEngine::from_shards(vec![ReadyPolicy], 1),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut cl = V2Client::connect(daemon.addr()).unwrap();
+    let d = cl.decide_with("app", "k", 0, 5, true, false).unwrap();
+    assert_eq!(d.target, Target::X86, "device_ready: false must reach the policy");
+    let d = cl.decide_with("app", "k", 0, 5, true, true).unwrap();
+    assert_eq!(d.target, Target::Arm, "arm_load must reach the policy");
+    let d = cl.decide_with("app", "k", 5, 0, true, true).unwrap();
+    assert_eq!(d.target, Target::Fpga);
+    // The convenience keeps its documented defaults (ready, no ARM load).
+    let d = cl.decide("app", "k", 0, true).unwrap();
+    assert_eq!(d.target, Target::Fpga);
+    daemon.shutdown();
 }
 
 /// Lines a v1 client pipelines after QUIT must be discarded, not
