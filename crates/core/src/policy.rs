@@ -11,6 +11,7 @@
 
 use crate::thresholds::{ScenarioTimes, ThresholdTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
 
 /// The paper's heuristic policy with dynamic threshold refinement.
@@ -20,7 +21,9 @@ pub struct XarTrekPolicy {
     pub table: ThresholdTable,
     /// Recorded per-app scenario times (x86exec/ARMexec/FPGAexec in
     /// Algorithm 1). The x86 entry is updated by observation (line 10).
-    ref_times: HashMap<String, ScenarioTimes>,
+    /// Keyed by `Arc<str>` like the threshold table, so shard splits
+    /// and lookups by borrowed wire names never copy key bytes.
+    ref_times: HashMap<Arc<str>, ScenarioTimes>,
     /// Configure the FPGA at application launch (paper §3.1; ablation
     /// knob for the §4.2 "faster than always-FPGA" effect).
     pub early_config: bool,
@@ -33,7 +36,7 @@ pub struct XarTrekPolicy {
 impl XarTrekPolicy {
     /// A policy over an estimated threshold table and the isolated
     /// scenario times recorded at estimation time.
-    pub fn new(table: ThresholdTable, ref_times: HashMap<String, ScenarioTimes>) -> Self {
+    pub fn new(table: ThresholdTable, ref_times: HashMap<Arc<str>, ScenarioTimes>) -> Self {
         XarTrekPolicy { table, ref_times, early_config: true, dynamic_update: true, thr_step: 1 }
     }
 
@@ -47,7 +50,7 @@ impl XarTrekPolicy {
                 continue;
             }
             table.insert(crate::thresholds::estimate_thresholds(s, cfg));
-            ref_times.insert(s.name.clone(), crate::thresholds::scenario_times(s, cfg));
+            ref_times.insert(s.name.as_str().into(), crate::thresholds::scenario_times(s, cfg));
         }
         XarTrekPolicy::new(table, ref_times)
     }
@@ -122,8 +125,8 @@ impl XarTrekPolicy {
         for e in self.table.iter() {
             let shard = &mut shards[xar_sched::shard_of(&e.app, count)];
             shard.table.insert(e.clone());
-            if let Some(times) = self.ref_times.get(&e.app) {
-                shard.ref_times.insert(e.app.clone(), *times);
+            if let Some(times) = self.ref_times.get(e.app.as_str()) {
+                shard.ref_times.insert(e.app.as_str().into(), *times);
             }
         }
         shards
@@ -182,6 +185,9 @@ impl xar_sched::PolicyCore for XarTrekPolicy {
     type Snap = PolicySnapshot;
 
     fn snapshot(&self) -> PolicySnapshot {
+        // O(1): the table is copy-on-write, so this shares every row
+        // with the policy until Algorithm 1 touches one. Publishing a
+        // fresh snapshot per flush costs rows-touched, not table-size.
         PolicySnapshot { table: self.table.clone(), early_config: self.early_config }
     }
 
@@ -358,7 +364,7 @@ mod tests {
         for (i, shard) in shards.iter().enumerate() {
             for e in shard.table.iter() {
                 assert_eq!(xar_sched::shard_of(&e.app, 4), i, "{} routed to {i}", e.app);
-                assert!(shard.ref_times.contains_key(&e.app));
+                assert!(shard.ref_times.contains_key(e.app.as_str()));
             }
             assert_eq!(shard.early_config, p.early_config);
             assert_eq!(shard.thr_step, p.thr_step);

@@ -1,48 +1,59 @@
 //! Simulator adapter: drive a [`ShardedEngine`] as a
 //! [`xar_desim::Policy`], so cluster simulations of 1000+ concurrent
 //! applications exercise exactly the code path the daemon serves —
-//! snapshot reads, batched report ingestion, per-shard metrics.
+//! generation-gated cached snapshot reads, interned batched report
+//! ingestion, per-shard metrics.
 
-use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
+use crate::engine::{DecideHandle, PolicyCore, ShardedEngine};
 use std::sync::Arc;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Policy};
 
 /// A `Policy` that routes every simulator callback through a shared
 /// sharded engine. Clone handles freely — all of them hit the same
-/// engine, like many scheduler clients hitting one daemon.
+/// engine, like many scheduler clients hitting one daemon. Each clone
+/// owns its own [`DecideHandle`] (the daemon's per-worker hot path),
+/// so the simulator exercises the cached wait-free decide path, not
+/// the locked fallback.
 pub struct ShardedPolicy<P: PolicyCore> {
-    engine: Arc<ShardedEngine<P>>,
+    handle: DecideHandle<P>,
 }
 
 impl<P: PolicyCore> Clone for ShardedPolicy<P> {
     fn clone(&self) -> Self {
-        ShardedPolicy { engine: self.engine.clone() }
+        ShardedPolicy::new(self.handle.engine().clone())
     }
 }
 
 impl<P: PolicyCore> ShardedPolicy<P> {
     /// Wraps an engine.
     pub fn new(engine: Arc<ShardedEngine<P>>) -> Self {
-        ShardedPolicy { engine }
+        ShardedPolicy { handle: engine.handle() }
     }
 
     /// The engine behind this adapter.
     pub fn engine(&self) -> &Arc<ShardedEngine<P>> {
-        &self.engine
+        self.handle.engine()
     }
 }
 
 impl<P: PolicyCore> Policy for ShardedPolicy<P> {
     fn on_launch(&mut self, ctx: &DecideCtx<'_>) -> bool {
-        self.engine.early_config(ctx)
+        self.handle.early_config(ctx)
     }
 
     fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
-        self.engine.decide(ctx)
+        self.handle.decide(ctx)
     }
 
     fn on_complete(&mut self, report: &CompletionReport<'_>) {
-        self.engine.report(ReportOwned::from(report));
+        // The borrowed ingest path: the engine interns the app name, so
+        // a steady simulation allocates no per-report strings.
+        self.handle.engine().ingest(
+            report.app,
+            report.target,
+            report.func_ms,
+            report.x86_load as u32,
+        );
     }
 
     fn name(&self) -> &str {

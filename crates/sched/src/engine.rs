@@ -19,12 +19,30 @@
 //! table row, sharding by app preserves the single-policy semantics
 //! exactly: every report is applied to the same row state, in arrival
 //! order per shard.
+//!
+//! Two decide paths exist. [`ShardedEngine::decide`] is the shared
+//! path: any `&ShardedEngine` can call it, at the cost of a reader
+//! lock plus an `Arc` refcount bump on the shard's snapshot cell —
+//! both RMWs on cache lines shared by every caller. [`DecideHandle`]
+//! is the hot path: a worker-owned handle holding a [`CachedSnap`]
+//! per shard, so a steady-state decide revalidates with one atomic
+//! *load* of the shard's publication generation and evaluates against
+//! its privately held `Arc` — no RMW, no shared refcount line, no
+//! lock. The two are decision-identical by construction (both
+//! evaluate `P::decide` against the same published snapshots).
+//!
+//! Ingest is (near) allocation-free: each shard interns app names into
+//! `Arc<str>` under its pending lock, so a report for an
+//! already-known app copies no string bytes — [`ReportOwned`] carries
+//! a refcount bump, not an owned `String`.
 
 use crate::metrics::{MetricsSnapshot, ShardMetrics};
-use crate::snapshot::ArcCell;
+use crate::snapshot::{ArcCell, CachedSnap};
 use crate::wire::WireReport;
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Target};
 
@@ -41,11 +59,14 @@ pub struct TableEntry {
     pub arm_thr: u32,
 }
 
-/// An owned completion report queued for batched ingestion.
+/// An owned completion report queued for batched ingestion. The app
+/// name is a shared `Arc<str>` — reports entering through the engine's
+/// ingest paths carry the shard's interned copy, so a report of a
+/// known app owns no string allocation of its own.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportOwned {
     /// Application name.
-    pub app: String,
+    pub app: Arc<str>,
     /// Where the call ran.
     pub target: Target,
     /// Observed function time (ms).
@@ -57,7 +78,7 @@ pub struct ReportOwned {
 impl From<&CompletionReport<'_>> for ReportOwned {
     fn from(r: &CompletionReport<'_>) -> Self {
         ReportOwned {
-            app: r.app.to_string(),
+            app: Arc::from(r.app),
             target: r.target,
             func_ms: r.func_ms,
             x86_load: r.x86_load as u32,
@@ -68,7 +89,7 @@ impl From<&CompletionReport<'_>> for ReportOwned {
 impl From<&WireReport<'_>> for ReportOwned {
     fn from(r: &WireReport<'_>) -> Self {
         ReportOwned {
-            app: r.app.to_string(),
+            app: Arc::from(r.app),
             target: r.target,
             func_ms: r.func_ms,
             x86_load: r.x86_load,
@@ -130,10 +151,51 @@ pub fn shard_of(app: &str, shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
+/// Cap on one shard's intern pool. Far above any realistic app-name
+/// population; a flood of distinct names (an abusive client) clears
+/// the pool and starts over instead of growing without bound.
+const INTERN_CAP: usize = 1 << 16;
+
+/// A shard's ingest state: the pending report queue and the app-name
+/// intern pool, both guarded by the one pending lock.
+#[derive(Default)]
+struct Pending {
+    queue: Vec<ReportOwned>,
+    names: HashSet<Arc<str>>,
+}
+
+impl Pending {
+    /// The shard's canonical `Arc<str>` for `app`, allocating only the
+    /// first time a name is seen.
+    fn intern(&mut self, app: &str) -> Arc<str> {
+        if let Some(known) = self.names.get(app) {
+            return known.clone();
+        }
+        self.intern_miss(Arc::from(app))
+    }
+
+    /// Like [`Pending::intern`] but reuses an already-owned allocation
+    /// on a pool miss instead of copying it.
+    fn intern_owned(&mut self, app: Arc<str>) -> Arc<str> {
+        if let Some(known) = self.names.get(&*app) {
+            return known.clone();
+        }
+        self.intern_miss(app)
+    }
+
+    fn intern_miss(&mut self, app: Arc<str>) -> Arc<str> {
+        if self.names.len() >= INTERN_CAP {
+            self.names.clear();
+        }
+        self.names.insert(app.clone());
+        app
+    }
+}
+
 struct Shard<P: PolicyCore> {
     state: Mutex<P>,
     snap: ArcCell<P::Snap>,
-    pending: Mutex<Vec<ReportOwned>>,
+    pending: Mutex<Pending>,
     /// Whether `pending` may hold unapplied reports — the maintenance
     /// flush's cheap gate, so periodically sweeping an idle engine
     /// costs one relaxed load per shard instead of two lock
@@ -163,7 +225,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             .map(|p| Shard {
                 snap: ArcCell::new(p.snapshot()),
                 state: Mutex::new(p),
-                pending: Mutex::new(Vec::new()),
+                pending: Mutex::new(Pending::default()),
                 dirty: AtomicBool::new(false),
                 metrics: ShardMetrics::default(),
             })
@@ -185,13 +247,22 @@ impl<P: PolicyCore> ShardedEngine<P> {
         &self.shards[shard_of(app, self.shards.len())]
     }
 
-    /// Placement decision (lock-free read path + latency metric).
+    /// Placement decision — the *shared* read path: a reader lock plus
+    /// an `Arc` refcount bump per call. Workers on the request hot path
+    /// should hold a [`DecideHandle`] instead, whose per-shard caches
+    /// make steady-state decides wait-free.
     pub fn decide(&self, ctx: &DecideCtx<'_>) -> Decision {
         let shard = self.shard(ctx.app);
-        let start = Instant::now();
+        let sampled = shard.metrics.note_decide(0);
+        let start = if sampled { Some(Instant::now()) } else { None };
         let snap = shard.snap.load();
         let d = P::decide(&snap, ctx);
-        shard.metrics.record_decide(d.target, d.reconfigure, start.elapsed().as_nanos() as u64);
+        shard.metrics.note_outcome(
+            0,
+            d.target,
+            d.reconfigure,
+            start.map(|s| s.elapsed().as_nanos() as u64),
+        );
         d
     }
 
@@ -201,15 +272,50 @@ impl<P: PolicyCore> ShardedEngine<P> {
         P::early_config(&self.shard(ctx.app).snap.load(), ctx)
     }
 
-    /// Queues one completion report, applying the shard's pending batch
-    /// if it reached the configured size.
-    pub fn report(&self, report: ReportOwned) {
-        let shard = self.shard(&report.app);
+    /// A worker-owned decide handle over this engine (per-shard
+    /// snapshot caches plus a reusable batch scratch). One per thread;
+    /// the handle is `Send` but deliberately not shared.
+    pub fn handle(self: &Arc<Self>) -> DecideHandle<P> {
+        // Round-robin stripe assignment: concurrent handles land on
+        // distinct counter cache lines (up to STRIPES of them).
+        static NEXT_STRIPE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        DecideHandle {
+            caches: (0..self.shards.len()).map(|_| CachedSnap::new()).collect(),
+            stripe: NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % crate::metrics::STRIPES,
+            engine: self.clone(),
+        }
+    }
+
+    /// Queues one completion report from borrowed parts — the
+    /// allocation-free ingest path: the app name is interned in the
+    /// report's shard, so steady-state reports of known apps copy no
+    /// string bytes. Applies the shard's pending batch if it reached
+    /// the configured size.
+    pub fn ingest(&self, app: &str, target: Target, func_ms: f64, x86_load: u32) {
+        let shard = self.shard(app);
         let ready = {
             let mut pending = shard.pending.lock();
-            pending.push(report);
+            let app = pending.intern(app);
+            pending.queue.push(ReportOwned { app, target, func_ms, x86_load });
             shard.dirty.store(true, Ordering::Release);
-            pending.len() >= self.batch
+            pending.queue.len() >= self.batch
+        };
+        if ready {
+            Self::flush_shard(shard);
+        }
+    }
+
+    /// Queues one owned completion report (see [`ShardedEngine::ingest`]
+    /// for the borrowed path the daemon uses).
+    pub fn report(&self, report: ReportOwned) {
+        let shard = self.shard(&report.app);
+        let ReportOwned { app, target, func_ms, x86_load } = report;
+        let ready = {
+            let mut pending = shard.pending.lock();
+            let app = pending.intern_owned(app);
+            pending.queue.push(ReportOwned { app, target, func_ms, x86_load });
+            shard.dirty.store(true, Ordering::Release);
+            pending.queue.len() >= self.batch
         };
         if ready {
             Self::flush_shard(shard);
@@ -221,10 +327,23 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// the batch size. Reports are grouped by shard first so each
     /// shard's pending lock is taken once per call, not once per
     /// report — the lock amortization this ingestion path exists for.
+    /// A 0/1-report batch skips the grouping entirely and takes the
+    /// same single-shard path as [`ShardedEngine::report`]. Callers
+    /// with a reusable scratch (the daemon) should prefer
+    /// [`ShardedEngine::report_batch_wire`], which allocates nothing
+    /// per call.
     pub fn report_batch(&self, reports: impl IntoIterator<Item = ReportOwned>) -> usize {
+        let mut it = reports.into_iter();
+        let Some(first) = it.next() else {
+            return 0;
+        };
+        let Some(second) = it.next() else {
+            self.report(first);
+            return 1;
+        };
         let mut groups: Vec<Vec<ReportOwned>> = vec![Vec::new(); self.shards.len()];
         let mut n = 0;
-        for r in reports {
+        for r in [first, second].into_iter().chain(it) {
             groups[shard_of(&r.app, self.shards.len())].push(r);
             n += 1;
         }
@@ -234,15 +353,65 @@ impl<P: PolicyCore> ShardedEngine<P> {
             }
             let ready = {
                 let mut pending = shard.pending.lock();
-                pending.extend(group);
+                for r in group {
+                    let ReportOwned { app, target, func_ms, x86_load } = r;
+                    let app = pending.intern_owned(app);
+                    pending.queue.push(ReportOwned { app, target, func_ms, x86_load });
+                }
                 shard.dirty.store(true, Ordering::Release);
-                pending.len() >= self.batch
+                pending.queue.len() >= self.batch
             };
             if ready {
                 Self::flush_shard(shard);
             }
         }
         n
+    }
+
+    /// Batched ingest straight off the wire: groups borrowed reports by
+    /// shard through a caller-scoped [`BatchScratch`] (no per-call
+    /// group allocation) and interns names while each shard's pending
+    /// lock is held once. A 1-report batch takes the same single-shard
+    /// path as [`ShardedEngine::ingest`].
+    pub fn report_batch_wire(
+        &self,
+        scratch: &mut BatchScratch,
+        reports: &[WireReport<'_>],
+    ) -> usize {
+        if let [r] = reports {
+            self.ingest(r.app, r.target, r.func_ms, r.x86_load);
+            return 1;
+        }
+        let shards = self.shards.len();
+        scratch.groups.resize_with(shards, Vec::new);
+        for (i, r) in reports.iter().enumerate() {
+            scratch.groups[shard_of(r.app, shards)].push(i as u32);
+        }
+        for (shard, group) in self.shards.iter().zip(&mut scratch.groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let ready = {
+                let mut pending = shard.pending.lock();
+                for &i in group.iter() {
+                    let r = &reports[i as usize];
+                    let app = pending.intern(r.app);
+                    pending.queue.push(ReportOwned {
+                        app,
+                        target: r.target,
+                        func_ms: r.func_ms,
+                        x86_load: r.x86_load,
+                    });
+                }
+                shard.dirty.store(true, Ordering::Release);
+                pending.queue.len() >= self.batch
+            };
+            group.clear();
+            if ready {
+                Self::flush_shard(shard);
+            }
+        }
+        reports.len()
     }
 
     fn flush_shard(shard: &Shard<P>) {
@@ -260,7 +429,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
         shard.dirty.store(false, Ordering::Release);
         let batch = {
             let mut pending = shard.pending.lock();
-            std::mem::take(&mut *pending)
+            std::mem::take(&mut pending.queue)
         };
         if batch.is_empty() {
             return;
@@ -312,6 +481,67 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// Whole-engine metric totals.
     pub fn metrics_total(&self) -> MetricsSnapshot {
         self.metrics().into_iter().fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
+    }
+}
+
+/// Reusable grouping scratch for [`ShardedEngine::report_batch_wire`]:
+/// per-shard index lists that keep their capacity across calls, so a
+/// steady stream of batch frames allocates nothing per frame.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    groups: Vec<Vec<u32>>,
+}
+
+/// A worker-owned fast decide path over a shared [`ShardedEngine`].
+///
+/// Holds one [`CachedSnap`] per shard: a steady-state
+/// [`DecideHandle::decide`] revalidates the shard's snapshot with a
+/// single atomic load of its publication generation and evaluates
+/// against the handle's privately held `Arc` — zero atomic RMWs, no
+/// refcount traffic on shared cache lines, no lock. Only an actual
+/// publish (orders of magnitude rarer than decides) touches the
+/// snapshot cell's lock. Decisions are identical to
+/// [`ShardedEngine::decide`] by construction.
+///
+/// One handle per thread; cloning an adapter or spawning a worker
+/// creates a fresh handle via [`ShardedEngine::handle`].
+pub struct DecideHandle<P: PolicyCore> {
+    engine: Arc<ShardedEngine<P>>,
+    caches: Vec<CachedSnap<P::Snap>>,
+    /// This handle's counter stripe (see [`crate::metrics::STRIPES`]).
+    stripe: usize,
+}
+
+impl<P: PolicyCore> DecideHandle<P> {
+    /// The engine behind this handle.
+    pub fn engine(&self) -> &Arc<ShardedEngine<P>> {
+        &self.engine
+    }
+
+    /// Placement decision (wait-free steady state + sampled latency
+    /// metric).
+    pub fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
+        let idx = shard_of(ctx.app, self.engine.shards.len());
+        let shard = &self.engine.shards[idx];
+        let sampled = shard.metrics.note_decide(self.stripe);
+        let start = if sampled { Some(Instant::now()) } else { None };
+        let snap = self.caches[idx].get(&shard.snap);
+        let d = P::decide(snap, ctx);
+        shard.metrics.note_outcome(
+            self.stripe,
+            d.target,
+            d.reconfigure,
+            start.map(|s| s.elapsed().as_nanos() as u64),
+        );
+        d
+    }
+
+    /// Whether `ctx`'s application launch should early-configure the
+    /// FPGA (paper §3.1), evaluated against the cached snapshot.
+    pub fn early_config(&mut self, ctx: &DecideCtx<'_>) -> bool {
+        let idx = shard_of(ctx.app, self.engine.shards.len());
+        let shard = &self.engine.shards[idx];
+        P::early_config(self.caches[idx].get(&shard.snap), ctx)
     }
 }
 
@@ -477,6 +707,82 @@ mod tests {
         let other: u64 =
             per_shard.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, m)| m.decides).sum();
         assert_eq!(other, 0);
+    }
+
+    #[test]
+    fn latency_sampling_pins_metric_counts() {
+        use crate::metrics::LATENCY_SAMPLE;
+        let e = engine(1, 1);
+        for _ in 0..(2 * LATENCY_SAMPLE + 1) {
+            e.decide(&ctx("app"));
+        }
+        let m = e.metrics_total();
+        assert_eq!(m.decides, 2 * LATENCY_SAMPLE + 1, "decide count stays exact under sampling");
+        assert_eq!(m.lat_samples, 3, "decides 0, 64 and 128 were latency-sampled");
+        assert!(m.p50_ns > 0, "the sampled decides landed in the histogram");
+    }
+
+    #[test]
+    fn one_report_batch_takes_the_report_path() {
+        use crate::wire::WireReport;
+        // Three engines fed the same single report through the three
+        // ingest doors must end bit-identical: same table, same metric
+        // counts (one batch, one report), same deferred/dirty behavior.
+        let single = engine(4, 1);
+        single.report(report("app"));
+        let via_batch = engine(4, 1);
+        assert_eq!(via_batch.report_batch([report("app")]), 1);
+        let via_wire = engine(4, 1);
+        let mut scratch = BatchScratch::default();
+        let wire = [WireReport { app: "app", target: Target::X86, func_ms: 1.0, x86_load: 1 }];
+        assert_eq!(via_wire.report_batch_wire(&mut scratch, &wire), 1);
+        assert!(scratch.groups.is_empty(), "1-report fast path never built groups");
+        for e in [&via_batch, &via_wire] {
+            assert_eq!(e.metrics_total().reports, single.metrics_total().reports);
+            assert_eq!(e.metrics_total().batches, single.metrics_total().batches);
+            assert_eq!(e.table(), single.table());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let e = engine(4, 1);
+        assert_eq!(e.report_batch(std::iter::empty()), 0);
+        let mut scratch = BatchScratch::default();
+        assert_eq!(e.report_batch_wire(&mut scratch, &[]), 0);
+        assert_eq!(e.metrics_total().reports, 0);
+    }
+
+    #[test]
+    fn decide_handle_matches_engine_and_observes_publishes() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        let mut h = e.handle();
+        assert_eq!(h.decide(&ctx("app")).target, Target::X86);
+        for _ in 0..3 {
+            e.report(report("app"));
+        }
+        // batch = 1: the third report published a new snapshot; the
+        // cached handle must observe it on its next decide.
+        assert_eq!(h.decide(&ctx("app")).target, Target::Fpga, "handle missed the publish");
+        assert_eq!(h.decide(&ctx("app")), e.decide(&ctx("app")));
+        let m = e.metrics_total();
+        assert_eq!(m.decides, 4, "handle decides count in the shared shard metrics");
+    }
+
+    #[test]
+    fn ingest_interns_app_names_per_shard() {
+        let e = engine(1, 64);
+        e.ingest("same", Target::X86, 1.0, 1);
+        e.ingest("same", Target::Fpga, 2.0, 2);
+        e.report(report("same"));
+        let pending = e.shards[0].pending.lock();
+        assert_eq!(pending.queue.len(), 3);
+        assert!(
+            Arc::ptr_eq(&pending.queue[0].app, &pending.queue[1].app)
+                && Arc::ptr_eq(&pending.queue[0].app, &pending.queue[2].app),
+            "all three reports share one interned allocation"
+        );
+        assert_eq!(pending.names.len(), 1);
     }
 
     #[test]

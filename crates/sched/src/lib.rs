@@ -12,10 +12,13 @@
 //!   v1 text clients are detected from their first bytes and served on
 //!   the same port.
 //! * [`engine`] — the **sharded policy engine**: per-app-group shards,
-//!   each owning a policy instance, with an ArcSwap-style snapshot
-//!   ([`snapshot::ArcCell`]) giving decide a lock-free read path and
-//!   batched REPORT ingestion amortizing Algorithm 1 updates across
-//!   hundreds of clients.
+//!   each owning a policy instance, with a generation-gated snapshot
+//!   ([`snapshot::ArcCell`] + [`snapshot::CachedSnap`]) giving each
+//!   worker's [`engine::DecideHandle`] a wait-free steady-state decide
+//!   (one atomic load, no RMW, no shared refcount line), interned
+//!   `Arc<str>` app names making REPORT ingestion allocation-free for
+//!   known apps, and batched ingestion amortizing Algorithm 1 updates
+//!   across hundreds of clients.
 //! * [`server`] — the **connection layer**: one readiness-driven
 //!   acceptor plus a fixed worker pool, each worker blocking on its own
 //!   [`xar_reactor::Reactor`] (epoll on Linux, portable `poll(2)`
@@ -48,9 +51,12 @@ pub mod wire;
 
 pub use adapter::ShardedPolicy;
 pub use client::V2Client;
-pub use engine::{shard_of, EngineConfig, PolicyCore, ReportOwned, ShardedEngine, TableEntry};
-pub use metrics::{MetricsSnapshot, ShardMetrics};
+pub use engine::{
+    shard_of, BatchScratch, DecideHandle, EngineConfig, PolicyCore, ReportOwned, ShardedEngine,
+    TableEntry,
+};
+pub use metrics::{MetricsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
 pub use server::{Server, ServerConfig};
-pub use snapshot::ArcCell;
+pub use snapshot::{ArcCell, CachedSnap};
 pub use wire::DaemonStats;
 pub use xar_reactor::BackendKind;

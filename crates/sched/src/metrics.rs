@@ -2,6 +2,12 @@
 //! log₂-bucketed decide-latency histogram giving p50/p99 without
 //! storing samples. All counters are relaxed atomics — the hot path
 //! adds a handful of uncontended `fetch_add`s.
+//!
+//! Latency is *sampled*: timing a decide costs two `clock_gettime`
+//! calls, which at millions of decides per second is a real tax on the
+//! path the histogram is supposed to observe. [`ShardMetrics::note_decide`]
+//! elects 1 in [`LATENCY_SAMPLE`] decides (always including a shard's
+//! first) for timing; decide/migration/reconfig counters stay exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use xar_desim::Target;
@@ -10,50 +16,100 @@ use xar_desim::Target;
 /// nanoseconds, the last bucket is open-ended (≈ 9 minutes and up).
 const BUCKETS: usize = 40;
 
-/// Live counters for one policy shard.
-#[derive(Debug)]
-pub struct ShardMetrics {
+/// One decide in `LATENCY_SAMPLE` is latency-timed (each stripe's
+/// exact decide counter drives the election, always sampling a
+/// stripe's first decide).
+pub const LATENCY_SAMPLE: u64 = 64;
+
+/// Decide-counter stripes. A shard hammered by many worker threads
+/// must not serialize them on one counter cache line, so the
+/// decide/migration/reconfig counters are striped LongAdder-style:
+/// each [`crate::engine::DecideHandle`] owns a stripe index, writes
+/// land on distinct cache lines, and snapshots sum the stripes.
+/// Counts stay exact — striping changes contention, not arithmetic.
+pub const STRIPES: usize = 16;
+
+/// One cache-line-isolated slice of the decide counters. 128-byte
+/// alignment covers the common 64 B line and adjacent-line prefetchers.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct Stripe {
     decides: AtomicU64,
-    reports: AtomicU64,
-    batches: AtomicU64,
     to_arm: AtomicU64,
     to_fpga: AtomicU64,
     reconfigs: AtomicU64,
+}
+
+/// Live counters for one policy shard.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    stripes: [Stripe; STRIPES],
+    reports: AtomicU64,
+    batches: AtomicU64,
     latency: [AtomicU64; BUCKETS],
 }
 
 impl Default for ShardMetrics {
     fn default() -> Self {
         ShardMetrics {
-            decides: AtomicU64::new(0),
+            stripes: std::array::from_fn(|_| Stripe::default()),
             reports: AtomicU64::new(0),
             batches: AtomicU64::new(0),
-            to_arm: AtomicU64::new(0),
-            to_fpga: AtomicU64::new(0),
-            reconfigs: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
 
 impl ShardMetrics {
-    /// Records one decide with its handling latency.
-    pub fn record_decide(&self, target: Target, reconfigure: bool, nanos: u64) {
-        self.decides.fetch_add(1, Ordering::Relaxed);
+    /// Counts one decide on `stripe`; returns whether this decide was
+    /// elected for latency sampling (1 in [`LATENCY_SAMPLE`], always
+    /// including a stripe's first). Callers skip the clock reads
+    /// entirely for unelected decides and pass `None` to
+    /// [`ShardMetrics::note_outcome`].
+    pub fn note_decide(&self, stripe: usize) -> bool {
+        self.stripes[stripe % STRIPES]
+            .decides
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(LATENCY_SAMPLE)
+    }
+
+    /// Records a decide's outcome on `stripe` (and its latency, when
+    /// sampled). Pairs with [`ShardMetrics::note_decide`], which owns
+    /// the decide count.
+    pub fn note_outcome(
+        &self,
+        stripe: usize,
+        target: Target,
+        reconfigure: bool,
+        nanos: Option<u64>,
+    ) {
+        let stripe = &self.stripes[stripe % STRIPES];
         match target {
             Target::X86 => {}
             Target::Arm => {
-                self.to_arm.fetch_add(1, Ordering::Relaxed);
+                stripe.to_arm.fetch_add(1, Ordering::Relaxed);
             }
             Target::Fpga => {
-                self.to_fpga.fetch_add(1, Ordering::Relaxed);
+                stripe.to_fpga.fetch_add(1, Ordering::Relaxed);
             }
         }
         if reconfigure {
-            self.reconfigs.fetch_add(1, Ordering::Relaxed);
+            stripe.reconfigs.fetch_add(1, Ordering::Relaxed);
         }
-        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(nanos) = nanos {
+            // Sampled 1-in-LATENCY_SAMPLE: low enough traffic that the
+            // histogram stays unstriped.
+            let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+            self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one decide with its handling latency, unconditionally
+    /// sampled on stripe 0 — the convenience for tests and
+    /// single-threaded callers measuring every event.
+    pub fn record_decide(&self, target: Target, reconfigure: bool, nanos: u64) {
+        self.stripes[0].decides.fetch_add(1, Ordering::Relaxed);
+        self.note_outcome(0, target, reconfigure, Some(nanos));
     }
 
     /// Records `n` ingested completion reports forming one batch.
@@ -62,16 +118,21 @@ impl ShardMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A consistent-enough copy of the counters for reporting.
+    /// A consistent-enough copy of the counters for reporting (stripes
+    /// summed).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let latency: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let sum = |field: fn(&Stripe) -> &AtomicU64| {
+            self.stripes.iter().map(|s| field(s).load(Ordering::Relaxed)).sum()
+        };
         MetricsSnapshot {
-            decides: self.decides.load(Ordering::Relaxed),
+            decides: sum(|s| &s.decides),
             reports: self.reports.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
-            to_arm: self.to_arm.load(Ordering::Relaxed),
-            to_fpga: self.to_fpga.load(Ordering::Relaxed),
-            reconfigs: self.reconfigs.load(Ordering::Relaxed),
+            to_arm: sum(|s| &s.to_arm),
+            to_fpga: sum(|s| &s.to_fpga),
+            reconfigs: sum(|s| &s.reconfigs),
+            lat_samples: latency.iter().sum(),
             p50_ns: percentile(&latency, 0.50),
             p99_ns: percentile(&latency, 0.99),
         }
@@ -113,6 +174,10 @@ pub struct MetricsSnapshot {
     pub to_fpga: u64,
     /// Decisions that started a background reconfiguration.
     pub reconfigs: u64,
+    /// Latency samples in the histogram. With 1-in-[`LATENCY_SAMPLE`]
+    /// sampling this trails `decides` by that factor; the quantiles
+    /// below are computed over these samples.
+    pub lat_samples: u64,
     /// Median decide latency upper bound (ns); [`u64::MAX`] means the
     /// quantile fell in the histogram's open-ended last bucket.
     pub p50_ns: u64,
@@ -131,6 +196,7 @@ impl MetricsSnapshot {
             to_arm: self.to_arm + other.to_arm,
             to_fpga: self.to_fpga + other.to_fpga,
             reconfigs: self.reconfigs + other.reconfigs,
+            lat_samples: self.lat_samples + other.lat_samples,
             p50_ns: self.p50_ns.max(other.p50_ns),
             p99_ns: self.p99_ns.max(other.p99_ns),
         }
@@ -141,13 +207,15 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "decides={} reports={} batches={} to_arm={} to_fpga={} reconfigs={} p50<{}ns p99<{}ns",
+            "decides={} reports={} batches={} to_arm={} to_fpga={} reconfigs={} \
+             lat_samples={} p50<{}ns p99<{}ns",
             self.decides,
             self.reports,
             self.batches,
             self.to_arm,
             self.to_fpga,
             self.reconfigs,
+            self.lat_samples,
             self.p50_ns,
             self.p99_ns,
         )
@@ -186,6 +254,41 @@ mod tests {
         assert!(s.p50_ns >= 1_000 && s.p50_ns <= 2_048, "{}", s.p50_ns);
         assert!(s.p99_ns <= 2_048, "99/100 samples are ~1us: {}", s.p99_ns);
         assert!(s.p50_ns <= s.p99_ns);
+    }
+
+    #[test]
+    fn latency_sampling_keeps_counters_exact() {
+        let m = ShardMetrics::default();
+        for _ in 0..(2 * LATENCY_SAMPLE + 1) {
+            let sampled = m.note_decide(0);
+            m.note_outcome(0, Target::Fpga, true, sampled.then_some(100));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.decides, 2 * LATENCY_SAMPLE + 1, "decide count is exact, not sampled");
+        assert_eq!(s.to_fpga, 2 * LATENCY_SAMPLE + 1, "target counters are exact");
+        assert_eq!(s.reconfigs, 2 * LATENCY_SAMPLE + 1);
+        assert_eq!(s.lat_samples, 3, "decides 0, 64 and 128 were elected");
+        assert!(s.p50_ns >= 100, "quantiles come from the elected samples");
+    }
+
+    #[test]
+    fn first_decide_is_always_sampled() {
+        let m = ShardMetrics::default();
+        assert!(m.note_decide(0), "an idle stripe's first decide must land in the histogram");
+        assert!(!m.note_decide(0));
+        assert!(m.note_decide(1), "stripes elect independently");
+    }
+
+    #[test]
+    fn striped_counters_sum_exactly() {
+        let m = ShardMetrics::default();
+        for i in 0..100 {
+            let sampled = m.note_decide(i);
+            m.note_outcome(i, Target::Arm, false, sampled.then_some(50));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.decides, 100, "stripes must sum to the exact decide count");
+        assert_eq!(s.to_arm, 100);
     }
 
     #[test]

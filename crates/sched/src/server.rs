@@ -27,7 +27,7 @@
 //! handshake magic, or anything else for the legacy v1 text protocol
 //! (see [`crate::wire`] for both).
 
-use crate::engine::{PolicyCore, ReportOwned, ShardedEngine};
+use crate::engine::{BatchScratch, DecideHandle, PolicyCore, ShardedEngine};
 use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -169,10 +169,16 @@ impl ConnCounters {
     }
 }
 
-/// The per-worker slice of shared server state, threaded through the
+/// The per-worker slice of server state, threaded (mutably — the
+/// decide handle and batch scratch are worker-owned) through the
 /// connection-servicing call chain.
 struct WorkerCtx<P: PolicyCore> {
     engine: Arc<ShardedEngine<P>>,
+    /// The worker's wait-free decide path: per-shard cached snapshots
+    /// revalidated by generation, refreshed only on publish.
+    handle: DecideHandle<P>,
+    /// Reusable grouping scratch for BatchReport ingestion.
+    scratch: BatchScratch,
     counters: Arc<ConnCounters>,
     /// Wakes the acceptor after a reap so a listener parked at the
     /// connection cap resumes accepting.
@@ -225,7 +231,9 @@ impl Conn {
         Conn {
             stream,
             proto: Proto::Undetermined,
-            inbuf: Vec::with_capacity(1024),
+            // Deliberately capacity 0: read_into's growth branch owns
+            // (and zero-initializes) every byte of spare capacity.
+            inbuf: Vec::new(),
             outbuf: Vec::with_capacity(1024),
             outpos: 0,
             interest: Interest::READ,
@@ -324,6 +332,8 @@ impl<P: PolicyCore> Server<P> {
             worker_ports.push((tx, reactor.waker()));
             wakers.push(reactor.waker());
             let ctx = WorkerCtx {
+                handle: engine.handle(),
+                scratch: BatchScratch::default(),
                 engine: engine.clone(),
                 counters: counters.clone(),
                 acceptor: acceptor.waker(),
@@ -475,13 +485,12 @@ fn accept_loop(
 
 fn worker_loop<P: PolicyCore>(
     rx: Receiver<TcpStream>,
-    ctx: WorkerCtx<P>,
+    mut ctx: WorkerCtx<P>,
     stop: Arc<AtomicBool>,
     mut reactor: Reactor,
 ) {
     let mut slab = Slab::default();
     let (mut events, mut expired) = (Vec::<Event>::new(), Vec::<Token>::new());
-    let mut scratch = [0u8; 16 * 1024];
     // The maintenance tick: a recurring timer, so an idle worker still
     // applies stranded below-batch reports within one interval.
     if !ctx.config.flush_interval.is_zero() {
@@ -512,7 +521,7 @@ fn worker_loop<P: PolicyCore>(
                     }
                     // Serve immediately: the client may have sent its
                     // handshake before we registered.
-                    service(&mut slab, &mut reactor, &ctx, &mut scratch, slot);
+                    service(&mut slab, &mut reactor, &mut ctx, slot);
                 }
                 Err(TryRecvError::Empty) => break,
                 // The acceptor (and its channel) is gone without a stop
@@ -522,7 +531,7 @@ fn worker_loop<P: PolicyCore>(
             }
         }
         for ev in &events {
-            service(&mut slab, &mut reactor, &ctx, &mut scratch, ev.token.0);
+            service(&mut slab, &mut reactor, &mut ctx, ev.token.0);
         }
         for t in &expired {
             // Maintenance tick: sweep the engine's dirty shards.
@@ -563,7 +572,7 @@ fn worker_loop<P: PolicyCore>(
                     conn.dead = true;
                 }
             }
-            service(&mut slab, &mut reactor, &ctx, &mut scratch, t.0);
+            service(&mut slab, &mut reactor, &mut ctx, t.0);
         }
     }
 }
@@ -573,14 +582,13 @@ fn worker_loop<P: PolicyCore>(
 fn service<P: PolicyCore>(
     slab: &mut Slab,
     reactor: &mut Reactor,
-    ctx: &WorkerCtx<P>,
-    scratch: &mut [u8],
+    ctx: &mut WorkerCtx<P>,
     slot: usize,
 ) {
     let Some(conn) = slab.get_mut(slot) else {
         return; // reaped earlier this iteration; stale event
     };
-    pump(conn, ctx, scratch);
+    pump(conn, ctx);
     if conn.dead || (conn.closed && conn.flushed() && !has_complete_input(conn)) {
         reap(slab, reactor, ctx, slot);
         return;
@@ -628,14 +636,14 @@ fn reap<P: PolicyCore>(slab: &mut Slab, reactor: &mut Reactor, ctx: &WorkerCtx<P
 /// buffered complete input remains and the socket keeps absorbing the
 /// replies (the outbuf high-water cap pauses processing; this loop
 /// resumes it as the backlog drains).
-fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>, scratch: &mut [u8]) {
+fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
     let cap = ctx.config.outbuf_high_water;
     loop {
         // Ingest gate: while replies are stuck in outbuf (peer not
         // reading), stop reading requests — otherwise a client that
         // pipelines without reading grows outbuf without bound.
         if !conn.dead && !conn.closed && conn.flushed() {
-            read_some(conn, scratch);
+            read_some(conn);
         }
         if !conn.dead && conn.out_pending() <= cap {
             if let Proto::Undetermined = conn.proto {
@@ -643,7 +651,7 @@ fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>, scratch: &mut [u8]) 
             }
             match conn.proto {
                 Proto::V2 => process_v2(conn, ctx),
-                Proto::V1 => process_v1(conn, &ctx.engine, cap),
+                Proto::V1 => process_v1(conn, ctx),
                 Proto::Undetermined => {}
             }
         }
@@ -676,30 +684,104 @@ fn has_complete_input(conn: &Conn) -> bool {
     }
 }
 
-/// Drains readable bytes into the input buffer.
-fn read_some(conn: &mut Conn, scratch: &mut [u8]) {
+/// Smallest spare capacity worth issuing a read for; [`read_into`]
+/// grows the buffer whenever spare falls below it. Deliberately small:
+/// it is also the resting footprint of every idle connection's input
+/// buffer (thousands of mostly-idle clients is the design load), and
+/// bulk senders escape it fast — each exactly-filled read triggers a
+/// `Vec` growth that doubles capacity, so sustained streams converge
+/// to large reads after a few iterations while a decide-sized client
+/// never grows past this.
+const READ_CHUNK: usize = 2 * 1024;
+
+/// How one [`read_into`] drain ended. Every variant carries the bytes
+/// appended before the terminating condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadOutcome {
+    /// The source has no more bytes right now (would block, or a short
+    /// read implied as much).
+    Drained(u64),
+    /// Orderly EOF.
+    Eof(u64),
+    /// Hard I/O error.
+    Failed(u64),
+}
+
+impl ReadOutcome {
+    fn appended(self) -> u64 {
+        match self {
+            ReadOutcome::Drained(n) | ReadOutcome::Eof(n) | ReadOutcome::Failed(n) => n,
+        }
+    }
+}
+
+/// Appends readable bytes from `src` directly into `inbuf`'s spare
+/// capacity — no scratch buffer, no second copy.
+///
+/// The spare region is zero-filled once whenever the buffer grows, so
+/// the slice handed to `src.read()` always covers initialized bytes
+/// (the `Read` contract allows implementations to inspect the buffer)
+/// at the cost of one memset per growth, not per call. For that
+/// invariant to hold, `inbuf`'s capacity must only ever come from this
+/// function's own growth branch — pass buffers that start at capacity
+/// 0 (or whose spare was otherwise initialized), never a fresh
+/// `Vec::with_capacity(..)` at or above [`READ_CHUNK`].
+///
+/// A short read (fewer bytes than the spare slice offered) means the
+/// source is drained, skipping the would-block probe syscall. A read
+/// that *exactly fills* the spare capacity proves nothing — the kernel
+/// may hold more — so the loop reserves fresh capacity and reads
+/// again; treating an exact fill as drained would strand buffered
+/// socket bytes until the next readiness event.
+fn read_into(inbuf: &mut Vec<u8>, src: &mut impl Read) -> ReadOutcome {
+    let mut appended = 0u64;
     loop {
-        match conn.stream.read(scratch) {
-            Ok(0) => {
-                conn.closed = true;
-                return;
-            }
+        let len = inbuf.len();
+        if inbuf.capacity() - len < READ_CHUNK {
+            // Grow, and zero-fill the whole new spare region once. The
+            // bytes stay initialized across later drains/truncates (Vec
+            // never de-initializes), so steady-state rounds skip this.
+            inbuf.reserve(READ_CHUNK);
+            inbuf.resize(inbuf.capacity(), 0);
+            inbuf.truncate(len);
+        }
+        let want = inbuf.capacity() - len;
+        let spare = inbuf.spare_capacity_mut();
+        // SAFETY: the slice covers spare capacity that the growth
+        // branch above zero-initialized (and nothing de-initializes),
+        // so this is a plain view of initialized bytes.
+        let buf = unsafe { std::slice::from_raw_parts_mut(spare.as_mut_ptr().cast::<u8>(), want) };
+        match src.read(buf) {
+            Ok(0) => return ReadOutcome::Eof(appended),
             Ok(n) => {
-                conn.inbuf.extend_from_slice(&scratch[..n]);
-                conn.read_total += n as u64;
-                if n < scratch.len() {
-                    // Short read: the socket is drained; skip the
-                    // would-block probe syscall and go process.
-                    return;
+                // Hard assert: `Read` is a safe trait, so a
+                // nonconforming impl returning n > buf.len() must not
+                // reach the unsafe set_len below in any build profile.
+                assert!(n <= want, "Read impl returned {n} for a {want}-byte buffer");
+                // SAFETY: `len + n <= capacity` (asserted), and every
+                // byte up to there is initialized (prefix by prior
+                // writes, the rest by the zero-fill at growth).
+                unsafe { inbuf.set_len(len + n) };
+                appended += n as u64;
+                if n < want {
+                    return ReadOutcome::Drained(appended);
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadOutcome::Drained(appended),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.dead = true;
-                return;
-            }
+            Err(_) => return ReadOutcome::Failed(appended),
         }
+    }
+}
+
+/// Drains readable bytes into the connection's input buffer.
+fn read_some(conn: &mut Conn) {
+    let outcome = read_into(&mut conn.inbuf, &mut conn.stream);
+    conn.read_total += outcome.appended();
+    match outcome {
+        ReadOutcome::Drained(_) => {}
+        ReadOutcome::Eof(_) => conn.closed = true,
+        ReadOutcome::Failed(_) => conn.dead = true,
     }
 }
 
@@ -773,7 +855,7 @@ fn classify(conn: &mut Conn) {
 
 /// Handles buffered complete v2 frames, pausing at the outbuf
 /// high-water cap ([`pump`]'s loop resumes once the backlog drains).
-fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>) {
+fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
     let cap = ctx.config.outbuf_high_water;
     // Track an offset and drain once: per-frame draining would memmove
     // the remaining buffer for every frame of a pipelined burst.
@@ -806,11 +888,11 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &WorkerCtx<P>) {
     conn.inbuf.drain(..at);
 }
 
-fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &WorkerCtx<P>, out: &mut Vec<u8>) {
-    let engine = &*ctx.engine;
+fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut Vec<u8>) {
     match req {
         Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
-            let d = engine.decide(&DecideCtx {
+            // The worker's cached handle: wait-free against publishes.
+            let d = ctx.handle.decide(&DecideCtx {
                 app,
                 kernel,
                 x86_load: *x86_load as usize,
@@ -825,15 +907,16 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &WorkerCtx<P>, out: &mut Vec
             );
         }
         Request::Report(r) => {
-            engine.report(ReportOwned::from(r));
+            // Borrowed ingest: the engine interns the app name.
+            ctx.engine.ingest(r.app, r.target, r.func_ms, r.x86_load);
             wire::encode_response(&Response::Ack(1), out);
         }
         Request::BatchReport(rs) => {
-            let n = engine.report_batch(rs.iter().map(ReportOwned::from));
+            let n = ctx.engine.report_batch_wire(&mut ctx.scratch, rs);
             wire::encode_response(&Response::Ack(n as u32), out);
         }
         Request::Table => {
-            let entries = engine.table();
+            let entries = ctx.engine.table();
             let wire_entries: Vec<WireEntry<'_>> = entries
                 .iter()
                 .map(|e| WireEntry {
@@ -851,7 +934,7 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &WorkerCtx<P>, out: &mut Vec
         Request::Stats => {
             wire::encode_response(
                 &Response::Stats(DaemonStats {
-                    metrics: engine.metrics_total(),
+                    metrics: ctx.engine.metrics_total(),
                     live_conns: ctx.counters.live(),
                     reaped_conns: ctx.counters.reaped.load(Ordering::Relaxed),
                     rejected_conns: ctx.counters.rejected.load(Ordering::Relaxed),
@@ -866,7 +949,8 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &WorkerCtx<P>, out: &mut Vec
 /// (`DECIDE`/`REPORT`/`TABLE`/`QUIT`, answered with
 /// `TARGET`/`OK`/table rows/`ERR`), pausing at the outbuf high-water
 /// cap ([`pump`]'s loop resumes once the backlog drains).
-fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: usize) {
+fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
+    let cap = ctx.config.outbuf_high_water;
     // Offset-tracked like process_v2: one drain at the end, no
     // per-line allocation or memmove. The grammar is parsed by
     // `wire::parse_v1_line`, shared with `xar-core`'s v1 server.
@@ -886,7 +970,7 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
         };
         match req {
             wire::V1Request::Decide { app, kernel, x86_load, kernel_resident } => {
-                let d = engine.decide(&DecideCtx {
+                let d = ctx.handle.decide(&DecideCtx {
                     app,
                     kernel,
                     x86_load: x86_load as usize,
@@ -898,17 +982,12 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
                 conn.outbuf.extend_from_slice(wire::v1_decide_reply(&d).as_bytes());
             }
             wire::V1Request::Report { app, target, func_ms, x86_load } => {
-                engine.report(ReportOwned {
-                    app: app.to_string(),
-                    target,
-                    func_ms,
-                    x86_load: x86_load.min(u32::MAX as u64) as u32,
-                });
+                ctx.engine.ingest(app, target, func_ms, x86_load.min(u32::MAX as u64) as u32);
                 conn.outbuf.extend_from_slice(b"OK\n");
             }
             wire::V1Request::Table => {
                 let mut s = String::new();
-                for e in engine.table() {
+                for e in ctx.engine.table() {
                     s.push_str(&wire::v1_table_row(&e.app, &e.kernel, e.fpga_thr, e.arm_thr));
                 }
                 s.push_str("END\n");
@@ -935,5 +1014,103 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, engine: &ShardedEngine<P>, cap: us
         // Discard the runaway line: re-scanning it on a later pump
         // would emit the diagnostic again.
         conn.inbuf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that serves its data in the largest chunks the caller's
+    /// buffer allows, then a scripted tail condition — deterministic
+    /// where a real socket's read sizes are not.
+    struct ScriptedReader {
+        data: Vec<u8>,
+        pos: usize,
+        /// What to answer once the data runs out.
+        tail: Tail,
+    }
+
+    enum Tail {
+        WouldBlock,
+        Eof,
+        Error,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let rest = &self.data[self.pos..];
+            if rest.is_empty() {
+                return match self.tail {
+                    Tail::WouldBlock => Err(ErrorKind::WouldBlock.into()),
+                    Tail::Eof => Ok(0),
+                    Tail::Error => Err(std::io::Error::other("scripted failure")),
+                };
+            }
+            let n = rest.len().min(buf.len());
+            buf[..n].copy_from_slice(&rest[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_into_appends_past_existing_bytes() {
+        let mut inbuf = b"already".to_vec();
+        let mut src =
+            ScriptedReader { data: b" buffered".to_vec(), pos: 0, tail: Tail::WouldBlock };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Drained(9));
+        assert_eq!(inbuf, b"already buffered");
+    }
+
+    /// The short-read heuristic regression the direct-into-inbuf change
+    /// invites: a read that exactly fills the spare capacity must NOT
+    /// be treated as socket-drained. The scripted reader always fills
+    /// the whole offered buffer, so every iteration before the last is
+    /// an exact fill; a buggy early return would strand everything
+    /// after the first `READ_CHUNK` bytes.
+    #[test]
+    fn exact_spare_capacity_fill_is_not_treated_as_drained() {
+        let total = 3 * READ_CHUNK + READ_CHUNK / 2;
+        let data: Vec<u8> = (0..total).map(|i| i as u8).collect();
+        let mut inbuf = Vec::new();
+        let mut src = ScriptedReader { data: data.clone(), pos: 0, tail: Tail::WouldBlock };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Drained(total as u64));
+        assert_eq!(inbuf, data, "bytes past an exact-fill boundary were stranded");
+    }
+
+    /// Same boundary with the source ending *exactly* at the spare
+    /// capacity: the loop must come back for the would-block (not
+    /// misreport data) and still deliver every byte.
+    #[test]
+    fn source_ending_exactly_on_the_boundary_drains_fully() {
+        // Capacity 0 on entry: read_into grows to exactly READ_CHUNK,
+        // which the source then fills exactly.
+        let mut inbuf = Vec::new();
+        let data: Vec<u8> = (0..READ_CHUNK).map(|i| (i * 7) as u8).collect();
+        let mut src = ScriptedReader { data: data.clone(), pos: 0, tail: Tail::WouldBlock };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Drained(READ_CHUNK as u64));
+        assert_eq!(inbuf, data);
+    }
+
+    /// A short read already proves the source drained, so EOF/error
+    /// tails behind one are left for the next readiness event; they
+    /// are observed directly only when the data ends on an exact-fill
+    /// boundary (or there was nothing to read at all).
+    #[test]
+    fn eof_and_errors_on_the_boundary_still_deliver_prior_bytes() {
+        let mut inbuf = Vec::new();
+        let data: Vec<u8> = vec![7; READ_CHUNK];
+        let mut src = ScriptedReader { data: data.clone(), pos: 0, tail: Tail::Eof };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Eof(READ_CHUNK as u64));
+        assert_eq!(inbuf, data);
+        let mut inbuf = Vec::new();
+        let mut src = ScriptedReader { data: data.clone(), pos: 0, tail: Tail::Error };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Failed(READ_CHUNK as u64));
+        assert_eq!(inbuf, data);
+        let mut inbuf = b"kept".to_vec();
+        let mut src = ScriptedReader { data: Vec::new(), pos: 0, tail: Tail::Eof };
+        assert_eq!(read_into(&mut inbuf, &mut src), ReadOutcome::Eof(0));
+        assert_eq!(inbuf, b"kept");
     }
 }

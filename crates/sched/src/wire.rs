@@ -38,8 +38,13 @@ use xar_desim::Target;
 
 /// Protocol magic ("XARS").
 pub const MAGIC: [u8; 4] = *b"XARS";
-/// Current protocol version.
-pub const VERSION: u8 = 2;
+/// Current protocol revision carried in the handshake's version byte.
+/// Bumped whenever a frame layout changes — revision 3 widened the
+/// `Stats` reply from eleven to twelve `u64`s (`lat_samples`) — so a
+/// peer from an older build is refused at the handshake instead of
+/// silently mis-decoding shifted fields. ("v2" stays the family name
+/// of the binary protocol vs the v1 text protocol.)
+pub const VERSION: u8 = 3;
 /// Handshake length in bytes (both directions).
 pub const HANDSHAKE_LEN: usize = 8;
 /// Upper bound on a frame payload; larger frames are a protocol error.
@@ -127,7 +132,7 @@ pub struct WireEntry<'a> {
 
 /// Daemon-wide statistics carried by the v2 `Stats` reply: the merged
 /// engine metric totals plus the server's connection-lifecycle
-/// counters. Fixed-width on the wire (eleven `u64`s), so a monitoring
+/// counters. Fixed-width on the wire (twelve `u64`s), so a monitoring
 /// poller's cost is one small frame each way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DaemonStats {
@@ -489,6 +494,7 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             w.u64(s.metrics.to_arm);
             w.u64(s.metrics.to_fpga);
             w.u64(s.metrics.reconfigs);
+            w.u64(s.metrics.lat_samples);
             w.u64(s.metrics.p50_ns);
             w.u64(s.metrics.p99_ns);
             w.u64(s.live_conns);
@@ -646,6 +652,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
                 to_arm: r.u64()?,
                 to_fpga: r.u64()?,
                 reconfigs: r.u64()?,
+                lat_samples: r.u64()?,
                 p50_ns: r.u64()?,
                 p99_ns: r.u64()?,
             },
@@ -745,6 +752,7 @@ mod tests {
                 to_arm: 1,
                 to_fpga: 2,
                 reconfigs: 1,
+                lat_samples: 5,
                 p50_ns: 512,
                 p99_ns: u64::MAX, // the open-ended-bucket sentinel survives the wire
             },
@@ -762,7 +770,7 @@ mod tests {
         assert_eq!(buf.len(), 4 + 1, "request: header + opcode only");
         let mut buf = Vec::new();
         encode_response(&Response::Stats(DaemonStats::default()), &mut buf);
-        assert_eq!(buf.len(), 4 + 1 + 11 * 8, "reply: eleven u64 counters");
+        assert_eq!(buf.len(), 4 + 1 + 12 * 8, "reply: twelve u64 counters");
     }
 
     #[test]

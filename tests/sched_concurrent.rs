@@ -768,3 +768,45 @@ fn outbuf_cap_preserves_every_reply_under_pipelined_table_burst() {
     assert_eq!(tables, BURST);
     daemon.shutdown();
 }
+
+/// A single wire frame several orders larger than the server's read
+/// chunk, delivered in one client write: the server's
+/// direct-into-inbuf reads must cross many spare-capacity boundaries
+/// (where a read returns exactly the offered spare) without treating
+/// an exact fill as socket-drained — a regression there strands the
+/// frame's tail until an unrelated readiness event. Exercised on both
+/// backends.
+#[test]
+fn oversized_frame_straddles_read_chunk_boundary_on_both_backends() {
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig { shards: 4, batch: 1 },
+            ServerConfig { backend, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut cl = V2Client::connect(daemon.addr()).unwrap();
+        // ~40-byte encoded reports; 4000 of them make one ~160 KiB
+        // BatchReport frame — dozens of read chunks even after the
+        // buffer's growth doubling, so several reads return a full
+        // buffer before the short read that ends the drain.
+        let reports: Vec<ReportOwned> = (0..4000)
+            .map(|i| ReportOwned {
+                app: format!("straddle-app-{:06}", i % 7).into(),
+                target: Target::Fpga,
+                func_ms: 1.0,
+                x86_load: 3,
+            })
+            .collect();
+        assert_eq!(
+            cl.report_batch(&reports).unwrap(),
+            4000,
+            "{backend:?}: batch straddling the read-chunk boundary was not fully ingested"
+        );
+        daemon.engine().flush();
+        assert_eq!(daemon.engine().metrics_total().reports, 4000, "{backend:?}");
+        // The connection still works for ordinary traffic afterwards.
+        assert_eq!(cl.ping(5).unwrap(), 5, "{backend:?}");
+        daemon.shutdown();
+    }
+}
