@@ -20,6 +20,13 @@
 //! * **daemon decide RTT** — the same engine served end to end
 //!   through the reactor daemon and a `V2Client`, so the numbers
 //!   cover the path a real scheduler client pays.
+//! * **batched decide pipeline** — the `DecideBatch` amortization
+//!   sweep (batch = 1/16/64/256 queries per frame) plus the pipelined
+//!   submit/drain path at depth 1/8, measured end to end against the
+//!   daemon and recorded as amortized ns/decide and decides/sec. On a
+//!   1-core box the frame/syscall amortization is fully measurable
+//!   (unlike the cache-line contention rows), and the sweep asserts
+//!   the batched decisions are bit-identical to the unbatched path.
 //!
 //! In full mode the results land in `BENCH_sched.json` at the
 //! workspace root — machine-readable so the perf trajectory is
@@ -35,7 +42,7 @@ use xar_core::server::{sharded_engine, spawn_sharded, EngineConfig, ServerConfig
 use xar_core::thresholds::{ScenarioTimes, ThresholdEntry, ThresholdTable};
 use xar_core::XarTrekPolicy;
 use xar_desim::DecideCtx;
-use xar_sched::{shard_of, ShardedEngine};
+use xar_sched::{shard_of, ShardedEngine, WireQuery};
 
 const APPS: usize = 10_000;
 const SHARDS: usize = 8;
@@ -98,10 +105,26 @@ fn main() {
     let (rtt_p50, rtt_p99) = daemon_rtt(&policy, &hot, cfg.samples.min(20_000));
     println!("\ndaemon decide RTT: p50 {}  p99 {}", ns(rtt_p50), ns(rtt_p99));
 
+    // Batched decide pipeline: per-frame and pipelined amortization of
+    // that RTT, checked bit-identical to the unbatched path.
+    let (batched, pipelined) = batched_decide_sweep(&policy, cfg.samples.min(40_000));
+    println!("\n{:<34} {:>14} {:>14}", "batched decide (e2e daemon)", "ns/decide", "decides/sec");
+    for (batch, ns_per, rate) in &batched {
+        println!("{:<34} {:>14} {:>14}", format!("batch = {batch}"), ns(*ns_per), rate);
+    }
+    for (depth, ns_per, rate) in &pipelined {
+        println!("{:<34} {:>14} {:>14}", format!("pipeline depth = {depth}"), ns(*ns_per), rate);
+    }
+    let b64 = batched.iter().find(|(b, _, _)| *b == 64).expect("batch=64 row");
+    println!(
+        "  amortization at batch=64: {:.1}x over the single-decide RTT p50",
+        rtt_p50 as f64 / b64.1 as f64
+    );
+
     if !quick {
         let json = render_json(
             cores, cached_p50, cached_p99, locked_p50, locked_p99, &contended, cow_ns, deep_ns,
-            rtt_p50, rtt_p99,
+            rtt_p50, rtt_p99, &batched, &pipelined,
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
         std::fs::write(path, json).expect("write BENCH_sched.json");
@@ -279,6 +302,124 @@ fn daemon_rtt(policy: &XarTrekPolicy, hot: &[String], samples: usize) -> (u64, u
     percentiles(&mut lat)
 }
 
+/// One amortization row: `(size, amortized_ns_per_decide,
+/// decides_per_sec)`, where size is the batch length or the pipeline
+/// depth.
+type SweepRow = (usize, u64, u64);
+
+/// The `DecideBatch` / pipelined-decide amortization sweep against a
+/// live daemon. Returns `(batch_rows, pipeline_rows)`.
+///
+/// Before timing, every configuration's first round is checked
+/// bit-identical against the one-at-a-time `decide_with` path on the
+/// same connection — the amortization must not change a single
+/// decision.
+fn batched_decide_sweep(policy: &XarTrekPolicy, samples: usize) -> (Vec<SweepRow>, Vec<SweepRow>) {
+    let daemon =
+        spawn_sharded(policy, EngineConfig { shards: SHARDS, batch: 1 }, ServerConfig::default())
+            .unwrap();
+    let mut client = V2Client::connect(daemon.addr()).unwrap();
+    // Queries spread across the whole table (all shards), cycling
+    // loads, so the batch path exercises real shard grouping.
+    let apps: Vec<String> = (0..512).map(|i| format!("app-{:06}", (i * 37) % APPS)).collect();
+    let query = |i: usize| WireQuery {
+        app: &apps[i % apps.len()],
+        kernel: "k",
+        x86_load: (i % 80) as u32,
+        arm_load: 0,
+        kernel_resident: true,
+        device_ready: true,
+    };
+
+    let mut batched = Vec::new();
+    for batch in [1usize, 16, 64, 256] {
+        let queries: Vec<WireQuery<'_>> = (0..batch).map(query).collect();
+        // Bit-identity gate: the batched decisions must equal the
+        // sequential ones, query for query.
+        let got = client.decide_batch(&queries).unwrap();
+        for (q, d) in queries.iter().zip(&got) {
+            let want = client
+                .decide_with(
+                    q.app,
+                    q.kernel,
+                    q.x86_load,
+                    q.arm_load,
+                    q.kernel_resident,
+                    q.device_ready,
+                )
+                .unwrap();
+            assert_eq!(*d, want, "batch={batch}: batched decision diverged for {}", q.app);
+        }
+        let iters = (samples / batch).max(10);
+        for _ in 0..iters / 10 {
+            client.decide_batch(&queries).unwrap(); // warmup
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(client.decide_batch(&queries).unwrap());
+        }
+        let total = start.elapsed().as_nanos() as u64;
+        let decides = (iters * batch) as u64;
+        let ns_per = total / decides;
+        batched.push((batch, ns_per, (decides as f64 / (total as f64 / 1e9)) as u64));
+    }
+
+    let mut pipelined = Vec::new();
+    for depth in [1usize, 8] {
+        let mut out = Vec::with_capacity(depth);
+        // Bit-identity gate for the pipelined path too.
+        for i in 0..depth {
+            let q = query(i);
+            client.submit_decide(
+                q.app,
+                q.kernel,
+                q.x86_load,
+                q.arm_load,
+                q.kernel_resident,
+                q.device_ready,
+            );
+        }
+        client.drain_decisions(&mut out).unwrap();
+        for (i, d) in out.drain(..).enumerate() {
+            let q = query(i);
+            let want = client
+                .decide_with(
+                    q.app,
+                    q.kernel,
+                    q.x86_load,
+                    q.arm_load,
+                    q.kernel_resident,
+                    q.device_ready,
+                )
+                .unwrap();
+            assert_eq!(d, want, "depth={depth}: pipelined decision diverged for {}", q.app);
+        }
+        let rounds = (samples / depth).max(10);
+        let start = Instant::now();
+        for r in 0..rounds {
+            for i in 0..depth {
+                let q = query(r * depth + i);
+                client.submit_decide(
+                    q.app,
+                    q.kernel,
+                    q.x86_load,
+                    q.arm_load,
+                    q.kernel_resident,
+                    q.device_ready,
+                );
+            }
+            out.clear();
+            assert_eq!(client.drain_decisions(&mut out).unwrap(), depth);
+            std::hint::black_box(&out);
+        }
+        let total = start.elapsed().as_nanos() as u64;
+        let decides = (rounds * depth) as u64;
+        pipelined.push((depth, total / decides, (decides as f64 / (total as f64 / 1e9)) as u64));
+    }
+    daemon.shutdown();
+    (batched, pipelined)
+}
+
 fn percentiles(lat: &mut [u64]) -> (u64, u64) {
     lat.sort_unstable();
     let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
@@ -307,6 +448,8 @@ fn render_json(
     deep_ns: u64,
     rtt_p50: u64,
     rtt_p99: u64,
+    batched: &[SweepRow],
+    pipelined: &[SweepRow],
 ) -> String {
     let threads = |path: fn(&(usize, u64, u64)) -> u64| {
         contended
@@ -315,6 +458,17 @@ fn render_json(
             .collect::<Vec<_>>()
             .join(", ")
     };
+    let sweep = |rows: &[(usize, u64, u64)], key: &str| {
+        rows.iter()
+            .map(|(size, ns_per, rate)| {
+                format!(
+                    "\"{key}{size}\": {{\"ns_per_decide\": {ns_per}, \"decides_per_sec\": {rate}}}"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let b64 = batched.iter().find(|(b, _, _)| *b == 64).expect("batch=64 row");
     format!(
         r#"{{
   "bench": "engine",
@@ -335,11 +489,21 @@ fn render_json(
     "legacy_deep_rebuild": {deep_ns},
     "ratio": {:.1}
   }},
-  "daemon_decide_rtt_ns": {{"p50": {rtt_p50}, "p99": {rtt_p99}}}
+  "daemon_decide_rtt_ns": {{"p50": {rtt_p50}, "p99": {rtt_p99}}},
+  "batched_decide": {{
+    "note": "end-to-end against the daemon; amortized ns/decide, decisions asserted bit-identical to the unbatched path",
+    "single_rtt_p50_ns": {rtt_p50},
+    "batch": {{{}}},
+    "pipeline": {{{}}},
+    "amortization_b64_vs_single_rtt": {:.1}
+  }}
 }}
 "#,
         threads(|r| r.1),
         threads(|r| r.2),
         deep_ns as f64 / cow_ns as f64,
+        sweep(batched, "b"),
+        sweep(pipelined, "d"),
+        rtt_p50 as f64 / b64.1 as f64,
     )
 }

@@ -150,15 +150,20 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
     });
     let mut writer = stream;
     let mut line = String::new();
+    // Reused across requests: replies are written into this buffer via
+    // the shared `wire` into-buffer formatters, so the steady state
+    // allocates no per-reply String.
+    let mut reply: Vec<u8> = Vec::with_capacity(256);
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) | Err(_) => return,
             Ok(_) => {}
         }
+        reply.clear();
         // Shared v1 grammar: the daemon's fallback in `xar-sched` uses
         // the same parser, so the two servers cannot drift.
-        let reply = match wire::parse_v1_line(line.trim_end_matches(['\r', '\n'])) {
+        match wire::parse_v1_line(line.trim_end_matches(['\r', '\n'])) {
             Some(wire::V1Request::Decide { app, kernel, x86_load, kernel_resident }) => {
                 let ctx = DecideCtx {
                     app,
@@ -170,7 +175,7 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
                     now_ns: 0.0,
                 };
                 let d = policy.lock().decide(&ctx);
-                wire::v1_decide_reply(&d)
+                wire::v1_decide_reply_into(&d, &mut reply);
             }
             Some(wire::V1Request::Report { app, target, func_ms, x86_load }) => {
                 policy.lock().on_complete(&CompletionReport {
@@ -182,21 +187,19 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
                     // (algorithm1 truncates to u32 internally).
                     x86_load: x86_load.min(u32::MAX as u64) as usize,
                 });
-                "OK\n".to_string()
+                reply.extend_from_slice(b"OK\n");
             }
             Some(wire::V1Request::Table) => {
                 let t = policy.lock().table.clone();
-                let mut s = String::new();
                 for e in t.iter() {
-                    s.push_str(&wire::v1_table_row(&e.app, &e.kernel, e.fpga_thr, e.arm_thr));
+                    wire::v1_table_row_into(&e.app, &e.kernel, e.fpga_thr, e.arm_thr, &mut reply);
                 }
-                s.push_str("END\n");
-                s
+                reply.extend_from_slice(b"END\n");
             }
             Some(wire::V1Request::Quit) => return,
-            None => "ERR\n".to_string(),
-        };
-        if writer.write_all(reply.as_bytes()).is_err() {
+            None => reply.extend_from_slice(b"ERR\n"),
+        }
+        if writer.write_all(&reply).is_err() {
             return;
         }
     }

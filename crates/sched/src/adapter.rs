@@ -4,7 +4,8 @@
 //! generation-gated cached snapshot reads, interned batched report
 //! ingestion, per-shard metrics.
 
-use crate::engine::{DecideHandle, PolicyCore, ShardedEngine};
+use crate::engine::{DecideHandle, DecideScratch, PolicyCore, ShardedEngine};
+use crate::wire::WireQuery;
 use std::sync::Arc;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Policy};
 
@@ -16,6 +17,8 @@ use xar_desim::{CompletionReport, DecideCtx, Decision, Policy};
 /// the locked fallback.
 pub struct ShardedPolicy<P: PolicyCore> {
     handle: DecideHandle<P>,
+    /// Reusable grouping/decision scratch for the batch door.
+    scratch: DecideScratch,
 }
 
 impl<P: PolicyCore> Clone for ShardedPolicy<P> {
@@ -27,12 +30,22 @@ impl<P: PolicyCore> Clone for ShardedPolicy<P> {
 impl<P: PolicyCore> ShardedPolicy<P> {
     /// Wraps an engine.
     pub fn new(engine: Arc<ShardedEngine<P>>) -> Self {
-        ShardedPolicy { handle: engine.handle() }
+        ShardedPolicy { handle: engine.handle(), scratch: DecideScratch::default() }
     }
 
     /// The engine behind this adapter.
     pub fn engine(&self) -> &Arc<ShardedEngine<P>> {
         self.handle.engine()
+    }
+
+    /// The batch door: decides `queries` through the same
+    /// [`DecideHandle::decide_batch`] path the daemon's `DecideBatch`
+    /// frames ride, so `xar_experiments` figure drivers can exercise
+    /// the batched pipeline while staying bit-identical to the
+    /// per-call [`Policy::decide`] door (both evaluate the pure
+    /// decision against the same published snapshots).
+    pub fn decide_batch(&mut self, queries: &[WireQuery<'_>]) -> Vec<Decision> {
+        self.handle.decide_batch(queries, &mut self.scratch).to_vec()
     }
 }
 

@@ -1,9 +1,18 @@
-//! The v2 scheduler client: blocking, one request in flight at a time,
-//! exactly what the instrumentation shim linked into each application
-//! binary needs.
+//! The v2 scheduler client. The default surface is blocking with one
+//! request in flight at a time — exactly what the instrumentation shim
+//! linked into each application binary needs. Two batched surfaces
+//! amortize the per-call protocol overhead for high-rate callers:
+//!
+//! * [`V2Client::decide_batch`] — up to [`wire::MAX_DECIDE_BATCH`]
+//!   placement queries per frame, one write and one read per chunk.
+//! * [`V2Client::submit_decide`] / [`V2Client::flush`] /
+//!   [`V2Client::drain_decisions`] — explicit pipelining: queue K
+//!   single-decide frames locally, ship them in one write, and read
+//!   the K replies back in order, so a caller can keep frames in
+//!   flight on one connection without batching its queries.
 
 use crate::engine::{ReportOwned, TableEntry};
-use crate::wire::{self, DaemonStats, Request, Response, WireReport};
+use crate::wire::{self, DaemonStats, Request, Response, WireQuery, WireReport};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use xar_desim::{Decision, Target};
@@ -23,6 +32,12 @@ pub struct V2Client {
     /// tail beyond it (bytes that arrived coalesced with the reply)
     /// is preserved, not discarded.
     consumed: usize,
+    /// Locally queued pipelined frames not yet written to the socket
+    /// (see [`V2Client::submit_decide`]).
+    pipe: Vec<u8>,
+    /// Replies the server still owes for submitted pipelined decides
+    /// (submitted and not yet drained — flushed or not).
+    inflight: usize,
 }
 
 impl V2Client {
@@ -58,6 +73,8 @@ impl V2Client {
             send: Vec::with_capacity(256),
             recv: Vec::with_capacity(256),
             consumed: 0,
+            pipe: Vec::new(),
+            inflight: 0,
         })
     }
 
@@ -67,9 +84,25 @@ impl V2Client {
     /// reply (a fast server's next frame, or its prefix) stay buffered
     /// and are consumed here before touching the socket.
     fn roundtrip(&mut self, req: &Request<'_>) -> std::io::Result<std::ops::Range<usize>> {
+        if self.inflight > 0 {
+            // Interleaving a roundtrip with undrained pipelined decides
+            // would mis-pair its reply with theirs.
+            return Err(proto_err(format!(
+                "{} pipelined decide(s) in flight; drain_decisions first",
+                self.inflight
+            )));
+        }
         self.send.clear();
         wire::encode_request(req, &mut self.send);
         self.stream.write_all(&self.send)?;
+        self.read_reply()
+    }
+
+    /// Reads one response frame into the receive buffer, returning the
+    /// payload range. Bytes that arrived coalesced beyond the previous
+    /// reply (a fast server's next frame, or its prefix) stay buffered
+    /// and are consumed here before touching the socket.
+    fn read_reply(&mut self) -> std::io::Result<std::ops::Range<usize>> {
         self.recv.drain(..self.consumed);
         self.consumed = 0;
         let mut scratch = [0u8; 4096];
@@ -143,6 +176,145 @@ impl V2Client {
             Response::Err(msg) => Err(proto_err(msg)),
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    /// Batched placement queries: up to [`wire::MAX_DECIDE_BATCH`]
+    /// queries ride one frame (one write, one read), amortizing the
+    /// framing, syscall, and socket round-trip across the batch —
+    /// larger inputs are chunked transparently, by count and by a
+    /// conservative byte budget so pathological name lengths cannot
+    /// push a frame past the protocol cap. Decisions come back in
+    /// query order and are bit-identical to issuing the queries one by
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, including a reply whose decision count
+    /// disagrees with the chunk sent.
+    pub fn decide_batch(&mut self, queries: &[WireQuery<'_>]) -> std::io::Result<Vec<Decision>> {
+        const FRAME_BUDGET: usize = wire::MAX_FRAME / 2;
+        if self.inflight > 0 {
+            return Err(proto_err(format!(
+                "{} pipelined decide(s) in flight; drain_decisions first",
+                self.inflight
+            )));
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        let mut rest = queries;
+        while !rest.is_empty() {
+            let mut take = 0usize;
+            let mut bytes = 0usize;
+            while take < rest.len() && take < wire::MAX_DECIDE_BATCH {
+                let q = &rest[take];
+                let len = wire::encoded_query_len(q.app.len(), q.kernel.len());
+                if take > 0 && bytes + len > FRAME_BUDGET {
+                    break;
+                }
+                bytes += len;
+                take += 1;
+            }
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            // Encoded straight from the borrowed slice: no owned
+            // per-chunk Vec<WireQuery> on the amortized path.
+            self.send.clear();
+            wire::encode_decide_batch(chunk, &mut self.send);
+            self.stream.write_all(&self.send)?;
+            let range = self.read_reply()?;
+            match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+                Response::DecideBatch(ds) if ds.len() == chunk.len() => out.extend(ds),
+                Response::DecideBatch(ds) => {
+                    return Err(proto_err(format!(
+                        "decide batch reply carried {} decisions for {} queries",
+                        ds.len(),
+                        chunk.len()
+                    )))
+                }
+                Response::Err(msg) => return Err(proto_err(msg)),
+                other => return Err(proto_err(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Queues one full-context decide frame locally — nothing touches
+    /// the socket until [`V2Client::flush`] or
+    /// [`V2Client::drain_decisions`]. Submitting K frames and then
+    /// draining keeps K requests in flight on this one connection
+    /// (pipelining), amortizing the write and read syscalls across the
+    /// burst while the server overlaps its processing with the
+    /// client's.
+    ///
+    /// While submitted decides are undrained, the one-shot request
+    /// methods ([`V2Client::decide`], [`V2Client::ping`], …) refuse to
+    /// run — their replies would mis-pair with the pipelined ones.
+    pub fn submit_decide(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        arm_load: u32,
+        kernel_resident: bool,
+        device_ready: bool,
+    ) {
+        wire::encode_request(
+            &Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready },
+            &mut self.pipe,
+        );
+        self.inflight += 1;
+    }
+
+    /// Writes every locally queued pipelined frame in one syscall.
+    /// Idempotent when nothing is queued.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors. On error the queued frames are *discarded*, not
+    /// left for a retry: a partial write may already have delivered
+    /// some of them, so resending the buffer would have the server
+    /// decide those twice and mis-pair every later reply. The
+    /// connection's reply stream is indeterminate — drop the client.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.pipe.is_empty() {
+            let written = self.stream.write_all(&self.pipe);
+            self.pipe.clear();
+            written?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any queued frames, then reads one decision per
+    /// submitted decide (in submission order) into `out`. Returns the
+    /// number of decisions appended.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors. On error the connection's reply stream
+    /// is indeterminate (like any mid-reply failure); drop the client.
+    pub fn drain_decisions(&mut self, out: &mut Vec<Decision>) -> std::io::Result<usize> {
+        self.flush()?;
+        let mut drained = 0usize;
+        while self.inflight > 0 {
+            let range = self.read_reply()?;
+            // Consumed either way: an error reply still answers one
+            // submitted frame.
+            self.inflight -= 1;
+            match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+                Response::Decide { target, reconfigure } => {
+                    out.push(Decision { target, reconfigure });
+                    drained += 1;
+                }
+                Response::Err(msg) => return Err(proto_err(msg)),
+                other => return Err(proto_err(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Ok(drained)
+    }
+
+    /// Undrained pipelined decides (submitted via
+    /// [`V2Client::submit_decide`] and not yet collected).
+    pub fn inflight(&self) -> usize {
+        self.inflight
     }
 
     /// Reports one observed execution.

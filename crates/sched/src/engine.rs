@@ -38,7 +38,7 @@
 
 use crate::metrics::{MetricsSnapshot, ShardMetrics};
 use crate::snapshot::{ArcCell, CachedSnap};
-use crate::wire::WireReport;
+use crate::wire::{WireQuery, WireReport};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -492,6 +492,17 @@ pub struct BatchScratch {
     groups: Vec<Vec<u32>>,
 }
 
+/// Reusable caller-scoped scratch for [`DecideHandle::decide_batch`],
+/// mirroring [`BatchScratch`]: per-shard query-index groups plus the
+/// decision buffer handed back in query order. Both keep their
+/// capacity across calls, so a steady stream of `DecideBatch` frames
+/// allocates nothing per frame.
+#[derive(Debug, Default)]
+pub struct DecideScratch {
+    groups: Vec<Vec<u32>>,
+    decisions: Vec<Decision>,
+}
+
 /// A worker-owned fast decide path over a shared [`ShardedEngine`].
 ///
 /// Holds one [`CachedSnap`] per shard: a steady-state
@@ -542,6 +553,74 @@ impl<P: PolicyCore> DecideHandle<P> {
         let idx = shard_of(ctx.app, self.engine.shards.len());
         let shard = &self.engine.shards[idx];
         P::early_config(self.caches[idx].get(&shard.snap), ctx)
+    }
+
+    /// Batched placement decisions — the whole-frame amortization of
+    /// [`DecideHandle::decide`]: queries are grouped by shard through
+    /// the caller-scoped [`DecideScratch`] (no per-call allocation),
+    /// each *touched* shard's snapshot generation is revalidated
+    /// **once per batch** instead of once per decide, and the metric
+    /// counters take one add of N per lane touched. Latency sampling
+    /// keeps its exact 1-in-[`crate::metrics::LATENCY_SAMPLE`]
+    /// election cadence, recording the batch's amortized per-decide
+    /// figure for each elected sample.
+    ///
+    /// Returns the decisions in query order, borrowed from the
+    /// scratch. Decisions are bit-identical to issuing the same
+    /// queries one by one through [`DecideHandle::decide`]: both
+    /// evaluate the pure `P::decide` against the same published
+    /// snapshots (a 1-query batch literally takes that path).
+    pub fn decide_batch<'s>(
+        &mut self,
+        queries: &[WireQuery<'_>],
+        scratch: &'s mut DecideScratch,
+    ) -> &'s [Decision] {
+        scratch.decisions.clear();
+        let Some(first) = queries.first() else {
+            return &scratch.decisions; // empty frame: nothing to count
+        };
+        let shards = self.engine.shards.len();
+        // Frame-level counter, attributed to the first query's shard.
+        self.engine.shards[shard_of(first.app, shards)].metrics.record_decide_batch_frame();
+        if let [q] = queries {
+            // Single-query batches ride the exact single-decide path
+            // (same metrics election included) — pinned by test.
+            let d = self.decide(&q.ctx());
+            scratch.decisions.push(d);
+            return &scratch.decisions;
+        }
+        scratch.decisions.resize(queries.len(), Decision::to(Target::X86));
+        scratch.groups.resize_with(shards, Vec::new);
+        for (i, q) in queries.iter().enumerate() {
+            scratch.groups[shard_of(q.app, shards)].push(i as u32);
+        }
+        for (idx, group) in scratch.groups.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &self.engine.shards[idx];
+            let n = group.len() as u64;
+            let elected = shard.metrics.note_decides(self.stripe, n);
+            let start = (elected > 0).then(Instant::now);
+            // The once-per-batch generation gate: every query in this
+            // group evaluates against the same revalidated snapshot.
+            let snap = self.caches[idx].get(&shard.snap);
+            let (mut to_arm, mut to_fpga, mut reconfigs) = (0u64, 0u64, 0u64);
+            for &i in group.iter() {
+                let d = P::decide(snap, &queries[i as usize].ctx());
+                match d.target {
+                    Target::X86 => {}
+                    Target::Arm => to_arm += 1,
+                    Target::Fpga => to_fpga += 1,
+                }
+                reconfigs += u64::from(d.reconfigure);
+                scratch.decisions[i as usize] = d;
+            }
+            let sampled = start.map(|s| (elected, s.elapsed().as_nanos() as u64 / n));
+            shard.metrics.note_outcomes(self.stripe, to_arm, to_fpga, reconfigs, sampled);
+            group.clear();
+        }
+        &scratch.decisions
     }
 }
 
@@ -767,6 +846,104 @@ mod tests {
         assert_eq!(h.decide(&ctx("app")), e.decide(&ctx("app")));
         let m = e.metrics_total();
         assert_eq!(m.decides, 4, "handle decides count in the shared shard metrics");
+    }
+
+    fn query(app: &str) -> WireQuery<'_> {
+        WireQuery {
+            app,
+            kernel: "k",
+            x86_load: 1,
+            arm_load: 0,
+            kernel_resident: true,
+            device_ready: true,
+        }
+    }
+
+    #[test]
+    fn decide_batch_is_bit_identical_to_sequential_decides() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        // Push some apps over the toy policy's FPGA limit so the batch
+        // spans a mixed decision set across several shards.
+        for i in 0..8 {
+            if i % 2 == 0 {
+                for _ in 0..3 {
+                    e.report(report(&format!("app{i}")));
+                }
+            }
+        }
+        let apps: Vec<String> = (0..8).map(|i| format!("app{i}")).collect();
+        let queries: Vec<WireQuery<'_>> = apps.iter().map(|a| query(a)).collect();
+        let mut sequential = e.handle();
+        let want: Vec<Decision> = queries.iter().map(|q| sequential.decide(&q.ctx())).collect();
+        let mut h = e.handle();
+        let mut scratch = DecideScratch::default();
+        let got = h.decide_batch(&queries, &mut scratch);
+        assert_eq!(got, want.as_slice(), "batched decisions drifted from the sequential path");
+    }
+
+    #[test]
+    fn decide_batch_observes_publishes_between_batches() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        let mut h = e.handle();
+        let mut scratch = DecideScratch::default();
+        let queries = [query("app"), query("other")];
+        assert_eq!(h.decide_batch(&queries, &mut scratch)[0].target, Target::X86);
+        for _ in 0..3 {
+            e.report(report("app"));
+        }
+        // batch = 1: the third report published; the next batch's
+        // once-per-batch revalidation must observe it.
+        assert_eq!(
+            h.decide_batch(&queries, &mut scratch)[0].target,
+            Target::Fpga,
+            "batch missed the publish"
+        );
+    }
+
+    #[test]
+    fn decide_batch_metrics_match_single_decides_plus_frame_count() {
+        let e1 = std::sync::Arc::new(engine(4, 1));
+        let mut h1 = e1.handle();
+        let queries: Vec<String> = (0..10).map(|i| format!("app{i}")).collect();
+        let wire: Vec<WireQuery<'_>> = queries.iter().map(|a| query(a)).collect();
+        for q in &wire {
+            h1.decide(&q.ctx());
+        }
+        let e2 = std::sync::Arc::new(engine(4, 1));
+        let mut h2 = e2.handle();
+        let mut scratch = DecideScratch::default();
+        h2.decide_batch(&wire, &mut scratch);
+        let (m1, m2) = (e1.metrics_total(), e2.metrics_total());
+        assert_eq!(m2.decides, m1.decides, "batched decides must count exactly");
+        assert_eq!(m2.to_arm, m1.to_arm);
+        assert_eq!(m2.to_fpga, m1.to_fpga);
+        assert_eq!(m1.decide_batches, 0, "single decides are not batch frames");
+        assert_eq!(m2.decide_batches, 1, "one frame, one decide_batches count");
+    }
+
+    #[test]
+    fn one_query_batch_takes_the_single_decide_path() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        let mut h = e.handle();
+        let mut scratch = DecideScratch::default();
+        let ds = h.decide_batch(&[query("app")], &mut scratch);
+        assert_eq!(ds.len(), 1);
+        assert!(scratch.groups.is_empty(), "1-query fast path never built groups");
+        let m = e.metrics_total();
+        assert_eq!(m.decides, 1);
+        assert_eq!(m.decide_batches, 1);
+        assert_eq!(m.lat_samples, 1, "the single-decide election fired");
+    }
+
+    #[test]
+    fn empty_decide_batch_is_a_no_op() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        let mut h = e.handle();
+        let mut scratch = DecideScratch::default();
+        assert!(h.decide_batch(&[], &mut scratch).is_empty());
+        let m = e.metrics_total();
+        assert_eq!(m.decides, 0);
+        assert_eq!(m.decide_batches, 0, "no shard to attribute an empty frame to");
     }
 
     #[test]

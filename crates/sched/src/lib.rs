@@ -8,9 +8,9 @@
 //!
 //! * [`wire`] — **binary wire protocol v2**: length-prefixed frames
 //!   (`Decide` / `Report` / `BatchReport` / `TableSnapshot` / `Ping` /
-//!   `Stats`), a zero-copy decoder, and a versioned handshake. Legacy
-//!   v1 text clients are detected from their first bytes and served on
-//!   the same port.
+//!   `Stats` / `DecideBatch`), a zero-copy decoder, and a versioned
+//!   handshake. Legacy v1 text clients are detected from their first
+//!   bytes and served on the same port.
 //! * [`engine`] — the **sharded policy engine**: per-app-group shards,
 //!   each owning a policy instance, with a generation-gated snapshot
 //!   ([`snapshot::ArcCell`] + [`snapshot::CachedSnap`]) giving each
@@ -32,7 +32,13 @@
 //!   `max_connections` admission control parks the listener at the
 //!   cap instead of running into fd exhaustion — all observable via
 //!   the v2 `Stats` command.
-//! * [`client`] — the blocking v2 client for application binaries.
+//! * [`client`] — the blocking v2 client for application binaries,
+//!   plus the batched decide pipeline for high-rate callers:
+//!   `decide_batch` (up to 4096 queries per frame, once-per-batch
+//!   snapshot revalidation server-side) and explicit pipelining
+//!   (`submit_decide`/`flush`/`drain_decisions`) amortize the
+//!   per-call frame/syscall/round-trip overhead that dominates a
+//!   remote decide.
 //! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
 //!   simulations of 1000+ apps exercise the daemon's exact code path.
 //!
@@ -52,11 +58,11 @@ pub mod wire;
 pub use adapter::ShardedPolicy;
 pub use client::V2Client;
 pub use engine::{
-    shard_of, BatchScratch, DecideHandle, EngineConfig, PolicyCore, ReportOwned, ShardedEngine,
-    TableEntry,
+    shard_of, BatchScratch, DecideHandle, DecideScratch, EngineConfig, PolicyCore, ReportOwned,
+    ShardedEngine, TableEntry,
 };
 pub use metrics::{MetricsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{ArcCell, CachedSnap};
-pub use wire::DaemonStats;
+pub use wire::{DaemonStats, WireQuery};
 pub use xar_reactor::BackendKind;

@@ -46,6 +46,7 @@ pub struct ShardMetrics {
     stripes: [Stripe; STRIPES],
     reports: AtomicU64,
     batches: AtomicU64,
+    decide_batches: AtomicU64,
     latency: [AtomicU64; BUCKETS],
 }
 
@@ -55,6 +56,7 @@ impl Default for ShardMetrics {
             stripes: std::array::from_fn(|_| Stripe::default()),
             reports: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            decide_batches: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -118,6 +120,62 @@ impl ShardMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one `DecideBatch` frame. Frame-level (the batched
+    /// queries themselves land in `decides` via
+    /// [`ShardMetrics::note_decides`]), kept unstriped like `batches`:
+    /// one relaxed RMW amortized over the whole frame.
+    pub fn record_decide_batch_frame(&self) {
+        self.decide_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` decides on `stripe` with a single add — the batched
+    /// sibling of [`ShardMetrics::note_decide`] — and returns how many
+    /// of them were elected for latency sampling (the multiples of
+    /// [`LATENCY_SAMPLE`] falling inside the claimed count interval, so
+    /// a stream of batches elects exactly as often as the same decides
+    /// one by one). Callers time the batch once when any were elected
+    /// and hand the amortized per-decide figure to
+    /// [`ShardMetrics::note_outcomes`].
+    pub fn note_decides(&self, stripe: usize, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let prev = self.stripes[stripe % STRIPES].decides.fetch_add(n, Ordering::Relaxed);
+        // Multiples of LATENCY_SAMPLE in [prev, prev + n).
+        (prev + n).div_ceil(LATENCY_SAMPLE) - prev.div_ceil(LATENCY_SAMPLE)
+    }
+
+    /// Folds a whole batch's outcomes into `stripe` — one add per
+    /// counter actually touched, not one per decide. `sampled` carries
+    /// the election count from [`ShardMetrics::note_decides`] and the
+    /// amortized per-decide latency; each elected sample lands in the
+    /// histogram at that value.
+    pub fn note_outcomes(
+        &self,
+        stripe: usize,
+        to_arm: u64,
+        to_fpga: u64,
+        reconfigs: u64,
+        sampled: Option<(u64, u64)>,
+    ) {
+        let stripe = &self.stripes[stripe % STRIPES];
+        if to_arm > 0 {
+            stripe.to_arm.fetch_add(to_arm, Ordering::Relaxed);
+        }
+        if to_fpga > 0 {
+            stripe.to_fpga.fetch_add(to_fpga, Ordering::Relaxed);
+        }
+        if reconfigs > 0 {
+            stripe.reconfigs.fetch_add(reconfigs, Ordering::Relaxed);
+        }
+        if let Some((count, nanos)) = sampled {
+            if count > 0 {
+                let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+                self.latency[bucket].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// A consistent-enough copy of the counters for reporting (stripes
     /// summed).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -129,6 +187,7 @@ impl ShardMetrics {
             decides: sum(|s| &s.decides),
             reports: self.reports.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            decide_batches: self.decide_batches.load(Ordering::Relaxed),
             to_arm: sum(|s| &s.to_arm),
             to_fpga: sum(|s| &s.to_fpga),
             reconfigs: sum(|s| &s.reconfigs),
@@ -168,6 +227,11 @@ pub struct MetricsSnapshot {
     pub reports: u64,
     /// Report batches applied (reports / batches = amortization factor).
     pub batches: u64,
+    /// `DecideBatch` frames handled (their queries count in `decides`,
+    /// so decides-routed-through-batches / decide_batches is the decide
+    /// amortization factor). Attributed to the shard of a frame's
+    /// first query; totals are what monitoring reads.
+    pub decide_batches: u64,
     /// Decisions that migrated to the ARM server.
     pub to_arm: u64,
     /// Decisions that migrated to the FPGA.
@@ -193,6 +257,7 @@ impl MetricsSnapshot {
             decides: self.decides + other.decides,
             reports: self.reports + other.reports,
             batches: self.batches + other.batches,
+            decide_batches: self.decide_batches + other.decide_batches,
             to_arm: self.to_arm + other.to_arm,
             to_fpga: self.to_fpga + other.to_fpga,
             reconfigs: self.reconfigs + other.reconfigs,
@@ -207,11 +272,12 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "decides={} reports={} batches={} to_arm={} to_fpga={} reconfigs={} \
-             lat_samples={} p50<{}ns p99<{}ns",
+            "decides={} reports={} batches={} decide_batches={} to_arm={} to_fpga={} \
+             reconfigs={} lat_samples={} p50<{}ns p99<{}ns",
             self.decides,
             self.reports,
             self.batches,
+            self.decide_batches,
             self.to_arm,
             self.to_fpga,
             self.reconfigs,
@@ -289,6 +355,56 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.decides, 100, "stripes must sum to the exact decide count");
         assert_eq!(s.to_arm, 100);
+    }
+
+    #[test]
+    fn batched_decide_notes_elect_exactly_like_singles() {
+        // Two metrics fed the same 1000 decides — one by one vs in
+        // mixed-size batches — must agree on the decide count AND the
+        // number of latency-sample elections.
+        let singles = ShardMetrics::default();
+        let mut elected_single = 0u64;
+        for _ in 0..1000 {
+            elected_single += u64::from(singles.note_decide(0));
+        }
+        let batched = ShardMetrics::default();
+        let mut elected_batch = 0u64;
+        let mut fed = 0u64;
+        for n in [1u64, 63, 64, 65, 7, 300, 500] {
+            elected_batch += batched.note_decides(0, n);
+            fed += n;
+        }
+        assert_eq!(fed, 1000);
+        assert_eq!(batched.snapshot().decides, singles.snapshot().decides);
+        assert_eq!(elected_batch, elected_single, "batch election drifted from 1-in-64");
+        assert_eq!(batched.note_decides(0, 0), 0, "empty batch elects nothing");
+    }
+
+    #[test]
+    fn batched_outcomes_fold_with_one_add_per_counter() {
+        let m = ShardMetrics::default();
+        let elected = m.note_decides(0, 10);
+        assert_eq!(elected, 1, "first decide of an idle stripe is elected");
+        m.note_outcomes(0, 3, 4, 2, Some((elected, 500)));
+        let s = m.snapshot();
+        assert_eq!(s.decides, 10);
+        assert_eq!(s.to_arm, 3);
+        assert_eq!(s.to_fpga, 4);
+        assert_eq!(s.reconfigs, 2);
+        assert_eq!(s.lat_samples, 1);
+        assert!(s.p50_ns >= 500, "amortized sample landed in the histogram");
+    }
+
+    #[test]
+    fn decide_batch_frames_count_separately_from_decides() {
+        let m = ShardMetrics::default();
+        m.record_decide_batch_frame();
+        m.note_decides(0, 64);
+        m.record_decide_batch_frame();
+        m.note_decides(0, 64);
+        let s = m.snapshot();
+        assert_eq!(s.decide_batches, 2);
+        assert_eq!(s.decides, 128);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! handshake magic, or anything else for the legacy v1 text protocol
 //! (see [`crate::wire`] for both).
 
-use crate::engine::{BatchScratch, DecideHandle, PolicyCore, ShardedEngine};
+use crate::engine::{BatchScratch, DecideHandle, DecideScratch, PolicyCore, ShardedEngine};
 use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -179,6 +179,8 @@ struct WorkerCtx<P: PolicyCore> {
     handle: DecideHandle<P>,
     /// Reusable grouping scratch for BatchReport ingestion.
     scratch: BatchScratch,
+    /// Reusable grouping/decision scratch for DecideBatch frames.
+    dscratch: DecideScratch,
     counters: Arc<ConnCounters>,
     /// Wakes the acceptor after a reap so a listener parked at the
     /// connection cap resumes accepting.
@@ -334,6 +336,7 @@ impl<P: PolicyCore> Server<P> {
             let ctx = WorkerCtx {
                 handle: engine.handle(),
                 scratch: BatchScratch::default(),
+                dscratch: DecideScratch::default(),
                 engine: engine.clone(),
                 counters: counters.clone(),
                 acceptor: acceptor.waker(),
@@ -906,6 +909,17 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
                 out,
             );
         }
+        Request::DecideBatch(qs) => {
+            // Grouped once-per-batch snapshot revalidation in the
+            // engine, then the reply streams straight into the outbuf
+            // via the frame writer — no intermediate encoded Vec.
+            let ds = ctx.handle.decide_batch(qs, &mut ctx.dscratch);
+            let mut w = wire::DecideBatchReplyWriter::begin(out, ds.len());
+            for d in ds {
+                w.push(d);
+            }
+            w.finish();
+        }
         Request::Report(r) => {
             // Borrowed ingest: the engine interns the app name.
             ctx.engine.ingest(r.app, r.target, r.func_ms, r.x86_load);
@@ -979,19 +993,25 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
                     device_ready: true,
                     now_ns: 0.0,
                 });
-                conn.outbuf.extend_from_slice(wire::v1_decide_reply(&d).as_bytes());
+                // Straight into the outbuf: the v1 fallback allocates
+                // no per-reply String.
+                wire::v1_decide_reply_into(&d, &mut conn.outbuf);
             }
             wire::V1Request::Report { app, target, func_ms, x86_load } => {
                 ctx.engine.ingest(app, target, func_ms, x86_load.min(u32::MAX as u64) as u32);
                 conn.outbuf.extend_from_slice(b"OK\n");
             }
             wire::V1Request::Table => {
-                let mut s = String::new();
                 for e in ctx.engine.table() {
-                    s.push_str(&wire::v1_table_row(&e.app, &e.kernel, e.fpga_thr, e.arm_thr));
+                    wire::v1_table_row_into(
+                        &e.app,
+                        &e.kernel,
+                        e.fpga_thr,
+                        e.arm_thr,
+                        &mut conn.outbuf,
+                    );
                 }
-                s.push_str("END\n");
-                conn.outbuf.extend_from_slice(s.as_bytes());
+                conn.outbuf.extend_from_slice(b"END\n");
             }
             wire::V1Request::Quit => {
                 conn.closed = true;

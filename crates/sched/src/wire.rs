@@ -39,12 +39,13 @@ use xar_desim::Target;
 /// Protocol magic ("XARS").
 pub const MAGIC: [u8; 4] = *b"XARS";
 /// Current protocol revision carried in the handshake's version byte.
-/// Bumped whenever a frame layout changes — revision 3 widened the
-/// `Stats` reply from eleven to twelve `u64`s (`lat_samples`) — so a
-/// peer from an older build is refused at the handshake instead of
-/// silently mis-decoding shifted fields. ("v2" stays the family name
-/// of the binary protocol vs the v1 text protocol.)
-pub const VERSION: u8 = 3;
+/// Bumped whenever a frame layout changes — revision 4 added the
+/// `DecideBatch`/`R_DECIDE_BATCH` pair and widened the `Stats` reply
+/// from twelve to thirteen `u64`s (`decide_batches`) — so a peer from
+/// an older build is refused at the handshake instead of silently
+/// mis-decoding shifted fields. ("v2" stays the family name of the
+/// binary protocol vs the v1 text protocol.)
+pub const VERSION: u8 = 4;
 /// Handshake length in bytes (both directions).
 pub const HANDSHAKE_LEN: usize = 8;
 /// Upper bound on a frame payload; larger frames are a protocol error.
@@ -55,6 +56,15 @@ pub const HANDSHAKE_LEN: usize = 8;
 pub const MAX_FRAME: usize = 16 << 20;
 /// Maximum elements in one `BatchReport` / table reply (u16 count).
 pub const MAX_BATCH: usize = u16::MAX as usize;
+/// Maximum queries in one `DecideBatch` frame. Deliberately far below
+/// the u16 count ceiling: every query in a batch is decided before any
+/// reply byte is written, so this bounds how long one frame can
+/// monopolize a worker (latency isolation for the other connections it
+/// multiplexes) and how large the reply burst into the outbuf can be.
+/// The decoder refuses a larger announced count *before parsing a
+/// single query* ([`WireError::OversizedBatch`]), so an oversized
+/// batch is rejected atomically — no partial processing.
+pub const MAX_DECIDE_BATCH: usize = 4096;
 
 /// The 8-byte handshake carrying `version`.
 pub fn handshake(version: u8) -> [u8; HANDSHAKE_LEN] {
@@ -90,6 +100,8 @@ pub mod op {
     pub const PING: u8 = 0x05;
     /// `Stats` — fetch daemon-wide statistics.
     pub const STATS: u8 = 0x06;
+    /// `DecideBatch` — many placement queries in one frame.
+    pub const DECIDE_BATCH: u8 = 0x07;
     /// Reply to `DECIDE`.
     pub const R_DECIDE: u8 = 0x81;
     /// Acknowledgement carrying an accepted-item count.
@@ -100,6 +112,8 @@ pub mod op {
     pub const R_PONG: u8 = 0x85;
     /// Reply to `STATS`.
     pub const R_STATS: u8 = 0x86;
+    /// Reply to `DECIDE_BATCH`: N decisions in query order.
+    pub const R_DECIDE_BATCH: u8 = 0x87;
     /// Error reply carrying a message.
     pub const R_ERR: u8 = 0xFF;
 }
@@ -117,6 +131,44 @@ pub struct WireReport<'a> {
     pub x86_load: u32,
 }
 
+/// A wire-level placement query — one element of a `DecideBatch`
+/// frame, carrying exactly the fields of a standalone `Decide` request
+/// (the full `decide_with` context). Strings borrow from the receive
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireQuery<'a> {
+    /// Application name.
+    pub app: &'a str,
+    /// Hardware kernel name (may be empty).
+    pub kernel: &'a str,
+    /// x86 runnable-process count.
+    pub x86_load: u32,
+    /// ARM runnable-process count.
+    pub arm_load: u32,
+    /// Whether the kernel is resident in the loaded XCLBIN.
+    pub kernel_resident: bool,
+    /// Whether the device is past any in-flight reconfiguration.
+    pub device_ready: bool,
+}
+
+impl WireQuery<'_> {
+    /// The engine-side decision context this query describes. `now_ns`
+    /// is not carried on the wire; the daemon decides at `now = 0`,
+    /// exactly like the standalone `Decide` handler — the two paths
+    /// must stay bit-identical.
+    pub fn ctx(&self) -> xar_desim::DecideCtx<'_> {
+        xar_desim::DecideCtx {
+            app: self.app,
+            kernel: self.kernel,
+            x86_load: self.x86_load as usize,
+            arm_load: self.arm_load as usize,
+            kernel_resident: self.kernel_resident,
+            device_ready: self.device_ready,
+            now_ns: 0.0,
+        }
+    }
+}
+
 /// A wire-level threshold-table row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireEntry<'a> {
@@ -132,8 +184,8 @@ pub struct WireEntry<'a> {
 
 /// Daemon-wide statistics carried by the v2 `Stats` reply: the merged
 /// engine metric totals plus the server's connection-lifecycle
-/// counters. Fixed-width on the wire (twelve `u64`s), so a monitoring
-/// poller's cost is one small frame each way.
+/// counters. Fixed-width on the wire (thirteen `u64`s), so a
+/// monitoring poller's cost is one small frame each way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DaemonStats {
     /// Whole-engine metric totals (every shard merged).
@@ -176,6 +228,9 @@ pub enum Request<'a> {
     Ping(u64),
     /// Daemon-wide statistics request.
     Stats,
+    /// Batched placement queries (≤ [`MAX_DECIDE_BATCH`]); answered by
+    /// one `R_DECIDE_BATCH` frame carrying the decisions in order.
+    DecideBatch(Vec<WireQuery<'a>>),
 }
 
 /// A decoded server response. Strings borrow from the receive buffer.
@@ -196,6 +251,9 @@ pub enum Response<'a> {
     Pong(u64),
     /// Daemon-wide statistics.
     Stats(DaemonStats),
+    /// Batched placement decisions, in the query order of the
+    /// `DecideBatch` frame they answer.
+    DecideBatch(Vec<xar_desim::Decision>),
     /// Protocol or handler error.
     Err(&'a str),
 }
@@ -215,6 +273,11 @@ pub enum WireError {
     BadUtf8,
     /// Frame exceeds [`MAX_FRAME`].
     Oversized(usize),
+    /// A `DecideBatch` announces more queries than
+    /// [`MAX_DECIDE_BATCH`]. Raised before any query is parsed, so the
+    /// refusal is atomic — the server answers `R_ERR` having processed
+    /// nothing.
+    OversizedBatch(usize),
     /// A decoded message did not consume its whole payload (element
     /// count and payload length disagree).
     TrailingBytes(usize),
@@ -229,6 +292,9 @@ impl std::fmt::Display for WireError {
             WireError::BadTarget(t) => write!(f, "unknown target {t}"),
             WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
             WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds MAX_FRAME"),
+            WireError::OversizedBatch(n) => {
+                write!(f, "decide batch of {n} queries exceeds MAX_DECIDE_BATCH")
+            }
             WireError::TrailingBytes(n) => write!(f, "{n} undecoded bytes after message"),
         }
     }
@@ -250,6 +316,14 @@ impl From<WireError> for std::io::Error {
 /// layout and the budget cannot drift apart.
 pub const fn encoded_report_len(app_len: usize) -> usize {
     2 + app_len + 1 + 8 + 4
+}
+
+/// Encoded size in bytes of one query element inside a `DecideBatch`
+/// payload for the given name lengths: two u16-prefixed strings, the
+/// two u32 loads, and the flags byte. `V2Client::decide_batch` budgets
+/// frames with this; a unit test pins it to the real encoder.
+pub const fn encoded_query_len(app_len: usize, kernel_len: usize) -> usize {
+    2 + app_len + 2 + kernel_len + 4 + 4 + 1
 }
 
 /// `Target` ↔ wire byte.
@@ -352,14 +426,18 @@ pub fn parse_v1_line(line: &str) -> Option<V1Request<'_>> {
     }
 }
 
-/// Formats the v1 reply to a DECIDE.
-pub fn v1_decide_reply(d: &xar_desim::Decision) -> String {
-    format!("TARGET {} {}\n", target_str(d.target), u8::from(d.reconfigure))
+/// Writes the v1 reply to a DECIDE directly into an output buffer —
+/// no per-reply `String` allocation on the daemon's v1 fallback path.
+pub fn v1_decide_reply_into(d: &xar_desim::Decision, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    // Writing into a Vec<u8> is infallible.
+    let _ = writeln!(out, "TARGET {} {}", target_str(d.target), u8::from(d.reconfigure));
 }
 
-/// Formats one v1 TABLE row.
-pub fn v1_table_row(app: &str, kernel: &str, fpga_thr: u32, arm_thr: u32) -> String {
-    format!("{app} {kernel} {fpga_thr} {arm_thr}\n")
+/// Writes one v1 TABLE row directly into an output buffer.
+pub fn v1_table_row_into(app: &str, kernel: &str, fpga_thr: u32, arm_thr: u32, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    let _ = writeln!(out, "{app} {kernel} {fpga_thr} {arm_thr}");
 }
 
 // ---------------------------------------------------------------- encoding
@@ -409,6 +487,14 @@ impl<'a> FrameWriter<'a> {
         self.u32(r.x86_load);
     }
 
+    fn query(&mut self, q: &WireQuery<'_>) {
+        self.str(q.app);
+        self.str(q.kernel);
+        self.u32(q.x86_load);
+        self.u32(q.arm_load);
+        self.u8(u8::from(q.kernel_resident) | (u8::from(q.device_ready) << 1));
+    }
+
     fn finish(self) {
         let payload = self.out.len() - self.len_at - 4;
         // Mirror the decoder's frame cap: emitting a frame the peer's
@@ -452,6 +538,63 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
             w.finish();
         }
         Request::Stats => FrameWriter::begin(out, op::STATS).finish(),
+        Request::DecideBatch(qs) => encode_decide_batch(qs, out),
+    }
+}
+
+/// Appends one encoded `DecideBatch` request frame built from a
+/// borrowed query slice — the same bytes [`encode_request`] produces
+/// for `Request::DecideBatch` (which delegates here), without
+/// requiring the caller to materialize an owned `Vec` first.
+/// `V2Client::decide_batch` encodes its chunks through this, so the
+/// client path allocates nothing per frame.
+pub fn encode_decide_batch(queries: &[WireQuery<'_>], out: &mut Vec<u8>) {
+    assert!(
+        queries.len() <= MAX_DECIDE_BATCH,
+        "DecideBatch of {} exceeds MAX_DECIDE_BATCH",
+        queries.len()
+    );
+    let mut w = FrameWriter::begin(out, op::DECIDE_BATCH);
+    w.u16(queries.len() as u16);
+    for q in queries {
+        w.query(q);
+    }
+    w.finish();
+}
+
+/// Streams one `R_DECIDE_BATCH` reply frame straight into an output
+/// buffer. The count is written up front (it is known from the request)
+/// and each decision is appended as it is computed, so the server never
+/// stages the reply through an intermediate encoded `Vec`.
+/// [`encode_response`] routes `Response::DecideBatch` through this same
+/// writer, so the two encode paths cannot drift.
+pub struct DecideBatchReplyWriter<'a> {
+    w: FrameWriter<'a>,
+    expected: usize,
+    pushed: usize,
+}
+
+impl<'a> DecideBatchReplyWriter<'a> {
+    /// Opens a reply frame announcing `count` decisions.
+    pub fn begin(out: &'a mut Vec<u8>, count: usize) -> Self {
+        assert!(count <= MAX_DECIDE_BATCH, "reply batch of {count} exceeds MAX_DECIDE_BATCH");
+        let mut w = FrameWriter::begin(out, op::R_DECIDE_BATCH);
+        w.u16(count as u16);
+        DecideBatchReplyWriter { w, expected: count, pushed: 0 }
+    }
+
+    /// Appends one decision.
+    pub fn push(&mut self, d: &xar_desim::Decision) {
+        self.w.u8(target_to_byte(d.target));
+        self.w.u8(u8::from(d.reconfigure));
+        self.pushed += 1;
+    }
+
+    /// Seals the frame. Panics if fewer/more decisions were pushed than
+    /// announced — that would be an undecodable frame, a server bug.
+    pub fn finish(self) {
+        assert_eq!(self.pushed, self.expected, "decide-batch reply count mismatch");
+        self.w.finish();
     }
 }
 
@@ -486,11 +629,19 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             w.u64(*nonce);
             w.finish();
         }
+        Response::DecideBatch(ds) => {
+            let mut w = DecideBatchReplyWriter::begin(out, ds.len());
+            for d in ds {
+                w.push(d);
+            }
+            w.finish();
+        }
         Response::Stats(s) => {
             let mut w = FrameWriter::begin(out, op::R_STATS);
             w.u64(s.metrics.decides);
             w.u64(s.metrics.reports);
             w.u64(s.metrics.batches);
+            w.u64(s.metrics.decide_batches);
             w.u64(s.metrics.to_arm);
             w.u64(s.metrics.to_fpga);
             w.u64(s.metrics.reconfigs);
@@ -566,6 +717,22 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn query(&mut self) -> Result<WireQuery<'a>, WireError> {
+        let app = self.str()?;
+        let kernel = self.str()?;
+        let x86_load = self.u32()?;
+        let arm_load = self.u32()?;
+        let flags = self.u8()?;
+        Ok(WireQuery {
+            app,
+            kernel,
+            x86_load,
+            arm_load,
+            kernel_resident: flags & 1 != 0,
+            device_ready: flags & 2 != 0,
+        })
+    }
+
     /// Guards against element counts that disagree with the payload
     /// length (e.g. a count field truncated by a buggy encoder).
     fn finish(&self) -> Result<(), WireError> {
@@ -612,6 +779,19 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
         op::TABLE => Ok(Request::Table),
         op::PING => Ok(Request::Ping(r.u64()?)),
         op::STATS => Ok(Request::Stats),
+        op::DECIDE_BATCH => {
+            let n = r.u16()? as usize;
+            // Refused before parsing a single query: an oversized batch
+            // must be rejected atomically, with nothing processed.
+            if n > MAX_DECIDE_BATCH {
+                return Err(WireError::OversizedBatch(n));
+            }
+            let mut qs = Vec::with_capacity(n);
+            for _ in 0..n {
+                qs.push(r.query()?);
+            }
+            Ok(Request::DecideBatch(qs))
+        }
         other => Err(WireError::BadOpcode(other)),
     }?;
     r.finish()?;
@@ -644,11 +824,26 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
             Ok(Response::Table(entries))
         }
         op::R_PONG => Ok(Response::Pong(r.u64()?)),
+        op::R_DECIDE_BATCH => {
+            let n = r.u16()? as usize;
+            if n > MAX_DECIDE_BATCH {
+                return Err(WireError::OversizedBatch(n));
+            }
+            let mut ds = Vec::with_capacity(n);
+            for _ in 0..n {
+                ds.push(xar_desim::Decision {
+                    target: target_from_byte(r.u8()?)?,
+                    reconfigure: r.u8()? != 0,
+                });
+            }
+            Ok(Response::DecideBatch(ds))
+        }
         op::R_STATS => Ok(Response::Stats(DaemonStats {
             metrics: crate::metrics::MetricsSnapshot {
                 decides: r.u64()?,
                 reports: r.u64()?,
                 batches: r.u64()?,
+                decide_batches: r.u64()?,
                 to_arm: r.u64()?,
                 to_fpga: r.u64()?,
                 reconfigs: r.u64()?,
@@ -731,6 +926,25 @@ mod tests {
         roundtrip_req(Request::Table);
         roundtrip_req(Request::Ping(0xDEAD_BEEF));
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::DecideBatch(vec![
+            WireQuery {
+                app: "FaceDet320",
+                kernel: "KNL_HW_FD320",
+                x86_load: 42,
+                arm_load: 7,
+                kernel_resident: true,
+                device_ready: false,
+            },
+            WireQuery {
+                app: "CG-A",
+                kernel: "",
+                x86_load: 0,
+                arm_load: 0,
+                kernel_resident: false,
+                device_ready: true,
+            },
+        ]));
+        roundtrip_req(Request::DecideBatch(Vec::new()));
     }
 
     #[test]
@@ -744,11 +958,18 @@ mod tests {
             arm_thr: 31,
         }]));
         roundtrip_resp(Response::Pong(7));
+        roundtrip_resp(Response::DecideBatch(vec![
+            xar_desim::Decision { target: Target::Fpga, reconfigure: true },
+            xar_desim::Decision { target: Target::X86, reconfigure: false },
+            xar_desim::Decision { target: Target::Arm, reconfigure: false },
+        ]));
+        roundtrip_resp(Response::DecideBatch(Vec::new()));
         roundtrip_resp(Response::Stats(DaemonStats {
             metrics: crate::metrics::MetricsSnapshot {
                 decides: 5,
                 reports: 4,
                 batches: 2,
+                decide_batches: 3,
                 to_arm: 1,
                 to_fpga: 2,
                 reconfigs: 1,
@@ -770,7 +991,7 @@ mod tests {
         assert_eq!(buf.len(), 4 + 1, "request: header + opcode only");
         let mut buf = Vec::new();
         encode_response(&Response::Stats(DaemonStats::default()), &mut buf);
-        assert_eq!(buf.len(), 4 + 1 + 12 * 8, "reply: twelve u64 counters");
+        assert_eq!(buf.len(), 4 + 1 + 13 * 8, "reply: thirteen u64 counters");
     }
 
     #[test]
@@ -846,8 +1067,12 @@ mod tests {
             assert_eq!(parse_v1_line(bad), None, "{bad:?}");
         }
         let d = xar_desim::Decision { target: Target::Arm, reconfigure: true };
-        assert_eq!(v1_decide_reply(&d), "TARGET arm 1\n");
-        assert_eq!(v1_table_row("a", "k", 3, 9), "a k 3 9\n");
+        let mut out = b"prior ".to_vec();
+        v1_decide_reply_into(&d, &mut out);
+        assert_eq!(out, b"prior TARGET arm 1\n", "appends, never truncates");
+        let mut out = Vec::new();
+        v1_table_row_into("a", "k", 3, 9, &mut out);
+        assert_eq!(out, b"a k 3 9\n");
     }
 
     #[test]
@@ -869,6 +1094,80 @@ mod tests {
             encode_request(&Request::Report(report), &mut buf);
             assert_eq!(buf.len(), 4 + 1 + encoded_report_len(app.len()), "app_len {}", app.len());
         }
+    }
+
+    #[test]
+    fn encoded_query_len_matches_the_encoder_exactly() {
+        for (app, kernel) in [("", ""), ("a", "k"), ("Digit2000", "KNL_HW_DR200")] {
+            let q = WireQuery {
+                app,
+                kernel,
+                x86_load: 42,
+                arm_load: 7,
+                kernel_resident: true,
+                device_ready: true,
+            };
+            // A batch of one: frame header (4) + opcode (1) + count (2)
+            // + the element itself.
+            let mut buf = Vec::new();
+            encode_request(&Request::DecideBatch(vec![q]), &mut buf);
+            assert_eq!(buf.len(), 4 + 1 + 2 + encoded_query_len(app.len(), kernel.len()));
+        }
+    }
+
+    #[test]
+    fn oversized_decide_batch_is_refused_before_parsing_any_query() {
+        // A hand-crafted payload announcing MAX_DECIDE_BATCH + 1
+        // queries (the encoder asserts, so a conforming client can
+        // never emit this). The decoder must refuse on the count alone
+        // — even though the payload holds no valid query at all.
+        let mut payload = vec![op::DECIDE_BATCH];
+        payload.extend_from_slice(&((MAX_DECIDE_BATCH + 1) as u16).to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(WireError::OversizedBatch(MAX_DECIDE_BATCH + 1)));
+        // At the cap itself the count is fine (the truncated queries
+        // then surface as their own error).
+        let mut payload = vec![op::DECIDE_BATCH];
+        payload.extend_from_slice(&(MAX_DECIDE_BATCH as u16).to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(WireError::Truncated));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_DECIDE_BATCH")]
+    fn oversized_decide_batch_count_panics_in_the_encoder() {
+        let q = WireQuery {
+            app: "a",
+            kernel: "k",
+            x86_load: 0,
+            arm_load: 0,
+            kernel_resident: true,
+            device_ready: true,
+        };
+        encode_request(&Request::DecideBatch(vec![q; MAX_DECIDE_BATCH + 1]), &mut Vec::new());
+    }
+
+    #[test]
+    fn streamed_decide_batch_reply_matches_encode_response() {
+        let ds = vec![
+            xar_desim::Decision { target: Target::Fpga, reconfigure: true },
+            xar_desim::Decision { target: Target::X86, reconfigure: false },
+        ];
+        let mut staged = Vec::new();
+        encode_response(&Response::DecideBatch(ds.clone()), &mut staged);
+        let mut streamed = Vec::new();
+        let mut w = DecideBatchReplyWriter::begin(&mut streamed, ds.len());
+        for d in &ds {
+            w.push(d);
+        }
+        w.finish();
+        assert_eq!(streamed, staged, "the two encode paths drifted");
+    }
+
+    #[test]
+    #[should_panic(expected = "reply count mismatch")]
+    fn decide_batch_reply_writer_enforces_its_announced_count() {
+        let mut out = Vec::new();
+        let w = DecideBatchReplyWriter::begin(&mut out, 2);
+        w.finish(); // only 0 of 2 pushed
     }
 
     #[test]

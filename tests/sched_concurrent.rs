@@ -208,6 +208,180 @@ fn batch_report_equals_sequential_reports() {
     daemon.shutdown();
 }
 
+/// A mixed fleet of batched (`decide_batch`), pipelined
+/// (`submit_decide`/`drain_decisions`), and single-decide clients on
+/// one daemon: every client, whatever its transport shape, must see
+/// decisions bit-identical to the sequential reference policy — on
+/// both reactor backends.
+#[test]
+fn mixed_batched_pipelined_and_single_fleet_matches_reference() {
+    use xar_trek::sched::wire::WireQuery;
+    const LOADS: [u32; 4] = [2, 20, 50, 200];
+    for backend in [BackendKind::default(), BackendKind::Poll] {
+        let daemon = spawn_sharded(
+            &policy(),
+            EngineConfig { shards: 8, batch: 4 },
+            ServerConfig { workers: 4, backend, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let addr = daemon.addr();
+        let mut reference = policy();
+        let expected: Vec<Decision> = APPS
+            .iter()
+            .flat_map(|app| LOADS.map(|load| reference.decide(&ctx(app, load as usize, true))))
+            .collect();
+        let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let mut cl = V2Client::connect(addr).unwrap();
+                    let mut got: Vec<Decision> = Vec::new();
+                    match c % 3 {
+                        0 => {
+                            // Single decides, one round trip each.
+                            for app in APPS {
+                                for load in LOADS {
+                                    got.push(cl.decide(app, "k", load, true).unwrap());
+                                }
+                            }
+                        }
+                        1 => {
+                            // One DecideBatch frame for the whole set.
+                            let queries: Vec<WireQuery<'_>> = APPS
+                                .iter()
+                                .flat_map(|app| {
+                                    LOADS.map(|load| WireQuery {
+                                        app,
+                                        kernel: "k",
+                                        x86_load: load,
+                                        arm_load: 0,
+                                        kernel_resident: true,
+                                        device_ready: true,
+                                    })
+                                })
+                                .collect();
+                            got = cl.decide_batch(&queries).unwrap();
+                        }
+                        _ => {
+                            // Pipelined: all frames in flight, then one
+                            // in-order drain.
+                            for app in APPS {
+                                for load in LOADS {
+                                    cl.submit_decide(app, "k", load, 0, true, true);
+                                }
+                            }
+                            assert_eq!(
+                                cl.drain_decisions(&mut got).unwrap(),
+                                APPS.len() * LOADS.len()
+                            );
+                        }
+                    }
+                    (c, got)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c, got) = h.join().unwrap();
+            assert_eq!(
+                got,
+                expected,
+                "{backend:?}: client {c} (mode {}) diverged from the sequential reference",
+                c % 3
+            );
+        }
+        // Every mode's decides landed in the shared metrics, and the
+        // batch frames were counted separately.
+        let m = daemon.engine().metrics_total();
+        assert_eq!(m.decides, (CLIENTS * APPS.len() * LOADS.len()) as u64);
+        let batch_clients = (0..CLIENTS).filter(|c| c % 3 == 1).count() as u64;
+        assert_eq!(m.decide_batches, batch_clients, "{backend:?}: one frame per batch client");
+        daemon.shutdown();
+    }
+}
+
+/// An oversized `DecideBatch` (announcing more queries than
+/// `MAX_DECIDE_BATCH`) must be refused with `R_ERR` *atomically*:
+/// no query processed, no decision made, and the connection still
+/// serves well-formed traffic afterwards.
+#[test]
+fn oversized_decide_batch_is_refused_before_processing_anything() {
+    use std::io::{Read, Write};
+    use xar_trek::sched::wire;
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+    let mut s = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    s.write_all(&wire::handshake(wire::VERSION)).unwrap();
+    // Hand-crafted frame (the client-side encoder asserts the cap, so
+    // only a non-conforming peer can send this): an announced count of
+    // MAX_DECIDE_BATCH + 1 with a first query that WOULD be decidable
+    // if the server parsed before checking.
+    let mut payload = vec![wire::op::DECIDE_BATCH];
+    payload.extend_from_slice(&((wire::MAX_DECIDE_BATCH + 1) as u16).to_le_bytes());
+    payload.extend_from_slice(&2u16.to_le_bytes());
+    payload.extend_from_slice(b"ap");
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    // A well-formed ping pipelined behind the poisoned frame: the
+    // refusal must not take the connection down.
+    wire::encode_request(&wire::Request::Ping(9), &mut frame);
+    s.write_all(&frame).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 1024];
+    let mut replies = Vec::new();
+    let mut hs_done = false;
+    while replies.len() < 2 {
+        let n = s.read(&mut scratch).unwrap();
+        assert!(n > 0, "server closed after the refusal");
+        buf.extend_from_slice(&scratch[..n]);
+        if !hs_done {
+            if buf.len() < wire::HANDSHAKE_LEN {
+                continue;
+            }
+            buf.drain(..wire::HANDSHAKE_LEN);
+            hs_done = true;
+        }
+        while let Some((total, range)) = wire::frame_in(&buf).unwrap() {
+            match wire::decode_response(&buf[range]).unwrap() {
+                wire::Response::Err(msg) => replies.push(format!("ERR {msg}")),
+                wire::Response::Pong(n) => replies.push(format!("PONG {n}")),
+                other => panic!("unexpected reply {other:?}"),
+            }
+            buf.drain(..total);
+        }
+    }
+    assert!(
+        replies[0].starts_with("ERR") && replies[0].contains("MAX_DECIDE_BATCH"),
+        "{replies:?}"
+    );
+    assert_eq!(replies[1], "PONG 9", "connection did not survive the refusal");
+    let m = daemon.engine().metrics_total();
+    assert_eq!(m.decides, 0, "a query from the refused batch was processed");
+    assert_eq!(m.decide_batches, 0, "the refused frame was counted as handled");
+    daemon.shutdown();
+}
+
+/// Interleaving a one-shot request with undrained pipelined decides
+/// would mis-pair replies; the client must refuse it, and draining
+/// restores the one-shot surface.
+#[test]
+fn pipelined_client_guards_the_one_shot_surface() {
+    let daemon =
+        spawn_sharded(&policy(), EngineConfig::default(), ServerConfig::default()).unwrap();
+    let mut cl = V2Client::connect(daemon.addr()).unwrap();
+    cl.submit_decide("Digit2000", "k", 2, 0, true, true);
+    assert_eq!(cl.inflight(), 1);
+    let err = cl.ping(1).unwrap_err();
+    assert!(err.to_string().contains("in flight"), "{err}");
+    let mut out = Vec::new();
+    assert_eq!(cl.drain_decisions(&mut out).unwrap(), 1);
+    assert_eq!(cl.inflight(), 0);
+    assert_eq!(cl.ping(2).unwrap(), 2, "one-shot surface restored after the drain");
+    daemon.shutdown();
+}
+
 /// Shutdown must complete promptly even with idle clients still
 /// connected (the v1 seed server's accept loop could hang instead) —
 /// on both reactor backends, where "promptly" now means a waker-driven

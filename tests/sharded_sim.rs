@@ -122,6 +122,48 @@ fn sharded_sim_telemetry_counts_simulator_traffic() {
     assert!(result.total_calls() >= m.decides, "calls include background jobs");
 }
 
+/// The adapter's batch door: deciding a query set through
+/// `ShardedPolicy::decide_batch` (the daemon's `DecideBatch` engine
+/// path — grouped, once-per-batch snapshot revalidation) must be
+/// bit-identical to the per-call `Policy::decide` door the figure
+/// drivers use, against the same live engine.
+#[test]
+fn adapter_batch_door_matches_per_call_decides() {
+    use xar_trek::desim::Policy as _;
+    use xar_trek::sched::WireQuery;
+    let engine = Arc::new(sharded_engine(&policy(), EngineConfig { shards: 8, batch: 1 }));
+    let mut adapter = ShardedPolicy::new(engine.clone());
+    let profiles = xar_trek::workloads::all_profiles();
+    let queries: Vec<WireQuery<'_>> = profiles
+        .iter()
+        .cycle()
+        .take(64)
+        .enumerate()
+        .flat_map(|(i, p)| {
+            [2u32, 200].map(move |load| WireQuery {
+                app: p.name,
+                kernel: "k",
+                x86_load: load + i as u32 % 7,
+                arm_load: 0,
+                kernel_resident: true,
+                device_ready: true,
+            })
+        })
+        .collect();
+    let per_call: Vec<_> = queries.iter().map(|q| adapter.decide(&q.ctx())).collect();
+    let batched = adapter.decide_batch(&queries);
+    assert_eq!(batched, per_call, "batch door diverged from the per-call door");
+    // And a report in between is observed by both doors identically.
+    adapter.on_complete(&xar_trek::desim::CompletionReport {
+        app: profiles[0].name,
+        target: xar_trek::desim::Target::Fpga,
+        func_ms: 1e9,
+        x86_load: 2,
+    });
+    let per_call: Vec<_> = queries.iter().map(|q| adapter.decide(&q.ctx())).collect();
+    assert_eq!(adapter.decide_batch(&queries), per_call, "doors diverged after a publish");
+}
+
 /// `SharedPolicy` handles let many sims share one policy state: the
 /// second simulation must start from (and keep mutating) the table the
 /// first one left behind, like consecutive client sessions against one

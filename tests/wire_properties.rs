@@ -1,0 +1,168 @@
+//! Property tests of the v2 wire codec: every request and response
+//! opcode — including the `DecideBatch` / `R_DECIDE_BATCH` pair —
+//! must round-trip `encode → frame → decode` bit-exactly for random
+//! payloads (names of every shape, extreme loads, empty and full-ish
+//! batches).
+
+use proptest::prelude::*;
+use xar_trek::desim::{Decision, Target};
+use xar_trek::sched::wire::{
+    decode_request, decode_response, encode_request, encode_response, frame_in, DaemonStats,
+    Request, Response, WireEntry, WireQuery, WireReport,
+};
+use xar_trek::sched::MetricsSnapshot;
+
+fn target_from(i: u8) -> Target {
+    match i % 3 {
+        0 => Target::X86,
+        1 => Target::Arm,
+        _ => Target::Fpga,
+    }
+}
+
+/// Owned spec of one report; the borrowed wire struct is built in the
+/// property body (wire strings borrow from the receive buffer, so the
+/// strategies generate owned backing data).
+type ReportSpec = (String, u8, f64, u32);
+
+fn report<'a>(spec: &'a ReportSpec) -> WireReport<'a> {
+    WireReport { app: &spec.0, target: target_from(spec.1), func_ms: spec.2, x86_load: spec.3 }
+}
+
+type QuerySpec = ((String, String), (u32, u32), (bool, bool));
+
+fn query<'a>(spec: &'a QuerySpec) -> WireQuery<'a> {
+    WireQuery {
+        app: &spec.0 .0,
+        kernel: &spec.0 .1,
+        x86_load: spec.1 .0,
+        arm_load: spec.1 .1,
+        kernel_resident: spec.2 .0,
+        device_ready: spec.2 .1,
+    }
+}
+
+type EntrySpec = ((String, String), (u32, u32));
+
+fn name() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        "[a-z0-9_-]{1,12}".prop_map(|s| s),
+        "[A-Z]{1,3}".prop_map(|s| s),
+    ]
+    .boxed()
+}
+
+fn report_spec() -> BoxedStrategy<ReportSpec> {
+    (name(), any::<u8>(), (0.0f64..1e12), any::<u32>())
+        .prop_map(|(a, t, f, l)| (a, t, f, l))
+        .boxed()
+}
+
+fn query_spec() -> BoxedStrategy<QuerySpec> {
+    ((name(), name()), (any::<u32>(), any::<u32>()), (any::<bool>(), any::<bool>()))
+        .prop_map(|s| s)
+        .boxed()
+}
+
+fn roundtrip_req(req: &Request<'_>) -> Result<(), proptest::TestCaseError> {
+    let mut buf = Vec::new();
+    encode_request(req, &mut buf);
+    let (total, range) = frame_in(&buf).unwrap().expect("complete frame");
+    prop_assert_eq!(total, buf.len(), "frame length disagrees with the buffer");
+    prop_assert_eq!(&decode_request(&buf[range]).unwrap(), req);
+    Ok(())
+}
+
+fn roundtrip_resp(resp: &Response<'_>) -> Result<(), proptest::TestCaseError> {
+    let mut buf = Vec::new();
+    encode_response(resp, &mut buf);
+    let (total, range) = frame_in(&buf).unwrap().expect("complete frame");
+    prop_assert_eq!(total, buf.len(), "frame length disagrees with the buffer");
+    prop_assert_eq!(&decode_response(&buf[range]).unwrap(), resp);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every request opcode round-trips with random payloads.
+    #[test]
+    fn requests_roundtrip(
+        q in query_spec(),
+        r in report_spec(),
+        batch in proptest::collection::vec(report_spec(), 0..24),
+        queries in proptest::collection::vec(query_spec(), 0..24),
+        nonce in any::<u64>(),
+    ) {
+        let wq = query(&q);
+        roundtrip_req(&Request::Decide {
+            app: wq.app,
+            kernel: wq.kernel,
+            x86_load: wq.x86_load,
+            arm_load: wq.arm_load,
+            kernel_resident: wq.kernel_resident,
+            device_ready: wq.device_ready,
+        })?;
+        roundtrip_req(&Request::Report(report(&r)))?;
+        roundtrip_req(&Request::BatchReport(batch.iter().map(report).collect()))?;
+        roundtrip_req(&Request::Table)?;
+        roundtrip_req(&Request::Ping(nonce))?;
+        roundtrip_req(&Request::Stats)?;
+        roundtrip_req(&Request::DecideBatch(queries.iter().map(query).collect()))?;
+    }
+
+    /// Every response opcode round-trips with random payloads.
+    #[test]
+    fn responses_roundtrip(
+        (target_b, reconfigure) in (any::<u8>(), any::<bool>()),
+        ack in any::<u32>(),
+        entries in proptest::collection::vec(
+            ((name(), name()), (any::<u32>(), any::<u32>())), 0..16),
+        nonce in any::<u64>(),
+        decisions in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..48),
+        counters in proptest::collection::vec(any::<u64>(), 13..14),
+        msg in name(),
+    ) {
+        roundtrip_resp(&Response::Decide { target: target_from(target_b), reconfigure })?;
+        roundtrip_resp(&Response::Ack(ack))?;
+        let entries: &[EntrySpec] = &entries;
+        roundtrip_resp(&Response::Table(
+            entries
+                .iter()
+                .map(|((app, kernel), (fpga_thr, arm_thr))| WireEntry {
+                    app,
+                    kernel,
+                    fpga_thr: *fpga_thr,
+                    arm_thr: *arm_thr,
+                })
+                .collect(),
+        ))?;
+        roundtrip_resp(&Response::Pong(nonce))?;
+        roundtrip_resp(&Response::DecideBatch(
+            decisions
+                .iter()
+                .map(|&(t, reconfigure)| Decision { target: target_from(t), reconfigure })
+                .collect(),
+        ))?;
+        let c = &counters;
+        roundtrip_resp(&Response::Stats(DaemonStats {
+            metrics: MetricsSnapshot {
+                decides: c[0],
+                reports: c[1],
+                batches: c[2],
+                decide_batches: c[3],
+                to_arm: c[4],
+                to_fpga: c[5],
+                reconfigs: c[6],
+                lat_samples: c[7],
+                p50_ns: c[8],
+                p99_ns: c[9],
+            },
+            live_conns: c[10],
+            reaped_conns: c[11],
+            rejected_conns: c[12],
+        }))?;
+        roundtrip_resp(&Response::Err(&msg))?;
+    }
+}
