@@ -36,8 +36,8 @@ use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
 use xar_sched::wire::{self, parse_target, target_str};
 
 pub use xar_sched::{
-    BackendKind, DaemonStats, EngineConfig, MetricsSnapshot, ServerConfig, ShardedEngine,
-    ShardedPolicy, TableEntry, V2Client,
+    BackendKind, DaemonStats, EngineConfig, MetricsSnapshot, ObsSnapshot, ServerConfig,
+    ShardedEngine, ShardedPolicy, StatsV2, TableEntry, V2Client,
 };
 
 /// The production scheduler daemon serving a sharded [`XarTrekPolicy`].
@@ -197,6 +197,13 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
                 reply.extend_from_slice(b"END\n");
             }
             Some(wire::V1Request::Quit) => return,
+            // Observability commands belong to the daemon (`xar-sched`
+            // carries the trace rings and exposition); the paper's
+            // thread-per-client server answers ERR like any other
+            // unknown command, keeping the shared grammar total.
+            Some(wire::V1Request::Dump) | Some(wire::V1Request::Trace { .. }) => {
+                reply.extend_from_slice(b"ERR\n");
+            }
             None => reply.extend_from_slice(b"ERR\n"),
         }
         if writer.write_all(&reply).is_err() {

@@ -1,0 +1,90 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders `name value` lines for the v1 `DUMP` command. Counter lines
+//! are generated from the same `(tag, value)` pairs the `StatsV2` wire
+//! op ships — via [`crate::tags::tag_name`] — so everything on the wire
+//! is on the text endpoint by construction. Histograms render in the
+//! standard cumulative-`le` bucket form, all `BUCKETS` buckets plus a
+//! `_count` line; per-shard gauges use a `shard="i"` label.
+
+use crate::hist::{bucket_upper_bound, HistSnapshot, BUCKETS};
+use crate::tags::tag_name;
+use std::fmt::Write;
+
+/// One counter line: `xar_<name> <value>`.
+pub fn render_counter(name: &str, value: u64, out: &mut String) {
+    let _ = writeln!(out, "xar_{name} {value}");
+}
+
+/// Render every `(tag, value)` pair. Tags this build does not know
+/// still render (as `xar_tag_<id>`) — exposition is forward-compatible
+/// the same way the wire op is.
+pub fn render_pairs(pairs: &[(u16, u64)], out: &mut String) {
+    for &(tag, value) in pairs {
+        match tag_name(tag) {
+            Some(name) => render_counter(name, value, out),
+            None => {
+                let _ = writeln!(out, "xar_tag_{tag} {value}");
+            }
+        }
+    }
+}
+
+/// Render a full histogram: `BUCKETS` cumulative bucket lines
+/// (`<name>_bucket{le="<bound>"} <cum>`, last bucket `le="+Inf"`) and a
+/// `<name>_count` total.
+pub fn render_histogram(name: &str, h: &HistSnapshot, out: &mut String) {
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cum = cum.wrapping_add(c);
+        if i == BUCKETS - 1 {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_upper_bound(i));
+        }
+    }
+    let _ = writeln!(out, "{name}_count {cum}");
+}
+
+/// One per-shard gauge line: `xar_<name>{shard="<i>"} <value>`.
+pub fn render_shard_gauge(name: &str, shard: usize, value: u64, out: &mut String) {
+    let _ = writeln!(out, "xar_{name}{{shard=\"{shard}\"}} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::tags;
+
+    #[test]
+    fn pairs_render_known_and_unknown_tags() {
+        let mut out = String::new();
+        render_pairs(&[(tags::DECIDES, 42), (9999, 7)], &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, ["xar_decides 42", "xar_tag_9999 7"]);
+    }
+
+    #[test]
+    fn histogram_renders_all_buckets_cumulatively() {
+        let h = Histogram::new();
+        h.record(0, 1); // bucket 0
+        h.record(0, 3); // bucket 1
+        h.record(0, u64::MAX); // open last bucket
+        let mut out = String::new();
+        render_histogram("xar_decide_latency_ns", &h.snapshot(), &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), BUCKETS + 1, "every bucket plus _count");
+        assert_eq!(lines[0], "xar_decide_latency_ns_bucket{le=\"2\"} 1");
+        assert_eq!(lines[1], "xar_decide_latency_ns_bucket{le=\"4\"} 2");
+        assert_eq!(lines[BUCKETS - 1], "xar_decide_latency_ns_bucket{le=\"+Inf\"} 3");
+        assert_eq!(lines[BUCKETS], "xar_decide_latency_ns_count 3");
+    }
+
+    #[test]
+    fn shard_gauge_is_labeled() {
+        let mut out = String::new();
+        render_shard_gauge("shard_decides", 3, 11, &mut out);
+        assert_eq!(out, "xar_shard_decides{shard=\"3\"} 11\n");
+    }
+}

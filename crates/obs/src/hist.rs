@@ -1,0 +1,280 @@
+//! Mergeable log₂-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a write-side structure: `LANES` cache-line-padded
+//! lanes of `BUCKETS` relaxed atomic counters, so concurrent writers on
+//! different lanes never share a line. Bucket `i` covers nanosecond
+//! values in `(2^i, 2^(i+1)]` (value 0 is clamped into bucket 0); the
+//! last bucket is open-ended.
+//!
+//! Readers call [`Histogram::snapshot`], which folds every lane into a
+//! local `[u64; BUCKETS]` exactly once. All queries — `count`,
+//! `percentile` — then run against that owned [`HistSnapshot`], never
+//! re-loading atomics per bucket. Snapshots from different workers or
+//! shards [`HistSnapshot::merge`] bucket-exactly, which is what makes
+//! the per-op-class distributions aggregate across the daemon without
+//! coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets. Bucket `i < BUCKETS-1` has upper bound
+/// `2^(i+1)` ns; the last bucket is open (`u64::MAX` sentinel).
+pub const BUCKETS: usize = 40;
+
+/// Number of write lanes. Writers pick a lane (e.g. `stripe % LANES`)
+/// so concurrent recording does not contend on one cache line.
+pub const LANES: usize = 4;
+
+/// Log₂ bucket index for a nanosecond value (0 clamps to bucket 0).
+#[inline]
+pub fn bucket_of(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds; the open last
+/// bucket reports the `u64::MAX` sentinel.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+#[repr(align(128))]
+struct Lane {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Lane { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+/// Write-side histogram: `LANES` padded lanes of relaxed counters.
+pub struct Histogram {
+    lanes: [Lane; LANES],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { lanes: std::array::from_fn(|_| Lane::default()) }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one nanosecond observation into `lane` (wrapped mod
+    /// `LANES`). One relaxed `fetch_add`, no allocation.
+    #[inline]
+    pub fn record(&self, lane: usize, nanos: u64) {
+        self.record_n(lane, nanos, 1);
+    }
+
+    /// Record `n` identical observations at once (batch elections).
+    #[inline]
+    pub fn record_n(&self, lane: usize, nanos: u64, n: u64) {
+        self.lanes[lane % LANES].buckets[bucket_of(nanos)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold all lanes into an owned snapshot. Each atomic is loaded
+    /// exactly once; every subsequent query runs on the local array.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for lane in &self.lanes {
+            for (acc, b) in buckets.iter_mut().zip(lane.buckets.iter()) {
+                *acc = acc.wrapping_add(b.load(Ordering::Relaxed));
+            }
+        }
+        HistSnapshot { buckets }
+    }
+}
+
+/// Owned, mergeable point-in-time view of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot { buckets: [0; BUCKETS] }
+    }
+}
+
+impl HistSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    /// Bucket-wise sum with another snapshot. Merging per-worker
+    /// snapshots is exact: the result is identical to having recorded
+    /// every observation into a single histogram.
+    pub fn merge(mut self, other: &HistSnapshot) -> HistSnapshot {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (rank `ceil(count * q)`). Returns 0 on an empty snapshot and the
+    /// `u64::MAX` sentinel when the rank lands in the open last bucket.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil() as u64;
+        let rank = rank.clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.wrapping_add(c);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_edges_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 2);
+        assert_eq!(bucket_upper_bound(BUCKETS - 2), 1u64 << (BUCKETS - 1));
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(HistSnapshot::default().percentile(0.5), 0);
+        assert_eq!(HistSnapshot::default().percentile(0.99), 0);
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket() {
+        let h = Histogram::new();
+        h.record(0, 1);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.percentile(0.5), 2);
+        assert_eq!(s.percentile(0.99), 2);
+    }
+
+    #[test]
+    fn open_last_bucket_reports_sentinel() {
+        let h = Histogram::new();
+        h.record(1, u64::MAX);
+        h.record(2, 1u64 << 62);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.percentile(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn lanes_fold_into_one_snapshot() {
+        let h = Histogram::new();
+        for lane in 0..LANES {
+            h.record(lane, 100); // bucket 6: (64, 128]
+        }
+        h.record_n(7, 100, 5); // lane 7 % 4 == 3
+        let s = h.snapshot();
+        assert_eq!(s.count(), LANES as u64 + 5);
+        assert_eq!(s.buckets[bucket_of(100)], LANES as u64 + 5);
+    }
+
+    /// Merging N per-worker histograms must be count- and bucket-exact
+    /// versus recording the same observations into one histogram —
+    /// including the open `u64::MAX` bucket.
+    #[test]
+    fn merge_is_bucket_exact_vs_single_recording() {
+        let values: Vec<u64> = (0..500u64)
+            .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> (i % 40))
+            .chain([0, 1, 2, 3, u64::MAX, u64::MAX - 1, 1u64 << 63])
+            .collect();
+
+        let single = Histogram::new();
+        let workers: Vec<Histogram> = (0..7).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(i, v);
+            workers[i % workers.len()].record(i, v);
+        }
+
+        let merged = workers
+            .iter()
+            .map(|w| w.snapshot())
+            .fold(HistSnapshot::default(), |acc, s| acc.merge(&s));
+        let expect = single.snapshot();
+        assert_eq!(merged, expect, "bucket-exact merge");
+        assert_eq!(merged.count(), values.len() as u64, "count-exact merge");
+        assert_eq!(merged.percentile(1.0), u64::MAX, "open bucket survives merge");
+    }
+
+    #[test]
+    fn percentile_rank_uses_ceil() {
+        let h = Histogram::new();
+        // 3 samples in bucket 0 (le 2), 1 sample in bucket 4 (le 32).
+        h.record_n(0, 1, 3);
+        h.record(0, 20);
+        let s = h.snapshot();
+        // rank(0.5) = ceil(4 * 0.5) = 2 -> bucket 0.
+        assert_eq!(s.percentile(0.5), 2);
+        // rank(0.99) = ceil(3.96) = 4 -> bucket 4.
+        assert_eq!(s.percentile(0.99), 32);
+    }
+
+    /// Torn-read tolerance: snapshots taken while a writer hammers the
+    /// histogram must never panic, report monotonically non-decreasing
+    /// totals (each atomic is monotone and loaded in program order),
+    /// and converge to the exact count once the writer joins.
+    #[test]
+    fn snapshot_under_concurrent_writer_is_torn_read_tolerant() {
+        const WRITES: u64 = 200_000;
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..WRITES {
+                    h.record(i as usize, i ^ (i << 7));
+                }
+            })
+        };
+
+        let mut last_total = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let s = h.snapshot();
+            let total = s.count();
+            assert!(total >= last_total, "total went backwards: {last_total} -> {total}");
+            assert!(total <= WRITES);
+            let p = s.percentile(0.99);
+            if total > 0 {
+                assert!(p >= 2, "non-empty snapshot produced percentile {p}");
+            }
+            last_total = total;
+            if writer.is_finished() {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(h.snapshot().count(), WRITES);
+    }
+}

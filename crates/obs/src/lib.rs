@@ -1,0 +1,40 @@
+//! # xar-obs — dependency-free observability primitives
+//!
+//! The daemon's telemetry grew up in `xar-sched::metrics` as a pile of
+//! striped counters plus a 1-in-64 sampled p50/p99 pair, and every new
+//! counter re-widened the fixed-layout `Stats` wire frame. This crate
+//! is the extraction of that layer into reusable, dependency-free
+//! primitives:
+//!
+//! * [`hist`] — **mergeable log₂-bucketed histograms**. Writers record
+//!   into cache-line-padded lanes with relaxed stores; readers fold the
+//!   lanes *once* into an owned [`hist::HistSnapshot`] and query
+//!   percentiles against that local array. Snapshots merge across
+//!   workers/shards bucket-exactly.
+//! * [`trace`] — **lock-free SPSC event rings**. Each worker owns a
+//!   writer half recording typed [`Event`]s (one relaxed store-and-bump
+//!   when enabled, a single branch when disabled); a maintenance timer
+//!   drains the reader half into a shared bounded [`trace::TraceLog`]
+//!   serving `TRACE n`.
+//! * [`tags`] — the **StatsV2 tag registry**: stable `u16` ids for
+//!   every exported counter so the wire format is self-describing and
+//!   adding a counter never bumps the wire version again.
+//! * [`expo`] — **Prometheus-style text rendering** of tag/value pairs
+//!   and histogram buckets for the v1 `DUMP` command. Counter lines are
+//!   generated *from* the same pairs `StatsV2` ships, so the exposition
+//!   endpoint covers the wire op by construction.
+//!
+//! Everything here is `std`-only: no external crates, no allocation on
+//! the record paths.
+
+pub mod expo;
+pub mod hist;
+pub mod tags;
+pub mod trace;
+
+pub use expo::{render_counter, render_histogram, render_pairs, render_shard_gauge};
+pub use hist::{bucket_of, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS, LANES};
+pub use tags::{tag_name, TAGS};
+pub use trace::{
+    ring, Event, EventCounters, TraceLog, TraceReader, TraceWriter, TracedEvent, Tracer,
+};

@@ -442,6 +442,24 @@ impl V2Client {
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Fetches the self-describing statistics set: tagged
+    /// `(id, value)` pairs (see `xar_obs::tags` for the registry).
+    /// Unlike the frozen [`Self::stats`] reply, servers extend this
+    /// one freely — tags this client build does not know are preserved
+    /// in the returned pairs rather than rejected.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn stats_v2(&mut self) -> std::io::Result<wire::StatsV2> {
+        let range = self.roundtrip(&Request::StatsV2)?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::StatsV2(s) => Ok(s),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]

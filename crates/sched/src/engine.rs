@@ -36,7 +36,7 @@
 //! already-known app copies no string bytes — [`ReportOwned`] carries
 //! a refcount bump, not an owned `String`.
 
-use crate::metrics::{MetricsSnapshot, ShardMetrics};
+use crate::metrics::{MetricsSnapshot, ObsSnapshot, ShardMetrics};
 use crate::snapshot::{ArcCell, CachedSnap};
 use crate::wire::{WireQuery, WireReport};
 use parking_lot::Mutex;
@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Target};
+use xar_obs::{Event, Tracer};
 
 /// A threshold-table row as the engine and wire protocol see it.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -243,8 +244,12 @@ impl<P: PolicyCore> ShardedEngine<P> {
         self.batch
     }
 
+    fn shard_idx(&self, app: &str) -> usize {
+        shard_of(app, self.shards.len())
+    }
+
     fn shard(&self, app: &str) -> &Shard<P> {
-        &self.shards[shard_of(app, self.shards.len())]
+        &self.shards[self.shard_idx(app)]
     }
 
     /// Placement decision — the *shared* read path: a reader lock plus
@@ -292,7 +297,22 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// string bytes. Applies the shard's pending batch if it reached
     /// the configured size.
     pub fn ingest(&self, app: &str, target: Target, func_ms: f64, x86_load: u32) {
-        let shard = self.shard(app);
+        self.ingest_obs(app, target, func_ms, x86_load, None);
+    }
+
+    /// [`ShardedEngine::ingest`] with an optional tracer: a flush this
+    /// report triggers emits its `FlushPublish` event to the caller's
+    /// ring. The daemon's workers thread their per-worker tracer here.
+    pub fn ingest_obs(
+        &self,
+        app: &str,
+        target: Target,
+        func_ms: f64,
+        x86_load: u32,
+        obs: Option<&mut Tracer>,
+    ) {
+        let idx = self.shard_idx(app);
+        let shard = &self.shards[idx];
         let ready = {
             let mut pending = shard.pending.lock();
             let app = pending.intern(app);
@@ -301,14 +321,15 @@ impl<P: PolicyCore> ShardedEngine<P> {
             pending.queue.len() >= self.batch
         };
         if ready {
-            Self::flush_shard(shard);
+            Self::flush_shard(idx, shard, obs);
         }
     }
 
     /// Queues one owned completion report (see [`ShardedEngine::ingest`]
     /// for the borrowed path the daemon uses).
     pub fn report(&self, report: ReportOwned) {
-        let shard = self.shard(&report.app);
+        let idx = self.shard_idx(&report.app);
+        let shard = &self.shards[idx];
         let ReportOwned { app, target, func_ms, x86_load } = report;
         let ready = {
             let mut pending = shard.pending.lock();
@@ -318,7 +339,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             pending.queue.len() >= self.batch
         };
         if ready {
-            Self::flush_shard(shard);
+            Self::flush_shard(idx, shard, None);
         }
     }
 
@@ -347,7 +368,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             groups[shard_of(&r.app, self.shards.len())].push(r);
             n += 1;
         }
-        for (shard, group) in self.shards.iter().zip(groups) {
+        for (idx, (shard, group)) in self.shards.iter().zip(groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
@@ -362,7 +383,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
                 pending.queue.len() >= self.batch
             };
             if ready {
-                Self::flush_shard(shard);
+                Self::flush_shard(idx, shard, None);
             }
         }
         n
@@ -378,8 +399,19 @@ impl<P: PolicyCore> ShardedEngine<P> {
         scratch: &mut BatchScratch,
         reports: &[WireReport<'_>],
     ) -> usize {
+        self.report_batch_wire_obs(scratch, reports, None)
+    }
+
+    /// [`ShardedEngine::report_batch_wire`] with an optional tracer for
+    /// the `FlushPublish` events of any flushes the batch triggers.
+    pub fn report_batch_wire_obs(
+        &self,
+        scratch: &mut BatchScratch,
+        reports: &[WireReport<'_>],
+        mut obs: Option<&mut Tracer>,
+    ) -> usize {
         if let [r] = reports {
-            self.ingest(r.app, r.target, r.func_ms, r.x86_load);
+            self.ingest_obs(r.app, r.target, r.func_ms, r.x86_load, obs);
             return 1;
         }
         let shards = self.shards.len();
@@ -387,7 +419,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
         for (i, r) in reports.iter().enumerate() {
             scratch.groups[shard_of(r.app, shards)].push(i as u32);
         }
-        for (shard, group) in self.shards.iter().zip(&mut scratch.groups) {
+        for (idx, (shard, group)) in self.shards.iter().zip(&mut scratch.groups).enumerate() {
             if group.is_empty() {
                 continue;
             }
@@ -408,13 +440,13 @@ impl<P: PolicyCore> ShardedEngine<P> {
             };
             group.clear();
             if ready {
-                Self::flush_shard(shard);
+                Self::flush_shard(idx, shard, obs.as_deref_mut());
             }
         }
         reports.len()
     }
 
-    fn flush_shard(shard: &Shard<P>) {
+    fn flush_shard(idx: usize, shard: &Shard<P>, obs: Option<&mut Tracer>) {
         // Acquire the state lock BEFORE draining the queue: two
         // concurrent flushes that drained first could then race for
         // the state lock and apply their batches out of arrival
@@ -434,6 +466,11 @@ impl<P: PolicyCore> ShardedEngine<P> {
         if batch.is_empty() {
             return;
         }
+        // Flushes run at batch cadence (rare next to decides), so the
+        // apply loop and the snapshot publication are each timed
+        // unconditionally — these are the report_batch / flush_publish
+        // op-class distributions.
+        let apply_start = Instant::now();
         for r in &batch {
             state.apply(&CompletionReport {
                 app: &r.app,
@@ -442,14 +479,24 @@ impl<P: PolicyCore> ShardedEngine<P> {
                 x86_load: r.x86_load as usize,
             });
         }
+        let apply_ns = apply_start.elapsed().as_nanos() as u64;
+        let publish_start = Instant::now();
         shard.snap.store(state.snapshot());
+        let publish_ns = publish_start.elapsed().as_nanos() as u64;
         shard.metrics.record_batch(batch.len());
+        shard.metrics.record_flush_ns(apply_ns, publish_ns);
+        if let Some(tr) = obs {
+            tr.emit(Event::FlushPublish {
+                shard: idx as u32,
+                rows: batch.len().min(u32::MAX as usize) as u32,
+            });
+        }
     }
 
     /// Applies every pending report on every shard.
     pub fn flush(&self) {
-        for shard in &self.shards {
-            Self::flush_shard(shard);
+        for (idx, shard) in self.shards.iter().enumerate() {
+            Self::flush_shard(idx, shard, None);
         }
     }
 
@@ -457,9 +504,17 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// periodic-maintenance entry point: on an idle engine every shard
     /// is clean and the sweep costs one atomic load each, no locks.
     pub fn flush_dirty(&self) {
-        for shard in &self.shards {
+        self.flush_dirty_obs(None);
+    }
+
+    /// [`ShardedEngine::flush_dirty`] with an optional tracer: each
+    /// shard flushed emits a `FlushPublish` event carrying its applied
+    /// row count. The daemon's maintenance tick threads its per-worker
+    /// tracer here.
+    pub fn flush_dirty_obs(&self, mut obs: Option<&mut Tracer>) {
+        for (idx, shard) in self.shards.iter().enumerate() {
             if shard.dirty.load(Ordering::Acquire) {
-                Self::flush_shard(shard);
+                Self::flush_shard(idx, shard, obs.as_deref_mut());
             }
         }
     }
@@ -481,6 +536,21 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// Whole-engine metric totals.
     pub fn metrics_total(&self) -> MetricsSnapshot {
         self.metrics().into_iter().fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
+    }
+
+    /// Per-shard full latency distributions (one histogram snapshot per
+    /// op class).
+    pub fn obs(&self) -> Vec<ObsSnapshot> {
+        self.shards.iter().map(|s| s.metrics.obs_snapshot()).collect()
+    }
+
+    /// Whole-engine latency distributions — per-shard snapshots merged
+    /// bucket-exactly. This is what `StatsV2` quantiles and the `DUMP`
+    /// histogram buckets are computed from.
+    pub fn obs_total(&self) -> ObsSnapshot {
+        self.shards
+            .iter()
+            .fold(ObsSnapshot::default(), |acc, s| acc.merge(&s.metrics.obs_snapshot()))
     }
 }
 
@@ -531,6 +601,11 @@ impl<P: PolicyCore> DecideHandle<P> {
 
     /// Placement decision (wait-free steady state + sampled latency
     /// metric).
+    ///
+    /// Deliberately NOT routed through [`DecideHandle::decide_obs`]:
+    /// this body is the tracing-free compile-time baseline the
+    /// tracing-overhead benchmark measures the obs path against, so it
+    /// must stay byte-for-byte the pre-observability hot path.
     pub fn decide(&mut self, ctx: &DecideCtx<'_>) -> Decision {
         let idx = shard_of(ctx.app, self.engine.shards.len());
         let shard = &self.engine.shards[idx];
@@ -544,6 +619,27 @@ impl<P: PolicyCore> DecideHandle<P> {
             d.reconfigure,
             start.map(|s| s.elapsed().as_nanos() as u64),
         );
+        d
+    }
+
+    /// [`DecideHandle::decide`] with an optional tracer: a sampled
+    /// decide whose latency crosses the tracer's slow-decide threshold
+    /// emits a `SlowDecide` event. Metric counting is identical to the
+    /// plain path (same election cadence, same counters) — tracing
+    /// observes, it never changes what is counted. Unelected decides
+    /// pay one branch on the `Option` and nothing else.
+    pub fn decide_obs(&mut self, ctx: &DecideCtx<'_>, obs: Option<&mut Tracer>) -> Decision {
+        let idx = shard_of(ctx.app, self.engine.shards.len());
+        let shard = &self.engine.shards[idx];
+        let sampled = shard.metrics.note_decide(self.stripe);
+        let start = if sampled { Some(Instant::now()) } else { None };
+        let snap = self.caches[idx].get(&shard.snap);
+        let d = P::decide(snap, ctx);
+        let nanos = start.map(|s| s.elapsed().as_nanos() as u64);
+        shard.metrics.note_outcome(self.stripe, d.target, d.reconfigure, nanos);
+        if let (Some(tr), Some(ns)) = (obs, nanos) {
+            tr.slow_decide(ns);
+        }
         d
     }
 
@@ -575,6 +671,20 @@ impl<P: PolicyCore> DecideHandle<P> {
         queries: &[WireQuery<'_>],
         scratch: &'s mut DecideScratch,
     ) -> &'s [Decision] {
+        self.decide_batch_obs(queries, scratch, None)
+    }
+
+    /// [`DecideHandle::decide_batch`] with an optional tracer. Elected
+    /// (timed) groups additionally record their whole-group latency in
+    /// the decide-batch histogram and emit a `SlowDecide` event when
+    /// the amortized per-decide figure crosses the tracer's threshold.
+    /// Counting is identical to the plain path.
+    pub fn decide_batch_obs<'s>(
+        &mut self,
+        queries: &[WireQuery<'_>],
+        scratch: &'s mut DecideScratch,
+        mut obs: Option<&mut Tracer>,
+    ) -> &'s [Decision] {
         scratch.decisions.clear();
         let Some(first) = queries.first() else {
             return &scratch.decisions; // empty frame: nothing to count
@@ -585,7 +695,7 @@ impl<P: PolicyCore> DecideHandle<P> {
         if let [q] = queries {
             // Single-query batches ride the exact single-decide path
             // (same metrics election included) — pinned by test.
-            let d = self.decide(&q.ctx());
+            let d = self.decide_obs(&q.ctx(), obs);
             scratch.decisions.push(d);
             return &scratch.decisions;
         }
@@ -616,7 +726,15 @@ impl<P: PolicyCore> DecideHandle<P> {
                 reconfigs += u64::from(d.reconfigure);
                 scratch.decisions[i as usize] = d;
             }
-            let sampled = start.map(|s| (elected, s.elapsed().as_nanos() as u64 / n));
+            let sampled = start.map(|s| {
+                let group_ns = s.elapsed().as_nanos() as u64;
+                shard.metrics.record_decide_batch_ns(self.stripe, group_ns);
+                let per_decide_ns = group_ns / n;
+                if let Some(tr) = obs.as_deref_mut() {
+                    tr.slow_decide(per_decide_ns);
+                }
+                (elected, per_decide_ns)
+            });
             shard.metrics.note_outcomes(self.stripe, to_arm, to_fpga, reconfigs, sampled);
             group.clear();
         }
@@ -960,6 +1078,120 @@ mod tests {
             "all three reports share one interned allocation"
         );
         assert_eq!(pending.names.len(), 1);
+    }
+
+    fn tracer(threshold_ns: u64) -> (Tracer, xar_obs::TraceReader, Arc<xar_obs::EventCounters>) {
+        let (writer, reader) = xar_obs::ring(256);
+        let counters = Arc::new(xar_obs::EventCounters::default());
+        (Tracer::new(writer, 0, true, threshold_ns, counters.clone()), reader, counters)
+    }
+
+    #[test]
+    fn traced_flushes_emit_publish_events_with_row_counts() {
+        let e = engine(4, 64);
+        let (mut tr, mut reader, counters) = tracer(u64::MAX);
+        for i in 0..6 {
+            e.ingest_obs(&format!("app{i}"), Target::X86, 1.0, 1, Some(&mut tr));
+        }
+        e.flush_dirty_obs(Some(&mut tr));
+        let (mut publishes, mut rows) = (0u64, 0u64);
+        let mut shards_seen = std::collections::BTreeSet::new();
+        while let Some(ev) = reader.pop() {
+            if let Event::FlushPublish { shard, rows: r } = ev.event {
+                publishes += 1;
+                rows += r as u64;
+                shards_seen.insert(shard);
+            }
+        }
+        assert_eq!(rows, 6, "row counts must sum to the reports applied");
+        assert!((1..=4).contains(&publishes), "one publish per dirty shard: {publishes}");
+        assert_eq!(publishes, shards_seen.len() as u64, "one publish event per shard");
+        assert_eq!(counters.flush_rows.load(Ordering::Relaxed), 6);
+        // Each flush timed both phases into the op-class histograms.
+        let o = e.obs_total();
+        assert_eq!(o.report_batch.count(), publishes);
+        assert_eq!(o.flush_publish.count(), publishes);
+        // An untraced engine counts histograms but emits no events.
+        e.flush_dirty_obs(Some(&mut tr));
+        assert_eq!(counters.flush_publishes.load(Ordering::Relaxed), publishes, "clean: no-op");
+    }
+
+    #[test]
+    fn slow_sampled_decides_emit_events() {
+        let e = std::sync::Arc::new(engine(1, 1));
+        let mut h = e.handle();
+        // Threshold 0: every *sampled* decide is "slow". The first
+        // decide of an idle stripe is always elected.
+        let (mut tr, mut reader, counters) = tracer(0);
+        h.decide_obs(&ctx("app"), Some(&mut tr));
+        assert_eq!(counters.slow_decides.load(Ordering::Relaxed), 1);
+        match reader.pop().map(|e| e.event) {
+            Some(Event::SlowDecide { .. }) => {}
+            other => panic!("expected SlowDecide, got {other:?}"),
+        }
+        // The next 63 decides are unelected: no clock, no event.
+        for _ in 0..63 {
+            h.decide_obs(&ctx("app"), Some(&mut tr));
+        }
+        assert_eq!(counters.slow_decides.load(Ordering::Relaxed), 1);
+        // With an unreachable threshold nothing emits even when sampled.
+        let (mut quiet, _qreader, qcounters) = tracer(u64::MAX);
+        h.decide_obs(&ctx("app"), Some(&mut quiet)); // decide 64: elected
+        assert_eq!(qcounters.slow_decides.load(Ordering::Relaxed), 0);
+        let m = e.metrics_total();
+        assert_eq!(m.decides, 65, "tracing never changes what is counted");
+        assert_eq!(m.lat_samples, 2, "elections 0 and 64");
+    }
+
+    #[test]
+    fn decide_obs_counts_exactly_like_decide() {
+        let traced = std::sync::Arc::new(engine(4, 1));
+        let plain = std::sync::Arc::new(engine(4, 1));
+        let mut ht = traced.handle();
+        let mut hp = plain.handle();
+        let (mut tr, _reader, _counters) = tracer(u64::MAX);
+        for i in 0..130 {
+            let app = format!("app{}", i % 5);
+            let want = hp.decide(&ctx(&app));
+            let got = ht.decide_obs(&ctx(&app), Some(&mut tr));
+            assert_eq!(got, want);
+        }
+        let (mt, mp) = (traced.metrics_total(), plain.metrics_total());
+        assert_eq!(mt.decides, mp.decides);
+        assert_eq!(mt.lat_samples, mp.lat_samples, "same election cadence");
+        assert_eq!(mt.to_fpga, mp.to_fpga);
+    }
+
+    #[test]
+    fn traced_decide_batch_records_frame_latency_when_elected() {
+        let e = std::sync::Arc::new(engine(4, 1));
+        let mut h = e.handle();
+        let mut scratch = DecideScratch::default();
+        let apps: Vec<String> = (0..10).map(|i| format!("app{i}")).collect();
+        let queries: Vec<WireQuery<'_>> = apps.iter().map(|a| query(a)).collect();
+        let (mut tr, _reader, _counters) = tracer(u64::MAX);
+        let plain = std::sync::Arc::new(engine(4, 1));
+        let mut hp = plain.handle();
+        let mut pscratch = DecideScratch::default();
+        let want = hp.decide_batch(&queries, &mut pscratch).to_vec();
+        let got = h.decide_batch_obs(&queries, &mut scratch, Some(&mut tr)).to_vec();
+        assert_eq!(got, want, "traced batch decisions drifted from the plain path");
+        // Quantiles are wall-clock and may differ; every count must not.
+        let zero_lat = |mut m: MetricsSnapshot| {
+            m.p50_ns = 0;
+            m.p99_ns = 0;
+            m
+        };
+        assert_eq!(
+            zero_lat(e.metrics_total()),
+            zero_lat(plain.metrics_total()),
+            "identical counting"
+        );
+        // First-touch groups all elected: each group recorded one
+        // whole-frame figure.
+        let o = e.obs_total();
+        assert!(o.decide_batch.count() >= 1, "elected groups record frame latency");
+        assert_eq!(plain.obs_total().decide_batch.count(), o.decide_batch.count());
     }
 
     #[test]

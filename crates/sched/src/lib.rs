@@ -8,9 +8,9 @@
 //!
 //! * [`wire`] — **binary wire protocol v2**: length-prefixed frames
 //!   (`Decide` / `Report` / `BatchReport` / `TableSnapshot` / `Ping` /
-//!   `Stats` / `DecideBatch`), a zero-copy decoder, and a versioned
-//!   handshake. Legacy v1 text clients are detected from their first
-//!   bytes and served on the same port.
+//!   `Stats` / `DecideBatch` / `StatsV2`), a zero-copy decoder, and a
+//!   versioned handshake. Legacy v1 text clients are detected from
+//!   their first bytes and served on the same port.
 //! * [`engine`] — the **sharded policy engine**: per-app-group shards,
 //!   each owning a policy instance, with a generation-gated snapshot
 //!   ([`snapshot::ArcCell`] + [`snapshot::CachedSnap`]) giving each
@@ -31,7 +31,9 @@
 //!   timeouts and write-stall deadlines reap dead peers, and
 //!   `max_connections` admission control parks the listener at the
 //!   cap instead of running into fd exhaustion — all observable via
-//!   the v2 `Stats` command.
+//!   the v2 `Stats`/`StatsV2` commands, the Prometheus-style v1
+//!   `DUMP` exposition, and per-worker `xar-obs` trace rings served
+//!   by v1 `TRACE n`.
 //! * [`client`] — the blocking v2 client for application binaries,
 //!   plus the batched decide pipeline for high-rate callers:
 //!   `decide_batch` (up to 4096 queries per frame, once-per-batch
@@ -61,8 +63,12 @@ pub use engine::{
     shard_of, BatchScratch, DecideHandle, DecideScratch, EngineConfig, PolicyCore, ReportOwned,
     ShardedEngine, TableEntry,
 };
-pub use metrics::{MetricsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
+pub use metrics::{MetricsSnapshot, ObsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{ArcCell, CachedSnap};
-pub use wire::{DaemonStats, WireQuery};
+pub use wire::{DaemonStats, StatsV2, WireQuery};
+/// The dependency-free observability toolkit (trace rings, mergeable
+/// histograms, the `StatsV2` tag registry, text exposition) the daemon
+/// is instrumented with, re-exported for clients and tools.
+pub use xar_obs as obs;
 pub use xar_reactor::BackendKind;

@@ -1,20 +1,26 @@
-//! Per-shard telemetry: decision counters, migration counters, and a
-//! log₂-bucketed decide-latency histogram giving p50/p99 without
-//! storing samples. All counters are relaxed atomics — the hot path
-//! adds a handful of uncontended `fetch_add`s.
+//! Per-shard telemetry: decision counters, migration counters, and
+//! per-op-class latency histograms — a facade over the dependency-free
+//! [`xar_obs`] primitives. All counters are relaxed atomics — the hot
+//! path adds a handful of uncontended `fetch_add`s.
 //!
-//! Latency is *sampled*: timing a decide costs two `clock_gettime`
-//! calls, which at millions of decides per second is a real tax on the
-//! path the histogram is supposed to observe. [`ShardMetrics::note_decide`]
-//! elects 1 in [`LATENCY_SAMPLE`] decides (always including a shard's
-//! first) for timing; decide/migration/reconfig counters stay exact.
+//! Latency distributions are [`xar_obs::Histogram`]s, one per op class
+//! (decide, decide-batch frame, report-batch apply, flush-publish):
+//! full mergeable log₂-bucketed distributions, not just a p50/p99 pair.
+//! The legacy [`MetricsSnapshot`] view (which the frozen `Stats` wire
+//! reply carries) is derived from the decide histogram; the full
+//! distributions surface through [`ObsSnapshot`] into `StatsV2` and
+//! the v1 `DUMP` exposition.
+//!
+//! Decide latency is *sampled*: timing a decide costs two
+//! `clock_gettime` calls, which at millions of decides per second is a
+//! real tax on the path the histogram is supposed to observe.
+//! [`ShardMetrics::note_decide`] elects 1 in [`LATENCY_SAMPLE`]
+//! decides (always including a shard's first) for timing;
+//! decide/migration/reconfig counters stay exact.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use xar_desim::Target;
-
-/// Number of log₂ latency buckets; bucket `i` covers `[2^i, 2^(i+1))`
-/// nanoseconds, the last bucket is open-ended (≈ 9 minutes and up).
-const BUCKETS: usize = 40;
+use xar_obs::{HistSnapshot, Histogram};
 
 /// One decide in `LATENCY_SAMPLE` is latency-timed (each stripe's
 /// exact decide counter drives the election, always sampling a
@@ -41,13 +47,22 @@ struct Stripe {
 }
 
 /// Live counters for one policy shard.
-#[derive(Debug)]
 pub struct ShardMetrics {
     stripes: [Stripe; STRIPES],
     reports: AtomicU64,
     batches: AtomicU64,
     decide_batches: AtomicU64,
-    latency: [AtomicU64; BUCKETS],
+    /// Sampled decide latency (1 in [`LATENCY_SAMPLE`]); the source of
+    /// the legacy p50/p99 pair and the `decide` distribution.
+    decide_hist: Histogram,
+    /// Whole-frame `DecideBatch` latency, recorded when a frame's
+    /// election count is nonzero (same sampling economy as decides).
+    decide_batch_hist: Histogram,
+    /// Report-batch apply-loop latency (every flush — flushes are rare
+    /// enough to time unconditionally).
+    report_batch_hist: Histogram,
+    /// Snapshot publication latency (every flush).
+    flush_publish_hist: Histogram,
 }
 
 impl Default for ShardMetrics {
@@ -57,7 +72,10 @@ impl Default for ShardMetrics {
             reports: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             decide_batches: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            decide_hist: Histogram::new(),
+            decide_batch_hist: Histogram::new(),
+            report_batch_hist: Histogram::new(),
+            flush_publish_hist: Histogram::new(),
         }
     }
 }
@@ -80,12 +98,12 @@ impl ShardMetrics {
     /// the decide count.
     pub fn note_outcome(
         &self,
-        stripe: usize,
+        stripe_idx: usize,
         target: Target,
         reconfigure: bool,
         nanos: Option<u64>,
     ) {
-        let stripe = &self.stripes[stripe % STRIPES];
+        let stripe = &self.stripes[stripe_idx % STRIPES];
         match target {
             Target::X86 => {}
             Target::Arm => {
@@ -99,10 +117,9 @@ impl ShardMetrics {
             stripe.reconfigs.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(nanos) = nanos {
-            // Sampled 1-in-LATENCY_SAMPLE: low enough traffic that the
-            // histogram stays unstriped.
-            let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-            self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+            // Sampled 1-in-LATENCY_SAMPLE: the histogram lane keyed by
+            // the caller's stripe keeps concurrent samplers apart.
+            self.decide_hist.record(stripe_idx, nanos);
         }
     }
 
@@ -152,13 +169,13 @@ impl ShardMetrics {
     /// histogram at that value.
     pub fn note_outcomes(
         &self,
-        stripe: usize,
+        stripe_idx: usize,
         to_arm: u64,
         to_fpga: u64,
         reconfigs: u64,
         sampled: Option<(u64, u64)>,
     ) {
-        let stripe = &self.stripes[stripe % STRIPES];
+        let stripe = &self.stripes[stripe_idx % STRIPES];
         if to_arm > 0 {
             stripe.to_arm.fetch_add(to_arm, Ordering::Relaxed);
         }
@@ -170,16 +187,34 @@ impl ShardMetrics {
         }
         if let Some((count, nanos)) = sampled {
             if count > 0 {
-                let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-                self.latency[bucket].fetch_add(count, Ordering::Relaxed);
+                self.decide_hist.record_n(stripe_idx, nanos, count);
             }
         }
     }
 
+    /// Records one `DecideBatch` frame's whole-frame handling latency.
+    /// Recorded only for frames whose election count was nonzero — the
+    /// same 1-in-[`LATENCY_SAMPLE`] economy as single decides, so the
+    /// clock stays off most frames.
+    pub fn record_decide_batch_ns(&self, stripe: usize, nanos: u64) {
+        self.decide_batch_hist.record(stripe, nanos);
+    }
+
+    /// Records one shard flush: the apply-loop time over the drained
+    /// batch and the snapshot publication time. Flushes happen at batch
+    /// cadence (hundreds of reports each), so both are timed
+    /// unconditionally.
+    pub fn record_flush_ns(&self, apply_ns: u64, publish_ns: u64) {
+        self.report_batch_hist.record(0, apply_ns);
+        self.flush_publish_hist.record(0, publish_ns);
+    }
+
     /// A consistent-enough copy of the counters for reporting (stripes
-    /// summed).
+    /// summed). The histogram lanes are folded into a local snapshot
+    /// exactly once; both quantiles query that owned array — no
+    /// per-bucket atomic re-loads.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let latency: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let lat = self.decide_hist.snapshot();
         let sum = |field: fn(&Stripe) -> &AtomicU64| {
             self.stripes.iter().map(|s| field(s).load(Ordering::Relaxed)).sum()
         };
@@ -191,31 +226,48 @@ impl ShardMetrics {
             to_arm: sum(|s| &s.to_arm),
             to_fpga: sum(|s| &s.to_fpga),
             reconfigs: sum(|s| &s.reconfigs),
-            lat_samples: latency.iter().sum(),
-            p50_ns: percentile(&latency, 0.50),
-            p99_ns: percentile(&latency, 0.99),
+            lat_samples: lat.count(),
+            p50_ns: lat.percentile(0.50),
+            p99_ns: lat.percentile(0.99),
+        }
+    }
+
+    /// Full per-op-class latency distributions — the observability view
+    /// the legacy [`MetricsSnapshot`] p50/p99 pair cannot carry.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            decide: self.decide_hist.snapshot(),
+            decide_batch: self.decide_batch_hist.snapshot(),
+            report_batch: self.report_batch_hist.snapshot(),
+            flush_publish: self.flush_publish_hist.snapshot(),
         }
     }
 }
 
-/// Upper bound of the bucket containing quantile `q`. The last bucket
-/// is open-ended — it has no real upper bound — so mass landing there
-/// reports the [`u64::MAX`] sentinel ("beyond the histogram's range")
-/// instead of pretending `2^BUCKETS` ns bounds it.
-fn percentile(buckets: &[u64], q: f64) -> u64 {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (total as f64 * q).ceil() as u64;
-    let mut seen = 0;
-    for (i, &count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return if i + 1 >= buckets.len() { u64::MAX } else { 1u64 << (i + 1) };
+/// Full latency distributions for one shard (or, merged, the whole
+/// engine): one mergeable histogram snapshot per op class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Sampled single-decide handling latency.
+    pub decide: HistSnapshot,
+    /// Whole-frame `DecideBatch` handling latency (sampled frames).
+    pub decide_batch: HistSnapshot,
+    /// Report-batch apply-loop latency per flush.
+    pub report_batch: HistSnapshot,
+    /// Snapshot publication latency per flush.
+    pub flush_publish: HistSnapshot,
+}
+
+impl ObsSnapshot {
+    /// Bucket-exact element-wise merge (for whole-engine totals).
+    pub fn merge(self, other: &ObsSnapshot) -> ObsSnapshot {
+        ObsSnapshot {
+            decide: self.decide.merge(&other.decide),
+            decide_batch: self.decide_batch.merge(&other.decide_batch),
+            report_batch: self.report_batch.merge(&other.report_batch),
+            flush_publish: self.flush_publish.merge(&other.flush_publish),
         }
     }
-    u64::MAX
 }
 
 /// A point-in-time copy of one shard's counters.
@@ -448,5 +500,42 @@ mod tests {
         let s = m.snapshot();
         assert!(s.p50_ns <= 2_048, "{}", s.p50_ns);
         assert_eq!(s.p99_ns, u64::MAX, "2/100 samples off the scale");
+    }
+
+    #[test]
+    fn obs_snapshot_carries_all_four_op_classes() {
+        let m = ShardMetrics::default();
+        m.record_decide(Target::X86, false, 100);
+        m.record_decide_batch_ns(3, 5_000);
+        m.record_flush_ns(700, 90);
+        let o = m.obs_snapshot();
+        assert_eq!(o.decide.count(), 1);
+        assert_eq!(o.decide_batch.count(), 1);
+        assert_eq!(o.report_batch.count(), 1);
+        assert_eq!(o.flush_publish.count(), 1);
+        assert!(o.decide_batch.percentile(0.5) >= 5_000);
+        assert!(o.flush_publish.percentile(0.5) <= 128);
+    }
+
+    /// Merging per-shard `ObsSnapshot`s must equal recording everything
+    /// into one shard — the cross-worker aggregation the `DUMP` /
+    /// `StatsV2` totals rely on.
+    #[test]
+    fn obs_snapshots_merge_exactly_across_shards() {
+        let shards: Vec<ShardMetrics> = (0..4).map(|_| ShardMetrics::default()).collect();
+        let one = ShardMetrics::default();
+        for i in 0..200u64 {
+            let ns = 1u64 << (i % 45); // spills into the open last bucket
+            shards[(i % 4) as usize].record_decide(Target::Arm, false, ns);
+            one.record_decide(Target::Arm, false, ns);
+            shards[(i % 4) as usize].record_flush_ns(ns, ns / 2);
+            one.record_flush_ns(ns, ns / 2);
+        }
+        let merged = shards
+            .iter()
+            .map(|s| s.obs_snapshot())
+            .fold(ObsSnapshot::default(), |acc, s| acc.merge(&s));
+        assert_eq!(merged, one.obs_snapshot());
+        assert_eq!(merged.decide.count(), 200);
     }
 }

@@ -29,6 +29,7 @@
 
 use crate::engine::{BatchScratch, DecideHandle, DecideScratch, PolicyCore, ShardedEngine};
 use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
+use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -38,6 +39,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use xar_desim::DecideCtx;
+use xar_obs::{Event as TraceEvent, EventCounters, TraceLog, TraceReader, Tracer};
 use xar_reactor::{BackendKind, Event, Interest, Reactor, Token, Waker};
 
 /// Connection-layer tuning knobs.
@@ -91,6 +93,28 @@ pub struct ServerConfig {
     /// path; a reaped connection re-arms the listener. `usize::MAX`
     /// (the default) means uncapped.
     pub max_connections: usize,
+    /// Master switch for event tracing. Enabled, each worker records
+    /// typed events (accepts, reaps, flush publishes, backpressure
+    /// pauses/resumes, protocol errors, slow decides) into its
+    /// lock-free SPSC trace ring at the cost of one relaxed counter
+    /// bump and one ring store per event; disabled, every trace point
+    /// in the hot path is a single predictable branch.
+    pub trace: bool,
+    /// Capacity (events) of each worker's trace ring, rounded up to a
+    /// power of two. The worker's maintenance tick drains the ring
+    /// into the shared trace log, so it only needs to hold about one
+    /// flush interval's worth of events; overflow drops (and counts)
+    /// rather than blocks — tracing never backpressures the data path
+    /// it observes.
+    pub trace_capacity: usize,
+    /// Capacity (events) of the shared bounded log behind the v1
+    /// `TRACE n` command; oldest entries are evicted beyond it.
+    pub trace_log_capacity: usize,
+    /// Slow-decide threshold in nanoseconds: a *sampled* decide (the
+    /// engine clocks 1 in 64) at or above it emits a `slow_decide`
+    /// trace event. `u64::MAX` silences the events without touching
+    /// the rest of tracing.
+    pub slow_decide_ns: u64,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +128,10 @@ impl Default for ServerConfig {
             flush_interval: Duration::from_millis(100),
             idle_timeout: None,
             max_connections: usize::MAX,
+            trace: true,
+            trace_capacity: 1024,
+            trace_log_capacity: 4096,
+            slow_decide_ns: 1_000_000,
         }
     }
 }
@@ -185,10 +213,23 @@ struct WorkerCtx<P: PolicyCore> {
     /// Wakes the acceptor after a reap so a listener parked at the
     /// connection cap resumes accepting.
     acceptor: Waker,
+    /// This worker's tracing front door: the writer half of its SPSC
+    /// ring plus the enable flag and slow-decide threshold.
+    tracer: Tracer,
+    /// Consumer half of this worker's trace ring; drained into
+    /// `trace_log` by the maintenance tick and by trace queries.
+    trace_reader: TraceReader,
+    /// The shared bounded event log behind the v1 `TRACE n` command.
+    trace_log: Arc<TraceLog>,
     config: ServerConfig,
 }
 
 impl<P: PolicyCore> WorkerCtx<P> {
+    /// Drains this worker's trace ring into the shared log.
+    fn drain_trace(&mut self) {
+        self.trace_log.drain_from(&mut self.trace_reader);
+    }
+
     /// Records one reaped connection and, when an admission cap is
     /// configured, nudges the acceptor (the freed slot may be what it
     /// is parked on).
@@ -326,6 +367,8 @@ impl<P: PolicyCore> Server<P> {
         let mut acceptor = Reactor::with_backend(config.backend)?;
         acceptor.register(listener.as_raw_fd(), Token(0), Interest::READ)?;
         let counters = Arc::new(ConnCounters::default());
+        let obs_counters = Arc::new(EventCounters::default());
+        let trace_log = Arc::new(TraceLog::new(config.trace_log_capacity));
         let mut handles = Vec::with_capacity(workers + 1);
         let mut wakers = Vec::with_capacity(workers + 1);
         let mut worker_ports: Vec<(Sender<TcpStream>, Waker)> = Vec::with_capacity(workers);
@@ -333,6 +376,7 @@ impl<P: PolicyCore> Server<P> {
             let (tx, rx) = std::sync::mpsc::channel();
             worker_ports.push((tx, reactor.waker()));
             wakers.push(reactor.waker());
+            let (trace_writer, trace_reader) = xar_obs::ring(config.trace_capacity);
             let ctx = WorkerCtx {
                 handle: engine.handle(),
                 scratch: BatchScratch::default(),
@@ -340,6 +384,15 @@ impl<P: PolicyCore> Server<P> {
                 engine: engine.clone(),
                 counters: counters.clone(),
                 acceptor: acceptor.waker(),
+                tracer: Tracer::new(
+                    trace_writer,
+                    w as u16,
+                    config.trace,
+                    config.slow_decide_ns,
+                    obs_counters.clone(),
+                ),
+                trace_reader,
+                trace_log: trace_log.clone(),
                 config,
             };
             let stop = stop.clone();
@@ -353,11 +406,33 @@ impl<P: PolicyCore> Server<P> {
         wakers.push(acceptor.waker());
         let stop2 = stop.clone();
         let counters2 = counters.clone();
+        // The acceptor gets its own ring (worker id = `workers`) so
+        // rejection events never contend with a worker's producer side.
+        let (a_writer, a_reader) = xar_obs::ring(config.trace_capacity);
+        let acceptor_trace = AcceptorTrace {
+            tracer: Tracer::new(
+                a_writer,
+                workers as u16,
+                config.trace,
+                config.slow_decide_ns,
+                obs_counters,
+            ),
+            reader: a_reader,
+            log: trace_log,
+        };
         handles.push(
             std::thread::Builder::new()
                 .name("xar-sched-acceptor".into())
                 .spawn(move || {
-                    accept_loop(listener, worker_ports, stop2, acceptor, counters2, config)
+                    accept_loop(
+                        listener,
+                        worker_ports,
+                        stop2,
+                        acceptor,
+                        counters2,
+                        config,
+                        acceptor_trace,
+                    )
                 })
                 .expect("spawn acceptor"),
         );
@@ -400,6 +475,23 @@ impl<P: PolicyCore> Drop for Server<P> {
     }
 }
 
+/// The acceptor thread's tracing bundle: its own ring plus the shared
+/// log it drains into. Rejections are rare (admission failures only),
+/// so each one is pushed and drained to the log in the same breath —
+/// no maintenance tick needed on the acceptor.
+struct AcceptorTrace {
+    tracer: Tracer,
+    reader: TraceReader,
+    log: Arc<TraceLog>,
+}
+
+impl AcceptorTrace {
+    fn reject(&mut self) {
+        self.tracer.emit(TraceEvent::Reject);
+        self.log.drain_from(&mut self.reader);
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     workers: Vec<(Sender<TcpStream>, Waker)>,
@@ -407,6 +499,7 @@ fn accept_loop(
     mut reactor: Reactor,
     counters: Arc<ConnCounters>,
     config: ServerConfig,
+    mut trace: AcceptorTrace,
 ) {
     let (mut events, mut expired) = (Vec::new(), Vec::new());
     let mut next = 0usize;
@@ -448,6 +541,7 @@ fn accept_loop(
                     let _ = stream.set_nodelay(true);
                     if stream.set_nonblocking(true).is_err() {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        trace.reject();
                         continue;
                     }
                     // Round-robin, skipping workers whose channel is
@@ -469,6 +563,7 @@ fn accept_loop(
                     }
                     if stream.is_some() {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        trace.reject();
                         return; // no live workers remain
                     }
                 }
@@ -522,6 +617,11 @@ fn worker_loop<P: PolicyCore>(
                     if let Some(idle) = ctx.config.idle_timeout {
                         reactor.set_timer(idle_token(slot), idle);
                     }
+                    // Accept is traced by the adopting worker (not the
+                    // acceptor) so a connection's whole lifecycle —
+                    // accept through reap — sits in one worker's ring,
+                    // in order.
+                    ctx.tracer.emit(TraceEvent::Accept { conn: slot as u64 });
                     // Serve immediately: the client may have sent its
                     // handshake before we registered.
                     service(&mut slab, &mut reactor, &mut ctx, slot);
@@ -537,9 +637,12 @@ fn worker_loop<P: PolicyCore>(
             service(&mut slab, &mut reactor, &mut ctx, ev.token.0);
         }
         for t in &expired {
-            // Maintenance tick: sweep the engine's dirty shards.
+            // Maintenance tick: sweep the engine's dirty shards (any
+            // publish emits a flush_publish trace event), then drain
+            // this worker's trace ring into the shared log.
             if *t == MAINT_TOKEN {
-                ctx.engine.flush_dirty();
+                ctx.engine.flush_dirty_obs(Some(&mut ctx.tracer));
+                ctx.drain_trace();
                 continue;
             }
             // Idle deadline: a full window passed — reap only if the
@@ -552,7 +655,7 @@ fn worker_loop<P: PolicyCore>(
                 if let Some(conn) = slab.get_mut(slot) {
                     let active = conn.read_total != conn.idle_mark;
                     if !active && !conn.closed && conn.flushed() {
-                        reap(&mut slab, &mut reactor, &ctx, slot);
+                        reap(&mut slab, &mut reactor, &mut ctx, slot);
                     } else if let Some(idle) = ctx.config.idle_timeout {
                         conn.idle_mark = conn.read_total;
                         reactor.set_timer(idle_token(slot), idle);
@@ -591,19 +694,26 @@ fn service<P: PolicyCore>(
     let Some(conn) = slab.get_mut(slot) else {
         return; // reaped earlier this iteration; stale event
     };
-    pump(conn, ctx);
+    pump(conn, ctx, slot);
     if conn.dead || (conn.closed && conn.flushed() && !has_complete_input(conn)) {
         reap(slab, reactor, ctx, slot);
         return;
     }
     // Backpressure via interest re-arm: while replies are backed up we
     // watch for writability only (no reads — TCP pushes back on the
-    // client); once flushed we watch for the next request.
+    // client); once flushed we watch for the next request. Each flip
+    // is a traced pause/resume: the re-arm is exactly the moment reads
+    // stop (or restart) for this connection.
     let desired = if conn.flushed() { Interest::READ } else { Interest::WRITE };
     if desired != conn.interest {
         let fd = conn.stream.as_raw_fd();
         if reactor.reregister(fd, Token(slot), desired).is_ok() {
             conn.interest = desired;
+            ctx.tracer.emit(if desired == Interest::WRITE {
+                TraceEvent::PauseWrites { conn: slot as u64 }
+            } else {
+                TraceEvent::ResumeReads { conn: slot as u64 }
+            });
         } else {
             reap(slab, reactor, ctx, slot);
             return;
@@ -625,13 +735,20 @@ fn service<P: PolicyCore>(
 }
 
 /// Tears one connection down: drops it from the slab, clears its
-/// reactor state (registration and both timers), and counts the reap.
-fn reap<P: PolicyCore>(slab: &mut Slab, reactor: &mut Reactor, ctx: &WorkerCtx<P>, slot: usize) {
+/// reactor state (registration and both timers), and counts (and
+/// traces) the reap.
+fn reap<P: PolicyCore>(
+    slab: &mut Slab,
+    reactor: &mut Reactor,
+    ctx: &mut WorkerCtx<P>,
+    slot: usize,
+) {
     let conn = slab.remove(slot).expect("slot occupied");
     // Deregistering cancels the slot-token (write-stall) timer; the
     // idle deadline lives under its own token.
     let _ = reactor.deregister(conn.stream.as_raw_fd(), Token(slot));
     reactor.cancel_timer(idle_token(slot));
+    ctx.tracer.emit(TraceEvent::Reap { conn: slot as u64 });
     ctx.note_reaped();
 }
 
@@ -639,7 +756,7 @@ fn reap<P: PolicyCore>(slab: &mut Slab, reactor: &mut Reactor, ctx: &WorkerCtx<P
 /// buffered complete input remains and the socket keeps absorbing the
 /// replies (the outbuf high-water cap pauses processing; this loop
 /// resumes it as the backlog drains).
-fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
+fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usize) {
     let cap = ctx.config.outbuf_high_water;
     loop {
         // Ingest gate: while replies are stuck in outbuf (peer not
@@ -653,8 +770,8 @@ fn pump<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
                 classify(conn);
             }
             match conn.proto {
-                Proto::V2 => process_v2(conn, ctx),
-                Proto::V1 => process_v1(conn, ctx),
+                Proto::V2 => process_v2(conn, ctx, slot),
+                Proto::V1 => process_v1(conn, ctx, slot),
                 Proto::Undetermined => {}
             }
         }
@@ -858,7 +975,7 @@ fn classify(conn: &mut Conn) {
 
 /// Handles buffered complete v2 frames, pausing at the outbuf
 /// high-water cap ([`pump`]'s loop resumes once the backlog drains).
-fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
+fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usize) {
     let cap = ctx.config.outbuf_high_water;
     // Track an offset and drain once: per-frame draining would memmove
     // the remaining buffer for every frame of a pipelined burst.
@@ -872,6 +989,7 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
             Ok(None) => break,
             Err(_) => {
                 wire::encode_response(&Response::Err("oversized frame"), &mut conn.outbuf);
+                ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
                 conn.closed = true;
                 // Discard the poisoned input: re-scanning it on a later
                 // pump would emit the diagnostic again.
@@ -884,6 +1002,7 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
             Ok(req) => handle_v2(&req, ctx, &mut conn.outbuf),
             Err(e) => {
                 wire::encode_response(&Response::Err(&e.to_string()), &mut conn.outbuf);
+                ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
             }
         }
         at += consumed;
@@ -895,15 +1014,18 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
     match req {
         Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
             // The worker's cached handle: wait-free against publishes.
-            let d = ctx.handle.decide(&DecideCtx {
-                app,
-                kernel,
-                x86_load: *x86_load as usize,
-                arm_load: *arm_load as usize,
-                kernel_resident: *kernel_resident,
-                device_ready: *device_ready,
-                now_ns: 0.0,
-            });
+            let d = ctx.handle.decide_obs(
+                &DecideCtx {
+                    app,
+                    kernel,
+                    x86_load: *x86_load as usize,
+                    arm_load: *arm_load as usize,
+                    kernel_resident: *kernel_resident,
+                    device_ready: *device_ready,
+                    now_ns: 0.0,
+                },
+                Some(&mut ctx.tracer),
+            );
             wire::encode_response(
                 &Response::Decide { target: d.target, reconfigure: d.reconfigure },
                 out,
@@ -913,7 +1035,7 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
             // Grouped once-per-batch snapshot revalidation in the
             // engine, then the reply streams straight into the outbuf
             // via the frame writer — no intermediate encoded Vec.
-            let ds = ctx.handle.decide_batch(qs, &mut ctx.dscratch);
+            let ds = ctx.handle.decide_batch_obs(qs, &mut ctx.dscratch, Some(&mut ctx.tracer));
             let mut w = wire::DecideBatchReplyWriter::begin(out, ds.len());
             for d in ds {
                 w.push(d);
@@ -922,11 +1044,11 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
         }
         Request::Report(r) => {
             // Borrowed ingest: the engine interns the app name.
-            ctx.engine.ingest(r.app, r.target, r.func_ms, r.x86_load);
+            ctx.engine.ingest_obs(r.app, r.target, r.func_ms, r.x86_load, Some(&mut ctx.tracer));
             wire::encode_response(&Response::Ack(1), out);
         }
         Request::BatchReport(rs) => {
-            let n = ctx.engine.report_batch_wire(&mut ctx.scratch, rs);
+            let n = ctx.engine.report_batch_wire_obs(&mut ctx.scratch, rs, Some(&mut ctx.tracer));
             wire::encode_response(&Response::Ack(n as u32), out);
         }
         Request::Table => {
@@ -956,14 +1078,64 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
                 out,
             );
         }
+        Request::StatsV2 => {
+            let pairs = collect_stats_v2(ctx);
+            wire::encode_response(&Response::StatsV2(wire::StatsV2 { pairs }), out);
+        }
     }
+}
+
+/// Assembles the `(tag, value)` pairs for the `StatsV2` reply. The v1
+/// `DUMP` command renders its counter lines from this same list (via
+/// [`xar_obs::render_pairs`]), so the wire op and the text endpoint
+/// cannot drift apart: a tag added here shows up on both.
+fn collect_stats_v2<P: PolicyCore>(ctx: &WorkerCtx<P>) -> Vec<(u16, u64)> {
+    use xar_obs::tags;
+    let m = ctx.engine.metrics_total();
+    let o = ctx.engine.obs_total();
+    let ev = ctx.tracer.counters();
+    let r = Ordering::Relaxed;
+    vec![
+        (tags::DECIDES, m.decides),
+        (tags::REPORTS, m.reports),
+        (tags::REPORT_BATCHES, m.batches),
+        (tags::DECIDE_BATCH_FRAMES, m.decide_batches),
+        (tags::TO_ARM, m.to_arm),
+        (tags::TO_FPGA, m.to_fpga),
+        (tags::RECONFIGS, m.reconfigs),
+        (tags::LAT_SAMPLES, m.lat_samples),
+        // Quantiles from the merged cross-worker histograms — exact
+        // merges, unlike the legacy per-shard max-of-quantiles.
+        (tags::DECIDE_P50_NS, o.decide.percentile(0.50)),
+        (tags::DECIDE_P99_NS, o.decide.percentile(0.99)),
+        (tags::LIVE_CONNS, ctx.counters.live()),
+        (tags::ACCEPTED_CONNS, ctx.counters.accepted.load(r)),
+        (tags::REAPED_CONNS, ctx.counters.reaped.load(r)),
+        (tags::REJECTED_CONNS, ctx.counters.rejected.load(r)),
+        (tags::SHARDS, ctx.engine.shard_count() as u64),
+        (tags::WORKERS, ctx.config.workers.max(1) as u64),
+        (tags::TRACE_EVENTS, ev.emitted()),
+        (tags::TRACE_DROPPED, ev.dropped.load(r)),
+        (tags::SLOW_DECIDES, ev.slow_decides.load(r)),
+        (tags::BACKPRESSURE_PAUSES, ev.pauses.load(r)),
+        (tags::BACKPRESSURE_RESUMES, ev.resumes.load(r)),
+        (tags::PROTOCOL_ERRORS, ev.proto_errors.load(r)),
+        (tags::DECIDE_BATCH_P50_NS, o.decide_batch.percentile(0.50)),
+        (tags::DECIDE_BATCH_P99_NS, o.decide_batch.percentile(0.99)),
+        (tags::REPORT_BATCH_P50_NS, o.report_batch.percentile(0.50)),
+        (tags::REPORT_BATCH_P99_NS, o.report_batch.percentile(0.99)),
+        (tags::FLUSH_PUBLISH_P50_NS, o.flush_publish.percentile(0.50)),
+        (tags::FLUSH_PUBLISH_P99_NS, o.flush_publish.percentile(0.99)),
+        (tags::FLUSH_PUBLISHES, ev.flush_publishes.load(r)),
+        (tags::FLUSH_ROWS, ev.flush_rows.load(r)),
+    ]
 }
 
 /// Handles buffered complete lines of the legacy v1 text protocol
 /// (`DECIDE`/`REPORT`/`TABLE`/`QUIT`, answered with
 /// `TARGET`/`OK`/table rows/`ERR`), pausing at the outbuf high-water
 /// cap ([`pump`]'s loop resumes once the backlog drains).
-fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
+fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usize) {
     let cap = ctx.config.outbuf_high_water;
     // Offset-tracked like process_v2: one drain at the end, no
     // per-line allocation or memmove. The grammar is parsed by
@@ -980,25 +1152,35 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
         let parsed = std::str::from_utf8(line_bytes).ok().and_then(wire::parse_v1_line);
         let Some(req) = parsed else {
             conn.outbuf.extend_from_slice(b"ERR\n");
+            ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
             continue;
         };
         match req {
             wire::V1Request::Decide { app, kernel, x86_load, kernel_resident } => {
-                let d = ctx.handle.decide(&DecideCtx {
-                    app,
-                    kernel,
-                    x86_load: x86_load as usize,
-                    arm_load: 0,
-                    kernel_resident,
-                    device_ready: true,
-                    now_ns: 0.0,
-                });
+                let d = ctx.handle.decide_obs(
+                    &DecideCtx {
+                        app,
+                        kernel,
+                        x86_load: x86_load as usize,
+                        arm_load: 0,
+                        kernel_resident,
+                        device_ready: true,
+                        now_ns: 0.0,
+                    },
+                    Some(&mut ctx.tracer),
+                );
                 // Straight into the outbuf: the v1 fallback allocates
                 // no per-reply String.
                 wire::v1_decide_reply_into(&d, &mut conn.outbuf);
             }
             wire::V1Request::Report { app, target, func_ms, x86_load } => {
-                ctx.engine.ingest(app, target, func_ms, x86_load.min(u32::MAX as u64) as u32);
+                ctx.engine.ingest_obs(
+                    app,
+                    target,
+                    func_ms,
+                    x86_load.min(u32::MAX as u64) as u32,
+                    Some(&mut ctx.tracer),
+                );
                 conn.outbuf.extend_from_slice(b"OK\n");
             }
             wire::V1Request::Table => {
@@ -1011,6 +1193,49 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
                         &mut conn.outbuf,
                     );
                 }
+                conn.outbuf.extend_from_slice(b"END\n");
+            }
+            wire::V1Request::Dump => {
+                // Drain this worker's ring first so the event counters
+                // and the trace log reflect everything up to this
+                // request (other workers' rings drain on their own
+                // maintenance ticks).
+                ctx.drain_trace();
+                let mut text = String::new();
+                // Counter lines come from the same pairs StatsV2
+                // ships, so DUMP covers the wire op by construction.
+                xar_obs::render_pairs(&collect_stats_v2(ctx), &mut text);
+                let o = ctx.engine.obs_total();
+                xar_obs::render_histogram("xar_decide_latency_ns", &o.decide, &mut text);
+                xar_obs::render_histogram(
+                    "xar_decide_batch_latency_ns",
+                    &o.decide_batch,
+                    &mut text,
+                );
+                xar_obs::render_histogram(
+                    "xar_report_batch_latency_ns",
+                    &o.report_batch,
+                    &mut text,
+                );
+                xar_obs::render_histogram(
+                    "xar_flush_publish_latency_ns",
+                    &o.flush_publish,
+                    &mut text,
+                );
+                for (i, m) in ctx.engine.metrics().iter().enumerate() {
+                    xar_obs::render_shard_gauge("shard_decides", i, m.decides, &mut text);
+                    xar_obs::render_shard_gauge("shard_reports", i, m.reports, &mut text);
+                }
+                conn.outbuf.extend_from_slice(text.as_bytes());
+                conn.outbuf.extend_from_slice(b"END\n");
+            }
+            wire::V1Request::Trace { n } => {
+                ctx.drain_trace();
+                let mut text = String::new();
+                for ev in ctx.trace_log.last(n) {
+                    let _ = writeln!(&mut text, "{ev}");
+                }
+                conn.outbuf.extend_from_slice(text.as_bytes());
                 conn.outbuf.extend_from_slice(b"END\n");
             }
             wire::V1Request::Quit => {
@@ -1030,6 +1255,7 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>) {
     // complete-but-unprocessed lines, not one runaway line.)
     if !capped && conn.inbuf.len() > wire::MAX_V1_LINE {
         conn.outbuf.extend_from_slice(b"ERR\n");
+        ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
         conn.closed = true;
         // Discard the runaway line: re-scanning it on a later pump
         // would emit the diagnostic again.

@@ -102,6 +102,8 @@ pub mod op {
     pub const STATS: u8 = 0x06;
     /// `DecideBatch` — many placement queries in one frame.
     pub const DECIDE_BATCH: u8 = 0x07;
+    /// `StatsV2` — fetch self-describing tagged statistics.
+    pub const STATS_V2: u8 = 0x08;
     /// Reply to `DECIDE`.
     pub const R_DECIDE: u8 = 0x81;
     /// Acknowledgement carrying an accepted-item count.
@@ -114,6 +116,8 @@ pub mod op {
     pub const R_STATS: u8 = 0x86;
     /// Reply to `DECIDE_BATCH`: N decisions in query order.
     pub const R_DECIDE_BATCH: u8 = 0x87;
+    /// Reply to `STATS_V2`: N tagged (u16, u64) counter pairs.
+    pub const R_STATS_V2: u8 = 0x88;
     /// Error reply carrying a message.
     pub const R_ERR: u8 = 0xFF;
 }
@@ -200,6 +204,26 @@ pub struct DaemonStats {
     pub rejected_conns: u64,
 }
 
+/// Self-describing daemon statistics carried by the `StatsV2` reply:
+/// a sequence of `(tag, value)` pairs where the tag ids come from the
+/// append-only `xar_obs::tags` registry. Unknown tags are ordinary
+/// data — a client built before a tag existed still decodes the frame
+/// and simply does not recognize the id — so adding a counter never
+/// bumps the wire version. The legacy fixed-width [`DaemonStats`]
+/// reply is frozen at thirteen `u64`s; everything new ships here.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsV2 {
+    /// `(tag, value)` pairs in daemon-chosen order.
+    pub pairs: Vec<(u16, u64)>,
+}
+
+impl StatsV2 {
+    /// Value of the first pair carrying `tag`, if the daemon sent it.
+    pub fn get(&self, tag: u16) -> Option<u64> {
+        self.pairs.iter().find(|&&(t, _)| t == tag).map(|&(_, v)| v)
+    }
+}
+
 /// A decoded client request. Strings borrow from the receive buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request<'a> {
@@ -231,6 +255,8 @@ pub enum Request<'a> {
     /// Batched placement queries (≤ [`MAX_DECIDE_BATCH`]); answered by
     /// one `R_DECIDE_BATCH` frame carrying the decisions in order.
     DecideBatch(Vec<WireQuery<'a>>),
+    /// Self-describing statistics request.
+    StatsV2,
 }
 
 /// A decoded server response. Strings borrow from the receive buffer.
@@ -254,6 +280,8 @@ pub enum Response<'a> {
     /// Batched placement decisions, in the query order of the
     /// `DecideBatch` frame they answer.
     DecideBatch(Vec<xar_desim::Decision>),
+    /// Self-describing tagged statistics.
+    StatsV2(StatsV2),
     /// Protocol or handler error.
     Err(&'a str),
 }
@@ -401,6 +429,17 @@ pub enum V1Request<'a> {
     },
     /// `TABLE`
     Table,
+    /// `DUMP` — Prometheus-style text exposition of every counter,
+    /// histogram bucket, and per-shard gauge, terminated by `END`.
+    /// Answered by the daemon's v1 fallback; the paper-faithful
+    /// `xar-core` server (no observability registry) answers `ERR`.
+    Dump,
+    /// `TRACE <n>` — the last `n` ring-buffer trace events, oldest
+    /// first, terminated by `END`. Same server split as `DUMP`.
+    Trace {
+        /// Maximum number of events to return.
+        n: usize,
+    },
     /// `QUIT`
     Quit,
 }
@@ -421,6 +460,8 @@ pub fn parse_v1_line(line: &str) -> Option<V1Request<'_>> {
             x86_load: load.parse().ok()?,
         }),
         ["TABLE"] => Some(V1Request::Table),
+        ["DUMP"] => Some(V1Request::Dump),
+        ["TRACE", n] => Some(V1Request::Trace { n: n.parse().ok()? }),
         ["QUIT"] => Some(V1Request::Quit),
         _ => None,
     }
@@ -539,6 +580,7 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
         }
         Request::Stats => FrameWriter::begin(out, op::STATS).finish(),
         Request::DecideBatch(qs) => encode_decide_batch(qs, out),
+        Request::StatsV2 => FrameWriter::begin(out, op::STATS_V2).finish(),
     }
 }
 
@@ -651,6 +693,16 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             w.u64(s.live_conns);
             w.u64(s.reaped_conns);
             w.u64(s.rejected_conns);
+            w.finish();
+        }
+        Response::StatsV2(s) => {
+            assert!(s.pairs.len() <= MAX_BATCH, "stats of {} exceeds u16 count", s.pairs.len());
+            let mut w = FrameWriter::begin(out, op::R_STATS_V2);
+            w.u16(s.pairs.len() as u16);
+            for &(tag, value) in &s.pairs {
+                w.u16(tag);
+                w.u64(value);
+            }
             w.finish();
         }
         Response::Err(msg) => {
@@ -779,6 +831,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
         op::TABLE => Ok(Request::Table),
         op::PING => Ok(Request::Ping(r.u64()?)),
         op::STATS => Ok(Request::Stats),
+        op::STATS_V2 => Ok(Request::StatsV2),
         op::DECIDE_BATCH => {
             let n = r.u16()? as usize;
             // Refused before parsing a single query: an oversized batch
@@ -855,6 +908,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
             reaped_conns: r.u64()?,
             rejected_conns: r.u64()?,
         })),
+        op::R_STATS_V2 => {
+            let n = r.u16()? as usize;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Tags are opaque here: ids this client predates decode
+                // like any other pair (forward compatibility).
+                let tag = r.u16()?;
+                let value = r.u64()?;
+                pairs.push((tag, value));
+            }
+            Ok(Response::StatsV2(StatsV2 { pairs }))
+        }
         op::R_ERR => Ok(Response::Err(r.str()?)),
         other => Err(WireError::BadOpcode(other)),
     }?;
@@ -945,6 +1010,7 @@ mod tests {
             },
         ]));
         roundtrip_req(Request::DecideBatch(Vec::new()));
+        roundtrip_req(Request::StatsV2);
     }
 
     #[test]
@@ -982,6 +1048,31 @@ mod tests {
             rejected_conns: 1,
         }));
         roundtrip_resp(Response::Err("nope"));
+        roundtrip_resp(Response::StatsV2(StatsV2::default()));
+        roundtrip_resp(Response::StatsV2(StatsV2 {
+            // A tag far beyond the current registry must ride along:
+            // the frame is self-describing, not schema-bound.
+            pairs: vec![(1, 42), (30, 0), (0xBEEF, u64::MAX)],
+        }));
+    }
+
+    #[test]
+    fn stats_v2_pairs_are_fixed_width_and_unknown_tags_survive() {
+        let s = StatsV2 { pairs: vec![(7, 9), (u16::MAX, 3)] };
+        let mut buf = Vec::new();
+        encode_response(&Response::StatsV2(s.clone()), &mut buf);
+        // header + opcode + u16 count + N * (u16 tag + u64 value).
+        assert_eq!(buf.len(), 4 + 1 + 2 + 2 * 10, "ten bytes per pair");
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        match decode_response(&buf[range]).unwrap() {
+            Response::StatsV2(got) => {
+                assert_eq!(got, s);
+                assert_eq!(got.get(7), Some(9));
+                assert_eq!(got.get(u16::MAX), Some(3), "unknown tag decodes as data");
+                assert_eq!(got.get(8), None);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
     }
 
     #[test]
@@ -992,6 +1083,38 @@ mod tests {
         let mut buf = Vec::new();
         encode_response(&Response::Stats(DaemonStats::default()), &mut buf);
         assert_eq!(buf.len(), 4 + 1 + 13 * 8, "reply: thirteen u64 counters");
+    }
+
+    /// The legacy `Stats` reply is FROZEN: thirteen little-endian
+    /// `u64`s in exactly this order, forever. New counters ship via
+    /// `StatsV2` / `DUMP` only. This test pins every byte; if it fails,
+    /// the fix is to revert the layout change, not the test.
+    #[test]
+    fn legacy_stats_layout_is_frozen() {
+        let s = DaemonStats {
+            metrics: crate::metrics::MetricsSnapshot {
+                decides: 1,
+                reports: 2,
+                batches: 3,
+                decide_batches: 4,
+                to_arm: 5,
+                to_fpga: 6,
+                reconfigs: 7,
+                lat_samples: 8,
+                p50_ns: 9,
+                p99_ns: 10,
+            },
+            live_conns: 11,
+            reaped_conns: 12,
+            rejected_conns: 13,
+        };
+        let mut buf = Vec::new();
+        encode_response(&Response::Stats(s), &mut buf);
+        let mut expect = vec![13 * 8 + 1, 0, 0, 0, op::R_STATS];
+        for v in 1u64..=13 {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(buf, expect, "frozen wire layout of the legacy Stats reply");
     }
 
     #[test]
@@ -1059,11 +1182,21 @@ mod tests {
             })
         );
         assert_eq!(parse_v1_line("TABLE"), Some(V1Request::Table));
+        assert_eq!(parse_v1_line("DUMP"), Some(V1Request::Dump));
+        assert_eq!(parse_v1_line("TRACE 32"), Some(V1Request::Trace { n: 32 }));
         assert_eq!(parse_v1_line("QUIT"), Some(V1Request::Quit));
         // Loads beyond u32 parse (the engine saturates later) — the
         // seed server accepted any usize, so the shared grammar must.
         assert!(parse_v1_line("DECIDE a k 5000000000 0").is_some());
-        for bad in ["", "DECIDE a k x 1", "REPORT a moon 1.0 1", "BOGUS", "DECIDE a k 1"] {
+        for bad in [
+            "",
+            "DECIDE a k x 1",
+            "REPORT a moon 1.0 1",
+            "BOGUS",
+            "DECIDE a k 1",
+            "TRACE",
+            "TRACE x",
+        ] {
             assert_eq!(parse_v1_line(bad), None, "{bad:?}");
         }
         let d = xar_desim::Decision { target: Target::Arm, reconfigure: true };

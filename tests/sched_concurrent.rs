@@ -984,3 +984,178 @@ fn oversized_frame_straddles_read_chunk_boundary_on_both_backends() {
         daemon.shutdown();
     }
 }
+
+/// Sends one v1 text command on a raw socket and reads until the
+/// daemon's `END` terminator — the observability commands (`DUMP`,
+/// `TRACE n`) are deliberately nc-friendly, so the test speaks exactly
+/// what a human with netcat would.
+fn v1_query(addr: std::net::SocketAddr, cmd: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    s.write_all(cmd.as_bytes()).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    let mut scratch = [0u8; 4096];
+    while !buf.ends_with(b"END\n") {
+        let n = s.read(&mut scratch).unwrap();
+        assert!(n > 0, "server closed before END");
+        buf.extend_from_slice(&scratch[..n]);
+    }
+    String::from_utf8(buf).unwrap()
+}
+
+/// `DUMP` must expose every counter `StatsV2` ships (the counter lines
+/// are rendered from the same tagged pairs, so this pins the
+/// by-construction guarantee end to end over real sockets), all
+/// `BUCKETS` cumulative buckets of all four latency histograms, and a
+/// gauge per shard.
+#[test]
+fn dump_covers_every_stats_v2_counter_and_all_histogram_buckets() {
+    use xar_trek::sched::obs;
+    let daemon = spawn_sharded(
+        &policy(),
+        // batch = 1: the report below applies inline, so its counter
+        // is already visible to the immediately following queries.
+        EngineConfig { shards: 4, batch: 1 },
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = daemon.addr();
+    let mut cl = V2Client::connect(addr).unwrap();
+    for _ in 0..100 {
+        cl.decide("Digit2000", "k", 2, true).unwrap();
+    }
+    cl.report("Digit2000", Target::Fpga, 1e9, 2).unwrap();
+    let stats = cl.stats_v2().unwrap();
+    assert_eq!(stats.pairs.len(), obs::TAGS.len(), "every registered tag is shipped");
+    let dump = v1_query(addr, "DUMP\n");
+    for &(tag, _) in &stats.pairs {
+        let name = obs::tag_name(tag).expect("server shipped a tag the registry does not know");
+        let prefix = format!("xar_{name} ");
+        assert!(
+            dump.lines().any(|l| l.starts_with(&prefix)),
+            "StatsV2 tag {tag} ({name}) missing from DUMP"
+        );
+    }
+    // Counters that cannot have moved between the two queries agree.
+    assert!(dump.lines().any(|l| l == "xar_decides 100"), "decide count drifted");
+    assert!(dump.lines().any(|l| l == "xar_reports 1"));
+    for class in [
+        "xar_decide_latency_ns",
+        "xar_decide_batch_latency_ns",
+        "xar_report_batch_latency_ns",
+        "xar_flush_publish_latency_ns",
+    ] {
+        let bucket_prefix = format!("{class}_bucket{{le=");
+        let buckets = dump.lines().filter(|l| l.starts_with(&bucket_prefix)).count();
+        assert_eq!(buckets, obs::BUCKETS, "{class}: full distribution, every bucket");
+        assert!(
+            dump.lines().any(|l| l.starts_with(&format!("{class}_count "))),
+            "{class}: missing _count"
+        );
+        assert!(
+            dump.lines().any(|l| l.starts_with(&format!("{class}_bucket{{le=\"+Inf\"}} "))),
+            "{class}: missing the open +Inf bucket"
+        );
+    }
+    let shards = stats.get(obs::tags::SHARDS).expect("SHARDS tag") as usize;
+    assert_eq!(shards, 4);
+    for i in 0..shards {
+        assert!(
+            dump.lines().any(|l| l.starts_with(&format!("xar_shard_decides{{shard=\"{i}\"}} "))),
+            "missing decide gauge for shard {i}"
+        );
+        assert!(
+            dump.lines().any(|l| l.starts_with(&format!("xar_shard_reports{{shard=\"{i}\"}} "))),
+            "missing report gauge for shard {i}"
+        );
+    }
+    assert!(dump.ends_with("END\n"));
+    daemon.shutdown();
+}
+
+/// The 32-client fleet leaves a coherent trace: `TRACE n` over the v1
+/// port returns accept, flush-publish and reap events; per-worker
+/// sequence numbers are strictly increasing in log order; and within
+/// any (worker, slot) stream the lifecycle alternates accept → reap —
+/// an accept never follows another accept of the same slot without a
+/// reap in between, and no slot is reaped before it was accepted.
+#[test]
+fn fleet_trace_records_lifecycle_events_in_per_worker_order() {
+    use std::collections::HashMap;
+    use xar_trek::sched::obs;
+    let daemon = spawn_sharded(
+        &policy(),
+        EngineConfig { shards: 8, batch: 4 },
+        ServerConfig {
+            workers: 4,
+            flush_interval: std::time::Duration::from_millis(5),
+            trace_log_capacity: 1 << 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.addr();
+    spawn_fleet(addr, 4, 4);
+    // Every fleet connection is dropped once spawn_fleet returns; wait
+    // until all 32 reaps are counted, then give the workers'
+    // maintenance ticks (5 ms) a beat to drain their rings into the
+    // shared log.
+    let mut cl = V2Client::connect(addr).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let s = cl.stats_v2().unwrap();
+        if s.get(obs::tags::REAPED_CONNS) == Some(CLIENTS as u64) {
+            assert!(
+                s.get(obs::tags::TRACE_EVENTS).unwrap() >= 2 * CLIENTS as u64,
+                "at least one accept and one reap per fleet client was emitted"
+            );
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "fleet reaps never completed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let text = v1_query(addr, "TRACE 100000\n");
+    let mut last_seq: HashMap<u64, u64> = HashMap::new();
+    let mut open_slots: HashMap<(u64, u64), bool> = HashMap::new();
+    let (mut accepts, mut reaps, mut publishes) = (0u64, 0u64, 0u64);
+    for line in text.lines() {
+        if line == "END" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let seq: u64 = parts.next().unwrap().parse().unwrap_or_else(|_| panic!("bad line {line}"));
+        let worker: u64 = parts.next().unwrap().strip_prefix("worker=").unwrap().parse().unwrap();
+        let kind = parts.next().unwrap();
+        if let Some(&prev) = last_seq.get(&worker) {
+            assert!(
+                seq > prev,
+                "worker {worker}: seq {seq} arrived after {prev} — per-worker order lost"
+            );
+        }
+        last_seq.insert(worker, seq);
+        match kind {
+            "accept" | "reap" => {
+                let conn: u64 =
+                    parts.next().unwrap().strip_prefix("conn=").unwrap().parse().unwrap();
+                let open = open_slots.entry((worker, conn)).or_insert(false);
+                if kind == "accept" {
+                    assert!(!*open, "worker {worker} slot {conn}: accept while already open");
+                    *open = true;
+                    accepts += 1;
+                } else {
+                    assert!(*open, "worker {worker} slot {conn}: reap before accept");
+                    *open = false;
+                    reaps += 1;
+                }
+            }
+            "flush_publish" => publishes += 1,
+            _ => {}
+        }
+    }
+    assert!(accepts >= CLIENTS as u64, "only {accepts} accepts traced");
+    assert!(reaps >= CLIENTS as u64, "only {reaps} reaps traced");
+    assert!(publishes >= 1, "no flush_publish event traced despite 128 reports");
+    daemon.shutdown();
+}

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use xar_trek::desim::{Decision, Target};
 use xar_trek::sched::wire::{
     decode_request, decode_response, encode_request, encode_response, frame_in, DaemonStats,
-    Request, Response, WireEntry, WireQuery, WireReport,
+    Request, Response, StatsV2, WireEntry, WireQuery, WireReport,
 };
 use xar_trek::sched::MetricsSnapshot;
 
@@ -110,6 +110,7 @@ proptest! {
         roundtrip_req(&Request::Ping(nonce))?;
         roundtrip_req(&Request::Stats)?;
         roundtrip_req(&Request::DecideBatch(queries.iter().map(query).collect()))?;
+        roundtrip_req(&Request::StatsV2)?;
     }
 
     /// Every response opcode round-trips with random payloads.
@@ -164,5 +165,31 @@ proptest! {
             rejected_conns: c[12],
         }))?;
         roundtrip_resp(&Response::Err(&msg))?;
+    }
+
+    /// `StatsV2` replies round-trip for arbitrary tag sets — including
+    /// ids far outside the registry this build ships, in any order,
+    /// with duplicates. Forward compatibility is structural: pairs are
+    /// fixed-width, so a decoder never needs to recognize a tag to
+    /// carry it.
+    #[test]
+    fn stats_v2_roundtrips_and_preserves_unknown_tags(
+        pairs in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..32),
+    ) {
+        roundtrip_resp(&Response::StatsV2(StatsV2 { pairs: pairs.clone() }))?;
+        // Decode through the generic path and check value lookup by
+        // tag survives, unknown or not (first occurrence wins).
+        let mut buf = Vec::new();
+        encode_response(&Response::StatsV2(StatsV2 { pairs: pairs.clone() }), &mut buf);
+        let (_, range) = frame_in(&buf).unwrap().expect("complete frame");
+        let decoded = match decode_response(&buf[range]).unwrap() {
+            Response::StatsV2(s) => s,
+            other => return Err(proptest::TestCaseError(format!("wrong opcode: {other:?}"))),
+        };
+        prop_assert_eq!(&decoded.pairs, &pairs, "pairs must survive byte-exactly in order");
+        for &(tag, _) in &pairs {
+            let first = pairs.iter().find(|&&(t, _)| t == tag).map(|&(_, v)| v);
+            prop_assert_eq!(decoded.get(tag), first);
+        }
     }
 }
