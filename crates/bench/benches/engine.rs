@@ -36,6 +36,10 @@
 //!   1-core box the frame/syscall amortization is fully measurable
 //!   (unlike the cache-line contention rows), and the sweep asserts
 //!   the batched decisions are bit-identical to the unbatched path.
+//! * **scrape cost** — what a fleet aggregator (`xar-obsd`) costs the
+//!   daemon: `StatsV2` and `HistDump` RTT p50s, and the decide p50
+//!   with a periodic scraper attached vs detached. The `--quick`
+//!   smoke asserts the attached scraper perturbs decide p50 by ≤ 5%.
 //!
 //! In full mode the results land in `BENCH_sched.json` at the
 //! workspace root — machine-readable so the perf trajectory is
@@ -161,10 +165,40 @@ fn main() {
         rtt_p50 as f64 / b64.1 as f64
     );
 
+    // Scrape cost: the observability wire ops' RTT and the decide-p50
+    // perturbation of an attached periodic scraper. Full mode runs the
+    // aggregator's nominal 1 Hz cadence over a long enough decide
+    // window to span several scrapes; --quick speeds the scraper up so
+    // scrapes still land inside the short smoke window.
+    let scrape_interval = if quick { Duration::from_millis(25) } else { Duration::from_secs(1) };
+    let scrape = scrape_cost(&policy, &hot, cfg.samples, rounds, scrape_interval);
+    println!(
+        "\nscrape cost: stats_v2 RTT p50 {}   hist_dump RTT p50 {}",
+        ns(scrape.stats_p50),
+        ns(scrape.hist_p50)
+    );
+    println!(
+        "decide p50: scraper detached {}   attached {}   ({:+.1}%)",
+        ns(scrape.detached_p50),
+        ns(scrape.attached_p50),
+        (scrape.attached_p50 as f64 / scrape.detached_p50 as f64 - 1.0) * 100.0
+    );
+    if quick {
+        // Same shape as the tracing bar: 5% relative with a small
+        // absolute floor against timer-quantum noise.
+        let bar = scrape.attached_p50 <= scrape.detached_p50 + (scrape.detached_p50 / 20).max(20);
+        assert!(
+            bar,
+            "attached scraper perturbed decide p50 >5%: detached {}ns, attached {}ns",
+            scrape.detached_p50, scrape.attached_p50
+        );
+        println!("  quick bar: attached scraper within 5% of detached — ok");
+    }
+
     if !quick {
         let json = render_json(
             cores, cached_p50, cached_p99, locked_p50, locked_p99, &contended, cow_ns, deep_ns,
-            rtt_p50, rtt_p99, &batched, &pipelined, base_p50, off_p50, on_p50,
+            rtt_p50, rtt_p99, &batched, &pipelined, base_p50, off_p50, on_p50, &scrape,
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
         std::fs::write(path, json).expect("write BENCH_sched.json");
@@ -510,6 +544,94 @@ fn batched_decide_sweep(policy: &XarTrekPolicy, samples: usize) -> (Vec<SweepRow
     (batched, pipelined)
 }
 
+/// Results of the scrape-cost measurement.
+struct ScrapeCost {
+    /// `StatsV2` request→reply RTT p50.
+    stats_p50: u64,
+    /// `HistDump` request→reply RTT p50.
+    hist_p50: u64,
+    /// Decide RTT p50 with no scraper connected (best of N rounds).
+    detached_p50: u64,
+    /// Decide RTT p50 with a scraper thread hammering `StatsV2` +
+    /// `HistDump` every `interval` (best of N rounds).
+    attached_p50: u64,
+}
+
+/// p50 RTT of one request op measured back-to-back on `client`.
+fn op_p50(client: &mut V2Client, iters: usize, mut op: impl FnMut(&mut V2Client)) -> u64 {
+    for _ in 0..iters / 10 {
+        op(client);
+    }
+    let mut lat = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        op(client);
+        lat.push(start.elapsed().as_nanos() as u64);
+    }
+    percentiles(&mut lat).0
+}
+
+/// The cost a fleet aggregator imposes: scrape-op RTTs, then decide
+/// p50 with the scraper detached and attached. Each decide figure is
+/// the best of `rounds` rounds (scheduler-noise control, same as the
+/// tracing measurement).
+fn scrape_cost(
+    policy: &XarTrekPolicy,
+    hot: &[String],
+    samples: usize,
+    rounds: usize,
+    interval: Duration,
+) -> ScrapeCost {
+    let daemon =
+        spawn_sharded(policy, EngineConfig { shards: SHARDS, batch: 1 }, ServerConfig::default())
+            .unwrap();
+    let addr = daemon.addr();
+    let mut client = V2Client::connect(addr).unwrap();
+    let scrape_iters = (samples / 10).clamp(100, 20_000);
+    let stats_p50 = op_p50(&mut client, scrape_iters, |c| {
+        std::hint::black_box(c.stats_v2().unwrap());
+    });
+    let hist_p50 = op_p50(&mut client, scrape_iters, |c| {
+        std::hint::black_box(c.hist_dump().unwrap());
+    });
+
+    let decide_samples = samples.min(20_000);
+    let decide_round = |client: &mut V2Client| -> u64 {
+        let mut lat = Vec::with_capacity(decide_samples);
+        for i in 0..decide_samples {
+            let start = Instant::now();
+            client.decide(&hot[i % hot.len()], "k", 42, true).unwrap();
+            lat.push(start.elapsed().as_nanos() as u64);
+        }
+        percentiles(&mut lat).0
+    };
+    for _ in 0..decide_samples / 10 {
+        client.decide(&hot[0], "k", 42, true).unwrap(); // warmup
+    }
+    let detached_p50 = (0..rounds).map(|_| decide_round(&mut client)).min().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let mut sc = V2Client::connect(addr).unwrap();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                sc.stats_v2().unwrap();
+                sc.hist_dump().unwrap();
+                let deadline = Instant::now() + interval;
+                while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        })
+    };
+    let attached_p50 = (0..rounds).map(|_| decide_round(&mut client)).min().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().unwrap();
+    daemon.shutdown();
+    ScrapeCost { stats_p50, hist_p50, detached_p50, attached_p50 }
+}
+
 fn percentiles(lat: &mut [u64]) -> (u64, u64) {
     lat.sort_unstable();
     let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
@@ -543,6 +665,7 @@ fn render_json(
     trace_base_p50: u64,
     trace_off_p50: u64,
     trace_on_p50: u64,
+    scrape: &ScrapeCost,
 ) -> String {
     let threads = |path: fn(&(usize, u64, u64)) -> u64| {
         contended
@@ -597,6 +720,14 @@ fn render_json(
     "batch": {{{}}},
     "pipeline": {{{}}},
     "amortization_b64_vs_single_rtt": {:.1}
+  }},
+  "scrape_cost": {{
+    "note": "what a fleet aggregator costs: StatsV2/HistDump RTT p50s, and decide p50 best-of-N with a 1 Hz scraper thread attached vs detached; the --quick bar asserts attached within 5% of detached",
+    "stats_v2_rtt_p50_ns": {},
+    "hist_dump_rtt_p50_ns": {},
+    "decide_p50_ns_scraper_detached": {},
+    "decide_p50_ns_scraper_attached_1hz": {},
+    "attached_over_detached": {:.3}
   }}
 }}
 "#,
@@ -608,5 +739,10 @@ fn render_json(
         sweep(batched, "b"),
         sweep(pipelined, "d"),
         rtt_p50 as f64 / b64.1 as f64,
+        scrape.stats_p50,
+        scrape.hist_p50,
+        scrape.detached_p50,
+        scrape.attached_p50,
+        scrape.attached_p50 as f64 / scrape.detached_p50 as f64,
     )
 }

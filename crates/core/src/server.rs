@@ -67,6 +67,22 @@ pub fn spawn_sharded(
     xar_sched::Server::spawn(sharded_engine(policy, engine_config), server_config)
 }
 
+/// [`spawn_sharded`] on an explicit bind address instead of an
+/// ephemeral port — what a fleet test needs to restart a daemon at the
+/// address an aggregator keeps scraping.
+///
+/// # Errors
+///
+/// Propagates socket errors (including an address already in use).
+pub fn spawn_sharded_at(
+    policy: &XarTrekPolicy,
+    engine_config: EngineConfig,
+    server_config: ServerConfig,
+    bind: SocketAddr,
+) -> std::io::Result<ShardedSchedulerServer> {
+    xar_sched::Server::spawn_at(sharded_engine(policy, engine_config), server_config, bind)
+}
+
 /// A running scheduler server. Dropping it shuts the server down.
 pub struct SchedulerServer {
     addr: SocketAddr,
@@ -201,7 +217,12 @@ fn serve_client(stream: TcpStream, policy: Arc<Mutex<XarTrekPolicy>>) {
             // carries the trace rings and exposition); the paper's
             // thread-per-client server answers ERR like any other
             // unknown command, keeping the shared grammar total.
-            Some(wire::V1Request::Dump) | Some(wire::V1Request::Trace { .. }) => {
+            Some(
+                wire::V1Request::Dump
+                | wire::V1Request::Trace { .. }
+                | wire::V1Request::Series { .. }
+                | wire::V1Request::Rate { .. },
+            ) => {
                 reply.extend_from_slice(b"ERR\n");
             }
             None => reply.extend_from_slice(b"ERR\n"),

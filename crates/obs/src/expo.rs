@@ -3,37 +3,55 @@
 //! Renders `name value` lines for the v1 `DUMP` command. Counter lines
 //! are generated from the same `(tag, value)` pairs the `StatsV2` wire
 //! op ships — via [`crate::tags::tag_name`] — so everything on the wire
-//! is on the text endpoint by construction. Histograms render in the
-//! standard cumulative-`le` bucket form, all `BUCKETS` buckets plus a
-//! `_count` line; per-shard gauges use a `shard="i"` label.
+//! is on the text endpoint by construction. Each metric is preceded by
+//! a `# TYPE <name> <kind>` line (kinds come from
+//! [`crate::tags::tag_kind`]; unknown tags render as `untyped`) so real
+//! Prometheus scrapers ingest the output without relabeling. Histograms
+//! render in the standard cumulative-`le` bucket form, all `BUCKETS`
+//! buckets plus a `_count` line; per-shard gauges use a `shard="i"`
+//! label.
 
 use crate::hist::{bucket_upper_bound, HistSnapshot, BUCKETS};
-use crate::tags::tag_name;
+use crate::tags::{tag_kind, tag_name, TagKind};
 use std::fmt::Write;
+
+/// One `# TYPE <name> <kind>` metadata line. `name` is the full
+/// exposition name (including any `xar_` prefix) and `kind` one of
+/// `counter`, `gauge`, `histogram`, `untyped`.
+pub fn render_type(name: &str, kind: &str, out: &mut String) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
 
 /// One counter line: `xar_<name> <value>`.
 pub fn render_counter(name: &str, value: u64, out: &mut String) {
     let _ = writeln!(out, "xar_{name} {value}");
 }
 
-/// Render every `(tag, value)` pair. Tags this build does not know
-/// still render (as `xar_tag_<id>`) — exposition is forward-compatible
-/// the same way the wire op is.
+/// Render every `(tag, value)` pair, each preceded by its `# TYPE`
+/// line. Tags this build does not know still render (as `xar_tag_<id>`,
+/// typed `untyped`) — exposition is forward-compatible the same way the
+/// wire op is.
 pub fn render_pairs(pairs: &[(u16, u64)], out: &mut String) {
     for &(tag, value) in pairs {
         match tag_name(tag) {
-            Some(name) => render_counter(name, value, out),
+            Some(name) => {
+                let kind = tag_kind(tag).unwrap_or(TagKind::Counter).as_str();
+                let _ = writeln!(out, "# TYPE xar_{name} {kind}");
+                render_counter(name, value, out);
+            }
             None => {
+                let _ = writeln!(out, "# TYPE xar_tag_{tag} untyped");
                 let _ = writeln!(out, "xar_tag_{tag} {value}");
             }
         }
     }
 }
 
-/// Render a full histogram: `BUCKETS` cumulative bucket lines
-/// (`<name>_bucket{le="<bound>"} <cum>`, last bucket `le="+Inf"`) and a
-/// `<name>_count` total.
+/// Render a full histogram: a `# TYPE <name> histogram` line, `BUCKETS`
+/// cumulative bucket lines (`<name>_bucket{le="<bound>"} <cum>`, last
+/// bucket `le="+Inf"`) and a `<name>_count` total.
 pub fn render_histogram(name: &str, h: &HistSnapshot, out: &mut String) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
     let mut cum = 0u64;
     for (i, &c) in h.buckets.iter().enumerate() {
         cum = cum.wrapping_add(c);
@@ -46,7 +64,9 @@ pub fn render_histogram(name: &str, h: &HistSnapshot, out: &mut String) {
     let _ = writeln!(out, "{name}_count {cum}");
 }
 
-/// One per-shard gauge line: `xar_<name>{shard="<i>"} <value>`.
+/// One per-shard gauge line: `xar_<name>{shard="<i>"} <value>`. The
+/// caller emits the shared `# TYPE xar_<name> gauge` line once (via
+/// [`render_type`]) before the per-shard loop.
 pub fn render_shard_gauge(name: &str, shard: usize, value: u64, out: &mut String) {
     let _ = writeln!(out, "xar_{name}{{shard=\"{shard}\"}} {value}");
 }
@@ -62,7 +82,57 @@ mod tests {
         let mut out = String::new();
         render_pairs(&[(tags::DECIDES, 42), (9999, 7)], &mut out);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines, ["xar_decides 42", "xar_tag_9999 7"]);
+        assert_eq!(
+            lines,
+            [
+                "# TYPE xar_decides counter",
+                "xar_decides 42",
+                "# TYPE xar_tag_9999 untyped",
+                "xar_tag_9999 7",
+            ]
+        );
+    }
+
+    #[test]
+    fn type_lines_pin_the_format() {
+        // The format test for the `# TYPE` surface: counters, gauges,
+        // untyped fallbacks, histograms and the shared shard-gauge
+        // header render exactly these lines.
+        let mut out = String::new();
+        render_pairs(&[(tags::DECIDE_P99_NS, 128), (tags::DAEMON_ID, 7)], &mut out);
+        render_type("xar_shard_decides", "gauge", &mut out);
+        render_shard_gauge("shard_decides", 0, 5, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "# TYPE xar_decide_p99_ns gauge",
+                "xar_decide_p99_ns 128",
+                "# TYPE xar_daemon_id gauge",
+                "xar_daemon_id 7",
+                "# TYPE xar_shard_decides gauge",
+                "xar_shard_decides{shard=\"0\"} 5",
+            ]
+        );
+        let mut h = String::new();
+        render_histogram("xar_decide_latency_ns", &HistSnapshot::default(), &mut h);
+        assert_eq!(h.lines().next(), Some("# TYPE xar_decide_latency_ns histogram"));
+        // Every non-comment line's metric family was declared by a
+        // preceding # TYPE line — what a strict scraper checks.
+        for chunk in [out.as_str(), h.as_str()] {
+            let mut declared: Vec<&str> = Vec::new();
+            for line in chunk.lines() {
+                if let Some(rest) = line.strip_prefix("# TYPE ") {
+                    declared.push(rest.split(' ').next().unwrap());
+                } else {
+                    let metric = line.split([' ', '{']).next().unwrap();
+                    assert!(
+                        declared.iter().any(|d| metric.starts_with(d)),
+                        "line {line:?} has no preceding # TYPE"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -74,11 +144,12 @@ mod tests {
         let mut out = String::new();
         render_histogram("xar_decide_latency_ns", &h.snapshot(), &mut out);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), BUCKETS + 1, "every bucket plus _count");
-        assert_eq!(lines[0], "xar_decide_latency_ns_bucket{le=\"2\"} 1");
-        assert_eq!(lines[1], "xar_decide_latency_ns_bucket{le=\"4\"} 2");
-        assert_eq!(lines[BUCKETS - 1], "xar_decide_latency_ns_bucket{le=\"+Inf\"} 3");
-        assert_eq!(lines[BUCKETS], "xar_decide_latency_ns_count 3");
+        assert_eq!(lines.len(), BUCKETS + 2, "TYPE line, every bucket, _count");
+        assert_eq!(lines[0], "# TYPE xar_decide_latency_ns histogram");
+        assert_eq!(lines[1], "xar_decide_latency_ns_bucket{le=\"2\"} 1");
+        assert_eq!(lines[2], "xar_decide_latency_ns_bucket{le=\"4\"} 2");
+        assert_eq!(lines[BUCKETS], "xar_decide_latency_ns_bucket{le=\"+Inf\"} 3");
+        assert_eq!(lines[BUCKETS + 1], "xar_decide_latency_ns_count 3");
     }
 
     #[test]

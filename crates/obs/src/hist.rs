@@ -122,6 +122,20 @@ impl HistSnapshot {
         self
     }
 
+    /// Bucket-wise difference against an `earlier` snapshot of the
+    /// same histogram: the exact distribution of everything recorded
+    /// between the two. Buckets only ever grow, so the subtraction is
+    /// exact for any two snapshots of one live histogram; it saturates
+    /// per bucket so a counter reset (daemon restart between scrapes)
+    /// degrades to zeros instead of wrapping garbage.
+    pub fn diff(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let mut out = *self;
+        for (a, b) in out.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+
     /// Upper bound of the bucket holding the `q`-quantile observation
     /// (rank `ceil(count * q)`). Returns 0 on an empty snapshot and the
     /// `u64::MAX` sentinel when the rank lands in the open last bucket.

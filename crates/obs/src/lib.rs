@@ -22,19 +22,28 @@
 //! * [`expo`] — **Prometheus-style text rendering** of tag/value pairs
 //!   and histogram buckets for the v1 `DUMP` command. Counter lines are
 //!   generated *from* the same pairs `StatsV2` ships, so the exposition
-//!   endpoint covers the wire op by construction.
+//!   endpoint covers the wire op by construction; every family carries
+//!   a `# TYPE` line so real scrapers ingest it.
+//! * [`series`] — **per-tick time-series rings**: fixed-size windows of
+//!   cumulative counters and histogram snapshots, advanced by the
+//!   daemon's maintenance tick. Powers sliding-window rates and
+//!   windowed p50/p99 (`SERIES`/`RATE` on the v1 port) without
+//!   approximation: every window query is a diff of two monotone
+//!   samples.
 //!
 //! Everything here is `std`-only: no external crates, no allocation on
 //! the record paths.
 
 pub mod expo;
 pub mod hist;
+pub mod series;
 pub mod tags;
 pub mod trace;
 
-pub use expo::{render_counter, render_histogram, render_pairs, render_shard_gauge};
+pub use expo::{render_counter, render_histogram, render_pairs, render_shard_gauge, render_type};
 pub use hist::{bucket_of, bucket_upper_bound, HistSnapshot, Histogram, BUCKETS, LANES};
-pub use tags::{tag_name, TAGS};
+pub use series::{Sample, SeriesRing, DEFAULT_SLOTS};
+pub use tags::{tag_kind, tag_name, TagKind, TAGS};
 pub use trace::{
     ring, Event, EventCounters, TraceLog, TraceReader, TraceWriter, TracedEvent, Tracer,
 };

@@ -1,0 +1,280 @@
+//! Per-tick time-series rings: sliding windows over cumulative
+//! counters and per-op-class histogram snapshots.
+//!
+//! A [`SeriesRing`] holds the last `slots` *cumulative* samples, one
+//! per tick (the daemon records one from its maintenance timer, so a
+//! tick is typically one second). Storing cumulatives instead of
+//! pre-computed deltas keeps every windowed query exact and immune to
+//! missed ticks: a windowed rate is `(newest − baseline) / Δtick`, a
+//! windowed distribution is the bucket-wise [`HistSnapshot::diff`] of
+//! two snapshots — both derived from monotone values, never from
+//! accumulated per-slot arithmetic that could drift.
+//!
+//! The ring is arity-checked but name-agnostic: callers decide which
+//! counter lives at which index and keep their own index → name map
+//! (the daemon's `SERIES`/`RATE` commands do exactly that). Ticks may
+//! have gaps — if the maintenance timer stalls, the next sample simply
+//! lands at a later tick and every window query stays correct because
+//! it divides by the *observed* tick distance.
+
+use crate::hist::HistSnapshot;
+use std::collections::VecDeque;
+
+/// Default ring capacity: two minutes of one-second ticks.
+pub const DEFAULT_SLOTS: usize = 120;
+
+/// One cumulative sample: every tracked counter and histogram as of
+/// `tick`.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Tick index (monotone, may have gaps).
+    pub tick: u64,
+    /// Cumulative counter values, by caller-assigned index.
+    pub counters: Box<[u64]>,
+    /// Cumulative histogram snapshots, by caller-assigned index.
+    pub hists: Box<[HistSnapshot]>,
+}
+
+/// Fixed-capacity ring of cumulative [`Sample`]s.
+#[derive(Debug)]
+pub struct SeriesRing {
+    slots: usize,
+    counter_arity: usize,
+    hist_arity: usize,
+    samples: VecDeque<Sample>,
+}
+
+impl SeriesRing {
+    /// A ring keeping at most `slots` samples of `counter_arity`
+    /// counters and `hist_arity` histograms. At least two slots are
+    /// kept — a window needs a baseline.
+    pub fn new(slots: usize, counter_arity: usize, hist_arity: usize) -> SeriesRing {
+        let slots = slots.max(2);
+        SeriesRing { slots, counter_arity, hist_arity, samples: VecDeque::with_capacity(slots) }
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// Record the cumulative state as of `tick`, evicting the oldest
+    /// sample once full. A tick at or before the newest recorded one
+    /// is ignored: samples are strictly monotone in tick, so a racing
+    /// duplicate recorder cannot corrupt the series.
+    pub fn record(&mut self, tick: u64, counters: &[u64], hists: &[HistSnapshot]) {
+        assert_eq!(counters.len(), self.counter_arity, "counter arity mismatch");
+        assert_eq!(hists.len(), self.hist_arity, "histogram arity mismatch");
+        if let Some(last) = self.samples.back() {
+            if tick <= last.tick {
+                return;
+            }
+        }
+        if self.samples.len() == self.slots {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(Sample { tick, counters: counters.into(), hists: hists.into() });
+    }
+
+    /// Baseline + newest pair spanning (up to) `window` ticks: the
+    /// newest sample overall, and the newest sample at least `window`
+    /// ticks older — or the oldest retained sample when the history is
+    /// shorter than the window (a partial window over everything we
+    /// have beats answering nothing). `None` until two samples exist.
+    fn window_bounds(&self, window: u64) -> Option<(&Sample, &Sample)> {
+        let newest = self.samples.back()?;
+        let floor = newest.tick.saturating_sub(window.max(1));
+        let mut baseline = self.samples.front()?;
+        for s in &self.samples {
+            if s.tick <= floor {
+                baseline = s;
+            } else {
+                break;
+            }
+        }
+        if baseline.tick >= newest.tick {
+            return None;
+        }
+        Some((baseline, newest))
+    }
+
+    /// Average per-tick rate of counter `idx` over the last `window`
+    /// ticks: `(newest − baseline) / Δtick`. `None` until two samples
+    /// exist.
+    pub fn rate(&self, idx: usize, window: u64) -> Option<f64> {
+        let (base, newest) = self.window_bounds(window)?;
+        let dv = newest.counters[idx].wrapping_sub(base.counters[idx]);
+        let dt = newest.tick - base.tick;
+        Some(dv as f64 / dt as f64)
+    }
+
+    /// Exact distribution of histogram `idx` over the last `window`
+    /// ticks (bucket-wise diff of two cumulative snapshots). `None`
+    /// until two samples exist.
+    pub fn windowed_hist(&self, idx: usize, window: u64) -> Option<HistSnapshot> {
+        let (base, newest) = self.window_bounds(window)?;
+        Some(newest.hists[idx].diff(&base.hists[idx]))
+    }
+
+    /// Per-slot increments of counter `idx` inside the window:
+    /// `(tick, delta since the previous sample)` for every sample newer
+    /// than `newest.tick − window`. The oldest retained sample has no
+    /// predecessor and therefore never yields a delta.
+    pub fn deltas(&self, idx: usize, window: u64) -> Vec<(u64, u64)> {
+        self.windowed_pairs(window, |prev, cur| cur.counters[idx].wrapping_sub(prev.counters[idx]))
+    }
+
+    /// Per-slot `q`-quantile of histogram `idx` inside the window: for
+    /// every consecutive sample pair the quantile of the observations
+    /// recorded between them (0 for an idle slot).
+    pub fn quantile_series(&self, idx: usize, window: u64, q: f64) -> Vec<(u64, u64)> {
+        self.windowed_pairs(window, |prev, cur| cur.hists[idx].diff(&prev.hists[idx]).percentile(q))
+    }
+
+    fn windowed_pairs(
+        &self,
+        window: u64,
+        mut f: impl FnMut(&Sample, &Sample) -> u64,
+    ) -> Vec<(u64, u64)> {
+        let Some(newest) = self.samples.back() else {
+            return Vec::new();
+        };
+        let floor = newest.tick.saturating_sub(window.max(1));
+        let mut out = Vec::new();
+        let mut prev: Option<&Sample> = None;
+        for s in &self.samples {
+            if let Some(p) = prev {
+                if s.tick > floor {
+                    out.push((s.tick, f(p, s)));
+                }
+            }
+            prev = Some(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{bucket_of, BUCKETS};
+
+    fn hist_with(nanos: &[u64]) -> HistSnapshot {
+        let mut h = HistSnapshot::default();
+        for &n in nanos {
+            h.buckets[bucket_of(n)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn record_is_monotone_and_evicts_at_capacity() {
+        let mut r = SeriesRing::new(3, 1, 0);
+        for t in [1u64, 2, 2, 1, 3, 4] {
+            r.record(t, &[t * 10], &[]);
+        }
+        // Duplicate tick 2 and regressing tick 1 were dropped; capacity
+        // 3 evicted tick 1.
+        let ticks: Vec<u64> = r.samples.iter().map(|s| s.tick).collect();
+        assert_eq!(ticks, vec![2, 3, 4]);
+        assert_eq!(r.latest().unwrap().counters[0], 40);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn rate_spans_the_window_and_survives_tick_gaps() {
+        let mut r = SeriesRing::new(16, 1, 0);
+        r.record(0, &[0], &[]);
+        r.record(5, &[50], &[]); // 5-tick stall: one sample, 50 events
+        r.record(6, &[80], &[]);
+        // Window 1: baseline is tick 5 → 30 events in 1 tick.
+        assert_eq!(r.rate(0, 1), Some(30.0));
+        // Window 10 reaches back to tick 0 → 80 events over 6 ticks.
+        let r10 = r.rate(0, 10).unwrap();
+        assert!((r10 - 80.0 / 6.0).abs() < 1e-9);
+        // Window far larger than history falls back to the oldest
+        // sample instead of answering nothing.
+        assert_eq!(r.rate(0, 1000), Some(80.0 / 6.0));
+    }
+
+    #[test]
+    fn rate_needs_two_samples() {
+        let mut r = SeriesRing::new(8, 1, 0);
+        assert_eq!(r.rate(0, 10), None);
+        r.record(7, &[100], &[]);
+        assert_eq!(r.rate(0, 10), None);
+        r.record(8, &[110], &[]);
+        assert_eq!(r.rate(0, 10), Some(10.0));
+    }
+
+    #[test]
+    fn windowed_hist_is_an_exact_bucket_diff() {
+        let mut r = SeriesRing::new(8, 0, 1);
+        r.record(1, &[], &[hist_with(&[10, 10, 1000])]);
+        r.record(2, &[], &[hist_with(&[10, 10, 1000, 3, 3, 1_000_000])]);
+        let w = r.windowed_hist(0, 1).unwrap();
+        assert_eq!(w, hist_with(&[3, 3, 1_000_000]));
+        assert_eq!(w.count(), 3);
+        // The full window (back to the oldest sample) sees the same
+        // diff here because tick 1 is the only possible baseline.
+        assert_eq!(r.windowed_hist(0, 100).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn deltas_and_quantiles_walk_consecutive_pairs() {
+        let mut r = SeriesRing::new(8, 1, 1);
+        r.record(1, &[5], &[hist_with(&[100])]);
+        r.record(2, &[9], &[hist_with(&[100, 7])]);
+        r.record(3, &[9], &[hist_with(&[100, 7])]); // idle slot
+        r.record(4, &[20], &[hist_with(&[100, 7, 100_000])]);
+        assert_eq!(r.deltas(0, 3), vec![(2, 4), (3, 0), (4, 11)]);
+        // Window 1 keeps only the newest pair.
+        assert_eq!(r.deltas(0, 1), vec![(4, 11)]);
+        let q = r.quantile_series(0, 3, 0.99);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[1], (3, 0), "idle slot reports a zero quantile");
+        let (tick, p99) = q[2];
+        assert_eq!(tick, 4);
+        assert!(p99 >= 100_000, "slot with one 100µs sample: p99 covers it");
+        // Sum of per-slot deltas equals the windowed total — the two
+        // views are built from the same cumulatives.
+        let total: u64 = r.deltas(0, 3).iter().map(|&(_, d)| d).sum();
+        assert_eq!(total, 20 - 5);
+    }
+
+    #[test]
+    fn ring_keeps_at_least_two_slots_and_checks_arity() {
+        let r = SeriesRing::new(0, 2, 1);
+        assert_eq!(r.capacity(), 2);
+        assert!(r.is_empty());
+        assert_eq!(r.latest().map(|s| s.tick), None);
+        let mut r = SeriesRing::new(4, 2, 1);
+        r.record(1, &[1, 2], &[HistSnapshot::default()]);
+        assert_eq!(r.latest().unwrap().counters.len(), 2);
+        assert_eq!(r.latest().unwrap().hists.len(), 1);
+        let empty = SeriesRing::new(4, 0, 0).windowed_pairs(10, |_, _| 0);
+        assert!(empty.is_empty());
+        assert_eq!(HistSnapshot::default().buckets.len(), BUCKETS);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter arity mismatch")]
+    fn wrong_arity_panics() {
+        SeriesRing::new(4, 2, 0).record(1, &[1], &[]);
+    }
+}

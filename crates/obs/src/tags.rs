@@ -71,6 +71,12 @@ pub const FLUSH_PUBLISH_P99_NS: u16 = 28;
 pub const FLUSH_PUBLISHES: u16 = 29;
 /// Rows (reports) folded in across all flush-publishes.
 pub const FLUSH_ROWS: u16 = 30;
+/// Operator-assigned daemon identity (`ServerConfig::daemon_id`).
+pub const DAEMON_ID: u16 = 31;
+/// Seconds since the daemon started serving.
+pub const UPTIME_SECS: u16 = 32;
+/// Time-series samples currently held in the per-tick rings.
+pub const SERIES_SLOTS: u16 = 33;
 
 /// Every registered tag with its exposition name, ascending by id.
 pub const TAGS: &[(u16, &str)] = &[
@@ -104,11 +110,48 @@ pub const TAGS: &[(u16, &str)] = &[
     (FLUSH_PUBLISH_P99_NS, "flush_publish_p99_ns"),
     (FLUSH_PUBLISHES, "flush_publishes"),
     (FLUSH_ROWS, "flush_rows"),
+    (DAEMON_ID, "daemon_id"),
+    (UPTIME_SECS, "uptime_secs"),
+    (SERIES_SLOTS, "series_slots"),
 ];
 
 /// Exposition name for a tag, or `None` for ids this build predates.
 pub fn tag_name(tag: u16) -> Option<&'static str> {
     TAGS.binary_search_by_key(&tag, |&(id, _)| id).ok().map(|i| TAGS[i].1)
+}
+
+/// Prometheus metric kind of a registered tag, for `# TYPE` lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagKind {
+    /// Monotone cumulative count.
+    Counter,
+    /// Point-in-time value (quantiles, sizes, identities).
+    Gauge,
+}
+
+impl TagKind {
+    /// The exposition keyword (`counter` / `gauge`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TagKind::Counter => "counter",
+            TagKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Metric kind for a tag, or `None` for ids this build predates.
+/// Everything is a counter unless listed here as a gauge — quantile
+/// snapshots, sizes and identities are instantaneous readings.
+pub fn tag_kind(tag: u16) -> Option<TagKind> {
+    tag_name(tag)?;
+    Some(match tag {
+        DECIDE_P50_NS | DECIDE_P99_NS | LIVE_CONNS | SHARDS | WORKERS | DECIDE_BATCH_P50_NS
+        | DECIDE_BATCH_P99_NS | REPORT_BATCH_P50_NS | REPORT_BATCH_P99_NS
+        | FLUSH_PUBLISH_P50_NS | FLUSH_PUBLISH_P99_NS | DAEMON_ID | UPTIME_SECS | SERIES_SLOTS => {
+            TagKind::Gauge
+        }
+        _ => TagKind::Counter,
+    })
 }
 
 #[cfg(test)]
@@ -138,7 +181,23 @@ mod tests {
     fn lookup_hits_and_misses() {
         assert_eq!(tag_name(DECIDES), Some("decides"));
         assert_eq!(tag_name(FLUSH_ROWS), Some("flush_rows"));
+        assert_eq!(tag_name(SERIES_SLOTS), Some("series_slots"));
         assert_eq!(tag_name(0), None);
         assert_eq!(tag_name(u16::MAX), None);
+    }
+
+    #[test]
+    fn every_tag_has_a_kind_and_unknown_ids_do_not() {
+        for &(id, _) in TAGS {
+            assert!(tag_kind(id).is_some(), "tag {id} missing a kind");
+        }
+        assert_eq!(tag_kind(DECIDES), Some(TagKind::Counter));
+        assert_eq!(tag_kind(DECIDE_P99_NS), Some(TagKind::Gauge));
+        assert_eq!(tag_kind(DAEMON_ID), Some(TagKind::Gauge));
+        assert_eq!(tag_kind(UPTIME_SECS), Some(TagKind::Gauge));
+        assert_eq!(tag_kind(0), None);
+        assert_eq!(tag_kind(u16::MAX), None);
+        assert_eq!(TagKind::Counter.as_str(), "counter");
+        assert_eq!(TagKind::Gauge.as_str(), "gauge");
     }
 }

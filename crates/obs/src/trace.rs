@@ -63,10 +63,13 @@ impl fmt::Display for Event {
     }
 }
 
-/// An [`Event`] stamped with its producing worker and a per-worker
-/// sequence number (monotonically increasing, gaps mark drops).
+/// An [`Event`] stamped with its producing daemon and worker plus a
+/// per-worker sequence number (monotonically increasing, gaps mark
+/// drops). The daemon id makes lines from different fleet members
+/// distinguishable once an aggregator interleaves them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TracedEvent {
+    pub daemon: u16,
     pub worker: u16,
     pub seq: u64,
     pub event: Event,
@@ -74,7 +77,7 @@ pub struct TracedEvent {
 
 impl fmt::Display for TracedEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} worker={} {}", self.seq, self.worker, self.event)
+        write!(f, "{} daemon={} worker={} {}", self.seq, self.daemon, self.worker, self.event)
     }
 }
 
@@ -210,6 +213,7 @@ pub struct Tracer {
     enabled: bool,
     slow_decide_ns: u64,
     seq: u64,
+    daemon: u16,
     worker: u16,
     counters: Arc<EventCounters>,
 }
@@ -222,7 +226,14 @@ impl Tracer {
         slow_decide_ns: u64,
         counters: Arc<EventCounters>,
     ) -> Self {
-        Tracer { writer, enabled, slow_decide_ns, seq: 0, worker, counters }
+        Tracer { writer, enabled, slow_decide_ns, seq: 0, daemon: 0, worker, counters }
+    }
+
+    /// Stamp subsequent events with this daemon identity (the server
+    /// sets `ServerConfig::daemon_id` here; standalone tracers keep the
+    /// default 0).
+    pub fn set_daemon(&mut self, daemon: u16) {
+        self.daemon = daemon;
     }
 
     /// A tracer that never records: for benchmarks and tests that want
@@ -275,7 +286,7 @@ impl Tracer {
             Event::ProtocolError { .. } => self.counters.proto_errors.fetch_add(1, r),
             Event::SlowDecide { .. } => self.counters.slow_decides.fetch_add(1, r),
         };
-        let traced = TracedEvent { worker: self.worker, seq: self.seq, event };
+        let traced = TracedEvent { daemon: self.daemon, worker: self.worker, seq: self.seq, event };
         self.seq += 1;
         if !self.writer.push(traced) {
             self.counters.dropped.fetch_add(1, r);
@@ -334,7 +345,7 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64, conn: u64) -> TracedEvent {
-        TracedEvent { worker: 0, seq, event: Event::Accept { conn } }
+        TracedEvent { daemon: 0, worker: 0, seq, event: Event::Accept { conn } }
     }
 
     #[test]
@@ -371,6 +382,7 @@ mod tests {
                 // Spin until there is room: this test wants every event.
                 loop {
                     if w.push(TracedEvent {
+                        daemon: 0,
                         worker: 3,
                         seq: i,
                         event: Event::SlowDecide { nanos: i * 7 },
@@ -456,12 +468,27 @@ mod tests {
 
     #[test]
     fn event_display_is_grep_friendly() {
-        let e =
-            TracedEvent { worker: 2, seq: 41, event: Event::FlushPublish { shard: 3, rows: 9 } };
-        assert_eq!(e.to_string(), "41 worker=2 flush_publish shard=3 rows=9");
+        let e = TracedEvent {
+            daemon: 5,
+            worker: 2,
+            seq: 41,
+            event: Event::FlushPublish { shard: 3, rows: 9 },
+        };
+        assert_eq!(e.to_string(), "41 daemon=5 worker=2 flush_publish shard=3 rows=9");
         assert_eq!(
-            TracedEvent { worker: 0, seq: 0, event: Event::Reject }.to_string(),
-            "0 worker=0 reject"
+            TracedEvent { daemon: 0, worker: 0, seq: 0, event: Event::Reject }.to_string(),
+            "0 daemon=0 worker=0 reject"
         );
+    }
+
+    #[test]
+    fn tracer_stamps_its_daemon_identity() {
+        let (writer, mut reader) = ring(8);
+        let mut t = Tracer::new(writer, 1, true, u64::MAX, Arc::new(EventCounters::default()));
+        t.set_daemon(9);
+        t.emit(Event::Reject);
+        let e = reader.pop().unwrap();
+        assert_eq!((e.daemon, e.worker), (9, 1));
+        assert_eq!(e.to_string(), "0 daemon=9 worker=1 reject");
     }
 }

@@ -1,0 +1,87 @@
+//! `xar-obsd` — fleet scrape aggregator daemon.
+//!
+//! Scrapes N `xar-sched` daemons' `StatsV2` + `HistDump` wire ops on an
+//! interval, folds the histograms bucket-exactly, and serves the fleet
+//! exposition (`DUMP`) and SLO verdict (`HEALTH`) on its own nc-able
+//! text port. See `xar_sched::obsd` for the library surface.
+//!
+//! ```text
+//! xar-obsd [--listen ADDR] [--interval-ms N] [--window-secs N]
+//!          [--slo-p99-ns N] [--max-proto-errs-per-sec F]
+//!          [--max-pauses-per-sec F] DAEMON_ADDR [DAEMON_ADDR ...]
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Duration;
+use xar_sched::obsd::{Obsd, ObsdConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xar-obsd [--listen ADDR] [--interval-ms N] [--window-secs N] \
+         [--slo-p99-ns N] [--max-proto-errs-per-sec F] [--max-pauses-per-sec F] \
+         DAEMON_ADDR [DAEMON_ADDR ...]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("xar-obsd: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("xar-obsd: bad value {v:?} for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ObsdConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => config.listen = parse::<SocketAddr>(&arg, args.next()),
+            "--interval-ms" => {
+                config.scrape_interval = Duration::from_millis(parse(&arg, args.next()));
+            }
+            "--window-secs" => config.window = Duration::from_secs(parse(&arg, args.next())),
+            "--slo-p99-ns" => config.slo_decide_p99_ns = parse(&arg, args.next()),
+            "--max-proto-errs-per-sec" => {
+                config.max_protocol_errors_per_sec = parse(&arg, args.next());
+            }
+            "--max-pauses-per-sec" => config.max_pause_rate_per_sec = parse(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("xar-obsd: unknown flag {arg}");
+                usage();
+            }
+            _ => match arg.parse::<SocketAddr>() {
+                Ok(a) => config.targets.push(a),
+                Err(_) => {
+                    eprintln!("xar-obsd: bad daemon address {arg:?}");
+                    usage();
+                }
+            },
+        }
+    }
+    if config.targets.is_empty() {
+        eprintln!("xar-obsd: at least one daemon address required");
+        usage();
+    }
+    let targets = config.targets.len();
+    let obsd = match Obsd::spawn(config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xar-obsd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("xar-obsd listening on {}, scraping {targets} daemon(s)", obsd.addr());
+    // The threads inside Obsd do all the work; park until killed.
+    loop {
+        std::thread::park();
+    }
+}

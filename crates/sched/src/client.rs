@@ -460,6 +460,25 @@ impl V2Client {
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Fetches the daemon's per-op-class latency histogram buckets
+    /// (see `wire::hist_class` for the class registry). Rows are
+    /// self-describing, so classes this client build does not know are
+    /// preserved in the returned dump rather than rejected — and the
+    /// raw bucket counts merge across daemons bucket-exactly, which is
+    /// what fleet aggregators fold on.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn hist_dump(&mut self) -> std::io::Result<wire::HistDump> {
+        let range = self.roundtrip(&Request::HistDump)?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::HistDump(h) => Ok(h),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]

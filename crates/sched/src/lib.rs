@@ -43,6 +43,11 @@
 //!   remote decide.
 //! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
 //!   simulations of 1000+ apps exercise the daemon's exact code path.
+//! * [`obsd`] — the **fleet scrape aggregator** behind the `xar-obsd`
+//!   binary: per-daemon scraper threads with backoff reconnect, an
+//!   exact bucket-wise fold of every member's `HistDump`, and a text
+//!   port serving fleet-wide exposition (`DUMP`) plus a windowed SLO
+//!   verdict (`HEALTH`).
 //!
 //! The crate is policy-agnostic: anything implementing
 //! [`engine::PolicyCore`] can be sharded and served. `xar-core`
@@ -53,6 +58,7 @@ pub mod adapter;
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod obsd;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
@@ -64,9 +70,10 @@ pub use engine::{
     ShardedEngine, TableEntry,
 };
 pub use metrics::{MetricsSnapshot, ObsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
+pub use obsd::{FleetSnapshot, Health, MemberView, Obsd, ObsdConfig};
 pub use server::{Server, ServerConfig};
 pub use snapshot::{ArcCell, CachedSnap};
-pub use wire::{DaemonStats, StatsV2, WireQuery};
+pub use wire::{DaemonStats, HistDump, StatsV2, WireQuery};
 /// The dependency-free observability toolkit (trace rings, mergeable
 /// histograms, the `StatsV2` tag registry, text exposition) the daemon
 /// is instrumented with, re-exported for clients and tools.

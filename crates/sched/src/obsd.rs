@@ -1,0 +1,697 @@
+//! `xar-obsd` — the fleet scrape aggregator.
+//!
+//! One daemon's `DUMP` answers "what is *this* process doing"; a fleet
+//! of daemons needs a single pane. `obsd` connects to N daemons over
+//! [`V2Client`], scrapes `StatsV2` + `HistDump` on an interval, and
+//! folds the raw histogram buckets into one fleet distribution — the
+//! fold is *exact* because daemons ship bucket counts, not quantiles:
+//! summing the per-daemon buckets is identical to having recorded every
+//! observation into a single histogram.
+//!
+//! Liveness is part of the product:
+//!
+//! * each member gets its own scraper thread with exponential-backoff
+//!   reconnect, so a dead or restarting daemon costs that member its
+//!   `up` gauge and its contribution to the fold — nothing else;
+//! * the aggregator serves a fleet-wide Prometheus-style exposition
+//!   (`DUMP`) and a `HEALTH` verdict on its own nc-able text port, with
+//!   the same `END`-terminated reply shape as the daemons' v1 port;
+//! * `HEALTH` is computed from *windowed diffs* of consecutive scrapes
+//!   (cumulative newest − oldest-in-window), so a daemon that was slow
+//!   an hour ago does not stay red forever.
+//!
+//! The degraded reasons are deliberately few and operational: windowed
+//! decide p99 over the configured SLO, protocol-error rate, backpressure
+//! pause rate, and members down.
+
+use crate::client::V2Client;
+use crate::wire::{hist_class, HistDump, StatsV2};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xar_obs::{render_histogram, render_type, tags, HistSnapshot, TagKind};
+
+/// Aggregator configuration. `Default` scrapes nothing, listens on an
+/// ephemeral localhost port, and has every SLO check disabled — tests
+/// and the `xar-obsd` binary both start from this and fill in targets.
+#[derive(Debug, Clone)]
+pub struct ObsdConfig {
+    /// v2 addresses of the daemons to scrape.
+    pub targets: Vec<SocketAddr>,
+    /// Time between successful scrapes of one member.
+    pub scrape_interval: Duration,
+    /// Sliding window for `HEALTH` rate/percentile checks. Scrape
+    /// history is retained for `window + 2 * scrape_interval`.
+    pub window: Duration,
+    /// `HEALTH` flips degraded when any member's windowed decide p99
+    /// exceeds this. `u64::MAX` disables the check.
+    pub slo_decide_p99_ns: u64,
+    /// `HEALTH` flips degraded when any member's windowed
+    /// protocol-error rate exceeds this (per second).
+    /// `f64::INFINITY` disables the check.
+    pub max_protocol_errors_per_sec: f64,
+    /// `HEALTH` flips degraded when any member's windowed backpressure
+    /// pause rate exceeds this (per second). `f64::INFINITY` disables
+    /// the check.
+    pub max_pause_rate_per_sec: f64,
+    /// Initial reconnect backoff after a failed connect or scrape.
+    pub backoff: Duration,
+    /// Backoff doubles per consecutive failure up to this cap.
+    pub backoff_max: Duration,
+    /// Text-port bind address (port 0 picks an ephemeral port; read it
+    /// back via [`Obsd::addr`]).
+    pub listen: SocketAddr,
+}
+
+impl Default for ObsdConfig {
+    fn default() -> Self {
+        ObsdConfig {
+            targets: Vec::new(),
+            scrape_interval: Duration::from_secs(1),
+            window: Duration::from_secs(60),
+            slo_decide_p99_ns: u64::MAX,
+            max_protocol_errors_per_sec: f64::INFINITY,
+            max_pause_rate_per_sec: f64::INFINITY,
+            backoff: Duration::from_millis(200),
+            backoff_max: Duration::from_secs(5),
+            listen: (std::net::Ipv4Addr::LOCALHOST, 0).into(),
+        }
+    }
+}
+
+/// One successful scrape of one member.
+#[derive(Debug, Clone)]
+struct Scrape {
+    at: Instant,
+    stats: StatsV2,
+    hist: HistDump,
+}
+
+#[derive(Debug)]
+struct MemberState {
+    addr: SocketAddr,
+    up: bool,
+    last_ok: Option<Instant>,
+    scrapes_ok: u64,
+    scrapes_failed: u64,
+    /// Cumulative scrapes, oldest first, trimmed to the health window
+    /// (plus slack so a window-edge baseline is always present).
+    history: VecDeque<Scrape>,
+}
+
+impl MemberState {
+    fn new(addr: SocketAddr) -> MemberState {
+        MemberState {
+            addr,
+            up: false,
+            last_ok: None,
+            scrapes_ok: 0,
+            scrapes_failed: 0,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Newest scrape and the oldest scrape still inside `window`, when
+    /// the member has two distinct samples to diff.
+    fn window_bounds(&self, now: Instant, window: Duration) -> Option<(&Scrape, &Scrape)> {
+        let newest = self.history.back()?;
+        let baseline = self.history.iter().find(|s| now.duration_since(s.at) <= window)?;
+        if baseline.at >= newest.at {
+            return None;
+        }
+        Some((newest, baseline))
+    }
+}
+
+/// Public per-member view inside a [`FleetSnapshot`].
+#[derive(Debug, Clone)]
+pub struct MemberView {
+    /// The member's v2 address.
+    pub addr: SocketAddr,
+    /// Whether the last scrape attempt succeeded.
+    pub up: bool,
+    /// Age of the last successful scrape, if any ever succeeded.
+    pub last_scrape_age: Option<Duration>,
+    /// Successful scrapes so far.
+    pub scrapes_ok: u64,
+    /// Failed connects/scrapes so far.
+    pub scrapes_failed: u64,
+    /// Latest scraped stats, if any scrape ever succeeded.
+    pub stats: Option<StatsV2>,
+    /// Latest scraped histogram dump, if any scrape ever succeeded.
+    pub hist: Option<HistDump>,
+}
+
+/// Point-in-time view of the whole fleet: per-member state plus the
+/// exact fold of every *up* member's latest histogram dump.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// One view per configured target, in target order.
+    pub members: Vec<MemberView>,
+    /// Bucket-exact sum of up members' latest `HistDump`s, rows sorted
+    /// by class id. Rows of unequal length fold by padding the shorter.
+    pub fold: HistDump,
+    /// Counter-kind tags summed across up members' latest stats,
+    /// sorted by tag id. Gauges don't sum meaningfully and are left to
+    /// the per-member views.
+    pub counters: Vec<(u16, u64)>,
+}
+
+/// The `HEALTH` verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Health {
+    /// True when any reason fired.
+    pub degraded: bool,
+    /// Human-readable reasons, one per firing check per member.
+    pub reasons: Vec<String>,
+}
+
+struct Shared {
+    config: ObsdConfig,
+    members: Vec<Mutex<MemberState>>,
+    stop: AtomicBool,
+}
+
+/// A running aggregator: one scraper thread per member plus the text
+/// port. [`Obsd::snapshot`] and [`Obsd::health`] expose the same data
+/// programmatically that `DUMP` / `HEALTH` serve over the socket.
+pub struct Obsd {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Obsd {
+    /// Binds the text port and starts the scraper threads.
+    ///
+    /// # Errors
+    ///
+    /// Binding `config.listen` fails. Unreachable targets are *not* an
+    /// error — they start down and flip up when their daemon appears.
+    pub fn spawn(config: ObsdConfig) -> std::io::Result<Obsd> {
+        let listener = TcpListener::bind(config.listen)?;
+        let addr = listener.local_addr()?;
+        let members = config.targets.iter().map(|&a| Mutex::new(MemberState::new(a))).collect();
+        let shared = Arc::new(Shared { config, members, stop: AtomicBool::new(false) });
+        let mut handles = Vec::with_capacity(shared.members.len() + 1);
+        for idx in 0..shared.members.len() {
+            let s = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("obsd-scrape-{idx}"))
+                    .spawn(move || scraper_loop(&s, idx))?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name("obsd-serve".into())
+                .spawn(move || serve_loop(&s, &listener))?,
+        );
+        Ok(Obsd { shared, addr, handles })
+    }
+
+    /// The text port's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current fleet view: per-member state plus the exact histogram
+    /// fold over up members.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        snapshot_of(&self.shared)
+    }
+
+    /// Current `HEALTH` verdict (same computation the text port runs).
+    pub fn health(&self) -> Health {
+        health_of(&self.shared)
+    }
+
+    /// Stops every thread and joins them. Called by `Drop` too; the
+    /// explicit form exists so tests can bound shutdown inside the
+    /// test body.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Obsd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sleeps `total` in small slices so `stop` interrupts promptly.
+fn sleep_interruptible(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !shared.stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+fn scraper_loop(shared: &Shared, idx: usize) {
+    let addr = shared.members[idx].lock().unwrap().addr;
+    let mut client: Option<V2Client> = None;
+    let mut backoff = shared.config.backoff;
+    while !shared.stop.load(Ordering::Relaxed) {
+        if client.is_none() {
+            match V2Client::connect(addr) {
+                Ok(c) => client = Some(c),
+                Err(_) => {
+                    mark_failed(shared, idx);
+                    sleep_interruptible(shared, backoff);
+                    backoff = (backoff * 2).min(shared.config.backoff_max);
+                    continue;
+                }
+            }
+        }
+        let scraped = client.as_mut().map(|c| {
+            let stats = c.stats_v2()?;
+            let hist = c.hist_dump()?;
+            Ok::<_, std::io::Error>((stats, hist))
+        });
+        match scraped {
+            Some(Ok((stats, hist))) => {
+                backoff = shared.config.backoff;
+                record_scrape(shared, idx, stats, hist);
+                sleep_interruptible(shared, shared.config.scrape_interval);
+            }
+            _ => {
+                // A failed scrape poisons the connection's framing;
+                // drop it and reconnect after backoff.
+                client = None;
+                mark_failed(shared, idx);
+                sleep_interruptible(shared, backoff);
+                backoff = (backoff * 2).min(shared.config.backoff_max);
+            }
+        }
+    }
+}
+
+fn record_scrape(shared: &Shared, idx: usize, stats: StatsV2, hist: HistDump) {
+    let now = Instant::now();
+    let keep = shared.config.window + shared.config.scrape_interval * 2;
+    let mut m = shared.members[idx].lock().unwrap();
+    m.up = true;
+    m.last_ok = Some(now);
+    m.scrapes_ok += 1;
+    m.history.push_back(Scrape { at: now, stats, hist });
+    while m.history.len() > 2 {
+        let Some(front) = m.history.front() else { break };
+        if now.duration_since(front.at) <= keep {
+            break;
+        }
+        m.history.pop_front();
+    }
+}
+
+fn mark_failed(shared: &Shared, idx: usize) {
+    let mut m = shared.members[idx].lock().unwrap();
+    m.up = false;
+    m.scrapes_failed += 1;
+    // History is kept: a restarting daemon's counters reset, and
+    // HistSnapshot::diff saturates rather than wrapping, so stale
+    // baselines degrade to zero-rates instead of garbage.
+}
+
+/// Copies wire bucket counts into a fixed-size snapshot (shorter rows
+/// zero-pad, longer rows truncate — our own classes are always exactly
+/// `BUCKETS` wide).
+fn snapshot_of_buckets(buckets: &[u64]) -> HistSnapshot {
+    let mut s = HistSnapshot::default();
+    for (dst, src) in s.buckets.iter_mut().zip(buckets) {
+        *dst = *src;
+    }
+    s
+}
+
+/// Exact bucket-wise fold of histogram dumps: per class, sum the
+/// per-member rows, padding shorter rows with zeros.
+fn fold_dumps<'a>(dumps: impl Iterator<Item = &'a HistDump>) -> HistDump {
+    let mut classes: Vec<(u16, Vec<u64>)> = Vec::new();
+    for dump in dumps {
+        for (class, buckets) in &dump.classes {
+            match classes.iter_mut().find(|(c, _)| c == class) {
+                Some((_, acc)) => {
+                    if acc.len() < buckets.len() {
+                        acc.resize(buckets.len(), 0);
+                    }
+                    for (a, b) in acc.iter_mut().zip(buckets) {
+                        *a = a.wrapping_add(*b);
+                    }
+                }
+                None => classes.push((*class, buckets.clone())),
+            }
+        }
+    }
+    classes.sort_by_key(|&(c, _)| c);
+    HistDump { classes }
+}
+
+fn snapshot_of(shared: &Shared) -> FleetSnapshot {
+    let now = Instant::now();
+    let mut members = Vec::with_capacity(shared.members.len());
+    for slot in &shared.members {
+        let m = slot.lock().unwrap();
+        let latest = m.history.back();
+        members.push(MemberView {
+            addr: m.addr,
+            up: m.up,
+            last_scrape_age: m.last_ok.map(|t| now.duration_since(t)),
+            scrapes_ok: m.scrapes_ok,
+            scrapes_failed: m.scrapes_failed,
+            stats: latest.map(|s| s.stats.clone()),
+            hist: latest.map(|s| s.hist.clone()),
+        });
+    }
+    let ups = || members.iter().filter(|m| m.up);
+    let fold = fold_dumps(ups().filter_map(|m| m.hist.as_ref()));
+    let mut counters: Vec<(u16, u64)> = Vec::new();
+    for stats in ups().filter_map(|m| m.stats.as_ref()) {
+        for &(tag, value) in &stats.pairs {
+            if xar_obs::tag_kind(tag) != Some(TagKind::Counter) {
+                continue;
+            }
+            match counters.iter_mut().find(|(t, _)| *t == tag) {
+                Some((_, acc)) => *acc = acc.wrapping_add(value),
+                None => counters.push((tag, value)),
+            }
+        }
+    }
+    counters.sort_by_key(|&(t, _)| t);
+    FleetSnapshot { members, fold, counters }
+}
+
+fn health_of(shared: &Shared) -> Health {
+    let cfg = &shared.config;
+    let now = Instant::now();
+    let mut reasons = Vec::new();
+    for slot in &shared.members {
+        let m = slot.lock().unwrap();
+        if !m.up {
+            reasons.push(format!("member {} down", m.addr));
+            continue;
+        }
+        let Some((newest, baseline)) = m.window_bounds(now, cfg.window) else {
+            continue; // fewer than two in-window samples: no verdict yet
+        };
+        let dt = newest.at.duration_since(baseline.at).as_secs_f64();
+        if dt <= 0.0 {
+            continue;
+        }
+        if cfg.slo_decide_p99_ns != u64::MAX {
+            let d = snapshot_of_buckets(newest.hist.get(hist_class::DECIDE).unwrap_or(&[]))
+                .diff(&snapshot_of_buckets(baseline.hist.get(hist_class::DECIDE).unwrap_or(&[])));
+            if d.count() > 0 {
+                let p99 = d.percentile(0.99);
+                if p99 > cfg.slo_decide_p99_ns {
+                    reasons.push(format!(
+                        "member {} decide p99 {}ns over SLO {}ns",
+                        m.addr, p99, cfg.slo_decide_p99_ns
+                    ));
+                }
+            }
+        }
+        let rate = |tag: u16| {
+            let n = newest.stats.get(tag).unwrap_or(0);
+            let b = baseline.stats.get(tag).unwrap_or(0);
+            n.saturating_sub(b) as f64 / dt
+        };
+        if cfg.max_protocol_errors_per_sec.is_finite() {
+            let r = rate(tags::PROTOCOL_ERRORS);
+            if r > cfg.max_protocol_errors_per_sec {
+                reasons.push(format!(
+                    "member {} protocol errors {:.3}/s over {:.3}/s",
+                    m.addr, r, cfg.max_protocol_errors_per_sec
+                ));
+            }
+        }
+        if cfg.max_pause_rate_per_sec.is_finite() {
+            let r = rate(tags::BACKPRESSURE_PAUSES);
+            if r > cfg.max_pause_rate_per_sec {
+                reasons.push(format!(
+                    "member {} backpressure pauses {:.3}/s over {:.3}/s",
+                    m.addr, r, cfg.max_pause_rate_per_sec
+                ));
+            }
+        }
+    }
+    Health { degraded: !reasons.is_empty(), reasons }
+}
+
+fn render_fleet_dump(shared: &Shared, out: &mut String) {
+    use std::fmt::Write as _;
+    let snap = snapshot_of(shared);
+    let up = snap.members.iter().filter(|m| m.up).count();
+    render_type("xar_fleet_members", "gauge", out);
+    let _ = writeln!(out, "xar_fleet_members {}", snap.members.len());
+    render_type("xar_fleet_members_up", "gauge", out);
+    let _ = writeln!(out, "xar_fleet_members_up {up}");
+    render_type("xar_fleet_member_up", "gauge", out);
+    for m in &snap.members {
+        let _ = writeln!(out, "xar_fleet_member_up{{addr=\"{}\"}} {}", m.addr, u64::from(m.up));
+    }
+    render_type("xar_fleet_member_last_scrape_age_secs", "gauge", out);
+    for m in &snap.members {
+        if let Some(age) = m.last_scrape_age {
+            let _ = writeln!(
+                out,
+                "xar_fleet_member_last_scrape_age_secs{{addr=\"{}\"}} {:.3}",
+                m.addr,
+                age.as_secs_f64()
+            );
+        }
+    }
+    for &(tag, value) in &snap.counters {
+        // Only Counter-kind tags land in the fold, so the name lookup
+        // cannot miss — but stay total anyway.
+        let name = xar_obs::tag_name(tag).unwrap_or("unknown");
+        render_type(&format!("xar_fleet_{name}"), "counter", out);
+        let _ = writeln!(out, "xar_fleet_{name} {value}");
+    }
+    for (class, buckets) in &snap.fold.classes {
+        let name = match hist_class::class_name(*class) {
+            Some(n) => format!("xar_fleet_{n}_latency_ns"),
+            None => format!("xar_fleet_class_{class}_latency_ns"),
+        };
+        render_histogram(&name, &snapshot_of_buckets(buckets), out);
+    }
+}
+
+fn render_health(shared: &Shared, out: &mut String) {
+    use std::fmt::Write as _;
+    let h = health_of(shared);
+    let _ = writeln!(out, "HEALTH {}", if h.degraded { "degraded" } else { "ok" });
+    for r in &h.reasons {
+        let _ = writeln!(out, "reason {r}");
+    }
+}
+
+fn serve_loop(shared: &Shared, listener: &TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Inline handling: obsd's port is an operator surface
+                // (nc, a scraper), not a fan-in path — one conversation
+                // at a time is the right complexity.
+                let _ = handle_conn(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let mut reply = String::new();
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            [] => continue,
+            ["DUMP"] => {
+                render_fleet_dump(shared, &mut reply);
+                reply.push_str("END\n");
+            }
+            ["HEALTH"] => {
+                render_health(shared, &mut reply);
+                reply.push_str("END\n");
+            }
+            ["QUIT"] => return Ok(()),
+            _ => reply.push_str("ERR\n"),
+        }
+        writer.write_all(reply.as_bytes())?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(rows: &[(u16, &[u64])]) -> HistDump {
+        HistDump { classes: rows.iter().map(|&(c, b)| (c, b.to_vec())).collect() }
+    }
+
+    #[test]
+    fn fold_is_bucket_exact_and_pads_unequal_rows() {
+        let a = dump(&[(hist_class::DECIDE, &[1, 2, 3]), (hist_class::REPORT_BATCH, &[7])]);
+        let b = dump(&[(hist_class::DECIDE, &[10, 20]), (u16::MAX, &[5, 5])]);
+        let fold = fold_dumps([&a, &b].into_iter());
+        assert_eq!(
+            fold.classes,
+            vec![
+                (hist_class::DECIDE, vec![11, 22, 3]),
+                (hist_class::REPORT_BATCH, vec![7]),
+                (u16::MAX, vec![5, 5]),
+            ],
+            "rows sum bucket-wise, pad to the longer row, sort by class id"
+        );
+        assert_eq!(fold_dumps(std::iter::empty::<&HistDump>()).classes, vec![]);
+    }
+
+    #[test]
+    fn snapshot_of_buckets_pads_and_truncates() {
+        let s = snapshot_of_buckets(&[3, 4]);
+        assert_eq!(s.buckets[0], 3);
+        assert_eq!(s.buckets[1], 4);
+        assert_eq!(s.buckets[2..], HistSnapshot::default().buckets[2..]);
+        let long: Vec<u64> = (0..xar_obs::BUCKETS as u64 + 8).collect();
+        let t = snapshot_of_buckets(&long);
+        assert_eq!(t.buckets[xar_obs::BUCKETS - 1], xar_obs::BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn health_reports_every_down_member() {
+        let shared = Shared {
+            config: ObsdConfig::default(),
+            members: vec![
+                Mutex::new(MemberState::new(([127, 0, 0, 1], 4101).into())),
+                Mutex::new(MemberState::new(([127, 0, 0, 1], 4102).into())),
+            ],
+            stop: AtomicBool::new(false),
+        };
+        let h = health_of(&shared);
+        assert!(h.degraded);
+        assert_eq!(h.reasons.len(), 2);
+        assert!(h.reasons[0].contains("127.0.0.1:4101 down"));
+        // Flip one up with no scrape history: still counts as one
+        // down, no verdict on the up-but-unsampled member.
+        shared.members[1].lock().unwrap().up = true;
+        let h = health_of(&shared);
+        assert!(h.degraded);
+        assert_eq!(h.reasons.len(), 1);
+    }
+
+    #[test]
+    fn windowed_health_checks_fire_on_diffs_not_totals() {
+        let cfg = ObsdConfig {
+            slo_decide_p99_ns: 10, // ~everything breaches
+            max_protocol_errors_per_sec: 0.5,
+            ..ObsdConfig::default()
+        };
+        let shared = Shared {
+            config: cfg,
+            members: vec![Mutex::new(MemberState::new(([127, 0, 0, 1], 4103).into()))],
+            stop: AtomicBool::new(false),
+        };
+        let now = Instant::now();
+        let mut decide_late = vec![0u64; xar_obs::BUCKETS];
+        decide_late[30] = 100; // all samples far above 10ns
+        {
+            let mut m = shared.members[0].lock().unwrap();
+            m.up = true;
+            m.last_ok = Some(now);
+            m.history.push_back(Scrape {
+                at: now - Duration::from_secs(2),
+                stats: StatsV2 { pairs: vec![(tags::PROTOCOL_ERRORS, 4)] },
+                hist: dump(&[(hist_class::DECIDE, &decide_late)]),
+            });
+            // Newest scrape: no NEW decides, no NEW protocol errors.
+            m.history.push_back(Scrape {
+                at: now,
+                stats: StatsV2 { pairs: vec![(tags::PROTOCOL_ERRORS, 4)] },
+                hist: dump(&[(hist_class::DECIDE, &decide_late)]),
+            });
+        }
+        let h = health_of(&shared);
+        assert!(
+            !h.degraded,
+            "no in-window activity must mean ok even with huge cumulative totals: {:?}",
+            h.reasons
+        );
+        // Now the newest scrape carries fresh slow decides and errors.
+        let mut worse = decide_late.clone();
+        worse[30] += 50;
+        {
+            let mut m = shared.members[0].lock().unwrap();
+            m.history.push_back(Scrape {
+                at: now + Duration::from_secs(1),
+                stats: StatsV2 { pairs: vec![(tags::PROTOCOL_ERRORS, 9)] },
+                hist: dump(&[(hist_class::DECIDE, &worse)]),
+            });
+        }
+        let h = health_of(&shared);
+        assert!(h.degraded);
+        assert!(h.reasons.iter().any(|r| r.contains("decide p99")), "{:?}", h.reasons);
+        assert!(h.reasons.iter().any(|r| r.contains("protocol errors")), "{:?}", h.reasons);
+    }
+
+    #[test]
+    fn counter_fold_sums_only_counter_kind_tags() {
+        let shared = Shared {
+            config: ObsdConfig::default(),
+            members: vec![
+                Mutex::new(MemberState::new(([127, 0, 0, 1], 4104).into())),
+                Mutex::new(MemberState::new(([127, 0, 0, 1], 4105).into())),
+            ],
+            stop: AtomicBool::new(false),
+        };
+        let now = Instant::now();
+        for (i, decides) in [(0usize, 10u64), (1, 32)] {
+            let mut m = shared.members[i].lock().unwrap();
+            m.up = true;
+            m.last_ok = Some(now);
+            m.history.push_back(Scrape {
+                at: now,
+                stats: StatsV2 {
+                    pairs: vec![
+                        (tags::DECIDES, decides),
+                        (tags::DAEMON_ID, i as u64 + 1), // gauge: must not sum
+                        (9999, 7),                       // unknown: must not sum
+                    ],
+                },
+                hist: HistDump { classes: vec![] },
+            });
+        }
+        let snap = snapshot_of(&shared);
+        assert_eq!(snap.counters, vec![(tags::DECIDES, 42)]);
+        assert_eq!(snap.members[0].stats.as_ref().unwrap().get(tags::DAEMON_ID), Some(1));
+    }
+}

@@ -35,11 +35,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xar_desim::DecideCtx;
-use xar_obs::{Event as TraceEvent, EventCounters, TraceLog, TraceReader, Tracer};
+use xar_obs::{Event as TraceEvent, EventCounters, SeriesRing, TraceLog, TraceReader, Tracer};
 use xar_reactor::{BackendKind, Event, Interest, Reactor, Token, Waker};
 
 /// Connection-layer tuning knobs.
@@ -115,6 +115,22 @@ pub struct ServerConfig {
     /// trace event. `u64::MAX` silences the events without touching
     /// the rest of tracing.
     pub slow_decide_ns: u64,
+    /// Operator-assigned identity of this daemon, stamped into every
+    /// trace event (the `daemon=` dimension next to `worker=`) and
+    /// shipped as the `daemon_id` StatsV2 tag, so fleet aggregators
+    /// and interleaved trace logs can tell members apart. 0 (the
+    /// default) is an ordinary id for standalone daemons.
+    pub daemon_id: u16,
+    /// Capacity (samples) of the in-daemon time-series rings behind
+    /// `SERIES`/`RATE` and the windowed `DUMP` section. 0 disables
+    /// the series layer entirely.
+    pub series_slots: usize,
+    /// Period of one time-series slot. Samples are recorded from the
+    /// workers' maintenance ticks and opportunistically when a series
+    /// query arrives, so effective resolution is additionally bounded
+    /// by `flush_interval` on an idle daemon. Zero disables the
+    /// series layer.
+    pub series_tick: Duration,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +148,9 @@ impl Default for ServerConfig {
             trace_capacity: 1024,
             trace_log_capacity: 4096,
             slow_decide_ns: 1_000_000,
+            daemon_id: 0,
+            series_slots: xar_obs::DEFAULT_SLOTS,
+            series_tick: Duration::from_secs(1),
         }
     }
 }
@@ -197,6 +216,72 @@ impl ConnCounters {
     }
 }
 
+/// Counter series carried by the per-tick time-series rings, in ring
+/// index order. The names are the query surface of
+/// `SERIES <name> <secs>` and `RATE <name>`.
+const SERIES_COUNTERS: &[&str] = &[
+    "decides",
+    "reports",
+    "protocol_errors",
+    "backpressure_pauses",
+    "trace_events",
+    "reaped_conns",
+];
+
+/// Histogram op classes in the rings, in ring index order — the same
+/// classes (and order) `HistDump` ships. Queried as
+/// `SERIES <class>_p50_ns <secs>` / `SERIES <class>_p99_ns <secs>`.
+const SERIES_HISTS: &[&str] = &["decide", "decide_batch", "report_batch", "flush_publish"];
+
+/// Window of the `RATE <name>` command, in seconds.
+const RATE_WINDOW_SECS: u64 = 10;
+
+/// Window of the `DUMP` windowed section, in seconds.
+const DUMP_WINDOW_SECS: u64 = 60;
+
+/// The daemon-wide time-series state every worker records into:
+/// cumulative samples of the fleet-relevant counters and op-class
+/// histograms, one per `series_tick`. Shared behind an `Arc` because
+/// any worker's maintenance tick may be the one that lands on a slot
+/// boundary first; the `last` CAS gates so exactly one records it.
+struct SeriesState {
+    start: Instant,
+    tick: Duration,
+    /// Highest tick index recorded so far.
+    last: AtomicU64,
+    ring: Mutex<SeriesRing>,
+}
+
+impl SeriesState {
+    fn new(config: &ServerConfig) -> Option<Arc<SeriesState>> {
+        if config.series_slots == 0 || config.series_tick.is_zero() {
+            return None;
+        }
+        Some(Arc::new(SeriesState {
+            start: Instant::now(),
+            tick: config.series_tick,
+            last: AtomicU64::new(0),
+            ring: Mutex::new(SeriesRing::new(
+                config.series_slots,
+                SERIES_COUNTERS.len(),
+                SERIES_HISTS.len(),
+            )),
+        }))
+    }
+
+    /// A window expressed in seconds, converted to ring ticks
+    /// (rounded up; at least one).
+    fn ticks_for_secs(&self, secs: u64) -> u64 {
+        let tick_ns = self.tick.as_nanos().max(1);
+        ((secs as u128 * 1_000_000_000).div_ceil(tick_ns)).max(1) as u64
+    }
+
+    /// Converts a ring per-tick rate into a per-second rate.
+    fn per_sec(&self, per_tick: f64) -> f64 {
+        per_tick / self.tick.as_secs_f64()
+    }
+}
+
 /// The per-worker slice of server state, threaded (mutably — the
 /// decide handle and batch scratch are worker-owned) through the
 /// connection-servicing call chain.
@@ -221,6 +306,10 @@ struct WorkerCtx<P: PolicyCore> {
     trace_reader: TraceReader,
     /// The shared bounded event log behind the v1 `TRACE n` command.
     trace_log: Arc<TraceLog>,
+    /// Daemon start time, for the `uptime_secs` tag.
+    started: Instant,
+    /// Shared per-tick time-series state (`None` when disabled).
+    series: Option<Arc<SeriesState>>,
     config: ServerConfig,
 }
 
@@ -228,6 +317,39 @@ impl<P: PolicyCore> WorkerCtx<P> {
     /// Drains this worker's trace ring into the shared log.
     fn drain_trace(&mut self) {
         self.trace_log.drain_from(&mut self.trace_reader);
+    }
+
+    /// Records a time-series sample if a new tick has begun since the
+    /// last recorded one. Called from every worker's maintenance tick
+    /// and opportunistically by the series queries, so an idle daemon
+    /// still answers them. CAS-gated: of the workers racing on a slot
+    /// boundary exactly one records it; the rest see the bumped `last`
+    /// and do nothing. Cheap when not due — a clock read and one
+    /// relaxed load.
+    fn advance_series(&self) {
+        let Some(s) = &self.series else { return };
+        let tick = (s.start.elapsed().as_nanos() / s.tick.as_nanos().max(1)) as u64;
+        let last = s.last.load(Ordering::Relaxed);
+        if tick <= last
+            || s.last.compare_exchange(last, tick, Ordering::Relaxed, Ordering::Relaxed).is_err()
+        {
+            return;
+        }
+        let m = self.engine.metrics_total();
+        let o = self.engine.obs_total();
+        let ev = self.tracer.counters();
+        let r = Ordering::Relaxed;
+        // Index order pins to SERIES_COUNTERS / SERIES_HISTS.
+        let counters = [
+            m.decides,
+            m.reports,
+            ev.proto_errors.load(r),
+            ev.pauses.load(r),
+            ev.emitted(),
+            self.counters.reaped.load(r),
+        ];
+        let hists = [o.decide, o.decide_batch, o.report_batch, o.flush_publish];
+        s.ring.lock().unwrap().record(tick, &counters, &hists);
     }
 
     /// Records one reaped connection and, when an admission cap is
@@ -351,7 +473,24 @@ impl<P: PolicyCore> Server<P> {
     ///
     /// Propagates socket and reactor-creation errors.
     pub fn spawn(engine: ShardedEngine<P>, config: ServerConfig) -> std::io::Result<Server<P>> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        Server::spawn_at(engine, config, (std::net::Ipv4Addr::LOCALHOST, 0).into())
+    }
+
+    /// Spawns the daemon bound to a specific address. Deployments (and
+    /// fleet tests) that must come back on the same port after a
+    /// restart — so an aggregator's reconnect backoff finds them again
+    /// — use this; [`Server::spawn`] keeps the ephemeral-port default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and reactor-creation errors (including an
+    /// already-bound address).
+    pub fn spawn_at(
+        engine: ShardedEngine<P>,
+        config: ServerConfig,
+        bind: SocketAddr,
+    ) -> std::io::Result<Server<P>> {
+        let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let engine = Arc::new(engine);
@@ -369,6 +508,8 @@ impl<P: PolicyCore> Server<P> {
         let counters = Arc::new(ConnCounters::default());
         let obs_counters = Arc::new(EventCounters::default());
         let trace_log = Arc::new(TraceLog::new(config.trace_log_capacity));
+        let series = SeriesState::new(&config);
+        let started = Instant::now();
         let mut handles = Vec::with_capacity(workers + 1);
         let mut wakers = Vec::with_capacity(workers + 1);
         let mut worker_ports: Vec<(Sender<TcpStream>, Waker)> = Vec::with_capacity(workers);
@@ -377,6 +518,14 @@ impl<P: PolicyCore> Server<P> {
             worker_ports.push((tx, reactor.waker()));
             wakers.push(reactor.waker());
             let (trace_writer, trace_reader) = xar_obs::ring(config.trace_capacity);
+            let mut tracer = Tracer::new(
+                trace_writer,
+                w as u16,
+                config.trace,
+                config.slow_decide_ns,
+                obs_counters.clone(),
+            );
+            tracer.set_daemon(config.daemon_id);
             let ctx = WorkerCtx {
                 handle: engine.handle(),
                 scratch: BatchScratch::default(),
@@ -384,15 +533,11 @@ impl<P: PolicyCore> Server<P> {
                 engine: engine.clone(),
                 counters: counters.clone(),
                 acceptor: acceptor.waker(),
-                tracer: Tracer::new(
-                    trace_writer,
-                    w as u16,
-                    config.trace,
-                    config.slow_decide_ns,
-                    obs_counters.clone(),
-                ),
+                tracer,
                 trace_reader,
                 trace_log: trace_log.clone(),
+                started,
+                series: series.clone(),
                 config,
             };
             let stop = stop.clone();
@@ -409,17 +554,15 @@ impl<P: PolicyCore> Server<P> {
         // The acceptor gets its own ring (worker id = `workers`) so
         // rejection events never contend with a worker's producer side.
         let (a_writer, a_reader) = xar_obs::ring(config.trace_capacity);
-        let acceptor_trace = AcceptorTrace {
-            tracer: Tracer::new(
-                a_writer,
-                workers as u16,
-                config.trace,
-                config.slow_decide_ns,
-                obs_counters,
-            ),
-            reader: a_reader,
-            log: trace_log,
-        };
+        let mut a_tracer = Tracer::new(
+            a_writer,
+            workers as u16,
+            config.trace,
+            config.slow_decide_ns,
+            obs_counters,
+        );
+        a_tracer.set_daemon(config.daemon_id);
+        let acceptor_trace = AcceptorTrace { tracer: a_tracer, reader: a_reader, log: trace_log };
         handles.push(
             std::thread::Builder::new()
                 .name("xar-sched-acceptor".into())
@@ -643,6 +786,9 @@ fn worker_loop<P: PolicyCore>(
             if *t == MAINT_TOKEN {
                 ctx.engine.flush_dirty_obs(Some(&mut ctx.tracer));
                 ctx.drain_trace();
+                // Advance the per-tick time-series once the counters
+                // above are settled for this tick.
+                ctx.advance_series();
                 continue;
             }
             // Idle deadline: a full window passed — reap only if the
@@ -1082,6 +1228,24 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
             let pairs = collect_stats_v2(ctx);
             wire::encode_response(&Response::StatsV2(wire::StatsV2 { pairs }), out);
         }
+        Request::HistDump => {
+            // Raw per-bucket counts of the merged cross-worker
+            // histograms — the same snapshots the StatsV2 quantiles
+            // are computed from, so the two scrape surfaces cannot
+            // disagree about the distributions they describe.
+            let o = ctx.engine.obs_total();
+            wire::encode_response(
+                &Response::HistDump(wire::HistDump {
+                    classes: vec![
+                        (wire::hist_class::DECIDE, o.decide.buckets.to_vec()),
+                        (wire::hist_class::DECIDE_BATCH, o.decide_batch.buckets.to_vec()),
+                        (wire::hist_class::REPORT_BATCH, o.report_batch.buckets.to_vec()),
+                        (wire::hist_class::FLUSH_PUBLISH, o.flush_publish.buckets.to_vec()),
+                    ],
+                }),
+                out,
+            );
+        }
     }
 }
 
@@ -1128,7 +1292,23 @@ fn collect_stats_v2<P: PolicyCore>(ctx: &WorkerCtx<P>) -> Vec<(u16, u64)> {
         (tags::FLUSH_PUBLISH_P99_NS, o.flush_publish.percentile(0.99)),
         (tags::FLUSH_PUBLISHES, ev.flush_publishes.load(r)),
         (tags::FLUSH_ROWS, ev.flush_rows.load(r)),
+        (tags::DAEMON_ID, ctx.config.daemon_id as u64),
+        (tags::UPTIME_SECS, ctx.started.elapsed().as_secs()),
+        (
+            tags::SERIES_SLOTS,
+            ctx.series.as_ref().map_or(0, |s| s.ring.lock().unwrap().len() as u64),
+        ),
     ]
+}
+
+/// `<class>_p50_ns` / `<class>_p99_ns` → (ring histogram index,
+/// quantile) for the `SERIES` command.
+fn parse_quantile_series(name: &str) -> Option<(usize, f64)> {
+    let (base, q) = name
+        .strip_suffix("_p50_ns")
+        .map(|b| (b, 0.50))
+        .or_else(|| name.strip_suffix("_p99_ns").map(|b| (b, 0.99)))?;
+    SERIES_HISTS.iter().position(|&c| c == base).map(|i| (i, q))
 }
 
 /// Handles buffered complete lines of the legacy v1 text protocol
@@ -1222,8 +1402,47 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
                     &o.flush_publish,
                     &mut text,
                 );
-                for (i, m) in ctx.engine.metrics().iter().enumerate() {
+                // Windowed section: sliding-window quantiles and
+                // per-second rates from the per-tick series. Absent
+                // until the series holds two samples (and entirely
+                // when the series layer is disabled) — cumulative
+                // lifetime values above are always present.
+                ctx.advance_series();
+                if let Some(state) = &ctx.series {
+                    let ring = state.ring.lock().unwrap();
+                    let w = state.ticks_for_secs(DUMP_WINDOW_SECS);
+                    for (i, class) in SERIES_HISTS.iter().enumerate() {
+                        if let Some(h) = ring.windowed_hist(i, w) {
+                            for (q, qn) in [(0.50, "p50"), (0.99, "p99")] {
+                                let name = format!("xar_windowed_{class}_{qn}_ns");
+                                xar_obs::render_type(&name, "gauge", &mut text);
+                                let _ = writeln!(
+                                    &mut text,
+                                    "{name}{{window=\"{DUMP_WINDOW_SECS}s\"}} {}",
+                                    h.percentile(q)
+                                );
+                            }
+                        }
+                    }
+                    for (i, name) in SERIES_COUNTERS.iter().enumerate() {
+                        if let Some(per_tick) = ring.rate(i, w) {
+                            let full = format!("xar_rate_{name}");
+                            xar_obs::render_type(&full, "gauge", &mut text);
+                            let _ = writeln!(
+                                &mut text,
+                                "{full}{{window=\"{DUMP_WINDOW_SECS}s\"}} {:.3}",
+                                state.per_sec(per_tick)
+                            );
+                        }
+                    }
+                }
+                let shard_metrics = ctx.engine.metrics();
+                xar_obs::render_type("xar_shard_decides", "gauge", &mut text);
+                for (i, m) in shard_metrics.iter().enumerate() {
                     xar_obs::render_shard_gauge("shard_decides", i, m.decides, &mut text);
+                }
+                xar_obs::render_type("xar_shard_reports", "gauge", &mut text);
+                for (i, m) in shard_metrics.iter().enumerate() {
                     xar_obs::render_shard_gauge("shard_reports", i, m.reports, &mut text);
                 }
                 conn.outbuf.extend_from_slice(text.as_bytes());
@@ -1232,11 +1451,58 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
             wire::V1Request::Trace { n } => {
                 ctx.drain_trace();
                 let mut text = String::new();
-                for ev in ctx.trace_log.last(n) {
+                // An oversized n (the grammar already clamped literals
+                // past usize) means "everything the log holds".
+                for ev in ctx.trace_log.last(n.min(ctx.config.trace_log_capacity)) {
                     let _ = writeln!(&mut text, "{ev}");
                 }
                 conn.outbuf.extend_from_slice(text.as_bytes());
                 conn.outbuf.extend_from_slice(b"END\n");
+            }
+            wire::V1Request::Series { name, secs } => {
+                ctx.advance_series();
+                let rows = ctx.series.as_ref().and_then(|state| {
+                    let ring = state.ring.lock().unwrap();
+                    let w = state.ticks_for_secs(secs);
+                    if let Some(i) = SERIES_COUNTERS.iter().position(|&c| c == name) {
+                        Some(ring.deltas(i, w))
+                    } else {
+                        parse_quantile_series(name).map(|(i, q)| ring.quantile_series(i, w, q))
+                    }
+                });
+                match rows {
+                    Some(rows) => {
+                        let mut text = String::new();
+                        for (tick, v) in rows {
+                            let _ = writeln!(&mut text, "{tick} {v}");
+                        }
+                        conn.outbuf.extend_from_slice(text.as_bytes());
+                        conn.outbuf.extend_from_slice(b"END\n");
+                    }
+                    // Unknown series name, or the series layer is
+                    // disabled.
+                    None => conn.outbuf.extend_from_slice(b"ERR\n"),
+                }
+            }
+            wire::V1Request::Rate { name } => {
+                ctx.advance_series();
+                let rate = ctx.series.as_ref().and_then(|state| {
+                    let i = SERIES_COUNTERS.iter().position(|&c| c == name)?;
+                    let per_tick =
+                        state.ring.lock().unwrap().rate(i, state.ticks_for_secs(RATE_WINDOW_SECS));
+                    // A series with fewer than two samples yet reads
+                    // as a zero rate, not an error.
+                    Some(per_tick.map_or(0.0, |r| state.per_sec(r)))
+                });
+                match rate {
+                    Some(r) => {
+                        let mut text = String::new();
+                        let _ = writeln!(&mut text, "xar_rate_{name} {r:.3}");
+                        conn.outbuf.extend_from_slice(text.as_bytes());
+                        conn.outbuf.extend_from_slice(b"END\n");
+                    }
+                    None => conn.outbuf.extend_from_slice(b"ERR\n"),
+                }
             }
             wire::V1Request::Quit => {
                 conn.closed = true;

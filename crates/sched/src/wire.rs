@@ -104,6 +104,8 @@ pub mod op {
     pub const DECIDE_BATCH: u8 = 0x07;
     /// `StatsV2` — fetch self-describing tagged statistics.
     pub const STATS_V2: u8 = 0x08;
+    /// `HistDump` — fetch per-op-class latency histogram buckets.
+    pub const HIST_DUMP: u8 = 0x09;
     /// Reply to `DECIDE`.
     pub const R_DECIDE: u8 = 0x81;
     /// Acknowledgement carrying an accepted-item count.
@@ -118,6 +120,8 @@ pub mod op {
     pub const R_DECIDE_BATCH: u8 = 0x87;
     /// Reply to `STATS_V2`: N tagged (u16, u64) counter pairs.
     pub const R_STATS_V2: u8 = 0x88;
+    /// Reply to `HIST_DUMP`: N self-describing histogram rows.
+    pub const R_HIST_DUMP: u8 = 0x89;
     /// Error reply carrying a message.
     pub const R_ERR: u8 = 0xFF;
 }
@@ -224,6 +228,56 @@ impl StatsV2 {
     }
 }
 
+/// Stable ids for the histogram op classes a `HistDump` reply may
+/// carry. Like the `StatsV2` tag registry these are append-only: an id
+/// is never reused, so an aggregator built before a class existed still
+/// decodes the frame (each row announces its own bucket count) and
+/// simply skips ids it does not recognize.
+pub mod hist_class {
+    /// Per-decide election latency.
+    pub const DECIDE: u16 = 1;
+    /// Whole-frame `DecideBatch` latency.
+    pub const DECIDE_BATCH: u16 = 2;
+    /// Batch report apply-loop latency.
+    pub const REPORT_BATCH: u16 = 3;
+    /// Shard snapshot publication latency.
+    pub const FLUSH_PUBLISH: u16 = 4;
+
+    /// Every registered class with its exposition name, ascending.
+    pub const CLASSES: &[(u16, &str)] = &[
+        (DECIDE, "decide"),
+        (DECIDE_BATCH, "decide_batch"),
+        (REPORT_BATCH, "report_batch"),
+        (FLUSH_PUBLISH, "flush_publish"),
+    ];
+
+    /// Exposition name for a class id, or `None` for ids this build
+    /// predates.
+    pub fn class_name(id: u16) -> Option<&'static str> {
+        CLASSES.binary_search_by_key(&id, |&(c, _)| c).ok().map(|i| CLASSES[i].1)
+    }
+}
+
+/// Per-op-class latency histogram buckets carried by the `HistDump`
+/// reply: one row per class, each row self-describing (class id +
+/// bucket count + that many cumulative-free `u64` bucket values), so
+/// unknown classes skip structurally the same way unknown `StatsV2`
+/// tags do. Buckets are the raw per-bucket counts of the daemon's
+/// log₂ histograms — they merge across daemons bucket-exactly by
+/// element-wise addition, which is what fleet aggregation folds on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistDump {
+    /// `(class id, bucket counts)` rows in daemon-chosen order.
+    pub classes: Vec<(u16, Vec<u64>)>,
+}
+
+impl HistDump {
+    /// Bucket counts of the first row carrying `class`, if present.
+    pub fn get(&self, class: u16) -> Option<&[u64]> {
+        self.classes.iter().find(|&&(c, _)| c == class).map(|(_, b)| b.as_slice())
+    }
+}
+
 /// A decoded client request. Strings borrow from the receive buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request<'a> {
@@ -257,6 +311,8 @@ pub enum Request<'a> {
     DecideBatch(Vec<WireQuery<'a>>),
     /// Self-describing statistics request.
     StatsV2,
+    /// Per-op-class latency histogram request.
+    HistDump,
 }
 
 /// A decoded server response. Strings borrow from the receive buffer.
@@ -282,6 +338,8 @@ pub enum Response<'a> {
     DecideBatch(Vec<xar_desim::Decision>),
     /// Self-describing tagged statistics.
     StatsV2(StatsV2),
+    /// Per-op-class latency histogram buckets.
+    HistDump(HistDump),
     /// Protocol or handler error.
     Err(&'a str),
 }
@@ -435,10 +493,31 @@ pub enum V1Request<'a> {
     /// `xar-core` server (no observability registry) answers `ERR`.
     Dump,
     /// `TRACE <n>` — the last `n` ring-buffer trace events, oldest
-    /// first, terminated by `END`. Same server split as `DUMP`.
+    /// first, terminated by `END`. Same server split as `DUMP`. `n = 0`
+    /// answers just `END`; an `n` past the log capacity (including
+    /// literals too large for `usize`) clamps to it instead of erroring
+    /// — asking for "everything" must not be a protocol error.
     Trace {
         /// Maximum number of events to return.
         n: usize,
+    },
+    /// `SERIES <name> <secs>` — per-slot time-series values of one
+    /// tracked counter (deltas) or windowed quantile (`<class>_p50_ns`
+    /// / `<class>_p99_ns`) over the last `secs` seconds, one
+    /// `<tick> <value>` line per slot, terminated by `END`. Same server
+    /// split as `DUMP`.
+    Series {
+        /// Series name (counter or `<class>_p50_ns`/`<class>_p99_ns`).
+        name: &'a str,
+        /// Window, in seconds.
+        secs: u64,
+    },
+    /// `RATE <name>` — sliding-window per-second rate of one tracked
+    /// counter, answered as `xar_rate_<name> <value>` + `END`. Same
+    /// server split as `DUMP`.
+    Rate {
+        /// Counter name.
+        name: &'a str,
     },
     /// `QUIT`
     Quit,
@@ -461,9 +540,22 @@ pub fn parse_v1_line(line: &str) -> Option<V1Request<'_>> {
         }),
         ["TABLE"] => Some(V1Request::Table),
         ["DUMP"] => Some(V1Request::Dump),
-        ["TRACE", n] => Some(V1Request::Trace { n: n.parse().ok()? }),
+        ["TRACE", n] => Some(V1Request::Trace { n: parse_count_clamped(n)? }),
+        ["SERIES", name, secs] => Some(V1Request::Series { name, secs: secs.parse().ok()? }),
+        ["RATE", name] => Some(V1Request::Rate { name }),
         ["QUIT"] => Some(V1Request::Quit),
         _ => None,
+    }
+}
+
+/// Parses a non-negative count, saturating at `usize::MAX` for digit
+/// strings too large to represent — `TRACE 99999999999999999999` means
+/// "everything", not `ERR`. Non-digit input is still a parse failure.
+fn parse_count_clamped(s: &str) -> Option<usize> {
+    match s.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) => Some(usize::MAX),
+        Err(_) => None,
     }
 }
 
@@ -581,6 +673,7 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
         Request::Stats => FrameWriter::begin(out, op::STATS).finish(),
         Request::DecideBatch(qs) => encode_decide_batch(qs, out),
         Request::StatsV2 => FrameWriter::begin(out, op::STATS_V2).finish(),
+        Request::HistDump => FrameWriter::begin(out, op::HIST_DUMP).finish(),
     }
 }
 
@@ -702,6 +795,20 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
             for &(tag, value) in &s.pairs {
                 w.u16(tag);
                 w.u64(value);
+            }
+            w.finish();
+        }
+        Response::HistDump(h) => {
+            assert!(h.classes.len() <= MAX_BATCH, "{} classes exceed u16 count", h.classes.len());
+            let mut w = FrameWriter::begin(out, op::R_HIST_DUMP);
+            w.u16(h.classes.len() as u16);
+            for (class, buckets) in &h.classes {
+                assert!(buckets.len() <= MAX_BATCH, "{} buckets exceed u16 count", buckets.len());
+                w.u16(*class);
+                w.u16(buckets.len() as u16);
+                for &b in buckets {
+                    w.u64(b);
+                }
             }
             w.finish();
         }
@@ -832,6 +939,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
         op::PING => Ok(Request::Ping(r.u64()?)),
         op::STATS => Ok(Request::Stats),
         op::STATS_V2 => Ok(Request::StatsV2),
+        op::HIST_DUMP => Ok(Request::HistDump),
         op::DECIDE_BATCH => {
             let n = r.u16()? as usize;
             // Refused before parsing a single query: an oversized batch
@@ -919,6 +1027,23 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
                 pairs.push((tag, value));
             }
             Ok(Response::StatsV2(StatsV2 { pairs }))
+        }
+        op::R_HIST_DUMP => {
+            let n = r.u16()? as usize;
+            let mut classes = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                // Classes are opaque here: each row announces its own
+                // bucket count, so ids this client predates decode
+                // structurally (forward compatibility, like StatsV2).
+                let class = r.u16()?;
+                let nb = r.u16()? as usize;
+                let mut buckets = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    buckets.push(r.u64()?);
+                }
+                classes.push((class, buckets));
+            }
+            Ok(Response::HistDump(HistDump { classes }))
         }
         op::R_ERR => Ok(Response::Err(r.str()?)),
         other => Err(WireError::BadOpcode(other)),
@@ -1076,6 +1201,57 @@ mod tests {
     }
 
     #[test]
+    fn hist_dump_rows_are_self_describing_and_unknown_classes_survive() {
+        let h = HistDump {
+            classes: vec![
+                (hist_class::DECIDE, vec![1, 2, 3]),
+                // An id this build does not register: decodes as data.
+                (u16::MAX, vec![7]),
+                (hist_class::FLUSH_PUBLISH, vec![]),
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_response(&Response::HistDump(h.clone()), &mut buf);
+        // header + opcode + u16 row count + per row (u16 class +
+        // u16 bucket count + buckets × u64): fixed-width pairs.
+        assert_eq!(buf.len(), 4 + 1 + 2 + (2 + 2 + 3 * 8) + (2 + 2 + 8) + (2 + 2));
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        match decode_response(&buf[range]).unwrap() {
+            Response::HistDump(got) => {
+                assert_eq!(got, h);
+                assert_eq!(got.get(hist_class::DECIDE), Some(&[1u64, 2, 3][..]));
+                assert_eq!(got.get(u16::MAX), Some(&[7u64][..]), "unknown class is data");
+                assert_eq!(got.get(hist_class::REPORT_BATCH), None);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Truncating the reply payload mid-row is a decode error, not
+        // a silent short read.
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        match decode_response(&buf[range.start..range.end - 1]) {
+            Err(WireError::Truncated) => {}
+            other => panic!("truncated frame decoded: {other:?}"),
+        }
+        // Empty request frame round-trips.
+        let mut req = Vec::new();
+        encode_request(&Request::HistDump, &mut req);
+        assert_eq!(req.len(), 4 + 1, "request: header + opcode only");
+        let (_, range) = frame_in(&req).unwrap().unwrap();
+        assert_eq!(decode_request(&req[range]).unwrap(), Request::HistDump);
+    }
+
+    #[test]
+    fn hist_class_registry_is_sorted_and_named() {
+        for w in hist_class::CLASSES.windows(2) {
+            assert!(w[0].0 < w[1].0, "CLASSES must be ascending for binary search");
+        }
+        assert_eq!(hist_class::class_name(hist_class::DECIDE), Some("decide"));
+        assert_eq!(hist_class::class_name(hist_class::FLUSH_PUBLISH), Some("flush_publish"));
+        assert_eq!(hist_class::class_name(0), None);
+        assert_eq!(hist_class::class_name(u16::MAX), None);
+    }
+
+    #[test]
     fn stats_frames_are_fixed_width() {
         let mut buf = Vec::new();
         encode_request(&Request::Stats, &mut buf);
@@ -1184,6 +1360,22 @@ mod tests {
         assert_eq!(parse_v1_line("TABLE"), Some(V1Request::Table));
         assert_eq!(parse_v1_line("DUMP"), Some(V1Request::Dump));
         assert_eq!(parse_v1_line("TRACE 32"), Some(V1Request::Trace { n: 32 }));
+        assert_eq!(parse_v1_line("TRACE 0"), Some(V1Request::Trace { n: 0 }));
+        // A count too large for usize clamps ("everything"), it does
+        // not become a protocol error.
+        assert_eq!(
+            parse_v1_line("TRACE 99999999999999999999999999"),
+            Some(V1Request::Trace { n: usize::MAX })
+        );
+        assert_eq!(
+            parse_v1_line("SERIES decides 60"),
+            Some(V1Request::Series { name: "decides", secs: 60 })
+        );
+        assert_eq!(
+            parse_v1_line("SERIES decide_p99_ns 5"),
+            Some(V1Request::Series { name: "decide_p99_ns", secs: 5 })
+        );
+        assert_eq!(parse_v1_line("RATE decides"), Some(V1Request::Rate { name: "decides" }));
         assert_eq!(parse_v1_line("QUIT"), Some(V1Request::Quit));
         // Loads beyond u32 parse (the engine saturates later) — the
         // seed server accepted any usize, so the shared grammar must.
@@ -1196,6 +1388,10 @@ mod tests {
             "DECIDE a k 1",
             "TRACE",
             "TRACE x",
+            "TRACE -1",
+            "SERIES decides",
+            "SERIES decides x",
+            "RATE",
         ] {
             assert_eq!(parse_v1_line(bad), None, "{bad:?}");
         }

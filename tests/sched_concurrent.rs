@@ -1126,6 +1126,9 @@ fn fleet_trace_records_lifecycle_events_in_per_worker_order() {
         }
         let mut parts = line.split_whitespace();
         let seq: u64 = parts.next().unwrap().parse().unwrap_or_else(|_| panic!("bad line {line}"));
+        let daemon_id: u64 =
+            parts.next().unwrap().strip_prefix("daemon=").unwrap().parse().unwrap();
+        assert_eq!(daemon_id, 0, "default daemon_id is stamped on every trace line");
         let worker: u64 = parts.next().unwrap().strip_prefix("worker=").unwrap().parse().unwrap();
         let kind = parts.next().unwrap();
         if let Some(&prev) = last_seq.get(&worker) {
