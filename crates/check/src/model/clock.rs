@@ -1,0 +1,73 @@
+//! Vector clocks — the happens-before bookkeeping behind the model's
+//! weak-memory semantics.
+//!
+//! Every model thread carries a [`VClock`]; every shim operation ticks
+//! the running thread's own component. A store records the writer's
+//! clock, an acquiring load that reads a releasing store joins the two
+//! — so `a ≤ b` on clocks is exactly "a happens-before b" over the
+//! explored execution, and the explorer can ask questions like "is the
+//! reader allowed to still see the old value of this location?".
+
+/// A vector clock over model thread ids. Missing components are zero,
+/// so clocks for executions with late-spawned threads compare cleanly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The all-zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// This thread performed one more operation.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component for `tid` (zero if never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Component-wise maximum: after `a.join(&b)`, everything ordered
+    /// before either clock is ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// `self ≤ other` component-wise: does `self` happen-before (or
+    /// equal) `other`?
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(tid, &c)| c <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        assert!(!a.le(&b), "a advanced past b");
+        assert!(b.le(&a), "zero clock precedes everything");
+        b.tick(3);
+        assert!(!a.le(&b) && !b.le(&a), "concurrent clocks are incomparable");
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+        assert_eq!(j.get(0), 1);
+        assert_eq!(j.get(3), 1);
+        assert_eq!(j.get(7), 0, "missing components read as zero");
+    }
+}

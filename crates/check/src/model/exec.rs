@@ -1,0 +1,676 @@
+//! The deterministic interleaving explorer.
+//!
+//! An [`Explorer`] runs a test body many times. Each run is one
+//! *execution*: the body's model threads (spawned with
+//! [`super::thread::spawn`]) are real OS threads, but exactly one runs
+//! at a time — a token passes between them, and every shim operation
+//! ([`super::sync`]) is a *scheduling point* where the explorer chooses
+//! which thread performs its next operation. Loads from model atomics
+//! add *value choices*: a load may observe any store not yet ruled out
+//! by happens-before or per-thread coherence, which is how relaxed-
+//! memory staleness is explored without real weak hardware.
+//!
+//! Choices form a stack; the explorer enumerates schedules by bounded
+//! depth-first search over that stack — deterministically, so a
+//! failing schedule is identified by its choice sequence alone. That
+//! sequence is the **seed**: [`Violation::seed`] prints it,
+//! [`Explorer::replay`] re-runs exactly that execution.
+//!
+//! Model primitives must be created *inside* the body closure: every
+//! execution must start from identical state, or replay diverges (the
+//! explorer detects divergence and reports it instead of looping).
+
+use super::clock::VClock;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+/// Hard cap on model threads per execution (the root body counts as
+/// thread 0). Interleaving spaces explode combinatorially; a scenario
+/// needing more threads than this needs a smaller scenario.
+pub const MAX_THREADS: usize = 8;
+
+/// `Inner::current` value meaning "no thread holds the run token".
+const NOBODY: usize = usize::MAX;
+
+/// What a non-runnable thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Waiting for lock `.0` to admit a reader.
+    LockRead(usize),
+    /// Waiting for lock `.0` to admit the writer.
+    LockWrite(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Runnable: may be handed the token at any scheduling point.
+    Ready,
+    /// Parked until the awaited condition wakes it.
+    Blocked(Wait),
+    /// Body returned (or unwound); final clock remains for joiners.
+    Done,
+}
+
+pub(crate) struct TState {
+    pub status: Status,
+    pub clock: VClock,
+}
+
+/// One store to an atomic location.
+pub(crate) struct StoreRec {
+    pub value: u64,
+    /// Writer's clock at the store: a load whose thread clock dominates
+    /// this can no longer read anything older (happens-before floor).
+    pub prog: VClock,
+    /// Release clock an acquiring load joins (synchronizes-with);
+    /// `None` for relaxed stores, propagated through RMWs to model
+    /// release sequences.
+    pub rel: Option<VClock>,
+}
+
+pub(crate) struct LocState {
+    pub name: &'static str,
+    pub stores: Vec<StoreRec>,
+    /// Per-thread coherence floor: a thread never re-reads a store
+    /// older than one it already observed at this location.
+    pub seen: [usize; MAX_THREADS],
+}
+
+pub(crate) struct LockState {
+    pub readers: usize,
+    pub writer: bool,
+    /// Joined by every unlocker, acquired by every locker: unlock →
+    /// lock happens-before.
+    pub rel: VClock,
+}
+
+pub(crate) struct Inner {
+    pub threads: Vec<TState>,
+    /// Token holder (`NOBODY` once the execution finished).
+    pub current: usize,
+    pub locations: Vec<LocState>,
+    pub locks: Vec<LockState>,
+    steps: usize,
+    max_steps: usize,
+    pub abort: bool,
+    pub failure: Option<String>,
+    log: Vec<String>,
+    /// Choices to replay before exploring fresh ones.
+    prefix: Vec<(u8, u8)>,
+    cursor: usize,
+    /// Choices actually made this execution: `(chosen, alternatives)`.
+    pub record: Vec<(u8, u8)>,
+    seed: u64,
+}
+
+const LOG_CAP: usize = 2048;
+
+impl Inner {
+    /// Record a failure and switch the execution into abort teardown.
+    /// The first failure wins; later ones (threads unwinding into
+    /// asserts) are noise.
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    pub(crate) fn log(&mut self, line: String) {
+        if self.log.len() < LOG_CAP {
+            self.log.push(line);
+        }
+    }
+
+    /// Resolve an `n`-way choice: replay the prefix, then take the
+    /// first unexplored alternative. Returns the *actual* alternative
+    /// index (seed-permuted), `Err` after recording a failure.
+    pub(crate) fn decide(&mut self, n: usize) -> Result<usize, Aborted> {
+        debug_assert!(n >= 2);
+        if n > u8::MAX as usize {
+            self.fail(format!("choice with {n} alternatives exceeds the explorer's u8 encoding"));
+            return Err(Aborted);
+        }
+        let k = if self.cursor < self.prefix.len() {
+            let (k, pn) = self.prefix[self.cursor];
+            if pn as usize != n {
+                self.fail(format!(
+                    "nondeterministic model: choice {} had {} alternatives on the recorded run, \
+                     {} now — was a model primitive created outside the body closure?",
+                    self.cursor, pn, n
+                ));
+                return Err(Aborted);
+            }
+            k as usize
+        } else {
+            0
+        };
+        self.cursor += 1;
+        self.record.push((k as u8, n as u8));
+        Ok(permute(k, n, self.seed, self.cursor))
+    }
+
+    /// Hand the token onward after the current thread blocked or
+    /// finished. No runnable thread means either a finished execution
+    /// or a deadlock.
+    pub(crate) fn pass_token(&mut self) {
+        let ready: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| matches!(self.threads[t].status, Status::Ready))
+            .collect();
+        match ready.len() {
+            0 => {
+                if !self.threads.iter().all(|t| matches!(t.status, Status::Done)) {
+                    let stuck: Vec<String> = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(t, s)| match s.status {
+                            Status::Blocked(w) => Some(format!("t{t} on {w:?}")),
+                            _ => None,
+                        })
+                        .collect();
+                    self.fail(format!(
+                        "deadlock: every live thread is blocked ({})",
+                        stuck.join(", ")
+                    ));
+                }
+                self.current = NOBODY;
+            }
+            1 => self.current = ready[0],
+            n => match self.decide(n) {
+                Ok(k) => self.current = ready[k],
+                Err(Aborted) => self.current = NOBODY,
+            },
+        }
+    }
+}
+
+/// Seed-keyed rotation of the DFS exploration order, so different
+/// seeds walk the schedule tree from different corners while staying
+/// fully deterministic per seed. Seed 0 is the identity.
+fn permute(k: usize, n: usize, seed: u64, depth: usize) -> usize {
+    if seed == 0 {
+        return k;
+    }
+    let r = splitmix64(seed ^ (depth as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize % n;
+    (k + r) % n
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+pub(crate) struct ExecShared {
+    pub m: Mutex<Inner>,
+    pub cv: Condvar,
+    pub epoch: u64,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ExecShared {
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Unwind payload that aborts a model thread without reporting a
+/// panic: the execution already recorded its failure (or finished).
+pub(crate) struct Aborted;
+
+/// Panic out of the current model thread as part of abort teardown.
+pub(crate) fn raise_abort() -> ! {
+    panic::panic_any(Aborted)
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+    static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Per-OS-thread handle into the running execution.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<ExecShared>,
+    pub tid: usize,
+}
+
+/// The model context of the calling thread, or `None` when the caller
+/// is not a model thread (or is unwinding — shims fall back to their
+/// passthrough behavior during teardown so `Drop` impls never
+/// double-panic).
+pub(crate) fn active_ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Ctx {
+    /// Enter a shim operation: account the step, tick this thread's
+    /// clock, and resolve the scheduling choice (possibly parking this
+    /// thread while others run). Returns with the token held and the
+    /// execution locked; the caller performs its effect and drops the
+    /// guard.
+    pub(crate) fn op_guard(&self) -> MutexGuard<'_, Inner> {
+        let me = self.tid;
+        let mut g = self.exec.lock();
+        if g.abort {
+            drop(g);
+            raise_abort();
+        }
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let max = g.max_steps;
+            g.fail(format!("step bound exceeded ({max} shim ops): livelock or unbounded loop"));
+            drop(g);
+            self.exec.cv.notify_all();
+            raise_abort();
+        }
+        g.threads[me].clock.tick(me);
+        let mut ready = vec![me];
+        ready.extend(
+            (0..g.threads.len())
+                .filter(|&t| t != me && matches!(g.threads[t].status, Status::Ready)),
+        );
+        if ready.len() > 1 {
+            match g.decide(ready.len()) {
+                Ok(k) => {
+                    let pick = ready[k];
+                    if pick != me {
+                        g.current = pick;
+                        self.exec.cv.notify_all();
+                        g = self.wait_for_token(g);
+                    }
+                }
+                Err(Aborted) => {
+                    drop(g);
+                    self.exec.cv.notify_all();
+                    raise_abort();
+                }
+            }
+        }
+        g
+    }
+
+    fn wait_for_token<'a>(&self, mut g: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.abort {
+                drop(g);
+                raise_abort();
+            }
+            if g.current == self.tid && matches!(g.threads[self.tid].status, Status::Ready) {
+                return g;
+            }
+            g = self.exec.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Park the current thread on `wait`, handing the token onward;
+    /// returns (locked, token held) once something woke it.
+    pub(crate) fn block_on<'a>(
+        &self,
+        mut g: MutexGuard<'a, Inner>,
+        wait: Wait,
+    ) -> MutexGuard<'a, Inner> {
+        let me = self.tid;
+        g.threads[me].status = Status::Blocked(wait);
+        g.pass_token();
+        self.exec.cv.notify_all();
+        self.wait_for_token(g)
+    }
+}
+
+/// Wrapper every model OS thread runs: waits for the token, runs the
+/// body catching panics, then marks itself done, wakes joiners and
+/// hands the token onward (or tears the execution down on failure).
+pub(crate) fn run_model_thread(exec: Arc<ExecShared>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), tid }));
+    IN_MODEL.with(|f| f.set(true));
+    let skip_body = {
+        let mut g = exec.lock();
+        loop {
+            if g.abort {
+                break true;
+            }
+            if g.current == tid {
+                break false;
+            }
+            g = exec.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    };
+    let result = if skip_body { Ok(()) } else { panic::catch_unwind(AssertUnwindSafe(body)) };
+    let mut g = exec.lock();
+    match result {
+        Ok(()) => {}
+        Err(p) if p.is::<Aborted>() => {}
+        Err(p) => {
+            // `&*p`, not `&p`: coercing `&Box<dyn Any>` would make the
+            // Box itself the Any and every downcast would miss.
+            let msg = payload_message(&*p);
+            g.fail(format!("model thread t{tid} panicked: {msg}"));
+        }
+    }
+    g.threads[tid].status = Status::Done;
+    let final_clock = g.threads[tid].clock.clone();
+    for t in 0..g.threads.len() {
+        if g.threads[t].status == Status::Blocked(Wait::Join(tid)) {
+            g.threads[t].clock.join(&final_clock);
+            g.threads[t].status = Status::Ready;
+        }
+    }
+    if !g.abort && g.current == tid {
+        g.pass_token();
+    }
+    drop(g);
+    exec.cv.notify_all();
+    IN_MODEL.with(|f| f.set(false));
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub(crate) fn register_os_handle(exec: &ExecShared, h: std::thread::JoinHandle<()>) {
+    exec.os_handles.lock().unwrap_or_else(PoisonError::into_inner).push(h);
+}
+
+/// Install (once, process-wide) a panic hook that silences panics from
+/// model threads: the explorer reports them as violations; the default
+/// hook's stderr spew would drown expected-failure tests.
+fn install_silencer() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_MODEL.with(|f| f.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+static EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+
+// ---------------------------------------------------------- public API
+
+/// Exploration bounds and the schedule-order seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOpts {
+    /// Stop after this many executions even if schedules remain.
+    pub max_schedules: usize,
+    /// Per-execution shim-operation bound (livelock guard).
+    pub max_steps: usize,
+    /// Rotates DFS order: different seeds walk the schedule tree from
+    /// different corners; 0 explores in natural order. Any seed is
+    /// fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts { max_schedules: 4096, max_steps: 20_000, seed: 0 }
+    }
+}
+
+/// How an exploration that found no violation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// `true` when the whole bounded schedule space was exhausted;
+    /// `false` when `max_schedules` stopped the search first.
+    pub complete: bool,
+}
+
+/// A replayable choice sequence — the identity of one schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// `(chosen, alternatives)` per choice point, in execution order.
+    pub choices: Vec<(u8, u8)>,
+}
+
+const SEED_PREFIX: &str = "xchk1:";
+
+impl Trace {
+    /// The printable seed: paste into [`Explorer::replay_seed`] to
+    /// reproduce this exact execution.
+    pub fn seed(&self) -> String {
+        let mut s = String::with_capacity(SEED_PREFIX.len() + self.choices.len() * 4);
+        s.push_str(SEED_PREFIX);
+        for &(k, n) in &self.choices {
+            s.push_str(&format!("{k:02x}{n:02x}"));
+        }
+        s
+    }
+
+    /// Parse a seed produced by [`Trace::seed`].
+    pub fn from_seed(seed: &str) -> Option<Trace> {
+        let hex = seed.strip_prefix(SEED_PREFIX)?;
+        if hex.len() % 4 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let choices = hex
+            .as_bytes()
+            .chunks(4)
+            .map(|c| {
+                let k = u8::from_str_radix(std::str::from_utf8(&c[..2]).ok()?, 16).ok()?;
+                let n = u8::from_str_radix(std::str::from_utf8(&c[2..]).ok()?, 16).ok()?;
+                Some((k, n))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Trace { choices })
+    }
+}
+
+/// A schedule on which an invariant failed, with everything needed to
+/// reproduce it.
+#[derive(Debug)]
+pub struct Violation {
+    /// What went wrong (assert message, deadlock report, …).
+    pub message: String,
+    /// The failing schedule; `trace.seed()` is the replay seed.
+    pub trace: Trace,
+    /// Executions run up to and including the failing one.
+    pub schedules: usize,
+    /// Shim-operation log of the failing execution.
+    pub log: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation after {} schedule(s): {}", self.schedules, self.message)?;
+        writeln!(f, "replay seed: {}", self.trace.seed())?;
+        for line in &self.log {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded-DFS schedule explorer. See the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Explorer {
+    pub opts: ExploreOpts,
+}
+
+impl Explorer {
+    pub fn new(opts: ExploreOpts) -> Self {
+        Explorer { opts }
+    }
+
+    /// Run `body` under every schedule (bounded by
+    /// [`ExploreOpts::max_schedules`]); the first failing schedule is
+    /// returned as a [`Violation`].
+    pub fn explore(
+        &self,
+        body: impl Fn() + Send + Sync + 'static,
+    ) -> Result<Report, Box<Violation>> {
+        self.drive(Arc::new(body), Vec::new(), self.opts.max_schedules)
+    }
+
+    /// Re-run exactly one schedule from a previous violation's trace.
+    pub fn replay(
+        &self,
+        body: impl Fn() + Send + Sync + 'static,
+        trace: &Trace,
+    ) -> Result<Report, Box<Violation>> {
+        self.drive(Arc::new(body), trace.choices.clone(), 1)
+    }
+
+    /// [`Explorer::replay`] from a printable seed string.
+    pub fn replay_seed(
+        &self,
+        body: impl Fn() + Send + Sync + 'static,
+        seed: &str,
+    ) -> Result<Report, Box<Violation>> {
+        let trace =
+            Trace::from_seed(seed).unwrap_or_else(|| panic!("malformed replay seed {seed:?}"));
+        self.replay(body, &trace)
+    }
+
+    fn drive(
+        &self,
+        body: Arc<dyn Fn() + Send + Sync>,
+        mut prefix: Vec<(u8, u8)>,
+        max_schedules: usize,
+    ) -> Result<Report, Box<Violation>> {
+        install_silencer();
+        assert!(
+            active_ctx().is_none(),
+            "Explorer::explore must not be called from inside a model execution"
+        );
+        let mut schedules = 0usize;
+        loop {
+            let (record, failure, log) = self.run_one(&body, &prefix);
+            schedules += 1;
+            if let Some(message) = failure {
+                return Err(Box::new(Violation {
+                    message,
+                    trace: Trace { choices: record },
+                    schedules,
+                    log,
+                }));
+            }
+            if schedules >= max_schedules {
+                return Ok(Report { schedules, complete: false });
+            }
+            match next_prefix(record) {
+                Some(p) => prefix = p,
+                None => return Ok(Report { schedules, complete: true }),
+            }
+        }
+    }
+
+    /// One execution under the given choice prefix.
+    fn run_one(
+        &self,
+        body: &Arc<dyn Fn() + Send + Sync>,
+        prefix: &[(u8, u8)],
+    ) -> (Vec<(u8, u8)>, Option<String>, Vec<String>) {
+        let mut root_clock = VClock::new();
+        root_clock.tick(0);
+        let exec = Arc::new(ExecShared {
+            m: Mutex::new(Inner {
+                threads: vec![TState { status: Status::Ready, clock: root_clock }],
+                current: 0,
+                locations: Vec::new(),
+                locks: Vec::new(),
+                steps: 0,
+                max_steps: self.opts.max_steps,
+                abort: false,
+                failure: None,
+                log: Vec::new(),
+                prefix: prefix.to_vec(),
+                cursor: 0,
+                record: Vec::new(),
+                seed: self.opts.seed,
+            }),
+            cv: Condvar::new(),
+            epoch: EPOCH.fetch_add(1, StdOrdering::Relaxed),
+            os_handles: Mutex::new(Vec::new()),
+        });
+        let b = Arc::clone(body);
+        let root_exec = Arc::clone(&exec);
+        let root = std::thread::Builder::new()
+            .name("model-0".into())
+            .spawn(move || run_model_thread(root_exec, 0, move || b()))
+            .expect("spawn model root thread");
+        register_os_handle(&exec, root);
+        let (record, failure, log) = {
+            let mut g = exec.lock();
+            while !g.threads.iter().all(|t| matches!(t.status, Status::Done)) {
+                g = exec.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            (std::mem::take(&mut g.record), g.failure.take(), std::mem::take(&mut g.log))
+        };
+        let handles =
+            std::mem::take(&mut *exec.os_handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+        (record, failure, log)
+    }
+}
+
+/// The next DFS prefix after a completed execution: bump the deepest
+/// choice with an untried alternative, dropping everything beneath it.
+fn next_prefix(mut record: Vec<(u8, u8)>) -> Option<Vec<(u8, u8)>> {
+    while let Some(&(k, n)) = record.last() {
+        if k + 1 < n {
+            let last = record.len() - 1;
+            record[last].0 = k + 1;
+            return Some(record);
+        }
+        record.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_prefix_enumerates_depth_first() {
+        assert_eq!(next_prefix(vec![(0, 2), (0, 2)]), Some(vec![(0, 2), (1, 2)]));
+        assert_eq!(next_prefix(vec![(0, 2), (1, 2)]), Some(vec![(1, 2)]));
+        assert_eq!(next_prefix(vec![(1, 2), (1, 2)]), None);
+        assert_eq!(next_prefix(vec![(0, 3)]), Some(vec![(1, 3)]));
+        assert_eq!(next_prefix(vec![]), None);
+    }
+
+    #[test]
+    fn trace_seed_round_trips() {
+        let t = Trace { choices: vec![(0, 2), (3, 7), (255, 255)] };
+        let s = t.seed();
+        assert!(s.starts_with(SEED_PREFIX));
+        assert_eq!(Trace::from_seed(&s), Some(t));
+        assert_eq!(Trace::from_seed("nope"), None);
+        assert_eq!(Trace::from_seed("xchk1:0"), None, "truncated hex refused");
+        assert_eq!(Trace::from_seed("xchk1:zzzz"), None, "non-hex refused");
+    }
+
+    #[test]
+    fn permute_identity_at_seed_zero_and_deterministic_otherwise() {
+        for n in 2..6 {
+            for k in 0..n {
+                assert_eq!(permute(k, n, 0, 3), k);
+                assert_eq!(permute(k, n, 42, 3), permute(k, n, 42, 3));
+                assert!(permute(k, n, 42, 3) < n);
+            }
+        }
+    }
+}

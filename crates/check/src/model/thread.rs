@@ -1,0 +1,71 @@
+//! Cooperative model threads.
+//!
+//! A model thread is a real OS thread, but only one runs at a time:
+//! the explorer's token decides who moves at each shim operation.
+//! Spawn and join are themselves scheduling points, and both carry
+//! vector-clock edges (spawn: parent → child; join: child's final
+//! clock → joiner), so code after `join()` correctly happens-after
+//! everything the joined thread did.
+//!
+//! Only usable inside an [`super::exec::Explorer`] execution — there
+//! is nothing meaningful to fall back to outside one, so `spawn`
+//! panics there instead of silently running unchecked.
+
+use super::exec::{
+    active_ctx, raise_abort, register_os_handle, run_model_thread, Ctx, Status, TState, Wait,
+    MAX_THREADS,
+};
+use std::sync::Arc;
+
+/// Handle to a spawned model thread; `join` blocks the calling model
+/// thread until it finishes.
+pub struct MJoinHandle {
+    tid: usize,
+    ctx: Ctx,
+}
+
+/// Spawn a model thread running `f` under the current execution.
+pub fn spawn<F>(f: F) -> MJoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let c = active_ctx().expect("model::thread::spawn requires a running model execution");
+    let mut g = c.op_guard();
+    let tid = g.threads.len();
+    if tid >= MAX_THREADS {
+        g.fail(format!("model execution spawned more than MAX_THREADS={MAX_THREADS} threads"));
+        drop(g);
+        c.exec.cv.notify_all();
+        raise_abort();
+    }
+    // Child starts with the parent's clock (spawn edge) plus its own
+    // first tick.
+    let mut clock = g.threads[c.tid].clock.clone();
+    clock.tick(tid);
+    g.threads.push(TState { status: Status::Ready, clock });
+    drop(g);
+    let exec = Arc::clone(&c.exec);
+    let h = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || run_model_thread(exec, tid, f))
+        .expect("spawn model OS thread");
+    register_os_handle(&c.exec, h);
+    MJoinHandle { tid, ctx: c }
+}
+
+impl MJoinHandle {
+    /// Wait (cooperatively) for the thread to finish, acquiring its
+    /// final clock.
+    pub fn join(self) {
+        let c = &self.ctx;
+        let mut g = c.op_guard();
+        loop {
+            if matches!(g.threads[self.tid].status, Status::Done) {
+                let final_clock = g.threads[self.tid].clock.clone();
+                g.threads[c.tid].clock.join(&final_clock);
+                return;
+            }
+            g = c.block_on(g, Wait::Join(self.tid));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The workspace itself must lint clean — this is the same check CI's
+//! xar-lint gate runs, kept in the test suite so a violation fails
+//! `cargo test` locally before it fails CI.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/check -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").exists(), "mislocated workspace root: {}", root.display());
+    let findings = xar_check::lint::run_workspace(&root, false).expect("lint walk");
+    assert!(
+        findings.is_empty(),
+        "xar-lint findings:\n{}",
+        findings.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn baselines_are_committed_and_current() {
+    let root = workspace_root();
+    for lock in ["tags.lock", "ops.lock", "relaxed.allow"] {
+        assert!(
+            root.join(lock).exists(),
+            "{lock} missing: run `cargo run -p xar-check --bin xar-lint -- --update` \
+             (relaxed.allow is committed by hand)"
+        );
+    }
+}

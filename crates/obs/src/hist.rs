@@ -14,7 +14,7 @@
 //! the per-op-class distributions aggregate across the daemon without
 //! coordination.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync_abstraction::{AtomicU64, Ordering};
 
 /// Number of log₂ buckets. Bucket `i < BUCKETS-1` has upper bound
 /// `2^(i+1)` ns; the last bucket is open (`u64::MAX` sentinel).

@@ -37,6 +37,7 @@
 pub mod expo;
 pub mod hist;
 pub mod series;
+pub mod sync_abstraction;
 pub mod tags;
 pub mod trace;
 

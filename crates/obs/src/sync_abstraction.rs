@@ -1,0 +1,18 @@
+//! The single import path for the synchronization primitives the
+//! lock-free structures in this crate are built on.
+//!
+//! Normal builds re-export `std::sync::atomic` types verbatim — the
+//! aliases are plain `pub use`s, so codegen is identical to importing
+//! std directly. With the `model` feature the same names resolve to
+//! the `xar-check` deterministic model-checker shims instead, letting
+//! the explorer exhaustively interleave the *shipping* `trace::ring`
+//! and `Histogram` implementations rather than a parallel "model copy"
+//! that would drift from production code.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+#[cfg(feature = "model")]
+pub use xar_check::model::sync::{MAtomicU64 as AtomicU64, MAtomicUsize as AtomicUsize};
+
+pub use std::sync::atomic::Ordering;

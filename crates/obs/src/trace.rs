@@ -16,11 +16,11 @@
 //! [`EventCounters`] so `StatsV2`/`DUMP` can report event volume even
 //! after ring slots have been overwritten by newer history.
 
+use crate::sync_abstraction::{AtomicU64, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A typed trace event. Variants carry only fixed-width payloads so a

@@ -1,0 +1,105 @@
+//! Model-checked interleavings of the *shipping* xar-obs primitives.
+//!
+//! Only built with `--features model`, which routes
+//! `sync_abstraction` to the xar-check shims: the explorer below
+//! drives the exact `trace::ring` and `Histogram` code that normal
+//! builds compile against std atomics — not a hand-written model copy.
+
+use std::sync::{Arc, Mutex};
+use xar_check::model::{thread, ExploreOpts, Explorer};
+use xar_obs::trace::{ring, Event, TracedEvent};
+use xar_obs::Histogram;
+
+fn explorer(max_schedules: usize) -> Explorer {
+    Explorer::new(ExploreOpts { max_schedules, ..ExploreOpts::default() })
+}
+
+fn ev(seq: u64) -> TracedEvent {
+    TracedEvent { daemon: 0, worker: 0, seq, event: Event::Reject }
+}
+
+/// The real SPSC ring at capacity 2 under a racing producer: every pop
+/// is FIFO (strictly increasing seq), nothing accepted is ever lost,
+/// and nothing dropped is ever served.
+#[test]
+fn real_trace_ring_is_fifo_and_conserving() {
+    // (accepted, dropped) as counted by the producer. A plain Mutex is
+    // deliberate: it is written before the join and read after, so the
+    // model need not track it.
+    let report = explorer(5_000)
+        .explore(|| {
+            let out = Arc::new(Mutex::new((0u64, 0u64)));
+            let (mut w, mut r) = ring(2);
+            let producer = {
+                let out = Arc::clone(&out);
+                thread::spawn(move || {
+                    let (mut accepted, mut dropped) = (0u64, 0u64);
+                    for seq in 0..4u64 {
+                        if w.push(ev(seq)) {
+                            accepted += 1;
+                        } else {
+                            dropped += 1;
+                        }
+                    }
+                    *out.lock().unwrap() = (accepted, dropped);
+                })
+            };
+            let mut popped = 0u64;
+            let mut last: Option<u64> = None;
+            let take = |e: TracedEvent, popped: &mut u64, last: &mut Option<u64>| {
+                if let Some(prev) = *last {
+                    assert!(e.seq > prev, "stale or torn slot: seq {} after {prev}", e.seq);
+                }
+                *last = Some(e.seq);
+                *popped += 1;
+            };
+            for _ in 0..5 {
+                if let Some(e) = r.pop() {
+                    take(e, &mut popped, &mut last);
+                }
+            }
+            producer.join();
+            // Post-join the consumer's clock includes every publish, so
+            // draining must surface exactly the accepted remainder.
+            while let Some(e) = r.pop() {
+                take(e, &mut popped, &mut last);
+            }
+            let (accepted, dropped) = *out.lock().unwrap();
+            assert_eq!(accepted + dropped, 4, "producer attempted all four pushes");
+            assert_eq!(
+                popped, accepted,
+                "conservation: {popped} popped vs {accepted} accepted ({dropped} dropped)"
+            );
+        })
+        .unwrap_or_else(|v| panic!("shipping trace ring violated its protocol:\n{v}"));
+    assert!(report.schedules >= 1000, "want >= 1000 schedules, got {}", report.schedules);
+}
+
+/// The real histogram's fold-once snapshot under a racing writer:
+/// totals never exceed what was recorded, and the post-join snapshot
+/// is exact (the PR 6 striped-fold guarantee on the shipping type).
+#[test]
+fn real_histogram_snapshot_is_torn_read_tolerant() {
+    let report = explorer(2_000)
+        .explore(|| {
+            let h = Arc::new(Histogram::new());
+            let writer = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.record(0, 100);
+                    h.record(1, 100);
+                    h.record(0, 1_000_000);
+                })
+            };
+            let mid = h.snapshot();
+            let total = mid.count();
+            assert!(total <= 3, "phantom records: folded {total} of 3 writes");
+            writer.join();
+            let done = h.snapshot();
+            assert_eq!(done.count(), 3, "post-join fold must be exact");
+            assert!(done.count() >= total, "totals are monotone");
+            assert!(done.percentile(0.99) >= 1_000_000, "the slow sample is in the fold");
+        })
+        .unwrap_or_else(|v| panic!("shipping histogram violated fold-once:\n{v}"));
+    assert!(report.schedules >= 1000, "want >= 1000 schedules, got {}", report.schedules);
+}

@@ -74,6 +74,9 @@ pub fn poll_retry(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
     let deadline = deadline_for(timeout_ms);
     let mut wait = timeout_ms;
     loop {
+        // SAFETY: `fds` is a live mutable slice for the duration of the
+        // call and `nfds` is its exact length; the kernel writes only
+        // `revents` within those bounds.
         match cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, wait) }) {
             Ok(n) => return Ok(n as usize),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {
@@ -93,6 +96,8 @@ pub fn poll_retry(fds: &mut [PollFd], timeout_ms: c_int) -> io::Result<usize> {
 #[cfg(not(target_os = "linux"))]
 pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
     let mut fds = [0 as c_int; 2];
+    // SAFETY: `fds` is a live 2-element array, exactly what pipe2
+    // requires; the kernel fills both slots before returning success.
     cvt(unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) })?;
     Ok((fds[0], fds[1]))
 }
@@ -100,6 +105,9 @@ pub fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
 /// Best-effort nonblocking read into `buf`; `Ok(0)` covers both EOF
 /// and would-block (the callers only ever drain wake signals).
 pub fn drain(fd: RawFd, buf: &mut [u8]) -> usize {
+    // SAFETY: `buf` is a live mutable slice and the count is its exact
+    // length, so the kernel cannot write out of bounds; `fd` validity
+    // is the caller's contract and a bad fd only yields EBADF.
     let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
     if n < 0 {
         0
@@ -111,11 +119,16 @@ pub fn drain(fd: RawFd, buf: &mut [u8]) -> usize {
 /// Best-effort write of `buf`; errors (including a full pipe, which
 /// already guarantees a pending wake) are ignored.
 pub fn signal(fd: RawFd, buf: &[u8]) {
+    // SAFETY: `buf` is a live slice and the count is its exact length;
+    // the kernel only reads from it. A bad fd only yields EBADF.
     let _ = unsafe { write(fd, buf.as_ptr() as *const c_void, buf.len()) };
 }
 
 /// `close(fd)`, ignoring errors (used from `Drop` impls).
 pub fn close_quiet(fd: RawFd) {
+    // SAFETY: no pointers involved; closing an invalid or already-
+    // closed fd only yields EBADF. Callers own `fd` (Drop impls), so
+    // this cannot close a descriptor still in use elsewhere.
     let _ = unsafe { close(fd) };
 }
 
@@ -171,6 +184,8 @@ mod linux {
 
     /// `epoll_create1(EPOLL_CLOEXEC)`.
     pub fn epoll_create() -> io::Result<RawFd> {
+        // SAFETY: no pointers; the syscall either returns a fresh fd
+        // or an error code that `cvt` surfaces.
         cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
     }
 
@@ -184,6 +199,9 @@ mod linux {
         data: u64,
     ) -> io::Result<()> {
         let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` is a live, properly laid-out EpollEvent
+        // (repr(C), packed to match the kernel ABI on x86) that
+        // outlives the call; the kernel copies it before returning.
         cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
     }
 
@@ -197,6 +215,9 @@ mod linux {
         let deadline = super::deadline_for(timeout_ms);
         let mut wait = timeout_ms;
         loop {
+            // SAFETY: `buf` is a live mutable slice of kernel-ABI
+            // EpollEvent and `maxevents` is its exact length, so the
+            // kernel fills at most `buf.len()` entries in bounds.
             let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, wait) };
             match cvt(n) {
                 Ok(n) => return Ok(n as usize),
@@ -215,6 +236,8 @@ mod linux {
 
     /// A nonblocking close-on-exec `eventfd`.
     pub fn eventfd_nonblocking() -> io::Result<RawFd> {
+        // SAFETY: no pointers; the syscall either returns a fresh fd
+        // or an error code that `cvt` surfaces.
         cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
     }
 }

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod obsd;
 pub mod server;
 pub mod snapshot;
+pub mod sync_abstraction;
 pub mod wire;
 
 pub use adapter::ShardedPolicy;

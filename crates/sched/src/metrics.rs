@@ -18,7 +18,7 @@
 //! decides (always including a shard's first) for timing;
 //! decide/migration/reconfig counters stay exact.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync_abstraction::{AtomicU64, Ordering};
 use xar_desim::Target;
 use xar_obs::{HistSnapshot, Histogram};
 

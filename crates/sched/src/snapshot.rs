@@ -27,8 +27,7 @@
 //! seqlock/hazard-pointer scheme is not worth the unsafe surface when
 //! the slow path is this rare.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync_abstraction::{AtomicU64, Ordering, RwLock};
 use std::sync::Arc;
 
 /// A cell holding an `Arc<T>` that can be atomically replaced while

@@ -1,0 +1,20 @@
+//! The single import path for the synchronization primitives behind
+//! the snapshot publish protocol and the striped metrics counters.
+//!
+//! Normal builds re-export `std::sync::atomic` / `parking_lot` types
+//! verbatim — plain `pub use`s with codegen identical to importing the
+//! real types. With the `model` feature the same names resolve to the
+//! `xar-check` deterministic model-checker shims, so the explorer can
+//! exhaustively interleave the *shipping* `ArcCell`/`CachedSnap`
+//! generation gate and `ShardMetrics` stripes rather than a parallel
+//! "model copy" that would drift from production code.
+
+#[cfg(not(feature = "model"))]
+pub use parking_lot::RwLock;
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::AtomicU64;
+
+#[cfg(feature = "model")]
+pub use xar_check::model::sync::{MAtomicU64 as AtomicU64, MRwLock as RwLock};
+
+pub use std::sync::atomic::Ordering;

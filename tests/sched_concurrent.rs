@@ -476,6 +476,8 @@ fn set_rcvbuf(s: &std::net::TcpStream, bytes: i32) {
     let (sol_socket, so_rcvbuf) = (1i32, 8i32);
     #[cfg(not(target_os = "linux"))]
     let (sol_socket, so_rcvbuf) = (0xffffi32, 0x1002i32);
+    // SAFETY: `bytes` is a live i32 on the stack and the length
+    // argument matches its size; setsockopt only reads the value.
     let rc = unsafe {
         setsockopt(
             s.as_raw_fd(),
