@@ -1,0 +1,34 @@
+//! Deterministic chaos harness for socket protocols.
+//!
+//! `xar-chaos` is a dependency-free fault-injection TCP proxy. A test
+//! points it at a real server, points the clients at the proxy, and
+//! every accepted connection gets a fault schedule derived *only* from
+//! a seed and the connection's accept index:
+//!
+//! * **splits** — forward in tiny chunks so frames straddle reads;
+//! * **coalescing** — batch several peer writes into one forward;
+//! * **slow-drip** — per-chunk delays that stretch a frame across
+//!   client deadlines;
+//! * **cuts** — drop the connection after a byte-exact prefix, in
+//!   either direction (mid-handshake, mid-frame, or mid-reply — a
+//!   reply cut is exactly the "server ingested, ack lost" case that
+//!   exactly-once replay exists for);
+//! * **black holes** — keep the connection open but forward nothing
+//!   further, so the peer sees silence until its deadline fires.
+//!
+//! The schedule is a pure function of `(seed, connection index)`, so a
+//! failing run is replayed by re-running with the same seed. Failures
+//! should print [`FaultPlan::token`] — an `xchaos1:<seed>` string that
+//! [`FaultPlan::parse`] turns back into the identical plan.
+//!
+//! What is deterministic is the *plan* (which faults fire on which
+//! connection, at which byte offsets), not the OS-level interleaving
+//! of 32 clients — determinism at the level a protocol invariant
+//! needs ("connection 7 always dies 3 bytes into its second frame"),
+//! not a lockstep scheduler.
+
+mod plan;
+mod proxy;
+
+pub use plan::{ConnFaults, FaultPlan, Faults, SEED_PREFIX};
+pub use proxy::ChaosProxy;

@@ -1,0 +1,212 @@
+//! Seeded fault plans and their `xchaos1:` replay tokens.
+
+use std::time::Duration;
+
+/// Prefix of every replay token; the `1` is the token format version.
+pub const SEED_PREFIX: &str = "xchaos1:";
+
+/// splitmix64 — the standard seed expander; one step per draw gives a
+/// well-mixed stream from even adjacent seeds, with no state to carry.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Faults applied to one direction of a proxied connection.
+///
+/// The default is transparent passthrough; each field turns one fault
+/// on independently, so schedules can compose (a slow-dripped stream
+/// can still be cut at a byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Faults {
+    /// Forward at most this many bytes per write (`usize::MAX` leaves
+    /// writes whole). Small values make frames straddle peer reads.
+    pub max_chunk: usize,
+    /// Sleep this long before each forwarded chunk (`ZERO` disables).
+    /// With a small [`max_chunk`](Faults::max_chunk) this is the
+    /// slow-drip drain that walks a frame across client deadlines.
+    pub chunk_delay: Duration,
+    /// Pause briefly before each read so consecutive peer writes
+    /// coalesce into one forward (the anti-split: many frames arrive
+    /// in a single segment).
+    pub coalesce: bool,
+    /// Kill the whole connection (both directions, unread data
+    /// discarded — the peer sees EOF or RST) once this many bytes
+    /// have been forwarded. Byte-exact, so a plan can cut
+    /// mid-handshake or mid-frame reproducibly.
+    pub cut_after: Option<u64>,
+    /// Forward only this many bytes, then silently swallow the rest
+    /// while keeping the connection open: the peer sees silence, not
+    /// a close, until its own deadline fires.
+    pub black_hole_after: Option<u64>,
+}
+
+impl Default for Faults {
+    fn default() -> Faults {
+        Faults {
+            max_chunk: usize::MAX,
+            chunk_delay: Duration::ZERO,
+            coalesce: false,
+            cut_after: None,
+            black_hole_after: None,
+        }
+    }
+}
+
+impl Faults {
+    /// True when this direction is transparent passthrough.
+    pub fn is_clean(&self) -> bool {
+        *self == Faults::default()
+    }
+}
+
+/// The two directed fault schedules of one proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnFaults {
+    /// Client → server (requests).
+    pub to_server: Faults,
+    /// Server → client (replies).
+    pub to_client: Faults,
+}
+
+impl ConnFaults {
+    /// True when both directions are transparent passthrough.
+    pub fn is_clean(&self) -> bool {
+        self.to_server.is_clean() && self.to_client.is_clean()
+    }
+}
+
+/// A seeded, replayable fault plan: a pure function from connection
+/// accept index to [`ConnFaults`].
+///
+/// Roughly half of all connections are clean so retrying clients
+/// always make progress; the rest draw one fault archetype each —
+/// request cuts, reply cuts (the lost-ack case), reply black holes,
+/// and split/slow-drip streams — at seed-determined byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    quiet: bool,
+}
+
+impl FaultPlan {
+    /// Plan derived from a seed; equal seeds give equal schedules.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan { seed, quiet: false }
+    }
+
+    /// A plan that injects nothing: every connection is clean. Used
+    /// for the fault-free reference leg of convergence tests.
+    pub fn passthrough() -> FaultPlan {
+        FaultPlan { seed: 0, quiet: true }
+    }
+
+    /// The seed this plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The replay token (`xchaos1:<seed as hex>`); print this in every
+    /// chaos-test failure so the run can be reproduced bit-for-bit.
+    pub fn token(&self) -> String {
+        format!("{SEED_PREFIX}{:016x}", self.seed)
+    }
+
+    /// Parses a replay token (or a bare hex/decimal seed) back into
+    /// the identical plan.
+    pub fn parse(token: &str) -> Option<FaultPlan> {
+        let token = token.trim();
+        let body = token.strip_prefix(SEED_PREFIX).unwrap_or(token);
+        let seed = u64::from_str_radix(body, 16).ok().or_else(|| body.parse().ok())?;
+        Some(FaultPlan::from_seed(seed))
+    }
+
+    /// The fault schedule of the `index`-th accepted connection.
+    pub fn conn(&self, index: u64) -> ConnFaults {
+        if self.quiet {
+            return ConnFaults::default();
+        }
+        // Decorrelate (seed, index) before drawing: adjacent indexes
+        // under one seed must not share a fault stream.
+        let mut s = self.seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut draw = || splitmix64(&mut s);
+        let mut faults = ConnFaults::default();
+        match draw() % 10 {
+            // 0..=4: clean — every retry storm drains eventually.
+            0..=4 => {}
+            // Benign reshaping: coalesce client writes so many frames
+            // land in one segment.
+            5 => faults.to_server.coalesce = true,
+            // Request cut: the connection dies a byte-exact prefix
+            // into the request stream (mid-handshake or mid-frame).
+            6 => faults.to_server.cut_after = Some(draw() % 512),
+            // Reply cut: the server saw and served the request, but
+            // the client loses the reply mid-frame — the lost-ack
+            // case exactly-once replay exists for.
+            7 => faults.to_client.cut_after = Some(draw() % 256),
+            // Reply black hole: same loss, but as silence instead of
+            // a close — only the client's deadline gets it unstuck.
+            8 => faults.to_client.black_hole_after = Some(draw() % 64),
+            // Split + slow-drip both ways: tiny chunks with per-chunk
+            // delays, so frames straddle reads and deadlines.
+            _ => {
+                let chunk = 3 + (draw() % 8) as usize;
+                for f in [&mut faults.to_server, &mut faults.to_client] {
+                    f.max_chunk = chunk;
+                    f.chunk_delay = Duration::from_millis(1);
+                }
+            }
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrips_and_rejects_garbage() {
+        for seed in [0, 1, 42, u64::MAX, 0xDEAD_BEEF_F00D] {
+            let plan = FaultPlan::from_seed(seed);
+            assert_eq!(plan.token(), format!("xchaos1:{seed:016x}"));
+            assert_eq!(FaultPlan::parse(&plan.token()), Some(plan));
+        }
+        // Bare seeds replay too (hex wins, decimal is the fallback).
+        assert_eq!(FaultPlan::parse("ff"), Some(FaultPlan::from_seed(0xFF)));
+        assert_eq!(FaultPlan::parse(" xchaos1:002a \n"), Some(FaultPlan::from_seed(0x2A)));
+        for bad in ["", "xchaos1:", "xchaos1:zz", "xchaos2:00", "not a token"] {
+            assert_eq!(FaultPlan::parse(bad), None, "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed_and_differ_across_seeds() {
+        let a = FaultPlan::from_seed(7);
+        let b = FaultPlan::parse(&a.token()).unwrap();
+        let schedule: Vec<_> = (0..256).map(|i| a.conn(i)).collect();
+        assert_eq!(schedule, (0..256).map(|i| b.conn(i)).collect::<Vec<_>>());
+        let other = FaultPlan::from_seed(8);
+        assert!(
+            (0..256).any(|i| a.conn(i) != other.conn(i)),
+            "different seeds produced identical 256-connection schedules"
+        );
+    }
+
+    #[test]
+    fn plans_mix_clean_and_faulty_connections() {
+        let plan = FaultPlan::from_seed(0xC0FFEE);
+        let clean = (0..256).filter(|&i| plan.conn(i).is_clean()).count();
+        assert!(clean > 64, "only {clean}/256 clean: retries could starve");
+        assert!(clean < 224, "only {} faulty: no chaos injected", 256 - clean);
+    }
+
+    #[test]
+    fn passthrough_injects_nothing() {
+        let plan = FaultPlan::passthrough();
+        assert!((0..256).all(|i| plan.conn(i).is_clean()));
+    }
+}

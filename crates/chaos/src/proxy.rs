@@ -1,0 +1,299 @@
+//! The fault-injecting TCP proxy.
+//!
+//! One OS thread accepts; every proxied connection gets two pump
+//! threads (one per direction), each executing its direction's
+//! [`Faults`] schedule. Pumps poll a shared stop flag on a short read
+//! timeout, so dropping the proxy tears the whole tree down within a
+//! few tens of milliseconds.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::plan::{ConnFaults, FaultPlan, Faults};
+
+/// How often pumps and the acceptor wake to check the stop flag.
+const TICK: Duration = Duration::from_millis(20);
+
+/// A running fault-injection proxy; dropping it stops everything.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Proxies `127.0.0.1:<ephemeral>` → `upstream`, faulting each
+    /// connection per `plan` (accept order indexes the plan).
+    pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<ChaosProxy> {
+        ChaosProxy::spawn_with(upstream, move |index| plan.conn(index))
+    }
+
+    /// Like [`spawn`](ChaosProxy::spawn) with an explicit schedule
+    /// function — tests inject exact faults without hunting for a
+    /// seed that happens to produce them.
+    pub fn spawn_with<F>(upstream: SocketAddr, schedule: F) -> std::io::Result<ChaosProxy>
+    where
+        F: Fn(u64) -> ConnFaults + Send + 'static,
+    {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let acceptor = {
+            let (stop, accepted) = (Arc::clone(&stop), Arc::clone(&accepted));
+            std::thread::spawn(move || {
+                accept_loop(&listener, upstream, &schedule, &stop, &accepted)
+            })
+        };
+        Ok(ChaosProxy { addr, stop, accepted, acceptor: Some(acceptor) })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (== the next plan index).
+    pub fn connections(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    schedule: &(dyn Fn(u64) -> ConnFaults + Send),
+    stop: &Arc<AtomicBool>,
+    accepted: &AtomicU64,
+) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                std::thread::sleep(TICK);
+                continue;
+            }
+            Err(_) => break,
+        };
+        let index = accepted.fetch_add(1, Ordering::Relaxed);
+        let faults = schedule(index);
+        // An unreachable upstream is itself a fault the client must
+        // survive; just drop the accepted socket.
+        let Ok(server) = TcpStream::connect(upstream) else { continue };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let (Ok(client_w), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        for (from, to, f) in
+            [(client, server_w, faults.to_server), (server, client_w, faults.to_client)]
+        {
+            let stop = Arc::clone(stop);
+            pumps.push(std::thread::spawn(move || pump(from, to, f, &stop)));
+        }
+    }
+    // Stopping: pumps notice the flag within one tick; collect them so
+    // a dropped proxy leaves no threads behind.
+    for h in pumps {
+        let _ = h.join();
+    }
+}
+
+/// Forwards one direction, applying its fault schedule. `from` and
+/// `to` are distinct sockets (the peer-facing and upstream-facing
+/// halves); shutting both down tears the proxied connection out from
+/// under the sibling pump too.
+fn pump(mut from: TcpStream, mut to: TcpStream, f: Faults, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(TICK));
+    let mut buf = [0u8; 8192];
+    let mut forwarded: u64 = 0;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if f.coalesce {
+            // Let a few peer writes land before the next read merges
+            // them into one forward.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF: propagate the half-close and leave the
+                // reverse direction to drain on its own.
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => break,
+        };
+        let mut chunk = &buf[..n];
+        while !chunk.is_empty() {
+            if let Some(cut) = f.cut_after {
+                let left = (cut.saturating_sub(forwarded)) as usize;
+                if left == 0 {
+                    // The byte-exact cut: kill the whole proxied
+                    // connection, both directions, nothing flushed.
+                    teardown(&from, &to);
+                    return;
+                }
+                let take = chunk.len().min(left).min(f.max_chunk);
+                if !forward(&mut to, &chunk[..take], f.chunk_delay) {
+                    teardown(&from, &to);
+                    return;
+                }
+                forwarded += take as u64;
+                chunk = &chunk[take..];
+                continue;
+            }
+            if let Some(hole) = f.black_hole_after {
+                if forwarded >= hole {
+                    // Swallow silently; the connection stays open and
+                    // the loop keeps draining so the peer never sees
+                    // backpressure, just silence.
+                    forwarded += chunk.len() as u64;
+                    chunk = &[];
+                    continue;
+                }
+            }
+            let take = chunk.len().min(f.max_chunk);
+            if !forward(&mut to, &chunk[..take], f.chunk_delay) {
+                teardown(&from, &to);
+                return;
+            }
+            forwarded += take as u64;
+            chunk = &chunk[take..];
+        }
+    }
+    teardown(&from, &to);
+}
+
+/// One faulted write: the slow-drip delay, then the chunk.
+fn forward(to: &mut TcpStream, chunk: &[u8], delay: Duration) -> bool {
+    if !delay.is_zero() {
+        std::thread::sleep(delay);
+    }
+    to.write_all(chunk).is_ok()
+}
+
+/// Kills both halves of the proxied connection. Unread inbound data
+/// commonly turns the close into an RST at the peer — which is
+/// exactly the abrupt-death flavor a resilience test wants mixed in.
+fn teardown(from: &TcpStream, to: &TcpStream) {
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream that echoes every byte until EOF, serving each
+    /// connection on its own thread.
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn read_exact_timeout(s: &mut TcpStream, n: usize) -> std::io::Result<Vec<u8>> {
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = vec![0u8; n];
+        s.read_exact(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn passthrough_proxies_bytes_intact() {
+        let proxy = ChaosProxy::spawn(echo_server(), FaultPlan::passthrough()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello through the quiet proxy").unwrap();
+        let got = read_exact_timeout(&mut c, 29).unwrap();
+        assert_eq!(&got, b"hello through the quiet proxy");
+        assert_eq!(proxy.connections(), 1);
+    }
+
+    #[test]
+    fn split_and_drip_preserve_integrity() {
+        let drip =
+            Faults { max_chunk: 1, chunk_delay: Duration::from_millis(1), ..Faults::default() };
+        let proxy = ChaosProxy::spawn_with(echo_server(), move |_| ConnFaults {
+            to_server: drip,
+            to_client: drip,
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let payload: Vec<u8> = (0..64u8).collect();
+        c.write_all(&payload).unwrap();
+        assert_eq!(read_exact_timeout(&mut c, 64).unwrap(), payload, "drip reordered bytes");
+    }
+
+    #[test]
+    fn request_cut_kills_the_connection_at_the_exact_byte() {
+        let proxy = ChaosProxy::spawn_with(echo_server(), |_| ConnFaults {
+            to_server: Faults { cut_after: Some(4), ..Faults::default() },
+            to_client: Faults::default(),
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"0123456789").unwrap();
+        // Exactly 4 bytes reach the echo; then the connection dies, so
+        // the reply stream ends (EOF or reset) after at most those 4.
+        let mut got = Vec::new();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 64];
+        loop {
+            match c.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert!(got.len() <= 4, "cut forwarded {} bytes past the plan", got.len());
+        assert!(b"0123".starts_with(&got[..]), "cut corrupted the prefix: {got:?}");
+    }
+
+    #[test]
+    fn black_hole_is_silence_not_eof() {
+        let proxy = ChaosProxy::spawn_with(echo_server(), |_| ConnFaults {
+            to_server: Faults::default(),
+            to_client: Faults { black_hole_after: Some(0), ..Faults::default() },
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"anyone home?").unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let mut buf = [0u8; 16];
+        match c.read(&mut buf) {
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            other => panic!("black hole leaked a reply or closed: {other:?}"),
+        }
+    }
+}

@@ -36,8 +36,8 @@ use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
 use xar_sched::wire::{self, parse_target, target_str};
 
 pub use xar_sched::{
-    BackendKind, DaemonStats, EngineConfig, MetricsSnapshot, ObsSnapshot, ServerConfig,
-    ShardedEngine, ShardedPolicy, StatsV2, TableEntry, V2Client,
+    BackendKind, DaemonStats, EngineConfig, MetricsSnapshot, ObsSnapshot, ResilientClient,
+    ResilientConfig, ServerConfig, ShardedEngine, ShardedPolicy, StatsV2, TableEntry, V2Client,
 };
 
 /// The production scheduler daemon serving a sharded [`XarTrekPolicy`].

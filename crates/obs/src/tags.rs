@@ -77,6 +77,16 @@ pub const DAEMON_ID: u16 = 31;
 pub const UPTIME_SECS: u16 = 32;
 /// Time-series samples currently held in the per-tick rings.
 pub const SERIES_SLOTS: u16 = 33;
+/// Acceptor retry-loop throttles on persistent `accept()` failure.
+pub const ACCEPT_THROTTLES: u16 = 34;
+/// Workload requests refused with `R_BUSY` by overload shedding.
+pub const SHED_BUSY: u16 = 35;
+/// Peers quarantined for repeated protocol errors.
+pub const QUARANTINES: u16 = 36;
+/// Report sessions registered (`HELLO_SESSION` slot claims).
+pub const SESSIONS_OPENED: u16 = 37;
+/// Seq-stamped report batches acked without re-ingesting (replays).
+pub const REPLAYED_BATCHES: u16 = 38;
 
 /// Every registered tag with its exposition name, ascending by id.
 pub const TAGS: &[(u16, &str)] = &[
@@ -113,6 +123,11 @@ pub const TAGS: &[(u16, &str)] = &[
     (DAEMON_ID, "daemon_id"),
     (UPTIME_SECS, "uptime_secs"),
     (SERIES_SLOTS, "series_slots"),
+    (ACCEPT_THROTTLES, "accept_throttles"),
+    (SHED_BUSY, "shed_busy"),
+    (QUARANTINES, "quarantines"),
+    (SESSIONS_OPENED, "sessions_opened"),
+    (REPLAYED_BATCHES, "replayed_batches"),
 ];
 
 /// Exposition name for a tag, or `None` for ids this build predates.
@@ -182,6 +197,7 @@ mod tests {
         assert_eq!(tag_name(DECIDES), Some("decides"));
         assert_eq!(tag_name(FLUSH_ROWS), Some("flush_rows"));
         assert_eq!(tag_name(SERIES_SLOTS), Some("series_slots"));
+        assert_eq!(tag_name(REPLAYED_BATCHES), Some("replayed_batches"));
         assert_eq!(tag_name(0), None);
         assert_eq!(tag_name(u16::MAX), None);
     }
@@ -195,6 +211,8 @@ mod tests {
         assert_eq!(tag_kind(DECIDE_P99_NS), Some(TagKind::Gauge));
         assert_eq!(tag_kind(DAEMON_ID), Some(TagKind::Gauge));
         assert_eq!(tag_kind(UPTIME_SECS), Some(TagKind::Gauge));
+        assert_eq!(tag_kind(SHED_BUSY), Some(TagKind::Counter));
+        assert_eq!(tag_kind(REPLAYED_BATCHES), Some(TagKind::Counter));
         assert_eq!(tag_kind(0), None);
         assert_eq!(tag_kind(u16::MAX), None);
         assert_eq!(TagKind::Counter.as_str(), "counter");

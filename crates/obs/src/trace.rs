@@ -44,6 +44,14 @@ pub enum Event {
     ProtocolError { conn: u64 },
     /// A sampled decide exceeded the configured latency threshold.
     SlowDecide { nanos: u64 },
+    /// The acceptor hit a persistent `accept()` failure (e.g. fd
+    /// exhaustion) and throttled its retry loop.
+    AcceptThrottle,
+    /// Overload shedding refused a workload request with `R_BUSY`.
+    ShedBusy { conn: u64 },
+    /// A connection crossed the repeat-protocol-error threshold and
+    /// its peer address was quarantined.
+    Quarantine { conn: u64 },
 }
 
 impl fmt::Display for Event {
@@ -59,6 +67,9 @@ impl fmt::Display for Event {
             Event::ResumeReads { conn } => write!(f, "resume conn={conn}"),
             Event::ProtocolError { conn } => write!(f, "proto_error conn={conn}"),
             Event::SlowDecide { nanos } => write!(f, "slow_decide ns={nanos}"),
+            Event::AcceptThrottle => write!(f, "accept_throttle"),
+            Event::ShedBusy { conn } => write!(f, "shed_busy conn={conn}"),
+            Event::Quarantine { conn } => write!(f, "quarantine conn={conn}"),
         }
     }
 }
@@ -186,6 +197,9 @@ pub struct EventCounters {
     pub resumes: AtomicU64,
     pub proto_errors: AtomicU64,
     pub slow_decides: AtomicU64,
+    pub accept_throttles: AtomicU64,
+    pub shed_busy: AtomicU64,
+    pub quarantines: AtomicU64,
     pub dropped: AtomicU64,
 }
 
@@ -202,6 +216,9 @@ impl EventCounters {
             + self.resumes.load(r)
             + self.proto_errors.load(r)
             + self.slow_decides.load(r)
+            + self.accept_throttles.load(r)
+            + self.shed_busy.load(r)
+            + self.quarantines.load(r)
     }
 }
 
@@ -285,6 +302,9 @@ impl Tracer {
             Event::ResumeReads { .. } => self.counters.resumes.fetch_add(1, r),
             Event::ProtocolError { .. } => self.counters.proto_errors.fetch_add(1, r),
             Event::SlowDecide { .. } => self.counters.slow_decides.fetch_add(1, r),
+            Event::AcceptThrottle => self.counters.accept_throttles.fetch_add(1, r),
+            Event::ShedBusy { .. } => self.counters.shed_busy.fetch_add(1, r),
+            Event::Quarantine { .. } => self.counters.quarantines.fetch_add(1, r),
         };
         let traced = TracedEvent { daemon: self.daemon, worker: self.worker, seq: self.seq, event };
         self.seq += 1;
@@ -479,6 +499,25 @@ mod tests {
             TracedEvent { daemon: 0, worker: 0, seq: 0, event: Event::Reject }.to_string(),
             "0 daemon=0 worker=0 reject"
         );
+        assert_eq!(Event::AcceptThrottle.to_string(), "accept_throttle");
+        assert_eq!(Event::ShedBusy { conn: 4 }.to_string(), "shed_busy conn=4");
+        assert_eq!(Event::Quarantine { conn: 5 }.to_string(), "quarantine conn=5");
+    }
+
+    #[test]
+    fn resilience_events_count_into_their_own_kinds() {
+        let (writer, _reader) = ring(16);
+        let counters = Arc::new(EventCounters::default());
+        let mut t = Tracer::new(writer, 0, true, u64::MAX, Arc::clone(&counters));
+        t.emit(Event::AcceptThrottle);
+        t.emit(Event::ShedBusy { conn: 1 });
+        t.emit(Event::ShedBusy { conn: 2 });
+        t.emit(Event::Quarantine { conn: 1 });
+        let r = Ordering::Relaxed;
+        assert_eq!(counters.accept_throttles.load(r), 1);
+        assert_eq!(counters.shed_busy.load(r), 2);
+        assert_eq!(counters.quarantines.load(r), 1);
+        assert_eq!(counters.emitted(), 4, "new kinds participate in the emitted() total");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Seeded decorrelated-jitter backoff, shared by every reconnect loop
+//! in the workspace (the resilient v2 client and the xar-obsd scraper).
+//!
+//! The policy is the AWS "decorrelated jitter" variant: each delay is
+//! drawn uniformly from `[base, prev * 3]` and capped, so consecutive
+//! retries spread out quickly without synchronizing — a fleet of
+//! clients reconnecting after a daemon restart does not stampede in
+//! lockstep the way plain doubling makes it.
+//!
+//! Randomness comes from a seeded xorshift64 kept inside the
+//! [`Backoff`], so a given seed produces one exact delay sequence.
+//! That determinism is load-bearing: the chaos harness replays a
+//! failing run byte-identically from an `xchaos1:` seed, which only
+//! works if the client's retry timing is a pure function of its seed
+//! too.
+
+use std::time::Duration;
+
+/// Decorrelated-jitter backoff state for one reconnect loop.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff drawing from `[base, prev * 3]` capped at `cap`,
+    /// seeded for a deterministic delay sequence. A zero `base` is
+    /// bumped to 1 ms so the range below is never empty; `cap` is
+    /// raised to at least `base`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        let cap = cap.max(base);
+        // A zero xorshift state is absorbing; any nonzero scramble of
+        // the seed works.
+        let rng = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let rng = if rng == 0 { 0x2545_F491_4F6C_DD1D } else { rng };
+        Backoff { base, cap, prev: base, rng }
+    }
+
+    /// The next delay: uniform in `[base, min(cap, prev * 3)]`. The
+    /// draw becomes the new `prev`, so the upper bound grows toward
+    /// `cap` across consecutive failures.
+    pub fn next_delay(&mut self) -> Duration {
+        let lo = self.base.as_millis() as u64;
+        let hi = (self.prev.as_millis() as u64).saturating_mul(3).min(self.cap.as_millis() as u64);
+        let span = hi.saturating_sub(lo);
+        let ms = if span == 0 { lo } else { lo + self.next_u64() % (span + 1) };
+        self.prev = Duration::from_millis(ms);
+        self.prev
+    }
+
+    /// Resets to the base delay after a success, without touching the
+    /// rng state (the delay *sequence* stays seed-deterministic across
+    /// resets; only the growth restarts).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64 (Marsaglia): full-period for any nonzero state.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_jitter_bounds() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        let mut b = Backoff::new(base, cap, 42);
+        let mut prev = base;
+        for i in 0..200 {
+            let d = b.next_delay();
+            assert!(d >= base, "draw {i} below base: {d:?}");
+            assert!(d <= cap, "draw {i} above cap: {d:?}");
+            let upper = Duration::from_millis(
+                (prev.as_millis() as u64).saturating_mul(3).min(cap.as_millis() as u64),
+            );
+            assert!(d <= upper.max(base), "draw {i} above prev*3: {d:?} vs {upper:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence_different_seed_diverges() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut a = Backoff::new(base, cap, 7);
+        let mut b = Backoff::new(base, cap, 7);
+        let seq_a: Vec<_> = (0..32).map(|_| a.next_delay()).collect();
+        let seq_b: Vec<_> = (0..32).map(|_| b.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "seeded backoff must be deterministic");
+        let mut c = Backoff::new(base, cap, 8);
+        let seq_c: Vec<_> = (0..32).map(|_| c.next_delay()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn reset_restarts_growth_at_base() {
+        let base = Duration::from_millis(100);
+        let mut b = Backoff::new(base, Duration::from_secs(10), 1);
+        for _ in 0..10 {
+            b.next_delay();
+        }
+        b.reset();
+        // The first post-reset draw is bounded by base * 3 again.
+        let d = b.next_delay();
+        assert!(d <= base * 3, "post-reset draw {d:?} exceeds base * 3");
+    }
+
+    #[test]
+    fn delays_grow_toward_the_cap() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        let mut b = Backoff::new(base, cap, 3);
+        // After enough failures the max observed delay should escape
+        // the early range — growth actually happens.
+        let max = (0..64).map(|_| b.next_delay()).max().unwrap();
+        assert!(max > base * 3, "backoff never grew past the first range: {max:?}");
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_panicking() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO, 0);
+        let d = b.next_delay();
+        assert_eq!(d, Duration::from_millis(1), "zero base clamps to 1 ms");
+    }
+}

@@ -10,15 +10,40 @@
 //!   single-decide frames locally, ship them in one write, and read
 //!   the K replies back in order, so a caller can keep frames in
 //!   flight on one connection without batching its queries.
+//!
+//! [`ResilientClient`] wraps the blocking client for callers that must
+//! survive daemon restarts and flaky networks: connect/read/write
+//! deadlines, automatic reconnect with seeded decorrelated-jitter
+//! backoff ([`crate::backoff`]), `R_BUSY` overload answers obeyed as
+//! retry hints, and **exactly-once report replay** — every report
+//! batch rides a `(session, seq)` stamp the daemon dedups against its
+//! [`crate::session`] high-water marks, so a batch retried because the
+//! ack was lost is acknowledged without being counted twice.
 
+use crate::backoff::Backoff;
 use crate::engine::{ReportOwned, TableEntry};
 use crate::wire::{self, DaemonStats, Request, Response, WireQuery, WireReport};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 use xar_desim::{Decision, Target};
 
 fn proto_err(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::other(msg.into())
+}
+
+/// A workload request's typed outcome against a daemon that may shed
+/// under overload: served, or refused with `R_BUSY` and a retry hint.
+/// Surfaced as data (not an error) so retry loops can obey the hint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Served<T> {
+    /// The daemon served the request.
+    Done(T),
+    /// The daemon shed the request; retry no sooner than the hint.
+    Busy {
+        /// Minimum client-side wait before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// A scheduler client speaking protocol v2.
@@ -48,13 +73,35 @@ impl V2Client {
     /// Socket errors, or a handshake mismatch (e.g. the peer is a v1
     /// text server).
     pub fn connect(addr: SocketAddr) -> std::io::Result<V2Client> {
-        let mut stream = TcpStream::connect(addr)?;
+        V2Client::connect_with(addr, None, None)
+    }
+
+    /// [`V2Client::connect`] with deadlines: a bound on the TCP
+    /// connect, and read/write timeouts left armed on the socket for
+    /// the client's lifetime so a wedged daemon surfaces as a timed-out
+    /// I/O error instead of a hang. `None` keeps the unbounded
+    /// blocking behavior.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors (including deadline expiry), or a handshake
+    /// mismatch.
+    pub fn connect_with(
+        addr: SocketAddr,
+        connect_timeout: Option<Duration>,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<V2Client> {
+        let mut stream = match connect_timeout {
+            Some(t) => TcpStream::connect_timeout(&addr, t)?,
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(io_timeout)?;
         stream.write_all(&wire::handshake(wire::VERSION))?;
         // A v1 text server would sit in read_line waiting for a
         // newline our handshake never sends; bound the wait so a
         // version mismatch is an error, not a mutual deadlock.
-        stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        stream.set_read_timeout(Some(io_timeout.unwrap_or(Duration::from_secs(5))))?;
         let mut hs = [0u8; wire::HANDSHAKE_LEN];
         stream.read_exact(&mut hs).map_err(|e| {
             if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
@@ -63,7 +110,7 @@ impl V2Client {
                 e
             }
         })?;
-        stream.set_read_timeout(None)?;
+        stream.set_read_timeout(io_timeout)?;
         let version = wire::parse_handshake(&hs)?;
         if version != wire::VERSION {
             return Err(proto_err(format!("server speaks v{version}, want v{}", wire::VERSION)));
@@ -163,6 +210,31 @@ impl V2Client {
         kernel_resident: bool,
         device_ready: bool,
     ) -> std::io::Result<Decision> {
+        match self.decide_or_busy(app, kernel, x86_load, arm_load, kernel_resident, device_ready)? {
+            Served::Done(d) => Ok(d),
+            Served::Busy { retry_after_ms } => {
+                Err(proto_err(format!("daemon shedding load (retry after {retry_after_ms}ms)")))
+            }
+        }
+    }
+
+    /// [`V2Client::decide_with`] with the daemon's overload answer
+    /// surfaced as data: an `R_BUSY` reply returns
+    /// [`Served::Busy`] instead of an error, so a retry loop can obey
+    /// the hint (see [`ResilientClient`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn decide_or_busy(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        arm_load: u32,
+        kernel_resident: bool,
+        device_ready: bool,
+    ) -> std::io::Result<Served<Decision>> {
         let range = self.roundtrip(&Request::Decide {
             app,
             kernel,
@@ -172,7 +244,66 @@ impl V2Client {
             device_ready,
         })?;
         match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
-            Response::Decide { target, reconfigure } => Ok(Decision { target, reconfigure }),
+            Response::Decide { target, reconfigure } => {
+                Ok(Served::Done(Decision { target, reconfigure }))
+            }
+            Response::Busy { retry_after_ms } => Ok(Served::Busy { retry_after_ms }),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers (or resumes) an exactly-once report session, returning
+    /// the daemon's acked high-water seq for it — 0 for a fresh
+    /// session, the last acknowledged [`V2Client::report_batch_seq`]
+    /// stamp for a resumed one. Session ids are caller-chosen and must
+    /// be nonzero; reusing one across reconnects is what makes replay
+    /// dedup work.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or a daemon refusal (id 0, or its
+    /// session table is full).
+    pub fn hello_session(&mut self, session: u64) -> std::io::Result<u64> {
+        let range = self.roundtrip(&Request::HelloSession { session })?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Session { last_seq } => Ok(last_seq),
+            Response::Err(msg) => Err(proto_err(msg)),
+            other => Err(proto_err(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Ships one seq-stamped report batch for exactly-once ingestion.
+    /// `Done(n)` with `n > 0` means the daemon ingested the batch
+    /// fresh; `Done(0)` for a nonempty batch means the stamp was at or
+    /// below the session's high-water mark — a replay the daemon
+    /// acked without ingesting again. The caller owns seq assignment
+    /// (strictly increasing per session) and must resend the *same*
+    /// stamp when retrying, or dedup breaks.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or a daemon refusal (session id 0, or
+    /// its session table is full).
+    pub fn report_batch_seq(
+        &mut self,
+        session: u64,
+        seq: u64,
+        reports: &[WireReport<'_>],
+    ) -> std::io::Result<Served<u32>> {
+        if self.inflight > 0 {
+            return Err(proto_err(format!(
+                "{} pipelined decide(s) in flight; drain_decisions first",
+                self.inflight
+            )));
+        }
+        self.send.clear();
+        wire::encode_batch_report_seq(session, seq, reports, &mut self.send);
+        self.stream.write_all(&self.send)?;
+        let range = self.read_reply()?;
+        match wire::decode_response(&self.recv[range]).map_err(std::io::Error::from)? {
+            Response::Ack(n) => Ok(Served::Done(n)),
+            Response::Busy { retry_after_ms } => Ok(Served::Busy { retry_after_ms }),
             Response::Err(msg) => Err(proto_err(msg)),
             other => Err(proto_err(format!("unexpected reply {other:?}"))),
         }
@@ -481,6 +612,314 @@ impl V2Client {
     }
 }
 
+/// Tuning for [`ResilientClient`]: deadlines, retry budget, backoff
+/// shape, and the exactly-once session identity.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// Exactly-once report-session id. Must be nonzero to use
+    /// [`ResilientClient::report_batch`]; reusing the id across client
+    /// restarts resumes the session's dedup marks. Unique per logical
+    /// reporter — two clients sharing an id would dedup each other's
+    /// batches.
+    pub session: u64,
+    /// Bound on each TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Read/write deadline armed on the socket for the connection's
+    /// lifetime: a wedged daemon surfaces as a timed-out I/O error
+    /// (and a reconnect), not a hang.
+    pub io_timeout: Duration,
+    /// First reconnect/retry delay; also the floor of every later one.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the jittered backoff, so a test replays the exact
+    /// delay sequence. Fleets should vary it per client (e.g. from the
+    /// session id) to decorrelate reconnect stampedes.
+    pub backoff_seed: u64,
+    /// Retries per operation (beyond the first attempt) before the
+    /// last error is returned. Reconnects and `R_BUSY` answers both
+    /// count against it.
+    pub max_retries: u32,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig {
+            session: 0,
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(1),
+            backoff_seed: 0,
+            max_retries: 8,
+        }
+    }
+}
+
+/// A [`V2Client`] wrapper that survives daemon restarts, connection
+/// resets, and overload shedding.
+///
+/// * Every operation runs under the config's retry budget: on an I/O
+///   error the connection is dropped and re-established (with
+///   re-handshake and session resync) after a seeded
+///   decorrelated-jitter [`Backoff`] delay; on an `R_BUSY` answer the
+///   daemon's retry hint is obeyed as the floor of that delay.
+/// * Decides and reads are **pure** server-side, so retrying them
+///   blindly is safe.
+/// * Report batches are **exactly-once**: each batch is stamped with
+///   `(session, seq)` and a retry resends the *same* stamp, so a batch
+///   whose ack was lost mid-flight is deduped by the daemon's
+///   [`crate::session`] high-water mark instead of double-counted.
+///   `Ack(0)` for a nonempty batch is that dedup, tallied in
+///   [`ResilientClient::deduped_batches`].
+///
+/// Construction is lazy — no I/O happens until the first operation, so
+/// a client may be built while its daemon is still coming up.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ResilientConfig,
+    inner: Option<V2Client>,
+    backoff: Backoff,
+    /// Next unused report-batch stamp (seq 0 is never fresh).
+    next_seq: u64,
+    /// Connections successfully established (first connect included).
+    connects: u64,
+    /// Nonempty batches the daemon answered `Ack(0)` — replays it had
+    /// already ingested.
+    deduped: u64,
+    /// `R_BUSY` answers absorbed (each cost one retry).
+    busy: u64,
+}
+
+impl ResilientClient {
+    /// A lazy client for the daemon at `addr`; connects on first use.
+    pub fn new(addr: SocketAddr, config: ResilientConfig) -> ResilientClient {
+        ResilientClient {
+            addr,
+            config,
+            inner: None,
+            backoff: Backoff::new(config.backoff_base, config.backoff_cap, config.backoff_seed),
+            next_seq: 1,
+            connects: 0,
+            deduped: 0,
+            busy: 0,
+        }
+    }
+
+    /// Connects (with deadlines) and resyncs the report session if one
+    /// is configured: the daemon's acked high-water mark fast-forwards
+    /// `next_seq` when this process resumes a session an earlier
+    /// incarnation advanced further than we knew.
+    fn ensure_connected(&mut self) -> std::io::Result<&mut V2Client> {
+        if self.inner.is_none() {
+            let mut c = V2Client::connect_with(
+                self.addr,
+                Some(self.config.connect_timeout),
+                Some(self.config.io_timeout),
+            )?;
+            if self.config.session != 0 {
+                let last = c.hello_session(self.config.session)?;
+                if self.next_seq <= last {
+                    self.next_seq = last + 1;
+                }
+            }
+            self.connects += 1;
+            self.inner = Some(c);
+        }
+        Ok(self.inner.as_mut().expect("just connected"))
+    }
+
+    /// Runs `op` under the retry budget: reconnect-and-retry on I/O
+    /// errors, hint-floored backoff on `R_BUSY`. `op` must be safe to
+    /// repeat — pure reads, or a seq-stamped batch whose replay the
+    /// daemon dedups.
+    fn with_retries<T>(
+        &mut self,
+        op: &mut dyn FnMut(&mut V2Client) -> std::io::Result<Served<T>>,
+    ) -> std::io::Result<T> {
+        let mut attempts = 0u32;
+        loop {
+            let served = match self.ensure_connected() {
+                Ok(c) => op(c),
+                Err(e) => Err(e),
+            };
+            let delay = match served {
+                Ok(Served::Done(v)) => {
+                    self.backoff.reset();
+                    return Ok(v);
+                }
+                Ok(Served::Busy { retry_after_ms }) => {
+                    self.busy += 1;
+                    if attempts >= self.config.max_retries {
+                        return Err(proto_err(
+                            "daemon kept shedding (R_BUSY) past the retry budget",
+                        ));
+                    }
+                    // The hint is a floor under the jittered delay, so
+                    // repeated Busy answers still back off.
+                    self.backoff.next_delay().max(Duration::from_millis(retry_after_ms as u64))
+                }
+                Err(e) => {
+                    // The connection's reply stream is indeterminate
+                    // after any mid-operation failure: drop it and
+                    // re-handshake rather than guess.
+                    self.inner = None;
+                    if attempts >= self.config.max_retries {
+                        return Err(e);
+                    }
+                    self.backoff.next_delay()
+                }
+            };
+            attempts += 1;
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Placement query with the common-case context (see
+    /// [`V2Client::decide`]); retried transparently — decides are pure.
+    ///
+    /// # Errors
+    ///
+    /// The last socket/protocol error once the retry budget is spent.
+    pub fn decide(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        kernel_resident: bool,
+    ) -> std::io::Result<Decision> {
+        self.decide_with(app, kernel, x86_load, 0, kernel_resident, true)
+    }
+
+    /// Full-context placement query (see [`V2Client::decide_with`]);
+    /// retried transparently — decides are pure.
+    ///
+    /// # Errors
+    ///
+    /// The last socket/protocol error once the retry budget is spent.
+    pub fn decide_with(
+        &mut self,
+        app: &str,
+        kernel: &str,
+        x86_load: u32,
+        arm_load: u32,
+        kernel_resident: bool,
+        device_ready: bool,
+    ) -> std::io::Result<Decision> {
+        self.with_retries(&mut |c| {
+            c.decide_or_busy(app, kernel, x86_load, arm_load, kernel_resident, device_ready)
+        })
+    }
+
+    /// Reports observed executions with exactly-once replay: chunks
+    /// ride seq-stamped frames, a failed chunk is resent under the
+    /// same stamp after reconnect, and a daemon-side dedup (`Ack(0)`)
+    /// still counts the chunk as accepted — it was ingested by an
+    /// earlier attempt. Returns the total accepted count.
+    ///
+    /// # Errors
+    ///
+    /// A nonzero session id is required (refused up front otherwise);
+    /// then the last socket/protocol error once the retry budget is
+    /// spent. Chunks acked before such a failure stay acked — the
+    /// daemon's marks make a later retry of the failed chunk safe.
+    pub fn report_batch(&mut self, reports: &[ReportOwned]) -> std::io::Result<u32> {
+        const FRAME_BUDGET: usize = wire::MAX_FRAME / 2;
+        let session = self.config.session;
+        if session == 0 {
+            return Err(proto_err("exactly-once reporting needs a nonzero config.session"));
+        }
+        let encoded_len = |r: &ReportOwned| wire::encoded_report_len(r.app.len());
+        let mut accepted = 0u32;
+        let mut it = reports.iter().peekable();
+        while it.peek().is_some() {
+            let mut chunk: Vec<WireReport<'_>> = Vec::new();
+            let mut chunk_bytes = 0usize;
+            while let Some(r) = it.peek() {
+                if !chunk.is_empty()
+                    && (chunk.len() >= wire::MAX_BATCH
+                        || chunk_bytes + encoded_len(r) > FRAME_BUDGET)
+                {
+                    break;
+                }
+                chunk_bytes += encoded_len(r);
+                chunk.push(WireReport {
+                    app: &r.app,
+                    target: r.target,
+                    func_ms: r.func_ms,
+                    x86_load: r.x86_load,
+                });
+                it.next();
+            }
+            let seq = self.next_seq;
+            let n = self.with_retries(&mut |c| c.report_batch_seq(session, seq, &chunk))?;
+            // Acked fresh or replayed — either way the daemon's mark
+            // now covers `seq` (resync in `ensure_connected` may have
+            // pushed `next_seq` past it already).
+            self.next_seq = self.next_seq.max(seq + 1);
+            if n == 0 {
+                self.deduped += 1;
+                accepted += chunk.len() as u32;
+            } else {
+                accepted += n;
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Fetches the daemon's threshold table; retried transparently.
+    ///
+    /// # Errors
+    ///
+    /// The last socket/protocol error once the retry budget is spent.
+    pub fn fetch_table(&mut self) -> std::io::Result<Vec<TableEntry>> {
+        self.with_retries(&mut |c| c.fetch_table().map(Served::Done))
+    }
+
+    /// Liveness probe; retried transparently.
+    ///
+    /// # Errors
+    ///
+    /// The last socket/protocol error once the retry budget is spent.
+    pub fn ping(&mut self, nonce: u64) -> std::io::Result<u64> {
+        self.with_retries(&mut |c| c.ping(nonce).map(Served::Done))
+    }
+
+    /// Fetches the self-describing statistics set; retried
+    /// transparently.
+    ///
+    /// # Errors
+    ///
+    /// The last socket/protocol error once the retry budget is spent.
+    pub fn stats_v2(&mut self) -> std::io::Result<wire::StatsV2> {
+        self.with_retries(&mut |c| c.stats_v2().map(Served::Done))
+    }
+
+    /// The configured exactly-once session id (0 = none).
+    pub fn session(&self) -> u64 {
+        self.config.session
+    }
+
+    /// Reconnects performed (connections established beyond the
+    /// first).
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// Nonempty report batches the daemon acked as replays (`Ack(0)`)
+    /// instead of ingesting twice. Summed across a fleet this equals
+    /// the daemon's `replayed_batches` StatsV2 tag.
+    pub fn deduped_batches(&self) -> u64 {
+        self.deduped
+    }
+
+    /// `R_BUSY` overload answers absorbed and retried.
+    pub fn busy_answers(&self) -> u64 {
+        self.busy
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +973,127 @@ mod tests {
         let mut c = V2Client::connect(addr).unwrap();
         assert_eq!(c.ping(1).unwrap(), 1);
         assert_eq!(c.ping(2).unwrap(), 2, "coalesced tail was discarded");
+        drop(c);
+        server.join().unwrap();
+    }
+
+    /// Completes the server half of the v2 handshake on `s`.
+    fn serve_handshake(s: &mut TcpStream) {
+        let mut hs = [0u8; wire::HANDSHAKE_LEN];
+        s.read_exact(&mut hs).unwrap();
+        s.write_all(&wire::handshake(wire::VERSION)).unwrap();
+    }
+
+    fn reply(s: &mut TcpStream, resp: &Response<'_>) {
+        let mut out = Vec::new();
+        wire::encode_response(resp, &mut out);
+        s.write_all(&out).unwrap();
+    }
+
+    /// The exactly-once contract end to end against a scripted daemon:
+    /// the first connection dies after receiving the seq-1 batch but
+    /// before acking (the client cannot tell "request lost" from "ack
+    /// lost"); the reconnect resumes the session, replays the same
+    /// stamp, and the daemon's `Ack(0)` is counted as a dedup — not a
+    /// second ingestion, not an error.
+    #[test]
+    fn resilient_client_replays_pending_batch_exactly_once_after_reconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Conn 1: fresh session, swallow the batch, die unacked.
+            let (mut s, _) = listener.accept().unwrap();
+            serve_handshake(&mut s);
+            let mut buf = Vec::new();
+            let hello = read_frame(&mut s, &mut buf);
+            assert_eq!(
+                wire::decode_request(&hello[4..]).unwrap(),
+                Request::HelloSession { session: 42 }
+            );
+            reply(&mut s, &Response::Session { last_seq: 0 });
+            let batch = read_frame(&mut s, &mut buf);
+            match wire::decode_request(&batch[4..]).unwrap() {
+                Request::BatchReportSeq { session: 42, seq: 1, reports } => {
+                    assert_eq!(reports.len(), 2);
+                }
+                other => panic!("expected the seq-1 batch, got {other:?}"),
+            }
+            drop(s); // the "ingested, ack lost" failure
+                     // Conn 2: the resumed session says seq 1 is already acked;
+                     // the replayed stamp dedups to Ack(0).
+            let (mut s, _) = listener.accept().unwrap();
+            serve_handshake(&mut s);
+            let mut buf = Vec::new();
+            let hello = read_frame(&mut s, &mut buf);
+            assert_eq!(
+                wire::decode_request(&hello[4..]).unwrap(),
+                Request::HelloSession { session: 42 }
+            );
+            reply(&mut s, &Response::Session { last_seq: 1 });
+            let batch = read_frame(&mut s, &mut buf);
+            match wire::decode_request(&batch[4..]).unwrap() {
+                Request::BatchReportSeq { session: 42, seq: 1, .. } => {}
+                other => panic!("retry must reuse the seq-1 stamp, got {other:?}"),
+            }
+            reply(&mut s, &Response::Ack(0));
+            let _ = s.read(&mut [0u8; 8]); // hold until the client drops
+        });
+        let mut c = ResilientClient::new(
+            addr,
+            ResilientConfig {
+                session: 42,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                ..ResilientConfig::default()
+            },
+        );
+        let reports = vec![
+            ReportOwned { app: "a".into(), target: Target::X86, func_ms: 1.0, x86_load: 1 },
+            ReportOwned { app: "b".into(), target: Target::Fpga, func_ms: 2.0, x86_load: 2 },
+        ];
+        assert_eq!(c.report_batch(&reports).unwrap(), 2, "replayed chunk still counts accepted");
+        assert_eq!(c.reconnects(), 1);
+        assert_eq!(c.deduped_batches(), 1, "the Ack(0) replay is a dedup");
+        drop(c);
+        server.join().unwrap();
+    }
+
+    /// `R_BUSY` is a retry hint, not a failure: the client sleeps and
+    /// resends on the same connection until served.
+    #[test]
+    fn busy_answers_are_retried_until_served() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            serve_handshake(&mut s);
+            let mut buf = Vec::new();
+            for answer_busy in [true, false] {
+                let frame = read_frame(&mut s, &mut buf);
+                match wire::decode_request(&frame[4..]).unwrap() {
+                    Request::Decide { app: "app", .. } => {}
+                    other => panic!("expected a decide, got {other:?}"),
+                }
+                if answer_busy {
+                    reply(&mut s, &Response::Busy { retry_after_ms: 1 });
+                } else {
+                    reply(&mut s, &Response::Decide { target: Target::Fpga, reconfigure: false });
+                }
+            }
+            let _ = s.read(&mut [0u8; 8]);
+        });
+        let mut c = ResilientClient::new(
+            addr,
+            ResilientConfig {
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                ..ResilientConfig::default()
+            },
+        );
+        let d = c.decide("app", "k", 1, true).unwrap();
+        assert_eq!(d.target, Target::Fpga);
+        assert_eq!(c.busy_answers(), 1);
+        assert_eq!(c.reconnects(), 0, "Busy must not cost a reconnect");
         drop(c);
         server.join().unwrap();
     }

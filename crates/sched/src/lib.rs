@@ -40,7 +40,9 @@
 //!   snapshot revalidation server-side) and explicit pipelining
 //!   (`submit_decide`/`flush`/`drain_decisions`) amortize the
 //!   per-call frame/syscall/round-trip overhead that dominates a
-//!   remote decide.
+//!   remote decide. [`client::ResilientClient`] wraps it with
+//!   deadlines, seeded-backoff reconnect, and exactly-once report
+//!   replay over the [`session`] layer.
 //! * [`adapter`] — a [`xar_desim::Policy`] adapter so cluster
 //!   simulations of 1000+ apps exercise the daemon's exact code path.
 //! * [`obsd`] — the **fleet scrape aggregator** behind the `xar-obsd`
@@ -55,17 +57,20 @@
 //! production face of its scheduler.
 
 pub mod adapter;
+pub mod backoff;
 pub mod client;
 pub mod engine;
 pub mod metrics;
 pub mod obsd;
 pub mod server;
+pub mod session;
 pub mod snapshot;
 pub mod sync_abstraction;
 pub mod wire;
 
 pub use adapter::ShardedPolicy;
-pub use client::V2Client;
+pub use backoff::Backoff;
+pub use client::{ResilientClient, ResilientConfig, V2Client};
 pub use engine::{
     shard_of, BatchScratch, DecideHandle, DecideScratch, EngineConfig, PolicyCore, ReportOwned,
     ShardedEngine, TableEntry,
@@ -73,6 +78,7 @@ pub use engine::{
 pub use metrics::{MetricsSnapshot, ObsSnapshot, ShardMetrics, LATENCY_SAMPLE, STRIPES};
 pub use obsd::{FleetSnapshot, Health, MemberView, Obsd, ObsdConfig};
 pub use server::{Server, ServerConfig};
+pub use session::{SeqOutcome, SessionInfo, SessionTable};
 pub use snapshot::{ArcCell, CachedSnap};
 pub use wire::{DaemonStats, HistDump, StatsV2, WireQuery};
 /// The dependency-free observability toolkit (trace rings, mergeable

@@ -10,8 +10,9 @@
 //!
 //! Liveness is part of the product:
 //!
-//! * each member gets its own scraper thread with exponential-backoff
-//!   reconnect, so a dead or restarting daemon costs that member its
+//! * each member gets its own scraper thread with seeded, jittered
+//!   backoff reconnect ([`crate::backoff::Backoff`]), so a dead or
+//!   restarting daemon costs that member its
 //!   `up` gauge and its contribution to the fold — nothing else;
 //! * the aggregator serves a fleet-wide Prometheus-style exposition
 //!   (`DUMP`) and a `HEALTH` verdict on its own nc-able text port, with
@@ -58,9 +59,10 @@ pub struct ObsdConfig {
     /// pause rate exceeds this (per second). `f64::INFINITY` disables
     /// the check.
     pub max_pause_rate_per_sec: f64,
-    /// Initial reconnect backoff after a failed connect or scrape.
+    /// Base reconnect backoff after a failed connect or scrape.
     pub backoff: Duration,
-    /// Backoff doubles per consecutive failure up to this cap.
+    /// Backoff grows with decorrelated jitter per consecutive failure
+    /// up to this cap (see [`crate::backoff::Backoff`]).
     pub backoff_max: Duration,
     /// Text-port bind address (port 0 picks an ephemeral port; read it
     /// back via [`Obsd::addr`]).
@@ -263,15 +265,17 @@ fn sleep_interruptible(shared: &Shared, total: Duration) {
 fn scraper_loop(shared: &Shared, idx: usize) {
     let addr = shared.members[idx].lock().unwrap().addr;
     let mut client: Option<V2Client> = None;
-    let mut backoff = shared.config.backoff;
+    // The shared jittered backoff, seeded per member so a fleet whose
+    // daemons restart together does not reconnect in lockstep.
+    let mut backoff =
+        crate::backoff::Backoff::new(shared.config.backoff, shared.config.backoff_max, idx as u64);
     while !shared.stop.load(Ordering::Relaxed) {
         if client.is_none() {
             match V2Client::connect(addr) {
                 Ok(c) => client = Some(c),
                 Err(_) => {
                     mark_failed(shared, idx);
-                    sleep_interruptible(shared, backoff);
-                    backoff = (backoff * 2).min(shared.config.backoff_max);
+                    sleep_interruptible(shared, backoff.next_delay());
                     continue;
                 }
             }
@@ -283,7 +287,7 @@ fn scraper_loop(shared: &Shared, idx: usize) {
         });
         match scraped {
             Some(Ok((stats, hist))) => {
-                backoff = shared.config.backoff;
+                backoff.reset();
                 record_scrape(shared, idx, stats, hist);
                 sleep_interruptible(shared, shared.config.scrape_interval);
             }
@@ -292,8 +296,7 @@ fn scraper_loop(shared: &Shared, idx: usize) {
                 // drop it and reconnect after backoff.
                 client = None;
                 mark_failed(shared, idx);
-                sleep_interruptible(shared, backoff);
-                backoff = (backoff * 2).min(shared.config.backoff_max);
+                sleep_interruptible(shared, backoff.next_delay());
             }
         }
     }

@@ -28,10 +28,12 @@
 //! (see [`crate::wire`] for both).
 
 use crate::engine::{BatchScratch, DecideHandle, DecideScratch, PolicyCore, ShardedEngine};
+use crate::session::{SeqOutcome, SessionTable};
 use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -131,6 +133,36 @@ pub struct ServerConfig {
     /// by `flush_interval` on an idle daemon. Zero disables the
     /// series layer.
     pub series_tick: Duration,
+    /// Overload shedding on per-connection backlog: a connection whose
+    /// pending replies exceed this many bytes gets `R_BUSY` for
+    /// workload requests (decides and reports) until it drains.
+    /// Distinct from `outbuf_high_water`, which pauses *processing* —
+    /// this answers instead of queueing, so a resilient client backs
+    /// off rather than timing out. 0 (the default) disables it.
+    pub shed_outbuf_bytes: usize,
+    /// Overload shedding on the latency SLO: when the windowed decide
+    /// p99 (over the last [`RATE_WINDOW_SECS`] of the time series)
+    /// crosses this many nanoseconds, workload requests daemon-wide
+    /// are answered `R_BUSY` until the window recovers. Re-evaluated
+    /// on each worker's maintenance tick; needs the series layer
+    /// enabled. 0 (the default) disables it.
+    pub shed_decide_p99_ns: u64,
+    /// The retry hint shipped inside every `R_BUSY` reply, in
+    /// milliseconds. Clients should wait at least this long (with
+    /// jitter) before retrying the shed request.
+    pub shed_retry_after_ms: u32,
+    /// Quarantine threshold: a connection committing this many
+    /// protocol errors is closed and its peer address refused at
+    /// accept for `quarantine_secs`. Protects the parse path from a
+    /// misbehaving (or malicious) peer reconnect-hammering malformed
+    /// frames. 0 (the default) disables quarantining.
+    pub quarantine_errors: u32,
+    /// How long a quarantined peer address stays banned.
+    pub quarantine_secs: u64,
+    /// Capacity of the exactly-once report-session table (concurrent
+    /// session ids). Sessions past it are refused (`R_ERR`), which a
+    /// client surfaces rather than silently losing dedup.
+    pub session_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +183,12 @@ impl Default for ServerConfig {
             daemon_id: 0,
             series_slots: xar_obs::DEFAULT_SLOTS,
             series_tick: Duration::from_secs(1),
+            shed_outbuf_bytes: 0,
+            shed_decide_p99_ns: 0,
+            shed_retry_after_ms: 50,
+            quarantine_errors: 0,
+            quarantine_secs: 60,
+            session_capacity: 1024,
         }
     }
 }
@@ -213,6 +251,38 @@ impl ConnCounters {
         accepted.saturating_sub(
             self.reaped.load(Ordering::Relaxed) + self.rejected.load(Ordering::Relaxed),
         )
+    }
+}
+
+/// Ban list for repeat protocol-error offenders, shared by the workers
+/// (which ban a peer address when a connection crosses
+/// `quarantine_errors`) and the acceptor (which refuses banned
+/// addresses at accept). Protocol errors and accepts are both off the
+/// hot path, so a mutex-guarded map is the right amount of machinery.
+#[derive(Default)]
+struct Quarantine {
+    /// Peer address → ban expiry.
+    bans: Mutex<HashMap<IpAddr, Instant>>,
+}
+
+impl Quarantine {
+    fn ban(&self, ip: IpAddr, dur: Duration) {
+        self.bans.lock().unwrap().insert(ip, Instant::now() + dur);
+    }
+
+    /// Whether `ip` is currently banned; expired bans are pruned as
+    /// they are consulted, so the map never outgrows the set of
+    /// recently-banned peers.
+    fn is_banned(&self, ip: IpAddr) -> bool {
+        let mut bans = self.bans.lock().unwrap();
+        match bans.get(&ip) {
+            Some(&until) if Instant::now() < until => true,
+            Some(_) => {
+                bans.remove(&ip);
+                false
+            }
+            None => false,
+        }
     }
 }
 
@@ -310,6 +380,16 @@ struct WorkerCtx<P: PolicyCore> {
     started: Instant,
     /// Shared per-tick time-series state (`None` when disabled).
     series: Option<Arc<SeriesState>>,
+    /// Exactly-once report-session registry (`HELLO_SESSION` /
+    /// `BATCH_REPORT_SEQ`), shared so a client's reconnect may land on
+    /// any worker and still dedup against the same high-water marks.
+    sessions: Arc<SessionTable>,
+    /// Daemon-wide overload flag driven by the windowed decide p99
+    /// (see `update_shed`); workload requests answer `R_BUSY` while
+    /// set.
+    shed: Arc<AtomicBool>,
+    /// Shared ban list for repeat protocol-error offenders.
+    quarantine: Arc<Quarantine>,
     config: ServerConfig,
 }
 
@@ -352,6 +432,26 @@ impl<P: PolicyCore> WorkerCtx<P> {
         s.ring.lock().unwrap().record(tick, &counters, &hists);
     }
 
+    /// Re-evaluates the SLO half of overload shedding from the
+    /// windowed decide p99. Called from the maintenance tick, so the
+    /// flag tracks the SLO within one `flush_interval`; any worker's
+    /// verdict stands for the daemon (they all read the same shared
+    /// ring). A disabled series layer leaves the flag off — only the
+    /// per-connection backlog check applies then.
+    fn update_shed(&self) {
+        if self.config.shed_decide_p99_ns == 0 {
+            return;
+        }
+        let Some(s) = &self.series else { return };
+        let over = s
+            .ring
+            .lock()
+            .unwrap()
+            .windowed_hist(0, s.ticks_for_secs(RATE_WINDOW_SECS))
+            .is_some_and(|h| h.percentile(0.99) > self.config.shed_decide_p99_ns);
+        self.shed.store(over, Ordering::Relaxed);
+    }
+
     /// Records one reaped connection and, when an admission cap is
     /// configured, nudges the acceptor (the freed slot may be what it
     /// is parked on).
@@ -389,12 +489,21 @@ struct Conn {
     idle_mark: u64,
     /// The socket is unusable (write error); reap immediately.
     dead: bool,
+    /// Peer address, for the quarantine ban list (`None` if the
+    /// socket could not name it — such a peer cannot be banned).
+    peer: Option<IpAddr>,
+    /// Protocol errors this connection has committed, against
+    /// `quarantine_errors`.
+    proto_errors: u32,
 }
 
 impl Conn {
     fn new(stream: TcpStream) -> Conn {
+        let peer = stream.peer_addr().ok().map(|a| a.ip());
         Conn {
             stream,
+            peer,
+            proto_errors: 0,
             proto: Proto::Undetermined,
             // Deliberately capacity 0: read_into's growth branch owns
             // (and zero-initializes) every byte of spare capacity.
@@ -509,6 +618,9 @@ impl<P: PolicyCore> Server<P> {
         let obs_counters = Arc::new(EventCounters::default());
         let trace_log = Arc::new(TraceLog::new(config.trace_log_capacity));
         let series = SeriesState::new(&config);
+        let sessions = Arc::new(SessionTable::new(config.session_capacity));
+        let shed = Arc::new(AtomicBool::new(false));
+        let quarantine = Arc::new(Quarantine::default());
         let started = Instant::now();
         let mut handles = Vec::with_capacity(workers + 1);
         let mut wakers = Vec::with_capacity(workers + 1);
@@ -538,6 +650,9 @@ impl<P: PolicyCore> Server<P> {
                 trace_log: trace_log.clone(),
                 started,
                 series: series.clone(),
+                sessions: sessions.clone(),
+                shed: shed.clone(),
+                quarantine: quarantine.clone(),
                 config,
             };
             let stop = stop.clone();
@@ -575,6 +690,7 @@ impl<P: PolicyCore> Server<P> {
                         counters2,
                         config,
                         acceptor_trace,
+                        quarantine,
                     )
                 })
                 .expect("spawn acceptor"),
@@ -633,8 +749,17 @@ impl AcceptorTrace {
         self.tracer.emit(TraceEvent::Reject);
         self.log.drain_from(&mut self.reader);
     }
+
+    /// The accept-failure throttle tripped (persistent `accept()`
+    /// errors, e.g. fd exhaustion). Like rejections: rare, so pushed
+    /// and drained to the log in the same breath.
+    fn throttle(&mut self) {
+        self.tracer.emit(TraceEvent::AcceptThrottle);
+        self.log.drain_from(&mut self.reader);
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     workers: Vec<(Sender<TcpStream>, Waker)>,
@@ -643,6 +768,7 @@ fn accept_loop(
     counters: Arc<ConnCounters>,
     config: ServerConfig,
     mut trace: AcceptorTrace,
+    quarantine: Arc<Quarantine>,
 ) {
     let (mut events, mut expired) = (Vec::new(), Vec::new());
     let mut next = 0usize;
@@ -679,8 +805,15 @@ fn accept_loop(
                 armed = true;
             }
             match listener.accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Quarantined peers are refused before spending a
+                    // worker handoff on them; the ban self-expires.
+                    if quarantine.is_banned(peer.ip()) {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        trace.reject();
+                        continue;
+                    }
                     let _ = stream.set_nodelay(true);
                     if stream.set_nonblocking(true).is_err() {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -715,7 +848,11 @@ fn accept_loop(
                     // Persistent accept failures (e.g. fd exhaustion)
                     // leave the listener readable, so the next poll
                     // returns immediately; throttle to keep the
-                    // retry loop off a full core.
+                    // retry loop off a full core. Traced and counted
+                    // (`accept_throttles`): a daemon living in this
+                    // state is starving new clients and an operator
+                    // should see it on the scrape surface.
+                    trace.throttle();
                     std::thread::sleep(Duration::from_millis(5));
                     break;
                 }
@@ -787,8 +924,10 @@ fn worker_loop<P: PolicyCore>(
                 ctx.engine.flush_dirty_obs(Some(&mut ctx.tracer));
                 ctx.drain_trace();
                 // Advance the per-tick time-series once the counters
-                // above are settled for this tick.
+                // above are settled for this tick, then re-judge the
+                // overload SLO against the fresh window.
                 ctx.advance_series();
+                ctx.update_shed();
                 continue;
             }
             // Idle deadline: a full window passed — reap only if the
@@ -1119,6 +1258,50 @@ fn classify(conn: &mut Conn) {
     }
 }
 
+/// Traces one protocol error on `conn` and applies the
+/// repeat-offender policy: crossing `quarantine_errors` bans the peer
+/// address, closes the connection, and returns `true` (the caller must
+/// discard its remaining input — a quarantined peer gets no further
+/// service).
+fn note_proto_error<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usize) -> bool {
+    ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
+    conn.proto_errors += 1;
+    let threshold = ctx.config.quarantine_errors;
+    if threshold == 0 || conn.proto_errors < threshold {
+        return false;
+    }
+    if let Some(ip) = conn.peer {
+        ctx.quarantine.ban(ip, Duration::from_secs(ctx.config.quarantine_secs));
+    }
+    ctx.tracer.emit(TraceEvent::Quarantine { conn: slot as u64 });
+    conn.closed = true;
+    true
+}
+
+/// Whether a request is load-bearing — i.e. fair game for overload
+/// shedding. Control-plane traffic (pings, stats, scrapes, session
+/// hellos) is always served: an operator diagnosing the overload and a
+/// client resyncing its session are exactly who must get through.
+fn sheddable(req: &Request<'_>) -> bool {
+    matches!(
+        req,
+        Request::Decide { .. }
+            | Request::DecideBatch(_)
+            | Request::Report(_)
+            | Request::BatchReport(_)
+            | Request::BatchReportSeq { .. }
+    )
+}
+
+/// Whether this connection's workload requests should be answered
+/// `R_BUSY` right now: its own reply backlog crossed the shed line, or
+/// the daemon-wide latency SLO flag is up.
+fn shedding<P: PolicyCore>(conn: &Conn, ctx: &WorkerCtx<P>) -> bool {
+    let cfg = &ctx.config;
+    (cfg.shed_outbuf_bytes > 0 && conn.out_pending() > cfg.shed_outbuf_bytes)
+        || (cfg.shed_decide_p99_ns > 0 && ctx.shed.load(Ordering::Relaxed))
+}
+
 /// Handles buffered complete v2 frames, pausing at the outbuf
 /// high-water cap ([`pump`]'s loop resumes once the backlog drains).
 fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usize) {
@@ -1135,7 +1318,7 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
             Ok(None) => break,
             Err(_) => {
                 wire::encode_response(&Response::Err("oversized frame"), &mut conn.outbuf);
-                ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
+                note_proto_error(conn, ctx, slot);
                 conn.closed = true;
                 // Discard the poisoned input: re-scanning it on a later
                 // pump would emit the diagnostic again.
@@ -1145,10 +1328,24 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
             }
         };
         match wire::decode_request(&conn.inbuf[at + range.start..at + range.end]) {
-            Ok(req) => handle_v2(&req, ctx, &mut conn.outbuf),
+            Ok(req) => {
+                if sheddable(&req) && shedding(conn, ctx) {
+                    wire::encode_response(
+                        &Response::Busy { retry_after_ms: ctx.config.shed_retry_after_ms },
+                        &mut conn.outbuf,
+                    );
+                    ctx.tracer.emit(TraceEvent::ShedBusy { conn: slot as u64 });
+                } else {
+                    handle_v2(&req, ctx, &mut conn.outbuf);
+                }
+            }
             Err(e) => {
                 wire::encode_response(&Response::Err(&e.to_string()), &mut conn.outbuf);
-                ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
+                if note_proto_error(conn, ctx, slot) {
+                    conn.inbuf.clear();
+                    at = 0;
+                    break;
+                }
             }
         }
         at += consumed;
@@ -1196,6 +1393,34 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
         Request::BatchReport(rs) => {
             let n = ctx.engine.report_batch_wire_obs(&mut ctx.scratch, rs, Some(&mut ctx.tracer));
             wire::encode_response(&Response::Ack(n as u32), out);
+        }
+        Request::HelloSession { session } => match ctx.sessions.hello(*session) {
+            Some(info) => {
+                wire::encode_response(&Response::Session { last_seq: info.last_seq }, out);
+            }
+            None => {
+                wire::encode_response(&Response::Err("session rejected (id 0 or table full)"), out);
+            }
+        },
+        Request::BatchReportSeq { session, seq, reports } => {
+            match ctx.sessions.advance(*session, *seq) {
+                Some(SeqOutcome::Fresh) => {
+                    let n = ctx.engine.report_batch_wire_obs(
+                        &mut ctx.scratch,
+                        reports,
+                        Some(&mut ctx.tracer),
+                    );
+                    wire::encode_response(&Response::Ack(n as u32), out);
+                }
+                // A batch the daemon already ingested: ack without
+                // re-ingesting. `Ack(0)` is how the client tells a
+                // dedup from a fresh ingest.
+                Some(SeqOutcome::Replay) => wire::encode_response(&Response::Ack(0), out),
+                None => wire::encode_response(
+                    &Response::Err("session rejected (id 0 or table full)"),
+                    out,
+                ),
+            }
         }
         Request::Table => {
             let entries = ctx.engine.table();
@@ -1298,6 +1523,11 @@ fn collect_stats_v2<P: PolicyCore>(ctx: &WorkerCtx<P>) -> Vec<(u16, u64)> {
             tags::SERIES_SLOTS,
             ctx.series.as_ref().map_or(0, |s| s.ring.lock().unwrap().len() as u64),
         ),
+        (tags::ACCEPT_THROTTLES, ev.accept_throttles.load(r)),
+        (tags::SHED_BUSY, ev.shed_busy.load(r)),
+        (tags::QUARANTINES, ev.quarantines.load(r)),
+        (tags::SESSIONS_OPENED, ctx.sessions.opened_total()),
+        (tags::REPLAYED_BATCHES, ctx.sessions.replayed_total()),
     ]
 }
 
@@ -1332,7 +1562,11 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
         let parsed = std::str::from_utf8(line_bytes).ok().and_then(wire::parse_v1_line);
         let Some(req) = parsed else {
             conn.outbuf.extend_from_slice(b"ERR\n");
-            ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
+            if note_proto_error(conn, ctx, slot) {
+                conn.inbuf.clear();
+                at = 0;
+                break;
+            }
             continue;
         };
         match req {
@@ -1521,7 +1755,7 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
     // complete-but-unprocessed lines, not one runaway line.)
     if !capped && conn.inbuf.len() > wire::MAX_V1_LINE {
         conn.outbuf.extend_from_slice(b"ERR\n");
-        ctx.tracer.emit(TraceEvent::ProtocolError { conn: slot as u64 });
+        note_proto_error(conn, ctx, slot);
         conn.closed = true;
         // Discard the runaway line: re-scanning it on a later pump
         // would emit the diagnostic again.

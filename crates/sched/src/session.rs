@@ -1,0 +1,209 @@
+//! Report-session registry: the exactly-once half of the resilience
+//! contract.
+//!
+//! A client that wants replay-safe reporting presents a nonzero
+//! session id (`HELLO_SESSION`) and stamps every report batch with a
+//! strictly-increasing sequence number (`BATCH_REPORT_SEQ`). The
+//! daemon keeps one high-water mark per session and ingests a batch
+//! only when its seq advances the mark — a batch retried because the
+//! *reply* was lost mid-flight (the client cannot tell a lost request
+//! from a lost ack) hits the mark and is acknowledged without being
+//! ingested again, so reports are counted exactly once no matter how
+//! many times the connection dies.
+//!
+//! The table is a fixed array of lock-free slots. Dedup is a single
+//! `fetch_max` on the slot's mark: the returned previous value decides
+//! fresh-vs-replay, so two workers racing the same retried batch agree
+//! — exactly one observes the advance. Atomics route through
+//! [`crate::sync_abstraction`], and `tests/model_session.rs` explores
+//! the claim/advance interleavings under the xar-check model checker
+//! (the PR 8 gate for new lock-free protocol state).
+
+use crate::sync_abstraction::{AtomicU64, Ordering};
+
+/// Outcome of stamping one `(session, seq)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqOutcome {
+    /// The seq advanced the session's high-water mark: ingest the
+    /// batch and ack its length.
+    Fresh,
+    /// The seq was at or below the mark — a replayed batch the daemon
+    /// already ingested. Ack without ingesting (the wire answer is
+    /// `Ack(0)`).
+    Replay,
+}
+
+/// What `hello` learned about a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// High-water mark of acked batch seqs (0 for a fresh session).
+    pub last_seq: u64,
+    /// Whether this call claimed the slot (first hello for this id).
+    pub opened: bool,
+}
+
+struct Slot {
+    /// Session id, 0 = empty. Claimed by CAS; once nonzero the id
+    /// never changes, so readers that observed it can trust `hwm`.
+    id: AtomicU64,
+    /// Highest batch seq acknowledged for this session.
+    hwm: AtomicU64,
+    /// Highest seq already *counted* as a replay. A batch whose replay
+    /// ack is lost too gets replayed again on the next retry; counting
+    /// only the first replay of each seq keeps the `REPLAYED_BATCHES`
+    /// counter equal to the one `Ack(0)` the client eventually
+    /// observes — the fleet-wide conservation law chaos tests check.
+    replayed_hwm: AtomicU64,
+}
+
+/// Fixed-capacity lock-free session registry.
+pub struct SessionTable {
+    slots: Box<[Slot]>,
+    /// Slots claimed over the table's lifetime (`SESSIONS_OPENED`).
+    opened: AtomicU64,
+    /// Batches answered `Replay` — acked without ingesting
+    /// (`REPLAYED_BATCHES`).
+    replayed: AtomicU64,
+}
+
+impl SessionTable {
+    /// A table with room for `capacity` concurrent session ids.
+    pub fn new(capacity: usize) -> Self {
+        let slots = (0..capacity.max(1))
+            .map(|_| Slot {
+                id: AtomicU64::new(0),
+                hwm: AtomicU64::new(0),
+                replayed_hwm: AtomicU64::new(0),
+            })
+            .collect();
+        SessionTable { slots, opened: AtomicU64::new(0), replayed: AtomicU64::new(0) }
+    }
+
+    /// Sessions registered since the table was built.
+    pub fn opened_total(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Distinct replayed (deduped) seqs since the table was built —
+    /// each seq counts once however many times its replay was retried.
+    pub fn replayed_total(&self) -> u64 {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
+    /// Finds the slot holding `id`, claiming an empty one if absent.
+    /// Returns `(slot, claimed_here)`; `None` when the table is full.
+    fn slot(&self, id: u64) -> Option<(&Slot, bool)> {
+        debug_assert_ne!(id, 0, "session id 0 is the empty-slot sentinel");
+        for slot in self.slots.iter() {
+            let cur = slot.id.load(Ordering::Acquire);
+            if cur == id {
+                return Some((slot, false));
+            }
+            if cur == 0 {
+                match slot.id.compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        self.opened.fetch_add(1, Ordering::Relaxed);
+                        return Some((slot, true));
+                    }
+                    // Lost the claim race; the winner may have claimed
+                    // it for the same id (two connections of one
+                    // client racing their hellos).
+                    Err(winner) if winner == id => return Some((slot, false)),
+                    Err(_) => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Registers (or resumes) session `id`, returning its acked
+    /// high-water mark so a reconnecting client can resync. `None`
+    /// when `id` is 0 (reserved) or the table is full.
+    pub fn hello(&self, id: u64) -> Option<SessionInfo> {
+        if id == 0 {
+            return None;
+        }
+        let (slot, opened) = self.slot(id)?;
+        Some(SessionInfo { last_seq: slot.hwm.load(Ordering::Acquire), opened })
+    }
+
+    /// Stamps `(session, seq)`: one `fetch_max` against the session's
+    /// high-water mark. The previous value decides fresh-vs-replay, so
+    /// concurrent stampings of the same seq elect exactly one `Fresh`.
+    /// Sessions are auto-registered (a batch may arrive on a fresh
+    /// connection before its hello is processed elsewhere); `None`
+    /// when `session` is 0 or the table is full.
+    pub fn advance(&self, session: u64, seq: u64) -> Option<SeqOutcome> {
+        if session == 0 {
+            return None;
+        }
+        let (slot, _) = self.slot(session)?;
+        let prev = slot.hwm.fetch_max(seq, Ordering::AcqRel);
+        if prev >= seq {
+            // Count each seq's replay once (its own fetch_max dedups
+            // the counter), so the total matches the single `Ack(0)`
+            // the retrying client eventually sees for that seq.
+            if slot.replayed_hwm.fetch_max(seq, Ordering::AcqRel) < seq {
+                self.replayed.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(SeqOutcome::Replay)
+        } else {
+            Some(SeqOutcome::Fresh)
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_session_starts_at_zero_and_advances() {
+        let t = SessionTable::new(4);
+        assert_eq!(t.hello(7), Some(SessionInfo { last_seq: 0, opened: true }));
+        assert_eq!(t.advance(7, 1), Some(SeqOutcome::Fresh));
+        assert_eq!(t.advance(7, 2), Some(SeqOutcome::Fresh));
+        assert_eq!(t.hello(7), Some(SessionInfo { last_seq: 2, opened: false }));
+    }
+
+    #[test]
+    fn replayed_and_stale_seqs_are_deduped() {
+        let t = SessionTable::new(4);
+        assert_eq!(t.advance(9, 5), Some(SeqOutcome::Fresh), "auto-registers");
+        assert_eq!(t.advance(9, 5), Some(SeqOutcome::Replay), "exact replay");
+        assert_eq!(t.advance(9, 3), Some(SeqOutcome::Replay), "stale seq");
+        assert_eq!(t.advance(9, 6), Some(SeqOutcome::Fresh), "then advances again");
+        // seq 0 can never be fresh: the mark starts there.
+        assert_eq!(t.advance(9, 0), Some(SeqOutcome::Replay));
+        // Only the first replay of seq 5 counts; the stale seq 3 and
+        // seq 0 sit below the already-counted mark.
+        assert_eq!(t.replayed_total(), 1, "one distinct seq was replayed");
+        assert_eq!(t.advance(9, 5), Some(SeqOutcome::Replay), "replay retried");
+        assert_eq!(t.replayed_total(), 1, "a re-replayed seq still counts once");
+        assert_eq!(t.advance(9, 6), Some(SeqOutcome::Replay));
+        assert_eq!(t.replayed_total(), 2, "each distinct replayed seq counts");
+        assert_eq!(t.opened_total(), 1, "auto-registration claims count as opens");
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let t = SessionTable::new(4);
+        assert_eq!(t.advance(1, 10), Some(SeqOutcome::Fresh));
+        assert_eq!(t.advance(2, 10), Some(SeqOutcome::Fresh), "own mark per session");
+        assert_eq!(t.hello(1), Some(SessionInfo { last_seq: 10, opened: false }));
+        assert_eq!(t.hello(2), Some(SessionInfo { last_seq: 10, opened: false }));
+    }
+
+    #[test]
+    fn id_zero_is_refused_and_full_table_reports_none() {
+        let t = SessionTable::new(2);
+        assert_eq!(t.hello(0), None);
+        assert_eq!(t.advance(0, 1), None);
+        assert!(t.hello(1).unwrap().opened);
+        assert!(t.hello(2).unwrap().opened);
+        assert_eq!(t.hello(3), None, "table full");
+        assert_eq!(t.advance(3, 1), None, "table full");
+        // Existing sessions keep working at capacity.
+        assert_eq!(t.advance(2, 1), Some(SeqOutcome::Fresh));
+    }
+}

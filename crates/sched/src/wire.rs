@@ -106,6 +106,11 @@ pub mod op {
     pub const STATS_V2: u8 = 0x08;
     /// `HistDump` — fetch per-op-class latency histogram buckets.
     pub const HIST_DUMP: u8 = 0x09;
+    /// `HelloSession` — register (or resume) a report session.
+    pub const HELLO_SESSION: u8 = 0x0A;
+    /// `BatchReportSeq` — seq-stamped batched completion reports with
+    /// exactly-once replay semantics.
+    pub const BATCH_REPORT_SEQ: u8 = 0x0B;
     /// Reply to `DECIDE`.
     pub const R_DECIDE: u8 = 0x81;
     /// Acknowledgement carrying an accepted-item count.
@@ -122,6 +127,11 @@ pub mod op {
     pub const R_STATS_V2: u8 = 0x88;
     /// Reply to `HIST_DUMP`: N self-describing histogram rows.
     pub const R_HIST_DUMP: u8 = 0x89;
+    /// Reply to `HELLO_SESSION`: the session's last-acked batch seq.
+    pub const R_SESSION: u8 = 0x8A;
+    /// Overload-shed refusal carrying a retry-after hint; the request
+    /// it answers was not processed.
+    pub const R_BUSY: u8 = 0x8B;
     /// Error reply carrying a message.
     pub const R_ERR: u8 = 0xFF;
 }
@@ -313,6 +323,27 @@ pub enum Request<'a> {
     StatsV2,
     /// Per-op-class latency histogram request.
     HistDump,
+    /// Registers (or resumes) a report session identified by a
+    /// client-chosen nonzero id; answered by `R_SESSION` carrying the
+    /// session's last-acked batch seq so a reconnecting client can
+    /// resynchronize its sequence counter.
+    HelloSession {
+        /// Client-chosen session id (nonzero).
+        session: u64,
+    },
+    /// Batched completion reports stamped with a per-session sequence
+    /// number. The daemon ingests a batch only when `seq` advances the
+    /// session's high-water mark; a replayed seq (a retry after a lost
+    /// reply) is acknowledged with `Ack(0)` and ingests nothing — the
+    /// exactly-once half of the resilience contract.
+    BatchReportSeq {
+        /// Session id from a prior `HelloSession`.
+        session: u64,
+        /// Per-session batch sequence number (strictly increasing).
+        seq: u64,
+        /// The reports themselves.
+        reports: Vec<WireReport<'a>>,
+    },
 }
 
 /// A decoded server response. Strings borrow from the receive buffer.
@@ -340,6 +371,18 @@ pub enum Response<'a> {
     StatsV2(StatsV2),
     /// Per-op-class latency histogram buckets.
     HistDump(HistDump),
+    /// Session registration reply: the last batch seq the daemon has
+    /// acked for this session (0 for a fresh session).
+    Session {
+        /// High-water mark of acknowledged batch seqs.
+        last_seq: u64,
+    },
+    /// Overload-shed refusal: the request was not processed; retry
+    /// after the hinted delay.
+    Busy {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// Protocol or handler error.
     Err(&'a str),
 }
@@ -674,7 +717,37 @@ pub fn encode_request(req: &Request<'_>, out: &mut Vec<u8>) {
         Request::DecideBatch(qs) => encode_decide_batch(qs, out),
         Request::StatsV2 => FrameWriter::begin(out, op::STATS_V2).finish(),
         Request::HistDump => FrameWriter::begin(out, op::HIST_DUMP).finish(),
+        Request::HelloSession { session } => {
+            let mut w = FrameWriter::begin(out, op::HELLO_SESSION);
+            w.u64(*session);
+            w.finish();
+        }
+        Request::BatchReportSeq { session, seq, reports } => {
+            encode_batch_report_seq(*session, *seq, reports, out);
+        }
     }
+}
+
+/// Appends one encoded `BatchReportSeq` request frame built from a
+/// borrowed report slice — the same bytes [`encode_request`] produces
+/// for `Request::BatchReportSeq` (which delegates here), without
+/// requiring the caller to materialize an owned `Vec` first. The
+/// resilient client's replay buffer encodes through this.
+pub fn encode_batch_report_seq(
+    session: u64,
+    seq: u64,
+    reports: &[WireReport<'_>],
+    out: &mut Vec<u8>,
+) {
+    assert!(reports.len() <= MAX_BATCH, "BatchReportSeq of {} exceeds u16 count", reports.len());
+    let mut w = FrameWriter::begin(out, op::BATCH_REPORT_SEQ);
+    w.u64(session);
+    w.u64(seq);
+    w.u16(reports.len() as u16);
+    for r in reports {
+        w.report(r);
+    }
+    w.finish();
 }
 
 /// Appends one encoded `DecideBatch` request frame built from a
@@ -810,6 +883,16 @@ pub fn encode_response(resp: &Response<'_>, out: &mut Vec<u8>) {
                     w.u64(b);
                 }
             }
+            w.finish();
+        }
+        Response::Session { last_seq } => {
+            let mut w = FrameWriter::begin(out, op::R_SESSION);
+            w.u64(*last_seq);
+            w.finish();
+        }
+        Response::Busy { retry_after_ms } => {
+            let mut w = FrameWriter::begin(out, op::R_BUSY);
+            w.u32(*retry_after_ms);
             w.finish();
         }
         Response::Err(msg) => {
@@ -953,6 +1036,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, WireError> {
             }
             Ok(Request::DecideBatch(qs))
         }
+        op::HELLO_SESSION => Ok(Request::HelloSession { session: r.u64()? }),
+        op::BATCH_REPORT_SEQ => {
+            let session = r.u64()?;
+            let seq = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut reports = Vec::with_capacity(n);
+            for _ in 0..n {
+                reports.push(r.report()?);
+            }
+            Ok(Request::BatchReportSeq { session, seq, reports })
+        }
         other => Err(WireError::BadOpcode(other)),
     }?;
     r.finish()?;
@@ -1045,6 +1139,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response<'_>, WireError> {
             }
             Ok(Response::HistDump(HistDump { classes }))
         }
+        op::R_SESSION => Ok(Response::Session { last_seq: r.u64()? }),
+        op::R_BUSY => Ok(Response::Busy { retry_after_ms: r.u32()? }),
         op::R_ERR => Ok(Response::Err(r.str()?)),
         other => Err(WireError::BadOpcode(other)),
     }?;
@@ -1136,6 +1232,16 @@ mod tests {
         ]));
         roundtrip_req(Request::DecideBatch(Vec::new()));
         roundtrip_req(Request::StatsV2);
+        roundtrip_req(Request::HelloSession { session: 0xFEED_F00D });
+        roundtrip_req(Request::BatchReportSeq {
+            session: 7,
+            seq: u64::MAX,
+            reports: vec![
+                WireReport { app: "a", target: Target::X86, func_ms: 1.0, x86_load: 1 },
+                WireReport { app: "b", target: Target::Fpga, func_ms: 2.0, x86_load: 2 },
+            ],
+        });
+        roundtrip_req(Request::BatchReportSeq { session: 1, seq: 1, reports: Vec::new() });
     }
 
     #[test]
@@ -1173,6 +1279,9 @@ mod tests {
             rejected_conns: 1,
         }));
         roundtrip_resp(Response::Err("nope"));
+        roundtrip_resp(Response::Session { last_seq: 0 });
+        roundtrip_resp(Response::Session { last_seq: u64::MAX });
+        roundtrip_resp(Response::Busy { retry_after_ms: 250 });
         roundtrip_resp(Response::StatsV2(StatsV2::default()));
         roundtrip_resp(Response::StatsV2(StatsV2 {
             // A tag far beyond the current registry must ride along:
@@ -1497,6 +1606,59 @@ mod tests {
         let mut out = Vec::new();
         let w = DecideBatchReplyWriter::begin(&mut out, 2);
         w.finish(); // only 0 of 2 pushed
+    }
+
+    #[test]
+    fn session_frames_are_fixed_width_and_reject_truncation() {
+        // HELLO_SESSION: header + opcode + u64 session.
+        let mut buf = Vec::new();
+        encode_request(&Request::HelloSession { session: 42 }, &mut buf);
+        assert_eq!(buf.len(), 4 + 1 + 8);
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        assert_eq!(decode_request(&buf[range.start..range.end - 1]), Err(WireError::Truncated));
+        // R_SESSION / R_BUSY replies are fixed-width too.
+        let mut buf = Vec::new();
+        encode_response(&Response::Session { last_seq: 9 }, &mut buf);
+        assert_eq!(buf.len(), 4 + 1 + 8);
+        let mut buf = Vec::new();
+        encode_response(&Response::Busy { retry_after_ms: 50 }, &mut buf);
+        assert_eq!(buf.len(), 4 + 1 + 4);
+        let (_, range) = frame_in(&buf).unwrap().unwrap();
+        assert_eq!(decode_response(&buf[range.start..range.end - 1]), Err(WireError::Truncated));
+        // BatchReportSeq layout: session + seq + count + elements, so
+        // the seq-stamped frame costs exactly 16 bytes over BatchReport.
+        let rs = vec![WireReport { app: "x", target: Target::Arm, func_ms: 1.0, x86_load: 2 }];
+        let mut plain = Vec::new();
+        encode_request(&Request::BatchReport(rs.clone()), &mut plain);
+        let mut stamped = Vec::new();
+        encode_request(&Request::BatchReportSeq { session: 1, seq: 2, reports: rs }, &mut stamped);
+        assert_eq!(stamped.len(), plain.len() + 16, "seq stamping costs two u64s");
+        // Truncating the stamped frame mid-element is a decode error.
+        let (_, range) = frame_in(&stamped).unwrap().unwrap();
+        assert_eq!(decode_request(&stamped[range.start..range.end - 1]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn streamed_batch_report_seq_matches_encode_request() {
+        let rs = vec![
+            WireReport { app: "a", target: Target::X86, func_ms: 1.0, x86_load: 1 },
+            WireReport { app: "b", target: Target::Fpga, func_ms: 2.0, x86_load: 2 },
+        ];
+        let mut staged = Vec::new();
+        encode_request(
+            &Request::BatchReportSeq { session: 3, seq: 4, reports: rs.clone() },
+            &mut staged,
+        );
+        let mut streamed = Vec::new();
+        encode_batch_report_seq(3, 4, &rs, &mut streamed);
+        assert_eq!(streamed, staged, "the two encode paths drifted");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16 count")]
+    fn oversized_batch_report_seq_panics_in_the_encoder() {
+        let report = WireReport { app: "a", target: Target::X86, func_ms: 0.0, x86_load: 0 };
+        encode_batch_report_seq(1, 1, &vec![report; MAX_BATCH + 1], &mut Vec::new());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use xar_trek::desim::{Decision, Target};
 use xar_trek::sched::wire::{
     decode_request, decode_response, encode_request, encode_response, frame_in, DaemonStats,
-    Request, Response, StatsV2, WireEntry, WireQuery, WireReport,
+    Request, Response, StatsV2, WireEntry, WireQuery, WireReport, MAX_FRAME,
 };
 use xar_trek::sched::MetricsSnapshot;
 
@@ -111,6 +111,68 @@ proptest! {
         roundtrip_req(&Request::Stats)?;
         roundtrip_req(&Request::DecideBatch(queries.iter().map(query).collect()))?;
         roundtrip_req(&Request::StatsV2)?;
+    }
+
+    /// The resilience ops round-trip: session hellos and seq-stamped
+    /// batches (requests), session resyncs and busy answers
+    /// (responses) — for arbitrary ids, seqs, hints, and batch shapes.
+    #[test]
+    fn session_and_shed_ops_roundtrip(
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        batch in proptest::collection::vec(report_spec(), 0..24),
+        last_seq in any::<u64>(),
+        retry_after_ms in any::<u32>(),
+    ) {
+        roundtrip_req(&Request::HelloSession { session })?;
+        roundtrip_req(&Request::BatchReportSeq {
+            session,
+            seq,
+            reports: batch.iter().map(report).collect(),
+        })?;
+        roundtrip_resp(&Response::Session { last_seq })?;
+        roundtrip_resp(&Response::Busy { retry_after_ms })?;
+    }
+
+    /// Malformed input never yields a frame: every strict prefix of an
+    /// encoded frame is "incomplete" at the framing layer or a decode
+    /// error at the payload layer (never a panic, never a bogus
+    /// message), and a length header past `MAX_FRAME` is refused
+    /// before any allocation.
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected(
+        session in 1..u64::MAX,
+        seq in any::<u64>(),
+        batch in proptest::collection::vec(report_spec(), 1..16),
+        cut in any::<u64>(),
+        oversize in (MAX_FRAME as u32 + 1)..u32::MAX,
+    ) {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::BatchReportSeq { session, seq, reports: batch.iter().map(report).collect() },
+            &mut buf,
+        );
+        // Framing: any strict prefix of the byte stream is incomplete.
+        let at = (cut as usize) % buf.len();
+        prop_assert!(
+            matches!(frame_in(&buf[..at]), Ok(None)),
+            "a {at}-byte prefix of a {}-byte frame parsed as complete", buf.len()
+        );
+        // Payload: a complete-looking frame whose payload was cut
+        // short decodes to an error, not a shorter valid message.
+        let (_, range) = frame_in(&buf).unwrap().expect("complete frame");
+        let payload = &buf[range];
+        let inner = (cut as usize) % payload.len();
+        prop_assert!(
+            decode_request(&payload[..inner]).is_err(),
+            "a {inner}-byte payload prefix decoded"
+        );
+        // An announced length beyond MAX_FRAME is a hard protocol
+        // error however much of the stream has arrived.
+        let mut evil = oversize.to_le_bytes().to_vec();
+        prop_assert!(frame_in(&evil).is_err(), "oversized header accepted with no payload");
+        evil.extend_from_slice(payload);
+        prop_assert!(frame_in(&evil).is_err(), "oversized header accepted with payload bytes");
     }
 
     /// Every response opcode round-trips with random payloads.
