@@ -40,6 +40,12 @@
 //!   daemon: `StatsV2` and `HistDump` RTT p50s, and the decide p50
 //!   with a periodic scraper attached vs detached. The `--quick`
 //!   smoke asserts the attached scraper perturbs decide p50 by ≤ 5%.
+//! * **durability cost** — report-ingest throughput and decide RTT
+//!   p50 across the durability modes: fully in-memory, WAL with
+//!   `fsync` off, interval(5ms), and always. Reports pay the journal
+//!   (bounded by the fsync policy); decides never touch the WAL, and
+//!   the `--quick` smoke asserts a WAL-armed (fsync-off) daemon's
+//!   decide p50 stays within 5% of the in-memory daemon's.
 //!
 //! In full mode the results land in `BENCH_sched.json` at the
 //! workspace root — machine-readable so the perf trajectory is
@@ -55,8 +61,9 @@ use xar_core::server::{sharded_engine, spawn_sharded, EngineConfig, ServerConfig
 use xar_core::thresholds::{ScenarioTimes, ThresholdEntry, ThresholdTable};
 use xar_core::XarTrekPolicy;
 use xar_desim::DecideCtx;
+use xar_desim::Target;
 use xar_sched::obs::{ring, EventCounters, Tracer};
-use xar_sched::{shard_of, ShardedEngine, WireQuery};
+use xar_sched::{shard_of, DurabilityConfig, FsyncPolicy, ReportOwned, ShardedEngine, WireQuery};
 
 const APPS: usize = 10_000;
 const SHARDS: usize = 8;
@@ -195,10 +202,33 @@ fn main() {
         println!("  quick bar: attached scraper within 5% of detached — ok");
     }
 
+    // Durability cost: report-ingest throughput under each WAL/fsync
+    // mode, and decide RTT p50 per mode (the decide path never touches
+    // the journal, so arming durability must not move it).
+    let dur = durability_cost(&policy, &hot, cfg.samples, rounds);
+    println!("\n{:<34} {:>14} {:>12}", "durability mode", "reports/sec", "decide p50");
+    for row in &dur {
+        println!("{:<34} {:>14} {:>12}", row.mode, row.ingest_per_sec, ns(row.decide_p50));
+    }
+    if quick {
+        // CI smoke bar: the decide path is WAL-free, so a WAL-armed
+        // daemon (fsync off — the journaling itself, no disk-flush
+        // noise) must hold decide p50 within 5% of in-memory, with
+        // the usual small absolute floor against timer quanta.
+        let base = dur[0].decide_p50;
+        let wal_off = dur[1].decide_p50;
+        let bar = wal_off <= base + (base / 20).max(20);
+        assert!(
+            bar,
+            "WAL-armed decide p50 regressed >5%: in-memory {base}ns, wal+fsync-off {wal_off}ns"
+        );
+        println!("  quick bar: WAL-armed decide p50 within 5% of in-memory — ok");
+    }
+
     if !quick {
         let json = render_json(
             cores, cached_p50, cached_p99, locked_p50, locked_p99, &contended, cow_ns, deep_ns,
-            rtt_p50, rtt_p99, &batched, &pipelined, base_p50, off_p50, on_p50, &scrape,
+            rtt_p50, rtt_p99, &batched, &pipelined, base_p50, off_p50, on_p50, &scrape, &dur,
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched.json");
         std::fs::write(path, json).expect("write BENCH_sched.json");
@@ -557,6 +587,86 @@ struct ScrapeCost {
     attached_p50: u64,
 }
 
+/// One durability-mode measurement row.
+struct DurRow {
+    mode: &'static str,
+    /// JSON key for the mode.
+    key: &'static str,
+    /// Report-ingest throughput (16-report frames, engine batch = 1).
+    ingest_per_sec: u64,
+    /// Decide RTT p50 on the same daemon, best of N rounds.
+    decide_p50: u64,
+}
+
+/// Ingest throughput + decide RTT p50 per durability mode. Each mode
+/// gets its own daemon (and, when durable, its own fresh WAL dir under
+/// the system tmpdir, removed afterwards). Row order is fixed:
+/// in-memory first, then WAL with fsync off / interval(5ms) / always —
+/// the `--quick` bar indexes rows 0 and 1.
+fn durability_cost(
+    policy: &XarTrekPolicy,
+    hot: &[String],
+    samples: usize,
+    rounds: usize,
+) -> Vec<DurRow> {
+    const BATCH: usize = 16;
+    let modes: [(&str, &str, Option<FsyncPolicy>); 4] = [
+        ("in-memory (durability off)", "off", None),
+        ("wal, fsync off", "wal_fsync_off", Some(FsyncPolicy::Off)),
+        ("wal, fsync interval 5ms", "wal_fsync_interval_5ms", Some(FsyncPolicy::IntervalMs(5))),
+        ("wal, fsync always", "wal_fsync_always", Some(FsyncPolicy::Always)),
+    ];
+    let mut rows = Vec::new();
+    for (mode, key, fsync) in modes {
+        let dir = std::env::temp_dir().join(format!(
+            "xar-bench-dur-{}-{}",
+            std::process::id(),
+            rows.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durability = fsync.map(|f| DurabilityConfig { fsync: f, ..DurabilityConfig::at(&dir) });
+        let daemon = spawn_sharded(
+            policy,
+            EngineConfig { shards: SHARDS, batch: 1 },
+            ServerConfig { durability, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut client = V2Client::connect(daemon.addr()).unwrap();
+
+        let reports: Vec<ReportOwned> = (0..BATCH)
+            .map(|i| ReportOwned {
+                app: hot[i % hot.len()].as_str().into(),
+                target: Target::Fpga,
+                func_ms: 1e9,
+                x86_load: 2,
+            })
+            .collect();
+        let batches = (samples / BATCH).clamp(50, 4_000);
+        for _ in 0..batches / 10 + 1 {
+            client.report_batch(&reports).unwrap(); // warmup
+        }
+        let start = Instant::now();
+        for _ in 0..batches {
+            assert_eq!(client.report_batch(&reports).unwrap(), BATCH as u32);
+        }
+        let ingest_per_sec = ((batches * BATCH) as f64 / start.elapsed().as_secs_f64()) as u64;
+
+        let decide_iters = samples.min(20_000);
+        let decide_p50 = (0..rounds)
+            .map(|_| {
+                op_p50(&mut client, decide_iters, |c| {
+                    c.decide(&hot[0], "k", 42, true).unwrap();
+                })
+            })
+            .min()
+            .unwrap();
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(DurRow { mode, key, ingest_per_sec, decide_p50 });
+    }
+    rows
+}
+
 /// p50 RTT of one request op measured back-to-back on `client`.
 fn op_p50(client: &mut V2Client, iters: usize, mut op: impl FnMut(&mut V2Client)) -> u64 {
     for _ in 0..iters / 10 {
@@ -666,7 +776,18 @@ fn render_json(
     trace_off_p50: u64,
     trace_on_p50: u64,
     scrape: &ScrapeCost,
+    dur: &[DurRow],
 ) -> String {
+    let dur_modes = dur
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\": {{\"ingest_reports_per_sec\": {}, \"decide_rtt_p50_ns\": {}}}",
+                r.key, r.ingest_per_sec, r.decide_p50
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
     let threads = |path: fn(&(usize, u64, u64)) -> u64| {
         contended
             .iter()
@@ -728,6 +849,14 @@ fn render_json(
     "decide_p50_ns_scraper_detached": {},
     "decide_p50_ns_scraper_attached_1hz": {},
     "attached_over_detached": {:.3}
+  }},
+  "durability": {{
+    "note": "per-mode daemons: report-ingest throughput (16-report frames, engine batch = 1) pays the WAL + fsync policy; decide RTT p50 is WAL-free by construction and the --quick bar asserts the wal_fsync_off daemon stays within 5% of the in-memory one",
+    "modes": {{
+      {dur_modes}
+    }},
+    "wal_off_decide_over_in_memory": {:.3},
+    "ingest_always_over_in_memory": {:.3}
   }}
 }}
 "#,
@@ -744,5 +873,7 @@ fn render_json(
         scrape.detached_p50,
         scrape.attached_p50,
         scrape.attached_p50 as f64 / scrape.detached_p50 as f64,
+        dur[1].decide_p50 as f64 / dur[0].decide_p50 as f64,
+        dur[0].ingest_per_sec as f64 / dur[3].ingest_per_sec.max(1) as f64,
     )
 }

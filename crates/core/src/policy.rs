@@ -9,7 +9,7 @@
 //!   refines the statically estimated thresholds from observed
 //!   execution times after every call.
 
-use crate::thresholds::{ScenarioTimes, ThresholdTable};
+use crate::thresholds::{ScenarioTimes, ThresholdEntry, ThresholdTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Policy, Target};
@@ -214,6 +214,127 @@ impl xar_sched::PolicyCore for XarTrekPolicy {
             })
             .collect()
     }
+
+    fn entry(&self, app: &str) -> Option<xar_sched::TableEntry> {
+        // Indexed lookup — the flush sink's per-batch delta query must
+        // not scan the whole table.
+        self.table.get(app).map(|e| xar_sched::TableEntry {
+            app: e.app.clone(),
+            kernel: e.kernel.clone(),
+            fpga_thr: e.fpga_thr,
+            arm_thr: e.arm_thr,
+        })
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Everything Algorithm 1 reads or writes: the threshold rows
+        // AND the per-app reference times (x86_ms moves on line 10 —
+        // restoring rows alone would bend future updates), plus the
+        // policy flags. Rows and times are emitted sorted by app so
+        // equal states serialize to equal bytes (bit-identity checks
+        // compare these blobs across daemon generations).
+        let mut out = Vec::with_capacity(64 + self.table.len() * 48);
+        out.push(STATE_VERSION);
+        out.push(self.early_config as u8);
+        out.push(self.dynamic_update as u8);
+        out.extend_from_slice(&self.thr_step.to_le_bytes());
+        let mut rows: Vec<&ThresholdEntry> = self.table.iter().collect();
+        rows.sort_by(|a, b| a.app.cmp(&b.app));
+        out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+        for e in rows {
+            put_str(&e.app, &mut out);
+            put_str(&e.kernel, &mut out);
+            out.extend_from_slice(&e.fpga_thr.to_le_bytes());
+            out.extend_from_slice(&e.arm_thr.to_le_bytes());
+        }
+        let mut times: Vec<(&Arc<str>, &ScenarioTimes)> = self.ref_times.iter().collect();
+        times.sort_by(|a, b| a.0.cmp(b.0));
+        out.extend_from_slice(&(times.len() as u32).to_le_bytes());
+        for (app, t) in times {
+            put_str(app, &mut out);
+            out.extend_from_slice(&t.x86_ms.to_bits().to_le_bytes());
+            out.extend_from_slice(&t.fpga_ms.to_bits().to_le_bytes());
+            out.extend_from_slice(&t.arm_ms.to_bits().to_le_bytes());
+        }
+        Some(out)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut c = Reader { b: bytes, at: 0 };
+        let version = c.u8()?;
+        if version != STATE_VERSION {
+            return Err(format!("unknown policy state version {version}"));
+        }
+        let early_config = c.u8()? != 0;
+        let dynamic_update = c.u8()? != 0;
+        let thr_step = c.u32()?;
+        let n_rows = c.u32()? as usize;
+        if n_rows > bytes.len() / 12 {
+            return Err("row count exceeds payload".into());
+        }
+        let mut table = ThresholdTable::new();
+        for _ in 0..n_rows {
+            let app = c.str()?.to_string();
+            let kernel = c.str()?.to_string();
+            let fpga_thr = c.u32()?;
+            let arm_thr = c.u32()?;
+            table.insert(ThresholdEntry { app, kernel, fpga_thr, arm_thr });
+        }
+        let n_times = c.u32()? as usize;
+        if n_times > bytes.len() / 26 {
+            return Err("ref-time count exceeds payload".into());
+        }
+        let mut ref_times = HashMap::with_capacity(n_times);
+        for _ in 0..n_times {
+            let app: Arc<str> = Arc::from(c.str()?);
+            let x86_ms = f64::from_bits(c.u64()?);
+            let fpga_ms = f64::from_bits(c.u64()?);
+            let arm_ms = f64::from_bits(c.u64()?);
+            ref_times.insert(app, ScenarioTimes { x86_ms, fpga_ms, arm_ms });
+        }
+        *self = XarTrekPolicy { table, ref_times, early_config, dynamic_update, thr_step };
+        Ok(())
+    }
+}
+
+/// Version byte of [`XarTrekPolicy`]'s durability-state blob.
+const STATE_VERSION: u8 = 1;
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader for [`XarTrekPolicy::load_state`].
+struct Reader<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let s = self.b.get(self.at..self.at + n).ok_or("policy state truncated")?;
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, String> {
+        let n = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|e| e.to_string())
+    }
 }
 
 impl Policy for XarTrekPolicy {
@@ -408,6 +529,60 @@ mod tests {
         let eng_rows: Vec<_> =
             engine.table().into_iter().map(|e| (e.app, e.fpga_thr, e.arm_thr)).collect();
         assert_eq!(seq_rows, eng_rows);
+    }
+
+    #[test]
+    fn state_blob_round_trips_bit_identically() {
+        use xar_sched::PolicyCore;
+        let mut p = policy();
+        p.thr_step = 3;
+        p.early_config = false;
+        // Bend the state away from the estimator's defaults so the
+        // round trip proves restoration, not re-derivation.
+        p.algorithm1(&CompletionReport {
+            app: "Digit2000",
+            target: Target::Fpga,
+            func_ms: 100_000.0,
+            x86_load: 50,
+        });
+        p.algorithm1(&CompletionReport {
+            app: "FaceDet320",
+            target: Target::X86,
+            func_ms: 0.25,
+            x86_load: 2,
+        });
+        let blob = p.save_state().expect("xar-trek supports state snapshots");
+        let mut q = policy();
+        q.load_state(&blob).unwrap();
+        assert_eq!(q.early_config, p.early_config);
+        assert_eq!(q.dynamic_update, p.dynamic_update);
+        assert_eq!(q.thr_step, p.thr_step);
+        let rows = |x: &XarTrekPolicy| {
+            let mut v: Vec<_> = x
+                .table
+                .iter()
+                .map(|e| (e.app.clone(), e.kernel.clone(), e.fpga_thr, e.arm_thr))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(rows(&q), rows(&p));
+        assert_eq!(
+            q.ref_times["FaceDet320"].x86_ms.to_bits(),
+            p.ref_times["FaceDet320"].x86_ms.to_bits(),
+            "observed x86 time survives bit-exactly"
+        );
+        // Deterministic serialization: equal states, equal bytes.
+        assert_eq!(q.save_state().unwrap(), blob);
+        // Corruption and version skew are refused, not mangled.
+        assert!(q.load_state(&blob[..blob.len() - 3]).is_err());
+        let mut bad = blob.clone();
+        bad[0] = 99;
+        assert!(q.load_state(&bad).is_err());
+        // The indexed entry() lookup agrees with the entries() scan.
+        let via_entry = p.entry("Digit2000").unwrap();
+        let via_scan = p.entries().into_iter().find(|e| e.app == "Digit2000").unwrap();
+        assert_eq!(via_entry, via_scan);
     }
 
     #[test]

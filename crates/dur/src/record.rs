@@ -1,0 +1,111 @@
+//! On-disk record framing: `[u32 len][u32 crc32(payload)][payload]`,
+//! both integers little-endian. The same frame wraps WAL records and
+//! snapshot bodies, so there is exactly one validation path for every
+//! byte the daemon trusts after a crash.
+
+use crate::crc::crc32;
+
+/// Bytes of framing before the payload: the length and the checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Hard ceiling on one record's payload. Far above anything the
+/// daemon writes (a full `u16::MAX`-report batch is < 2 MiB); its job
+/// is to make a corrupt length field fail fast instead of driving a
+/// multi-gigabyte read.
+pub const MAX_RECORD: usize = 64 << 20;
+
+/// Why a buffered record failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes than a complete frame — a torn tail (or simply the
+    /// end of the log).
+    Truncated,
+    /// The length field exceeds [`MAX_RECORD`] — corruption.
+    Oversized,
+    /// The payload does not match its checksum — corruption (torn or
+    /// bit-flipped write).
+    Corrupt,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "truncated record"),
+            RecordError::Oversized => write!(f, "record length exceeds cap"),
+            RecordError::Corrupt => write!(f, "record checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Appends one framed record to `out`.
+pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_RECORD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decodes the record at the head of `buf`, returning the payload and
+/// the total frame length consumed. Never panics on arbitrary input —
+/// every failure mode is a [`RecordError`].
+pub fn decode_record(buf: &[u8]) -> Result<(&[u8], usize), RecordError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(RecordError::Truncated);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_RECORD {
+        return Err(RecordError::Oversized);
+    }
+    let want_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let Some(payload) = buf.get(FRAME_HEADER..FRAME_HEADER + len) else {
+        return Err(RecordError::Truncated);
+    };
+    if crc32(payload) != want_crc {
+        return Err(RecordError::Corrupt);
+    }
+    Ok((payload, FRAME_HEADER + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        encode_record(b"alpha", &mut buf);
+        encode_record(b"", &mut buf);
+        encode_record(&[0xAB; 300], &mut buf);
+        let (p, n) = decode_record(&buf).unwrap();
+        assert_eq!(p, b"alpha");
+        let (p2, n2) = decode_record(&buf[n..]).unwrap();
+        assert_eq!(p2, b"");
+        let (p3, n3) = decode_record(&buf[n + n2..]).unwrap();
+        assert_eq!(p3, &[0xAB; 300]);
+        assert_eq!(n + n2 + n3, buf.len());
+    }
+
+    #[test]
+    fn every_truncation_is_truncated_or_corrupt() {
+        let mut buf = Vec::new();
+        encode_record(b"torn tail probe", &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_record(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, RecordError::Truncated | RecordError::Corrupt),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+        assert!(decode_record(&buf).is_ok());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_any_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 12]);
+        assert_eq!(decode_record(&buf).unwrap_err(), RecordError::Oversized);
+    }
+}

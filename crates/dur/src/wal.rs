@@ -1,0 +1,462 @@
+//! The append-only write-ahead log.
+//!
+//! A WAL directory holds segment files `wal-<first-lsn>.log`, each a
+//! run of framed records ([`crate::record`]). LSNs (log sequence
+//! numbers) start at 1 and are assigned per record, never reused; a
+//! segment is named by the LSN of its first record, so the segment
+//! chain alone reconstructs every record's LSN without an index.
+//!
+//! Crash behavior is the whole point: [`Wal::open`] walks the chain,
+//! validates every record, and on the first invalid one (torn tail,
+//! bit flip, or a length gone absurd) truncates the file there and
+//! discards any later segments — the longest valid prefix wins, the
+//! daemon starts, and the truncation is counted for the
+//! `TORN_TAIL_TRUNCATIONS` stat rather than hidden.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::record::{decode_record, encode_record, RecordError};
+
+/// When appended records reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append — an acked write survives a crash.
+    Always,
+    /// fsync at most every `N` ms (driven by the owner's maintenance
+    /// tick) — bounded loss window, near-`Off` append cost.
+    IntervalMs(u64),
+    /// Never fsync explicitly; the OS flushes when it pleases. For
+    /// benchmarks and tests of the non-durability paths.
+    Off,
+}
+
+/// WAL tuning.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one reaches this
+    /// size (bytes). Rotation is also the pruning granularity.
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// Sensible defaults rooted at `dir`: 8 MiB segments, fsync on
+    /// every append.
+    pub fn at(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig { dir: dir.into(), fsync: FsyncPolicy::Always, segment_bytes: 8 << 20 }
+    }
+}
+
+/// One segment of the open chain.
+#[derive(Debug, Clone)]
+struct Segment {
+    start_lsn: u64,
+    path: PathBuf,
+}
+
+/// The open write-ahead log.
+pub struct Wal {
+    cfg: WalConfig,
+    /// All live segments, ascending by `start_lsn`; the last is the
+    /// one being appended to.
+    segments: Vec<Segment>,
+    /// Append handle on the last segment.
+    file: File,
+    /// Bytes currently in the last segment.
+    seg_len: u64,
+    /// LSN the next append receives.
+    next_lsn: u64,
+    /// Unsynced appends outstanding.
+    dirty: bool,
+    last_sync: Instant,
+    /// Reusable frame-encoding buffer.
+    buf: Vec<u8>,
+    appended_records: u64,
+    appended_bytes: u64,
+    /// Torn-tail truncation events performed by [`Wal::open`].
+    truncations: u64,
+}
+
+fn segment_path(dir: &Path, start_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{start_lsn:020}.log"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Flushes directory metadata (file creations/removals/renames) so the
+/// entries themselves survive a crash, not just the file contents.
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl Wal {
+    /// Opens (or initializes) the WAL under `cfg.dir`, repairing any
+    /// torn tail: the first invalid record — wherever it is in the
+    /// chain — becomes the new end of the log, the file is truncated
+    /// there, and later segments are discarded. Never panics on
+    /// corrupt input; unreadable directories surface as `Err`.
+    pub fn open(cfg: WalConfig) -> io::Result<Wal> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut segments: Vec<Segment> = fs::read_dir(&cfg.dir)?
+            .filter_map(|e| {
+                let e = e.ok()?;
+                let name = e.file_name();
+                let start_lsn = parse_segment_name(name.to_str()?)?;
+                Some(Segment { start_lsn, path: e.path() })
+            })
+            .collect();
+        segments.sort_by_key(|s| s.start_lsn);
+
+        let mut truncations = 0u64;
+        // Pruning may have removed head segments, so the chain starts
+        // wherever the oldest surviving segment says it does — only
+        // contiguity from there on is required.
+        let mut next_lsn = segments.first().map_or(1, |s| s.start_lsn);
+        let mut keep = Vec::with_capacity(segments.len());
+        let mut chain_broken = false;
+        for seg in segments {
+            if chain_broken || seg.start_lsn != next_lsn {
+                // A gap (or anything after a repaired tear) cannot be
+                // assigned LSNs — discard it rather than guess.
+                truncations += 1;
+                chain_broken = true;
+                fs::remove_file(&seg.path)?;
+                continue;
+            }
+            let bytes = fs::read(&seg.path)?;
+            let mut at = 0usize;
+            loop {
+                match decode_record(&bytes[at..]) {
+                    Ok((_, n)) => {
+                        at += n;
+                        next_lsn += 1;
+                    }
+                    Err(RecordError::Truncated) if at == bytes.len() => break,
+                    Err(_) => {
+                        // Torn or corrupt tail: keep the valid prefix.
+                        truncations += 1;
+                        chain_broken = true;
+                        let f = OpenOptions::new().write(true).open(&seg.path)?;
+                        f.set_len(at as u64)?;
+                        f.sync_all()?;
+                        break;
+                    }
+                }
+            }
+            keep.push(seg);
+        }
+        if truncations > 0 {
+            fsync_dir(&cfg.dir)?;
+        }
+        if keep.is_empty() {
+            let path = segment_path(&cfg.dir, next_lsn);
+            File::create(&path)?.sync_all()?;
+            fsync_dir(&cfg.dir)?;
+            keep.push(Segment { start_lsn: next_lsn, path });
+        }
+        let last = keep.last().expect("at least one segment");
+        let file = OpenOptions::new().append(true).open(&last.path)?;
+        let seg_len = file.metadata()?.len();
+        Ok(Wal {
+            file,
+            seg_len,
+            next_lsn,
+            segments: keep,
+            cfg,
+            dirty: false,
+            last_sync: Instant::now(),
+            buf: Vec::with_capacity(4096),
+            appended_records: 0,
+            appended_bytes: 0,
+            truncations,
+        })
+    }
+
+    /// LSN the next append will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Records appended through this handle (not counting recovered
+    /// history).
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records
+    }
+
+    /// Bytes appended through this handle, framing included.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Torn-tail truncation events [`Wal::open`] performed.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Appends one record, returning its LSN. Durability follows the
+    /// configured [`FsyncPolicy`]; rotation happens after the append
+    /// that crosses `segment_bytes`.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        self.buf.clear();
+        encode_record(payload, &mut self.buf);
+        self.file.write_all(&self.buf)?;
+        self.seg_len += self.buf.len() as u64;
+        self.appended_bytes += self.buf.len() as u64;
+        self.appended_records += 1;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.dirty = true;
+        if matches!(self.cfg.fsync, FsyncPolicy::Always) {
+            self.sync()?;
+        }
+        if self.seg_len >= self.cfg.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces outstanding appends to disk regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.file.sync_data()?;
+            self.dirty = false;
+            self.last_sync = Instant::now();
+        }
+        Ok(())
+    }
+
+    /// The owner's maintenance heartbeat: under `IntervalMs(n)`, syncs
+    /// once `n` ms have passed since the last sync. No-op otherwise.
+    pub fn tick_sync(&mut self) -> io::Result<()> {
+        if let FsyncPolicy::IntervalMs(ms) = self.cfg.fsync {
+            if self.dirty && self.last_sync.elapsed().as_millis() as u64 >= ms {
+                self.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        // A rotated-out segment is immutable history: make it (and its
+        // directory entry) durable now even under lazy policies, so a
+        // later crash can only tear the *current* segment.
+        self.file.sync_data()?;
+        self.dirty = false;
+        let path = segment_path(&self.cfg.dir, self.next_lsn);
+        let f = File::create(&path)?;
+        f.sync_all()?;
+        fsync_dir(&self.cfg.dir)?;
+        self.segments.push(Segment { start_lsn: self.next_lsn, path });
+        self.file = OpenOptions::new().append(true).open(&self.segments.last().unwrap().path)?;
+        self.seg_len = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Replays every record with LSN strictly greater than `after`,
+    /// in LSN order, to `f(lsn, payload)`. Returns the number of
+    /// records delivered. Unsynced appends are flushed first so the
+    /// caller observes everything this handle wrote.
+    pub fn replay_after(&mut self, after: u64, mut f: impl FnMut(u64, &[u8])) -> io::Result<u64> {
+        self.sync()?;
+        let mut delivered = 0u64;
+        for seg in &self.segments {
+            // Skip whole segments below the watermark: the next
+            // segment's start bounds this one's last LSN.
+            let mut lsn = seg.start_lsn;
+            let bytes = fs::read(&seg.path)?;
+            let mut at = 0usize;
+            while let Ok((payload, n)) = decode_record(&bytes[at..]) {
+                if lsn > after {
+                    f(lsn, payload);
+                    delivered += 1;
+                }
+                at += n;
+                lsn += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Drops segments made entirely of records with LSN ≤ `watermark`
+    /// (the snapshot's covered prefix). The active segment is never
+    /// removed. Returns the number of segments pruned.
+    pub fn prune_through(&mut self, watermark: u64) -> io::Result<usize> {
+        let mut pruned = 0;
+        while self.segments.len() > 1 {
+            // First segment's records end where the second begins.
+            let end_lsn = self.segments[1].start_lsn - 1;
+            if end_lsn > watermark {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            fs::remove_file(&seg.path)?;
+            pruned += 1;
+        }
+        if pruned > 0 {
+            fsync_dir(&self.cfg.dir)?;
+        }
+        Ok(pruned)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xar-dur-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn collect(wal: &mut Wal, after: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut got = Vec::new();
+        wal.replay_after(after, |lsn, p| got.push((lsn, p.to_vec()))).unwrap();
+        got
+    }
+
+    #[test]
+    fn append_replay_roundtrip_across_reopen() {
+        let dir = tmp("roundtrip");
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        assert_eq!(wal.append(b"one").unwrap(), 1);
+        assert_eq!(wal.append(b"two").unwrap(), 2);
+        drop(wal);
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(wal.truncations(), 0);
+        assert_eq!(collect(&mut wal, 0), vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
+        assert_eq!(collect(&mut wal, 1), vec![(2, b"two".to_vec())]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_preserves_lsns_and_pruning_respects_the_watermark() {
+        let dir = tmp("rotate");
+        let mut cfg = WalConfig::at(&dir);
+        cfg.segment_bytes = 32; // rotate every couple of records
+        let mut wal = Wal::open(cfg.clone()).unwrap();
+        for i in 1..=20u64 {
+            assert_eq!(wal.append(&i.to_le_bytes()).unwrap(), i);
+        }
+        assert!(wal.segments.len() > 2, "tiny segments must have rotated");
+        let all = collect(&mut wal, 0);
+        assert_eq!(all.len(), 20);
+        assert_eq!(all.first().unwrap().0, 1);
+        assert_eq!(all.last().unwrap().0, 20);
+        wal.prune_through(10).unwrap();
+        let tail = collect(&mut wal, 0);
+        // Pruning is segment-granular: nothing above the watermark may
+        // vanish, and fully-covered head segments must be gone.
+        for lsn in 11..=20u64 {
+            assert!(tail.iter().any(|(l, _)| *l == lsn), "lsn {lsn} lost by pruning");
+        }
+        assert!(tail.first().unwrap().0 > 1, "fully-covered head segment pruned");
+        // Reopen agrees with the pruned chain.
+        drop(wal);
+        let mut wal = Wal::open(cfg).unwrap();
+        assert_eq!(wal.next_lsn(), 21);
+        assert_eq!(collect(&mut wal, 0), tail);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp("torn");
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        wal.append(b"keep-1").unwrap();
+        wal.append(b"keep-2").unwrap();
+        wal.append(b"doomed").unwrap();
+        let seg = wal.segments.last().unwrap().path.clone();
+        drop(wal);
+        // Tear mid-way through the last record.
+        let bytes = fs::read(&seg).unwrap();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(bytes.len() as u64 - 3).unwrap();
+        drop(f);
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        assert_eq!(wal.truncations(), 1);
+        assert_eq!(wal.next_lsn(), 3, "valid prefix survives, torn record gone");
+        assert_eq!(collect(&mut wal, 0), vec![(1, b"keep-1".to_vec()), (2, b"keep-2".to_vec())]);
+        // And the log accepts appends again at the repaired LSN.
+        assert_eq!(wal.append(b"after-repair").unwrap(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_in_the_middle_truncates_from_the_flip() {
+        let dir = tmp("flip");
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 16]).unwrap();
+        }
+        let seg = wal.segments.last().unwrap().path.clone();
+        drop(wal);
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&seg, &bytes).unwrap();
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        assert_eq!(wal.truncations(), 1);
+        let got = collect(&mut wal, 0);
+        assert!(got.len() < 5, "the flipped record and everything after it is gone");
+        for (i, (lsn, p)) in got.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(p, &[i as u8; 16]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_length_field_is_a_tear_not_a_panic() {
+        let dir = tmp("oversize");
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        wal.append(b"good").unwrap();
+        let seg = wal.segments.last().unwrap().path.clone();
+        drop(wal);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF; 20]);
+        fs::write(&seg, &bytes).unwrap();
+        let mut wal = Wal::open(WalConfig::at(&dir)).unwrap();
+        assert_eq!(wal.truncations(), 1);
+        assert_eq!(collect(&mut wal, 0), vec![(1, b"good".to_vec())]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_segment_discards_the_unanchored_suffix() {
+        let dir = tmp("gap");
+        let mut cfg = WalConfig::at(&dir);
+        cfg.segment_bytes = 32;
+        let mut wal = Wal::open(cfg.clone()).unwrap();
+        for i in 1..=12u64 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        assert!(wal.segments.len() >= 3);
+        let victim = wal.segments[1].path.clone();
+        drop(wal);
+        fs::remove_file(victim).unwrap();
+        let mut wal = Wal::open(cfg).unwrap();
+        assert!(wal.truncations() >= 1);
+        let got = collect(&mut wal, 0);
+        // Only the contiguous prefix before the hole survives.
+        assert!(!got.is_empty());
+        assert_eq!(got.last().unwrap().0, got.len() as u64);
+        assert_eq!(wal.next_lsn(), got.len() as u64 + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -87,6 +87,16 @@ pub const QUARANTINES: u16 = 36;
 pub const SESSIONS_OPENED: u16 = 37;
 /// Seq-stamped report batches acked without re-ingesting (replays).
 pub const REPLAYED_BATCHES: u16 = 38;
+/// Records appended to the durability WAL.
+pub const WAL_APPENDS: u16 = 39;
+/// Bytes (frame headers included) appended to the durability WAL.
+pub const WAL_BYTES: u16 = 40;
+/// Durability snapshots written (periodic + clean shutdown).
+pub const SNAPSHOTS_WRITTEN: u16 = 41;
+/// WAL records replayed by the last startup recovery.
+pub const RECOVERY_REPLAYED_RECORDS: u16 = 42;
+/// Torn WAL tails truncated during recovery.
+pub const TORN_TAIL_TRUNCATIONS: u16 = 43;
 
 /// Every registered tag with its exposition name, ascending by id.
 pub const TAGS: &[(u16, &str)] = &[
@@ -128,6 +138,11 @@ pub const TAGS: &[(u16, &str)] = &[
     (QUARANTINES, "quarantines"),
     (SESSIONS_OPENED, "sessions_opened"),
     (REPLAYED_BATCHES, "replayed_batches"),
+    (WAL_APPENDS, "wal_appends"),
+    (WAL_BYTES, "wal_bytes"),
+    (SNAPSHOTS_WRITTEN, "snapshots_written"),
+    (RECOVERY_REPLAYED_RECORDS, "recovery_replayed_records"),
+    (TORN_TAIL_TRUNCATIONS, "torn_tail_truncations"),
 ];
 
 /// Exposition name for a tag, or `None` for ids this build predates.
@@ -160,11 +175,21 @@ impl TagKind {
 pub fn tag_kind(tag: u16) -> Option<TagKind> {
     tag_name(tag)?;
     Some(match tag {
-        DECIDE_P50_NS | DECIDE_P99_NS | LIVE_CONNS | SHARDS | WORKERS | DECIDE_BATCH_P50_NS
-        | DECIDE_BATCH_P99_NS | REPORT_BATCH_P50_NS | REPORT_BATCH_P99_NS
-        | FLUSH_PUBLISH_P50_NS | FLUSH_PUBLISH_P99_NS | DAEMON_ID | UPTIME_SECS | SERIES_SLOTS => {
-            TagKind::Gauge
-        }
+        DECIDE_P50_NS
+        | DECIDE_P99_NS
+        | LIVE_CONNS
+        | SHARDS
+        | WORKERS
+        | DECIDE_BATCH_P50_NS
+        | DECIDE_BATCH_P99_NS
+        | REPORT_BATCH_P50_NS
+        | REPORT_BATCH_P99_NS
+        | FLUSH_PUBLISH_P50_NS
+        | FLUSH_PUBLISH_P99_NS
+        | DAEMON_ID
+        | UPTIME_SECS
+        | SERIES_SLOTS
+        | RECOVERY_REPLAYED_RECORDS => TagKind::Gauge,
         _ => TagKind::Counter,
     })
 }
@@ -198,6 +223,8 @@ mod tests {
         assert_eq!(tag_name(FLUSH_ROWS), Some("flush_rows"));
         assert_eq!(tag_name(SERIES_SLOTS), Some("series_slots"));
         assert_eq!(tag_name(REPLAYED_BATCHES), Some("replayed_batches"));
+        assert_eq!(tag_name(WAL_APPENDS), Some("wal_appends"));
+        assert_eq!(tag_name(TORN_TAIL_TRUNCATIONS), Some("torn_tail_truncations"));
         assert_eq!(tag_name(0), None);
         assert_eq!(tag_name(u16::MAX), None);
     }
@@ -213,6 +240,11 @@ mod tests {
         assert_eq!(tag_kind(UPTIME_SECS), Some(TagKind::Gauge));
         assert_eq!(tag_kind(SHED_BUSY), Some(TagKind::Counter));
         assert_eq!(tag_kind(REPLAYED_BATCHES), Some(TagKind::Counter));
+        assert_eq!(tag_kind(WAL_APPENDS), Some(TagKind::Counter));
+        assert_eq!(tag_kind(SNAPSHOTS_WRITTEN), Some(TagKind::Counter));
+        // The recovery record count is a per-boot reading, not a
+        // monotone lifetime total.
+        assert_eq!(tag_kind(RECOVERY_REPLAYED_RECORDS), Some(TagKind::Gauge));
         assert_eq!(tag_kind(0), None);
         assert_eq!(tag_kind(u16::MAX), None);
         assert_eq!(TagKind::Counter.as_str(), "counter");

@@ -831,6 +831,17 @@ impl ResilientClient {
             return Err(proto_err("exactly-once reporting needs a nonzero config.session"));
         }
         let encoded_len = |r: &ReportOwned| wire::encoded_report_len(r.app.len());
+        // Stamps must be drawn *after* the session resync a connect
+        // performs: a fresh client resuming a durable session learns
+        // the daemon's high-water mark inside `ensure_connected`, and
+        // a stamp chosen before that can collide with a previous
+        // incarnation's batch — the daemon acks the stale stamp as a
+        // replay (`Ack(0)`) and this new batch silently vanishes.
+        // Force the first connect (under the normal retry budget)
+        // before reading `next_seq`. Mid-loop reconnects are safe: a
+        // resync can only overtake a stamp the daemon already acked,
+        // for which the replay answer is the correct dedup.
+        self.with_retries(&mut |_| Ok(Served::Done(())))?;
         let mut accepted = 0u32;
         let mut it = reports.iter().peekable();
         while it.peek().is_some() {

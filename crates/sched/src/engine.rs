@@ -42,7 +42,7 @@ use crate::wire::{WireQuery, WireReport};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use xar_desim::{CompletionReport, DecideCtx, Decision, Target};
 use xar_obs::{Event, Tracer};
@@ -124,7 +124,37 @@ pub trait PolicyCore: Send + 'static {
 
     /// The current threshold rows (for TABLE snapshots).
     fn entries(&self) -> Vec<TableEntry>;
+
+    /// The current row for one app, if present — the flush sink's
+    /// per-batch delta lookup. The default scans [`PolicyCore::entries`];
+    /// policies with an indexed table should override it.
+    fn entry(&self, app: &str) -> Option<TableEntry> {
+        self.entries().into_iter().find(|e| e.app == app)
+    }
+
+    /// Serializes this shard's full mutable state (not just the
+    /// decision rows — anything [`PolicyCore::apply`] can read or
+    /// write) for a durability snapshot. `None` means the policy does
+    /// not support state snapshots; the durability layer then keeps
+    /// the WAL from genesis instead of checkpointing.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state serialized by [`PolicyCore::save_state`],
+    /// replacing this shard's current state.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let _ = bytes;
+        Err("policy does not support state snapshots".into())
+    }
 }
+
+/// Observer of flush-publish row deltas: called with the shard index
+/// and the post-apply rows of every app a flushed batch touched,
+/// while the shard's state lock is held (deltas for one shard are
+/// therefore emitted in apply order). The durability layer registers
+/// one to journal deltas for downstream replication.
+pub type FlushSink = Box<dyn Fn(u32, &[TableEntry]) + Send + Sync>;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -213,6 +243,10 @@ struct Shard<P: PolicyCore> {
 pub struct ShardedEngine<P: PolicyCore> {
     shards: Vec<Shard<P>>,
     batch: usize,
+    /// Optional flush-delta observer, set once (by the durability
+    /// layer) before traffic starts. Costs one `OnceLock` load per
+    /// flush when unset — nothing on the decide path.
+    sink: OnceLock<FlushSink>,
 }
 
 impl<P: PolicyCore> ShardedEngine<P> {
@@ -231,7 +265,13 @@ impl<P: PolicyCore> ShardedEngine<P> {
                 metrics: ShardMetrics::default(),
             })
             .collect();
-        ShardedEngine { shards, batch: batch.max(1) }
+        ShardedEngine { shards, batch: batch.max(1), sink: OnceLock::new() }
+    }
+
+    /// Registers the flush-delta observer. At most one per engine, set
+    /// before serving traffic; a second registration is ignored.
+    pub fn set_flush_sink(&self, sink: FlushSink) {
+        let _ = self.sink.set(sink);
     }
 
     /// Number of shards.
@@ -321,7 +361,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             pending.queue.len() >= self.batch
         };
         if ready {
-            Self::flush_shard(idx, shard, obs);
+            self.flush_shard(idx, shard, obs);
         }
     }
 
@@ -339,7 +379,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
             pending.queue.len() >= self.batch
         };
         if ready {
-            Self::flush_shard(idx, shard, None);
+            self.flush_shard(idx, shard, None);
         }
     }
 
@@ -383,7 +423,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
                 pending.queue.len() >= self.batch
             };
             if ready {
-                Self::flush_shard(idx, shard, None);
+                self.flush_shard(idx, shard, None);
             }
         }
         n
@@ -440,13 +480,13 @@ impl<P: PolicyCore> ShardedEngine<P> {
             };
             group.clear();
             if ready {
-                Self::flush_shard(idx, shard, obs.as_deref_mut());
+                self.flush_shard(idx, shard, obs.as_deref_mut());
             }
         }
         reports.len()
     }
 
-    fn flush_shard(idx: usize, shard: &Shard<P>, obs: Option<&mut Tracer>) {
+    fn flush_shard(&self, idx: usize, shard: &Shard<P>, obs: Option<&mut Tracer>) {
         // Acquire the state lock BEFORE draining the queue: two
         // concurrent flushes that drained first could then race for
         // the state lock and apply their batches out of arrival
@@ -485,6 +525,19 @@ impl<P: PolicyCore> ShardedEngine<P> {
         let publish_ns = publish_start.elapsed().as_nanos() as u64;
         shard.metrics.record_batch(batch.len());
         shard.metrics.record_flush_ns(apply_ns, publish_ns);
+        // Emit post-apply row deltas for the apps this batch touched,
+        // still under the state lock so one shard's deltas reach the
+        // sink in apply order. Rare (flush cadence) and skipped
+        // entirely when no sink is registered.
+        if let Some(sink) = self.sink.get() {
+            let mut apps: Vec<&Arc<str>> = batch.iter().map(|r| &r.app).collect();
+            apps.sort_unstable();
+            apps.dedup();
+            let rows: Vec<TableEntry> = apps.into_iter().filter_map(|a| state.entry(a)).collect();
+            if !rows.is_empty() {
+                sink(idx as u32, &rows);
+            }
+        }
         if let Some(tr) = obs {
             tr.emit(Event::FlushPublish {
                 shard: idx as u32,
@@ -496,7 +549,7 @@ impl<P: PolicyCore> ShardedEngine<P> {
     /// Applies every pending report on every shard.
     pub fn flush(&self) {
         for (idx, shard) in self.shards.iter().enumerate() {
-            Self::flush_shard(idx, shard, None);
+            self.flush_shard(idx, shard, None);
         }
     }
 
@@ -514,9 +567,39 @@ impl<P: PolicyCore> ShardedEngine<P> {
     pub fn flush_dirty_obs(&self, mut obs: Option<&mut Tracer>) {
         for (idx, shard) in self.shards.iter().enumerate() {
             if shard.dirty.load(Ordering::Acquire) {
-                Self::flush_shard(idx, shard, obs.as_deref_mut());
+                self.flush_shard(idx, shard, obs.as_deref_mut());
             }
         }
+    }
+
+    /// Serializes every shard's policy state for a durability
+    /// snapshot, flushing pending reports first so the blobs reflect
+    /// everything ingested. `None` if the policy does not implement
+    /// [`PolicyCore::save_state`].
+    pub fn save_states(&self) -> Option<Vec<Vec<u8>>> {
+        self.flush();
+        self.shards.iter().map(|s| s.state.lock().save_state()).collect()
+    }
+
+    /// Restores per-shard policy states serialized by
+    /// [`ShardedEngine::save_states`] and republishes every shard's
+    /// decision snapshot. Pending queues must be empty (recovery runs
+    /// before traffic); blob count must match the shard count — a
+    /// snapshot taken under a different sharding cannot be loaded.
+    pub fn load_states(&self, blobs: &[Vec<u8>]) -> Result<(), String> {
+        if blobs.len() != self.shards.len() {
+            return Err(format!(
+                "snapshot has {} shard states, engine has {} shards",
+                blobs.len(),
+                self.shards.len()
+            ));
+        }
+        for (shard, blob) in self.shards.iter().zip(blobs) {
+            let mut state = shard.state.lock();
+            state.load_state(blob)?;
+            shard.snap.store(state.snapshot());
+        }
+        Ok(())
     }
 
     /// The merged threshold table (after a full flush), sorted by app.

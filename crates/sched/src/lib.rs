@@ -59,11 +59,13 @@
 pub mod adapter;
 pub mod backoff;
 pub mod client;
+pub mod dur;
 pub mod engine;
 pub mod metrics;
 pub mod obsd;
 pub mod server;
 pub mod session;
+pub mod signals;
 pub mod snapshot;
 pub mod sync_abstraction;
 pub mod wire;
@@ -71,6 +73,7 @@ pub mod wire;
 pub use adapter::ShardedPolicy;
 pub use backoff::Backoff;
 pub use client::{ResilientClient, ResilientConfig, V2Client};
+pub use dur::{Durability, DurabilityConfig, DurableSeqOutcome, FsyncPolicy, RecoveryStats};
 pub use engine::{
     shard_of, BatchScratch, DecideHandle, DecideScratch, EngineConfig, PolicyCore, ReportOwned,
     ShardedEngine, TableEntry,

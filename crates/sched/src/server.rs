@@ -27,6 +27,7 @@
 //! handshake magic, or anything else for the legacy v1 text protocol
 //! (see [`crate::wire`] for both).
 
+use crate::dur::{Durability, DurabilityConfig, DurableSeqOutcome, RecoveryStats};
 use crate::engine::{BatchScratch, DecideHandle, DecideScratch, PolicyCore, ShardedEngine};
 use crate::session::{SeqOutcome, SessionTable};
 use crate::wire::{self, DaemonStats, Request, Response, WireEntry};
@@ -45,7 +46,7 @@ use xar_obs::{Event as TraceEvent, EventCounters, SeriesRing, TraceLog, TraceRea
 use xar_reactor::{BackendKind, Event, Interest, Reactor, Token, Waker};
 
 /// Connection-layer tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads multiplexing the connections.
     pub workers: usize,
@@ -163,6 +164,14 @@ pub struct ServerConfig {
     /// session ids). Sessions past it are refused (`R_ERR`), which a
     /// client surfaces rather than silently losing dedup.
     pub session_capacity: usize,
+    /// Durable state: `Some` arms the WAL + snapshot engine under the
+    /// given directory. Startup then recovers the threshold table and
+    /// session high-water marks before serving; every report ingest is
+    /// journaled before it is acked; the maintenance tick drives
+    /// interval fsyncs and periodic snapshots; clean shutdown writes a
+    /// final snapshot. `None` (the default) keeps the daemon fully
+    /// in-memory, with zero durability code on any path.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -189,6 +198,7 @@ impl Default for ServerConfig {
             quarantine_errors: 0,
             quarantine_secs: 60,
             session_capacity: 1024,
+            durability: None,
         }
     }
 }
@@ -390,6 +400,10 @@ struct WorkerCtx<P: PolicyCore> {
     shed: Arc<AtomicBool>,
     /// Shared ban list for repeat protocol-error offenders.
     quarantine: Arc<Quarantine>,
+    /// The durability engine (`None` when the daemon is in-memory).
+    /// Cloned out of the ctx before use — the `Arc` dodges the borrow
+    /// conflict with the mutable scratch/tracer fields.
+    dur: Option<Arc<Durability>>,
     config: ServerConfig,
 }
 
@@ -573,6 +587,9 @@ pub struct Server<P: PolicyCore> {
     stop: Arc<AtomicBool>,
     wakers: Vec<Waker>,
     handles: Vec<JoinHandle<()>>,
+    sessions: Arc<SessionTable>,
+    dur: Option<Arc<Durability>>,
+    recovery: RecoveryStats,
 }
 
 impl<P: PolicyCore> Server<P> {
@@ -619,6 +636,25 @@ impl<P: PolicyCore> Server<P> {
         let trace_log = Arc::new(TraceLog::new(config.trace_log_capacity));
         let series = SeriesState::new(&config);
         let sessions = Arc::new(SessionTable::new(config.session_capacity));
+        // Startup recovery runs to completion before any worker (or the
+        // acceptor) exists: early connections wait in the kernel
+        // backlog and are first served against fully recovered state.
+        // The flush sink registers only after recovery, so replayed
+        // reports cannot journal row deltas back into the WAL.
+        let mut recovery = RecoveryStats::default();
+        let dur = match &config.durability {
+            Some(dcfg) => {
+                let (d, rec) = Durability::open(dcfg.clone(), &engine, &sessions)?;
+                recovery = rec;
+                let d = Arc::new(d);
+                let sink = d.clone();
+                engine.set_flush_sink(Box::new(move |shard, rows| {
+                    sink.note_row_deltas(shard, rows);
+                }));
+                Some(d)
+            }
+            None => None,
+        };
         let shed = Arc::new(AtomicBool::new(false));
         let quarantine = Arc::new(Quarantine::default());
         let started = Instant::now();
@@ -653,7 +689,8 @@ impl<P: PolicyCore> Server<P> {
                 sessions: sessions.clone(),
                 shed: shed.clone(),
                 quarantine: quarantine.clone(),
-                config,
+                dur: dur.clone(),
+                config: config.clone(),
             };
             let stop = stop.clone();
             handles.push(
@@ -695,7 +732,7 @@ impl<P: PolicyCore> Server<P> {
                 })
                 .expect("spawn acceptor"),
         );
-        Ok(Server { addr, engine, stop, wakers, handles })
+        Ok(Server { addr, engine, stop, wakers, handles, sessions, dur, recovery })
     }
 
     /// The daemon's socket address (for clients).
@@ -708,9 +745,39 @@ impl<P: PolicyCore> Server<P> {
         &self.engine
     }
 
+    /// The exactly-once session registry (high-water marks, lifetime
+    /// open/replay counters).
+    pub fn sessions(&self) -> &Arc<SessionTable> {
+        &self.sessions
+    }
+
+    /// What startup recovery restored (all zeros when durability is
+    /// off or the directory was fresh).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
     /// Requests shutdown and joins every thread.
     pub fn shutdown(mut self) {
         self.stop_inner();
+    }
+
+    /// Abrupt stop for crash testing: joins the threads but skips the
+    /// final engine flush and the clean-shutdown snapshot, so the
+    /// durability directory is left holding exactly what the WAL (and
+    /// any earlier periodic snapshot) captured — the on-disk state of
+    /// a daemon killed mid-flight. Acked work is still on disk (that
+    /// is the durability contract); unflushed telemetry is lost, as it
+    /// would be in a real crash.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            w.wake();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // handles is empty: Drop's stop_inner is skipped.
     }
 
     fn stop_inner(&mut self) {
@@ -723,6 +790,11 @@ impl<P: PolicyCore> Server<P> {
         }
         // Telemetry left in per-shard queues survives shutdown.
         self.engine.flush();
+        // Clean shutdown checkpoints everything (and prunes the WAL it
+        // covers), so the next boot replays nothing.
+        if let Some(d) = &self.dur {
+            let _ = d.snapshot(&self.engine, &self.sessions);
+        }
     }
 }
 
@@ -928,6 +1000,12 @@ fn worker_loop<P: PolicyCore>(
                 // overload SLO against the fresh window.
                 ctx.advance_series();
                 ctx.update_shed();
+                // Durability heartbeat: interval fsyncs and periodic
+                // snapshots ride the same tick (single-flight across
+                // workers).
+                if let Some(d) = ctx.dur.clone() {
+                    d.tick(ctx.engine.as_ref(), &ctx.sessions);
+                }
                 continue;
             }
             // Idle deadline: a full window passed — reap only if the
@@ -1353,6 +1431,11 @@ fn process_v2<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
     conn.inbuf.drain(..at);
 }
 
+/// Error-reply text for a failed WAL append: the report was NOT acked
+/// and (for unsessioned ingest) not applied — the disk is refusing
+/// writes, which the operator must see.
+const DUR_ERR: &str = "durability journal write failed";
+
 fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut Vec<u8>) {
     match req {
         Request::Decide { app, kernel, x86_load, arm_load, kernel_resident, device_ready } => {
@@ -1386,13 +1469,35 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
             w.finish();
         }
         Request::Report(r) => {
-            // Borrowed ingest: the engine interns the app name.
-            ctx.engine.ingest_obs(r.app, r.target, r.func_ms, r.x86_load, Some(&mut ctx.tracer));
-            wire::encode_response(&Response::Ack(1), out);
+            if let Some(d) = ctx.dur.clone() {
+                // Journal-then-apply: the ack is backed by the log.
+                match d.ingest_report(&ctx.engine, r, Some(&mut ctx.tracer)) {
+                    Ok(()) => wire::encode_response(&Response::Ack(1), out),
+                    Err(_) => wire::encode_response(&Response::Err(DUR_ERR), out),
+                }
+            } else {
+                // Borrowed ingest: the engine interns the app name.
+                ctx.engine.ingest_obs(
+                    r.app,
+                    r.target,
+                    r.func_ms,
+                    r.x86_load,
+                    Some(&mut ctx.tracer),
+                );
+                wire::encode_response(&Response::Ack(1), out);
+            }
         }
         Request::BatchReport(rs) => {
-            let n = ctx.engine.report_batch_wire_obs(&mut ctx.scratch, rs, Some(&mut ctx.tracer));
-            wire::encode_response(&Response::Ack(n as u32), out);
+            if let Some(d) = ctx.dur.clone() {
+                match d.ingest_batch(&ctx.engine, &mut ctx.scratch, rs, Some(&mut ctx.tracer)) {
+                    Ok(n) => wire::encode_response(&Response::Ack(n as u32), out),
+                    Err(_) => wire::encode_response(&Response::Err(DUR_ERR), out),
+                }
+            } else {
+                let n =
+                    ctx.engine.report_batch_wire_obs(&mut ctx.scratch, rs, Some(&mut ctx.tracer));
+                wire::encode_response(&Response::Ack(n as u32), out);
+            }
         }
         Request::HelloSession { session } => match ctx.sessions.hello(*session) {
             Some(info) => {
@@ -1403,23 +1508,55 @@ fn handle_v2<P: PolicyCore>(req: &Request<'_>, ctx: &mut WorkerCtx<P>, out: &mut
             }
         },
         Request::BatchReportSeq { session, seq, reports } => {
-            match ctx.sessions.advance(*session, *seq) {
-                Some(SeqOutcome::Fresh) => {
-                    let n = ctx.engine.report_batch_wire_obs(
-                        &mut ctx.scratch,
-                        reports,
-                        Some(&mut ctx.tracer),
-                    );
-                    wire::encode_response(&Response::Ack(n as u32), out);
+            if let Some(d) = ctx.dur.clone() {
+                // The durable path stamps and journals under one
+                // ingest lock: a fresh batch's reports and high-water
+                // advance land in one atomic WAL record before the
+                // ack, so the batch counts exactly once even across a
+                // crash at any point.
+                let outcome = d.ingest_seq_batch(
+                    &ctx.engine,
+                    &ctx.sessions,
+                    *session,
+                    *seq,
+                    &mut ctx.scratch,
+                    reports,
+                    Some(&mut ctx.tracer),
+                );
+                match outcome {
+                    Ok(DurableSeqOutcome::Fresh(n)) => {
+                        wire::encode_response(&Response::Ack(n as u32), out);
+                    }
+                    Ok(DurableSeqOutcome::Replay) => {
+                        wire::encode_response(&Response::Ack(0), out);
+                    }
+                    Ok(DurableSeqOutcome::Rejected) => {
+                        wire::encode_response(
+                            &Response::Err("session rejected (id 0 or table full)"),
+                            out,
+                        );
+                    }
+                    Err(_) => wire::encode_response(&Response::Err(DUR_ERR), out),
                 }
-                // A batch the daemon already ingested: ack without
-                // re-ingesting. `Ack(0)` is how the client tells a
-                // dedup from a fresh ingest.
-                Some(SeqOutcome::Replay) => wire::encode_response(&Response::Ack(0), out),
-                None => wire::encode_response(
-                    &Response::Err("session rejected (id 0 or table full)"),
-                    out,
-                ),
+            } else {
+                match ctx.sessions.advance(*session, *seq) {
+                    Some(SeqOutcome::Fresh) => {
+                        let n = ctx.engine.report_batch_wire_obs(
+                            &mut ctx.scratch,
+                            reports,
+                            Some(&mut ctx.tracer),
+                        );
+                        wire::encode_response(&Response::Ack(n as u32), out);
+                    }
+                    // A batch the daemon already ingested: ack without
+                    // re-ingesting. `Ack(0)` is how the client tells a
+                    // dedup from a fresh ingest.
+                    Some(SeqOutcome::Replay) => wire::encode_response(&Response::Ack(0), out),
+                    None => wire::encode_response(
+                        &Response::Err("session rejected (id 0 or table full)"),
+                        out,
+                    ),
+                }
             }
         }
         Request::Table => {
@@ -1484,7 +1621,7 @@ fn collect_stats_v2<P: PolicyCore>(ctx: &WorkerCtx<P>) -> Vec<(u16, u64)> {
     let o = ctx.engine.obs_total();
     let ev = ctx.tracer.counters();
     let r = Ordering::Relaxed;
-    vec![
+    let mut pairs = vec![
         (tags::DECIDES, m.decides),
         (tags::REPORTS, m.reports),
         (tags::REPORT_BATCHES, m.batches),
@@ -1528,7 +1665,18 @@ fn collect_stats_v2<P: PolicyCore>(ctx: &WorkerCtx<P>) -> Vec<(u16, u64)> {
         (tags::QUARANTINES, ev.quarantines.load(r)),
         (tags::SESSIONS_OPENED, ctx.sessions.opened_total()),
         (tags::REPLAYED_BATCHES, ctx.sessions.replayed_total()),
-    ]
+    ];
+    // Durability tags ship from every daemon so StatsV2 always covers
+    // the full registry; an in-memory daemon reads all-zero.
+    let s = ctx.dur.as_ref().map(|d| d.stats()).unwrap_or_default();
+    pairs.extend_from_slice(&[
+        (tags::WAL_APPENDS, s.wal_appends),
+        (tags::WAL_BYTES, s.wal_bytes),
+        (tags::SNAPSHOTS_WRITTEN, s.snapshots_written),
+        (tags::RECOVERY_REPLAYED_RECORDS, s.recovery_replayed_records),
+        (tags::TORN_TAIL_TRUNCATIONS, s.torn_tail_truncations),
+    ]);
+    pairs
 }
 
 /// `<class>_p50_ns` / `<class>_p99_ns` → (ring histogram index,
@@ -1588,14 +1736,20 @@ fn process_v1<P: PolicyCore>(conn: &mut Conn, ctx: &mut WorkerCtx<P>, slot: usiz
                 wire::v1_decide_reply_into(&d, &mut conn.outbuf);
             }
             wire::V1Request::Report { app, target, func_ms, x86_load } => {
-                ctx.engine.ingest_obs(
-                    app,
-                    target,
-                    func_ms,
-                    x86_load.min(u32::MAX as u64) as u32,
-                    Some(&mut ctx.tracer),
-                );
-                conn.outbuf.extend_from_slice(b"OK\n");
+                let x86 = x86_load.min(u32::MAX as u64) as u32;
+                if let Some(d) = ctx.dur.clone() {
+                    // Legacy reports get the same journal-then-apply
+                    // contract as v2 — durability is per-daemon, not
+                    // per-protocol.
+                    let r = wire::WireReport { app, target, func_ms, x86_load: x86 };
+                    match d.ingest_report(&ctx.engine, &r, Some(&mut ctx.tracer)) {
+                        Ok(()) => conn.outbuf.extend_from_slice(b"OK\n"),
+                        Err(_) => conn.outbuf.extend_from_slice(b"ERR\n"),
+                    }
+                } else {
+                    ctx.engine.ingest_obs(app, target, func_ms, x86, Some(&mut ctx.tracer));
+                    conn.outbuf.extend_from_slice(b"OK\n");
+                }
             }
             wire::V1Request::Table => {
                 for e in ctx.engine.table() {

@@ -127,6 +127,52 @@ impl SessionTable {
         Some(SessionInfo { last_seq: slot.hwm.load(Ordering::Acquire), opened })
     }
 
+    /// Reinstates a recovered session: claims a slot for `id` (without
+    /// counting a new open — the restored `opened` counter already
+    /// includes it) and raises its marks to at least the given values.
+    /// Returns `false` when `id` is 0 or the table is full. Recovery
+    /// runs before traffic, but `fetch_max` keeps this safe even
+    /// against a concurrent claim of the same id.
+    pub fn restore(&self, id: u64, hwm: u64, replayed_hwm: u64) -> bool {
+        if id == 0 {
+            return false;
+        }
+        let Some((slot, claimed)) = self.slot(id) else {
+            return false;
+        };
+        if claimed {
+            // `slot` counted a fresh open; undo it — this id's open
+            // was counted in the lifetime the snapshot captured.
+            self.opened.fetch_sub(1, Ordering::Relaxed);
+        }
+        slot.hwm.fetch_max(hwm, Ordering::AcqRel);
+        slot.replayed_hwm.fetch_max(replayed_hwm, Ordering::AcqRel);
+        true
+    }
+
+    /// Restores the lifetime counters from a durability snapshot, so
+    /// `SESSIONS_OPENED` / `REPLAYED_BATCHES` stay continuous across a
+    /// daemon restart (the conservation law against client-side dedup
+    /// counts spans restarts). Monotone: only raises.
+    pub fn restore_counters(&self, opened: u64, replayed: u64) {
+        self.opened.fetch_max(opened, Ordering::AcqRel);
+        self.replayed.fetch_max(replayed, Ordering::AcqRel);
+    }
+
+    /// Every registered session as `(id, hwm, replayed_hwm)` — the
+    /// durability snapshot's session section.
+    pub fn entries(&self) -> Vec<(u64, u64, u64)> {
+        self.slots
+            .iter()
+            .filter_map(|s| {
+                let id = s.id.load(Ordering::Acquire);
+                (id != 0).then(|| {
+                    (id, s.hwm.load(Ordering::Acquire), s.replayed_hwm.load(Ordering::Acquire))
+                })
+            })
+            .collect()
+    }
+
     /// Stamps `(session, seq)`: one `fetch_max` against the session's
     /// high-water mark. The previous value decides fresh-vs-replay, so
     /// concurrent stampings of the same seq elect exactly one `Fresh`.
@@ -183,6 +229,33 @@ mod tests {
         assert_eq!(t.advance(9, 6), Some(SeqOutcome::Replay));
         assert_eq!(t.replayed_total(), 2, "each distinct replayed seq counts");
         assert_eq!(t.opened_total(), 1, "auto-registration claims count as opens");
+    }
+
+    #[test]
+    fn restore_reinstates_marks_without_counting_opens() {
+        let t = SessionTable::new(4);
+        t.restore_counters(3, 2);
+        assert!(t.restore(11, 7, 7));
+        assert!(t.restore(12, 4, 3));
+        assert!(!t.restore(0, 1, 1), "id 0 stays reserved");
+        // Restored opens come from the persisted counter, not the
+        // restore claims.
+        assert_eq!(t.opened_total(), 3);
+        assert_eq!(t.replayed_total(), 2);
+        // A reconnecting client resyncs at the recovered mark...
+        assert_eq!(t.hello(11), Some(SessionInfo { last_seq: 7, opened: false }));
+        // ...a replay of an already-counted seq is deduped but NOT
+        // recounted (its dedup was persisted)...
+        assert_eq!(t.advance(11, 7), Some(SeqOutcome::Replay));
+        assert_eq!(t.replayed_total(), 2);
+        // ...while a replay of a seq whose dedup was never counted
+        // counts now — exactly once.
+        assert_eq!(t.advance(12, 4), Some(SeqOutcome::Replay));
+        assert_eq!(t.replayed_total(), 3);
+        // Entries expose the recovered marks for the next snapshot.
+        let mut e = t.entries();
+        e.sort_unstable();
+        assert_eq!(e, vec![(11, 7, 7), (12, 4, 4)]);
     }
 
     #[test]
